@@ -1,0 +1,28 @@
+"""A1 bench: sampler with ablated wedge branches + the ablation table."""
+
+from conftest import emit_table
+
+from repro.experiments import a01_wedge_ablation
+from repro.experiments.a01_wedge_ablation import pendant_clique_graph
+from repro.fgp.rounds import WEDGE_BOTH, subgraph_sampler_rounds
+from repro.oracle.direct import DirectAugmentedOracle
+from repro.patterns import pattern as pattern_zoo
+from repro.transform.driver import run_round_adaptive
+
+
+def test_a01_high_branch_sampler(benchmark, capsys):
+    graph = pendant_clique_graph(16, 6)
+    pattern = pattern_zoo.triangle()
+
+    def run_batch():
+        oracle = DirectAugmentedOracle(graph, rng=1)
+        generators = [
+            subgraph_sampler_rounds(pattern, rng=i, wedge_branches=WEDGE_BOTH)
+            for i in range(200)
+        ]
+        return run_round_adaptive(generators, oracle)
+
+    result = benchmark(run_batch)
+    assert result.rounds == 3
+
+    emit_table(a01_wedge_ablation.run(fast=True), "a01_wedge_ablation", capsys)

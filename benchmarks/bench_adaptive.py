@@ -1,0 +1,26 @@
+"""Bench: the unknown-#H workflow (AGM start + Lemma 21 search).
+
+Times the full multi-probe run; the interesting number is the probe
+count (passes/3), which should stay logarithmic in the gap between the
+AGM bound and #H.
+"""
+
+from repro.graph import generators as gen
+from repro.patterns import pattern as zoo
+from repro.streaming.adaptive import count_subgraphs_unknown
+from repro.streams.stream import insertion_stream
+
+
+def test_adaptive_triangle_counting(benchmark):
+    graph = gen.gnp(50, 0.25, rng=81)
+
+    def run_adaptive():
+        stream = insertion_stream(graph, rng=82)
+        return count_subgraphs_unknown(
+            stream, zoo.triangle(), epsilon=0.3, rng=83,
+            max_trials_per_probe=20_000,
+        )
+
+    result = benchmark.pedantic(run_adaptive, rounds=3, iterations=1)
+    assert result.passes % 3 == 0
+    assert result.details["probes"] <= 12

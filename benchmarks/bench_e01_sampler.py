@@ -1,0 +1,23 @@
+"""E1 bench: FGP sampler attempts/second + the Lemma 15/16 table."""
+
+from conftest import emit_table
+
+from repro.experiments import e01_sampler_probability
+from repro.graph import generators as gen
+from repro.patterns import pattern as pattern_zoo
+from repro.streaming.three_pass import sample_copies_stream
+from repro.streams.stream import insertion_stream
+
+
+def test_e01_sampler_throughput(benchmark, capsys):
+    graph = gen.karate_club()
+    pattern = pattern_zoo.triangle()
+
+    def run_batch():
+        stream = insertion_stream(graph, rng=1)
+        return sample_copies_stream(stream, pattern, instances=300, rng=2)
+
+    outputs = benchmark(run_batch)
+    assert len(outputs) == 300
+
+    emit_table(e01_sampler_probability.run(fast=True), "e01_sampler_probability", capsys)

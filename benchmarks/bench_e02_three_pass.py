@@ -1,0 +1,23 @@
+"""E2 bench: 3-pass insertion-only counter + the Theorem 17 table."""
+
+from conftest import emit_table
+
+from repro.experiments import e02_three_pass
+from repro.graph import generators as gen
+from repro.patterns import pattern as pattern_zoo
+from repro.streaming.three_pass import count_subgraphs_insertion_only
+from repro.streams.stream import insertion_stream
+
+
+def test_e02_counter_throughput(benchmark, capsys):
+    graph = gen.gnp(60, 0.25, rng=3)
+    pattern = pattern_zoo.triangle()
+
+    def run_counter():
+        stream = insertion_stream(graph, rng=4)
+        return count_subgraphs_insertion_only(stream, pattern, trials=1000, rng=5)
+
+    result = benchmark(run_counter)
+    assert result.passes == 3
+
+    emit_table(e02_three_pass.run(fast=True), "e02_three_pass", capsys)

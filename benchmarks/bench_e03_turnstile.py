@@ -1,0 +1,25 @@
+"""E3 bench: turnstile counter under churn + the Theorem 1 table."""
+
+from conftest import emit_table
+
+from repro.experiments import e03_turnstile
+from repro.graph import generators as gen
+from repro.patterns import pattern as pattern_zoo
+from repro.streaming.turnstile import count_subgraphs_turnstile
+from repro.streams.generators import turnstile_churn_stream
+
+
+def test_e03_turnstile_throughput(benchmark, capsys):
+    graph = gen.karate_club()
+    pattern = pattern_zoo.triangle()
+
+    def run_counter():
+        stream = turnstile_churn_stream(graph, 30, rng=6)
+        return count_subgraphs_turnstile(
+            stream, pattern, trials=300, rng=7, sampler_repetitions=4
+        )
+
+    result = benchmark(run_counter)
+    assert result.passes == 3
+
+    emit_table(e03_turnstile.run(fast=True), "e03_turnstile", capsys)

@@ -1,0 +1,29 @@
+"""E4 bench: one emulated stream pass + the Theorems 9/11 table."""
+
+from conftest import emit_table
+
+from repro.experiments import e04_transform
+from repro.graph import generators as gen
+from repro.oracle.base import AdjacencyQuery, DegreeQuery, EdgeCountQuery, RandomEdgeQuery
+from repro.streams.stream import insertion_stream
+from repro.transform.insertion import InsertionStreamOracle
+
+
+def test_e04_emulated_pass_throughput(benchmark, capsys):
+    graph = gen.barabasi_albert(800, 5, rng=8)
+    stream = insertion_stream(graph, rng=9)
+    batch = (
+        [EdgeCountQuery()]
+        + [RandomEdgeQuery() for _ in range(50)]
+        + [DegreeQuery(v) for v in range(50)]
+        + [AdjacencyQuery(v, v + 1) for v in range(50)]
+    )
+
+    def one_pass():
+        oracle = InsertionStreamOracle(stream, rng=10)
+        return oracle.answer_batch(batch)
+
+    answers = benchmark(one_pass)
+    assert answers[0] == graph.m
+
+    emit_table(e04_transform.run(fast=True), "e04_transform", capsys)

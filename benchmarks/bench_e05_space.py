@@ -1,0 +1,23 @@
+"""E5 bench: sampler batch on G(n,m) + the space-scaling table."""
+
+from conftest import emit_table
+
+from repro.experiments import e05_space_scaling
+from repro.graph import generators as gen
+from repro.patterns import pattern as pattern_zoo
+from repro.streaming.three_pass import sample_copies_stream
+from repro.streams.stream import insertion_stream
+
+
+def test_e05_gnm_sampler_batch(benchmark, capsys):
+    graph = gen.gnm(40, 240, rng=11)
+    pattern = pattern_zoo.triangle()
+
+    def run_batch():
+        stream = insertion_stream(graph, rng=12)
+        return sample_copies_stream(stream, pattern, instances=500, rng=13)
+
+    outputs = benchmark(run_batch)
+    assert len(outputs) == 500
+
+    emit_table(e05_space_scaling.run(fast=True), "e05_space_scaling", capsys)

@@ -1,0 +1,30 @@
+"""E6 bench: one ERS streaming run + the Theorem 2 table."""
+
+from conftest import emit_table
+
+from repro.experiments import e06_ers
+from repro.graph import generators as gen
+from repro.graph.degeneracy import degeneracy
+from repro.exact.cliques import count_cliques
+from repro.streaming.ers.counter import count_cliques_stream
+from repro.streaming.ers.params import ErsParameters
+from repro.streams.stream import insertion_stream
+
+
+def test_e06_ers_run(benchmark, capsys):
+    graph = gen.barabasi_albert(150, 3, rng=14)
+    lam = degeneracy(graph)
+    truth = max(1, count_cliques(graph, 3))
+    params = ErsParameters(r=3, degeneracy_bound=lam, outer_repetitions=3, sample_cap=1500)
+
+    def run_counter():
+        stream = insertion_stream(graph, rng=15)
+        return count_cliques_stream(
+            stream, r=3, degeneracy_bound=lam, lower_bound=truth,
+            params=params, rng=16,
+        )
+
+    result = benchmark(run_counter)
+    assert result.passes <= 15
+
+    emit_table(e06_ers.run(fast=True), "e06_ers", capsys)

@@ -1,0 +1,33 @@
+"""E7 bench: baseline throughput + the related-work landscape table."""
+
+from conftest import emit_table
+
+from repro.baselines.triest import triest_count
+from repro.baselines.cycle_sketch import sketch_count_triangles
+from repro.experiments import e07_baselines
+from repro.graph import generators as gen
+from repro.streams.stream import insertion_stream
+
+
+def test_e07_triest_throughput(benchmark, capsys):
+    graph = gen.barabasi_albert(1500, 5, rng=17)
+
+    def run_triest():
+        stream = insertion_stream(graph, rng=18)
+        return triest_count(stream, capacity=800, rng=19)
+
+    result = benchmark(run_triest)
+    assert result.passes == 1
+
+    emit_table(e07_baselines.run(fast=True), "e07_baselines", capsys)
+
+
+def test_e07_hom_sketch_throughput(benchmark):
+    graph = gen.gnp(80, 0.2, rng=20)
+
+    def run_sketch():
+        stream = insertion_stream(graph, rng=21)
+        return sketch_count_triangles(stream, sketches=16, rng=22)
+
+    result = benchmark(run_sketch)
+    assert result.passes == 1

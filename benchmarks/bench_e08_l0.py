@@ -1,0 +1,22 @@
+"""E8 bench: ℓ0-sampler update/sample cycle + the Lemma 7 table."""
+
+from conftest import emit_table
+
+from repro.experiments import e08_l0_sampler
+from repro.sketch.l0 import L0Sampler
+
+
+def test_e08_l0_update_sample_cycle(benchmark, capsys):
+    updates = [(item * 37 % 4096, 1) for item in range(300)]
+    deletes = [(item * 37 % 4096, -1) for item in range(0, 300, 2)]
+
+    def cycle():
+        sampler = L0Sampler(4096, rng=23, repetitions=4)
+        for item, delta in updates + deletes:
+            sampler.update(item, delta)
+        return sampler.sample()
+
+    result = benchmark(cycle)
+    assert result is None or 0 <= result < 4096
+
+    emit_table(e08_l0_sampler.run(fast=True), "e08_l0_sampler", capsys)

@@ -1,0 +1,20 @@
+"""E9 bench: core decomposition speed + the degeneracy landscape table."""
+
+from conftest import emit_table
+
+from repro.experiments import e09_degeneracy
+from repro.graph import generators as gen
+from repro.graph.degeneracy import core_decomposition
+
+
+def test_e09_core_decomposition_speed(benchmark, capsys):
+    graph = gen.barabasi_albert(5000, 5, rng=24)
+
+    def decompose():
+        return core_decomposition(graph)
+
+    ordering, cores, lam = benchmark(decompose)
+    assert len(ordering) == graph.n
+    assert lam <= 5
+
+    emit_table(e09_degeneracy.run(fast=True), "e09_degeneracy", capsys)

@@ -1,0 +1,30 @@
+"""E10 bench: cover LP + decomposition DP speed + the zoo table."""
+
+from conftest import emit_table
+
+from repro.experiments import e10_covers
+from repro.graph import generators as gen
+from repro.patterns.decomposition import decompose
+from repro.patterns.edge_cover import fractional_edge_cover_number
+
+
+def test_e10_cover_lp_speed(benchmark, capsys):
+    graph = gen.complete_graph(8)
+
+    def solve():
+        return fractional_edge_cover_number(graph)
+
+    rho = benchmark(solve)
+    assert rho == 4.0
+
+    emit_table(e10_covers.run(fast=True), "e10_covers", capsys)
+
+
+def test_e10_decomposition_dp_speed(benchmark):
+    graph = gen.complete_graph(9)
+
+    def run_dp():
+        return decompose(graph)
+
+    decomposition = benchmark(run_dp)
+    assert float(decomposition.cost) == 4.5

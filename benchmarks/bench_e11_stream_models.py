@@ -1,0 +1,38 @@
+"""E11 bench: model-specific counter throughput + the stream-models table."""
+
+from conftest import emit_table
+
+from repro.baselines.order_models import (
+    adjacency_list_triangle_count,
+    random_order_triangle_count,
+)
+from repro.experiments import e11_stream_models
+from repro.graph import generators as gen
+from repro.streams.models import adjacency_list_stream, random_order_stream
+
+
+def test_e11_random_order_throughput(benchmark, capsys):
+    graph = gen.barabasi_albert(1200, 5, rng=61)
+
+    def run_counter():
+        stream = random_order_stream(graph, rng=62)
+        return random_order_triangle_count(
+            stream, prefix_fraction=0.5, sample_probability=0.3, rng=63
+        )
+
+    result = benchmark(run_counter)
+    assert result.passes == 1
+
+    emit_table(e11_stream_models.run(fast=True), "e11_stream_models", capsys)
+
+
+def test_e11_adjacency_list_throughput(benchmark):
+    graph = gen.barabasi_albert(800, 5, rng=64)
+    stream = adjacency_list_stream(graph, rng=65)
+
+    def run_counter():
+        stream.reset_pass_count()
+        return adjacency_list_triangle_count(stream, wedge_samples=200, rng=66)
+
+    result = benchmark(run_counter)
+    assert result.passes == 2

@@ -1,0 +1,22 @@
+"""E12 bench: 2-pass counter throughput + the 2-vs-3-pass table."""
+
+from conftest import emit_table
+
+from repro.experiments import e12_two_pass
+from repro.graph import generators as gen
+from repro.patterns import pattern as zoo
+from repro.streaming.two_pass import count_subgraphs_two_pass
+from repro.streams.stream import insertion_stream
+
+
+def test_e12_two_pass_throughput(benchmark, capsys):
+    graph = gen.gnp(60, 0.25, rng=71)
+
+    def run_counter():
+        stream = insertion_stream(graph, rng=72)
+        return count_subgraphs_two_pass(stream, zoo.path(3), trials=2000, rng=73)
+
+    result = benchmark(run_counter)
+    assert result.passes == 2
+
+    emit_table(e12_two_pass.run(fast=True), "e12_two_pass", capsys)

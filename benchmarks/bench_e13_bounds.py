@@ -1,0 +1,27 @@
+"""E13 bench: LP cover solve throughput + the bound-landscape table."""
+
+from conftest import emit_table
+
+from repro.experiments import e13_bounds
+from repro.graph.graph import Graph
+from repro.patterns.edge_cover import (
+    fractional_edge_cover_number,
+    fractional_vertex_cover_number,
+)
+from repro.patterns import pattern as zoo
+
+
+def test_e13_cover_lp_throughput(benchmark, capsys):
+    pattern = zoo.wheel(6)
+
+    def solve_covers():
+        graph = Graph(pattern.graph.n, pattern.graph.edges())
+        return (
+            fractional_edge_cover_number(graph),
+            fractional_vertex_cover_number(graph),
+        )
+
+    rho, tau = benchmark(solve_covers)
+    assert rho > 0 and tau > 0
+
+    emit_table(e13_bounds.run(fast=True), "e13_bounds", capsys)

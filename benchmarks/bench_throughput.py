@@ -1,0 +1,75 @@
+"""Stream-throughput benches: the cost model behind repro band 4/5.
+
+The calibration note for this reproduction ("easy to code but slow on
+large edge streams") is about exactly these numbers: elements/second
+through the pass loop.  Two regimes matter:
+
+* the oracle pass loop with *many* concurrent f1/f3 queries — this is
+  where the skip-ahead reservoir bank turns O(m·K) coin flips into
+  O(m + K log m) heap wakes (see ``repro.sketch.reservoir``);
+* the plain baselines (single reservoir, TRIEST) as a floor.
+"""
+
+from conftest import emit_table
+
+from repro.experiments.tables import Table
+from repro.graph import generators as gen
+from repro.sketch.reservoir import SingleReservoir, SkipAheadReservoirBank
+from repro.streaming.three_pass import count_subgraphs_insertion_only
+from repro.patterns import pattern as zoo
+from repro.streams.stream import insertion_stream
+
+
+def test_throughput_skip_ahead_bank(benchmark):
+    # 2000 concurrent single-item reservoirs over a 20k stream.
+    def run_bank():
+        bank = SkipAheadReservoirBank(2000, rng=1)
+        for item in range(20_000):
+            bank.offer(item)
+        return bank
+
+    bank = benchmark(run_bank)
+    assert bank.count == 20_000
+
+
+def test_throughput_naive_reservoirs_for_scale(benchmark):
+    # The O(m*K) naive grid at 1/20 of the bank's K, for comparison.
+    def run_naive():
+        reservoirs = [SingleReservoir(rng=i) for i in range(100)]
+        for item in range(20_000):
+            for reservoir in reservoirs:
+                reservoir.offer(item)
+        return reservoirs
+
+    reservoirs = benchmark(run_naive)
+    assert all(r.count == 20_000 for r in reservoirs)
+
+
+def test_throughput_three_pass_large_stream(benchmark, capsys):
+    graph = gen.barabasi_albert(4000, 5, rng=2)
+
+    def run_counter():
+        stream = insertion_stream(graph, rng=3)
+        return count_subgraphs_insertion_only(
+            stream, zoo.triangle(), trials=3000, rng=4
+        )
+
+    result = benchmark.pedantic(run_counter, rounds=1, iterations=1)
+    assert result.passes == 3
+
+    # A small scaling table: elements/second at three stream sizes.
+    import time
+
+    table = Table(
+        "Throughput: 3-pass triangle counter (trials=2000)",
+        ["n", "m", "stream elements x passes", "seconds", "elements/s"],
+    )
+    for n in (1000, 2000, 4000):
+        g = gen.barabasi_albert(n, 5, rng=5)
+        stream = insertion_stream(g, rng=6)
+        start = time.perf_counter()
+        count_subgraphs_insertion_only(stream, zoo.triangle(), trials=2000, rng=7)
+        elapsed = time.perf_counter() - start
+        processed = 3 * g.m
+        table.add_row(n, g.m, processed, elapsed, processed / elapsed)
+    emit_table(table, "throughput", capsys)

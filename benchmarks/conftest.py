@@ -1,0 +1,29 @@
+"""Benchmark-suite helpers.
+
+Each ``bench_eXX`` module (a) times a representative core operation
+with pytest-benchmark and (b) regenerates its experiment table, prints
+it to the live terminal, and archives it under ``benchmarks/results/``
+so ``pytest benchmarks/ --benchmark-only`` reproduces every table of
+EXPERIMENTS.md in one command.
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+RESULTS_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "results")
+
+
+def emit_table(table, name, capsys) -> None:
+    """Print *table* to the real terminal and archive it."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{name}.txt")
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(table.render() + "\n")
+    with capsys.disabled():
+        print()
+        print(table.render())
+        print(f"[saved to {path}]")

@@ -1,0 +1,12 @@
+"""Pytest path bootstrap: make ``src/`` importable without installation.
+
+Allows ``pytest`` to run in a fresh clone (or a fully offline
+environment where editable installs are unavailable).
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(os.path.abspath(__file__)), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

@@ -1,0 +1,69 @@
+"""Turnstile counting over substreams that cannot be consolidated.
+
+The paper motivates the turnstile model with streams "split into
+multiple substreams that cannot be joined for privacy reasons".  This
+example simulates that: an edge-update log (with insertions *and*
+deletions — e.g. friendships formed and dissolved) is sharded across
+three data holders.  No holder may ship raw edges to another, but each
+can run the same 3-pass turnstile algorithm on its own shard; because
+every query the algorithm asks (ℓ0 samples, degree counters, adjacency
+flags — all linear sketches) is mergeable, a coordinator could combine
+shard sketches without seeing edges.  Here we demonstrate the per-
+shard counting plus the whole-log turnstile run as the reference.
+
+Run:  python examples/privacy_split_turnstile.py
+"""
+
+import repro
+from repro.exact.subgraphs import count_subgraphs
+
+
+def main() -> None:
+    # The "final" friendship graph after churn.
+    graph = repro.generators.gnp(45, 0.15, rng=5)
+    triangle = repro.patterns.triangle()
+    truth = count_subgraphs(graph, triangle)
+    print(f"final graph: n={graph.n}, m={graph.m}, exact #T={truth}")
+
+    # The full update log: friendships form and dissolve over time.
+    log = repro.turnstile_churn_stream(graph, churn_edges=80, rng=6)
+    print(f"update log: {log.length} updates ({log.length - graph.m} churn)")
+
+    # Whole-log turnstile counting (Theorem 1): the estimate must track
+    # the final graph, not the churn.
+    whole = repro.count_subgraphs_turnstile(
+        log, triangle, trials=1500, rng=7, sampler_repetitions=4
+    )
+    print(
+        f"whole-log 3-pass turnstile estimate: {whole.estimate:.0f} "
+        f"(error {whole.error_vs(truth):.1%})"
+    )
+
+    # Shard the log by edge across three holders; each shard is a valid
+    # turnstile stream (an edge's insertions/deletions stay together).
+    shards = repro.split_substreams(log, 3, rng=8)
+    print()
+    total = 0.0
+    for index, shard in enumerate(shards):
+        shard_graph = shard.final_graph()
+        shard_truth = count_subgraphs(shard_graph, triangle)
+        estimate = repro.count_subgraphs_turnstile(
+            shard, triangle, trials=1500, rng=100 + index, sampler_repetitions=4
+        )
+        total += estimate.estimate
+        print(
+            f"shard {index}: {shard.length:4d} updates, "
+            f"local #T={shard_truth:4d}, estimate={estimate.estimate:8.1f} "
+            f"(3 passes, {estimate.space_words} words)"
+        )
+    print()
+    print(
+        "note: triangles crossing shards are invisible to per-shard counts "
+        f"(sum of locals = {total:.0f} <= whole-log estimate {whole.estimate:.0f}); "
+        "counting them requires the mergeable-sketch coordinator, which the "
+        "linearity of every turnstile query enables."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+"""Motif census of a social network from an edge stream.
+
+The paper's introduction motivates subgraph counting with transitivity
+and clustering coefficients of social networks and motif detection.
+This example runs a *motif census*: it estimates the counts of several
+small patterns (wedges, triangles, 4-cycles, 4-cliques) over one
+simulated social network using the 3-pass algorithm — the same three
+passes are shared by all trial instances of one pattern — and derives
+the network's transitivity from the streaming estimates alone.
+
+Run:  python examples/social_network_motifs.py
+"""
+
+import repro
+from repro.exact.subgraphs import count_subgraphs
+from repro.experiments.tables import Table
+
+
+def main() -> None:
+    # Power-law-cluster graph: heavy-tailed degrees + real clustering,
+    # the standard stand-in for a friendship network.
+    graph = repro.generators.power_law_cluster(600, 5, 0.45, rng=99)
+    print(f"network: n={graph.n}, m={graph.m}, degeneracy={repro.degeneracy(graph)}")
+
+    motifs = [
+        ("wedge (P3)", repro.patterns.path(3), 25000),
+        ("triangle", repro.patterns.triangle(), 25000),
+        ("square (C4)", repro.patterns.cycle(4), 60000),
+        ("clique K4", repro.patterns.clique(4), 60000),
+    ]
+
+    table = Table(
+        "streaming motif census (3 passes per motif)",
+        ["motif", "rho(H)", "exact", "estimate", "rel_err", "trials"],
+    )
+    estimates = {}
+    for name, pattern, trials in motifs:
+        truth = count_subgraphs(graph, pattern)
+        stream = repro.insertion_stream(graph, rng=hash(name) % 10000)
+        result = repro.count_subgraphs_insertion_only(
+            stream, pattern, trials=trials, rng=hash(name) % 7919
+        )
+        estimates[name] = result.estimate
+        table.add_row(
+            name,
+            pattern.rho(),
+            truth,
+            result.estimate,
+            result.error_vs(truth) if truth else float("nan"),
+            trials,
+        )
+    print()
+    print(table.render())
+
+    # Transitivity = 3 * #triangles / #wedges, from streaming data only.
+    if estimates["wedge (P3)"] > 0:
+        transitivity = 3.0 * estimates["triangle"] / estimates["wedge (P3)"]
+        from repro.exact.triangles import global_clustering_coefficient
+
+        print()
+        print(f"streaming transitivity estimate: {transitivity:.4f}")
+        print(f"exact transitivity:              {global_clustering_coefficient(graph):.4f}")
+
+
+if __name__ == "__main__":
+    main()

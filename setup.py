@@ -1,0 +1,26 @@
+"""Setup shim.
+
+The environment this repository targets can be fully offline; PEP 660
+editable installs then fail because pip cannot fetch the ``wheel``
+build dependency.  This classic setup.py enables
+
+    python setup.py develop
+
+as an offline-safe equivalent of ``pip install -e .``.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="0.1.0",
+    description=(
+        "Reproduction of 'Approximately Counting Subgraphs in Data Streams' "
+        "(Fichtenberger & Peng, PODS 2022)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+    install_requires=["numpy", "scipy"],
+    entry_points={"console_scripts": ["repro = repro.cli:main"]},
+)

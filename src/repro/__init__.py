@@ -1,0 +1,128 @@
+"""repro — Approximately Counting Subgraphs in Data Streams.
+
+A from-scratch reproduction of Fichtenberger & Peng (PODS 2022,
+arXiv:2203.14225): streaming algorithms for (1±ε)-approximate subgraph
+counting, built around a generic transformation from round-adaptive
+sublinear-time query algorithms to multi-pass streaming algorithms.
+
+Public API tour
+---------------
+Graphs and streams::
+
+    from repro import Graph, generators, insertion_stream
+    graph = generators.barabasi_albert(1000, 5, rng=1)
+    stream = insertion_stream(graph, rng=2)
+
+Patterns (the target subgraph H and its invariants)::
+
+    from repro import patterns
+    triangle = patterns.triangle()
+    triangle.rho()            # fractional edge cover, Definition 3
+    triangle.decomposition()  # Lemma 4 odd-cycle/star decomposition
+
+The headline algorithms::
+
+    from repro import (
+        count_subgraphs_insertion_only,   # Theorem 17: 3 passes
+        count_subgraphs_turnstile,        # Theorem 1: 3 passes, deletions
+        count_cliques_stream,             # Theorem 2: 5r passes, degeneracy
+    )
+
+Exact ground truth::
+
+    from repro import count_subgraphs_exact
+"""
+
+from repro.errors import (
+    EstimationError,
+    GraphError,
+    OracleError,
+    PatternError,
+    ReproError,
+    SketchError,
+    StreamError,
+)
+from repro.graph.graph import Graph
+from repro.graph import generators
+from repro.graph.degeneracy import core_decomposition, degeneracy, degeneracy_ordering
+from repro.patterns import pattern as patterns
+from repro.patterns.pattern import Pattern
+from repro.exact.subgraphs import count_subgraphs as count_subgraphs_exact
+from repro.exact.triangles import count_triangles
+from repro.exact.cliques import count_cliques
+from repro.streams.stream import EdgeStream, Update, insertion_stream, turnstile_stream
+from repro.streams.generators import (
+    adversarial_order_stream,
+    split_substreams,
+    stream_from_graph,
+    turnstile_churn_stream,
+)
+from repro.streaming.three_pass import (
+    count_subgraphs_insertion_only,
+    sample_copies_stream,
+)
+from repro.streaming.turnstile import count_subgraphs_turnstile
+from repro.streaming.two_pass import count_subgraphs_two_pass, is_star_decomposable
+from repro.streaming.adaptive import count_subgraphs_unknown
+from repro.streams.models import (
+    AdjacencyListStream,
+    adjacency_list_stream,
+    random_order_stream,
+)
+from repro.transform.profile import profile_rounds
+from repro.streaming.uniform import (
+    UniformSampleResult,
+    sample_subgraph_uniformly_stream,
+)
+from repro.streaming.ers.counter import count_cliques_query_model, count_cliques_stream
+from repro.streaming.ers.params import ErsParameters
+from repro.estimate.result import EstimateResult
+from repro.estimate.search import geometric_search
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "ReproError",
+    "GraphError",
+    "PatternError",
+    "StreamError",
+    "OracleError",
+    "SketchError",
+    "EstimationError",
+    "Graph",
+    "generators",
+    "degeneracy",
+    "degeneracy_ordering",
+    "core_decomposition",
+    "patterns",
+    "Pattern",
+    "count_subgraphs_exact",
+    "count_triangles",
+    "count_cliques",
+    "EdgeStream",
+    "Update",
+    "insertion_stream",
+    "turnstile_stream",
+    "stream_from_graph",
+    "adversarial_order_stream",
+    "turnstile_churn_stream",
+    "split_substreams",
+    "count_subgraphs_insertion_only",
+    "count_subgraphs_turnstile",
+    "count_subgraphs_two_pass",
+    "count_subgraphs_unknown",
+    "is_star_decomposable",
+    "AdjacencyListStream",
+    "adjacency_list_stream",
+    "random_order_stream",
+    "profile_rounds",
+    "sample_copies_stream",
+    "sample_subgraph_uniformly_stream",
+    "UniformSampleResult",
+    "count_cliques_stream",
+    "count_cliques_query_model",
+    "ErsParameters",
+    "EstimateResult",
+    "geometric_search",
+    "__version__",
+]

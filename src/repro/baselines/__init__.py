@@ -1,0 +1,45 @@
+"""Baseline streaming counters from the related work (§1).
+
+These give the experiment suite comparison points on the space/pass/
+accuracy landscape the paper positions itself in:
+
+* exact store-everything (1 pass, O(m) space);
+* TRIEST-style reservoir triangle estimation (1 pass, fixed memory);
+* Doulion edge sparsification (1 pass, p·m expected space);
+* MVV-style heavy/light multi-pass triangle counting (3/4 passes) and
+  the 2-pass wedge-closure variant;
+* the Kane–Mehlhorn / Manjunath-style complex-valued homomorphism
+  sketch (1 pass, turnstile) for cycle counting;
+* §1.3 model-specific counters: 1-pass random-order and 2-pass
+  adjacency-list triangle estimation.
+"""
+
+from repro.baselines.exact_stream import exact_stream_count
+from repro.baselines.triest import triest_count
+from repro.baselines.doulion import doulion_count
+from repro.baselines.mvv import mvv_triangle_count
+from repro.baselines.mvv_two_pass import mvv_two_pass_triangle_count
+from repro.baselines.order_models import (
+    adjacency_list_star_count,
+    adjacency_list_triangle_count,
+    random_order_triangle_count,
+)
+from repro.baselines.cycle_sketch import (
+    HomomorphismSketch,
+    sketch_count_triangles,
+    sketch_count_four_cycles,
+)
+
+__all__ = [
+    "exact_stream_count",
+    "triest_count",
+    "doulion_count",
+    "mvv_triangle_count",
+    "mvv_two_pass_triangle_count",
+    "adjacency_list_star_count",
+    "adjacency_list_triangle_count",
+    "random_order_triangle_count",
+    "HomomorphismSketch",
+    "sketch_count_triangles",
+    "sketch_count_four_cycles",
+]

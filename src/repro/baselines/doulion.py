@@ -1,0 +1,57 @@
+"""Doulion: count triangles on a coin-flip sparsified stream.
+
+Tsourakakis et al. (KDD 2009): keep each edge independently with
+probability p, count triangles exactly in the sparsified graph, and
+rescale by 1/p^3.  One pass, expected p·m stored edges, unbiased; the
+classic accuracy-for-space dial.  Generalized here to any pattern H
+(rescale by p^{-|E(H)|}).
+"""
+
+from __future__ import annotations
+
+from repro.errors import EstimationError
+from repro.estimate.result import EstimateResult
+from repro.exact.subgraphs import count_subgraphs
+from repro.graph.graph import Graph
+from repro.patterns.pattern import Pattern, triangle
+from repro.streams.stream import EdgeStream
+from repro.utils.rng import RandomSource, ensure_rng
+from repro.utils.validation import check_fraction
+
+
+def doulion_count(
+    stream: EdgeStream,
+    keep_probability: float,
+    pattern: Pattern = None,
+    rng: RandomSource = None,
+) -> EstimateResult:
+    """Sparsify-and-count estimate of #H (default H = triangle)."""
+    check_fraction(keep_probability, "keep_probability")
+    if pattern is None:
+        pattern = triangle()
+    if stream.allows_deletions:
+        raise EstimationError(
+            "Doulion sparsification assumes an insertion-only stream"
+        )
+    random_state = ensure_rng(rng)
+    stream.reset_pass_count()
+
+    kept = []
+    for update in stream.updates():
+        if random_state.random() < keep_probability:
+            kept.append(update.edge)
+
+    sparse = Graph(stream.n, kept)
+    raw = count_subgraphs(sparse, pattern)
+    scale = keep_probability ** (-pattern.num_edges)
+    return EstimateResult(
+        algorithm="doulion",
+        pattern=pattern.name,
+        estimate=raw * scale,
+        passes=stream.passes_used,
+        space_words=len(kept),
+        trials=1,
+        successes=1,
+        m=stream.net_edge_count,
+        details={"keep_probability": keep_probability, "kept_edges": float(len(kept))},
+    )

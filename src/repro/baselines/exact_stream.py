@@ -1,0 +1,40 @@
+"""The trivial baseline: store the whole stream, count exactly.
+
+One pass, O(m) words — the point every sublinear-space algorithm is
+measured against.  Works for any pattern and for turnstile streams.
+"""
+
+from __future__ import annotations
+
+from repro.estimate.result import EstimateResult
+from repro.exact.subgraphs import count_subgraphs
+from repro.patterns.pattern import Pattern
+from repro.streams.stream import EdgeStream
+
+
+def exact_stream_count(stream: EdgeStream, pattern: Pattern) -> EstimateResult:
+    """Materialize the final graph in one pass and count #H exactly."""
+    stream.reset_pass_count()
+    present = set()
+    for update in stream.updates():
+        edge = update.edge
+        if update.delta > 0:
+            present.add(edge)
+        else:
+            present.discard(edge)
+    graph_edges = sorted(present)
+
+    from repro.graph.graph import Graph
+
+    graph = Graph(stream.n, graph_edges)
+    exact = count_subgraphs(graph, pattern)
+    return EstimateResult(
+        algorithm="exact-store-all",
+        pattern=pattern.name,
+        estimate=float(exact),
+        passes=stream.passes_used,
+        space_words=len(graph_edges),
+        trials=1,
+        successes=1,
+        m=len(graph_edges),
+    )

@@ -1,0 +1,282 @@
+"""Triangle counters for the §1.3 stream models.
+
+Two algorithms that exploit structure the arbitrary-order model does
+not offer, used by experiment E11 to measure what that structure buys:
+
+* :func:`random_order_triangle_count` — a **1-pass** estimator in the
+  random-order model [MVV16-style]: keep a Bernoulli(p) sample of the
+  first k stream edges and watch the remaining m−k edges for wedge
+  closures.  Under a uniformly random arrival order, a fixed triangle
+  contributes a closed sampled wedge with probability exactly
+
+      q = 3 · p² · k(k−1)(m−k) / (m(m−1)(m−2)),
+
+  (3 ways to pick which of its edges closes; the two wedge edges must
+  land in the prefix and the closer in the suffix; the two prefix
+  edges are each retained with probability p), so X/q is unbiased.
+  One pass — impossible at this space in the arbitrary-order model,
+  which is the point of §1.3.
+
+* :func:`adjacency_list_triangle_count` — a **2-pass** estimator in
+  the adjacency-list model [MVV16/Kal+19-style]: pass 1 reservoir-
+  samples uniform *wedges* (a vertex's list arrives contiguously, so
+  the t-th neighbor creates t−1 new wedges centered there and a
+  per-sampler neighbor reservoir supplies a uniform partner); pass 2
+  checks which sampled wedges close.  With W = Σ_v C(d(v), 2) total
+  wedges, E[closed fraction] = 3#T/W, so W·fraction/3 is unbiased.
+
+* :func:`adjacency_list_star_count` — **exact** #S_k in one
+  adjacency-list pass and O(1) words: contiguous lists reveal d(v) at
+  list end, and #S_k = Σ_v C(d(v), k).  No arbitrary-order algorithm
+  can do this in sublinear space.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.errors import EstimationError
+from repro.estimate.result import EstimateResult
+from repro.graph.graph import Edge, normalize_edge
+from repro.sketch.reservoir import SingleReservoir
+from repro.streams.models import AdjacencyListStream
+from repro.streams.stream import EdgeStream
+from repro.utils.rng import RandomSource, derive_rng, ensure_rng
+
+
+def random_order_triangle_count(
+    stream: EdgeStream,
+    prefix_fraction: float = 0.5,
+    sample_probability: float = 1.0,
+    rng: RandomSource = None,
+) -> EstimateResult:
+    """One-pass triangle estimate under the random-order promise.
+
+    Parameters
+    ----------
+    stream:
+        Insertion-only stream whose order is a uniformly random
+        permutation (e.g. from
+        :func:`repro.streams.models.random_order_stream`).  The
+        estimator is unbiased *only* under that promise — on an
+        adversarial order it can be arbitrarily wrong, which E11
+        demonstrates.
+    prefix_fraction:
+        Fraction of the stream treated as the wedge-collection prefix.
+    sample_probability:
+        p — Bernoulli retention probability for prefix edges; the
+        expected space is p·k + (#sampled wedges) words.
+    """
+    if not 0.0 < prefix_fraction < 1.0:
+        raise EstimationError(f"prefix fraction must be in (0, 1), got {prefix_fraction}")
+    if not 0.0 < sample_probability <= 1.0:
+        raise EstimationError(
+            f"sample probability must be in (0, 1], got {sample_probability}"
+        )
+    if stream.allows_deletions:
+        raise EstimationError("the random-order baseline is insertion-only")
+    m = stream.net_edge_count
+    if m < 3:
+        raise EstimationError("need at least 3 edges to form a triangle")
+    random_state = ensure_rng(rng)
+    stream.reset_pass_count()
+
+    k = max(2, int(round(prefix_fraction * m)))
+    if k >= m:
+        k = m - 1
+
+    kept: Set[Edge] = set()
+    incident: Dict[int, List[int]] = {}
+    closures: Dict[Edge, int] = {}
+    position = 0
+    closed = 0
+    for update in stream.updates():
+        if position < k:
+            if random_state.random() < sample_probability:
+                u, v = update.edge
+                kept.add(update.edge)
+                incident.setdefault(u, []).append(v)
+                incident.setdefault(v, []).append(u)
+        else:
+            if position == k:
+                # Prefix complete: index the closing edge of every
+                # sampled wedge before reading the suffix.
+                for center, around in incident.items():
+                    for i in range(len(around)):
+                        for j in range(i + 1, len(around)):
+                            if around[i] != around[j]:
+                                pair = normalize_edge(around[i], around[j])
+                                closures[pair] = closures.get(pair, 0) + 1
+            closed += closures.get(update.edge, 0)
+        position += 1
+
+    p = sample_probability
+    detection = 3.0 * p * p * (k * (k - 1) * (m - k)) / (m * (m - 1) * (m - 2))
+    estimate = closed / detection
+    return EstimateResult(
+        algorithm="random-order-1pass",
+        pattern="triangle",
+        estimate=estimate,
+        passes=stream.passes_used,
+        space_words=2 * len(kept) + len(closures),
+        trials=sum(closures.values()),
+        successes=closed,
+        m=m,
+        details={
+            "prefix_edges": float(k),
+            "kept_edges": float(len(kept)),
+            "sampled_wedges": float(sum(closures.values())),
+            "detection_probability": detection,
+        },
+    )
+
+
+@dataclass
+class _WedgeSampler:
+    """One uniform-wedge reservoir over an adjacency-list pass."""
+
+    rng: object
+    wedges_seen: int = 0
+    current_owner: Optional[int] = None
+    partner_reservoir: Optional[SingleReservoir] = None
+    wedge: Optional[Tuple[int, int, int]] = None  # (u, center, w)
+
+    def observe(self, owner: int, neighbor: int) -> None:
+        if owner != self.current_owner:
+            self.current_owner = owner
+            self.partner_reservoir = SingleReservoir(derive_rng(self.rng, f"p{owner}"))
+        else:
+            # The new neighbor pairs with each previously seen one:
+            # t-1 new wedges, each equally likely to become the sample.
+            prior = self.partner_reservoir.count
+            if prior >= 1:
+                self.wedges_seen += prior
+                if self.rng.random() < prior / self.wedges_seen:
+                    partner = self.partner_reservoir.item
+                    self.wedge = (partner, owner, neighbor)
+        self.partner_reservoir.offer(neighbor)
+
+
+def adjacency_list_triangle_count(
+    stream: AdjacencyListStream,
+    wedge_samples: int,
+    rng: RandomSource = None,
+) -> EstimateResult:
+    """Two-pass triangle estimate in the adjacency-list model.
+
+    Pass 1 runs *wedge_samples* independent uniform-wedge reservoirs
+    (contiguous lists make per-center wedge enumeration streamable);
+    pass 2 checks closures.  The estimate is W · closed/(3·samples)
+    with W the exact wedge count, also accumulated in pass 1.
+    """
+    if wedge_samples < 1:
+        raise EstimationError(f"wedge samples must be >= 1, got {wedge_samples}")
+    random_state = ensure_rng(rng)
+    stream.reset_pass_count()
+
+    samplers = [
+        _WedgeSampler(rng=derive_rng(random_state, f"wedge-{i}"))
+        for i in range(wedge_samples)
+    ]
+    total_wedges = 0
+    list_progress: Dict[int, int] = {}
+    for item in stream.items():
+        seen = list_progress.get(item.owner, 0)
+        total_wedges += seen  # the (seen+1)-th neighbor adds `seen` wedges
+        list_progress[item.owner] = seen + 1
+        for sampler in samplers:
+            sampler.observe(item.owner, item.neighbor)
+
+    if total_wedges == 0:
+        return EstimateResult(
+            algorithm="adjacency-list-2pass",
+            pattern="triangle",
+            estimate=0.0,
+            passes=stream.passes_used,
+            space_words=3 * wedge_samples,
+            trials=wedge_samples,
+            m=stream.m,
+        )
+
+    needed: Dict[Edge, bool] = {}
+    for sampler in samplers:
+        if sampler.wedge is not None:
+            u, _, w = sampler.wedge
+            needed.setdefault(normalize_edge(u, w), False)
+    for item in stream.items():
+        pair = normalize_edge(item.owner, item.neighbor)
+        if pair in needed:
+            needed[pair] = True
+
+    closed = sum(
+        1
+        for sampler in samplers
+        if sampler.wedge is not None
+        and needed[normalize_edge(sampler.wedge[0], sampler.wedge[2])]
+    )
+    estimate = total_wedges * closed / (3.0 * wedge_samples)
+    return EstimateResult(
+        algorithm="adjacency-list-2pass",
+        pattern="triangle",
+        estimate=estimate,
+        passes=stream.passes_used,
+        space_words=3 * wedge_samples + len(needed),
+        trials=wedge_samples,
+        successes=closed,
+        m=stream.m,
+        details={
+            "total_wedges": float(total_wedges),
+            "closed_samples": float(closed),
+        },
+    )
+
+
+def adjacency_list_star_count(
+    stream: AdjacencyListStream, petals: int
+) -> EstimateResult:
+    """**Exact** #S_k in one adjacency-list pass and O(1) words.
+
+    Because each vertex's list is contiguous, d(v) is known the moment
+    the list ends, and #S_k = Σ_v C(d(v), k) accumulates on the fly —
+    no estimate, no randomness.  (For k = 1 both endpoints qualify as
+    the "center" of a single edge, so the sum is halved.)  This is the
+    starkest illustration of what the adjacency-list grouping buys: in
+    the arbitrary-order model the same count needs Ω(n) space to hold
+    the degree vector (every edge can touch every counter until the
+    stream ends).
+    """
+    if petals < 1:
+        raise EstimationError(f"stars need >= 1 petal, got {petals}")
+    stream.reset_pass_count()
+
+    total = 0
+    current_owner: Optional[int] = None
+    current_degree = 0
+
+    def close_list() -> int:
+        return math.comb(current_degree, petals)
+
+    for item in stream.items():
+        if item.owner != current_owner:
+            if current_owner is not None:
+                total += close_list()
+            current_owner = item.owner
+            current_degree = 0
+        current_degree += 1
+    if current_owner is not None:
+        total += close_list()
+    if petals == 1:
+        total //= 2
+
+    return EstimateResult(
+        algorithm="adjacency-list-exact-stars",
+        pattern=f"S{petals}",
+        estimate=float(total),
+        passes=stream.passes_used,
+        space_words=3,
+        trials=1,
+        successes=1 if total else 0,
+        m=stream.m,
+    )

@@ -1,0 +1,274 @@
+"""Command-line interface: ``python -m repro`` (or the ``repro`` script).
+
+Subcommands mirror the library's main entry points so the algorithms
+can be driven without writing Python:
+
+* ``generate`` — write a synthetic graph as an edge list;
+* ``exact``    — exact #H of an edge-list graph (ground truth);
+* ``count``    — the paper's streaming counters (3-pass insertion-only,
+  3-pass turnstile, or the 2-pass star-decomposable variant) on an
+  edge-list graph streamed in random order;
+* ``ers``      — Theorem 2's clique counter for low-degeneracy graphs;
+* ``covers``   — ρ(H), β(H), the Lemma 4 decomposition and f_T(H) for
+  a zoo pattern;
+* ``experiments`` — regenerate the E1–E13/A1 tables (delegates to
+  :mod:`repro.experiments.runner`).
+
+Patterns are named as in the zoo: ``edge``, ``triangle``, ``P3``/
+``P4``/..., ``C4``/``C5``/..., ``S2``/``S3``/..., ``K4``/``K5``/...,
+``M2``/..., plus ``paw``, ``diamond``, ``bull``, ``house``, ``bowtie``,
+``kite``, ``gem``, ``prism``, ``B2``/``B3`` (books), ``W4``/``W5``
+(wheels).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.errors import ReproError
+from repro.exact.subgraphs import count_subgraphs
+from repro.graph import generators as gen
+from repro.graph.degeneracy import degeneracy
+from repro.graph.graph import Graph
+from repro.graph.io import read_edge_list, write_edge_list
+from repro.patterns import pattern as zoo
+from repro.patterns.pattern import Pattern
+
+
+def parse_pattern(name: str) -> Pattern:
+    """Resolve a zoo pattern from its CLI name (see module docstring)."""
+    fixed = {
+        "edge": zoo.edge,
+        "triangle": zoo.triangle,
+        "paw": zoo.paw,
+        "diamond": zoo.diamond,
+        "bull": zoo.bull,
+        "house": zoo.house,
+        "bowtie": zoo.bowtie,
+        "kite": zoo.kite,
+        "gem": zoo.gem,
+        "prism": zoo.prism,
+    }
+    if name in fixed:
+        return fixed[name]()
+    families = {
+        "P": lambda k: zoo.path(k),
+        "C": lambda k: zoo.cycle(k),
+        "S": lambda k: zoo.star(k),
+        "K": lambda k: zoo.clique(k),
+        "M": lambda k: zoo.matching(k),
+        "B": lambda k: zoo.book(k),
+        "W": lambda k: zoo.wheel(k),
+    }
+    prefix, suffix = name[:1], name[1:]
+    if prefix in families and suffix.isdigit():
+        return families[prefix](int(suffix))
+    raise ReproError(
+        f"unknown pattern {name!r}; see `repro covers --list` for options"
+    )
+
+
+def _known_pattern_names() -> List[str]:
+    return sorted(p.name for p in zoo.extended_zoo())
+
+
+def _generate(args: argparse.Namespace) -> int:
+    builders = {
+        "gnp": lambda: gen.gnp(args.n, args.p, rng=args.seed),
+        "gnm": lambda: gen.gnm(args.n, args.m, rng=args.seed),
+        "ba": lambda: gen.barabasi_albert(args.n, args.attach, rng=args.seed),
+        "plc": lambda: gen.power_law_cluster(args.n, args.attach, args.p, args.seed),
+        "ws": lambda: gen.watts_strogatz(args.n, args.attach, args.p, rng=args.seed),
+        "rgg": lambda: gen.random_geometric(args.n, args.p, rng=args.seed),
+        "grid": lambda: gen.grid_graph(args.n, args.m),
+        "karate": gen.karate_club,
+    }
+    graph = builders[args.family]()
+    write_edge_list(graph, args.output)
+    print(
+        f"wrote {args.family} graph: n={graph.n} m={graph.m} "
+        f"degeneracy={degeneracy(graph)} -> {args.output}"
+    )
+    return 0
+
+
+def _exact(args: argparse.Namespace) -> int:
+    graph = read_edge_list(args.graph)
+    pattern = parse_pattern(args.pattern)
+    print(count_subgraphs(graph, pattern))
+    return 0
+
+
+def _count(args: argparse.Namespace) -> int:
+    from repro.streaming.adaptive import count_subgraphs_unknown
+    from repro.streaming.three_pass import count_subgraphs_insertion_only
+    from repro.streaming.turnstile import count_subgraphs_turnstile
+    from repro.streaming.two_pass import count_subgraphs_two_pass
+    from repro.streams.generators import turnstile_churn_stream
+    from repro.streams.stream import insertion_stream
+
+    graph = read_edge_list(args.graph)
+    pattern = parse_pattern(args.pattern)
+    if args.adaptive:
+        stream = insertion_stream(graph, rng=args.seed)
+        result = count_subgraphs_unknown(
+            stream, pattern, epsilon=args.epsilon, rng=args.seed + 1
+        )
+    elif args.algorithm == "turnstile":
+        stream = turnstile_churn_stream(graph, args.churn, rng=args.seed)
+        result = count_subgraphs_turnstile(
+            stream, pattern, trials=args.trials, rng=args.seed + 1
+        )
+    elif args.algorithm == "two-pass":
+        stream = insertion_stream(graph, rng=args.seed)
+        result = count_subgraphs_two_pass(
+            stream, pattern, trials=args.trials, rng=args.seed + 1
+        )
+    else:
+        stream = insertion_stream(graph, rng=args.seed)
+        result = count_subgraphs_insertion_only(
+            stream, pattern, trials=args.trials, rng=args.seed + 1
+        )
+    print(result.summary())
+    if args.truth:
+        truth = count_subgraphs(graph, pattern)
+        print(f"exact=#{truth} rel_err={result.error_vs(truth):.4f}")
+    return 0
+
+
+def _ers(args: argparse.Namespace) -> int:
+    from repro.exact.cliques import count_cliques
+    from repro.streaming.ers.counter import count_cliques_stream
+    from repro.streams.stream import insertion_stream
+
+    graph = read_edge_list(args.graph)
+    lam = args.degeneracy if args.degeneracy else degeneracy(graph)
+    lower = args.lower_bound if args.lower_bound else max(1, count_cliques(graph, args.r) // 2)
+    stream = insertion_stream(graph, rng=args.seed)
+    result = count_cliques_stream(
+        stream,
+        r=args.r,
+        degeneracy_bound=lam,
+        lower_bound=lower,
+        epsilon=args.epsilon,
+        rng=args.seed + 1,
+    )
+    print(result.summary())
+    if args.truth:
+        truth = count_cliques(graph, args.r)
+        print(f"exact=#{truth} rel_err={result.error_vs(truth):.4f}")
+    return 0
+
+
+def _covers(args: argparse.Namespace) -> int:
+    if args.list:
+        print("\n".join(_known_pattern_names()))
+        return 0
+    if not args.pattern:
+        print("a pattern name is required unless --list is given", file=sys.stderr)
+        return 2
+    pattern = parse_pattern(args.pattern)
+    decomposition = pattern.decomposition()
+    print(f"pattern        {pattern.name}")
+    print(f"vertices/edges {pattern.num_vertices}/{pattern.num_edges}")
+    print(f"rho (LP)       {pattern.rho()}")
+    print(f"beta           {pattern.beta()}")
+    print(f"odd cycles     {list(decomposition.cycle_lengths)}")
+    print(f"star petals    {list(decomposition.star_petals)}")
+    print(f"f_T(H)         {pattern.family_count()}")
+    print(f"|Aut(H)|       {pattern.automorphism_count()}")
+    return 0
+
+
+def _experiments(args: argparse.Namespace) -> int:
+    from repro.experiments.runner import run_all
+
+    run_all(fast=not args.full, seed=args.seed, only=args.only or None,
+            markdown=args.markdown)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Streaming subgraph counting (Fichtenberger & Peng, PODS 2022)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    p_gen = commands.add_parser("generate", help="write a synthetic graph")
+    p_gen.add_argument("family", choices=["gnp", "gnm", "ba", "plc", "ws", "rgg", "grid", "karate"])
+    p_gen.add_argument("output", help="edge-list path to write")
+    p_gen.add_argument("--n", type=int, default=100, help="vertices (grid: rows)")
+    p_gen.add_argument("--m", type=int, default=300, help="edges (gnm) or grid cols")
+    p_gen.add_argument("--p", type=float, default=0.1, help="probability / radius")
+    p_gen.add_argument("--attach", type=int, default=4, help="BA/plc attachment, ws ring degree")
+    p_gen.add_argument("--seed", type=int, default=0)
+    p_gen.set_defaults(handler=_generate)
+
+    p_exact = commands.add_parser("exact", help="exact #H (ground truth)")
+    p_exact.add_argument("graph", help="edge-list path")
+    p_exact.add_argument("pattern", help="zoo pattern name")
+    p_exact.set_defaults(handler=_exact)
+
+    p_count = commands.add_parser("count", help="streaming #H estimate")
+    p_count.add_argument("graph", help="edge-list path")
+    p_count.add_argument("pattern", help="zoo pattern name")
+    p_count.add_argument(
+        "--algorithm",
+        choices=["insertion", "turnstile", "two-pass"],
+        default="insertion",
+    )
+    p_count.add_argument("--trials", type=int, default=5000)
+    p_count.add_argument("--adaptive", action="store_true",
+                         help="no lower bound: AGM start + geometric search (Lemma 21)")
+    p_count.add_argument("--epsilon", type=float, default=0.25,
+                         help="accuracy target for --adaptive probes")
+    p_count.add_argument("--churn", type=int, default=50, help="turnstile churn edges")
+    p_count.add_argument("--seed", type=int, default=0)
+    p_count.add_argument("--truth", action="store_true", help="also print exact #H")
+    p_count.set_defaults(handler=_count)
+
+    p_ers = commands.add_parser("ers", help="Theorem 2 clique counter")
+    p_ers.add_argument("graph", help="edge-list path")
+    p_ers.add_argument("--r", type=int, default=3, help="clique order")
+    p_ers.add_argument("--degeneracy", type=int, default=0, help="λ bound (0: compute)")
+    p_ers.add_argument("--lower-bound", type=float, default=0.0, help="L <= #K_r (0: exact/2)")
+    p_ers.add_argument("--epsilon", type=float, default=0.25)
+    p_ers.add_argument("--seed", type=int, default=0)
+    p_ers.add_argument("--truth", action="store_true", help="also print exact #K_r")
+    p_ers.set_defaults(handler=_ers)
+
+    p_covers = commands.add_parser("covers", help="ρ/β/decomposition of a pattern")
+    p_covers.add_argument("pattern", nargs="?", help="zoo pattern name")
+    p_covers.add_argument("--list", action="store_true", help="list known patterns")
+    p_covers.set_defaults(handler=_covers)
+
+    p_exp = commands.add_parser("experiments", help="regenerate E1-E12/A1 tables")
+    p_exp.add_argument("--only", nargs="*", help="experiment ids, e.g. e07 e11")
+    p_exp.add_argument("--full", action="store_true", help="full (slow) configurations")
+    p_exp.add_argument("--markdown", action="store_true")
+    p_exp.add_argument("--seed", type=int, default=2022)
+    p_exp.set_defaults(handler=_experiments)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    except FileNotFoundError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

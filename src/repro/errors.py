@@ -1,0 +1,60 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All library-raised exceptions derive from :class:`ReproError` so callers
+can catch everything from this package with a single ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all exceptions raised by :mod:`repro`."""
+
+
+class GraphError(ReproError):
+    """Raised for structurally invalid graph operations.
+
+    Examples: adding a self-loop, querying a vertex that does not
+    exist, or removing an edge that is not present.
+    """
+
+
+class PatternError(ReproError):
+    """Raised for invalid target patterns H.
+
+    Examples: a pattern with an isolated vertex (no edge cover
+    exists), or a decomposition request on an empty pattern.
+    """
+
+
+class StreamError(ReproError):
+    """Raised for invalid stream operations.
+
+    Examples: a turnstile stream that deletes a non-existent edge, or
+    reading more passes than a single-pass stream allows.
+    """
+
+
+class OracleError(ReproError):
+    """Raised when a query to a graph oracle is malformed.
+
+    Examples: asking for the i-th neighbor with ``i`` out of range, or
+    issuing a random-edge query against the (non-augmented) general
+    graph model.
+    """
+
+
+class SketchError(ReproError):
+    """Raised when a sketch is used inconsistently.
+
+    Examples: combining sketches with different seeds, or querying an
+    ℓ0-sampler whose recovery failed.
+    """
+
+
+class EstimationError(ReproError):
+    """Raised when an estimator cannot produce a value.
+
+    Examples: a zero trial budget, or a geometric search that
+    exhausted its range without finding a stable estimate.
+    """

@@ -1,0 +1,19 @@
+"""Estimation toolkit: trial budgets, concentration, result records."""
+
+from repro.estimate.concentration import (
+    chernoff_trials,
+    median_of_means,
+    relative_error,
+    wilson_interval,
+)
+from repro.estimate.result import EstimateResult
+from repro.estimate.search import geometric_search
+
+__all__ = [
+    "chernoff_trials",
+    "median_of_means",
+    "relative_error",
+    "wilson_interval",
+    "EstimateResult",
+    "geometric_search",
+]

@@ -1,0 +1,103 @@
+"""Concentration helpers: trial budgets and robust aggregation.
+
+Theorem 17 chooses k = 30 (2m)^ρ ln(n) / (ε² L) sampler instances so a
+Chernoff bound gives a (1±ε)-approximation with high probability.
+:func:`chernoff_trials` computes that budget (in THEORY mode) or a
+constant-factor-scaled version (PRACTICAL mode) that keeps laptop
+experiments tractable; experiments report accuracy as a function of
+the actual budget, which is the theoretically meaningful quantity.
+"""
+
+from __future__ import annotations
+
+import math
+import statistics
+from typing import List, Sequence
+
+from repro.errors import EstimationError
+from repro.utils.validation import check_fraction, check_positive
+
+
+class ParamMode:
+    """Constant-factor regime for trial budgets."""
+
+    THEORY = "theory"  # the paper's constants, verbatim
+    PRACTICAL = "practical"  # same shape, laptop-scale constants
+
+
+def chernoff_trials(
+    m: int,
+    rho: float,
+    epsilon: float,
+    n: int,
+    lower_bound: float,
+    mode: str = ParamMode.PRACTICAL,
+    practical_constant: float = 4.0,
+    cap: int = 2_000_000,
+) -> int:
+    """Sampler instances needed for a (1±ε)-approximation of #H.
+
+    THEORY mode returns the paper's ``30 (2m)^ρ ln(n) / (ε² L)``;
+    PRACTICAL replaces ``30 ln n`` with *practical_constant*.  Both
+    are capped (the cap exists so an over-optimistic lower bound
+    cannot request an absurd budget; hitting it is reported by the
+    caller as a truncated run).
+    """
+    check_positive(m, "m")
+    check_fraction(epsilon, "epsilon")
+    check_positive(lower_bound, "lower_bound")
+    base = (2.0 * m) ** rho / (epsilon**2 * lower_bound)
+    if mode == ParamMode.THEORY:
+        trials = 30.0 * math.log(max(n, 3)) * base
+    elif mode == ParamMode.PRACTICAL:
+        trials = practical_constant * base
+    else:
+        raise EstimationError(f"unknown parameter mode {mode!r}")
+    return max(1, min(cap, math.ceil(trials)))
+
+
+def relative_error(estimate: float, truth: float) -> float:
+    """|estimate - truth| / truth; infinity when the truth is zero."""
+    if truth == 0:
+        return math.inf if estimate != 0 else 0.0
+    return abs(estimate - truth) / truth
+
+
+def median_of_means(values: Sequence[float], groups: int) -> float:
+    """Median of *groups* equal-size block means.
+
+    Standard variance-to-high-probability amplification; the ERS
+    estimator uses a plain median over Θ(log n) repetitions
+    (Algorithm 2) and experiments use this for baseline sketches.
+    """
+    if not values:
+        raise EstimationError("median_of_means of an empty sequence")
+    if groups < 1:
+        raise EstimationError(f"groups must be >= 1, got {groups}")
+    groups = min(groups, len(values))
+    block = len(values) // groups
+    means: List[float] = []
+    for g in range(groups):
+        chunk = values[g * block : (g + 1) * block]
+        if chunk:
+            means.append(sum(chunk) / len(chunk))
+    return statistics.median(means)
+
+
+def wilson_interval(successes: int, trials: int, z: float = 2.0) -> tuple:
+    """Wilson score interval for a Bernoulli rate.
+
+    Used by experiment tables to attach uncertainty to measured
+    success probabilities (e.g. the E1 per-copy rates).
+    """
+    if trials <= 0:
+        raise EstimationError(f"trials must be positive, got {trials}")
+    p_hat = successes / trials
+    denom = 1.0 + z * z / trials
+    center = (p_hat + z * z / (2 * trials)) / denom
+    half = (
+        z
+        * math.sqrt(p_hat * (1 - p_hat) / trials + z * z / (4 * trials * trials))
+        / denom
+    )
+    return (max(0.0, center - half), min(1.0, center + half))

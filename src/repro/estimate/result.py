@@ -1,0 +1,49 @@
+"""Uniform result record for every counting algorithm in the library.
+
+Streaming counters, query-model counters and baselines all return an
+:class:`EstimateResult`, so experiments and examples can tabulate them
+interchangeably: estimate, trials, passes, and accounted space.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.estimate.concentration import relative_error
+
+
+@dataclass
+class EstimateResult:
+    """Outcome of one estimator run."""
+
+    algorithm: str
+    pattern: str
+    estimate: float
+    passes: int = 0
+    space_words: int = 0
+    trials: int = 0
+    successes: int = 0
+    m: int = 0
+    details: Dict[str, float] = field(default_factory=dict)
+
+    def error_vs(self, truth: float) -> float:
+        """Relative error against an exact count."""
+        return relative_error(self.estimate, truth)
+
+    def within(self, truth: float, epsilon: float) -> bool:
+        """Whether the estimate is a (1±ε)-approximation of *truth*."""
+        return self.error_vs(truth) <= epsilon
+
+    def summary(self, truth: Optional[float] = None) -> str:
+        """One-line human-readable summary for experiment logs."""
+        parts = [
+            f"{self.algorithm}[{self.pattern}]",
+            f"est={self.estimate:.1f}",
+            f"passes={self.passes}",
+            f"space={self.space_words}w",
+            f"trials={self.trials}",
+        ]
+        if truth is not None:
+            parts.append(f"err={self.error_vs(truth):.3f}")
+        return " ".join(parts)

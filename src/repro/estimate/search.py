@@ -1,0 +1,66 @@
+"""Geometric search over the unknown lower bound L (Lemma 21 usage).
+
+The paper parameterizes its algorithms by a lower bound L on #H and
+notes that the standard fix when L is unknown is a (parallel)
+geometric search: run the estimator with guesses L = U, U/2, U/4, ...
+and accept the first guess the estimate is consistent with.  The ERS
+counter (and any estimator with the same contract: over-guessing L
+yields an estimate below L whp — the second bullet of Lemma 21)
+plugs into this wrapper.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Tuple
+
+from repro.errors import EstimationError
+
+
+def geometric_search(
+    estimator: Callable[[float], float],
+    upper_bound: float,
+    floor: float = 1.0,
+    shrink: float = 2.0,
+    consistency_factor: float = 1.0,
+) -> Tuple[float, float, int]:
+    """Find a self-consistent estimate by geometric descent on L.
+
+    Parameters
+    ----------
+    estimator:
+        Maps a guessed lower bound L to an estimate of #H.  Contract
+        (Lemma 21): if L <= #H <= c*L the estimate is accurate; if
+        L > #H the estimate falls below L (whp).
+    upper_bound:
+        A trivially valid starting guess (e.g. m^ρ(H), the AGM bound).
+    floor:
+        Stop when L drops below this (then #H < floor is reported
+        as estimate 0).
+    shrink:
+        Geometric step between guesses.
+    consistency_factor:
+        Accept guess L when estimate >= consistency_factor * L.
+
+    Returns
+    -------
+    (estimate, accepted_L, evaluations)
+    """
+    if upper_bound < floor:
+        raise EstimationError(
+            f"upper bound {upper_bound} below floor {floor}; nothing to search"
+        )
+    if shrink <= 1.0:
+        raise EstimationError(f"shrink factor must exceed 1, got {shrink}")
+
+    guess = upper_bound
+    evaluations = 0
+    last_estimate: Optional[float] = None
+    while guess >= floor:
+        estimate = estimator(guess)
+        evaluations += 1
+        last_estimate = estimate
+        if estimate >= consistency_factor * guess:
+            return estimate, guess, evaluations
+        guess /= shrink
+    # Every guess was rejected: #H is below the floor.
+    return (last_estimate if last_estimate is not None else 0.0), floor, evaluations

@@ -1,0 +1,18 @@
+"""Exact subgraph counting — the ground truth for every experiment."""
+
+from repro.exact.triangles import count_triangles, triangles_per_edge
+from repro.exact.cliques import count_cliques
+from repro.exact.subgraphs import (
+    count_homomorphisms,
+    count_injective_homomorphisms,
+    count_subgraphs,
+)
+
+__all__ = [
+    "count_triangles",
+    "triangles_per_edge",
+    "count_cliques",
+    "count_homomorphisms",
+    "count_injective_homomorphisms",
+    "count_subgraphs",
+]

@@ -1,0 +1,76 @@
+"""Exact triangle counting.
+
+Degree-ordered intersection counting: orient every edge from the
+≺-smaller endpoint (degree, then id — the same order as
+Definition 12) and count, for every edge (u, v), the common forward
+neighbors.  Runs in O(m^{3/2}) time, the classic bound.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from repro.graph.graph import Edge, Graph
+
+
+def _forward_adjacency(graph: Graph) -> List[Set[int]]:
+    """Forward neighbor sets under the (degree, id) total order."""
+    def key(v: int) -> Tuple[int, int]:
+        return (graph.degree(v), v)
+
+    forward: List[Set[int]] = [set() for _ in range(graph.n)]
+    for u, v in graph.edges():
+        if key(u) < key(v):
+            forward[u].add(v)
+        else:
+            forward[v].add(u)
+    return forward
+
+
+def count_triangles(graph: Graph) -> int:
+    """The number of triangles in *graph*."""
+    forward = _forward_adjacency(graph)
+    total = 0
+    for u in graph.vertices():
+        fu = forward[u]
+        for v in fu:
+            # Intersect the smaller set against the larger.
+            fv = forward[v]
+            if len(fu) <= len(fv):
+                total += sum(1 for w in fu if w in fv)
+            else:
+                total += sum(1 for w in fv if w in fu)
+    return total
+
+
+def triangles_per_edge(graph: Graph) -> Dict[Edge, int]:
+    """Triangle count supported on each edge.
+
+    Used by experiments that need the maximum number of triangles
+    sharing an edge (a parameter in several related-work bounds).
+    """
+    counts: Dict[Edge, int] = {edge: 0 for edge in graph.edges()}
+    forward = _forward_adjacency(graph)
+    # Each triangle is discovered exactly once (at its order-minimum
+    # vertex u) and credited to all three of its edges.
+    for u in graph.vertices():
+        fu = forward[u]
+        for v in fu:
+            common = fu & forward[v]
+            for w in common:
+                for a, b in ((u, v), (u, w), (v, w)):
+                    edge = (a, b) if a < b else (b, a)
+                    counts[edge] += 1
+    return counts
+
+
+def global_clustering_coefficient(graph: Graph) -> float:
+    """Transitivity: 3 * #triangles / #wedges.
+
+    The network-science statistic the paper's introduction motivates;
+    used by the social-network example.
+    """
+    wedges = sum(d * (d - 1) // 2 for d in graph.degrees())
+    if wedges == 0:
+        return 0.0
+    return 3.0 * count_triangles(graph) / wedges

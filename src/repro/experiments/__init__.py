@@ -1,0 +1,11 @@
+"""Experiment harness: one module per experiment E1-E13 + A1 of DESIGN.md.
+
+Every module exposes ``run(fast=True, seed=...) -> Table``; the
+benchmark suite regenerates each table, and EXPERIMENTS.md records a
+captured run.  The paper itself contains no empirical tables (it is a
+theory paper), so these experiments validate its theorems and lemmas.
+"""
+
+from repro.experiments.tables import Table
+
+__all__ = ["Table"]

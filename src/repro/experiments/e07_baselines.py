@@ -1,0 +1,87 @@
+"""E7 — the related-work landscape (§1): baselines vs the 3-pass
+counter on one triangle workload.
+
+One graph, one #T; every algorithm reports estimate, error, passes and
+accounted space.  The qualitative shape to verify against §1's
+discussion:
+
+* exact is 1 pass but O(m) space;
+* 1-pass sketches (hom-sketch) pay the (m³/(#T)²)-type variance —
+  visibly noisier at comparable space;
+* sampling baselines (TRIEST, Doulion) trade space for error smoothly;
+* multi-pass algorithms (MVV, FGP 3-pass) hit good accuracy at
+  m^{3/2}/#T-type budgets.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.cycle_sketch import sketch_count_triangles
+from repro.baselines.doulion import doulion_count
+from repro.baselines.exact_stream import exact_stream_count
+from repro.baselines.mvv import mvv_triangle_count
+from repro.baselines.mvv_two_pass import mvv_two_pass_triangle_count
+from repro.baselines.triest import triest_count
+from repro.exact.triangles import count_triangles
+from repro.experiments.tables import Table
+from repro.graph import generators as gen
+from repro.patterns import pattern as pattern_zoo
+from repro.streaming.three_pass import count_subgraphs_insertion_only
+from repro.streams.stream import insertion_stream
+from repro.utils.rng import ensure_rng
+
+
+def run(fast: bool = True, seed: int = 2022) -> Table:
+    """Regenerate the E7 table."""
+    rng = ensure_rng(seed)
+    graph = gen.power_law_cluster(300 if fast else 800, 5, 0.5, seed + 7)
+    truth = count_triangles(graph)
+    pattern = pattern_zoo.triangle()
+
+    def fresh_stream():
+        return insertion_stream(graph, rng.getrandbits(48))
+
+    table = Table(
+        f"E7: triangle-counting landscape on plc graph (n={graph.n}, m={graph.m}, #T={truth})",
+        ["algorithm", "estimate", "rel_err", "passes", "space_words", "trials"],
+    )
+
+    results = [
+        exact_stream_count(fresh_stream(), pattern),
+        triest_count(fresh_stream(), capacity=max(50, graph.m // 8), rng=rng.getrandbits(48)),
+        doulion_count(fresh_stream(), 0.3, rng=rng.getrandbits(48)),
+        mvv_triangle_count(
+            fresh_stream(),
+            trials=1500 if fast else 6000,
+            rng=rng.getrandbits(48),
+            degree_oracle=graph.degree,
+        ),
+        mvv_triangle_count(
+            fresh_stream(), trials=1500 if fast else 6000, rng=rng.getrandbits(48)
+        ),
+        mvv_two_pass_triangle_count(
+            fresh_stream(), sample_probability=0.2, rng=rng.getrandbits(48)
+        ),
+        sketch_count_triangles(
+            fresh_stream(), sketches=48 if fast else 128, rng=rng.getrandbits(48)
+        ),
+        count_subgraphs_insertion_only(
+            fresh_stream(),
+            pattern,
+            trials=4000 if fast else 20000,
+            rng=rng.getrandbits(48),
+        ),
+    ]
+    for result in results:
+        table.add_row(
+            result.algorithm,
+            result.estimate,
+            result.error_vs(truth),
+            result.passes,
+            result.space_words,
+            result.trials,
+        )
+    return table
+
+
+if __name__ == "__main__":
+    print(run(fast=True).render())

@@ -1,0 +1,77 @@
+"""E10 — preliminaries: cover numbers and Lemma 4 decompositions.
+
+For the whole pattern zoo: the LP value ρ(H) against the closed forms
+quoted in §2 (ρ(C_{2k+1}) = k + 1/2, ρ(S_k) = k, ρ(K_k) = k/2), the
+integral cover β(H) (footnote 1: β(K_r) = β(C_r) = ⌈r/2⌉), the
+fractional vertex cover τ(H) (the 1-pass lower-bound parameter of
+[KKP18]), the Lemma 4 decomposition type and its cost (must equal ρ),
+and the sampler normalisation f_T(H).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.tables import Table
+from repro.patterns import pattern as pattern_zoo
+from repro.patterns.edge_cover import (
+    fractional_edge_cover_number,
+    fractional_vertex_cover_number,
+    integral_edge_cover_number,
+)
+
+
+def _type_string(decomposition) -> str:
+    cycles = ",".join(f"C{c}" for c in decomposition.cycle_lengths)
+    stars = ",".join(f"S{s}" for s in decomposition.star_petals)
+    return "+".join(part for part in (cycles, stars) if part) or "-"
+
+
+def run(fast: bool = True, seed: int = 2022) -> Table:
+    """Regenerate the E10 table."""
+    del seed  # deterministic
+    patterns = pattern_zoo.standard_zoo()
+    if not fast:
+        patterns += [
+            pattern_zoo.clique(5),
+            pattern_zoo.cycle(6),
+            pattern_zoo.cycle(7),
+            pattern_zoo.star(4),
+        ]
+    table = Table(
+        "E10: cover numbers and Lemma 4 decompositions of the pattern zoo",
+        [
+            "H",
+            "|V|",
+            "|E|",
+            "rho(LP)",
+            "rho(known)",
+            "beta",
+            "tau",
+            "decomposition",
+            "decomp_cost",
+            "f_T",
+            "|Aut|",
+        ],
+    )
+    for pattern in patterns:
+        graph = pattern.graph
+        rho = fractional_edge_cover_number(graph)
+        known = pattern_zoo.KNOWN_RHO.get(pattern.name, "")
+        decomposition = pattern.decomposition()
+        table.add_row(
+            pattern.name,
+            graph.n,
+            graph.m,
+            rho,
+            known,
+            integral_edge_cover_number(graph),
+            fractional_vertex_cover_number(graph),
+            _type_string(decomposition),
+            float(decomposition.cost),
+            pattern.family_count(),
+            pattern.automorphism_count(),
+        )
+    return table
+
+
+if __name__ == "__main__":
+    print(run(fast=True).render())

@@ -1,0 +1,53 @@
+"""E13 — the §1/§2 bound landscape: AGM, cover chain, KKP scale.
+
+For one host and the pattern zoo, tabulate
+
+* #H (exact) against the AGM bound m^ρ(H) — the ratio column must be
+  <= 1 on every row ([AGM08]; this is what keeps Theorem 1's space
+  meaningful);
+* the cover chain ρ(H) <= β(H) <= |E(H)| that orders the space bounds
+  of [AKK19] vs [BC17] vs [Kan+12] (§1, item 3);
+* τ(H) and the [KKP18] 1-pass lower-bound scale m/#H^{1/τ}, the
+  reason one pass cannot replace the paper's three.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.tables import Table
+from repro.graph import generators as gen
+from repro.patterns import agm
+from repro.patterns import pattern as pattern_zoo
+from repro.utils.rng import ensure_rng
+
+
+def run(fast: bool = True, seed: int = 2022) -> Table:
+    """Regenerate the E13 table."""
+    rng = ensure_rng(seed)
+    host = gen.gnp(28 if fast else 48, 0.35, rng=rng.getrandbits(48))
+    patterns = pattern_zoo.standard_zoo()
+    if not fast:
+        patterns = pattern_zoo.extended_zoo()
+
+    table = Table(
+        f"E13: AGM / cover-chain / KKP landscape on gnp (n={host.n}, m={host.m})",
+        ["H", "rho", "beta", "|E(H)|", "tau", "#H", "m^rho", "AGM ratio", "kkp 1-pass scale"],
+    )
+    for pattern in patterns:
+        check = agm.verify_agm(host, pattern)
+        assert check.holds, f"AGM bound violated for {pattern.name}"
+        table.add_row(
+            pattern.name,
+            pattern.rho(),
+            pattern.beta(),
+            pattern.num_edges,
+            pattern.tau(),
+            check.count,
+            check.bound,
+            check.ratio,
+            agm.one_pass_lower_bound_scale(pattern, host.m, check.count),
+        )
+    return table
+
+
+if __name__ == "__main__":
+    print(run().render())

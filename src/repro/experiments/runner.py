@@ -1,0 +1,112 @@
+"""Run every experiment and emit a combined report.
+
+``python -m repro.experiments`` regenerates all E1–E12 + A1 tables in
+one go (fast mode by default) and can write them as markdown — the
+same tables EXPERIMENTS.md records.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable, List, Optional, Tuple
+
+from repro.experiments import (
+    a01_wedge_ablation,
+    e01_sampler_probability,
+    e02_three_pass,
+    e03_turnstile,
+    e04_transform,
+    e05_space_scaling,
+    e06_ers,
+    e07_baselines,
+    e08_l0_sampler,
+    e09_degeneracy,
+    e10_covers,
+    e11_stream_models,
+    e12_two_pass,
+    e13_bounds,
+)
+from repro.experiments.tables import Table
+
+#: Registry of (identifier, module.run) in execution order.
+EXPERIMENTS: List[Tuple[str, Callable[..., Table]]] = [
+    ("e01", e01_sampler_probability.run),
+    ("e02", e02_three_pass.run),
+    ("e03", e03_turnstile.run),
+    ("e04", e04_transform.run),
+    ("e05", e05_space_scaling.run),
+    ("e06", e06_ers.run),
+    ("e07", e07_baselines.run),
+    ("e08", e08_l0_sampler.run),
+    ("e09", e09_degeneracy.run),
+    ("e10", e10_covers.run),
+    ("e11", e11_stream_models.run),
+    ("e12", e12_two_pass.run),
+    ("e13", e13_bounds.run),
+    ("a01", a01_wedge_ablation.run),
+]
+
+
+def run_all(
+    fast: bool = True,
+    seed: int = 2022,
+    only: Optional[List[str]] = None,
+    stream=sys.stdout,
+    markdown: bool = False,
+) -> List[Table]:
+    """Run (a subset of) the experiments, printing each table."""
+    selected = EXPERIMENTS if not only else [
+        (name, runner) for name, runner in EXPERIMENTS if name in set(only)
+    ]
+    tables: List[Table] = []
+    for name, runner in selected:
+        start = time.perf_counter()
+        table = runner(fast=fast, seed=seed)
+        elapsed = time.perf_counter() - start
+        tables.append(table)
+        print(file=stream)
+        if markdown:
+            print(table.render_markdown(), file=stream)
+        else:
+            print(table.render(), file=stream)
+        print(f"[{name}: {elapsed:.1f}s]", file=stream)
+    return tables
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the experiment tables of EXPERIMENTS.md.",
+    )
+    parser.add_argument(
+        "--full", action="store_true", help="full (slow) configurations"
+    )
+    parser.add_argument("--seed", type=int, default=2022)
+    parser.add_argument(
+        "--only",
+        nargs="*",
+        metavar="ID",
+        help="subset of experiment ids (e01..e10, a01)",
+    )
+    parser.add_argument(
+        "--markdown", action="store_true", help="emit GitHub pipe tables"
+    )
+    arguments = parser.parse_args(argv)
+    known = {name for name, _ in EXPERIMENTS}
+    if arguments.only:
+        unknown = set(arguments.only) - known
+        if unknown:
+            parser.error(f"unknown experiment ids: {sorted(unknown)}")
+    run_all(
+        fast=not arguments.full,
+        seed=arguments.seed,
+        only=arguments.only,
+        markdown=arguments.markdown,
+    )
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

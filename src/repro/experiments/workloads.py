@@ -1,0 +1,59 @@
+"""Shared experiment workloads.
+
+Central definitions so E1-E10 sweep consistent graph families and the
+tables in EXPERIMENTS.md are regenerable from one place.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List
+
+from repro.graph import generators as gen
+from repro.graph.graph import Graph
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A named graph instance factory (deterministic given the seed)."""
+
+    name: str
+    build: Callable[[int], Graph]
+
+    def graph(self, seed: int = 0) -> Graph:
+        return self.build(seed)
+
+
+def small_workloads() -> List[Workload]:
+    """Small graphs where exact per-copy statistics are computable (E1)."""
+    return [
+        Workload("karate", lambda seed: gen.karate_club()),
+        Workload("lollipop(6,5)", lambda seed: gen.lollipop_graph(6, 5)),
+        Workload("gnp(14,0.5)", lambda seed: gen.gnp(14, 0.5, seed + 101)),
+        Workload("grid(4x5)", lambda seed: gen.grid_graph(4, 5)),
+    ]
+
+
+def medium_workloads() -> List[Workload]:
+    """Streams big enough to exercise the estimators (E2/E3/E7)."""
+    return [
+        Workload("gnp(60,0.25)", lambda seed: gen.gnp(60, 0.25, seed + 301)),
+        Workload("ba(400,5)", lambda seed: gen.barabasi_albert(400, 5, seed + 302)),
+        Workload(
+            "plc(400,4,0.5)",
+            lambda seed: gen.power_law_cluster(400, 4, 0.5, seed + 303),
+        ),
+    ]
+
+
+def low_degeneracy_workloads() -> List[Workload]:
+    """Low-degeneracy families for Theorem 2 experiments (E6/E9)."""
+    return [
+        Workload("ba(300,4)", lambda seed: gen.barabasi_albert(300, 4, seed + 401)),
+        Workload("plc(300,5,0.6)", lambda seed: gen.power_law_cluster(300, 5, 0.6, seed + 402)),
+        Workload("grid(18x18)", lambda seed: gen.grid_graph(18, 18)),
+        Workload(
+            "planted-K5+noise",
+            lambda seed: gen.planted_cliques(260, 5, 36, noise_edges=420, rng=seed + 403),
+        ),
+    ]

@@ -1,0 +1,24 @@
+"""The FGP subgraph sampler [FGP20] and its counting wrappers.
+
+The sampler is implemented once, as a 3-round-adaptive algorithm
+(:func:`subgraph_sampler_rounds`); Lemma 16 = "it has 3 rounds".
+Driving it against a direct oracle gives the sublinear-time algorithm
+of Algorithms 6–9; driving it against a stream oracle gives the 3-pass
+streaming samplers of Theorem 17 (insertion-only) and Lemma 18 /
+Theorem 1 (turnstile).
+"""
+
+from repro.fgp.rounds import subgraph_sampler_rounds, SamplerMode
+from repro.fgp.counting import (
+    count_subgraph_query_model,
+    sample_subgraph_once,
+    sample_subgraph_uniformly,
+)
+
+__all__ = [
+    "subgraph_sampler_rounds",
+    "SamplerMode",
+    "count_subgraph_query_model",
+    "sample_subgraph_once",
+    "sample_subgraph_uniformly",
+]

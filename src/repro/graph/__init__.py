@@ -1,0 +1,19 @@
+"""Graph substrate: data structure, orders, degeneracy, generators, I/O."""
+
+from repro.graph.graph import Graph
+from repro.graph.order import VertexOrder, precedes
+from repro.graph.degeneracy import core_decomposition, degeneracy, degeneracy_ordering
+from repro.graph import generators
+from repro.graph.io import read_edge_list, write_edge_list
+
+__all__ = [
+    "Graph",
+    "VertexOrder",
+    "precedes",
+    "core_decomposition",
+    "degeneracy",
+    "degeneracy_ordering",
+    "generators",
+    "read_edge_list",
+    "write_edge_list",
+]

@@ -1,0 +1,459 @@
+"""Synthetic graph generators.
+
+The paper evaluates nothing empirically, so the experiment suite needs
+graph families with the properties the theory talks about:
+
+* dense-ish Erdős–Rényi graphs (worst-case-style inputs for the FGP
+  3-pass algorithm, E1/E2/E5);
+* low-degeneracy families — preferential attachment, planar grids,
+  bounded-degree regular graphs — which are exactly the class
+  Theorem 2 targets (E6, E9);
+* planted structures (cliques, cycle gadgets) so experiments control
+  #H directly.
+
+All generators take an explicit random source and are deterministic
+given a seed.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from typing import List, Optional, Sequence, Tuple
+
+from repro.errors import GraphError
+from repro.graph.graph import Graph
+from repro.utils.rng import RandomSource, ensure_rng
+
+# ---------------------------------------------------------------------------
+# Classic deterministic graphs
+# ---------------------------------------------------------------------------
+
+
+def complete_graph(n: int) -> Graph:
+    """K_n: the complete graph on n vertices."""
+    return Graph(n, itertools.combinations(range(n), 2))
+
+
+def cycle_graph(n: int) -> Graph:
+    """C_n: the cycle on n >= 3 vertices."""
+    if n < 3:
+        raise GraphError(f"a cycle needs at least 3 vertices, got {n}")
+    return Graph(n, [(i, (i + 1) % n) for i in range(n)])
+
+
+def path_graph(n: int) -> Graph:
+    """P_n: the path on n vertices (n - 1 edges)."""
+    return Graph(n, [(i, i + 1) for i in range(n - 1)])
+
+
+def star_graph(petals: int) -> Graph:
+    """S_k: star with *petals* petals; vertex 0 is the center."""
+    if petals < 1:
+        raise GraphError(f"a star needs at least 1 petal, got {petals}")
+    return Graph(petals + 1, [(0, i) for i in range(1, petals + 1)])
+
+
+def grid_graph(rows: int, cols: int) -> Graph:
+    """rows x cols planar grid; degeneracy <= 2, so a Theorem 2 workload."""
+    graph = Graph(rows * cols)
+    for r in range(rows):
+        for c in range(cols):
+            v = r * cols + c
+            if c + 1 < cols:
+                graph.add_edge(v, v + 1)
+            if r + 1 < rows:
+                graph.add_edge(v, v + cols)
+    return graph
+
+
+def complete_bipartite_graph(a: int, b: int) -> Graph:
+    """K_{a,b}: complete bipartite graph; triangle-free, many C4s."""
+    return Graph(a + b, [(i, a + j) for i in range(a) for j in range(b)])
+
+
+def lollipop_graph(clique_size: int, tail: int) -> Graph:
+    """A K_k with a path of *tail* vertices attached: skewed degrees.
+
+    Exercises both branches of SampleWedge (high-degree clique
+    vertices vs low-degree tail vertices) in one graph.
+    """
+    graph = Graph(clique_size + tail)
+    for u, v in itertools.combinations(range(clique_size), 2):
+        graph.add_edge(u, v)
+    previous = clique_size - 1
+    for i in range(clique_size, clique_size + tail):
+        graph.add_edge(previous, i)
+        previous = i
+    return graph
+
+
+# ---------------------------------------------------------------------------
+# Random graph families
+# ---------------------------------------------------------------------------
+
+
+def gnp(n: int, p: float, rng: RandomSource = None) -> Graph:
+    """Erdős–Rényi G(n, p).
+
+    Uses the geometric skipping technique so sparse graphs cost
+    O(n + m) instead of O(n^2).
+    """
+    if not 0.0 <= p <= 1.0:
+        raise GraphError(f"edge probability must be in [0, 1], got {p}")
+    random_state = ensure_rng(rng)
+    graph = Graph(n)
+    if p == 0.0 or n < 2:
+        return graph
+    if p == 1.0:
+        for u, v in itertools.combinations(range(n), 2):
+            graph.add_edge(u, v)
+        return graph
+
+    # Iterate over pairs (v, w) with w < v, skipping geometrically.
+    log_q = math.log(1.0 - p)
+    v, w = 1, -1
+    while v < n:
+        r = random_state.random()
+        w += 1 + int(math.log(1.0 - r) / log_q)
+        while w >= v and v < n:
+            w -= v
+            v += 1
+        if v < n:
+            graph.add_edge(v, w)
+    return graph
+
+
+def gnm(n: int, m: int, rng: RandomSource = None) -> Graph:
+    """Uniform random graph with exactly *m* edges."""
+    max_edges = n * (n - 1) // 2
+    if m > max_edges:
+        raise GraphError(f"cannot place {m} edges on {n} vertices (max {max_edges})")
+    random_state = ensure_rng(rng)
+    graph = Graph(n)
+    if m > max_edges // 2:
+        # Dense case: sample the complement instead.
+        all_edges = list(itertools.combinations(range(n), 2))
+        chosen = random_state.sample(all_edges, m)
+        for u, v in chosen:
+            graph.add_edge(u, v)
+        return graph
+    while graph.m < m:
+        u = random_state.randrange(n)
+        v = random_state.randrange(n)
+        if u != v:
+            graph.add_edge_if_absent(u, v)
+    return graph
+
+
+def barabasi_albert(n: int, attach: int, rng: RandomSource = None) -> Graph:
+    """Preferential attachment graph: degeneracy <= attach.
+
+    Each new vertex attaches to *attach* distinct existing vertices
+    chosen proportionally to their degree (repeated-endpoint trick).
+    Preferential-attachment graphs are the paper's §1 example of a
+    natural low-degeneracy class.
+    """
+    if attach < 1 or n < attach + 1:
+        raise GraphError(f"need n > attach >= 1, got n={n}, attach={attach}")
+    random_state = ensure_rng(rng)
+    graph = Graph(n)
+    # Seed with a star on attach + 1 vertices so every vertex has degree >= 1.
+    endpoint_pool: List[int] = []
+    for i in range(1, attach + 1):
+        graph.add_edge(0, i)
+        endpoint_pool.extend((0, i))
+    for v in range(attach + 1, n):
+        targets: set = set()
+        while len(targets) < attach:
+            targets.add(random_state.choice(endpoint_pool))
+        for t in targets:
+            graph.add_edge(v, t)
+            endpoint_pool.extend((v, t))
+    return graph
+
+
+def random_regular(n: int, d: int, rng: RandomSource = None) -> Graph:
+    """A d-regular simple graph: circulant start + random double-edge swaps.
+
+    Start from the deterministic d-regular circulant (i ~ i±1, ...,
+    i±⌊d/2⌋, plus the antipode for odd d) and randomize with
+    degree-preserving double-edge swaps; ~10·m accepted swaps mixes
+    the structure thoroughly.  Always succeeds, unlike rejection
+    sampling of the configuration model.
+    """
+    if (n * d) % 2 != 0:
+        raise GraphError(f"n*d must be even for a d-regular graph, got n={n}, d={d}")
+    if d >= n:
+        raise GraphError(f"regular degree must satisfy d < n, got d={d}, n={n}")
+    if d < 1:
+        raise GraphError(f"regular degree must be >= 1, got {d}")
+    random_state = ensure_rng(rng)
+
+    graph = Graph(n)
+    for offset in range(1, d // 2 + 1):
+        for v in range(n):
+            graph.add_edge_if_absent(v, (v + offset) % n)
+    if d % 2 == 1:
+        for v in range(n // 2):
+            graph.add_edge_if_absent(v, v + n // 2)
+
+    target_swaps = 10 * graph.m
+    accepted = 0
+    attempts = 0
+    while accepted < target_swaps and attempts < 100 * target_swaps:
+        attempts += 1
+        a, b = graph.edge_at(random_state.randrange(graph.m))
+        c, e = graph.edge_at(random_state.randrange(graph.m))
+        if len({a, b, c, e}) != 4:
+            continue
+        # Swap {a,b},{c,e} -> {a,c},{b,e} when that stays simple.
+        if graph.has_edge(a, c) or graph.has_edge(b, e):
+            continue
+        graph.remove_edge(a, b)
+        graph.remove_edge(c, e)
+        graph.add_edge(a, c)
+        graph.add_edge(b, e)
+        accepted += 1
+    return graph
+
+
+def power_law_cluster(
+    n: int, attach: int, triangle_probability: float, rng: RandomSource = None
+) -> Graph:
+    """Holme–Kim-style power-law graph with tunable clustering.
+
+    Like :func:`barabasi_albert` but after each preferential
+    attachment step, with probability *triangle_probability* the next
+    edge instead closes a triangle with a neighbor of the previous
+    target.  Produces low-degeneracy graphs with many triangles — the
+    motivating workload for degeneracy-parameterized triangle counting.
+    """
+    if not 0.0 <= triangle_probability <= 1.0:
+        raise GraphError("triangle_probability must be in [0, 1]")
+    if attach < 1 or n < attach + 1:
+        raise GraphError(f"need n > attach >= 1, got n={n}, attach={attach}")
+    random_state = ensure_rng(rng)
+    graph = Graph(n)
+    endpoint_pool: List[int] = []
+    for i in range(1, attach + 1):
+        graph.add_edge(0, i)
+        endpoint_pool.extend((0, i))
+    for v in range(attach + 1, n):
+        added = 0
+        last_target: Optional[int] = None
+        guard = 0
+        while added < attach and guard < 50 * attach:
+            guard += 1
+            close_triangle = (
+                last_target is not None
+                and random_state.random() < triangle_probability
+                and graph.degree(last_target) > 0
+            )
+            if close_triangle:
+                candidate = random_state.choice(list(graph.neighbors(last_target)))
+            else:
+                candidate = random_state.choice(endpoint_pool)
+            if candidate != v and graph.add_edge_if_absent(v, candidate):
+                endpoint_pool.extend((v, candidate))
+                last_target = candidate
+                added += 1
+    return graph
+
+
+# ---------------------------------------------------------------------------
+# Planted structures (experiments control #H directly)
+# ---------------------------------------------------------------------------
+
+
+def planted_cliques(
+    n: int,
+    clique_size: int,
+    clique_count: int,
+    noise_edges: int = 0,
+    rng: RandomSource = None,
+) -> Graph:
+    """Disjoint planted K_r's plus random noise edges.
+
+    The planted cliques occupy the first ``clique_size * clique_count``
+    vertices; noise edges are sampled uniformly among the remaining
+    non-edges.  With ``noise_edges == 0`` the number of K_r copies is
+    exactly ``clique_count`` (for r == clique_size).
+    """
+    need = clique_size * clique_count
+    if need > n:
+        raise GraphError(f"{clique_count} cliques of size {clique_size} need {need} vertices")
+    random_state = ensure_rng(rng)
+    graph = Graph(n)
+    for c in range(clique_count):
+        block = range(c * clique_size, (c + 1) * clique_size)
+        for u, v in itertools.combinations(block, 2):
+            graph.add_edge(u, v)
+    placed = 0
+    guard = 0
+    while placed < noise_edges and guard < 100 * max(noise_edges, 1):
+        guard += 1
+        u = random_state.randrange(n)
+        v = random_state.randrange(n)
+        if u != v and graph.add_edge_if_absent(u, v):
+            placed += 1
+    return graph
+
+
+def watts_strogatz(
+    n: int, k: int, rewire_p: float, rng: RandomSource = None
+) -> Graph:
+    """Watts–Strogatz small-world graph.
+
+    Start from a ring lattice where every vertex joins its k nearest
+    neighbors (k even), then rewire each edge's far endpoint with
+    probability *rewire_p*.  Low rewiring keeps degeneracy ~k/2 and a
+    high clustering coefficient — a natural low-degeneracy,
+    triangle-rich family for the Theorem 2 experiments.
+    """
+    if k < 2 or k % 2 != 0:
+        raise GraphError(f"ring degree k must be even and >= 2, got {k}")
+    if k >= n:
+        raise GraphError(f"ring degree k={k} must be < n={n}")
+    if not 0.0 <= rewire_p <= 1.0:
+        raise GraphError(f"rewire probability must be in [0, 1], got {rewire_p}")
+    random_state = ensure_rng(rng)
+    graph = Graph(n)
+    for v in range(n):
+        for offset in range(1, k // 2 + 1):
+            graph.add_edge_if_absent(v, (v + offset) % n)
+    if rewire_p == 0.0:
+        return graph
+    for v in range(n):
+        for offset in range(1, k // 2 + 1):
+            w = (v + offset) % n
+            if random_state.random() < rewire_p and graph.has_edge(v, w):
+                candidates = [
+                    u for u in range(n) if u != v and not graph.has_edge(v, u)
+                ]
+                if candidates:
+                    graph.remove_edge(v, w)
+                    graph.add_edge(v, random_state.choice(candidates))
+    return graph
+
+
+def random_geometric(
+    n: int, radius: float, rng: RandomSource = None
+) -> Graph:
+    """Random geometric graph on the unit square.
+
+    Vertices are uniform points; edges join pairs within *radius*.
+    Geometric graphs are triangle-dense with degeneracy governed by
+    local point density — another natural family for E9's λ-vs-√m
+    landscape.
+    """
+    if radius <= 0.0:
+        raise GraphError(f"radius must be positive, got {radius}")
+    random_state = ensure_rng(rng)
+    points = [(random_state.random(), random_state.random()) for _ in range(n)]
+    graph = Graph(n)
+    # Grid-bucket neighbor search: O(n + m) for constant density.
+    cell = max(radius, 1e-9)
+    buckets = {}
+    for index, (x, y) in enumerate(points):
+        buckets.setdefault((int(x / cell), int(y / cell)), []).append(index)
+    limit = radius * radius
+    for (cx, cy), members in buckets.items():
+        for dx in (-1, 0, 1):
+            for dy in (-1, 0, 1):
+                neighbors = buckets.get((cx + dx, cy + dy), [])
+                for u in members:
+                    ux, uy = points[u]
+                    for v in neighbors:
+                        if v <= u:
+                            continue
+                        vx, vy = points[v]
+                        if (ux - vx) ** 2 + (uy - vy) ** 2 <= limit:
+                            graph.add_edge_if_absent(u, v)
+    return graph
+
+
+def planted_partition(
+    communities: int,
+    community_size: int,
+    p_in: float,
+    p_out: float,
+    rng: RandomSource = None,
+) -> Graph:
+    """Planted-partition (two-parameter SBM) graph.
+
+    *communities* blocks of *community_size* vertices; within-block
+    pairs connect with probability *p_in*, cross-block pairs with
+    *p_out*.  Dense blocks carry the cliques; sparse cross edges keep
+    the global graph large — a clique-counting stress workload.
+    """
+    if communities < 1 or community_size < 1:
+        raise GraphError("need >= 1 community of >= 1 vertex")
+    for name, prob in (("p_in", p_in), ("p_out", p_out)):
+        if not 0.0 <= prob <= 1.0:
+            raise GraphError(f"{name} must be in [0, 1], got {prob}")
+    random_state = ensure_rng(rng)
+    n = communities * community_size
+    graph = Graph(n)
+    block = [v // community_size for v in range(n)]
+    for u in range(n):
+        for v in range(u + 1, n):
+            probability = p_in if block[u] == block[v] else p_out
+            if probability and random_state.random() < probability:
+                graph.add_edge(u, v)
+    return graph
+
+
+def disjoint_union(graphs: Sequence[Graph]) -> Graph:
+    """Disjoint union of *graphs*, relabelled consecutively."""
+    total = sum(g.n for g in graphs)
+    result = Graph(total)
+    offset = 0
+    for g in graphs:
+        for u, v in g.edges():
+            result.add_edge(u + offset, v + offset)
+        offset += g.n
+    return result
+
+
+def erdos_renyi_with_planted_copies(
+    pattern_graph: Graph,
+    copies: int,
+    noise_n: int,
+    noise_p: float,
+    rng: RandomSource = None,
+) -> Graph:
+    """Plant disjoint copies of a pattern next to a G(n, p) noise blob.
+
+    Useful for making #H >= copies while keeping the stream large; the
+    exact counters then measure the true total including noise-induced
+    copies.
+    """
+    random_state = ensure_rng(rng)
+    parts = [pattern_graph.copy() for _ in range(copies)]
+    parts.append(gnp(noise_n, noise_p, random_state))
+    return disjoint_union(parts)
+
+
+def karate_club() -> Graph:
+    """Zachary's karate club (34 vertices, 78 edges), hard-coded.
+
+    The only "real" graph in the suite; small enough to verify by
+    exact counting, and a standard sanity check for triangle counts
+    (#T = 45).
+    """
+    edges: List[Tuple[int, int]] = [
+        (0, 1), (0, 2), (0, 3), (0, 4), (0, 5), (0, 6), (0, 7), (0, 8),
+        (0, 10), (0, 11), (0, 12), (0, 13), (0, 17), (0, 19), (0, 21),
+        (0, 31), (1, 2), (1, 3), (1, 7), (1, 13), (1, 17), (1, 19),
+        (1, 21), (1, 30), (2, 3), (2, 7), (2, 8), (2, 9), (2, 13),
+        (2, 27), (2, 28), (2, 32), (3, 7), (3, 12), (3, 13), (4, 6),
+        (4, 10), (5, 6), (5, 10), (5, 16), (6, 16), (8, 30), (8, 32),
+        (8, 33), (9, 33), (13, 33), (14, 32), (14, 33), (15, 32),
+        (15, 33), (18, 32), (18, 33), (19, 33), (20, 32), (20, 33),
+        (22, 32), (22, 33), (23, 25), (23, 27), (23, 29), (23, 32),
+        (23, 33), (24, 25), (24, 27), (24, 31), (25, 31), (26, 29),
+        (26, 33), (27, 33), (28, 31), (28, 33), (29, 32), (29, 33),
+        (30, 32), (30, 33), (31, 32), (31, 33), (32, 33),
+    ]
+    return Graph(34, edges)

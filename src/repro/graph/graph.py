@@ -1,0 +1,258 @@
+"""Undirected simple graph on vertex set ``[n] = {0, ..., n-1}``.
+
+This is the substrate every algorithm in the library runs on.  The
+representation is an adjacency *list* per vertex (for indexed neighbor
+queries, query type ``f3`` of Definition 6) backed by an adjacency
+*set* (for O(1) adjacency queries, query type ``f4``), plus a flat
+edge list (for uniform edge sampling, query type ``f1``).
+
+Vertices are dense integers.  Self-loops and parallel edges are
+rejected: the paper's model is simple undirected graphs.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import GraphError
+
+Edge = Tuple[int, int]
+
+
+def normalize_edge(u: int, v: int) -> Edge:
+    """Return the canonical ``(min, max)`` form of an undirected edge."""
+    if u == v:
+        raise GraphError(f"self-loop ({u}, {v}) is not allowed in a simple graph")
+    return (u, v) if u < v else (v, u)
+
+
+class Graph:
+    """An undirected simple graph on vertices ``0..n-1``.
+
+    Parameters
+    ----------
+    n:
+        Number of vertices.  The vertex set is fixed at construction;
+        edges may be added and removed freely.
+    edges:
+        Optional iterable of ``(u, v)`` pairs to insert.
+
+    Notes
+    -----
+    Neighbor lists preserve *insertion order*, which lets the oracle
+    layer expose the "i-th neighbor" query both in adjacency-list
+    order (query model) and in stream arrival order (after building
+    the graph in stream order), making the Theorem 9 emulation
+    bit-for-bit comparable to the direct query model.
+    """
+
+    __slots__ = ("_n", "_adj_list", "_adj_set", "_edges", "_edge_index")
+
+    def __init__(self, n: int, edges: Optional[Iterable[Edge]] = None) -> None:
+        if n < 0:
+            raise GraphError(f"vertex count must be non-negative, got {n}")
+        self._n = n
+        self._adj_list: List[List[int]] = [[] for _ in range(n)]
+        self._adj_set: List[Set[int]] = [set() for _ in range(n)]
+        self._edges: List[Edge] = []
+        self._edge_index: Dict[Edge, int] = {}
+        if edges is not None:
+            for u, v in edges:
+                self.add_edge(u, v)
+
+    # -- construction -------------------------------------------------
+
+    @classmethod
+    def from_edges(cls, edges: Iterable[Edge], n: Optional[int] = None) -> "Graph":
+        """Build a graph from an edge list, inferring ``n`` if omitted."""
+        edge_list = [normalize_edge(u, v) for u, v in edges]
+        if n is None:
+            n = 1 + max((max(e) for e in edge_list), default=-1)
+        return cls(n, edge_list)
+
+    def copy(self) -> "Graph":
+        """Return an independent copy of this graph."""
+        return Graph(self._n, self._edges)
+
+    # -- basic accessors ----------------------------------------------
+
+    @property
+    def n(self) -> int:
+        """Number of vertices."""
+        return self._n
+
+    @property
+    def m(self) -> int:
+        """Number of edges."""
+        return len(self._edges)
+
+    def vertices(self) -> range:
+        """The vertex set as a range object."""
+        return range(self._n)
+
+    def edges(self) -> Iterator[Edge]:
+        """Iterate over edges in insertion order, each as ``(min, max)``."""
+        return iter(self._edges)
+
+    def edge_at(self, index: int) -> Edge:
+        """The edge stored at *index* (used for uniform edge sampling)."""
+        return self._edges[index]
+
+    def degree(self, v: int) -> int:
+        """Degree of vertex *v*."""
+        self._check_vertex(v)
+        return len(self._adj_list[v])
+
+    def degrees(self) -> List[int]:
+        """Degree sequence indexed by vertex."""
+        return [len(neighbors) for neighbors in self._adj_list]
+
+    def max_degree(self) -> int:
+        """Maximum degree Δ(G); 0 for an edgeless graph."""
+        if self._n == 0:
+            return 0
+        return max(len(neighbors) for neighbors in self._adj_list)
+
+    def neighbors(self, v: int) -> Sequence[int]:
+        """Neighbors of *v* in insertion order (do not mutate)."""
+        self._check_vertex(v)
+        return self._adj_list[v]
+
+    def neighbor_at(self, v: int, index: int) -> int:
+        """The *index*-th neighbor of *v* (0-based), in insertion order.
+
+        This realizes query type ``f3`` of Definition 6.
+        """
+        self._check_vertex(v)
+        neighbors = self._adj_list[v]
+        if not 0 <= index < len(neighbors):
+            raise GraphError(
+                f"neighbor index {index} out of range for vertex {v} with degree {len(neighbors)}"
+            )
+        return neighbors[index]
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Whether the undirected edge ``{u, v}`` is present (query ``f4``)."""
+        self._check_vertex(u)
+        self._check_vertex(v)
+        if u == v:
+            return False
+        return v in self._adj_set[u]
+
+    def __contains__(self, edge: Edge) -> bool:
+        u, v = edge
+        return self.has_edge(u, v)
+
+    def __len__(self) -> int:
+        return self._n
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Graph):
+            return NotImplemented
+        return self._n == other._n and set(self._edges) == set(other._edges)
+
+    def __hash__(self) -> int:  # pragma: no cover - graphs used as keys rarely
+        return hash((self._n, frozenset(self._edges)))
+
+    def __repr__(self) -> str:
+        return f"Graph(n={self._n}, m={self.m})"
+
+    # -- mutation ------------------------------------------------------
+
+    def add_edge(self, u: int, v: int) -> None:
+        """Insert edge ``{u, v}``; raises :class:`GraphError` if present."""
+        self._check_vertex(u)
+        self._check_vertex(v)
+        edge = normalize_edge(u, v)
+        if edge in self._edge_index:
+            raise GraphError(f"edge {edge} already present")
+        self._edge_index[edge] = len(self._edges)
+        self._edges.append(edge)
+        self._adj_list[u].append(v)
+        self._adj_list[v].append(u)
+        self._adj_set[u].add(v)
+        self._adj_set[v].add(u)
+
+    def add_edge_if_absent(self, u: int, v: int) -> bool:
+        """Insert edge ``{u, v}`` unless present; return whether inserted."""
+        if u == v or self.has_edge(u, v):
+            return False
+        self.add_edge(u, v)
+        return True
+
+    def remove_edge(self, u: int, v: int) -> None:
+        """Remove edge ``{u, v}``; raises :class:`GraphError` if absent.
+
+        Removal is O(degree) because adjacency lists are order-
+        preserving; turnstile experiments delete a minority of edges so
+        this does not dominate.
+        """
+        edge = normalize_edge(u, v)
+        index = self._edge_index.pop(edge, None)
+        if index is None:
+            raise GraphError(f"edge {edge} not present")
+        # Swap-remove from the flat edge list, fixing the moved edge's index.
+        last = self._edges.pop()
+        if index < len(self._edges):
+            self._edges[index] = last
+            self._edge_index[last] = index
+        self._adj_list[u].remove(v)
+        self._adj_list[v].remove(u)
+        self._adj_set[u].discard(v)
+        self._adj_set[v].discard(u)
+
+    # -- derived views -------------------------------------------------
+
+    def subgraph(self, vertices: Iterable[int]) -> Tuple["Graph", Dict[int, int]]:
+        """Induced subgraph on *vertices*.
+
+        Returns the subgraph (relabelled to ``0..k-1`` in the iteration
+        order of *vertices*) and the mapping from original labels to
+        new labels.
+        """
+        ordered = list(dict.fromkeys(vertices))
+        mapping = {v: i for i, v in enumerate(ordered)}
+        sub = Graph(len(ordered))
+        for u, v in itertools.combinations(ordered, 2):
+            if self.has_edge(u, v):
+                sub.add_edge(mapping[u], mapping[v])
+        return sub, mapping
+
+    def connected_components(self) -> List[List[int]]:
+        """Connected components, each a sorted vertex list."""
+        seen = [False] * self._n
+        components: List[List[int]] = []
+        for start in range(self._n):
+            if seen[start]:
+                continue
+            stack = [start]
+            seen[start] = True
+            component = []
+            while stack:
+                v = stack.pop()
+                component.append(v)
+                for w in self._adj_list[v]:
+                    if not seen[w]:
+                        seen[w] = True
+                        stack.append(w)
+            components.append(sorted(component))
+        return components
+
+    def is_connected(self) -> bool:
+        """Whether the graph is connected (vacuously true for n <= 1)."""
+        if self._n <= 1:
+            return True
+        return len(self.connected_components()) == 1
+
+    def complement_edges(self) -> Iterator[Edge]:
+        """Iterate over the non-edges of the graph."""
+        for u, v in itertools.combinations(range(self._n), 2):
+            if not self.has_edge(u, v):
+                yield (u, v)
+
+    # -- internals -----------------------------------------------------
+
+    def _check_vertex(self, v: int) -> None:
+        if not 0 <= v < self._n:
+            raise GraphError(f"vertex {v} out of range [0, {self._n})")

@@ -1,0 +1,61 @@
+"""Edge-list I/O.
+
+Plain-text edge lists (one ``u v`` pair per line, ``#`` comments) are
+the interchange format for external graph data; examples use these to
+persist generated workloads.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional, Union
+
+from repro.errors import GraphError
+from repro.graph.graph import Graph
+
+PathLike = Union[str, "os.PathLike[str]"]
+
+
+def write_edge_list(graph: Graph, path: PathLike, header: bool = True) -> None:
+    """Write *graph* as a text edge list.
+
+    With *header*, the first line is a comment ``# n m`` recording the
+    vertex count, so isolated trailing vertices survive a round trip.
+    """
+    with open(path, "w", encoding="utf-8") as handle:
+        if header:
+            handle.write(f"# {graph.n} {graph.m}\n")
+        for u, v in graph.edges():
+            handle.write(f"{u} {v}\n")
+
+
+def read_edge_list(path: PathLike, n: Optional[int] = None) -> Graph:
+    """Read a text edge list written by :func:`write_edge_list`.
+
+    Vertex count resolution order: explicit *n* argument, ``# n m``
+    header, else inferred as ``max vertex id + 1``.
+    """
+    edges = []
+    header_n: Optional[int] = None
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_number, raw in enumerate(handle, start=1):
+            line = raw.strip()
+            if not line:
+                continue
+            if line.startswith("#"):
+                if header_n is None:
+                    fields = line[1:].split()
+                    if len(fields) >= 1 and fields[0].isdigit():
+                        header_n = int(fields[0])
+                continue
+            fields = line.split()
+            if len(fields) < 2:
+                raise GraphError(f"{path}:{line_number}: expected 'u v', got {line!r}")
+            try:
+                u, v = int(fields[0]), int(fields[1])
+            except ValueError as exc:
+                raise GraphError(f"{path}:{line_number}: non-integer endpoint in {line!r}") from exc
+            edges.append((u, v))
+    if n is None:
+        n = header_n
+    return Graph.from_edges(edges, n=n)

@@ -1,0 +1,79 @@
+"""The degree-based total vertex order ≺_G of Definition 12.
+
+``u ≺_G v`` iff ``dg(u) < dg(v)``, or ``dg(u) == dg(v)`` and
+``id(u) < id(v)``.  Canonical cycles and stars (Definitions 13–14) are
+defined relative to this order, and the FGP sampler's correctness
+depends on it being a *total* order — ties are broken by vertex id.
+"""
+
+from __future__ import annotations
+
+from typing import List, Mapping, Sequence, Tuple
+
+from repro.graph.graph import Graph
+
+
+def precedes(graph: Graph, u: int, v: int) -> bool:
+    """Whether ``u ≺_G v`` under Definition 12."""
+    du, dv = graph.degree(u), graph.degree(v)
+    if du != dv:
+        return du < dv
+    return u < v
+
+
+class VertexOrder:
+    """A materialized ≺ order usable without the full graph.
+
+    The streaming algorithms only ever learn the degrees of the O(1)
+    vertices they sampled; this class reproduces ≺_G from such a
+    partial degree map so the stream-side postprocessing can perform
+    exactly the same canonicality checks as the query-model algorithm.
+
+    Parameters
+    ----------
+    degrees:
+        Mapping from vertex id to its degree in G.  Comparisons are
+        only valid for vertices present in the mapping.
+    """
+
+    __slots__ = ("_degrees",)
+
+    def __init__(self, degrees: Mapping[int, int]) -> None:
+        self._degrees = dict(degrees)
+
+    @classmethod
+    def from_graph(cls, graph: Graph) -> "VertexOrder":
+        """Materialize the full ≺_G order of *graph*."""
+        return cls({v: graph.degree(v) for v in graph.vertices()})
+
+    def degree(self, v: int) -> int:
+        """Recorded degree of *v*; raises ``KeyError`` if unknown."""
+        return self._degrees[v]
+
+    def knows(self, v: int) -> bool:
+        """Whether *v*'s degree has been recorded."""
+        return v in self._degrees
+
+    def key(self, v: int) -> Tuple[int, int]:
+        """Sort key realizing ≺: ``(degree, id)``."""
+        return (self._degrees[v], v)
+
+    def precedes(self, u: int, v: int) -> bool:
+        """Whether ``u ≺ v``."""
+        return self.key(u) < self.key(v)
+
+    def sorted(self, vertices: Sequence[int]) -> List[int]:
+        """Vertices sorted increasingly by ≺."""
+        return sorted(vertices, key=self.key)
+
+    def minimum(self, vertices: Sequence[int]) -> int:
+        """The ≺-minimum of a non-empty vertex collection."""
+        if not vertices:
+            raise ValueError("minimum of empty vertex collection")
+        return min(vertices, key=self.key)
+
+    def is_increasing(self, vertices: Sequence[int]) -> bool:
+        """Whether the sequence is strictly ≺-increasing."""
+        return all(
+            self.precedes(a, b) for a, b in zip(vertices, vertices[1:])
+        )

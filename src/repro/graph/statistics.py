@@ -1,0 +1,85 @@
+"""Descriptive graph statistics used by experiments and examples.
+
+Small, exact computations over a materialized graph: degree summaries,
+wedge counts, the AGM bound on #H, and a one-line profile used in
+experiment table headers.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.graph.degeneracy import degeneracy
+from repro.graph.graph import Graph
+
+
+def wedge_count(graph: Graph) -> int:
+    """Number of paths on 3 vertices (#P3) = Σ_v C(d_v, 2)."""
+    return sum(d * (d - 1) // 2 for d in graph.degrees())
+
+
+def degree_histogram(graph: Graph) -> Dict[int, int]:
+    """Map degree -> number of vertices with that degree."""
+    histogram: Dict[int, int] = {}
+    for d in graph.degrees():
+        histogram[d] = histogram.get(d, 0) + 1
+    return histogram
+
+
+def degree_moment(graph: Graph, power: int) -> float:
+    """Σ_v d_v^power (power = 2 appears in the C4 walk identity)."""
+    return float(sum(d**power for d in graph.degrees()))
+
+
+def agm_bound(graph: Graph, rho: float) -> float:
+    """The AGM bound: #H <= m^ρ(H) [AGM08], quoted in §1.
+
+    The natural starting point for geometric search over the unknown
+    lower bound L.
+    """
+    return float(graph.m) ** rho
+
+
+def heavy_vertices(graph: Graph) -> List[int]:
+    """Vertices with degree > √(2m) — the SampleWedge high branch set."""
+    if graph.m == 0:
+        return []
+    threshold = math.sqrt(2.0 * graph.m)
+    return [v for v in graph.vertices() if graph.degree(v) > threshold]
+
+
+@dataclass(frozen=True)
+class GraphProfile:
+    """One-line summary of a workload graph."""
+
+    n: int
+    m: int
+    max_degree: int
+    mean_degree: float
+    degeneracy: int
+    wedges: int
+    heavy_count: int
+
+    def describe(self) -> str:
+        return (
+            f"n={self.n} m={self.m} dmax={self.max_degree} "
+            f"davg={self.mean_degree:.2f} lambda={self.degeneracy} "
+            f"wedges={self.wedges} heavy(>sqrt(2m))={self.heavy_count}"
+        )
+
+
+def profile(graph: Graph) -> GraphProfile:
+    """Compute a :class:`GraphProfile` for *graph*."""
+    n = graph.n
+    mean_degree = 2.0 * graph.m / n if n else 0.0
+    return GraphProfile(
+        n=n,
+        m=graph.m,
+        max_degree=graph.max_degree(),
+        mean_degree=mean_degree,
+        degeneracy=degeneracy(graph),
+        wedges=wedge_count(graph),
+        heavy_count=len(heavy_vertices(graph)),
+    )

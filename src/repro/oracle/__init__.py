@@ -1,0 +1,31 @@
+"""Query-access models for graphs (Definitions 6 and 10)."""
+
+from repro.oracle.base import (
+    AdjacencyQuery,
+    DegreeQuery,
+    EdgeCountQuery,
+    NeighborQuery,
+    Query,
+    QueryAccounting,
+    RandomEdgeQuery,
+    RandomNeighborQuery,
+)
+from repro.oracle.direct import (
+    DirectAugmentedOracle,
+    DirectGeneralOracle,
+    DirectRelaxedOracle,
+)
+
+__all__ = [
+    "Query",
+    "RandomEdgeQuery",
+    "DegreeQuery",
+    "NeighborQuery",
+    "RandomNeighborQuery",
+    "AdjacencyQuery",
+    "EdgeCountQuery",
+    "QueryAccounting",
+    "DirectAugmentedOracle",
+    "DirectGeneralOracle",
+    "DirectRelaxedOracle",
+]

@@ -1,0 +1,119 @@
+"""Query types of the (relaxed) augmented general graph model.
+
+Definition 6 allows four query types on a graph G = (V, E):
+
+* f1 — return a uniformly random edge;
+* f2(v) — return the degree of v;
+* f3(v, i) — return the i-th neighbor of v;
+* f4(u, v) — return whether (u, v) ∈ E.
+
+Definition 10 (the relaxed model, used for turnstile streams) replaces
+f1 with an approximately uniform edge sample that may fail, and f3
+with an approximately uniform random *neighbor* query.
+
+A round-adaptive algorithm (Definition 8) communicates with an oracle
+exclusively through *batches* of these query objects: it yields one
+batch per round and receives positionally matching answers.  Both the
+direct oracles (:mod:`repro.oracle.direct`) and the stream emulators
+(:mod:`repro.transform`) answer the same query objects — that shared
+vocabulary is the transformation of Theorems 9/11.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Union
+
+
+@dataclass(frozen=True)
+class RandomEdgeQuery:
+    """f1: a uniformly random edge.  Answer: ``(u, v)`` or ``None``.
+
+    In the augmented model the answer is exactly uniform and never
+    fails; in the relaxed model it is near-uniform and may be ``None``.
+    """
+
+
+@dataclass(frozen=True)
+class DegreeQuery:
+    """f2: the degree of *vertex*.  Answer: ``int``."""
+
+    vertex: int
+
+
+@dataclass(frozen=True)
+class NeighborQuery:
+    """f3 (augmented): the *index*-th neighbor of *vertex* (0-based).
+
+    Answer: neighbor id, or ``None`` when ``index >= degree``.
+    Definition 6 requires ``i ∈ [dg(v)]``; we return ``None`` for
+    out-of-range indices instead of raising, because the FGP sampler
+    deliberately draws the index from [√(2m)] *before* knowing the
+    degree and treats an out-of-range draw as a failed sample.
+    """
+
+    vertex: int
+    index: int
+
+
+@dataclass(frozen=True)
+class RandomNeighborQuery:
+    """f3 (relaxed): a near-uniform random neighbor of *vertex*.
+
+    Answer: neighbor id or ``None`` (failure / isolated vertex).
+    """
+
+    vertex: int
+
+
+@dataclass(frozen=True)
+class AdjacencyQuery:
+    """f4: whether the edge {u, v} is present.  Answer: ``bool``."""
+
+    u: int
+    v: int
+
+
+@dataclass(frozen=True)
+class EdgeCountQuery:
+    """The number of edges m.
+
+    The sublinear-time literature assumes m is known; a streaming
+    algorithm obtains it by counting during its first pass.  Modelled
+    as an explicit query so the transformation stays mechanical.
+    """
+
+
+Query = Union[
+    RandomEdgeQuery,
+    DegreeQuery,
+    NeighborQuery,
+    RandomNeighborQuery,
+    AdjacencyQuery,
+    EdgeCountQuery,
+]
+
+QueryBatch = Sequence[Query]
+
+
+@dataclass
+class QueryAccounting:
+    """Counts queries by type; ``q`` drives the space bound O(q log n)."""
+
+    counts: Dict[str, int] = field(default_factory=dict)
+
+    def record(self, query: Query) -> None:
+        name = type(query).__name__
+        self.counts[name] = self.counts.get(name, 0) + 1
+
+    def record_batch(self, batch: QueryBatch) -> None:
+        for query in batch:
+            self.record(query)
+
+    @property
+    def total(self) -> int:
+        """Total number of queries asked so far."""
+        return sum(self.counts.values())
+
+    def by_type(self) -> Dict[str, int]:
+        return dict(self.counts)

@@ -1,0 +1,69 @@
+"""Pattern (target subgraph H) substrate.
+
+Provides the quantities the paper's bounds are parameterized by:
+fractional edge cover ρ(H) (Definition 3), integral edge cover β(H),
+the odd-cycle/star decomposition of Lemma 4, canonical cycles and
+stars (Definitions 13–14), and the normalisation count f_T(H) used by
+the FGP sampler.
+"""
+
+from repro.patterns.pattern import Pattern
+from repro.patterns.edge_cover import (
+    fractional_edge_cover_number,
+    fractional_edge_cover,
+    fractional_vertex_cover_number,
+    integral_edge_cover_number,
+)
+from repro.patterns.decomposition import (
+    CycleStarDecomposition,
+    Piece,
+    decompose,
+    decomposition_cost,
+    family_normalisation_count,
+)
+from repro.patterns.canonical import (
+    canonical_cycle_sequence,
+    canonical_star_sequence,
+    is_canonical_cycle,
+    is_canonical_star,
+)
+from repro.patterns.agm import (
+    AgmCheck,
+    agm_bound,
+    one_pass_lower_bound_scale,
+    verify_agm,
+)
+from repro.patterns.automorphisms import automorphism_count, automorphisms
+from repro.patterns.isomorphism import (
+    count_spanning_copies,
+    enumerate_copies,
+    enumerate_spanning_copies,
+    is_subgraph_of,
+)
+
+__all__ = [
+    "Pattern",
+    "fractional_edge_cover_number",
+    "fractional_edge_cover",
+    "fractional_vertex_cover_number",
+    "integral_edge_cover_number",
+    "CycleStarDecomposition",
+    "Piece",
+    "decompose",
+    "decomposition_cost",
+    "family_normalisation_count",
+    "canonical_cycle_sequence",
+    "canonical_star_sequence",
+    "is_canonical_cycle",
+    "is_canonical_star",
+    "AgmCheck",
+    "agm_bound",
+    "one_pass_lower_bound_scale",
+    "verify_agm",
+    "automorphism_count",
+    "automorphisms",
+    "count_spanning_copies",
+    "enumerate_copies",
+    "enumerate_spanning_copies",
+    "is_subgraph_of",
+]

@@ -1,0 +1,77 @@
+"""The AGM bound and related count/space bounds from §1.
+
+Atserias–Grohe–Marx [AGM08]: for any pattern H and host with m edges,
+
+    #H <= m^ρ(H),
+
+with ρ(H) the fractional edge-cover number (Definition 3).  The paper
+leans on this twice: it makes the Theorem 1/17 space
+~O(m^ρ/(ε²#H)) at most ~O(m^ρ) (never vacuous), and it orders the
+related-work space bounds (ρ <= β <= |E(H)|).
+
+Also here: the [KKP18] 1-pass turnstile lower-bound scale
+~Ω(m/#H^{1/τ}) with τ the *fractional vertex-cover* number — the
+quantity that certifies why the paper's 3-pass algorithms cannot be
+collapsed into one pass at the same space.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import PatternError
+from repro.exact.subgraphs import count_subgraphs
+from repro.graph.graph import Graph
+from repro.patterns.pattern import Pattern
+
+
+def agm_bound(pattern: Pattern, m: int) -> float:
+    """The AGM upper bound m^ρ(H) on #H in any m-edge host."""
+    if m < 0:
+        raise PatternError(f"edge count must be >= 0, got {m}")
+    return float(m) ** pattern.rho()
+
+
+@dataclass(frozen=True)
+class AgmCheck:
+    """Outcome of verifying the AGM bound on one host/pattern pair."""
+
+    pattern_name: str
+    count: int
+    bound: float
+
+    @property
+    def ratio(self) -> float:
+        """#H / m^ρ(H) — must be <= 1 by [AGM08]."""
+        if self.bound == 0:
+            return 0.0 if self.count == 0 else float("inf")
+        return self.count / self.bound
+
+    @property
+    def holds(self) -> bool:
+        return self.count <= self.bound + 1e-9
+
+
+def verify_agm(host: Graph, pattern: Pattern) -> AgmCheck:
+    """Exactly count #H in *host* and compare against m^ρ(H)."""
+    count = count_subgraphs(host, pattern)
+    return AgmCheck(
+        pattern_name=pattern.name,
+        count=count,
+        bound=agm_bound(pattern, host.m),
+    )
+
+
+def one_pass_lower_bound_scale(pattern: Pattern, m: int, count: float) -> float:
+    """The [KKP18] 1-pass turnstile space scale ~Ω(m / #H^{1/τ}).
+
+    τ is the fractional vertex-cover number of H.  A multi-pass
+    algorithm beating this scale (as Theorems 1/17 do at 3 passes for
+    ρ-heavy patterns) certifies that the extra passes are doing work.
+    """
+    if m < 0:
+        raise PatternError(f"edge count must be >= 0, got {m}")
+    if count <= 0:
+        return float(m)
+    tau = pattern.tau()
+    return m / count ** (1.0 / tau)

@@ -1,0 +1,81 @@
+"""Canonical cycles and stars (Definitions 13 and 14).
+
+A sequence of vertices (u_1, ..., u_k) is a *canonical k-cycle* in
+(E', ≺) if consecutive vertices (cyclically) are adjacent in E',
+u_1 ≺ u_i for all i >= 2, and u_k ≺ u_2 (i.e. the start is the
+≺-minimum and the orientation is fixed by comparing the two neighbors
+of the start).  A sequence (u_0, u_1, ..., u_k) is a *canonical
+k-star* if u_0 is adjacent to every u_i and the petals are strictly
+≺-increasing.
+
+Every cycle subgraph has exactly one canonical sequence; every star
+subgraph with a distinguished center has exactly one.  The FGP
+sampler's per-family probability accounting rests on this uniqueness,
+which the property tests verify.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence, Tuple
+
+from repro.errors import PatternError
+from repro.graph.order import VertexOrder
+
+EdgePredicate = Callable[[int, int], bool]
+
+
+def is_canonical_cycle(
+    sequence: Sequence[int], order: VertexOrder, has_edge: EdgePredicate
+) -> bool:
+    """Whether *sequence* is a canonical cycle under (has_edge, ≺)."""
+    k = len(sequence)
+    if k < 3 or len(set(sequence)) != k:
+        return False
+    for i in range(k):
+        if not has_edge(sequence[i], sequence[(i + 1) % k]):
+            return False
+    first = sequence[0]
+    for other in sequence[1:]:
+        if not order.precedes(first, other):
+            return False
+    return order.precedes(sequence[-1], sequence[1])
+
+
+def is_canonical_star(
+    sequence: Sequence[int], order: VertexOrder, has_edge: EdgePredicate
+) -> bool:
+    """Whether *sequence* = (center, petals...) is a canonical star."""
+    if len(sequence) < 2 or len(set(sequence)) != len(sequence):
+        return False
+    center, petals = sequence[0], sequence[1:]
+    for petal in petals:
+        if not has_edge(center, petal):
+            return False
+    return all(order.precedes(a, b) for a, b in zip(petals, petals[1:]))
+
+
+def canonical_cycle_sequence(
+    cycle: Sequence[int], order: VertexOrder
+) -> Tuple[int, ...]:
+    """The unique canonical sequence of a cycle given in cyclic order.
+
+    Rotates so the ≺-minimum comes first, then reflects so the last
+    element ≺ the second.
+    """
+    k = len(cycle)
+    if k < 3:
+        raise PatternError(f"cycle must have >= 3 vertices, got {cycle}")
+    start_index = min(range(k), key=lambda i: order.key(cycle[i]))
+    rotated = [cycle[(start_index + i) % k] for i in range(k)]
+    if order.precedes(rotated[1], rotated[-1]):
+        rotated = [rotated[0]] + rotated[1:][::-1]
+    return tuple(rotated)
+
+
+def canonical_star_sequence(
+    center: int, petals: Sequence[int], order: VertexOrder
+) -> Tuple[int, ...]:
+    """The unique canonical sequence (center, sorted petals)."""
+    if not petals:
+        raise PatternError("star needs at least one petal")
+    return (center, *order.sorted(list(petals)))

@@ -1,0 +1,397 @@
+"""Lemma 4: decomposing H into vertex-disjoint odd cycles and stars.
+
+Every pattern H (min degree >= 1) can be partitioned into vertex-
+disjoint odd cycles C_1..C_α and stars S_1..S_β with
+ρ(H) = Σ ρ(C_i) + Σ ρ(S_j), where ρ(C_{2k+1}) = k + 1/2 and
+ρ(S_k) = k.  The FGP sampler samples one canonical piece per
+decomposition part.
+
+We compute an *optimal* decomposition exactly by dynamic programming
+over vertex subsets (patterns are constant-size), and verify in tests
+that its cost equals the LP value ρ(H) — this is precisely the
+statement of Lemma 4.
+
+This module also computes f_T(H), the number of ordered canonical
+piece-families that decompose a fixed copy of H.  The FGP sampler
+accepts with probability 1/f_T(H) so each copy is returned with
+probability exactly 1/(2m)^ρ(H) (Lemma 15); see
+``repro/fgp/sampler.py`` for the accounting.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import PatternError
+from repro.graph.graph import Graph
+
+_MAX_PATTERN_VERTICES = 14
+
+
+@dataclass(frozen=True)
+class Piece:
+    """One decomposition part: an odd cycle or a star.
+
+    For a cycle, ``vertices`` lists the cycle in cyclic order.  For a
+    star, ``vertices[0]`` is the center and the rest are petals.
+    """
+
+    kind: str  # "cycle" | "star"
+    vertices: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("cycle", "star"):
+            raise PatternError(f"unknown piece kind {self.kind!r}")
+        if self.kind == "cycle":
+            if len(self.vertices) < 3 or len(self.vertices) % 2 == 0:
+                raise PatternError(f"cycle piece must have odd length >= 3, got {self.vertices}")
+        elif len(self.vertices) < 2:
+            raise PatternError(f"star piece needs a center and >= 1 petal, got {self.vertices}")
+
+    @property
+    def size(self) -> int:
+        """Number of vertices in the piece."""
+        return len(self.vertices)
+
+    @property
+    def cost(self) -> Fraction:
+        """ρ of the piece: (2k+1)/2 for C_{2k+1}, k for S_k."""
+        if self.kind == "cycle":
+            return Fraction(len(self.vertices), 2)
+        return Fraction(len(self.vertices) - 1, 1)
+
+    @property
+    def petals(self) -> int:
+        """Number of petals (stars only)."""
+        if self.kind != "star":
+            raise PatternError("petals is only defined for star pieces")
+        return len(self.vertices) - 1
+
+    @property
+    def length(self) -> int:
+        """Cycle length (cycles only)."""
+        if self.kind != "cycle":
+            raise PatternError("length is only defined for cycle pieces")
+        return len(self.vertices)
+
+
+@dataclass(frozen=True)
+class CycleStarDecomposition:
+    """A Lemma 4 decomposition of a pattern H.
+
+    ``pieces`` is a witness partition of V(H); the *type* T of the
+    decomposition — what the sampler actually consumes — is the
+    multiset of cycle lengths and star petal counts, exposed in a
+    fixed deterministic order (descending size, cycles first).
+    """
+
+    pieces: Tuple[Piece, ...]
+
+    @property
+    def cycle_lengths(self) -> Tuple[int, ...]:
+        """Odd cycle lengths c_1 >= c_2 >= ..."""
+        return tuple(
+            sorted((p.length for p in self.pieces if p.kind == "cycle"), reverse=True)
+        )
+
+    @property
+    def star_petals(self) -> Tuple[int, ...]:
+        """Star petal counts s_1 >= s_2 >= ..."""
+        return tuple(
+            sorted((p.petals for p in self.pieces if p.kind == "star"), reverse=True)
+        )
+
+    @property
+    def cost(self) -> Fraction:
+        """Total ρ of the decomposition; equals ρ(H) by Lemma 4."""
+        return sum((p.cost for p in self.pieces), Fraction(0))
+
+    def type_signature(self) -> Tuple[Tuple[int, ...], Tuple[int, ...]]:
+        """(cycle lengths, star petal counts) — the sampler's input."""
+        return (self.cycle_lengths, self.star_petals)
+
+
+def decomposition_cost(decomposition: CycleStarDecomposition) -> float:
+    """Cost of a decomposition as a float (Σ piece ρ's)."""
+    return float(decomposition.cost)
+
+
+# ---------------------------------------------------------------------------
+# Optimal decomposition by subset DP
+# ---------------------------------------------------------------------------
+
+
+def _spanning_star_centers(adjacency_masks: Sequence[int], subset: int) -> Iterator[int]:
+    """Centers c in *subset* adjacent to every other subset vertex."""
+    rest = subset
+    while rest:
+        low = rest & -rest
+        center = low.bit_length() - 1
+        rest ^= low
+        others = subset & ~(1 << center)
+        if others and adjacency_masks[center] & others == others:
+            yield center
+
+
+def _hamiltonian_cycle_table(graph: Graph) -> List[bool]:
+    """``table[mask]``: does H[mask] contain a Hamiltonian cycle?
+
+    Classic Held–Karp reachability: paths anchored at the lowest
+    vertex of the mask.  Only masks with odd popcount >= 3 are ever
+    queried, but the table is filled for all masks.
+    """
+    n = graph.n
+    adjacency = [0] * n
+    for u, v in graph.edges():
+        adjacency[u] |= 1 << v
+        adjacency[v] |= 1 << u
+
+    table = [False] * (1 << n)
+    for mask in range(1, 1 << n):
+        if mask.bit_count() < 3:
+            continue
+        start = (mask & -mask).bit_length() - 1
+        # reach[last] = set of sub-masks is too big; instead DP on
+        # (visited, last) for this mask's submasks anchored at start.
+        # We compute per-mask to keep memory at O(2^n * n) bools total.
+        reachable: Dict[Tuple[int, int], bool] = {}
+
+        def path_exists(visited: int, last: int) -> bool:
+            if visited == (1 << start) | (1 << last) and start != last:
+                return bool(adjacency[start] & (1 << last))
+            key = (visited, last)
+            cached = reachable.get(key)
+            if cached is not None:
+                return cached
+            result = False
+            previous_candidates = adjacency[last] & visited & ~(1 << last)
+            rest = previous_candidates
+            while rest and not result:
+                low = rest & -rest
+                previous = low.bit_length() - 1
+                rest ^= low
+                if previous == start and visited != (1 << start) | (1 << last):
+                    continue
+                result = path_exists(visited & ~(1 << last), previous)
+            reachable[key] = result
+            return result
+
+        found = False
+        closers = adjacency[start] & mask
+        rest = closers
+        while rest and not found:
+            low = rest & -rest
+            last = low.bit_length() - 1
+            rest ^= low
+            if last != start and path_exists(mask, last):
+                found = True
+        table[mask] = found
+    return table
+
+
+def _extract_hamiltonian_cycle(graph: Graph, subset_vertices: List[int]) -> List[int]:
+    """One Hamiltonian cycle of H[subset] in cyclic order (must exist)."""
+    size = len(subset_vertices)
+    start = subset_vertices[0]
+    order: List[int] = [start]
+    used = {start}
+
+    def backtrack() -> bool:
+        if len(order) == size:
+            return graph.has_edge(order[-1], start)
+        for w in subset_vertices:
+            if w not in used and graph.has_edge(order[-1], w):
+                used.add(w)
+                order.append(w)
+                if backtrack():
+                    return True
+                order.pop()
+                used.remove(w)
+        return False
+
+    if not backtrack():  # pragma: no cover - caller guarantees existence
+        raise PatternError(f"no Hamiltonian cycle on {subset_vertices}")
+    return order
+
+
+def decompose(graph: Graph) -> CycleStarDecomposition:
+    """An optimal Lemma 4 decomposition of *graph*.
+
+    Exact subset DP: ``best[S]`` = cheapest partition of vertex set S
+    into odd-cycle/star pieces (2x cost stored as an int to stay
+    exact).  By Lemma 4, ``best[V] == 2 ρ(H)``; the test suite checks
+    this against the LP.
+    """
+    n = graph.n
+    if n == 0:
+        raise PatternError("cannot decompose the empty pattern")
+    if n > _MAX_PATTERN_VERTICES:
+        raise PatternError(
+            f"decomposition DP supports patterns with <= {_MAX_PATTERN_VERTICES} vertices, got {n}"
+        )
+    for v in graph.vertices():
+        if graph.degree(v) == 0:
+            raise PatternError(f"vertex {v} is isolated; Lemma 4 needs min degree >= 1")
+
+    adjacency = [0] * n
+    for u, v in graph.edges():
+        adjacency[u] |= 1 << v
+        adjacency[v] |= 1 << u
+
+    has_cycle = _hamiltonian_cycle_table(graph)
+    full = (1 << n) - 1
+    infinity = 10 * n
+    best: List[int] = [infinity] * (1 << n)
+    best[0] = 0
+    # choice[S] = (piece_mask, kind, center_or_minus1)
+    choice: List[Optional[Tuple[int, str, int]]] = [None] * (1 << n)
+
+    for covered in range(1 << n):
+        if best[covered] >= infinity:
+            continue
+        remaining = full & ~covered
+        if remaining == 0:
+            continue
+        lowest_bit = remaining & -remaining
+        # Enumerate submasks of `remaining` that contain the lowest
+        # uncovered vertex (piece containing it).
+        rest_pool = remaining & ~lowest_bit
+        submask = rest_pool
+        while True:
+            piece_mask = submask | lowest_bit
+            size = piece_mask.bit_count()
+            if size >= 2:
+                # Star option: cost2 = 2 * (size - 1).
+                centers = list(_spanning_star_centers(adjacency, piece_mask))
+                if centers:
+                    candidate = best[covered] + 2 * (size - 1)
+                    target = covered | piece_mask
+                    if candidate < best[target]:
+                        best[target] = candidate
+                        choice[target] = (piece_mask, "star", centers[0])
+                # Odd-cycle option: cost2 = size.
+                if size >= 3 and size % 2 == 1 and has_cycle[piece_mask]:
+                    candidate = best[covered] + size
+                    target = covered | piece_mask
+                    if candidate < best[target]:
+                        best[target] = candidate
+                        choice[target] = (piece_mask, "cycle", -1)
+            if submask == 0:
+                break
+            submask = (submask - 1) & rest_pool
+
+    if best[full] >= infinity:  # pragma: no cover - Lemma 4 guarantees existence
+        raise PatternError("no odd-cycle/star decomposition found")
+
+    # Reconstruct the witness pieces.
+    pieces: List[Piece] = []
+    cursor = full
+    while cursor:
+        piece_mask, kind, center = choice[cursor]  # type: ignore[misc]
+        members = [v for v in range(n) if piece_mask & (1 << v)]
+        if kind == "star":
+            petals = tuple(v for v in members if v != center)
+            pieces.append(Piece("star", (center, *petals)))
+        else:
+            order = _extract_hamiltonian_cycle(graph, members)
+            pieces.append(Piece("cycle", tuple(order)))
+        cursor &= ~piece_mask
+
+    pieces.sort(key=lambda p: (p.kind, -p.size, p.vertices))
+    return CycleStarDecomposition(tuple(pieces))
+
+
+# ---------------------------------------------------------------------------
+# f_T(H): ordered canonical families per copy
+# ---------------------------------------------------------------------------
+
+
+def _enumerate_cycles(graph: Graph, allowed: Tuple[int, ...], length: int) -> Iterator[Tuple[int, ...]]:
+    """Distinct cycles of *length* within *allowed* vertices.
+
+    Each cycle subgraph is yielded exactly once, as the vertex
+    sequence starting at its minimum vertex with the smaller second
+    vertex (fixing rotation and reflection).
+    """
+    allowed_set = set(allowed)
+
+    def extend(sequence: List[int]) -> Iterator[Tuple[int, ...]]:
+        if len(sequence) == length:
+            if graph.has_edge(sequence[-1], sequence[0]) and sequence[1] < sequence[-1]:
+                yield tuple(sequence)
+            return
+        for w in allowed_set:
+            if w in sequence or not graph.has_edge(sequence[-1], w):
+                continue
+            if w < sequence[0]:
+                continue  # start must be the minimum
+            sequence.append(w)
+            yield from extend(sequence)
+            sequence.pop()
+
+    for start in sorted(allowed_set):
+        yield from extend([start])
+
+
+def _enumerate_stars(
+    graph: Graph, allowed: Tuple[int, ...], petals: int
+) -> Iterator[Tuple[int, Tuple[int, ...]]]:
+    """(center, petal-set) pairs with the given petal count in *allowed*.
+
+    For petals == 1 both orientations of an edge appear — exactly the
+    two canonical 1-star sequences of Definition 14.
+    """
+    allowed_set = set(allowed)
+    for center in allowed:
+        neighbors = [w for w in graph.neighbors(center) if w in allowed_set]
+        if len(neighbors) < petals:
+            continue
+        for petal_set in itertools.combinations(sorted(neighbors), petals):
+            yield center, petal_set
+
+
+def family_normalisation_count(
+    graph: Graph, decomposition: CycleStarDecomposition
+) -> int:
+    """f_T(H): ordered canonical piece-families decomposing H.
+
+    A *family* assigns to every decomposition position (first the
+    cycles of T in descending length, then the stars in descending
+    petal count) a concrete canonical piece inside H, such that the
+    pieces are vertex-disjoint and cover V(H).  Canonical sequences
+    (Definitions 13–14) are in bijection with (cycle subgraph) /
+    (center, petal-set) choices for *any* total vertex order, so the
+    count is isomorphism-invariant and can be computed on H itself.
+
+    The FGP sampler produces each family with probability
+    (1/2m)^ρ(H), and f_T(H) is the per-copy multiplicity it divides
+    out (Lemma 15).
+    """
+    positions: List[Tuple[str, int]] = [
+        ("cycle", c) for c in decomposition.cycle_lengths
+    ] + [("star", s) for s in decomposition.star_petals]
+    all_vertices = tuple(graph.vertices())
+
+    def count_from(index: int, remaining: Tuple[int, ...]) -> int:
+        if index == len(positions):
+            return 1 if not remaining else 0
+        kind, size_parameter = positions[index]
+        total = 0
+        if kind == "cycle":
+            for cycle_vertices in _enumerate_cycles(graph, remaining, size_parameter):
+                rest = tuple(v for v in remaining if v not in cycle_vertices)
+                total += count_from(index + 1, rest)
+        else:
+            for center, petal_set in _enumerate_stars(graph, remaining, size_parameter):
+                used = {center, *petal_set}
+                rest = tuple(v for v in remaining if v not in used)
+                total += count_from(index + 1, rest)
+        return total
+
+    count = count_from(0, all_vertices)
+    if count <= 0:  # pragma: no cover - decomposition itself is a family
+        raise PatternError("f_T(H) must be positive; decomposition inconsistent")
+    return count

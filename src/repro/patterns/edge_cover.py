@@ -1,0 +1,147 @@
+"""Edge-cover numbers of a pattern (Definition 3 and footnote 1).
+
+* ρ(H): fractional edge-cover number — an LP minimum, solved exactly
+  with scipy's HiGHS solver.  Optimal basic solutions are
+  half-integral, which the decomposition module relies on.
+* β(H): integral edge-cover number — computed exactly by subset DP
+  (patterns are constant-size).
+* τ(H): fractional vertex-cover number — the parameter in the KKP18
+  one-pass lower bound quoted in §1; included for the experiment
+  tables.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Tuple
+
+import numpy as np
+from scipy.optimize import linprog
+
+from repro.errors import PatternError
+from repro.graph.graph import Edge, Graph
+
+
+def _require_min_degree_one(graph: Graph) -> None:
+    for v in graph.vertices():
+        if graph.degree(v) == 0:
+            raise PatternError(f"vertex {v} is isolated; no edge cover exists")
+
+
+def fractional_edge_cover(graph: Graph) -> Dict[Edge, float]:
+    """An optimal fractional edge cover ψ of *graph*.
+
+    Solves  min Σ ψ(e)  s.t.  Σ_{e ∋ v} ψ(e) >= 1 for all v, ψ >= 0.
+    The upper bound ψ <= 1 in Definition 3 is never active at an
+    optimum, so it is omitted.  Returns a basic optimal solution
+    (half-integral for this LP).
+    """
+    _require_min_degree_one(graph)
+    edges = list(graph.edges())
+    n, m = graph.n, len(edges)
+    # linprog solves min c @ x s.t. A_ub @ x <= b_ub; flip the cover
+    # constraints  A x >= 1  to  -A x <= -1.
+    matrix = np.zeros((n, m))
+    for j, (u, v) in enumerate(edges):
+        matrix[u, j] = 1.0
+        matrix[v, j] = 1.0
+    result = linprog(
+        c=np.ones(m),
+        A_ub=-matrix,
+        b_ub=-np.ones(n),
+        bounds=[(0.0, None)] * m,
+        method="highs",
+    )
+    if not result.success:  # pragma: no cover - LP is always feasible here
+        raise PatternError(f"edge-cover LP failed: {result.message}")
+    return {edge: float(weight) for edge, weight in zip(edges, result.x)}
+
+
+def fractional_edge_cover_number(graph: Graph) -> float:
+    """ρ(H): the value of the fractional edge-cover LP.
+
+    The value is always half-integral; we round to the nearest half to
+    remove solver noise.
+    """
+    cover = fractional_edge_cover(graph)
+    value = sum(cover.values())
+    return round(value * 2.0) / 2.0
+
+
+def fractional_vertex_cover_number(graph: Graph) -> float:
+    """τ(H): the fractional vertex-cover LP value (lower-bound parameter).
+
+    min Σ y(v)  s.t.  y(u) + y(v) >= 1 for every edge, y >= 0.
+    """
+    _require_min_degree_one(graph)
+    edges = list(graph.edges())
+    n, m = graph.n, len(edges)
+    matrix = np.zeros((m, n))
+    for i, (u, v) in enumerate(edges):
+        matrix[i, u] = 1.0
+        matrix[i, v] = 1.0
+    result = linprog(
+        c=np.ones(n),
+        A_ub=-matrix,
+        b_ub=-np.ones(m),
+        bounds=[(0.0, None)] * n,
+        method="highs",
+    )
+    if not result.success:  # pragma: no cover
+        raise PatternError(f"vertex-cover LP failed: {result.message}")
+    return round(float(result.fun) * 2.0) / 2.0
+
+
+def integral_edge_cover_number(graph: Graph) -> int:
+    """β(H): minimum number of edges covering all vertices.
+
+    Subset DP over vertex sets: ``best[S]`` = fewest edges covering at
+    least the vertices in S.  Patterns are constant-size (≤ ~16
+    vertices), so the 2^n DP is exact and fast.  Known identities used
+    in tests: β(K_r) = ⌈r/2⌉ and β(C_r) = ⌈r/2⌉ (footnote 1).
+    """
+    _require_min_degree_one(graph)
+    n = graph.n
+    if n > 20:
+        raise PatternError(f"integral edge cover DP supports n <= 20, got {n}")
+    full = (1 << n) - 1
+    edge_masks = [(1 << u) | (1 << v) for u, v in graph.edges()]
+    best: List[int] = [n + 1] * (1 << n)
+    best[0] = 0
+    for covered in range(1 << n):
+        if best[covered] > n:
+            continue
+        # Cover the lowest uncovered vertex with each of its edges.
+        remaining = full & ~covered
+        if remaining == 0:
+            continue
+        lowest = (remaining & -remaining).bit_length() - 1
+        for mask in edge_masks:
+            if mask & (1 << lowest):
+                after = covered | mask
+                if best[covered] + 1 < best[after]:
+                    best[after] = best[covered] + 1
+    if best[full] > n:  # pragma: no cover - excluded by min-degree check
+        raise PatternError("no edge cover found")
+    return best[full]
+
+
+def greedy_edge_cover(graph: Graph) -> List[Edge]:
+    """A (not necessarily minimum) edge cover: maximal matching + patches.
+
+    Used by baselines that only need *some* cover (Bera–Chakrabarti
+    style space accounting), not the optimum.
+    """
+    _require_min_degree_one(graph)
+    cover: List[Edge] = []
+    covered = set()
+    for u, v in graph.edges():
+        if u not in covered and v not in covered:
+            cover.append((u, v))
+            covered.update((u, v))
+    for v in graph.vertices():
+        if v not in covered:
+            u = graph.neighbors(v)[0]
+            cover.append((min(u, v), max(u, v)))
+            covered.add(v)
+    return cover

@@ -1,0 +1,151 @@
+"""Copy enumeration for constant-size hosts.
+
+The FGP postprocessing works on the induced subgraph G[U] where
+|U| = |V(H)| — a constant-size graph — and needs:
+
+* all copies of H *spanning* U (vertex set exactly U), possibly
+  constrained to contain a given edge set (the sampled pieces);
+* a cheap "does G[U] contain a spanning copy at all" predicate.
+
+A *copy* is a subgraph: we represent it by its frozen edge set.  Each
+copy corresponds to |Aut(H)| injective homomorphisms; enumeration
+dedupes through the edge-set representation.
+
+These routines are for constant-size inputs; counting #H in the full
+host graph lives in :mod:`repro.exact.subgraphs`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import PatternError
+from repro.graph.graph import Edge, Graph, normalize_edge
+
+Copy = FrozenSet[Edge]
+
+_MAX_HOST = 16
+
+
+def _matching_order(pattern: Graph) -> List[int]:
+    """Pattern vertices ordered so each (after the first per component)
+    has a neighbor earlier in the order — keeps backtracking connected
+    within components and prunes early."""
+    order: List[int] = []
+    placed: Set[int] = set()
+    remaining = set(pattern.vertices())
+    while remaining:
+        # Start a new component at the max-degree unplaced vertex.
+        start = max(remaining, key=pattern.degree)
+        frontier = [start]
+        while frontier:
+            frontier.sort(key=lambda v: (-sum(1 for w in pattern.neighbors(v) if w in placed), -pattern.degree(v)))
+            v = frontier.pop(0)
+            if v in placed:
+                continue
+            order.append(v)
+            placed.add(v)
+            remaining.discard(v)
+            for w in pattern.neighbors(v):
+                if w not in placed and w in remaining:
+                    frontier.append(w)
+        # Disconnected pattern: loop continues with the next component.
+    return order
+
+
+def _injective_maps(
+    host: Graph, pattern: Graph, allowed: Sequence[int]
+) -> Iterator[Dict[int, int]]:
+    """All injective homomorphisms pattern -> host[allowed].
+
+    Only requires pattern edges to map to host edges (subgraph, not
+    induced).
+    """
+    order = _matching_order(pattern)
+    allowed_list = list(allowed)
+    mapping: Dict[int, int] = {}
+    used: Set[int] = set()
+
+    def extend(index: int) -> Iterator[Dict[int, int]]:
+        if index == len(order):
+            yield dict(mapping)
+            return
+        v = order[index]
+        earlier_neighbors = [w for w in pattern.neighbors(v) if w in mapping]
+        for candidate in allowed_list:
+            if candidate in used:
+                continue
+            if host.degree(candidate) < pattern.degree(v):
+                continue
+            if all(host.has_edge(mapping[w], candidate) for w in earlier_neighbors):
+                mapping[v] = candidate
+                used.add(candidate)
+                yield from extend(index + 1)
+                used.discard(candidate)
+                del mapping[v]
+
+    yield from extend(0)
+
+
+def _copy_edges(pattern: Graph, mapping: Dict[int, int]) -> Copy:
+    return frozenset(normalize_edge(mapping[u], mapping[v]) for u, v in pattern.edges())
+
+
+def enumerate_spanning_copies(
+    host: Graph,
+    pattern: Graph,
+    vertex_set: Sequence[int],
+    required_edges: Optional[Set[Edge]] = None,
+) -> List[Copy]:
+    """Copies of *pattern* with vertex set exactly *vertex_set*.
+
+    Each copy is a frozenset of host edges.  With *required_edges*,
+    only copies whose edge set contains all of them are returned —
+    this is the "which copies does the sampled family witness" query
+    of the FGP postprocessing.
+    """
+    vertices = list(dict.fromkeys(vertex_set))
+    if len(vertices) != pattern.n:
+        return []
+    if len(vertices) > _MAX_HOST:
+        raise PatternError(f"spanning-copy enumeration supports <= {_MAX_HOST} vertices")
+    normalized_required: Set[Edge] = set()
+    if required_edges:
+        normalized_required = {normalize_edge(u, v) for u, v in required_edges}
+    seen: Set[Copy] = set()
+    copies: List[Copy] = []
+    for mapping in _injective_maps(host, pattern, vertices):
+        edges = _copy_edges(pattern, mapping)
+        if edges in seen:
+            continue
+        seen.add(edges)
+        if normalized_required and not normalized_required.issubset(edges):
+            continue
+        copies.append(edges)
+    return copies
+
+
+def count_spanning_copies(host: Graph, pattern: Graph, vertex_set: Sequence[int]) -> int:
+    """Number of copies of *pattern* spanning *vertex_set* in *host*."""
+    return len(enumerate_spanning_copies(host, pattern, vertex_set))
+
+
+def enumerate_copies(host: Graph, pattern: Graph) -> List[Copy]:
+    """All copies of *pattern* anywhere in *host* (small hosts only).
+
+    Intended for tests and for the postprocessing view; quadratic-ish
+    blowup makes it unsuitable for large hosts.
+    """
+    if host.n > _MAX_HOST:
+        raise PatternError(f"enumerate_copies supports hosts with <= {_MAX_HOST} vertices")
+    seen: Set[Copy] = set()
+    for mapping in _injective_maps(host, pattern, list(host.vertices())):
+        seen.add(_copy_edges(pattern, mapping))
+    return sorted(seen, key=sorted)
+
+
+def is_subgraph_of(host: Graph, pattern: Graph) -> bool:
+    """Whether *host* contains at least one copy of *pattern*."""
+    for _ in _injective_maps(host, pattern, list(host.vertices())):
+        return True
+    return False

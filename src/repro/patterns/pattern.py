@@ -1,0 +1,352 @@
+"""The target subgraph H.
+
+A :class:`Pattern` is a small, connected-or-not, simple graph together
+with lazily computed invariants (ρ(H), its Lemma 4 decomposition,
+automorphism count, f_T(H)).  Streaming algorithms are parameterized
+by a pattern; the estimator layer reads its invariants to size trial
+budgets.
+
+Patterns must have minimum degree >= 1: an isolated vertex admits no
+edge cover, and the FGP sampler covers every pattern vertex with a
+cycle or star piece.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.errors import PatternError
+from repro.graph.graph import Edge, Graph
+
+
+class Pattern:
+    """A constant-size target subgraph H.
+
+    Thin immutable wrapper around :class:`Graph` with a display name
+    and cached invariants.  Use the module-level constructors
+    (:func:`triangle`, :func:`clique`, ...) for the standard zoo.
+    """
+
+    def __init__(self, graph: Graph, name: Optional[str] = None) -> None:
+        if graph.n == 0:
+            raise PatternError("pattern must have at least one vertex")
+        for v in graph.vertices():
+            if graph.degree(v) == 0:
+                raise PatternError(
+                    f"pattern vertex {v} is isolated; no edge cover exists (Definition 3)"
+                )
+        self._graph = graph.copy()
+        self._name = name or f"H(n={graph.n},m={graph.m})"
+        self._cache: Dict[str, object] = {}
+
+    # -- structure -----------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        """Human-readable name used in experiment tables."""
+        return self._name
+
+    @property
+    def graph(self) -> Graph:
+        """The underlying pattern graph (do not mutate)."""
+        return self._graph
+
+    @property
+    def num_vertices(self) -> int:
+        return self._graph.n
+
+    @property
+    def num_edges(self) -> int:
+        return self._graph.m
+
+    def edges(self) -> Iterable[Edge]:
+        return self._graph.edges()
+
+    def degree(self, v: int) -> int:
+        return self._graph.degree(v)
+
+    def __repr__(self) -> str:
+        return f"Pattern({self._name!r}, n={self.num_vertices}, m={self.num_edges})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Pattern):
+            return NotImplemented
+        return self._graph == other._graph
+
+    def __hash__(self) -> int:
+        return hash(self._graph)
+
+    # -- cached invariants ----------------------------------------------
+
+    def rho(self) -> float:
+        """Fractional edge-cover number ρ(H) (Definition 3)."""
+        if "rho" not in self._cache:
+            from repro.patterns.edge_cover import fractional_edge_cover_number
+
+            self._cache["rho"] = fractional_edge_cover_number(self._graph)
+        return self._cache["rho"]  # type: ignore[return-value]
+
+    def beta(self) -> int:
+        """Integral edge-cover number β(H)."""
+        if "beta" not in self._cache:
+            from repro.patterns.edge_cover import integral_edge_cover_number
+
+            self._cache["beta"] = integral_edge_cover_number(self._graph)
+        return self._cache["beta"]  # type: ignore[return-value]
+
+    def tau(self) -> float:
+        """Fractional vertex-cover number τ(H) (the [KKP18] parameter)."""
+        if "tau" not in self._cache:
+            from repro.patterns.edge_cover import fractional_vertex_cover_number
+
+            self._cache["tau"] = fractional_vertex_cover_number(self._graph)
+        return self._cache["tau"]  # type: ignore[return-value]
+
+    def decomposition(self):
+        """The Lemma 4 odd-cycle/star decomposition of H."""
+        if "decomposition" not in self._cache:
+            from repro.patterns.decomposition import decompose
+
+            self._cache["decomposition"] = decompose(self._graph)
+        return self._cache["decomposition"]
+
+    def family_count(self) -> int:
+        """f_T(H): ordered canonical piece-families per copy (see fgp)."""
+        if "family_count" not in self._cache:
+            from repro.patterns.decomposition import family_normalisation_count
+
+            self._cache["family_count"] = family_normalisation_count(
+                self._graph, self.decomposition()
+            )
+        return self._cache["family_count"]  # type: ignore[return-value]
+
+    def automorphism_count(self) -> int:
+        """|Aut(H)|, used to convert labelled matches to copies."""
+        if "aut" not in self._cache:
+            from repro.patterns.automorphisms import automorphism_count
+
+            self._cache["aut"] = automorphism_count(self._graph)
+        return self._cache["aut"]  # type: ignore[return-value]
+
+
+# ---------------------------------------------------------------------------
+# The standard pattern zoo
+# ---------------------------------------------------------------------------
+
+
+def edge() -> Pattern:
+    """A single edge K_2 (ρ = 1)."""
+    return Pattern(Graph(2, [(0, 1)]), name="edge")
+
+
+def triangle() -> Pattern:
+    """The triangle K_3 = C_3 (ρ = 3/2)."""
+    return Pattern(Graph(3, [(0, 1), (1, 2), (0, 2)]), name="triangle")
+
+
+def clique(r: int) -> Pattern:
+    """K_r (ρ = r/2)."""
+    if r < 2:
+        raise PatternError(f"clique needs r >= 2, got {r}")
+    return Pattern(
+        Graph(r, itertools.combinations(range(r), 2)), name=f"K{r}"
+    )
+
+
+def cycle(k: int) -> Pattern:
+    """C_k (ρ = k/2; for odd k = 2t+1, ρ = t + 1/2)."""
+    if k < 3:
+        raise PatternError(f"cycle needs k >= 3, got {k}")
+    return Pattern(Graph(k, [(i, (i + 1) % k) for i in range(k)]), name=f"C{k}")
+
+
+def star(k: int) -> Pattern:
+    """S_k: star with k petals, center 0 (ρ = k)."""
+    if k < 1:
+        raise PatternError(f"star needs k >= 1 petals, got {k}")
+    return Pattern(Graph(k + 1, [(0, i) for i in range(1, k + 1)]), name=f"S{k}")
+
+
+def path(num_vertices: int) -> Pattern:
+    """P_k: path on *num_vertices* vertices."""
+    if num_vertices < 2:
+        raise PatternError(f"path needs >= 2 vertices, got {num_vertices}")
+    return Pattern(
+        Graph(num_vertices, [(i, i + 1) for i in range(num_vertices - 1)]),
+        name=f"P{num_vertices}",
+    )
+
+
+def matching(k: int) -> Pattern:
+    """k disjoint edges (ρ = k)."""
+    if k < 1:
+        raise PatternError(f"matching needs k >= 1 edges, got {k}")
+    return Pattern(
+        Graph(2 * k, [(2 * i, 2 * i + 1) for i in range(k)]), name=f"M{k}"
+    )
+
+
+def paw() -> Pattern:
+    """Triangle with a pendant edge (ρ = 2)."""
+    return Pattern(Graph(4, [(0, 1), (1, 2), (0, 2), (0, 3)]), name="paw")
+
+
+def diamond() -> Pattern:
+    """K_4 minus an edge (ρ = 2)."""
+    return Pattern(Graph(4, [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3)]), name="diamond")
+
+
+def triangle_with_disjoint_edge() -> Pattern:
+    """Disconnected pattern: K_3 plus an independent edge (ρ = 5/2)."""
+    return Pattern(
+        Graph(5, [(0, 1), (1, 2), (0, 2), (3, 4)]), name="K3+e"
+    )
+
+
+def bull() -> Pattern:
+    """Triangle with two disjoint pendant horns (ρ = 3)."""
+    return Pattern(
+        Graph(5, [(0, 1), (1, 2), (0, 2), (0, 3), (1, 4)]), name="bull"
+    )
+
+
+def house() -> Pattern:
+    """C5 plus one chord: a square with a triangular roof (ρ = 5/2)."""
+    return Pattern(
+        Graph(5, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 0), (1, 4)]),
+        name="house",
+    )
+
+
+def bowtie() -> Pattern:
+    """Two triangles sharing a vertex (ρ = 5/2)."""
+    return Pattern(
+        Graph(5, [(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (2, 4)]),
+        name="bowtie",
+    )
+
+
+def kite() -> Pattern:
+    """Diamond with a pendant tail (ρ = 5/2)."""
+    return Pattern(
+        Graph(5, [(0, 1), (0, 2), (1, 2), (1, 3), (2, 3), (3, 4)]),
+        name="kite",
+    )
+
+
+def gem() -> Pattern:
+    """P4 plus a dominating apex vertex (ρ = 5/2)."""
+    return Pattern(
+        Graph(5, [(0, 1), (1, 2), (2, 3), (4, 0), (4, 1), (4, 2), (4, 3)]),
+        name="gem",
+    )
+
+
+def book(pages: int) -> Pattern:
+    """B_k: *pages* triangles sharing one common edge.
+
+    B_1 is the triangle (ρ = 3/2), B_2 the diamond (ρ = 2); for k >= 2
+    the LP gives ρ(B_k) = k.  Larger books exercise high-multiplicity
+    shared-edge patterns.
+    """
+    if pages < 1:
+        raise PatternError(f"book needs >= 1 page, got {pages}")
+    edges = [(0, 1)]
+    for i in range(pages):
+        apex = 2 + i
+        edges.extend([(0, apex), (1, apex)])
+    return Pattern(Graph(2 + pages, edges), name=f"B{pages}")
+
+
+def wheel(spokes: int) -> Pattern:
+    """W_k: a C_k rim plus a hub joined to every rim vertex."""
+    if spokes < 3:
+        raise PatternError(f"wheel needs >= 3 spokes, got {spokes}")
+    edges = [(i, (i + 1) % spokes) for i in range(spokes)]
+    edges.extend((spokes, i) for i in range(spokes))
+    return Pattern(Graph(spokes + 1, edges), name=f"W{spokes}")
+
+
+def prism() -> Pattern:
+    """The triangular prism C3 × K2 (ρ = 3)."""
+    return Pattern(
+        Graph(6, [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (0, 3), (1, 4), (2, 5)]),
+        name="prism",
+    )
+
+
+def complete_bipartite(a: int, b: int) -> Pattern:
+    """K_{a,b} (ρ = max(a, b) for a ≠ b by LP duality; a wedge zoo staple)."""
+    if a < 1 or b < 1:
+        raise PatternError(f"complete bipartite needs a, b >= 1, got ({a}, {b})")
+    return Pattern(
+        Graph(a + b, [(i, a + j) for i in range(a) for j in range(b)]),
+        name=f"K{a},{b}",
+    )
+
+
+def extended_zoo() -> List[Pattern]:
+    """standard_zoo plus the 5-vertex menagerie (full-mode sweeps)."""
+    return standard_zoo() + [
+        bull(),
+        house(),
+        bowtie(),
+        kite(),
+        gem(),
+        book(3),
+        wheel(4),
+        prism(),
+        complete_bipartite(2, 3),
+        clique(5),
+        star(4),
+        path(5),
+        cycle(6),
+        matching(3),
+    ]
+
+
+def standard_zoo() -> List[Pattern]:
+    """The pattern set the experiment suite sweeps over."""
+    return [
+        edge(),
+        path(3),
+        triangle(),
+        path(4),
+        matching(2),
+        star(3),
+        paw(),
+        diamond(),
+        cycle(4),
+        clique(4),
+        cycle(5),
+        triangle_with_disjoint_edge(),
+    ]
+
+
+#: Known closed-form ρ values (used by E10 and the test suite):
+#: ρ(C_{2k+1}) = k + 1/2, ρ(S_k) = k, ρ(K_k) = k/2, ρ(C_{2k}) = k.
+KNOWN_RHO: Dict[str, float] = {
+    "edge": 1.0,
+    "P3": 2.0,  # P3 == S2, a star with 2 petals
+    "triangle": 1.5,
+    "P4": 2.0,
+    "M2": 2.0,
+    "S3": 3.0,
+    "paw": 2.0,
+    "diamond": 2.0,
+    "C4": 2.0,
+    "K4": 2.0,
+    "C5": 2.5,
+    "K3+e": 2.5,
+    "K5": 2.5,
+    "C6": 3.0,
+    "C7": 3.5,
+    "bull": 3.0,
+    "house": 2.5,
+    "bowtie": 2.5,
+    "kite": 2.5,
+    "P5": 3.0,
+    "M3": 3.0,
+    "S4": 4.0,
+}

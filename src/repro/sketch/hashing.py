@@ -1,0 +1,84 @@
+"""k-wise independent hashing via random polynomials.
+
+Evaluation of a random degree-(k-1) polynomial over the Mersenne
+prime field GF(2^61 - 1) gives a k-wise independent family; the ℓ0-
+sampler's level assignment and fingerprint verification both build on
+it.  Python integers make the modular arithmetic exact and simple.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.utils.rng import RandomSource, ensure_rng
+
+#: The Mersenne prime 2^61 - 1.
+MERSENNE_PRIME = (1 << 61) - 1
+
+
+class PolynomialHash:
+    """A k-wise independent hash function h: [universe] -> [0, prime).
+
+    Parameters
+    ----------
+    independence:
+        k — the degree of independence (polynomial degree k-1).
+    rng:
+        Randomness for the coefficients.
+
+    Notes
+    -----
+    ``value`` returns the raw field element; convenience mappers
+    reduce it to a range, a unit float, or a geometric level.
+    """
+
+    __slots__ = ("_coefficients",)
+
+    def __init__(self, independence: int, rng: RandomSource = None) -> None:
+        if independence < 1:
+            raise ValueError(f"independence must be >= 1, got {independence}")
+        random_state = ensure_rng(rng)
+        # Leading coefficient non-zero keeps the polynomial degree exact.
+        coefficients: List[int] = [
+            random_state.randrange(MERSENNE_PRIME) for _ in range(independence - 1)
+        ]
+        coefficients.append(1 + random_state.randrange(MERSENNE_PRIME - 1))
+        self._coefficients = tuple(coefficients)
+
+    @property
+    def independence(self) -> int:
+        return len(self._coefficients)
+
+    def value(self, item: int) -> int:
+        """Raw hash value in ``[0, MERSENNE_PRIME)`` (Horner evaluation)."""
+        accumulator = 0
+        x = item % MERSENNE_PRIME
+        for coefficient in reversed(self._coefficients):
+            accumulator = (accumulator * x + coefficient) % MERSENNE_PRIME
+        return accumulator
+
+    def to_range(self, item: int, size: int) -> int:
+        """Hash reduced to ``[0, size)`` (negligible modular bias)."""
+        if size <= 0:
+            raise ValueError(f"range size must be positive, got {size}")
+        return self.value(item) % size
+
+    def to_unit(self, item: int) -> float:
+        """Hash as a float in ``[0, 1)``."""
+        return self.value(item) / MERSENNE_PRIME
+
+    def level(self, item: int, max_level: int) -> int:
+        """Geometric level: ``P(level >= l) = 2^-l``, capped at *max_level*.
+
+        Level l contains the item iff the top l bits of the hash are
+        zero — the standard ℓ0-sampler subsampling scheme.
+        """
+        raw = self.value(item)
+        level = 0
+        threshold = MERSENNE_PRIME
+        while level < max_level:
+            threshold //= 2
+            if raw >= threshold:
+                break
+            level += 1
+        return level

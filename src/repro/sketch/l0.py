@@ -1,0 +1,121 @@
+"""ℓ0-sampling for turnstile streams (Lemma 7, Cormode–Firmani).
+
+An :class:`L0Sampler` returns a (near-)uniform non-zero coordinate of
+a signed vector maintained under insertions and deletions.  Structure:
+
+* ``levels`` geometric sub-sampling levels; a k-wise independent hash
+  assigns every coordinate its maximum level (P(level >= l) = 2^-l);
+* one :class:`OneSparseRecovery` per level;
+* query: scan levels bottom-up and return the first successful
+  recovery.  At the level where the expected number of surviving
+  coordinates is Θ(1), recovery succeeds with constant probability;
+  ``repetitions`` independent copies drive the failure probability
+  down geometrically, matching Lemma 7's 1 - 1/n^c guarantee.
+
+The paper uses ℓ0-samplers in two places (proof of Theorem 11): a
+sampler over the adjacency-matrix vector emulates f1 (uniform edge),
+and a sampler over one adjacency-list column emulates f3 (uniform
+neighbor).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional
+
+from repro.errors import SketchError
+from repro.sketch.hashing import MERSENNE_PRIME as _PRIME
+from repro.sketch.hashing import PolynomialHash
+from repro.sketch.onesparse import OneSparseRecovery
+from repro.utils.rng import RandomSource, derive_rng, ensure_rng
+
+_HASH_INDEPENDENCE = 8
+
+
+class L0Sampler:
+    """Near-uniform sampler over the support of a turnstile vector.
+
+    Parameters
+    ----------
+    universe:
+        Coordinates are integers in ``[0, universe)``.
+    rng:
+        Source for hash functions and recovery fingerprints.
+    repetitions:
+        Independent copies; failure probability decays as
+        ``2^-repetitions`` at the critical level.
+    levels:
+        Number of sub-sampling levels; defaults to ``log2(universe)+2``.
+    """
+
+    def __init__(
+        self,
+        universe: int,
+        rng: RandomSource = None,
+        repetitions: int = 8,
+        levels: Optional[int] = None,
+    ) -> None:
+        if universe <= 0:
+            raise SketchError(f"universe must be positive, got {universe}")
+        if repetitions < 1:
+            raise SketchError(f"repetitions must be >= 1, got {repetitions}")
+        random_state = ensure_rng(rng)
+        self._universe = universe
+        self._levels = levels if levels is not None else max(2, int(math.log2(universe)) + 2)
+        self._repetitions = repetitions
+        self._hashes: List[PolynomialHash] = []
+        self._sketches: List[List[OneSparseRecovery]] = []
+        self._bases: List[int] = []
+        for repetition in range(repetitions):
+            child = derive_rng(random_state, f"l0-rep-{repetition}")
+            self._hashes.append(PolynomialHash(_HASH_INDEPENDENCE, child))
+            # All levels of one repetition share a fingerprint base so
+            # an update needs a single modular exponentiation.
+            probe = OneSparseRecovery(universe, child)
+            self._bases.append(probe.z)
+            self._sketches.append(
+                [OneSparseRecovery(universe, z=probe.z) for _ in range(self._levels + 1)]
+            )
+
+    @property
+    def universe(self) -> int:
+        return self._universe
+
+    @property
+    def space_words(self) -> int:
+        """Accounted words: recovery sketches plus hash coefficients."""
+        per_repetition = (self._levels + 1) * OneSparseRecovery.WORDS + _HASH_INDEPENDENCE
+        return self._repetitions * per_repetition
+
+    def update(self, item: int, delta: int) -> None:
+        """Apply ``x[item] += delta`` to every repetition."""
+        if not 0 <= item < self._universe:
+            raise SketchError(f"item {item} outside universe [0, {self._universe})")
+        for hash_function, sketch_levels, base in zip(
+            self._hashes, self._sketches, self._bases
+        ):
+            item_level = hash_function.level(item, self._levels)
+            z_power = pow(base, item, _PRIME)
+            # The item participates in levels 0..item_level.
+            for level in range(item_level + 1):
+                sketch_levels[level].update_with_power(item, delta, z_power)
+
+    def sample(self) -> Optional[int]:
+        """A (near-)uniform member of the support, or ``None`` on failure.
+
+        Scans levels from the sparsest (highest) down within each
+        repetition and returns the first verified recovery; ``None``
+        means every repetition failed, which for a correctly sized
+        sampler happens with probability ≈ 2^-repetitions.
+        """
+        for hash_function, sketch_levels in zip(self._hashes, self._sketches):
+            del hash_function
+            for level in range(self._levels, -1, -1):
+                recovered = sketch_levels[level].recover()
+                if recovered is not None:
+                    return recovered[0]
+        return None
+
+    def is_empty(self) -> bool:
+        """Whether all repetitions certify an all-zero vector."""
+        return all(sketch_levels[0].is_empty for sketch_levels in self._sketches)

@@ -1,0 +1,89 @@
+"""Exact 1-sparse recovery for turnstile streams.
+
+Maintains three aggregates of the signed vector x ∈ Z^universe:
+
+* ``weight``      = Σ_i x_i
+* ``weighted_sum``= Σ_i x_i * i
+* ``fingerprint`` = Σ_i x_i * z^i  (mod p, random z)
+
+If x is exactly 1-sparse (a single non-zero coordinate i with value
+c), then weight = c, weighted_sum = c * i, and the fingerprint equals
+c * z^i.  The fingerprint check makes false positives happen with
+probability <= universe / p over the choice of z — negligible for
+p = 2^61 - 1.  This is the building block of the Cormode–Firmani
+ℓ0-sampler (Lemma 7).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.sketch.hashing import MERSENNE_PRIME
+from repro.utils.rng import RandomSource, ensure_rng
+
+
+class OneSparseRecovery:
+    """Detects and recovers exactly-1-sparse signed vectors."""
+
+    __slots__ = ("_universe", "_z", "_weight", "_weighted_sum", "_fingerprint")
+
+    #: Words of memory this structure accounts for in the space meter.
+    WORDS = 4  # weight, weighted sum, fingerprint, z
+
+    def __init__(
+        self, universe: int, rng: RandomSource = None, z: Optional[int] = None
+    ) -> None:
+        if universe <= 0:
+            raise ValueError(f"universe must be positive, got {universe}")
+        self._universe = universe
+        if z is None:
+            z = 2 + ensure_rng(rng).randrange(MERSENNE_PRIME - 2)
+        self._z = z
+        self._weight = 0
+        self._weighted_sum = 0
+        self._fingerprint = 0
+
+    @property
+    def z(self) -> int:
+        """The fingerprint base (shareable across sketches)."""
+        return self._z
+
+    def update(self, item: int, delta: int) -> None:
+        """Apply ``x[item] += delta``."""
+        self.update_with_power(item, delta, pow(self._z, item, MERSENNE_PRIME))
+
+    def update_with_power(self, item: int, delta: int, z_power: int) -> None:
+        """Like :meth:`update` with ``z^item mod p`` precomputed.
+
+        Callers that fan one update out to many levels sharing the
+        same base ``z`` (the ℓ0-sampler) compute the power once.
+        """
+        if not 0 <= item < self._universe:
+            raise ValueError(f"item {item} outside universe [0, {self._universe})")
+        self._weight += delta
+        self._weighted_sum += delta * item
+        self._fingerprint = (self._fingerprint + delta * z_power) % MERSENNE_PRIME
+
+    @property
+    def is_empty(self) -> bool:
+        """Whether the sketch certifies x == 0 (up to fingerprint error)."""
+        return self._weight == 0 and self._weighted_sum == 0 and self._fingerprint == 0
+
+    def recover(self) -> Optional[Tuple[int, int]]:
+        """Return ``(item, count)`` if the vector is exactly 1-sparse.
+
+        Returns ``None`` when the vector is empty or verifiably not
+        1-sparse.  A false positive requires a fingerprint collision
+        (probability <= universe/2^61 per query).
+        """
+        if self._weight == 0:
+            return None
+        if self._weighted_sum % self._weight != 0:
+            return None
+        item = self._weighted_sum // self._weight
+        if not 0 <= item < self._universe:
+            return None
+        expected = (self._weight * pow(self._z, item, MERSENNE_PRIME)) % MERSENNE_PRIME
+        if expected != self._fingerprint:
+            return None
+        return item, self._weight

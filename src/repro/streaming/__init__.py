@@ -1,0 +1,33 @@
+"""The paper's streaming algorithms.
+
+* :func:`count_subgraphs_insertion_only` — Theorem 17: 3-pass
+  insertion-only (1±ε)-approximation of #H.
+* :func:`count_subgraphs_turnstile` — Theorem 1: 3-pass turnstile
+  (1±ε)-approximation of #H.
+* :func:`sample_copies_stream` — the Lemma 16/18 subgraph sampler run
+  over a stream (many parallel instances, 3 passes total).
+* :class:`repro.streaming.ers` — Theorem 2: the 5r-pass ERS clique
+  counter for low-degeneracy graphs.
+* :func:`count_subgraphs_two_pass` — conclusion open question, star
+  subclass: a 2-pass counter for star-decomposable H.
+"""
+
+from repro.streaming.three_pass import (
+    count_subgraphs_insertion_only,
+    sample_copies_stream,
+)
+from repro.streaming.turnstile import count_subgraphs_turnstile
+from repro.streaming.adaptive import count_subgraphs_unknown
+from repro.streaming.two_pass import count_subgraphs_two_pass, is_star_decomposable
+from repro.streaming.ers.counter import count_cliques_stream, ErsParameters
+
+__all__ = [
+    "count_subgraphs_insertion_only",
+    "count_subgraphs_turnstile",
+    "sample_copies_stream",
+    "count_subgraphs_unknown",
+    "count_subgraphs_two_pass",
+    "is_star_decomposable",
+    "count_cliques_stream",
+    "ErsParameters",
+]

@@ -1,0 +1,12 @@
+"""Theorem 2: the 5r-pass ERS clique counter for low-degeneracy graphs.
+
+Implements the paper's simplified ERS algorithm [ERS20] in the
+augmented general graph model as a round-adaptive algorithm
+(Algorithms 2, 3, 4, 17, 18), which Theorem 9 turns into an
+insertion-only streaming algorithm with one pass per round.
+"""
+
+from repro.streaming.ers.params import ErsParameters
+from repro.streaming.ers.counter import count_cliques_stream, count_cliques_query_model
+
+__all__ = ["ErsParameters", "count_cliques_stream", "count_cliques_query_model"]

@@ -1,0 +1,116 @@
+"""Algorithm 2 (StreamCountClique): median of parallel ERS runs.
+
+Drives ``outer_q`` independent StreamApproxClique runs *in parallel
+rounds* (they share every pass) and returns the median of their
+estimates — the probability-amplification step of Algorithm 2.
+
+Two entry points:
+
+* :func:`count_cliques_stream` — the Theorem 2 insertion-only
+  streaming algorithm (pass count <= 5r; asserted in tests);
+* :func:`count_cliques_query_model` — the same round-adaptive
+  algorithm against a direct oracle, i.e. the sublinear-time ERS
+  algorithm the paper starts from.
+"""
+
+from __future__ import annotations
+
+import statistics
+from typing import Optional
+
+from repro.errors import EstimationError
+from repro.estimate.result import EstimateResult
+from repro.oracle.direct import DirectAugmentedOracle
+from repro.patterns.pattern import clique as clique_pattern
+from repro.streaming.ers.params import ErsParameters
+from repro.streaming.ers.rounds import stream_approx_clique_rounds
+from repro.streams.stream import EdgeStream
+from repro.transform.driver import run_round_adaptive
+from repro.transform.insertion import InsertionStreamOracle
+from repro.utils.rng import RandomSource, derive_rng, ensure_rng
+
+
+def _run(params: ErsParameters, lower_bound: float, n: int, oracle, rng) -> EstimateResult:
+    outer = params.outer_q(n)
+    runs = [
+        stream_approx_clique_rounds(
+            params, lower_bound, n, derive_rng(rng, f"ers-run-{j}")
+        )
+        for j in range(outer)
+    ]
+    result = run_round_adaptive(runs, oracle)
+    estimates = [value if value is not None else 0.0 for value in result.outputs]
+    median = statistics.median(estimates)
+    space = getattr(oracle, "space", None)
+    return EstimateResult(
+        algorithm=f"ers-{params.mode}",
+        pattern=f"K{params.r}",
+        estimate=median,
+        passes=result.rounds,
+        space_words=space.peak_words if space is not None else 0,
+        trials=outer,
+        successes=sum(1 for value in estimates if value > 0),
+        details={
+            "queries": float(result.total_queries),
+            "min_run": min(estimates),
+            "max_run": max(estimates),
+            "lower_bound": lower_bound,
+        },
+    )
+
+
+def count_cliques_stream(
+    stream: EdgeStream,
+    r: int,
+    degeneracy_bound: int,
+    lower_bound: float,
+    epsilon: float = 0.2,
+    params: Optional[ErsParameters] = None,
+    rng: RandomSource = None,
+) -> EstimateResult:
+    """Theorem 2: (1±ε)-approximate #K_r over an insertion-only stream.
+
+    Parameters
+    ----------
+    stream:
+        Insertion-only edge stream of a graph with degeneracy <= λ.
+    r:
+        Clique order (r >= 3).
+    degeneracy_bound:
+        λ — the degeneracy promise (Theorem 2's parameterization).
+    lower_bound:
+        L <= #K_r; drives the sample sizes, as in the paper.  For an
+        unknown L combine with :func:`repro.estimate.geometric_search`.
+    """
+    if stream.allows_deletions:
+        raise EstimationError("the ERS counter is an insertion-only algorithm")
+    random_state = ensure_rng(rng)
+    if params is None:
+        params = ErsParameters(
+            r=r, degeneracy_bound=degeneracy_bound, epsilon=epsilon
+        )
+    stream.reset_pass_count()
+    oracle = InsertionStreamOracle(stream, derive_rng(random_state, "oracle"))
+    result = _run(params, lower_bound, stream.n, oracle, random_state)
+    result.m = stream.net_edge_count
+    return result
+
+
+def count_cliques_query_model(
+    oracle: DirectAugmentedOracle,
+    r: int,
+    degeneracy_bound: int,
+    lower_bound: float,
+    epsilon: float = 0.2,
+    params: Optional[ErsParameters] = None,
+    rng: RandomSource = None,
+) -> EstimateResult:
+    """The sublinear-time ERS algorithm in the augmented query model."""
+    random_state = ensure_rng(rng)
+    if params is None:
+        params = ErsParameters(
+            r=r, degeneracy_bound=degeneracy_bound, epsilon=epsilon
+        )
+    result = _run(params, lower_bound, oracle.graph.n, oracle, random_state)
+    result.m = oracle.graph.m
+    return result

@@ -1,0 +1,152 @@
+"""Parameters of the ERS clique counter (Algorithms 2 and 3).
+
+The paper's constants are stated for the asymptotic analysis:
+
+* γ = ε/(8r·r!), β = 1/(6r)  (Algorithm 2 — threshold constants),
+* τ_t = r^{4r}/(β^r γ²) · λ^{r-t} for t ∈ {2, …, r-1}, τ_r = 1,
+* per-level sample sizes s_{t+1} = ⌈dg(R_t)·τ_{t+1}/ω̃_t · 3ln(2/β)/γ²⌉,
+* q = Θ(log n) outer repetitions (median), 12·ln(n^{r+10}) activity
+  repetitions.
+
+At r = 3 those already exceed 10^9 samples, so the default PRACTICAL
+mode keeps every formula's *shape* (the λ^{r-t} scaling, the
+dg(R_t)/ω̃_t sample sizing, the τ/4 activity threshold) but with
+tunable constants and caps.  THEORY mode reproduces the paper's
+values verbatim for anyone who wants to print them.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import EstimationError
+
+
+@dataclass(frozen=True)
+class ErsParameters:
+    """Configuration of one ERS run.
+
+    Parameters
+    ----------
+    r:
+        Clique order (r >= 3).
+    degeneracy_bound:
+        λ — the promised degeneracy bound of the input graph.
+    epsilon:
+        Target accuracy.
+    mode:
+        ``"theory"`` or ``"practical"``.
+    tau_constant, sample_constant, activity_repetitions,
+    outer_repetitions, sample_cap:
+        PRACTICAL-mode knobs; ignored in THEORY mode.
+    """
+
+    r: int
+    degeneracy_bound: int
+    epsilon: float = 0.2
+    mode: str = "practical"
+    tau_constant: float = 24.0
+    sample_constant: float = 3.0
+    activity_repetitions: int = 3
+    outer_repetitions: int = 5
+    sample_cap: int = 4000
+
+    def __post_init__(self) -> None:
+        if self.r < 3:
+            raise EstimationError(f"ERS needs clique order r >= 3, got {self.r}")
+        if self.degeneracy_bound < 1:
+            raise EstimationError(
+                f"degeneracy bound must be >= 1, got {self.degeneracy_bound}"
+            )
+        if not 0.0 < self.epsilon < 1.0:
+            raise EstimationError(f"epsilon must be in (0, 1), got {self.epsilon}")
+        if self.mode not in ("theory", "practical"):
+            raise EstimationError(f"unknown mode {self.mode!r}")
+
+    # -- the paper's constants -------------------------------------------
+
+    @property
+    def gamma_threshold(self) -> float:
+        """γ of Algorithm 2: ε/(8r·r!)."""
+        return self.epsilon / (8.0 * self.r * math.factorial(self.r))
+
+    @property
+    def beta_threshold(self) -> float:
+        """β of Algorithm 2: 1/(6r)."""
+        return 1.0 / (6.0 * self.r)
+
+    @property
+    def gamma_run(self) -> float:
+        """γ of Algorithm 3: ε/(2r) (decay per level of ω̃)."""
+        return self.epsilon / (2.0 * self.r)
+
+    @property
+    def beta_run(self) -> float:
+        """β of Algorithm 3: 1/(18r)."""
+        return 1.0 / (18.0 * self.r)
+
+    def tau(self, t: int) -> float:
+        """τ_t: the activity threshold scale at prefix length t.
+
+        τ_t ∝ λ^{r-t} in both modes; τ_r = 1 by definition.
+        """
+        if t >= self.r:
+            return 1.0
+        if t < 2:
+            raise EstimationError(f"tau is defined for t >= 2, got {t}")
+        lam_power = float(self.degeneracy_bound) ** (self.r - t)
+        if self.mode == "theory":
+            beta, gamma = self.beta_threshold, self.gamma_threshold
+            return (self.r ** (4 * self.r)) / (beta**self.r * gamma**2) * lam_power
+        return self.tau_constant * lam_power
+
+    def sample_multiplier(self) -> float:
+        """The 3·ln(2/β)/γ² factor of the s_{t+1} formula."""
+        if self.mode == "theory":
+            beta, gamma = self.beta_run, self.gamma_run
+            return 3.0 * math.log(2.0 / beta) / gamma**2
+        return self.sample_constant
+
+    def sample_size(self, base: float) -> int:
+        """⌈base × multiplier⌉, capped in PRACTICAL mode."""
+        raw = math.ceil(max(0.0, base) * self.sample_multiplier())
+        if self.mode == "practical":
+            return max(1, min(self.sample_cap, raw))
+        return max(1, raw)
+
+    def activity_q(self, n: int) -> int:
+        """Repetitions of each activity estimate (Algorithm 18's q)."""
+        if self.mode == "theory":
+            return math.ceil(12.0 * math.log(float(n) ** (self.r + 10)))
+        return self.activity_repetitions
+
+    def outer_q(self, n: int) -> int:
+        """Parallel StreamApproxClique runs for the median (Algorithm 2)."""
+        if self.mode == "theory":
+            return max(1, math.ceil(math.log(max(n, 3))))
+        return self.outer_repetitions
+
+    def abort_threshold(self, t: int, m: int, lower_bound: float) -> float:
+        """Algorithm 3 line 13: abort when s_{t+1} explodes.
+
+        ``4 m λ^{t-1} τ_{t+1} / L × (r!)² 3 ln(2/β) / (β^t γ²)`` in
+        THEORY mode; PRACTICAL mode returns the sample cap so the run
+        clamps instead of aborting (the clamp is reported upstream).
+        """
+        if self.mode == "practical":
+            return float(self.sample_cap)
+        beta, gamma = self.beta_run, self.gamma_run
+        lam_power = float(self.degeneracy_bound) ** (t - 1)
+        return (
+            4.0
+            * m
+            * lam_power
+            * self.tau(t + 1)
+            / max(lower_bound, 1.0)
+            * (math.factorial(self.r) ** 2)
+            * 3.0
+            * math.log(2.0 / beta)
+            / (beta**t * gamma**2)
+        )

@@ -1,0 +1,280 @@
+"""The ERS algorithm as a round-adaptive generator.
+
+Structure (matching Section 5.2 and Algorithms 3, 4, 17, 18):
+
+* ``stream_approx_clique_rounds`` — one StreamApproxClique run:
+  3 rounds of setup (edge count, R_2 sample, R_2 degrees), then two
+  rounds per level t ∈ {2, …, r-1} (StreamSet), then the assignment
+  phase, whose per-sample cascades all run in parallel rounds.
+* ``_stream_set_rounds`` — Algorithm 4: given R_t with known degrees,
+  sample up to s_{t+1} ordered (t+1)-cliques in two rounds
+  (one f3 neighbor round, one f4/f2 verification round).
+* ``_str_is_assigned_rounds`` / ``_str_act_rounds`` — Algorithms 17
+  and 18: activity cascades for every ordering/prefix of a sampled
+  r-clique, sharing rounds via :func:`parallel_rounds`.
+
+Ordered-clique convention: R_2 holds *ordered* 2-cliques (a uniform
+edge with a fair-coin orientation — one of 2m equally likely ordered
+edges), so the estimator scale starts at 2m/s_2; each level multiplies
+by dg(R_t)/s_{t+1}.  Every unordered r-clique is counted through
+exactly one assigned ordering, making the estimator unbiased up to
+activity-threshold truncation (the loss the ERS analysis bounds).
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.oracle.base import (
+    AdjacencyQuery,
+    DegreeQuery,
+    EdgeCountQuery,
+    NeighborQuery,
+    Query,
+    RandomEdgeQuery,
+)
+from repro.streaming.ers.params import ErsParameters
+from repro.transform.driver import parallel_rounds
+from repro.utils.rng import derive_rng
+
+OrderedClique = Tuple[int, ...]
+
+
+def _min_degree_vertex(clique: OrderedClique, degrees: Dict[int, int]) -> int:
+    """The vertex whose degree defines dg(T̂); ties break by id."""
+    return min(clique, key=lambda v: (degrees[v], v))
+
+
+def _clique_degree(clique: OrderedClique, degrees: Dict[int, int]) -> int:
+    """dg(T̂): the minimum degree over the clique's vertices."""
+    return min(degrees[v] for v in clique)
+
+
+def _weighted_pick(items: Sequence[OrderedClique], weights: Sequence[int], rng):
+    """One draw proportional to *weights* (with replacement)."""
+    total = sum(weights)
+    mark = rng.random() * total
+    acc = 0.0
+    for item, weight in zip(items, weights):
+        acc += weight
+        if mark < acc:
+            return item
+    return items[-1]
+
+
+def _stream_set_rounds(
+    cliques: Sequence[OrderedClique],
+    degrees: Dict[int, int],
+    samples: int,
+    rng,
+):
+    """Algorithm 4 (StreamSet): sample ordered (t+1)-cliques in 2 rounds.
+
+    Returns ``(next_cliques, new_degrees)``.  Each draw picks T̂ from
+    *cliques* with probability dg(T̂)/dg(R_t), then a uniform neighbor
+    w of T̂'s min-degree vertex; the pair survives iff (T̂, w) is a
+    clique.  Jointly, every (T̂, neighbor-slot) pair is hit with
+    probability exactly 1/dg(R_t) — the cancellation the estimator
+    relies on.
+    """
+    weights = [_clique_degree(T, degrees) for T in cliques]
+    if not cliques or sum(weights) == 0:
+        return [], {}
+
+    draws: List[Tuple[OrderedClique, int]] = []
+    batch: List[Query] = []
+    for _ in range(samples):
+        clique = _weighted_pick(cliques, weights, rng)
+        pivot = _min_degree_vertex(clique, degrees)
+        index = rng.randrange(degrees[pivot])
+        draws.append((clique, pivot))
+        batch.append(NeighborQuery(pivot, index))
+    answers = yield batch
+
+    verify_batch: List[Query] = []
+    slots: List[Optional[Tuple[OrderedClique, int, int, int]]] = []
+    for (clique, pivot), neighbor in zip(draws, answers):
+        if neighbor is None or neighbor in clique:
+            slots.append(None)
+            continue
+        others = [v for v in clique if v != pivot]
+        begin = len(verify_batch)
+        verify_batch.extend(AdjacencyQuery(neighbor, v) for v in others)
+        verify_batch.append(DegreeQuery(neighbor))
+        slots.append((clique, neighbor, begin, len(others)))
+    answers2 = yield verify_batch
+
+    next_cliques: List[OrderedClique] = []
+    new_degrees: Dict[int, int] = {}
+    for slot in slots:
+        if slot is None:
+            continue
+        clique, neighbor, begin, count = slot
+        adjacent = all(answers2[begin : begin + count])
+        neighbor_degree = answers2[begin + count]
+        if adjacent:
+            next_cliques.append((*clique, neighbor))
+            new_degrees[neighbor] = neighbor_degree
+    return next_cliques, new_degrees
+
+
+def _act_cascade_rounds(
+    prefix: OrderedClique,
+    prefix_length: int,
+    degrees: Dict[int, int],
+    params: ErsParameters,
+    rng,
+):
+    """One repetition of the IsActive cascade (Algorithm 18 inner loop).
+
+    Estimates ĉ_r(prefix) — the number of ordered r-cliques extending
+    the prefix — and returns 1 iff ĉ_r <= τ_prefix/4.
+    """
+    local_degrees = dict(degrees)
+    cliques: List[OrderedClique] = [prefix]
+    omega = (1.0 - params.epsilon / 2.0) * params.tau(prefix_length)
+    scale = 1.0
+    for t in range(prefix_length, params.r):
+        if not cliques:
+            return 0
+        dg_level = sum(_clique_degree(T, local_degrees) for T in cliques)
+        if dg_level == 0:
+            return 0
+        samples = params.sample_size(dg_level * params.tau(t + 1) / max(omega, 1e-12))
+        cliques, new_degrees = yield from _stream_set_rounds(
+            cliques, local_degrees, samples, rng
+        )
+        local_degrees.update(new_degrees)
+        omega = (1.0 - params.gamma_run) * omega * samples / dg_level
+        scale *= dg_level / samples
+    estimate = scale * len(cliques)
+    return 1 if estimate <= params.tau(prefix_length) / 4.0 else 0
+
+
+def _str_act_rounds(
+    prefix: OrderedClique,
+    prefix_length: int,
+    degrees: Dict[int, int],
+    params: ErsParameters,
+    n: int,
+    rng,
+):
+    """Algorithm 18 (StrAct): majority over q activity repetitions."""
+    q = params.activity_q(n)
+    cascades = [
+        _act_cascade_rounds(prefix, prefix_length, degrees, params, derive_rng(rng, ell))
+        for ell in range(q)
+    ]
+    votes = yield from parallel_rounds(cascades)
+    return sum(votes) >= q / 2.0
+
+
+def _str_is_assigned_rounds(
+    clique: OrderedClique,
+    degrees: Dict[int, int],
+    params: ErsParameters,
+    n: int,
+    rng,
+):
+    """Algorithm 17 (StrIsAssigned): is *clique*'s ordering assigned?
+
+    Assigned iff the sampled ordering is fully active and is the
+    lexicographically first fully active ordering of its unordered
+    clique.  Prefix lengths run over {2, …, r-1}: τ_r = 1 would make a
+    length-r prefix never active (ĉ_r = 1 > 1/4), so — as in [ERS20] —
+    activity is only meaningful for proper prefixes.
+    """
+    r = params.r
+    vertex_set = sorted(set(clique))
+    orderings = [tuple(p) for p in itertools.permutations(vertex_set)]
+    prefixes: List[OrderedClique] = []
+    seen = set()
+    for ordering in orderings:
+        for t in range(2, r):
+            prefix = ordering[:t]
+            if prefix not in seen:
+                seen.add(prefix)
+                prefixes.append(prefix)
+
+    cascades = [
+        _str_act_rounds(prefix, len(prefix), degrees, params, n, derive_rng(rng, i))
+        for i, prefix in enumerate(prefixes)
+    ]
+    results = yield from parallel_rounds(cascades)
+    active: Dict[OrderedClique, bool] = dict(zip(prefixes, results))
+
+    def fully_active(ordering: OrderedClique) -> bool:
+        return all(active[ordering[:t]] for t in range(2, r))
+
+    if not fully_active(clique):
+        return 0
+    for ordering in orderings:
+        if ordering < clique and fully_active(ordering):
+            return 0
+    return 1
+
+
+def stream_approx_clique_rounds(
+    params: ErsParameters,
+    lower_bound: float,
+    n: int,
+    rng,
+):
+    """Algorithm 3 (StreamApproxClique) as one round-adaptive run.
+
+    Returns an estimate of #K_r (a float; 0.0 when sampling dies out).
+    """
+    r = params.r
+
+    # Rounds 1-3: m, the R_2 edge sample, and R_2's degrees.
+    answers = yield [EdgeCountQuery()]
+    m = answers[0]
+    if not m:
+        return 0.0
+
+    omega = (1.0 - params.epsilon / 2.0) * lower_bound
+    s2 = params.sample_size(2.0 * m * params.tau(2) / max(omega, 1e-12))
+    answers = yield [RandomEdgeQuery() for _ in range(s2)]
+    cliques: List[OrderedClique] = []
+    for edge in answers:
+        if edge is None:
+            continue
+        u, v = edge
+        cliques.append((u, v) if rng.random() < 0.5 else (v, u))
+    if not cliques:
+        return 0.0
+    scale = (2.0 * m) / s2
+    omega = (1.0 - params.gamma_run) * omega * s2 / (2.0 * m)
+
+    vertices = sorted({v for T in cliques for v in T})
+    answers = yield [DegreeQuery(v) for v in vertices]
+    degrees: Dict[int, int] = dict(zip(vertices, answers))
+
+    # Levels t = 2 .. r-1: two rounds each (StreamSet).
+    for t in range(2, r):
+        if not cliques:
+            return 0.0
+        dg_level = sum(_clique_degree(T, degrees) for T in cliques)
+        if dg_level == 0:
+            return 0.0
+        samples = params.sample_size(dg_level * params.tau(t + 1) / max(omega, 1e-12))
+        cliques, new_degrees = yield from _stream_set_rounds(
+            cliques, degrees, samples, rng
+        )
+        degrees.update(new_degrees)
+        omega = (1.0 - params.gamma_run) * omega * samples / dg_level
+        scale *= dg_level / samples
+
+    if not cliques:
+        return 0.0
+
+    # Assignment phase: one cascade bundle per sampled r-clique.
+    bundles = [
+        _str_is_assigned_rounds(clique, degrees, params, n, derive_rng(rng, f"assign-{i}"))
+        for i, clique in enumerate(cliques)
+    ]
+    assigned_flags = yield from parallel_rounds(bundles)
+    assigned_total = sum(assigned_flags)
+    return scale * assigned_total

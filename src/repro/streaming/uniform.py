@@ -1,0 +1,79 @@
+"""Uniform subgraph sampling from a stream (Algorithm 10, streamed).
+
+Conditioned on success, an FGP attempt returns every copy of H with
+the same probability, so the first success among parallel attempts is
+a uniform random copy.  This module packages that as a 3-pass
+streaming operation: run enough attempts in the same three passes and
+return the first success (plus diagnostics).
+
+The attempt budget follows Algorithm 10: ~10 (2m)^ρ(H)/T attempts give
+a success with constant probability when T <= #H.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.errors import EstimationError
+from repro.fgp.rounds import SampledCopy
+from repro.patterns.pattern import Pattern
+from repro.streaming.three_pass import sample_copies_stream
+from repro.streams.stream import EdgeStream
+from repro.utils.rng import RandomSource
+
+
+@dataclass
+class UniformSampleResult:
+    """Outcome of a uniform-copy sampling run."""
+
+    copy: Optional[SampledCopy]
+    attempts: int
+    successes: int
+    passes: int
+
+    @property
+    def succeeded(self) -> bool:
+        return self.copy is not None
+
+
+def default_attempt_budget(m: int, rho: float, copies_lower_bound: float) -> int:
+    """Algorithm 10's attempt count: ceil(10 (2m)^ρ / T)."""
+    if copies_lower_bound <= 0:
+        raise EstimationError("copies_lower_bound must be positive")
+    return max(1, math.ceil(10.0 * (2.0 * m) ** rho / copies_lower_bound))
+
+
+def sample_subgraph_uniformly_stream(
+    stream: EdgeStream,
+    pattern: Pattern,
+    copies_lower_bound: float = 1.0,
+    attempts: Optional[int] = None,
+    rng: RandomSource = None,
+    attempt_cap: int = 500_000,
+) -> UniformSampleResult:
+    """Sample one uniform copy of *pattern* in three passes.
+
+    With *attempts* unset, the Algorithm 10 budget (from the stream's
+    net edge count and *copies_lower_bound*) is used, capped at
+    *attempt_cap*.  All attempts share the same three passes.
+    """
+    if attempts is None:
+        attempts = min(
+            attempt_cap,
+            default_attempt_budget(
+                max(1, stream.net_edge_count), pattern.rho(), copies_lower_bound
+            ),
+        )
+    stream.reset_pass_count()
+    outputs: List[Optional[SampledCopy]] = sample_copies_stream(
+        stream, pattern, instances=attempts, rng=rng
+    )
+    successes = [output for output in outputs if output is not None]
+    return UniformSampleResult(
+        copy=successes[0] if successes else None,
+        attempts=attempts,
+        successes=len(successes),
+        passes=stream.passes_used,
+    )

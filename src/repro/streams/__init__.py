@@ -1,0 +1,32 @@
+"""Edge-stream substrate: update model, multi-pass streams, space meter."""
+
+from repro.streams.stream import EdgeStream, Update, insertion_stream, turnstile_stream
+from repro.streams.space import SpaceMeter
+from repro.streams.generators import (
+    adversarial_order_stream,
+    stream_from_graph,
+    turnstile_churn_stream,
+    split_substreams,
+)
+from repro.streams.models import (
+    AdjacencyListStream,
+    ListItem,
+    adjacency_list_stream,
+    random_order_stream,
+)
+
+__all__ = [
+    "EdgeStream",
+    "Update",
+    "insertion_stream",
+    "turnstile_stream",
+    "SpaceMeter",
+    "adversarial_order_stream",
+    "stream_from_graph",
+    "turnstile_churn_stream",
+    "split_substreams",
+    "AdjacencyListStream",
+    "ListItem",
+    "adjacency_list_stream",
+    "random_order_stream",
+]

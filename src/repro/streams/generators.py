@@ -1,0 +1,143 @@
+"""Stream builders: orderings and turnstile workloads.
+
+The algorithms are analyzed in the *arbitrary-order* model, so the
+experiment suite exercises shuffled, sorted, degree-adversarial and
+insert-delete-churn orders, plus the "split into substreams" scenario
+the paper's introduction gives as the motivation for turnstile
+algorithms (substreams that cannot be consolidated, e.g. for privacy).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.errors import StreamError
+from repro.graph.graph import Edge, Graph
+from repro.streams.stream import EdgeStream, Update
+from repro.utils.rng import RandomSource, ensure_rng
+
+
+def stream_from_graph(
+    graph: Graph, rng: RandomSource = None, order: str = "shuffled"
+) -> EdgeStream:
+    """Insertion-only stream of *graph* in a chosen arrival *order*.
+
+    Orders: ``shuffled`` (random permutation), ``insertion`` (the
+    graph's own edge order), ``sorted`` (lexicographic).
+    """
+    edges = list(graph.edges())
+    if order == "shuffled":
+        ensure_rng(rng).shuffle(edges)
+    elif order == "sorted":
+        edges.sort()
+    elif order == "insertion":
+        pass
+    else:
+        raise StreamError(f"unknown stream order {order!r}")
+    return EdgeStream(graph.n, [Update(u, v) for u, v in edges])
+
+
+def adversarial_order_stream(graph: Graph, hide_high_degree_last: bool = True) -> EdgeStream:
+    """A degree-adversarial arrival order.
+
+    Edges incident to high-degree vertices arrive last (or first),
+    which stresses reservoir samplers and the f3 neighbor-index
+    emulation: the i-th arrival-order neighbor differs maximally from
+    the adjacency-list order.
+    """
+    def weight(edge: Edge) -> int:
+        u, v = edge
+        return max(graph.degree(u), graph.degree(v))
+
+    edges = sorted(graph.edges(), key=weight, reverse=not hide_high_degree_last)
+    return EdgeStream(graph.n, [Update(u, v) for u, v in edges])
+
+
+def turnstile_churn_stream(
+    final_graph: Graph,
+    churn_edges: int,
+    rng: RandomSource = None,
+    interleave: bool = True,
+) -> EdgeStream:
+    """A turnstile stream whose final graph is *final_graph*.
+
+    Inserts *churn_edges* extra edges (from the complement) and later
+    deletes them.  With *interleave*, insertions/deletions of churn
+    edges are mixed uniformly into the stream (subject to
+    insert-before-delete); otherwise all churn is appended after the
+    real edges and then retracted.
+    """
+    random_state = ensure_rng(rng)
+    real_edges = list(final_graph.edges())
+
+    complement: List[Edge] = []
+    for edge in final_graph.complement_edges():
+        complement.append(edge)
+    if churn_edges > len(complement):
+        raise StreamError(
+            f"cannot churn {churn_edges} edges; complement has only {len(complement)}"
+        )
+    churn = random_state.sample(complement, churn_edges)
+
+    if not interleave:
+        updates = [Update(u, v, 1) for u, v in real_edges]
+        updates += [Update(u, v, 1) for u, v in churn]
+        updates += [Update(u, v, -1) for u, v in churn]
+        return EdgeStream(final_graph.n, updates, allow_deletions=True)
+
+    # Interleaved: assign each update a random timestamp, forcing each
+    # churn deletion after its insertion by resampling order pairs.
+    events: List[Tuple[float, Update]] = []
+    for u, v in real_edges:
+        events.append((random_state.random(), Update(u, v, 1)))
+    for u, v in churn:
+        a, b = random_state.random(), random_state.random()
+        t_insert, t_delete = min(a, b), max(a, b)
+        events.append((t_insert, Update(u, v, 1)))
+        events.append((t_delete, Update(u, v, -1)))
+    events.sort(key=lambda item: item[0])
+    return EdgeStream(
+        final_graph.n, [update for _, update in events], allow_deletions=True
+    )
+
+
+def split_substreams(
+    stream: EdgeStream, parts: int, rng: RandomSource = None
+) -> List[EdgeStream]:
+    """Split a stream into *parts* interleaved substreams.
+
+    Models the paper's privacy motivation: each element goes to one
+    substream; the union of substreams is the original stream, but no
+    single substream sees the whole graph.  Substreams preserve
+    relative order, so each is itself a valid turnstile stream only if
+    insertions and matching deletions land in the same part — we
+    route by edge to guarantee that.
+    """
+    random_state = ensure_rng(rng)
+    assignment = {}
+    buckets: List[List[Update]] = [[] for _ in range(parts)]
+    for update in stream.updates():
+        edge = update.edge
+        if edge not in assignment:
+            assignment[edge] = random_state.randrange(parts)
+        buckets[assignment[edge]].append(update)
+    stream.reset_pass_count()
+    return [
+        EdgeStream(stream.n, bucket, allow_deletions=stream.allows_deletions)
+        for bucket in buckets
+    ]
+
+
+def concatenate_streams(streams: Sequence[EdgeStream]) -> EdgeStream:
+    """Concatenate substreams back into one stream (consolidation)."""
+    if not streams:
+        raise StreamError("cannot concatenate zero streams")
+    n = streams[0].n
+    updates: List[Update] = []
+    allow_deletions = any(s.allows_deletions for s in streams)
+    for sub in streams:
+        if sub.n != n:
+            raise StreamError("substreams disagree on vertex count")
+        updates.extend(sub.updates())
+        sub.reset_pass_count()
+    return EdgeStream(n, updates, allow_deletions=allow_deletions)

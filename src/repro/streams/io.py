@@ -1,0 +1,59 @@
+"""Persisting update logs.
+
+Text format, one update per line: ``+ u v`` or ``- u v`` with an
+optional ``# n <count>`` header.  Lets examples and experiments ship a
+workload to another process (e.g. the privacy example's per-holder
+shards) and replays deterministically.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List, Optional, Union
+
+from repro.errors import StreamError
+from repro.streams.stream import EdgeStream, Update
+
+PathLike = Union[str, "os.PathLike[str]"]
+
+
+def write_update_log(stream: EdgeStream, path: PathLike) -> None:
+    """Write *stream*'s updates as a text log (consumes one pass)."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(f"# n {stream.n}\n")
+        for update in stream.updates():
+            sign = "+" if update.delta > 0 else "-"
+            handle.write(f"{sign} {update.u} {update.v}\n")
+    stream.reset_pass_count()
+
+
+def read_update_log(path: PathLike, n: Optional[int] = None) -> EdgeStream:
+    """Read a text log written by :func:`write_update_log`."""
+    updates: List[Update] = []
+    header_n: Optional[int] = None
+    saw_deletion = False
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_number, raw in enumerate(handle, start=1):
+            line = raw.strip()
+            if not line:
+                continue
+            if line.startswith("#"):
+                fields = line[1:].split()
+                if len(fields) >= 2 and fields[0] == "n" and fields[1].isdigit():
+                    header_n = int(fields[1])
+                continue
+            fields = line.split()
+            if len(fields) != 3 or fields[0] not in ("+", "-"):
+                raise StreamError(f"{path}:{line_number}: expected '+|- u v', got {line!r}")
+            try:
+                u, v = int(fields[1]), int(fields[2])
+            except ValueError as exc:
+                raise StreamError(f"{path}:{line_number}: non-integer endpoint") from exc
+            delta = 1 if fields[0] == "+" else -1
+            saw_deletion = saw_deletion or delta < 0
+            updates.append(Update(u, v, delta))
+    if n is None:
+        n = header_n
+    if n is None:
+        n = 1 + max((max(u.u, u.v) for u in updates), default=-1)
+    return EdgeStream(n, updates, allow_deletions=saw_deletion)

@@ -1,0 +1,179 @@
+"""Alternative stream models from §1.3 (other related work).
+
+The paper's results are for the *arbitrary-order* model, and §1.3
+contrasts them with two other models studied in the literature:
+
+* the **random-order model** [MVV16; MV20] — the stream is a
+  uniformly random permutation of the edges;
+* the **adjacency-list model** [MVV16; Kal+19] — each edge appears
+  twice, and the stream is grouped by endpoint: all of vertex v's
+  incident pairs ``(v, u)`` arrive consecutively.
+
+This module provides both models so the experiment suite can measure
+how much the extra structure buys (experiment E11): algorithms in
+these models reach triangle-counting trade-offs that arbitrary-order
+algorithms provably cannot.
+
+:class:`AdjacencyListStream` mirrors the :class:`~repro.streams.stream.EdgeStream`
+pass-counting interface but yields :class:`ListItem` elements (owner,
+neighbor) instead of edge updates, because the grouping *is* the
+model: an adjacency-list algorithm is allowed to rely on it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Sequence, Tuple
+
+from repro.errors import StreamError
+from repro.graph.graph import Graph
+from repro.streams.stream import EdgeStream, Update
+from repro.utils.rng import RandomSource, derive_rng, ensure_rng
+
+
+def random_order_stream(graph: Graph, rng: RandomSource = None) -> EdgeStream:
+    """An insertion-only stream in the random-order model.
+
+    The arrival order is one uniformly random permutation of the
+    edges, drawn once; every pass replays the same permutation (the
+    standard multi-pass reading of the model).  Algorithms consuming
+    this stream may rely on the order being uniform — that is the
+    model's promise, not a property of the bits in the stream.
+    """
+    edges = list(graph.edges())
+    ensure_rng(rng).shuffle(edges)
+    return EdgeStream(graph.n, [Update(u, v) for u, v in edges])
+
+
+@dataclass(frozen=True)
+class ListItem:
+    """One adjacency-list element: *neighbor* appears in *owner*'s list."""
+
+    owner: int
+    neighbor: int
+
+    def __post_init__(self) -> None:
+        if self.owner == self.neighbor:
+            raise StreamError(f"self-loop list item ({self.owner}, {self.neighbor})")
+
+
+class AdjacencyListStream:
+    """A replayable, pass-counting stream in the adjacency-list model.
+
+    The stream is the concatenation, over vertices v in some order, of
+    v's incident pairs; each undirected edge {u, v} therefore appears
+    exactly twice (once as ``(u, v)``, once as ``(v, u)``).  Vertex
+    and within-list orders are fixed at construction (optionally
+    shuffled) and replayed identically on every pass.
+    """
+
+    def __init__(self, n: int, items: Sequence[ListItem]) -> None:
+        self._n = n
+        self._items: Tuple[ListItem, ...] = tuple(items)
+        self._passes = 0
+        self._validate()
+
+    def _validate(self) -> None:
+        seen_owners: List[int] = []
+        counts: dict = {}
+        for index, item in enumerate(self._items):
+            if not (0 <= item.owner < self._n and 0 <= item.neighbor < self._n):
+                raise StreamError(f"item #{index} touches vertex outside [0, {self._n})")
+            if not seen_owners or seen_owners[-1] != item.owner:
+                if item.owner in seen_owners:
+                    raise StreamError(
+                        f"item #{index}: vertex {item.owner}'s list is not contiguous"
+                    )
+                seen_owners.append(item.owner)
+            edge = (min(item.owner, item.neighbor), max(item.owner, item.neighbor))
+            counts[edge] = counts.get(edge, 0) + 1
+        for edge, count in counts.items():
+            if count != 2:
+                raise StreamError(
+                    f"edge {edge} appears {count} time(s); the adjacency-list "
+                    "model requires exactly two appearances"
+                )
+        self._edges: Tuple[Tuple[int, int], ...] = tuple(sorted(counts))
+
+    @property
+    def n(self) -> int:
+        """Vertex count of the underlying graph."""
+        return self._n
+
+    @property
+    def m(self) -> int:
+        """Edge count of the underlying graph."""
+        return len(self._edges)
+
+    @property
+    def length(self) -> int:
+        """Number of stream elements (2m)."""
+        return len(self._items)
+
+    @property
+    def passes_used(self) -> int:
+        """How many passes have been read so far."""
+        return self._passes
+
+    def reset_pass_count(self) -> None:
+        """Zero the pass counter (e.g. between estimator runs)."""
+        self._passes = 0
+
+    def items(self) -> Iterator[ListItem]:
+        """Read one pass over the stream, counting it."""
+        self._passes += 1
+        return iter(self._items)
+
+    def final_graph(self) -> Graph:
+        """The graph the stream describes."""
+        return Graph(self._n, self._edges)
+
+    def as_edge_stream(self) -> EdgeStream:
+        """First-appearance projection into the arbitrary-order model.
+
+        Keeps each edge's first occurrence only, so arbitrary-order
+        algorithms can run on the same input for comparison.
+        """
+        seen = set()
+        updates: List[Update] = []
+        for item in self._items:
+            edge = (min(item.owner, item.neighbor), max(item.owner, item.neighbor))
+            if edge not in seen:
+                seen.add(edge)
+                updates.append(Update(*edge))
+        return EdgeStream(self._n, updates)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __repr__(self) -> str:
+        return (
+            f"AdjacencyListStream(n={self._n}, m={self.m}, "
+            f"length={self.length}, passes_used={self._passes})"
+        )
+
+
+def adjacency_list_stream(
+    graph: Graph,
+    rng: RandomSource = None,
+    shuffle_vertices: bool = True,
+    shuffle_neighbors: bool = True,
+) -> AdjacencyListStream:
+    """Build an adjacency-list stream of *graph*.
+
+    Vertex order and within-list neighbor orders are shuffled by
+    default (the model fixes the grouping, not the orders); pass
+    ``shuffle_vertices=False`` / ``shuffle_neighbors=False`` for
+    sorted, deterministic layouts.
+    """
+    random_state = ensure_rng(rng)
+    vertices = [v for v in range(graph.n) if graph.degree(v) > 0]
+    if shuffle_vertices:
+        random_state.shuffle(vertices)
+    items: List[ListItem] = []
+    for vertex in vertices:
+        neighbors = sorted(graph.neighbors(vertex))
+        if shuffle_neighbors:
+            derive_rng(random_state, f"list-{vertex}").shuffle(neighbors)
+        items.extend(ListItem(vertex, neighbor) for neighbor in neighbors)
+    return AdjacencyListStream(graph.n, items)

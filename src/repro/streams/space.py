@@ -1,0 +1,57 @@
+"""Word-level space accounting for streaming algorithms.
+
+The paper's results are about *space*, so the experiment suite needs a
+way to measure it that is independent of CPython object overheads.  A
+:class:`SpaceMeter` counts abstract machine words: components charge
+the meter for what they store (a counter = 1 word, an ℓ0-sampler =
+its level count × recovery-sketch size, a stored vertex id = 1 word),
+and the meter tracks the concurrent peak.
+
+This deliberately measures the *algorithmic* space complexity — the
+quantity Theorems 1/2/9/11 bound — not the Python process RSS.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+
+class SpaceMeter:
+    """Tracks current and peak words across named components."""
+
+    def __init__(self) -> None:
+        self._current: Dict[str, int] = {}
+        self._peak = 0
+
+    def set_usage(self, component: str, words: int) -> None:
+        """Set the current footprint of *component* to *words*."""
+        if words < 0:
+            raise ValueError(f"space cannot be negative, got {words}")
+        self._current[component] = words
+        self._peak = max(self._peak, self.current_words)
+
+    def add_usage(self, component: str, words: int) -> None:
+        """Increase *component*'s footprint by *words* (may be negative)."""
+        updated = self._current.get(component, 0) + words
+        self.set_usage(component, updated)
+
+    def release(self, component: str) -> None:
+        """Drop *component*'s footprint (end of its lifetime)."""
+        self._current.pop(component, None)
+
+    @property
+    def current_words(self) -> int:
+        """Total words currently held across all components."""
+        return sum(self._current.values())
+
+    @property
+    def peak_words(self) -> int:
+        """Maximum concurrent total ever observed."""
+        return self._peak
+
+    def breakdown(self) -> Dict[str, int]:
+        """Snapshot of the current per-component footprints."""
+        return dict(self._current)
+
+    def __repr__(self) -> str:
+        return f"SpaceMeter(current={self.current_words}, peak={self.peak_words})"

@@ -1,0 +1,168 @@
+"""The arbitrary-order edge stream model.
+
+An :class:`EdgeStream` is a finite sequence of edge *updates* over a
+fixed vertex set [n].  In the insertion-only (cash-register) setting
+every update inserts an edge; in the turnstile setting updates carry a
+sign and the graph is the result of applying all of them to the empty
+graph (final multiplicities must be 0 or 1 — the paper's model is
+simple graphs).
+
+Multi-pass algorithms call :meth:`EdgeStream.updates` once per pass;
+the stream counts passes so tests and experiments can assert the pass
+complexity claimed by the theorems (3 passes for Theorem 1/17, 5r for
+Theorem 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import StreamError
+from repro.graph.graph import Edge, Graph, normalize_edge
+from repro.utils.rng import RandomSource, ensure_rng
+
+
+@dataclass(frozen=True)
+class Update:
+    """A single stream element: edge {u, v} with sign +1 or -1."""
+
+    u: int
+    v: int
+    delta: int = 1
+
+    def __post_init__(self) -> None:
+        if self.u == self.v:
+            raise StreamError(f"self-loop update ({self.u}, {self.v})")
+        if self.delta not in (1, -1):
+            raise StreamError(f"update delta must be +1 or -1, got {self.delta}")
+
+    @property
+    def edge(self) -> Edge:
+        """The normalized (min, max) edge."""
+        return normalize_edge(self.u, self.v)
+
+    @property
+    def is_insertion(self) -> bool:
+        return self.delta == 1
+
+
+class EdgeStream:
+    """A replayable, pass-counting edge stream.
+
+    Parameters
+    ----------
+    n:
+        Number of vertices of the underlying graph.
+    updates:
+        The stream contents, in order.
+    allow_deletions:
+        ``False`` models the insertion-only setting and rejects any
+        negative update at construction time.
+
+    Notes
+    -----
+    The stream validates on construction that the final edge
+    multiplicities are all 0 or 1 and never dip below 0 — i.e. that
+    the updates describe a simple graph, as the paper's turnstile
+    model requires.
+    """
+
+    def __init__(self, n: int, updates: Sequence[Update], allow_deletions: bool = False) -> None:
+        self._n = n
+        self._updates: Tuple[Update, ...] = tuple(updates)
+        self._allow_deletions = allow_deletions
+        self._passes = 0
+        self._validate()
+
+    def _validate(self) -> None:
+        multiplicity: Dict[Edge, int] = {}
+        for index, update in enumerate(self._updates):
+            if not (0 <= update.u < self._n and 0 <= update.v < self._n):
+                raise StreamError(f"update #{index} touches vertex outside [0, {self._n})")
+            if update.delta < 0 and not self._allow_deletions:
+                raise StreamError(f"update #{index} is a deletion in an insertion-only stream")
+            edge = update.edge
+            count = multiplicity.get(edge, 0) + update.delta
+            if count < 0:
+                raise StreamError(f"update #{index} deletes absent edge {edge}")
+            if count > 1:
+                raise StreamError(f"update #{index} duplicates edge {edge}")
+            multiplicity[edge] = count
+        self._final_edges: Tuple[Edge, ...] = tuple(
+            sorted(edge for edge, count in multiplicity.items() if count == 1)
+        )
+
+    # -- stream interface ------------------------------------------------
+
+    @property
+    def n(self) -> int:
+        """Vertex count of the underlying graph."""
+        return self._n
+
+    @property
+    def length(self) -> int:
+        """Number of stream elements (insertions + deletions)."""
+        return len(self._updates)
+
+    @property
+    def net_edge_count(self) -> int:
+        """m: edges of the final graph."""
+        return len(self._final_edges)
+
+    @property
+    def allows_deletions(self) -> bool:
+        return self._allow_deletions
+
+    @property
+    def passes_used(self) -> int:
+        """How many passes have been read so far."""
+        return self._passes
+
+    def reset_pass_count(self) -> None:
+        """Zero the pass counter (e.g. between estimator runs)."""
+        self._passes = 0
+
+    def updates(self) -> Iterator[Update]:
+        """Read one pass over the stream, counting it."""
+        self._passes += 1
+        return iter(self._updates)
+
+    def final_graph(self) -> Graph:
+        """The graph the stream describes (updates applied in order)."""
+        return Graph(self._n, self._final_edges)
+
+    def __len__(self) -> int:
+        return len(self._updates)
+
+    def __repr__(self) -> str:
+        kind = "turnstile" if self._allow_deletions else "insertion-only"
+        return (
+            f"EdgeStream({kind}, n={self._n}, length={self.length}, "
+            f"m={self.net_edge_count}, passes_used={self._passes})"
+        )
+
+
+def insertion_stream(
+    graph: Graph, rng: RandomSource = None, shuffle: bool = True
+) -> EdgeStream:
+    """An insertion-only stream of *graph*'s edges.
+
+    With *shuffle* (the default) the arrival order is a uniformly
+    random permutation drawn from *rng*; otherwise edges arrive in the
+    graph's insertion order.  Note the algorithms are analyzed for
+    arbitrary (adversarial) order — shuffling is just a convenient
+    instance, and :func:`repro.streams.generators.adversarial_order_stream`
+    provides nastier ones.
+    """
+    edges: List[Edge] = list(graph.edges())
+    if shuffle:
+        ensure_rng(rng).shuffle(edges)
+    return EdgeStream(graph.n, [Update(u, v, 1) for u, v in edges], allow_deletions=False)
+
+
+def turnstile_stream(
+    n: int, updates: Iterable[Tuple[int, int, int]]
+) -> EdgeStream:
+    """A turnstile stream from raw ``(u, v, delta)`` triples."""
+    return EdgeStream(n, [Update(u, v, d) for u, v, d in updates], allow_deletions=True)

@@ -1,0 +1,33 @@
+"""The query-to-streaming transformation (Theorems 9 and 11).
+
+A *round-adaptive* algorithm (Definition 8) is written once as a
+Python generator that yields batches of query objects and receives
+their answers.  Running it against:
+
+* a :class:`repro.oracle.DirectAugmentedOracle` reproduces the
+  sublinear-time query-model execution;
+* an :class:`InsertionStreamOracle` executes it as a k-pass
+  insertion-only streaming algorithm (Theorem 9);
+* a :class:`TurnstileStreamOracle` executes it as a k-pass turnstile
+  streaming algorithm backed by ℓ0-samplers (Theorem 11).
+
+One pass of the stream answers one round's batch; the pass count of a
+run therefore equals the algorithm's round-adaptivity, which is the
+content of both theorems.
+"""
+
+from repro.transform.driver import RoundRunResult, parallel_rounds, run_round_adaptive
+from repro.transform.insertion import InsertionStreamOracle
+from repro.transform.profile import AdaptivityReport, RoundProfile, profile_rounds
+from repro.transform.turnstile import TurnstileStreamOracle
+
+__all__ = [
+    "RoundRunResult",
+    "parallel_rounds",
+    "run_round_adaptive",
+    "InsertionStreamOracle",
+    "TurnstileStreamOracle",
+    "AdaptivityReport",
+    "RoundProfile",
+    "profile_rounds",
+]

@@ -1,0 +1,185 @@
+"""Theorem 9: emulating the augmented general graph model over an
+insertion-only stream.
+
+One call to :meth:`InsertionStreamOracle.answer_batch` makes exactly
+one pass over the stream and answers every query of the batch:
+
+* f1 (random edge) — one single-item reservoir per query: O(log n) bits;
+* f2 (degree) — a counter per queried vertex;
+* f3 (i-th neighbor) — a per-vertex arrival counter that captures the
+  i-th incident edge;
+* f4 (adjacency) — a boolean per queried pair;
+* edge count — one counter.
+
+The relaxed-model random-neighbor query is also supported (a
+reservoir over arrivals incident to v serves an exactly uniform
+neighbor), so relaxed-mode algorithms can run on insertion-only
+streams too.
+
+Total space is O(q log n) words for q queries plus the algorithm's own
+state — the bound of Theorem 9.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from repro.errors import OracleError
+from repro.graph.graph import normalize_edge
+from repro.oracle.base import (
+    AdjacencyQuery,
+    DegreeQuery,
+    EdgeCountQuery,
+    NeighborQuery,
+    Query,
+    QueryAccounting,
+    QueryBatch,
+    RandomEdgeQuery,
+    RandomNeighborQuery,
+)
+from repro.sketch.reservoir import SkipAheadReservoirBank
+from repro.streams.space import SpaceMeter
+from repro.streams.stream import EdgeStream
+from repro.utils.rng import RandomSource, derive_rng, ensure_rng
+
+
+class InsertionStreamOracle:
+    """Answers query batches with one stream pass per batch."""
+
+    def __init__(
+        self,
+        stream: EdgeStream,
+        rng: RandomSource = None,
+        space_meter: Optional[SpaceMeter] = None,
+    ) -> None:
+        if stream.allows_deletions:
+            raise OracleError(
+                "InsertionStreamOracle requires an insertion-only stream; "
+                "use TurnstileStreamOracle for streams with deletions"
+            )
+        self._stream = stream
+        self._rng = ensure_rng(rng)
+        self._pass_index = 0
+        self.accounting = QueryAccounting()
+        self.space = space_meter if space_meter is not None else SpaceMeter()
+
+    @property
+    def passes_used(self) -> int:
+        """Stream passes consumed so far."""
+        return self._stream.passes_used
+
+    def answer_batch(self, batch: QueryBatch) -> List[Any]:
+        """Answer one round's batch in a single pass over the stream."""
+        self.accounting.record_batch(batch)
+        self._pass_index += 1
+
+        # --- set up per-query state -----------------------------------
+        edge_positions: List[int] = []
+        neighbor_positions: Dict[int, List[int]] = {}
+        degree_vertices: Set[int] = set()
+        neighbor_watch: Dict[int, Dict[int, List[int]]] = {}
+        adjacency_pairs: Set[Tuple[int, int]] = set()
+        wants_edge_count = False
+
+        for position, query in enumerate(batch):
+            if isinstance(query, RandomEdgeQuery):
+                edge_positions.append(position)
+            elif isinstance(query, RandomNeighborQuery):
+                neighbor_positions.setdefault(query.vertex, []).append(position)
+            elif isinstance(query, DegreeQuery):
+                degree_vertices.add(query.vertex)
+            elif isinstance(query, NeighborQuery):
+                if query.index < 0:
+                    raise OracleError(f"neighbor index must be >= 0, got {query.index}")
+                neighbor_watch.setdefault(query.vertex, {}).setdefault(
+                    query.index, []
+                ).append(position)
+            elif isinstance(query, AdjacencyQuery):
+                adjacency_pairs.add(normalize_edge(query.u, query.v))
+            elif isinstance(query, EdgeCountQuery):
+                wants_edge_count = True
+            else:
+                raise OracleError(f"unsupported query type {type(query).__name__}")
+
+        degree_counts: Dict[int, int] = {v: 0 for v in degree_vertices}
+        arrival_counts: Dict[int, int] = {v: 0 for v in neighbor_watch}
+        captured: Dict[int, Optional[int]] = {}
+        present_pairs: Set[Tuple[int, int]] = set()
+        edge_count = 0
+
+        # Skip-ahead banks: O(1) amortized per stream element however
+        # many f1/f3 queries the batch carries (see repro.sketch.reservoir).
+        edge_bank: SkipAheadReservoirBank = SkipAheadReservoirBank(
+            len(edge_positions),
+            derive_rng(self._rng, f"edges-{self._pass_index}"),
+        )
+        neighbor_banks: Dict[int, SkipAheadReservoirBank] = {
+            vertex: SkipAheadReservoirBank(
+                len(positions),
+                derive_rng(self._rng, f"nbrs-{self._pass_index}-{vertex}"),
+            )
+            for vertex, positions in neighbor_positions.items()
+        }
+
+        # Charge the space meter: O(1) words per query of this batch.
+        component = f"insertion-pass-{self._pass_index}"
+        words = (
+            2 * len(edge_positions)
+            + 2 * sum(len(p) for p in neighbor_positions.values())
+            + len(degree_vertices)
+            + sum(len(ix) for ix in neighbor_watch.values())
+            + len(neighbor_watch)
+            + len(adjacency_pairs)
+            + (1 if wants_edge_count else 0)
+        )
+        self.space.set_usage(component, words)
+
+        # --- the pass ---------------------------------------------------
+        for update in self._stream.updates():
+            u, v = update.u, update.v
+            edge_count += 1
+            edge_bank.offer(update.edge)
+            if neighbor_banks:
+                bank = neighbor_banks.get(u)
+                if bank is not None:
+                    bank.offer(v)
+                bank = neighbor_banks.get(v)
+                if bank is not None:
+                    bank.offer(u)
+            if degree_counts:
+                if u in degree_counts:
+                    degree_counts[u] += 1
+                if v in degree_counts:
+                    degree_counts[v] += 1
+            if arrival_counts:
+                for endpoint, other in ((u, v), (v, u)):
+                    if endpoint in arrival_counts:
+                        seen = arrival_counts[endpoint]
+                        watchers = neighbor_watch[endpoint]
+                        if seen in watchers:
+                            for position in watchers[seen]:
+                                captured[position] = other
+                        arrival_counts[endpoint] = seen + 1
+            if adjacency_pairs and update.edge in adjacency_pairs:
+                present_pairs.add(update.edge)
+
+        # --- collect answers ---------------------------------------------
+        answers: List[Any] = [None] * len(batch)
+        for slot, position in enumerate(edge_positions):
+            answers[position] = edge_bank.item(slot)
+        for vertex, positions in neighbor_positions.items():
+            bank = neighbor_banks[vertex]
+            for slot, position in enumerate(positions):
+                answers[position] = bank.item(slot)
+        for position, query in enumerate(batch):
+            if isinstance(query, DegreeQuery):
+                answers[position] = degree_counts[query.vertex]
+            elif isinstance(query, NeighborQuery):
+                answers[position] = captured.get(position)
+            elif isinstance(query, AdjacencyQuery):
+                answers[position] = normalize_edge(query.u, query.v) in present_pairs
+            elif isinstance(query, EdgeCountQuery):
+                answers[position] = edge_count
+
+        self.space.release(component)
+        return answers

@@ -1,0 +1,179 @@
+"""Theorem 11: emulating the relaxed augmented model over a turnstile
+stream.
+
+One :meth:`TurnstileStreamOracle.answer_batch` call makes one pass and
+answers the batch with sketch-backed structures:
+
+* f1 (near-uniform edge) — a fresh ℓ0-sampler over the adjacency-
+  matrix vector (edge ids), O(log^4 n) bits each (Lemma 7);
+* f3 (near-uniform neighbor of v) — a fresh ℓ0-sampler over the
+  adjacency-list column of v;
+* f2 (degree) — a signed counter;
+* f4 (adjacency) — a signed counter (present iff net count is 1);
+* edge count — a signed counter (final multiplicities are 0/1, so the
+  signed sum is exactly m).
+
+Indexed neighbor queries (f3 of the non-relaxed model) are rejected —
+they have no turnstile emulation, which is exactly why the paper
+introduces the relaxed model (Definition 10).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from repro.errors import OracleError
+from repro.graph.graph import normalize_edge
+from repro.oracle.base import (
+    AdjacencyQuery,
+    DegreeQuery,
+    EdgeCountQuery,
+    NeighborQuery,
+    Query,
+    QueryAccounting,
+    QueryBatch,
+    RandomEdgeQuery,
+    RandomNeighborQuery,
+)
+from repro.sketch.l0 import L0Sampler
+from repro.streams.space import SpaceMeter
+from repro.streams.stream import EdgeStream
+from repro.utils.rng import RandomSource, derive_rng, ensure_rng
+
+
+def _edge_id(u: int, v: int, n: int) -> int:
+    """Dense id of the (sorted) pair {u, v} in [0, n*(n-1)/2)."""
+    a, b = (u, v) if u < v else (v, u)
+    # Pairs (a, b), a < b, ordered lexicographically.
+    return a * (2 * n - a - 1) // 2 + (b - a - 1)
+
+
+def _edge_from_id(identifier: int, n: int) -> Tuple[int, int]:
+    """Inverse of :func:`_edge_id`."""
+    a = 0
+    remaining = identifier
+    row = n - 1
+    while remaining >= row:
+        remaining -= row
+        a += 1
+        row -= 1
+    return a, a + 1 + remaining
+
+
+class TurnstileStreamOracle:
+    """Answers relaxed-model query batches over a turnstile stream."""
+
+    def __init__(
+        self,
+        stream: EdgeStream,
+        rng: RandomSource = None,
+        space_meter: Optional[SpaceMeter] = None,
+        sampler_repetitions: int = 8,
+    ) -> None:
+        self._stream = stream
+        self._rng = ensure_rng(rng)
+        self._pass_index = 0
+        self._sampler_repetitions = sampler_repetitions
+        self.accounting = QueryAccounting()
+        self.space = space_meter if space_meter is not None else SpaceMeter()
+
+    @property
+    def passes_used(self) -> int:
+        return self._stream.passes_used
+
+    def answer_batch(self, batch: QueryBatch) -> List[Any]:
+        """Answer one round's batch in a single pass over the stream."""
+        self.accounting.record_batch(batch)
+        self._pass_index += 1
+        n = self._stream.n
+        edge_universe = max(1, n * (n - 1) // 2)
+
+        edge_samplers: List[Tuple[int, L0Sampler]] = []
+        neighbor_samplers: List[Tuple[int, int, L0Sampler]] = []
+        degree_vertices: Set[int] = set()
+        adjacency_pairs: Set[Tuple[int, int]] = set()
+        wants_edge_count = False
+
+        for position, query in enumerate(batch):
+            if isinstance(query, RandomEdgeQuery):
+                child = derive_rng(self._rng, f"l0edge-{self._pass_index}-{position}")
+                edge_samplers.append(
+                    (position, L0Sampler(edge_universe, child, self._sampler_repetitions))
+                )
+            elif isinstance(query, RandomNeighborQuery):
+                child = derive_rng(self._rng, f"l0nbr-{self._pass_index}-{position}")
+                neighbor_samplers.append(
+                    (position, query.vertex, L0Sampler(n, child, self._sampler_repetitions))
+                )
+            elif isinstance(query, DegreeQuery):
+                degree_vertices.add(query.vertex)
+            elif isinstance(query, AdjacencyQuery):
+                adjacency_pairs.add(normalize_edge(query.u, query.v))
+            elif isinstance(query, EdgeCountQuery):
+                wants_edge_count = True
+            elif isinstance(query, NeighborQuery):
+                raise OracleError(
+                    "indexed neighbor queries (f3, Definition 6) cannot be emulated "
+                    "over turnstile streams; the relaxed model (Definition 10) uses "
+                    "RandomNeighborQuery instead"
+                )
+            else:
+                raise OracleError(f"unsupported query type {type(query).__name__}")
+
+        degree_counts: Dict[int, int] = {v: 0 for v in degree_vertices}
+        pair_counts: Dict[Tuple[int, int], int] = {pair: 0 for pair in adjacency_pairs}
+        edge_count = 0
+
+        component = f"turnstile-pass-{self._pass_index}"
+        words = (
+            sum(s.space_words for _, s in edge_samplers)
+            + sum(s.space_words for _, _, s in neighbor_samplers)
+            + len(degree_vertices)
+            + len(adjacency_pairs)
+            + (1 if wants_edge_count else 0)
+        )
+        self.space.set_usage(component, words)
+
+        # --- the pass ---------------------------------------------------
+        for update in self._stream.updates():
+            u, v = update.u, update.v
+            delta = update.delta
+            edge_count += delta
+            if edge_samplers:
+                identifier = _edge_id(u, v, n)
+                for _, sampler in edge_samplers:
+                    sampler.update(identifier, delta)
+            for _, vertex, sampler in neighbor_samplers:
+                if u == vertex:
+                    sampler.update(v, delta)
+                elif v == vertex:
+                    sampler.update(u, delta)
+            if degree_counts:
+                if u in degree_counts:
+                    degree_counts[u] += delta
+                if v in degree_counts:
+                    degree_counts[v] += delta
+            if pair_counts:
+                edge = update.edge
+                if edge in pair_counts:
+                    pair_counts[edge] += delta
+
+        # --- collect answers ---------------------------------------------
+        answers: List[Any] = [None] * len(batch)
+        for position, sampler in edge_samplers:
+            identifier = sampler.sample()
+            answers[position] = (
+                None if identifier is None else _edge_from_id(identifier, n)
+            )
+        for position, _, sampler in neighbor_samplers:
+            answers[position] = sampler.sample()
+        for position, query in enumerate(batch):
+            if isinstance(query, DegreeQuery):
+                answers[position] = degree_counts[query.vertex]
+            elif isinstance(query, AdjacencyQuery):
+                answers[position] = pair_counts[normalize_edge(query.u, query.v)] == 1
+            elif isinstance(query, EdgeCountQuery):
+                answers[position] = edge_count
+
+        self.space.release(component)
+        return answers

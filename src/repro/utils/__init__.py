@@ -1,0 +1,21 @@
+"""Shared low-level utilities: seeded RNG helpers and validation."""
+
+from repro.utils.rng import RandomSource, derive_rng, spawn_rngs
+from repro.utils.validation import (
+    check_fraction,
+    check_non_negative,
+    check_positive,
+    check_probability,
+    check_type,
+)
+
+__all__ = [
+    "RandomSource",
+    "derive_rng",
+    "spawn_rngs",
+    "check_fraction",
+    "check_non_negative",
+    "check_positive",
+    "check_probability",
+    "check_type",
+]

@@ -1,0 +1,60 @@
+"""Small argument-validation helpers used across the library.
+
+These raise built-in exception types (``TypeError`` / ``ValueError``)
+because they guard *caller* mistakes, not library state; library-state
+errors use the :mod:`repro.errors` hierarchy.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Type, TypeVar
+
+T = TypeVar("T")
+
+
+def check_type(value: Any, expected: Type[T], name: str) -> T:
+    """Raise ``TypeError`` unless *value* is an instance of *expected*."""
+    if not isinstance(value, expected):
+        raise TypeError(f"{name} must be {expected.__name__}, got {type(value).__name__}")
+    return value
+
+
+def check_positive(value: float, name: str) -> float:
+    """Raise ``ValueError`` unless ``value > 0``."""
+    if not value > 0:
+        raise ValueError(f"{name} must be positive, got {value!r}")
+    return value
+
+
+def check_non_negative(value: float, name: str) -> float:
+    """Raise ``ValueError`` unless ``value >= 0``."""
+    if value < 0:
+        raise ValueError(f"{name} must be non-negative, got {value!r}")
+    return value
+
+
+def check_probability(value: float, name: str) -> float:
+    """Raise ``ValueError`` unless ``0 <= value <= 1``."""
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be a probability in [0, 1], got {value!r}")
+    return value
+
+
+def check_fraction(value: float, name: str) -> float:
+    """Raise ``ValueError`` unless ``0 < value < 1``.
+
+    Used for accuracy parameters such as ε where both endpoints are
+    degenerate (ε = 0 needs exact counting; ε ≥ 1 is vacuous).
+    """
+    if not 0.0 < value < 1.0:
+        raise ValueError(f"{name} must lie strictly between 0 and 1, got {value!r}")
+    return value
+
+
+def check_vertex_count(value: int, name: str = "n") -> int:
+    """Raise unless *value* is a non-negative int usable as a vertex count."""
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise TypeError(f"{name} must be an int, got {type(value).__name__}")
+    if value < 0:
+        raise ValueError(f"{name} must be non-negative, got {value}")
+    return value

@@ -1,0 +1,90 @@
+"""Tests for the AGM bound module (:mod:`repro.patterns.agm`) and the
+fractional vertex cover τ(H) exposure."""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.errors import PatternError
+from repro.graph import generators as gen
+from repro.patterns import agm
+from repro.patterns import pattern as zoo
+
+
+class TestTau:
+    def test_known_values(self):
+        # τ(K_r) = r/2 (the all-1/2 vector); τ(S_k) = 1 (the center);
+        # τ(C_{2k}) = k; τ(C_{2k+1}) = k + 1/2.
+        assert zoo.triangle().tau() == pytest.approx(1.5)
+        assert zoo.clique(4).tau() == pytest.approx(2.0)
+        assert zoo.clique(5).tau() == pytest.approx(2.5)
+        assert zoo.star(3).tau() == pytest.approx(1.0)
+        assert zoo.cycle(4).tau() == pytest.approx(2.0)
+        assert zoo.cycle(5).tau() == pytest.approx(2.5)
+        assert zoo.path(3).tau() == pytest.approx(1.0)
+
+    def test_lp_duality_bound(self):
+        # Weak duality: τ(H) >= (fractional matching) and for any graph
+        # τ <= ρ is false in general, but τ <= |V|/2 + ... we check the
+        # universally valid sandwich m/|V| <= ... τ >= m/Δ? Keep it
+        # simple: τ is at least 1 and at most |V(H)| on the whole zoo.
+        for pattern in zoo.extended_zoo():
+            tau = pattern.tau()
+            assert 1.0 <= tau <= pattern.num_vertices, pattern.name
+
+
+class TestAgmBound:
+    def test_bound_values(self):
+        assert agm.agm_bound(zoo.triangle(), 100) == pytest.approx(100**1.5)
+        assert agm.agm_bound(zoo.clique(4), 10) == pytest.approx(100.0)
+
+    def test_negative_m_rejected(self):
+        with pytest.raises(PatternError):
+            agm.agm_bound(zoo.edge(), -1)
+
+    def test_holds_on_zoo_karate(self):
+        host = gen.karate_club()
+        for pattern in zoo.standard_zoo():
+            check = agm.verify_agm(host, pattern)
+            assert check.holds, pattern.name
+            assert check.ratio <= 1.0 + 1e-9
+
+    def test_tight_for_stars_on_star_host(self):
+        # A star host maximizes S_k density: #S_k = C(m, k) approaches
+        # m^k/k!; the AGM ratio approaches 1/k! — large, not ~0.
+        host = gen.star_graph(12)
+        check = agm.verify_agm(host, zoo.star(2))
+        assert check.ratio > 0.4
+
+    def test_zero_edges(self):
+        host = gen.gnp(5, 0.0, rng=1)
+        check = agm.verify_agm(host, zoo.edge())
+        assert check.count == 0
+        assert check.holds
+
+    @given(
+        st.integers(min_value=4, max_value=16),
+        st.floats(min_value=0.1, max_value=0.9),
+        st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_property_agm_holds_on_random_hosts(self, n, p, seed):
+        host = gen.gnp(n, p, rng=seed)
+        for pattern in (zoo.edge(), zoo.path(3), zoo.triangle(), zoo.cycle(4)):
+            assert agm.verify_agm(host, pattern).holds
+
+
+class TestKkpScale:
+    def test_zero_count_defaults_to_m(self):
+        assert agm.one_pass_lower_bound_scale(zoo.triangle(), 50, 0) == 50.0
+
+    def test_scale_shrinks_with_count(self):
+        pattern = zoo.triangle()
+        sparse = agm.one_pass_lower_bound_scale(pattern, 1000, 10)
+        dense = agm.one_pass_lower_bound_scale(pattern, 1000, 1000)
+        assert dense < sparse
+
+    def test_triangle_formula(self):
+        # tau(C3) = 3/2, so the scale is m / #T^{2/3}.
+        scale = agm.one_pass_lower_bound_scale(zoo.triangle(), 1000, 8)
+        assert scale == pytest.approx(1000 / 8 ** (2 / 3))

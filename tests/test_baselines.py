@@ -1,0 +1,186 @@
+"""Tests for the baseline counters."""
+
+import statistics
+
+import pytest
+
+from repro.baselines.cycle_sketch import (
+    HomomorphismSketch,
+    sketch_count_four_cycles,
+    sketch_count_triangles,
+)
+from repro.baselines.doulion import doulion_count
+from repro.baselines.exact_stream import exact_stream_count
+from repro.baselines.mvv import mvv_triangle_count
+from repro.baselines.triest import triest_count
+from repro.errors import EstimationError
+from repro.exact.subgraphs import count_homomorphisms, count_subgraphs
+from repro.exact.triangles import count_triangles
+from repro.graph import generators as gen
+from repro.patterns import pattern as pattern_zoo
+from repro.streams.generators import turnstile_churn_stream
+from repro.streams.stream import insertion_stream
+
+
+@pytest.fixture
+def karate():
+    return gen.karate_club()
+
+
+class TestExactStream:
+    def test_matches_exact_count(self, karate):
+        stream = insertion_stream(karate, rng=1)
+        result = exact_stream_count(stream, pattern_zoo.triangle())
+        assert result.estimate == 45.0
+        assert result.passes == 1
+
+    def test_turnstile_respects_deletions(self, karate):
+        stream = turnstile_churn_stream(karate, 30, rng=2)
+        result = exact_stream_count(stream, pattern_zoo.triangle())
+        assert result.estimate == 45.0
+
+    def test_space_is_m(self, karate):
+        stream = insertion_stream(karate, rng=3)
+        result = exact_stream_count(stream, pattern_zoo.triangle())
+        assert result.space_words == karate.m
+
+
+class TestTriest:
+    def test_exact_when_reservoir_holds_everything(self, karate):
+        stream = insertion_stream(karate, rng=4)
+        result = triest_count(stream, capacity=karate.m + 10, rng=5)
+        assert result.estimate == pytest.approx(45.0)
+
+    def test_sampled_regime_concentrates(self, karate):
+        estimates = [
+            triest_count(insertion_stream(karate, rng=10 + i), capacity=40, rng=20 + i).estimate
+            for i in range(40)
+        ]
+        assert statistics.mean(estimates) == pytest.approx(45.0, rel=0.25)
+
+    def test_capacity_validation(self, karate):
+        with pytest.raises(EstimationError):
+            triest_count(insertion_stream(karate, rng=1), capacity=1)
+
+    def test_rejects_turnstile(self, karate):
+        stream = turnstile_churn_stream(karate, 5, rng=1)
+        with pytest.raises(EstimationError):
+            triest_count(stream, capacity=10)
+
+
+class TestDoulion:
+    def test_unbiasedness(self, karate):
+        estimates = [
+            doulion_count(insertion_stream(karate, rng=30 + i), 0.5, rng=40 + i).estimate
+            for i in range(60)
+        ]
+        assert statistics.mean(estimates) == pytest.approx(45.0, rel=0.25)
+
+    def test_generalized_pattern(self, karate):
+        truth = count_subgraphs(karate, pattern_zoo.cycle(4))
+        estimates = [
+            doulion_count(
+                insertion_stream(karate, rng=50 + i),
+                0.6,
+                pattern=pattern_zoo.cycle(4),
+                rng=60 + i,
+            ).estimate
+            for i in range(40)
+        ]
+        assert statistics.mean(estimates) == pytest.approx(truth, rel=0.3)
+
+    def test_probability_validation(self, karate):
+        with pytest.raises(ValueError):
+            doulion_count(insertion_stream(karate, rng=1), 1.0)
+
+
+class TestMvv:
+    def test_accuracy_with_degree_oracle(self, karate):
+        stream = insertion_stream(karate, rng=70)
+        result = mvv_triangle_count(
+            stream, trials=6000, rng=71, degree_oracle=karate.degree
+        )
+        assert result.estimate == pytest.approx(45.0, rel=0.25)
+        assert result.passes == 3
+
+    def test_accuracy_without_oracle_uses_four_passes(self, karate):
+        stream = insertion_stream(karate, rng=72)
+        result = mvv_triangle_count(stream, trials=6000, rng=73)
+        assert result.estimate == pytest.approx(45.0, rel=0.25)
+        assert result.passes == 4
+
+    def test_triangle_free(self):
+        graph = gen.complete_bipartite_graph(6, 6)
+        stream = insertion_stream(graph, rng=74)
+        result = mvv_triangle_count(stream, trials=1500, rng=75)
+        assert result.estimate == 0.0
+
+    def test_trials_validation(self, karate):
+        with pytest.raises(EstimationError):
+            mvv_triangle_count(insertion_stream(karate, rng=1), trials=0)
+
+
+class TestHomomorphismSketch:
+    def test_unbiased_for_triangle_hom(self):
+        """E[estimate] = hom(C3 -> G); bound the deviation by the
+        measured standard error (the estimator is high-variance by
+        design — that is the point of experiment E7)."""
+        graph = gen.gnp(12, 0.5, rng=80)
+        truth = count_homomorphisms(graph, pattern_zoo.triangle().graph)
+        estimates = []
+        for i in range(1000):
+            sketch = HomomorphismSketch(pattern_zoo.triangle(), rng=100 + i)
+            for u, v in graph.edges():
+                sketch.update(u, v, 1)
+            estimates.append(sketch.estimate())
+        mean = statistics.mean(estimates)
+        standard_error = statistics.stdev(estimates) / len(estimates) ** 0.5
+        assert abs(mean - truth) <= 5 * standard_error
+
+    def test_deletions_cancel_exactly(self):
+        sketch = HomomorphismSketch(pattern_zoo.triangle(), rng=81)
+        sketch.update(0, 1, 1)
+        sketch.update(0, 1, -1)
+        assert sketch.estimate() == pytest.approx(0.0, abs=1e-9)
+
+    def test_triangle_wrapper(self, karate):
+        """Single runs are noisy by design; the *mean* over repeated
+        runs must track the truth, and each run is 1 pass."""
+        estimates = []
+        for i in range(12):
+            result = sketch_count_triangles(
+                insertion_stream(karate, rng=82 + i), sketches=96, rng=83 + i
+            )
+            assert result.passes == 1
+            estimates.append(result.estimate)
+        mean = statistics.mean(estimates)
+        standard_error = statistics.stdev(estimates) / len(estimates) ** 0.5
+        assert abs(mean - 45.0) <= max(5 * standard_error, 30.0)
+
+    def test_c4_wrapper_uses_exact_correction(self, karate):
+        result = sketch_count_four_cycles(
+            insertion_stream(karate, rng=84), sketches=96, rng=85
+        )
+        degree_square_sum = result.details["degree_square_sum"]
+        assert degree_square_sum == sum(d * d for d in karate.degrees())
+        # The wrapper must apply the exact walk correction to its own
+        # hom estimate: #C4 = (hom - 2*sum(d^2) + 2m)/8.
+        hom = result.details["hom"]
+        expected = (hom - 2.0 * degree_square_sum + 2.0 * karate.m) / 8.0
+        assert result.estimate == pytest.approx(expected)
+        # The hom estimate itself is high-variance; bound the scale only.
+        truth = count_subgraphs(karate, pattern_zoo.cycle(4))
+        assert abs(result.estimate - truth) < 8 * truth
+
+    def test_turnstile_support(self, karate):
+        """Deletions must cancel: the churned stream's estimate has the
+        same distribution as the clean stream's.  Check the mean."""
+        estimates = []
+        for i in range(12):
+            stream = turnstile_churn_stream(karate, 25, rng=86 + i)
+            estimates.append(
+                sketch_count_triangles(stream, sketches=96, rng=87 + i).estimate
+            )
+        mean = statistics.mean(estimates)
+        standard_error = statistics.stdev(estimates) / len(estimates) ** 0.5
+        assert abs(mean - 45.0) <= max(5 * standard_error, 30.0)

@@ -1,0 +1,151 @@
+"""Tests for canonical cycles and stars (Definitions 13-14).
+
+The key property the FGP probability accounting needs: every cycle
+subgraph has exactly one canonical vertex sequence, and every
+(center, petal-set) star has exactly one.
+"""
+
+import itertools
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.errors import PatternError
+from repro.graph.graph import Graph
+from repro.graph.order import VertexOrder
+from repro.patterns.canonical import (
+    canonical_cycle_sequence,
+    canonical_star_sequence,
+    is_canonical_cycle,
+    is_canonical_star,
+)
+
+
+def _order_from_degrees(degrees):
+    return VertexOrder(dict(enumerate(degrees)))
+
+
+def _edge_fn(edges):
+    edge_set = {tuple(sorted(e)) for e in edges}
+
+    def has_edge(u, v):
+        return tuple(sorted((u, v))) in edge_set
+
+    return has_edge
+
+
+class TestCanonicalCycle:
+    def test_triangle_has_exactly_one_canonical_sequence(self):
+        order = _order_from_degrees([1, 2, 3])
+        has_edge = _edge_fn([(0, 1), (1, 2), (0, 2)])
+        canonical = [
+            seq
+            for seq in itertools.permutations([0, 1, 2])
+            if is_canonical_cycle(seq, order, has_edge)
+        ]
+        # Start at the minimum (0); orientation fixed by last < second.
+        assert canonical == [(0, 2, 1)]
+
+    def test_five_cycle_uniqueness(self):
+        vertices = list(range(5))
+        edges = [(i, (i + 1) % 5) for i in range(5)]
+        order = _order_from_degrees([3, 1, 4, 2, 5])
+        has_edge = _edge_fn(edges)
+        canonical = [
+            seq
+            for seq in itertools.permutations(vertices)
+            if is_canonical_cycle(seq, order, has_edge)
+        ]
+        assert len(canonical) == 1
+        sequence = canonical[0]
+        # Starts at the order-minimum and last precedes second.
+        assert sequence[0] == 1
+        assert order.precedes(sequence[-1], sequence[1])
+
+    def test_canonicalize_matches_predicate(self):
+        edges = [(i, (i + 1) % 5) for i in range(5)]
+        order = _order_from_degrees([9, 5, 7, 2, 4])
+        has_edge = _edge_fn(edges)
+        sequence = canonical_cycle_sequence([0, 1, 2, 3, 4], order)
+        assert is_canonical_cycle(sequence, order, has_edge)
+
+    def test_rejects_missing_edge(self):
+        order = _order_from_degrees([1, 2, 3])
+        has_edge = _edge_fn([(0, 1), (1, 2)])  # open path, no closure
+        assert not is_canonical_cycle((0, 1, 2), order, has_edge)
+
+    def test_rejects_repeats(self):
+        order = _order_from_degrees([1, 2, 3])
+        has_edge = _edge_fn([(0, 1), (1, 2), (0, 2)])
+        assert not is_canonical_cycle((0, 1, 0), order, has_edge)
+
+    def test_too_short_rejected(self):
+        order = _order_from_degrees([1, 2])
+        with pytest.raises(PatternError):
+            canonical_cycle_sequence([0, 1], order)
+
+
+class TestCanonicalStar:
+    def test_unique_per_center(self):
+        order = _order_from_degrees([5, 1, 2, 3])
+        has_edge = _edge_fn([(0, 1), (0, 2), (0, 3)])
+        sequences = [
+            (0, *petals)
+            for petals in itertools.permutations([1, 2, 3])
+            if is_canonical_star((0, *petals), order, has_edge)
+        ]
+        assert sequences == [(0, 1, 2, 3)]
+
+    def test_single_petal_both_orientations(self):
+        order = _order_from_degrees([2, 2])
+        has_edge = _edge_fn([(0, 1)])
+        assert is_canonical_star((0, 1), order, has_edge)
+        assert is_canonical_star((1, 0), order, has_edge)
+
+    def test_rejects_nonedge_petal(self):
+        order = _order_from_degrees([1, 2, 3])
+        has_edge = _edge_fn([(0, 1)])
+        assert not is_canonical_star((0, 1, 2), order, has_edge)
+
+    def test_canonicalize(self):
+        order = _order_from_degrees([9, 3, 1, 5])
+        sequence = canonical_star_sequence(0, [1, 2, 3], order)
+        assert sequence == (0, 2, 1, 3)
+
+    def test_empty_petals_rejected(self):
+        order = _order_from_degrees([1])
+        with pytest.raises(PatternError):
+            canonical_star_sequence(0, [], order)
+
+
+@st.composite
+def random_cycles(draw):
+    length = draw(st.sampled_from([3, 5, 7]))
+    degrees = draw(
+        st.lists(
+            st.integers(min_value=1, max_value=30),
+            min_size=length,
+            max_size=length,
+        )
+    )
+    return length, degrees
+
+
+class TestUniquenessProperty:
+    @given(random_cycles())
+    @settings(max_examples=40, deadline=None)
+    def test_exactly_one_canonical_sequence_per_cycle(self, case):
+        """For any degree assignment, a cycle subgraph has exactly one
+        canonical sequence — the bijection the FGP analysis needs."""
+        length, degrees = case
+        edges = [(i, (i + 1) % length) for i in range(length)]
+        order = _order_from_degrees(degrees)
+        has_edge = _edge_fn(edges)
+        canonical = [
+            seq
+            for seq in itertools.permutations(range(length))
+            if is_canonical_cycle(seq, order, has_edge)
+        ]
+        assert len(canonical) == 1
+        assert canonical[0] == canonical_cycle_sequence(list(range(length)), order)

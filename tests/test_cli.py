@@ -1,0 +1,135 @@
+"""Tests for the command-line interface (:mod:`repro.cli`)."""
+
+import pytest
+
+from repro.cli import build_parser, main, parse_pattern
+from repro.errors import ReproError
+from repro.graph import generators as gen
+from repro.graph.io import write_edge_list
+
+
+@pytest.fixture()
+def karate_path(tmp_path):
+    path = tmp_path / "karate.txt"
+    write_edge_list(gen.karate_club(), path)
+    return str(path)
+
+
+class TestParsePattern:
+    def test_fixed_names(self):
+        assert parse_pattern("triangle").name == "triangle"
+        assert parse_pattern("paw").name == "paw"
+        assert parse_pattern("gem").name == "gem"
+
+    def test_family_names(self):
+        assert parse_pattern("P4").num_vertices == 4
+        assert parse_pattern("C5").num_edges == 5
+        assert parse_pattern("K4").num_edges == 6
+        assert parse_pattern("S3").num_vertices == 4
+        assert parse_pattern("M2").num_edges == 2
+        assert parse_pattern("B2").name == "B2"
+        assert parse_pattern("W4").name == "W4"
+
+    def test_unknown_name(self):
+        with pytest.raises(ReproError):
+            parse_pattern("Q7")
+        with pytest.raises(ReproError):
+            parse_pattern("Px")
+
+
+class TestCliCommands:
+    def test_generate_and_exact(self, tmp_path, capsys):
+        out = str(tmp_path / "g.txt")
+        assert main(["generate", "gnp", out, "--n", "30", "--p", "0.2", "--seed", "5"]) == 0
+        captured = capsys.readouterr().out
+        assert "wrote gnp graph" in captured
+        assert main(["exact", out, "triangle"]) == 0
+        count = int(capsys.readouterr().out.strip())
+        assert count >= 0
+
+    def test_exact_karate_triangles(self, karate_path, capsys):
+        assert main(["exact", karate_path, "triangle"]) == 0
+        assert capsys.readouterr().out.strip() == "45"
+
+    def test_count_insertion(self, karate_path, capsys):
+        code = main(
+            ["count", karate_path, "triangle", "--trials", "3000", "--seed", "3", "--truth"]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "fgp-3pass-insertion" in output
+        assert "passes=3" in output
+        assert "exact=#45" in output
+
+    def test_count_two_pass(self, karate_path, capsys):
+        code = main(["count", karate_path, "P3", "--algorithm", "two-pass",
+                     "--trials", "2000", "--seed", "4"])
+        assert code == 0
+        assert "passes=2" in capsys.readouterr().out
+
+    def test_count_two_pass_rejects_triangle(self, karate_path, capsys):
+        code = main(["count", karate_path, "triangle", "--algorithm", "two-pass",
+                     "--trials", "10"])
+        assert code == 1
+        assert "star-only" in capsys.readouterr().err
+
+    def test_count_adaptive(self, karate_path, capsys):
+        code = main(["count", karate_path, "triangle", "--adaptive",
+                     "--epsilon", "0.4", "--seed", "8", "--truth"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "fgp-3pass-geometric" in output
+        assert "exact=#45" in output
+
+    def test_count_turnstile(self, karate_path, capsys):
+        code = main(["count", karate_path, "triangle", "--algorithm", "turnstile",
+                     "--trials", "500", "--churn", "20", "--seed", "6"])
+        assert code == 0
+        assert "turnstile" in capsys.readouterr().out
+
+    def test_ers(self, karate_path, capsys):
+        code = main(["ers", karate_path, "--r", "3", "--seed", "7", "--truth"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "ers-" in output
+        assert "exact=#45" in output
+
+    def test_covers(self, capsys):
+        assert main(["covers", "C5"]) == 0
+        output = capsys.readouterr().out
+        assert "rho (LP)       2.5" in output
+        assert "odd cycles     [5]" in output
+
+    def test_covers_list(self, capsys):
+        assert main(["covers", "--list"]) == 0
+        names = capsys.readouterr().out.split()
+        assert "triangle" in names and "gem" in names
+
+    def test_covers_requires_pattern(self, capsys):
+        assert main(["covers"]) == 2
+
+    def test_missing_file(self, capsys):
+        assert main(["exact", "/nonexistent/g.txt", "triangle"]) == 1
+
+    def test_parser_help_lists_commands(self):
+        parser = build_parser()
+        text = parser.format_help()
+        for command in ("generate", "exact", "count", "ers", "covers", "experiments"):
+            assert command in text
+
+    def test_experiments_subcommand(self, capsys):
+        assert main(["experiments", "--only", "e10"]) == 0
+        assert "E10" in capsys.readouterr().out
+
+    def test_python_dash_m_entry_point(self, tmp_path):
+        # ``python -m repro`` must work as a real subprocess.
+        import subprocess
+        import sys
+
+        completed = subprocess.run(
+            [sys.executable, "-m", "repro", "covers", "triangle"],
+            capture_output=True,
+            text=True,
+        )
+        assert completed.returncode == 0
+        assert "rho (LP)       1.5" in completed.stdout

@@ -1,0 +1,172 @@
+"""Tests for Lemma 4 decompositions and f_T(H)."""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.errors import PatternError
+from repro.graph.graph import Graph
+from repro.graph import generators as gen
+from repro.patterns.decomposition import (
+    CycleStarDecomposition,
+    Piece,
+    decompose,
+    family_normalisation_count,
+)
+from repro.patterns.edge_cover import fractional_edge_cover_number
+from repro.patterns import pattern as pattern_zoo
+
+
+class TestPiece:
+    def test_cycle_piece_validation(self):
+        with pytest.raises(PatternError):
+            Piece("cycle", (0, 1))  # too short
+        with pytest.raises(PatternError):
+            Piece("cycle", (0, 1, 2, 3))  # even length
+
+    def test_star_piece_validation(self):
+        with pytest.raises(PatternError):
+            Piece("star", (0,))
+
+    def test_unknown_kind(self):
+        with pytest.raises(PatternError):
+            Piece("blob", (0, 1))
+
+    def test_costs(self):
+        assert float(Piece("cycle", (0, 1, 2)).cost) == 1.5
+        assert float(Piece("cycle", (0, 1, 2, 3, 4)).cost) == 2.5
+        assert float(Piece("star", (0, 1)).cost) == 1.0
+        assert float(Piece("star", (0, 1, 2, 3)).cost) == 3.0
+
+
+class TestDecomposeKnown:
+    def test_triangle_is_one_cycle(self):
+        decomposition = decompose(pattern_zoo.triangle().graph)
+        assert decomposition.cycle_lengths == (3,)
+        assert decomposition.star_petals == ()
+
+    def test_c5_is_one_cycle(self):
+        decomposition = decompose(pattern_zoo.cycle(5).graph)
+        assert decomposition.cycle_lengths == (5,)
+
+    def test_even_cycle_uses_stars(self):
+        decomposition = decompose(pattern_zoo.cycle(4).graph)
+        assert decomposition.cycle_lengths == ()
+        assert decomposition.star_petals == (1, 1)
+
+    def test_star_is_one_star(self):
+        decomposition = decompose(pattern_zoo.star(3).graph)
+        assert decomposition.star_petals == (3,)
+
+    def test_k4_is_two_edges(self):
+        decomposition = decompose(pattern_zoo.clique(4).graph)
+        assert decomposition.star_petals == (1, 1)
+
+    def test_k5_contains_cycle(self):
+        decomposition = decompose(pattern_zoo.clique(5).graph)
+        assert float(decomposition.cost) == 2.5
+
+    def test_triangle_with_edge(self):
+        decomposition = decompose(pattern_zoo.triangle_with_disjoint_edge().graph)
+        assert decomposition.cycle_lengths == (3,)
+        assert decomposition.star_petals == (1,)
+
+    def test_isolated_vertex_rejected(self):
+        with pytest.raises(PatternError):
+            decompose(Graph(3, [(0, 1)]))
+
+
+class TestDecompositionValidity:
+    def _check(self, graph):
+        decomposition = decompose(graph)
+        # Pieces partition V(H).
+        seen = []
+        for piece in decomposition.pieces:
+            seen.extend(piece.vertices)
+        assert sorted(seen) == list(range(graph.n))
+        # Piece edges are edges of H.
+        for piece in decomposition.pieces:
+            if piece.kind == "cycle":
+                cyc = piece.vertices
+                for i in range(len(cyc)):
+                    assert graph.has_edge(cyc[i], cyc[(i + 1) % len(cyc)])
+            else:
+                center, *petals = piece.vertices
+                for petal in petals:
+                    assert graph.has_edge(center, petal)
+        # Lemma 4: cost equals rho(H).
+        assert float(decomposition.cost) == pytest.approx(
+            fractional_edge_cover_number(graph)
+        )
+
+    def test_zoo(self):
+        for pattern in pattern_zoo.standard_zoo():
+            self._check(pattern.graph)
+
+    def test_larger_patterns(self):
+        for graph in (
+            gen.complete_graph(6),
+            gen.cycle_graph(7),
+            gen.complete_bipartite_graph(3, 3),
+            gen.lollipop_graph(4, 3),
+        ):
+            self._check(graph)
+
+
+@st.composite
+def coverable_graphs(draw):
+    n = draw(st.integers(min_value=2, max_value=8))
+    possible = [(u, v) for u in range(n) for v in range(u + 1, n)]
+    edges = set(draw(st.lists(st.sampled_from(possible), unique=True, max_size=16)))
+    graph = Graph(n)
+    for u, v in edges:
+        graph.add_edge(u, v)
+    for v in range(n):
+        if graph.degree(v) == 0:
+            graph.add_edge_if_absent(v, (v + 1) % n)
+    return graph
+
+
+class TestLemma4Property:
+    @given(coverable_graphs())
+    @settings(max_examples=60, deadline=None)
+    def test_decomposition_cost_equals_rho(self, graph):
+        """The statement of Lemma 4, checked exactly on random patterns."""
+        decomposition = decompose(graph)
+        rho = fractional_edge_cover_number(graph)
+        assert float(decomposition.cost) == pytest.approx(rho)
+
+    @given(coverable_graphs())
+    @settings(max_examples=40, deadline=None)
+    def test_family_count_positive(self, graph):
+        decomposition = decompose(graph)
+        assert family_normalisation_count(graph, decomposition) >= 1
+
+
+class TestFamilyCount:
+    def test_known_values(self):
+        cases = {
+            "edge": 2,
+            "triangle": 1,
+            "C5": 1,
+            "P4": 8,
+            "M2": 8,
+            "K4": 24,
+            "C4": 16,
+            "diamond": 16,
+            "paw": 8,
+            "K3+e": 2,
+        }
+        for pattern in pattern_zoo.standard_zoo():
+            if pattern.name in cases:
+                assert pattern.family_count() == cases[pattern.name], pattern.name
+
+    def test_family_count_matches_decomposition_type(self):
+        # Both optimal decompositions of K5 cost 2.5; f_T depends on
+        # which one the DP returned: a spanning C5 (12 five-cycles in
+        # K5) or C3+S1 (10 triangles x 2 edge orientations = 20).
+        pattern = pattern_zoo.clique(5)
+        signature = pattern.decomposition().type_signature()
+        expected = {((5,), ()): 12, ((3,), (1,)): 20}
+        assert signature in expected
+        assert pattern.family_count() == expected[signature]

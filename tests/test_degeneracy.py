@@ -1,0 +1,109 @@
+"""Tests for core decomposition and degeneracy (Definition 5)."""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.graph import generators as gen
+from repro.graph.degeneracy import (
+    core_decomposition,
+    degeneracy,
+    degeneracy_ordering,
+    verify_degeneracy_ordering,
+)
+from repro.graph.graph import Graph
+
+
+class TestKnownDegeneracies:
+    def test_empty_graph(self):
+        assert degeneracy(Graph(5)) == 0
+
+    def test_single_edge(self):
+        assert degeneracy(Graph(2, [(0, 1)])) == 1
+
+    def test_tree(self):
+        assert degeneracy(gen.path_graph(10)) == 1
+        assert degeneracy(gen.star_graph(7)) == 1
+
+    def test_cycle(self):
+        assert degeneracy(gen.cycle_graph(9)) == 2
+
+    def test_complete_graph(self):
+        assert degeneracy(gen.complete_graph(6)) == 5
+
+    def test_grid_is_at_most_two(self):
+        assert degeneracy(gen.grid_graph(6, 7)) == 2
+
+    def test_complete_bipartite(self):
+        assert degeneracy(gen.complete_bipartite_graph(3, 8)) == 3
+
+    def test_barabasi_albert_bounded_by_attachment(self):
+        graph = gen.barabasi_albert(150, 4, rng=3)
+        assert degeneracy(graph) <= 4
+
+    def test_lollipop(self):
+        # The K_6 head dominates: degeneracy 5.
+        assert degeneracy(gen.lollipop_graph(6, 10)) == 5
+
+
+class TestCoreDecomposition:
+    def test_core_numbers_monotone_under_k_core_definition(self):
+        graph = gen.karate_club()
+        _, cores, lam = core_decomposition(graph)
+        assert lam == max(cores)
+        # Every vertex of core number >= k keeps >= k neighbors within
+        # the set of vertices with core number >= k.
+        for k in range(1, lam + 1):
+            members = {v for v in graph.vertices() if cores[v] >= k}
+            for v in members:
+                inside = sum(1 for w in graph.neighbors(v) if w in members)
+                assert inside >= k
+
+    def test_ordering_witnesses_degeneracy(self):
+        graph = gen.karate_club()
+        ordering = degeneracy_ordering(graph)
+        assert sorted(ordering) == list(graph.vertices())
+        assert verify_degeneracy_ordering(graph, ordering) == degeneracy(graph)
+
+    def test_any_ordering_upper_bounds_degeneracy(self):
+        graph = gen.gnp(30, 0.2, rng=5)
+        arbitrary = list(graph.vertices())
+        assert verify_degeneracy_ordering(graph, arbitrary) >= degeneracy(graph)
+
+
+@st.composite
+def random_graphs(draw):
+    n = draw(st.integers(min_value=1, max_value=12))
+    possible = [(u, v) for u in range(n) for v in range(u + 1, n)]
+    edges = draw(st.lists(st.sampled_from(possible), unique=True, max_size=30)) if possible else []
+    return Graph(n, edges)
+
+
+class TestDegeneracyProperties:
+    @given(random_graphs())
+    @settings(max_examples=60, deadline=None)
+    def test_degeneracy_bounds(self, graph):
+        lam = degeneracy(graph)
+        assert lam <= graph.max_degree()
+        if graph.m:
+            # lambda >= m/n is the average-degree/2 bound.
+            assert lam >= graph.m / graph.n / 2 - 1e-9
+
+    @given(random_graphs())
+    @settings(max_examples=60, deadline=None)
+    def test_ordering_forward_degree_equals_lambda(self, graph):
+        ordering = degeneracy_ordering(graph)
+        assert sorted(ordering) == list(graph.vertices())
+        assert verify_degeneracy_ordering(graph, ordering) == degeneracy(graph)
+
+    @given(random_graphs())
+    @settings(max_examples=40, deadline=None)
+    def test_subgraph_monotonicity(self, graph):
+        """Removing an edge never increases degeneracy."""
+        if graph.m == 0:
+            return
+        lam = degeneracy(graph)
+        u, v = graph.edge_at(0)
+        smaller = graph.copy()
+        smaller.remove_edge(u, v)
+        assert degeneracy(smaller) <= lam

@@ -1,0 +1,123 @@
+"""Tests for fractional/integral edge covers (Definition 3, footnote 1)."""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.errors import PatternError
+from repro.graph.graph import Graph
+from repro.graph import generators as gen
+from repro.patterns.edge_cover import (
+    fractional_edge_cover,
+    fractional_edge_cover_number,
+    fractional_vertex_cover_number,
+    greedy_edge_cover,
+    integral_edge_cover_number,
+)
+
+
+class TestFractionalEdgeCover:
+    def test_rejects_isolated_vertices(self):
+        with pytest.raises(PatternError):
+            fractional_edge_cover_number(Graph(3, [(0, 1)]))
+
+    def test_cover_is_feasible(self):
+        graph = gen.complete_graph(5)
+        cover = fractional_edge_cover(graph)
+        for v in graph.vertices():
+            incident = sum(w for (a, b), w in cover.items() if v in (a, b))
+            assert incident >= 1 - 1e-7
+
+    def test_single_edge(self):
+        assert fractional_edge_cover_number(Graph(2, [(0, 1)])) == 1.0
+
+    def test_odd_cycles(self):
+        for k in (1, 2, 3):
+            graph = gen.cycle_graph(2 * k + 1)
+            assert fractional_edge_cover_number(graph) == pytest.approx(k + 0.5)
+
+    def test_even_cycles(self):
+        for k in (2, 3, 4):
+            graph = gen.cycle_graph(2 * k)
+            assert fractional_edge_cover_number(graph) == pytest.approx(k)
+
+    def test_stars(self):
+        for petals in (1, 2, 5):
+            assert fractional_edge_cover_number(gen.star_graph(petals)) == pytest.approx(petals)
+
+    def test_cliques(self):
+        for r in (3, 4, 5, 6):
+            assert fractional_edge_cover_number(gen.complete_graph(r)) == pytest.approx(r / 2)
+
+    def test_half_vertex_lower_bound(self):
+        # rho >= |V|/2 because an edge covers at most two vertices.
+        graph = gen.gnp(10, 0.6, rng=4)
+        if all(graph.degree(v) > 0 for v in graph.vertices()):
+            assert fractional_edge_cover_number(graph) >= graph.n / 2 - 1e-9
+
+
+class TestIntegralEdgeCover:
+    def test_footnote_identities(self):
+        for r in (3, 4, 5, 6, 7):
+            assert integral_edge_cover_number(gen.complete_graph(r)) == (r + 1) // 2
+            assert integral_edge_cover_number(gen.cycle_graph(r)) == (r + 1) // 2
+
+    def test_star(self):
+        assert integral_edge_cover_number(gen.star_graph(5)) == 5
+
+    def test_greedy_cover_covers_everything(self):
+        graph = gen.gnp(12, 0.4, rng=9)
+        if any(graph.degree(v) == 0 for v in graph.vertices()):
+            pytest.skip("isolated vertex in random draw")
+        cover = greedy_edge_cover(graph)
+        covered = {v for edge in cover for v in edge}
+        assert covered == set(graph.vertices())
+
+
+@st.composite
+def covered_graphs(draw):
+    """Random graphs with min degree >= 1 (so covers exist)."""
+    n = draw(st.integers(min_value=2, max_value=9))
+    possible = [(u, v) for u in range(n) for v in range(u + 1, n)]
+    edges = set(draw(st.lists(st.sampled_from(possible), unique=True, max_size=18)))
+    graph = Graph(n)
+    for u, v in edges:
+        graph.add_edge(u, v)
+    # Patch isolated vertices with an arbitrary edge.
+    for v in range(n):
+        if graph.degree(v) == 0:
+            target = (v + 1) % n
+            graph.add_edge_if_absent(v, target)
+    if any(graph.degree(v) == 0 for v in graph.vertices()):
+        # n == 2 corner with v == target; impossible here, but guard anyway.
+        graph.add_edge_if_absent(0, 1)
+    return graph
+
+
+class TestCoverChainProperties:
+    @given(covered_graphs())
+    @settings(max_examples=50, deadline=None)
+    def test_rho_le_beta_le_m(self, graph):
+        rho = fractional_edge_cover_number(graph)
+        beta = integral_edge_cover_number(graph)
+        assert rho <= beta + 1e-9
+        assert beta <= graph.m
+
+    @given(covered_graphs())
+    @settings(max_examples=50, deadline=None)
+    def test_rho_at_least_half_n(self, graph):
+        assert fractional_edge_cover_number(graph) >= graph.n / 2 - 1e-9
+
+    @given(covered_graphs())
+    @settings(max_examples=50, deadline=None)
+    def test_rho_is_half_integral(self, graph):
+        rho = fractional_edge_cover_number(graph)
+        assert abs(rho * 2 - round(rho * 2)) < 1e-9
+
+    @given(covered_graphs())
+    @settings(max_examples=30, deadline=None)
+    def test_vertex_cover_lp_value_positive(self, graph):
+        tau = fractional_vertex_cover_number(graph)
+        assert tau >= 1.0 - 1e-9
+        # LP duality: tau(H) = max fractional matching <= rho-ish bounds
+        assert tau <= graph.n

@@ -1,0 +1,127 @@
+"""Tests for the ERS clique counter (Theorem 2)."""
+
+import pytest
+
+from repro.errors import EstimationError
+from repro.exact.cliques import count_cliques
+from repro.graph import generators as gen
+from repro.graph.degeneracy import degeneracy
+from repro.oracle.direct import DirectAugmentedOracle
+from repro.streaming.ers.counter import (
+    count_cliques_query_model,
+    count_cliques_stream,
+)
+from repro.streaming.ers.params import ErsParameters
+from repro.streams.generators import turnstile_churn_stream
+from repro.streams.stream import insertion_stream
+
+
+class TestErsParameters:
+    def test_validation(self):
+        with pytest.raises(EstimationError):
+            ErsParameters(r=2, degeneracy_bound=3)
+        with pytest.raises(EstimationError):
+            ErsParameters(r=3, degeneracy_bound=0)
+        with pytest.raises(EstimationError):
+            ErsParameters(r=3, degeneracy_bound=3, epsilon=1.5)
+        with pytest.raises(EstimationError):
+            ErsParameters(r=3, degeneracy_bound=3, mode="bogus")
+
+    def test_tau_scaling_in_lambda(self):
+        params = ErsParameters(r=4, degeneracy_bound=5)
+        # tau_t proportional to lambda^{r-t}.
+        assert params.tau(2) == pytest.approx(params.tau(3) * 5)
+        assert params.tau(4) == 1.0
+
+    def test_theory_constants_match_paper(self):
+        params = ErsParameters(r=3, degeneracy_bound=2, epsilon=0.5, mode="theory")
+        # gamma = eps/(8 r r!) = 0.5/(8*3*6)
+        assert params.gamma_threshold == pytest.approx(0.5 / 144)
+        assert params.beta_threshold == pytest.approx(1 / 18)
+        assert params.gamma_run == pytest.approx(0.5 / 6)
+        assert params.beta_run == pytest.approx(1 / 54)
+        # Theory tau_2 = r^{4r}/(beta^r gamma^2) * lambda^{r-2} is enormous.
+        assert params.tau(2) > 1e9
+
+    def test_practical_sample_cap(self):
+        params = ErsParameters(r=3, degeneracy_bound=3, sample_cap=100)
+        assert params.sample_size(1e9) == 100
+        assert params.sample_size(0.0) == 1
+
+    def test_outer_and_activity_q(self):
+        practical = ErsParameters(r=3, degeneracy_bound=3, outer_repetitions=7)
+        assert practical.outer_q(1000) == 7
+        theory = ErsParameters(r=3, degeneracy_bound=3, mode="theory")
+        assert theory.activity_q(100) > 100
+
+
+class TestErsStream:
+    def _run(self, graph, r, seed, **overrides):
+        lam = degeneracy(graph)
+        truth = count_cliques(graph, r)
+        stream = insertion_stream(graph, rng=seed)
+        params = ErsParameters(
+            r=r,
+            degeneracy_bound=lam,
+            epsilon=0.25,
+            **overrides,
+        )
+        result = count_cliques_stream(
+            stream, r=r, degeneracy_bound=lam, lower_bound=max(truth, 1),
+            params=params, rng=seed + 1,
+        )
+        return truth, result
+
+    def test_pass_budget_r3(self):
+        graph = gen.barabasi_albert(150, 3, rng=31)
+        _, result = self._run(graph, 3, seed=32)
+        assert result.passes <= 15  # 5r with r=3
+
+    def test_triangle_accuracy_on_ba(self):
+        graph = gen.barabasi_albert(250, 4, rng=33)
+        truth, result = self._run(graph, 3, seed=34, outer_repetitions=7)
+        assert truth > 0
+        assert result.estimate == pytest.approx(truth, rel=0.45)
+
+    def test_k4_on_planted_cliques(self):
+        graph = gen.planted_cliques(120, 5, 16, noise_edges=80, rng=35)
+        truth, result = self._run(graph, 4, seed=36, outer_repetitions=5)
+        assert truth >= 16 * 5  # each K5 has 5 K4s
+        assert result.passes <= 20  # 5r with r=4
+        assert result.estimate == pytest.approx(truth, rel=0.6)
+
+    def test_zero_cliques(self):
+        graph = gen.grid_graph(10, 10)  # triangle-free
+        stream = insertion_stream(graph, rng=37)
+        result = count_cliques_stream(
+            stream, r=3, degeneracy_bound=2, lower_bound=1.0, rng=38
+        )
+        assert result.estimate == 0.0
+
+    def test_rejects_turnstile(self):
+        graph = gen.karate_club()
+        stream = turnstile_churn_stream(graph, 10, rng=39)
+        with pytest.raises(EstimationError):
+            count_cliques_stream(stream, r=3, degeneracy_bound=4, lower_bound=10)
+
+
+class TestErsQueryModel:
+    def test_matches_stream_version_roughly(self):
+        graph = gen.barabasi_albert(200, 4, rng=41)
+        truth = count_cliques(graph, 3)
+        oracle = DirectAugmentedOracle(graph, rng=42)
+        result = count_cliques_query_model(
+            oracle, r=3, degeneracy_bound=degeneracy(graph),
+            lower_bound=truth, rng=43,
+        )
+        assert result.estimate == pytest.approx(truth, rel=0.5)
+
+    def test_median_reported_fields(self):
+        graph = gen.barabasi_albert(100, 3, rng=44)
+        oracle = DirectAugmentedOracle(graph, rng=45)
+        result = count_cliques_query_model(
+            oracle, r=3, degeneracy_bound=3, lower_bound=10, rng=46
+        )
+        assert result.trials >= 1
+        assert "min_run" in result.details
+        assert result.details["min_run"] <= result.estimate <= result.details["max_run"]

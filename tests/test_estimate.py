@@ -1,0 +1,120 @@
+"""Tests for the estimation toolkit."""
+
+import math
+
+import pytest
+
+from repro.errors import EstimationError
+from repro.estimate.concentration import (
+    ParamMode,
+    chernoff_trials,
+    median_of_means,
+    relative_error,
+    wilson_interval,
+)
+from repro.estimate.result import EstimateResult
+from repro.estimate.search import geometric_search
+
+
+class TestChernoffTrials:
+    def test_theory_formula(self):
+        m, rho, eps, n, lower = 100, 1.5, 0.1, 50, 10.0
+        expected = math.ceil(30 * math.log(n) * (2 * m) ** rho / (eps**2 * lower))
+        assert chernoff_trials(m, rho, eps, n, lower, mode=ParamMode.THEORY, cap=10**12) == expected
+
+    def test_practical_scales_inverse_eps_squared(self):
+        a = chernoff_trials(100, 1.5, 0.4, 50, 10.0)
+        b = chernoff_trials(100, 1.5, 0.2, 50, 10.0)
+        assert b == pytest.approx(4 * a, rel=0.02)
+
+    def test_cap(self):
+        assert chernoff_trials(10**6, 2.5, 0.01, 100, 1.0, cap=1000) == 1000
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            chernoff_trials(100, 1.5, 1.5, 50, 10.0)
+        with pytest.raises(ValueError):
+            chernoff_trials(100, 1.5, 0.1, 50, 0.0)
+        with pytest.raises(EstimationError):
+            chernoff_trials(100, 1.5, 0.1, 50, 1.0, mode="bogus")
+
+
+class TestRelativeError:
+    def test_basic(self):
+        assert relative_error(110, 100) == pytest.approx(0.1)
+        assert relative_error(90, 100) == pytest.approx(0.1)
+
+    def test_zero_truth(self):
+        assert relative_error(0, 0) == 0.0
+        assert relative_error(5, 0) == math.inf
+
+
+class TestMedianOfMeans:
+    def test_single_group_is_mean(self):
+        assert median_of_means([1.0, 2.0, 3.0, 4.0], 1) == pytest.approx(2.5)
+
+    def test_outlier_robustness(self):
+        values = [10.0] * 30 + [10**9]
+        assert median_of_means(values, groups=7) == pytest.approx(10.0, rel=0.5)
+
+    def test_validation(self):
+        with pytest.raises(EstimationError):
+            median_of_means([], 3)
+        with pytest.raises(EstimationError):
+            median_of_means([1.0], 0)
+
+
+class TestWilson:
+    def test_contains_point_estimate(self):
+        low, high = wilson_interval(30, 100)
+        assert low <= 0.3 <= high
+
+    def test_bounds_clamped(self):
+        low, high = wilson_interval(0, 10)
+        assert low == 0.0
+        low, high = wilson_interval(10, 10)
+        assert high == 1.0
+
+    def test_validation(self):
+        with pytest.raises(EstimationError):
+            wilson_interval(0, 0)
+
+
+class TestGeometricSearch:
+    def test_finds_consistent_level(self):
+        truth = 800.0
+
+        def estimator(guess):
+            # Lemma 21 contract: accurate when guess <= truth, small otherwise.
+            return truth if guess <= truth else guess / 10.0
+
+        estimate, accepted, evaluations = geometric_search(estimator, upper_bound=10**6)
+        assert estimate == pytest.approx(truth)
+        assert accepted <= truth
+        assert evaluations >= 1
+
+    def test_everything_rejected_reports_floor(self):
+        estimate, accepted, _ = geometric_search(lambda guess: 0.0, upper_bound=100.0)
+        assert accepted == 1.0
+        assert estimate == 0.0
+
+    def test_validation(self):
+        with pytest.raises(EstimationError):
+            geometric_search(lambda guess: 0.0, upper_bound=0.5)
+        with pytest.raises(EstimationError):
+            geometric_search(lambda guess: 0.0, upper_bound=10.0, shrink=1.0)
+
+
+class TestEstimateResult:
+    def test_error_and_within(self):
+        result = EstimateResult("alg", "H", estimate=110.0)
+        assert result.error_vs(100.0) == pytest.approx(0.1)
+        assert result.within(100.0, 0.15)
+        assert not result.within(100.0, 0.05)
+
+    def test_summary_contains_fields(self):
+        result = EstimateResult("alg", "H", estimate=5.0, passes=3, trials=7)
+        text = result.summary(truth=5.0)
+        assert "alg[H]" in text
+        assert "passes=3" in text
+        assert "err=0.000" in text

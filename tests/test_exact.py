@@ -1,0 +1,168 @@
+"""Tests for exact counting, cross-validated against networkx."""
+
+import itertools
+
+import networkx as nx
+import pytest
+
+from repro.exact.cliques import count_cliques
+from repro.exact.subgraphs import (
+    count_homomorphisms,
+    count_injective_homomorphisms,
+    count_subgraphs,
+)
+from repro.exact.triangles import (
+    count_triangles,
+    global_clustering_coefficient,
+    triangles_per_edge,
+)
+from repro.graph import generators as gen
+from repro.patterns import pattern as pattern_zoo
+
+
+def _to_networkx(graph):
+    result = nx.Graph()
+    result.add_nodes_from(range(graph.n))
+    result.add_edges_from(graph.edges())
+    return result
+
+
+def _nx_triangles(graph):
+    return sum(nx.triangles(_to_networkx(graph)).values()) // 3
+
+
+class TestTriangles:
+    def test_known_graphs(self):
+        assert count_triangles(gen.complete_graph(5)) == 10
+        assert count_triangles(gen.cycle_graph(5)) == 0
+        assert count_triangles(gen.karate_club()) == 45
+        assert count_triangles(gen.complete_bipartite_graph(4, 4)) == 0
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_against_networkx(self, seed):
+        graph = gen.gnp(40, 0.25, rng=seed)
+        assert count_triangles(graph) == _nx_triangles(graph)
+
+    def test_per_edge_counts_sum(self):
+        graph = gen.karate_club()
+        per_edge = triangles_per_edge(graph)
+        assert sum(per_edge.values()) == 3 * count_triangles(graph)
+
+    def test_per_edge_on_k4(self):
+        per_edge = triangles_per_edge(gen.complete_graph(4))
+        assert all(count == 2 for count in per_edge.values())
+
+    def test_clustering_coefficient(self):
+        graph = gen.karate_club()
+        expected = nx.transitivity(_to_networkx(graph))
+        assert global_clustering_coefficient(graph) == pytest.approx(expected)
+
+
+class TestCliques:
+    def test_complete_graph_binomials(self):
+        import math
+
+        for r in (3, 4, 5):
+            assert count_cliques(gen.complete_graph(7), r) == math.comb(7, r)
+
+    def test_trivial_orders(self):
+        graph = gen.karate_club()
+        assert count_cliques(graph, 1) == graph.n
+        assert count_cliques(graph, 2) == graph.m
+
+    def test_r3_matches_triangles(self):
+        for seed in range(4):
+            graph = gen.gnp(35, 0.3, rng=seed)
+            assert count_cliques(graph, 3) == count_triangles(graph)
+
+    @pytest.mark.parametrize("r", [3, 4, 5])
+    def test_against_networkx_cliques(self, r):
+        graph = gen.gnp(25, 0.4, rng=r)
+        expected = sum(
+            1
+            for clique in nx.enumerate_all_cliques(_to_networkx(graph))
+            if len(clique) == r
+        )
+        assert count_cliques(graph, r) == expected
+
+    def test_planted(self):
+        graph = gen.planted_cliques(60, 5, 7, noise_edges=0, rng=2)
+        assert count_cliques(graph, 5) == 7
+
+
+class TestSubgraphCounts:
+    def _brute_force(self, host, pattern):
+        """Count copies by brute-force subset enumeration."""
+        target = pattern.graph
+        k = target.n
+        count = 0
+        for subset in itertools.combinations(range(host.n), k):
+            sub, _ = host.subgraph(subset)
+            from repro.patterns.isomorphism import enumerate_spanning_copies
+
+            count += len(enumerate_spanning_copies(sub, target, list(range(k))))
+        return count
+
+    @pytest.mark.parametrize(
+        "pattern_factory",
+        [
+            pattern_zoo.triangle,
+            pattern_zoo.path(3).__class__ and (lambda: pattern_zoo.path(3)),
+            lambda: pattern_zoo.path(4),
+            lambda: pattern_zoo.cycle(4),
+            lambda: pattern_zoo.cycle(5),
+            lambda: pattern_zoo.star(3),
+            lambda: pattern_zoo.paw(),
+            lambda: pattern_zoo.diamond(),
+            lambda: pattern_zoo.matching(2),
+        ],
+    )
+    def test_small_host_brute_force(self, pattern_factory):
+        pattern = pattern_factory()
+        host = gen.gnp(10, 0.45, rng=hash(pattern.name) % 1000)
+        assert count_subgraphs(host, pattern) == self._brute_force(host, pattern)
+
+    def test_wedges_closed_form(self):
+        graph = gen.karate_club()
+        wedges = sum(d * (d - 1) // 2 for d in graph.degrees())
+        assert count_subgraphs(graph, pattern_zoo.path(3)) == wedges
+
+    def test_disconnected_pattern(self):
+        # Matchings in a path of 4 edges: pairs of non-adjacent edges.
+        host = gen.path_graph(5)
+        assert count_subgraphs(host, pattern_zoo.matching(2)) == 3
+
+    def test_c4_in_complete_bipartite(self):
+        import math
+
+        host = gen.complete_bipartite_graph(4, 5)
+        expected = math.comb(4, 2) * math.comb(5, 2)
+        assert count_subgraphs(host, pattern_zoo.cycle(4)) == expected
+
+
+class TestHomomorphisms:
+    def test_hom_triangle_is_six_times_count(self):
+        for seed in range(3):
+            graph = gen.gnp(12, 0.5, rng=seed)
+            assert count_homomorphisms(graph, pattern_zoo.triangle().graph) == (
+                6 * count_triangles(graph)
+            )
+
+    def test_hom_c4_walk_identity(self):
+        """hom(C4) = 8*#C4 + 2*sum(d^2) - 2m  (used by the C4 sketch)."""
+        for seed in range(3):
+            graph = gen.gnp(12, 0.5, rng=seed + 50)
+            hom = count_homomorphisms(graph, pattern_zoo.cycle(4).graph)
+            c4 = count_subgraphs(graph, pattern_zoo.cycle(4))
+            degree_square = sum(d * d for d in graph.degrees())
+            assert hom == 8 * c4 + 2 * degree_square - 2 * graph.m
+
+    def test_hom_edge_is_2m(self):
+        graph = gen.karate_club()
+        assert count_homomorphisms(graph, pattern_zoo.edge().graph) == 2 * graph.m
+
+    def test_injective_equals_aut_times_copies(self):
+        graph = gen.gnp(11, 0.4, rng=77)
+        pattern = pattern_zoo.paw()
+        injective = count_injective_homomorphisms(graph, pattern.graph)
+        assert injective == pattern.automorphism_count() * count_subgraphs(graph, pattern)

@@ -1,0 +1,163 @@
+"""Smoke tests: every experiment module regenerates its table.
+
+These run the fast configurations; the benchmark suite runs them too
+and records the output in EXPERIMENTS.md.  Heavier shape assertions
+live here so a regression in an estimator is caught as a failing
+experiment, not only as a wrong number in a document.
+"""
+
+import pytest
+
+from repro.experiments import e01_sampler_probability
+from repro.experiments import e02_three_pass
+from repro.experiments import e03_turnstile
+from repro.experiments import e04_transform
+from repro.experiments import e05_space_scaling
+from repro.experiments import e06_ers
+from repro.experiments import e07_baselines
+from repro.experiments import e08_l0_sampler
+from repro.experiments import e09_degeneracy
+from repro.experiments import e10_covers
+from repro.experiments import e11_stream_models
+from repro.experiments import e12_two_pass
+from repro.experiments import e13_bounds
+from repro.experiments.tables import Table
+
+
+class TestTable:
+    def test_row_arity_checked(self):
+        table = Table("t", ["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row(1)
+
+    def test_render_contains_everything(self):
+        table = Table("title", ["x", "y"])
+        table.add_row(1, 2.5)
+        text = table.render()
+        assert "title" in text and "x" in text and "2.5" in text
+
+    def test_markdown_render(self):
+        table = Table("t", ["a"])
+        table.add_row("v")
+        markdown = table.render_markdown()
+        assert "| a |" in markdown
+        assert "| v |" in markdown
+
+    def test_column_access(self):
+        table = Table("t", ["a", "b"])
+        table.add_row(1, 2)
+        table.add_row(3, 4)
+        assert table.column("b") == ["2", "4"]
+
+
+@pytest.mark.slow
+class TestExperimentShapes:
+    def test_e01_ratios_near_one(self):
+        table = e01_sampler_probability.run(fast=True, seed=7)
+        assert table.rows
+        ratios = [float(value) for value in table.column("ratio")]
+        assert all(0.7 <= ratio <= 1.3 for ratio in ratios)
+
+    def test_e02_errors_below_epsilon_scale(self):
+        table = e02_three_pass.run(fast=True, seed=7)
+        assert table.rows
+        for row in table.rows:
+            epsilon = float(row[table.columns.index("epsilon")])
+            mean_error = float(row[table.columns.index("mean_rel_err")])
+            assert mean_error <= 1.5 * epsilon
+            assert int(row[table.columns.index("passes")]) == 3
+
+    def test_e03_turnstile_tracks_truth(self):
+        table = e03_turnstile.run(fast=True, seed=7)
+        assert table.rows
+        for row in table.rows:
+            error = float(row[table.columns.index("turnstile_err")])
+            assert error <= 0.5
+
+    def test_e04_substrates_agree(self):
+        table = e04_transform.run(fast=True, seed=7)
+        assert len(table.rows) == 4
+        rates = [float(value) for value in table.column("P(success)")]
+        theory = float(table.rows[0][table.columns.index("P(theory)")])
+        for rate in rates:
+            assert rate == pytest.approx(theory, rel=0.35)
+
+    def test_e05_normalized_budget_flat(self):
+        table = e05_space_scaling.run(fast=True, seed=7)
+        normalized = [float(v) for v in table.column("k*_normalized")]
+        assert normalized
+        assert max(normalized) / min(normalized) < 2.5
+
+    def test_e06_ers_pass_budget(self):
+        table = e06_ers.run(fast=True, seed=7)
+        assert table.rows
+        for row in table.rows:
+            passes = int(row[table.columns.index("passes")])
+            budget = int(row[table.columns.index("pass_budget(5r)")])
+            assert passes <= budget
+
+    def test_e07_has_exact_row(self):
+        table = e07_baselines.run(fast=True, seed=7)
+        algorithms = table.column("algorithm")
+        assert "exact-store-all" in algorithms
+        exact_row = table.rows[algorithms.index("exact-store-all")]
+        assert float(exact_row[table.columns.index("rel_err")]) == 0.0
+
+    def test_e08_success_rate_improves_with_repetitions(self):
+        table = e08_l0_sampler.run(fast=True, seed=7)
+        rates = [float(v) for v in table.column("success_rate")]
+        repetitions = [int(v) for v in table.column("repetitions")]
+        ghosts = [int(v) for v in table.column("ghost_answers")]
+        # More repetitions at the same workload -> at least as reliable.
+        assert rates[1] >= rates[0]
+        assert repetitions[1] > repetitions[0]
+        assert all(g == 0 for g in ghosts)
+
+    def test_e09_natural_families_low_degeneracy(self):
+        table = e09_degeneracy.run(fast=True, seed=7)
+        families = table.column("family")
+        ratio = [float(v) for v in table.column("lambda/sqrt(m)")]
+        for name, value in zip(families, ratio):
+            if name.startswith(("ba", "plc", "grid")):
+                assert value < 0.5, name
+
+    def test_e10_rho_matches_known(self):
+        table = e10_covers.run(fast=True)
+        for row in table.rows:
+            known = row[table.columns.index("rho(known)")]
+            if known:
+                lp = float(row[table.columns.index("rho(LP)")])
+                assert lp == pytest.approx(float(known))
+            cost = float(row[table.columns.index("decomp_cost")])
+            lp = float(row[table.columns.index("rho(LP)")])
+            assert cost == pytest.approx(lp)
+
+    def test_e11_adversarial_row_breaks(self):
+        table = e11_stream_models.run(fast=True, seed=7)
+        models = table.column("model")
+        errors = [float(v) for v in table.column("rel_err")]
+        by_model = dict(zip(models, errors))
+        # Promise-respecting rows are accurate; the adversarial row is not.
+        assert by_model["random order"] < 0.5
+        assert by_model["adjacency list"] < 0.5
+        assert by_model["adversarial (promise broken)"] > 0.5
+
+    def test_e12_two_pass_uses_fewer_passes(self):
+        table = e12_two_pass.run(fast=True, seed=7)
+        two_passes = table.column("2p passes")
+        three_passes = table.column("3p passes")
+        assert all(p in ("2", "—") for p in two_passes)
+        assert all(p == "3" for p in three_passes)
+        # The odd-cycle row must be rejected.
+        assert any("rejected" in cell for cell in table.column("2p est (err)"))
+
+    def test_e13_agm_holds_on_every_row(self):
+        table = e13_bounds.run(fast=True, seed=7)
+        ratios = [float(v) for v in table.column("AGM ratio")]
+        assert all(ratio <= 1.0 + 1e-9 for ratio in ratios)
+        # Cover chain: rho <= beta <= |E(H)| row-wise.
+        rhos = [float(v) for v in table.column("rho")]
+        betas = [float(v) for v in table.column("beta")]
+        sizes = [float(v) for v in table.column("|E(H)|")]
+        for rho, beta, size in zip(rhos, betas, sizes):
+            assert rho <= beta + 1e-9 <= size + 1e-9

@@ -1,0 +1,136 @@
+"""Tests for the synthetic graph generators."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph import generators as gen
+from repro.exact.triangles import count_triangles
+
+
+class TestDeterministicGraphs:
+    def test_complete_graph(self):
+        graph = gen.complete_graph(6)
+        assert graph.m == 15
+        assert all(graph.degree(v) == 5 for v in graph.vertices())
+
+    def test_cycle_graph(self):
+        graph = gen.cycle_graph(7)
+        assert graph.m == 7
+        assert all(graph.degree(v) == 2 for v in graph.vertices())
+        with pytest.raises(GraphError):
+            gen.cycle_graph(2)
+
+    def test_path_graph(self):
+        graph = gen.path_graph(5)
+        assert graph.m == 4
+        assert graph.degree(0) == graph.degree(4) == 1
+
+    def test_star_graph(self):
+        graph = gen.star_graph(6)
+        assert graph.degree(0) == 6
+        assert graph.m == 6
+
+    def test_grid_graph(self):
+        graph = gen.grid_graph(3, 4)
+        assert graph.n == 12
+        assert graph.m == 3 * 3 + 2 * 4  # horizontal + vertical
+
+    def test_complete_bipartite(self):
+        graph = gen.complete_bipartite_graph(3, 4)
+        assert graph.m == 12
+        assert count_triangles(graph) == 0
+
+    def test_lollipop(self):
+        graph = gen.lollipop_graph(4, 3)
+        assert graph.n == 7
+        assert graph.m == 6 + 3
+
+    def test_karate_club(self):
+        graph = gen.karate_club()
+        assert graph.n == 34
+        assert graph.m == 78
+        assert count_triangles(graph) == 45
+
+
+class TestRandomGraphs:
+    def test_gnp_determinism(self):
+        a = gen.gnp(40, 0.3, rng=11)
+        b = gen.gnp(40, 0.3, rng=11)
+        assert a == b
+
+    def test_gnp_extremes(self):
+        assert gen.gnp(10, 0.0, rng=1).m == 0
+        assert gen.gnp(10, 1.0, rng=1).m == 45
+
+    def test_gnp_expected_density(self):
+        graph = gen.gnp(80, 0.25, rng=3)
+        expected = 0.25 * 80 * 79 / 2
+        assert 0.7 * expected <= graph.m <= 1.3 * expected
+
+    def test_gnp_invalid_probability(self):
+        with pytest.raises(GraphError):
+            gen.gnp(5, 1.5)
+
+    def test_gnm_exact_edge_count(self):
+        for m in (0, 10, 44, 45):
+            assert gen.gnm(10, m, rng=5).m == m
+
+    def test_gnm_too_many_edges(self):
+        with pytest.raises(GraphError):
+            gen.gnm(5, 11)
+
+    def test_barabasi_albert_structure(self):
+        graph = gen.barabasi_albert(60, 3, rng=7)
+        assert graph.n == 60
+        # Every non-seed vertex attaches to exactly `attach` targets.
+        assert graph.m == 3 + (60 - 4) * 3
+        assert all(graph.degree(v) >= 1 for v in graph.vertices())
+
+    def test_barabasi_albert_validation(self):
+        with pytest.raises(GraphError):
+            gen.barabasi_albert(3, 3)
+
+    def test_random_regular_is_regular(self):
+        for n, d in ((20, 3), (30, 4), (50, 6)):
+            graph = gen.random_regular(n, d, rng=13)
+            assert all(graph.degree(v) == d for v in graph.vertices()), (n, d)
+
+    def test_random_regular_parity_check(self):
+        with pytest.raises(GraphError):
+            gen.random_regular(5, 3)
+
+    def test_random_regular_degree_too_big(self):
+        with pytest.raises(GraphError):
+            gen.random_regular(4, 4)
+
+    def test_power_law_cluster_runs(self):
+        graph = gen.power_law_cluster(100, 3, 0.5, rng=17)
+        assert graph.n == 100
+        assert graph.m >= 3
+        assert count_triangles(graph) > 0
+
+
+class TestPlantedStructures:
+    def test_planted_cliques_exact_count(self):
+        graph = gen.planted_cliques(40, 4, 5, noise_edges=0, rng=1)
+        from repro.exact.cliques import count_cliques
+
+        assert count_cliques(graph, 4) == 5
+
+    def test_planted_cliques_capacity_check(self):
+        with pytest.raises(GraphError):
+            gen.planted_cliques(10, 4, 5)
+
+    def test_disjoint_union(self):
+        union = gen.disjoint_union([gen.complete_graph(3), gen.path_graph(4)])
+        assert union.n == 7
+        assert union.m == 3 + 3
+
+    def test_planted_copies_helper(self):
+        from repro.patterns.pattern import cycle
+        from repro.exact.subgraphs import count_subgraphs
+
+        host = gen.erdos_renyi_with_planted_copies(
+            cycle(5).graph, copies=4, noise_n=20, noise_p=0.05, rng=3
+        )
+        assert count_subgraphs(host, cycle(5)) >= 4

@@ -1,0 +1,150 @@
+"""Unit tests for repro.graph.graph."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.graph import Graph, normalize_edge
+
+
+class TestNormalizeEdge:
+    def test_orders_endpoints(self):
+        assert normalize_edge(5, 2) == (2, 5)
+        assert normalize_edge(2, 5) == (2, 5)
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(GraphError):
+            normalize_edge(3, 3)
+
+
+class TestConstruction:
+    def test_empty_graph(self):
+        graph = Graph(0)
+        assert graph.n == 0
+        assert graph.m == 0
+        assert list(graph.edges()) == []
+
+    def test_from_edges_infers_n(self):
+        graph = Graph.from_edges([(0, 1), (4, 2)])
+        assert graph.n == 5
+        assert graph.m == 2
+
+    def test_from_edges_explicit_n(self):
+        graph = Graph.from_edges([(0, 1)], n=10)
+        assert graph.n == 10
+
+    def test_negative_vertex_count_rejected(self):
+        with pytest.raises(GraphError):
+            Graph(-1)
+
+    def test_copy_is_independent(self):
+        graph = Graph(3, [(0, 1)])
+        clone = graph.copy()
+        clone.add_edge(1, 2)
+        assert graph.m == 1
+        assert clone.m == 2
+
+    def test_equality_ignores_edge_order(self):
+        a = Graph(3, [(0, 1), (1, 2)])
+        b = Graph(3, [(1, 2), (0, 1)])
+        assert a == b
+
+
+class TestMutation:
+    def test_add_and_query(self):
+        graph = Graph(4)
+        graph.add_edge(0, 2)
+        assert graph.has_edge(0, 2)
+        assert graph.has_edge(2, 0)
+        assert not graph.has_edge(0, 1)
+        assert (0, 2) in graph
+
+    def test_duplicate_edge_rejected(self):
+        graph = Graph(3, [(0, 1)])
+        with pytest.raises(GraphError):
+            graph.add_edge(1, 0)
+
+    def test_add_edge_if_absent(self):
+        graph = Graph(3, [(0, 1)])
+        assert not graph.add_edge_if_absent(1, 0)
+        assert graph.add_edge_if_absent(1, 2)
+        assert graph.m == 2
+
+    def test_self_loop_rejected(self):
+        graph = Graph(3)
+        with pytest.raises(GraphError):
+            graph.add_edge(1, 1)
+
+    def test_out_of_range_vertex(self):
+        graph = Graph(3)
+        with pytest.raises(GraphError):
+            graph.add_edge(0, 3)
+
+    def test_remove_edge(self):
+        graph = Graph(4, [(0, 1), (1, 2), (2, 3)])
+        graph.remove_edge(1, 2)
+        assert graph.m == 2
+        assert not graph.has_edge(1, 2)
+        assert graph.degree(1) == 1
+        assert graph.degree(2) == 1
+
+    def test_remove_absent_edge_raises(self):
+        graph = Graph(3, [(0, 1)])
+        with pytest.raises(GraphError):
+            graph.remove_edge(1, 2)
+
+    def test_remove_keeps_edge_index_consistent(self):
+        graph = Graph(5, [(0, 1), (1, 2), (2, 3), (3, 4)])
+        graph.remove_edge(0, 1)
+        # Every remaining edge must still be retrievable by index.
+        seen = {graph.edge_at(i) for i in range(graph.m)}
+        assert seen == {(1, 2), (2, 3), (3, 4)}
+
+
+class TestAccessors:
+    def test_degrees(self):
+        graph = Graph(4, [(0, 1), (0, 2), (0, 3)])
+        assert graph.degrees() == [3, 1, 1, 1]
+        assert graph.max_degree() == 3
+
+    def test_neighbor_at_follows_insertion_order(self):
+        graph = Graph(4)
+        graph.add_edge(0, 2)
+        graph.add_edge(0, 1)
+        graph.add_edge(0, 3)
+        assert graph.neighbor_at(0, 0) == 2
+        assert graph.neighbor_at(0, 1) == 1
+        assert graph.neighbor_at(0, 2) == 3
+
+    def test_neighbor_at_out_of_range(self):
+        graph = Graph(2, [(0, 1)])
+        with pytest.raises(GraphError):
+            graph.neighbor_at(0, 1)
+
+    def test_edge_at(self):
+        graph = Graph(3, [(2, 1)])
+        assert graph.edge_at(0) == (1, 2)
+
+
+class TestDerivedViews:
+    def test_subgraph_relabels(self):
+        graph = Graph(5, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 0), (1, 3)])
+        sub, mapping = graph.subgraph([1, 2, 3])
+        assert sub.n == 3
+        assert sub.m == 3  # edges 1-2, 2-3, 1-3
+        assert mapping == {1: 0, 2: 1, 3: 2}
+
+    def test_connected_components(self):
+        graph = Graph(6, [(0, 1), (1, 2), (3, 4)])
+        components = graph.connected_components()
+        assert [0, 1, 2] in components
+        assert [3, 4] in components
+        assert [5] in components
+        assert not graph.is_connected()
+
+    def test_is_connected(self):
+        graph = Graph(3, [(0, 1), (1, 2)])
+        assert graph.is_connected()
+
+    def test_complement_edges(self):
+        graph = Graph(3, [(0, 1)])
+        assert set(graph.complement_edges()) == {(0, 2), (1, 2)}

@@ -1,0 +1,123 @@
+"""Cross-module integration tests: the full pipelines end-to-end."""
+
+import pytest
+
+import repro
+from repro.estimate.search import geometric_search
+from repro.exact.cliques import count_cliques
+from repro.exact.subgraphs import count_subgraphs
+from repro.graph import generators as gen
+from repro.graph.degeneracy import degeneracy
+from repro.patterns import pattern as pattern_zoo
+
+
+class TestPublicApiPipelines:
+    def test_quickstart_flow(self):
+        """The README quickstart, executed."""
+        graph = repro.generators.barabasi_albert(200, 4, rng=1)
+        stream = repro.insertion_stream(graph, rng=2)
+        triangle = repro.patterns.triangle()
+        truth = repro.count_subgraphs_exact(graph, triangle)
+        result = repro.count_subgraphs_insertion_only(
+            stream, triangle, trials=15000, rng=3
+        )
+        assert result.passes == 3
+        assert result.within(truth, 0.3)
+
+    def test_turnstile_flow_with_split_substreams(self):
+        """The paper's privacy motivation: split substreams, count one."""
+        graph = gen.gnp(30, 0.25, rng=4)
+        stream = repro.turnstile_churn_stream(graph, 25, rng=5)
+        parts = repro.split_substreams(stream, 2, rng=6)
+        # Each substream is a valid turnstile stream of a subgraph.
+        sub_graph = parts[0].final_graph()
+        truth = count_subgraphs(sub_graph, pattern_zoo.triangle())
+        result = repro.count_subgraphs_turnstile(
+            parts[0], pattern_zoo.triangle(), trials=2500, rng=7,
+            sampler_repetitions=4,
+        )
+        if truth == 0:
+            assert result.estimate <= 2.0
+        else:
+            assert result.estimate == pytest.approx(truth, rel=0.6)
+
+    def test_all_three_counters_agree_on_one_graph(self):
+        graph = gen.power_law_cluster(150, 4, 0.5, rng=8)
+        truth = float(repro.count_triangles(graph))
+        lam = degeneracy(graph)
+        triangle = pattern_zoo.triangle()
+
+        insertion = repro.count_subgraphs_insertion_only(
+            repro.insertion_stream(graph, rng=9), triangle, trials=20000, rng=10
+        )
+        turnstile = repro.count_subgraphs_turnstile(
+            repro.turnstile_churn_stream(graph, 40, rng=11),
+            triangle,
+            trials=3000,
+            rng=12,
+            sampler_repetitions=4,
+        )
+        ers = repro.count_cliques_stream(
+            repro.insertion_stream(graph, rng=13),
+            r=3,
+            degeneracy_bound=lam,
+            lower_bound=truth,
+            rng=14,
+        )
+        assert insertion.within(truth, 0.3)
+        assert turnstile.within(truth, 0.45)
+        assert ers.within(truth, 0.5)
+
+    def test_geometric_search_without_lower_bound(self):
+        """Counting with no prior L: wrap the 3-pass counter in the
+        Lemma 21 geometric search."""
+        graph = gen.karate_club()
+        triangle = pattern_zoo.triangle()
+        truth = count_subgraphs(graph, triangle)
+
+        def estimator(guess):
+            stream = repro.insertion_stream(graph, rng=int(guess) % 97 + 1)
+            result = repro.count_subgraphs_insertion_only(
+                stream, triangle, epsilon=0.3, lower_bound=guess, rng=15
+            )
+            return result.estimate
+
+        upper = float(graph.m) ** triangle.rho()
+        estimate, accepted, evaluations = geometric_search(estimator, upper)
+        assert estimate == pytest.approx(truth, rel=0.4)
+        assert evaluations >= 2
+
+    def test_uniform_copy_sampling_via_stream(self):
+        """Conditioned on success, sampled copies are ~uniform."""
+        from collections import Counter
+
+        graph = gen.planted_cliques(18, 3, 6, noise_edges=0, rng=16)
+        stream = repro.insertion_stream(graph, rng=17)
+        outputs = repro.sample_copies_stream(
+            stream, pattern_zoo.triangle(), instances=30000, rng=18
+        )
+        counts = Counter(copy for copy in outputs if copy is not None)
+        assert len(counts) == 6  # all six planted triangles appear
+        frequencies = list(counts.values())
+        assert max(frequencies) / min(frequencies) < 1.5
+
+
+class TestScaleSanity:
+    def test_medium_stream_throughput(self):
+        """A ~10k-edge stream through the 3-pass counter stays tractable
+        and accurate; guards against accidental quadratic behavior."""
+        graph = gen.barabasi_albert(2000, 5, rng=19)
+        assert graph.m == pytest.approx(10000, rel=0.05)
+        truth = repro.count_triangles(graph)
+        stream = repro.insertion_stream(graph, rng=20)
+        result = repro.count_subgraphs_insertion_only(
+            stream, pattern_zoo.triangle(), trials=30000, rng=21
+        )
+        # BA graphs at this density have #T in the low thousands; the
+        # budget gives a coarse but bounded estimate.
+        assert result.within(truth, 0.5)
+
+    def test_exact_counters_scale(self):
+        graph = gen.barabasi_albert(3000, 5, rng=22)
+        assert count_cliques(graph, 4) >= 0
+        assert repro.count_triangles(graph) > 0

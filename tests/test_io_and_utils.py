@@ -1,0 +1,178 @@
+"""Tests for graph I/O, RNG plumbing, and validation helpers."""
+
+import random
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph import generators as gen
+from repro.graph.io import read_edge_list, write_edge_list
+from repro.graph.order import VertexOrder, precedes
+from repro.utils.rng import coin, derive_rng, ensure_rng, random_index, spawn_rngs
+from repro.utils.validation import (
+    check_fraction,
+    check_non_negative,
+    check_positive,
+    check_probability,
+    check_type,
+    check_vertex_count,
+)
+
+
+class TestEdgeListIO:
+    def test_round_trip(self, tmp_path):
+        graph = gen.gnp(20, 0.3, rng=1)
+        path = tmp_path / "graph.txt"
+        write_edge_list(graph, path)
+        loaded = read_edge_list(path)
+        assert loaded == graph
+
+    def test_round_trip_preserves_trailing_isolated_vertices(self, tmp_path):
+        from repro.graph.graph import Graph
+
+        graph = Graph(10, [(0, 1)])
+        path = tmp_path / "graph.txt"
+        write_edge_list(graph, path)
+        assert read_edge_list(path).n == 10
+
+    def test_headerless_inference(self, tmp_path):
+        path = tmp_path / "plain.txt"
+        path.write_text("0 3\n1 2\n")
+        graph = read_edge_list(path)
+        assert graph.n == 4
+        assert graph.m == 2
+
+    def test_comments_and_blank_lines(self, tmp_path):
+        path = tmp_path / "noisy.txt"
+        path.write_text("# a comment\n\n0 1\n# another\n1 2\n")
+        assert read_edge_list(path).m == 2
+
+    def test_malformed_line_rejected(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("0\n")
+        with pytest.raises(GraphError):
+            read_edge_list(path)
+
+    def test_non_integer_rejected(self, tmp_path):
+        path = tmp_path / "bad2.txt"
+        path.write_text("a b\n")
+        with pytest.raises(GraphError):
+            read_edge_list(path)
+
+    def test_explicit_n_overrides(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1\n")
+        assert read_edge_list(path, n=7).n == 7
+
+
+class TestVertexOrder:
+    def test_precedes_by_degree_then_id(self):
+        graph = gen.star_graph(3)  # degree(0)=3, others 1
+        assert precedes(graph, 1, 0)
+        assert precedes(graph, 1, 2)
+        assert not precedes(graph, 2, 1)
+
+    def test_materialized_order_matches_graph(self):
+        graph = gen.karate_club()
+        order = VertexOrder.from_graph(graph)
+        for u in range(10):
+            for v in range(10):
+                if u != v:
+                    assert order.precedes(u, v) == precedes(graph, u, v)
+
+    def test_sorted_and_minimum(self):
+        order = VertexOrder({0: 5, 1: 2, 2: 2, 3: 9})
+        assert order.sorted([3, 0, 1, 2]) == [1, 2, 0, 3]
+        assert order.minimum([3, 0, 2]) == 2
+        assert order.is_increasing([1, 2, 0, 3])
+        assert not order.is_increasing([2, 1])
+
+    def test_minimum_of_empty_rejected(self):
+        with pytest.raises(ValueError):
+            VertexOrder({0: 1}).minimum([])
+
+    def test_knows(self):
+        order = VertexOrder({1: 4})
+        assert order.knows(1)
+        assert not order.knows(2)
+
+
+class TestRng:
+    def test_ensure_rng_variants(self):
+        assert isinstance(ensure_rng(None), random.Random)
+        assert isinstance(ensure_rng(7), random.Random)
+        existing = random.Random(1)
+        assert ensure_rng(existing) is existing
+
+    def test_ensure_rng_rejects_bad_types(self):
+        with pytest.raises(TypeError):
+            ensure_rng("seed")
+        with pytest.raises(TypeError):
+            ensure_rng(True)
+
+    def test_default_seed_reproducible(self):
+        assert ensure_rng(None).random() == ensure_rng(None).random()
+
+    def test_derive_rng_decorrelates_labels(self):
+        parent_a, parent_b = random.Random(5), random.Random(5)
+        child_a = derive_rng(parent_a, "x")
+        child_b = derive_rng(parent_b, "x")
+        assert child_a.random() == child_b.random()
+
+    def test_spawn_rngs_independent(self):
+        children = list(spawn_rngs(3, count=4))
+        values = [child.random() for child in children]
+        assert len(set(values)) == 4
+
+    def test_random_index_bounds(self):
+        rng = random.Random(1)
+        assert all(0 <= random_index(rng, 5) < 5 for _ in range(100))
+        with pytest.raises(ValueError):
+            random_index(rng, 0)
+
+    def test_coin_extremes(self):
+        rng = random.Random(2)
+        assert coin(rng, 1.0)
+        assert not coin(rng, 0.0)
+        heads = sum(coin(rng, 0.3) for _ in range(5000))
+        assert 1200 <= heads <= 1800
+
+
+class TestValidation:
+    def test_check_type(self):
+        assert check_type(5, int, "x") == 5
+        with pytest.raises(TypeError):
+            check_type("5", int, "x")
+
+    def test_numeric_guards(self):
+        assert check_positive(1.5, "x") == 1.5
+        with pytest.raises(ValueError):
+            check_positive(0, "x")
+        assert check_non_negative(0, "x") == 0
+        with pytest.raises(ValueError):
+            check_non_negative(-1, "x")
+
+    def test_probability_and_fraction(self):
+        assert check_probability(0.0, "p") == 0.0
+        assert check_probability(1.0, "p") == 1.0
+        with pytest.raises(ValueError):
+            check_probability(1.1, "p")
+        assert check_fraction(0.5, "f") == 0.5
+        for bad in (0.0, 1.0):
+            with pytest.raises(ValueError):
+                check_fraction(bad, "f")
+
+    def test_vertex_count(self):
+        assert check_vertex_count(3) == 3
+        with pytest.raises(TypeError):
+            check_vertex_count(True)
+        with pytest.raises(ValueError):
+            check_vertex_count(-1)
+
+
+class TestPublicApi:
+    def test_all_symbols_importable(self):
+        import repro
+
+        for name in repro.__all__:
+            assert hasattr(repro, name), name

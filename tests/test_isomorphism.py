@@ -1,0 +1,123 @@
+"""Tests for copy enumeration and automorphisms."""
+
+import pytest
+
+from repro.graph import generators as gen
+from repro.graph.graph import Graph
+from repro.patterns import pattern as pattern_zoo
+from repro.patterns.automorphisms import automorphism_count, automorphisms
+from repro.patterns.isomorphism import (
+    count_spanning_copies,
+    enumerate_copies,
+    enumerate_spanning_copies,
+    is_subgraph_of,
+)
+
+
+class TestAutomorphisms:
+    def test_identity_always_present(self):
+        graph = pattern_zoo.paw().graph
+        perms = list(automorphisms(graph))
+        assert tuple(range(graph.n)) in perms
+
+    def test_known_groups(self):
+        assert automorphism_count(gen.complete_graph(5)) == 120
+        assert automorphism_count(gen.cycle_graph(6)) == 12
+        assert automorphism_count(gen.path_graph(5)) == 2
+        assert automorphism_count(gen.star_graph(4)) == 24
+
+    def test_automorphisms_preserve_edges(self):
+        graph = pattern_zoo.diamond().graph
+        for perm in automorphisms(graph):
+            for u, v in graph.edges():
+                assert graph.has_edge(perm[u], perm[v])
+
+
+class TestEnumerateCopies:
+    def test_triangles_in_k4(self):
+        copies = enumerate_copies(gen.complete_graph(4), pattern_zoo.triangle().graph)
+        assert len(copies) == 4
+
+    def test_edges_in_k4(self):
+        copies = enumerate_copies(gen.complete_graph(4), pattern_zoo.edge().graph)
+        assert len(copies) == 6
+
+    def test_c4_in_k4(self):
+        copies = enumerate_copies(gen.complete_graph(4), pattern_zoo.cycle(4).graph)
+        assert len(copies) == 3
+
+    def test_p4_count_in_karate_slice(self):
+        host, _ = gen.karate_club().subgraph(range(10))
+        copies = enumerate_copies(host, pattern_zoo.path(3).graph)
+        wedges = sum(d * (d - 1) // 2 for d in host.degrees())
+        assert len(copies) == wedges
+
+    def test_copies_are_edge_subsets_of_host(self):
+        host = gen.gnp(9, 0.5, rng=3)
+        for copy in enumerate_copies(host, pattern_zoo.paw().graph):
+            for u, v in copy:
+                assert host.has_edge(u, v)
+
+
+class TestSpanningCopies:
+    def test_spanning_triangles(self):
+        host = gen.complete_graph(4)
+        assert count_spanning_copies(host, pattern_zoo.triangle().graph, [0, 1, 2]) == 1
+        assert count_spanning_copies(host, pattern_zoo.triangle().graph, [0, 1, 2, 3]) == 0
+
+    def test_spanning_p4_in_k4(self):
+        # P4 spanning 4 clique vertices: 4!/2 orderings /... = 12 paths.
+        host = gen.complete_graph(4)
+        copies = enumerate_spanning_copies(host, pattern_zoo.path(4).graph, [0, 1, 2, 3])
+        assert len(copies) == 12
+
+    def test_required_edges_filter(self):
+        host = gen.complete_graph(4)
+        required = {(0, 1), (2, 3)}
+        copies = enumerate_spanning_copies(
+            host, pattern_zoo.path(4).graph, [0, 1, 2, 3], required_edges=required
+        )
+        # Paths through both matching edges: middle edge is one of 4.
+        assert len(copies) == 4
+        for copy in copies:
+            assert required.issubset(copy)
+
+    def test_wrong_cardinality_returns_empty(self):
+        host = gen.complete_graph(5)
+        assert enumerate_spanning_copies(host, pattern_zoo.triangle().graph, [0, 1]) == []
+
+    def test_witness_bound_for_zoo(self):
+        """|C(F)| <= f_T(H): the bound the sampler's correctness needs.
+
+        For every zoo pattern, take U = V(K_k) (the richest host) and
+        any decomposition-family edge set; the number of spanning
+        copies containing it must not exceed f_T(H)."""
+        for pattern in pattern_zoo.standard_zoo():
+            k = pattern.num_vertices
+            host = gen.complete_graph(k)
+            decomposition = pattern.decomposition()
+            family_count = pattern.family_count()
+            # The family edge union of the witness decomposition:
+            required = set()
+            for piece in decomposition.pieces:
+                if piece.kind == "cycle":
+                    cyc = piece.vertices
+                    for i in range(len(cyc)):
+                        a, b = cyc[i], cyc[(i + 1) % len(cyc)]
+                        required.add((min(a, b), max(a, b)))
+                else:
+                    center, *petals = piece.vertices
+                    for petal in petals:
+                        required.add((min(center, petal), max(center, petal)))
+            copies = enumerate_spanning_copies(
+                host, pattern.graph, list(range(k)), required_edges=required
+            )
+            assert 1 <= len(copies) <= family_count, pattern.name
+
+
+class TestIsSubgraphOf:
+    def test_positive(self):
+        assert is_subgraph_of(gen.karate_club(), pattern_zoo.clique(4).graph)
+
+    def test_negative(self):
+        assert not is_subgraph_of(gen.grid_graph(3, 3), pattern_zoo.triangle().graph)

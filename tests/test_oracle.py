@@ -1,0 +1,147 @@
+"""Tests for the direct query-model oracles (Definitions 6 and 10)."""
+
+from collections import Counter
+
+import pytest
+
+from repro.errors import OracleError
+from repro.graph import generators as gen
+from repro.oracle.base import (
+    AdjacencyQuery,
+    DegreeQuery,
+    EdgeCountQuery,
+    NeighborQuery,
+    QueryAccounting,
+    RandomEdgeQuery,
+    RandomNeighborQuery,
+)
+from repro.oracle.direct import (
+    DirectAugmentedOracle,
+    DirectGeneralOracle,
+    DirectRelaxedOracle,
+)
+
+
+@pytest.fixture
+def graph():
+    return gen.karate_club()
+
+
+class TestAugmentedOracle:
+    def test_degree(self, graph):
+        oracle = DirectAugmentedOracle(graph, rng=1)
+        assert oracle.degree(0) == graph.degree(0)
+
+    def test_neighbor_indexing(self, graph):
+        oracle = DirectAugmentedOracle(graph, rng=1)
+        for index in range(graph.degree(0)):
+            assert oracle.neighbor(0, index) == graph.neighbor_at(0, index)
+        assert oracle.neighbor(0, graph.degree(0)) is None
+
+    def test_negative_neighbor_index_rejected(self, graph):
+        oracle = DirectAugmentedOracle(graph, rng=1)
+        with pytest.raises(OracleError):
+            oracle.neighbor(0, -1)
+
+    def test_adjacency(self, graph):
+        oracle = DirectAugmentedOracle(graph, rng=1)
+        assert oracle.adjacent(0, 1)
+        assert not oracle.adjacent(0, 9)
+
+    def test_edge_count(self, graph):
+        oracle = DirectAugmentedOracle(graph, rng=1)
+        assert oracle.edge_count() == graph.m
+
+    def test_random_edge_uniform(self, graph):
+        oracle = DirectAugmentedOracle(graph, rng=5)
+        counts = Counter(oracle.random_edge() for _ in range(8000))
+        assert set(counts) <= set(graph.edges())
+        expected = 8000 / graph.m
+        assert all(0.4 * expected <= c <= 1.8 * expected for c in counts.values())
+
+    def test_random_edge_empty_graph(self):
+        from repro.graph.graph import Graph
+
+        oracle = DirectAugmentedOracle(Graph(5), rng=1)
+        assert oracle.random_edge() is None
+
+    def test_random_neighbor_rejected_in_strict_model(self, graph):
+        oracle = DirectAugmentedOracle(graph, rng=1)
+        with pytest.raises(OracleError):
+            oracle.random_neighbor(0)
+
+    def test_answer_batch_positional(self, graph):
+        oracle = DirectAugmentedOracle(graph, rng=1)
+        batch = [
+            EdgeCountQuery(),
+            DegreeQuery(0),
+            AdjacencyQuery(0, 1),
+            NeighborQuery(0, 0),
+        ]
+        answers = oracle.answer_batch(batch)
+        assert answers[0] == graph.m
+        assert answers[1] == graph.degree(0)
+        assert answers[2] is True
+        assert answers[3] == graph.neighbor_at(0, 0)
+
+    def test_accounting(self, graph):
+        oracle = DirectAugmentedOracle(graph, rng=1)
+        oracle.answer_batch([DegreeQuery(0), DegreeQuery(1), RandomEdgeQuery()])
+        assert oracle.accounting.total == 3
+        assert oracle.accounting.by_type()["DegreeQuery"] == 2
+
+
+class TestGeneralOracle:
+    def test_no_random_edges(self, graph):
+        oracle = DirectGeneralOracle(graph, rng=1)
+        with pytest.raises(OracleError):
+            oracle.random_edge()
+
+    def test_other_queries_still_work(self, graph):
+        oracle = DirectGeneralOracle(graph, rng=1)
+        assert oracle.degree(0) == graph.degree(0)
+
+
+class TestRelaxedOracle:
+    def test_random_neighbor_uniform(self, graph):
+        oracle = DirectRelaxedOracle(graph, rng=3)
+        counts = Counter(oracle.random_neighbor(0) for _ in range(6000))
+        neighbors = set(graph.neighbors(0))
+        assert set(counts) <= neighbors
+        expected = 6000 / len(neighbors)
+        assert all(0.5 * expected <= c <= 1.6 * expected for c in counts.values())
+
+    def test_random_neighbor_isolated(self):
+        from repro.graph.graph import Graph
+
+        host = Graph(3, [(0, 1)])
+        oracle = DirectRelaxedOracle(host, rng=1)
+        assert oracle.random_neighbor(2) is None
+
+    def test_indexed_neighbor_rejected(self, graph):
+        oracle = DirectRelaxedOracle(graph, rng=1)
+        with pytest.raises(OracleError):
+            oracle.neighbor(0, 0)
+
+    def test_failure_injection(self, graph):
+        oracle = DirectRelaxedOracle(graph, rng=7, failure_probability=0.5)
+        outcomes = [oracle.random_edge() for _ in range(2000)]
+        failures = sum(1 for outcome in outcomes if outcome is None)
+        assert 800 <= failures <= 1200
+
+    def test_invalid_failure_probability(self, graph):
+        with pytest.raises(OracleError):
+            DirectRelaxedOracle(graph, rng=1, failure_probability=1.0)
+
+    def test_batch_random_neighbor(self, graph):
+        oracle = DirectRelaxedOracle(graph, rng=2)
+        answers = oracle.answer_batch([RandomNeighborQuery(0)])
+        assert answers[0] in set(graph.neighbors(0))
+
+
+class TestQueryAccounting:
+    def test_counts_by_type(self):
+        accounting = QueryAccounting()
+        accounting.record_batch([DegreeQuery(1), DegreeQuery(2), EdgeCountQuery()])
+        assert accounting.total == 3
+        assert accounting.by_type() == {"DegreeQuery": 2, "EdgeCountQuery": 1}

@@ -1,0 +1,116 @@
+"""Tests for pattern constructors and cached invariants."""
+
+import pytest
+
+from repro.errors import PatternError
+from repro.graph.graph import Graph
+from repro.patterns import pattern as pattern_zoo
+from repro.patterns.pattern import Pattern
+
+
+class TestConstruction:
+    def test_isolated_vertex_rejected(self):
+        graph = Graph(3, [(0, 1)])
+        with pytest.raises(PatternError):
+            Pattern(graph)
+
+    def test_empty_pattern_rejected(self):
+        with pytest.raises(PatternError):
+            Pattern(Graph(0))
+
+    def test_pattern_copies_graph(self):
+        graph = Graph(2, [(0, 1)])
+        pattern = Pattern(graph, name="e")
+        graph.remove_edge(0, 1)
+        assert pattern.num_edges == 1
+
+    def test_default_name(self):
+        pattern = Pattern(Graph(2, [(0, 1)]))
+        assert "n=2" in pattern.name
+
+    def test_equality_is_labelled(self):
+        assert pattern_zoo.triangle() == pattern_zoo.cycle(3)
+        assert pattern_zoo.triangle() != pattern_zoo.path(3)
+        # path(3) and star(2) are isomorphic but differently labelled.
+        from repro.patterns.isomorphism import is_subgraph_of
+
+        assert is_subgraph_of(pattern_zoo.path(3).graph, pattern_zoo.star(2).graph)
+        assert is_subgraph_of(pattern_zoo.star(2).graph, pattern_zoo.path(3).graph)
+
+
+class TestNamedPatterns:
+    def test_clique_sizes(self):
+        for r in (2, 3, 4, 5):
+            pattern = pattern_zoo.clique(r)
+            assert pattern.num_vertices == r
+            assert pattern.num_edges == r * (r - 1) // 2
+
+    def test_invalid_sizes(self):
+        with pytest.raises(PatternError):
+            pattern_zoo.clique(1)
+        with pytest.raises(PatternError):
+            pattern_zoo.cycle(2)
+        with pytest.raises(PatternError):
+            pattern_zoo.star(0)
+        with pytest.raises(PatternError):
+            pattern_zoo.path(1)
+        with pytest.raises(PatternError):
+            pattern_zoo.matching(0)
+
+    def test_star_structure(self):
+        pattern = pattern_zoo.star(4)
+        assert pattern.degree(0) == 4
+        assert all(pattern.degree(v) == 1 for v in range(1, 5))
+
+    def test_matching_is_disconnected(self):
+        assert not pattern_zoo.matching(2).graph.is_connected()
+
+    def test_zoo_nonempty_and_distinctly_named(self):
+        zoo = pattern_zoo.standard_zoo()
+        names = [p.name for p in zoo]
+        assert len(names) == len(set(names))
+        assert len(zoo) >= 10
+
+
+class TestCachedInvariants:
+    def test_rho_closed_forms(self):
+        assert pattern_zoo.triangle().rho() == pytest.approx(1.5)
+        assert pattern_zoo.cycle(5).rho() == pytest.approx(2.5)
+        assert pattern_zoo.cycle(7).rho() == pytest.approx(3.5)
+        assert pattern_zoo.cycle(4).rho() == pytest.approx(2.0)
+        assert pattern_zoo.star(4).rho() == pytest.approx(4.0)
+        assert pattern_zoo.clique(5).rho() == pytest.approx(2.5)
+        assert pattern_zoo.clique(6).rho() == pytest.approx(3.0)
+
+    def test_rho_matches_known_table(self):
+        for pattern in pattern_zoo.standard_zoo():
+            known = pattern_zoo.KNOWN_RHO.get(pattern.name)
+            if known is not None:
+                assert pattern.rho() == pytest.approx(known), pattern.name
+
+    def test_family_count_known_values(self):
+        assert pattern_zoo.edge().family_count() == 2
+        assert pattern_zoo.triangle().family_count() == 1
+        assert pattern_zoo.cycle(5).family_count() == 1
+        assert pattern_zoo.path(4).family_count() == 8
+        assert pattern_zoo.clique(4).family_count() == 24
+        assert pattern_zoo.cycle(4).family_count() == 16
+
+    def test_automorphism_counts(self):
+        assert pattern_zoo.triangle().automorphism_count() == 6
+        assert pattern_zoo.clique(4).automorphism_count() == 24
+        assert pattern_zoo.cycle(5).automorphism_count() == 10
+        assert pattern_zoo.star(3).automorphism_count() == 6
+        assert pattern_zoo.path(4).automorphism_count() == 2
+        assert pattern_zoo.matching(2).automorphism_count() == 8
+
+    def test_beta_closed_forms(self):
+        # Footnote 1: beta(K_r) = beta(C_r) = ceil(r/2).
+        assert pattern_zoo.clique(4).beta() == 2
+        assert pattern_zoo.clique(5).beta() == 3
+        assert pattern_zoo.cycle(6).beta() == 3
+        assert pattern_zoo.cycle(7).beta() == 4
+
+    def test_invariant_caching_returns_same_object(self):
+        pattern = pattern_zoo.clique(4)
+        assert pattern.decomposition() is pattern.decomposition()

@@ -1,0 +1,122 @@
+"""Tests for graph statistics and the extended pattern zoo."""
+
+import math
+
+import pytest
+
+from repro.exact.subgraphs import count_subgraphs
+from repro.graph import generators as gen
+from repro.graph.statistics import (
+    agm_bound,
+    degree_histogram,
+    degree_moment,
+    heavy_vertices,
+    profile,
+    wedge_count,
+)
+from repro.patterns import pattern as pattern_zoo
+from repro.patterns.edge_cover import fractional_edge_cover_number
+
+
+class TestStatistics:
+    def test_wedge_count_matches_p3(self):
+        graph = gen.karate_club()
+        assert wedge_count(graph) == count_subgraphs(graph, pattern_zoo.path(3))
+
+    def test_degree_histogram_sums_to_n(self):
+        graph = gen.gnp(30, 0.2, rng=1)
+        histogram = degree_histogram(graph)
+        assert sum(histogram.values()) == graph.n
+        assert sum(d * c for d, c in histogram.items()) == 2 * graph.m
+
+    def test_degree_moment(self):
+        graph = gen.star_graph(5)
+        assert degree_moment(graph, 1) == 2 * graph.m
+        assert degree_moment(graph, 2) == 25 + 5
+
+    def test_agm_bound_dominates_truth(self):
+        graph = gen.karate_club()
+        for pattern in (pattern_zoo.triangle(), pattern_zoo.cycle(4), pattern_zoo.clique(4)):
+            truth = count_subgraphs(graph, pattern)
+            assert truth <= agm_bound(graph, pattern.rho()) + 1e-9
+
+    def test_heavy_vertices_threshold(self):
+        graph = gen.star_graph(60)  # hub degree 60 >> sqrt(120)
+        assert heavy_vertices(graph) == [0]
+        assert heavy_vertices(gen.cycle_graph(10)) == []
+
+    def test_profile_fields(self):
+        graph = gen.karate_club()
+        p = profile(graph)
+        assert p.n == 34 and p.m == 78
+        assert p.max_degree == 17
+        assert p.degeneracy == 4
+        assert p.mean_degree == pytest.approx(2 * 78 / 34)
+        assert "lambda=4" in p.describe()
+
+
+class TestExtendedZoo:
+    def test_known_rho_values(self):
+        for pattern in pattern_zoo.extended_zoo():
+            known = pattern_zoo.KNOWN_RHO.get(pattern.name)
+            if known is not None:
+                assert pattern.rho() == pytest.approx(known), pattern.name
+
+    def test_decomposition_cost_equals_rho(self):
+        for pattern in pattern_zoo.extended_zoo():
+            decomposition = pattern.decomposition()
+            assert float(decomposition.cost) == pytest.approx(pattern.rho()), pattern.name
+
+    def test_bull_structure(self):
+        bull = pattern_zoo.bull()
+        assert bull.num_vertices == 5 and bull.num_edges == 5
+        assert bull.rho() == 3.0  # horns force integral pendant edges
+
+    def test_bowtie_decomposes_as_triangle_plus_edge(self):
+        bowtie = pattern_zoo.bowtie()
+        assert bowtie.decomposition().type_signature() == ((3,), (1,))
+
+    def test_house_decomposes_as_five_cycle(self):
+        house = pattern_zoo.house()
+        assert house.decomposition().type_signature() == ((5,), ())
+
+    def test_c6_family_count(self):
+        # C6 has 2 perfect matchings; 3 positions (3! orders) and 2^3
+        # orientations -> 2 * 6 * 8 = 96.
+        assert pattern_zoo.cycle(6).family_count() == 96
+
+    def test_extended_counts_on_small_host(self):
+        host = gen.gnp(10, 0.5, rng=9)
+        for pattern in (pattern_zoo.bull(), pattern_zoo.house(), pattern_zoo.kite()):
+            count = count_subgraphs(host, pattern)
+            assert count >= 0
+            # cross-check with brute force over vertex subsets
+            import itertools
+
+            from repro.patterns.isomorphism import enumerate_spanning_copies
+
+            brute = 0
+            for subset in itertools.combinations(range(host.n), 5):
+                sub, _ = host.subgraph(subset)
+                brute += len(
+                    enumerate_spanning_copies(sub, pattern.graph, list(range(5)))
+                )
+            assert count == brute, pattern.name
+
+    def test_bowtie_sampler_probability(self):
+        """End-to-end check on a 6-vertex bowtie-rich host."""
+        from repro.streaming.three_pass import sample_copies_stream
+        from repro.streams.stream import insertion_stream
+
+        host = gen.gnp(10, 0.55, rng=12)
+        pattern = pattern_zoo.bowtie()
+        truth = count_subgraphs(host, pattern)
+        if truth == 0:
+            pytest.skip("no bowties in random draw")
+        stream = insertion_stream(host, rng=13)
+        outputs = sample_copies_stream(stream, pattern, instances=30000, rng=14)
+        successes = sum(1 for output in outputs if output is not None)
+        theory = truth / (2.0 * host.m) ** pattern.rho()
+        rate = successes / 30000
+        sigma = math.sqrt(theory * (1 - theory) / 30000)
+        assert abs(rate - theory) <= max(5 * sigma, 0.15 * theory)

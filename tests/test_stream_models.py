@@ -1,0 +1,293 @@
+"""Tests for the §1.3 stream models and their counters.
+
+Covers the random-order and adjacency-list models
+(:mod:`repro.streams.models`), the model-specific triangle counters
+(:mod:`repro.baselines.order_models`) and the 2-pass MVV baseline
+(:mod:`repro.baselines.mvv_two_pass`).
+"""
+
+import statistics
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.baselines.mvv_two_pass import mvv_two_pass_triangle_count
+from repro.baselines.order_models import (
+    adjacency_list_star_count,
+    adjacency_list_triangle_count,
+    random_order_triangle_count,
+)
+from repro.errors import EstimationError, StreamError
+from repro.exact.subgraphs import count_subgraphs
+from repro.exact.triangles import count_triangles
+from repro.patterns.pattern import star as zoo_star
+from repro.graph import generators as gen
+from repro.graph.graph import Graph
+from repro.streams.models import (
+    AdjacencyListStream,
+    ListItem,
+    adjacency_list_stream,
+    random_order_stream,
+)
+from repro.streams.stream import insertion_stream
+from repro.utils.rng import ensure_rng
+
+
+class TestRandomOrderStream:
+    def test_same_graph_different_orders(self):
+        graph = gen.karate_club()
+        a = random_order_stream(graph, rng=1)
+        b = random_order_stream(graph, rng=2)
+        assert set(a.final_graph().edges()) == set(b.final_graph().edges())
+        assert [u.edge for u in a.updates()] != [u.edge for u in b.updates()]
+
+    def test_replay_is_identical_across_passes(self):
+        stream = random_order_stream(gen.karate_club(), rng=3)
+        first = [u.edge for u in stream.updates()]
+        second = [u.edge for u in stream.updates()]
+        assert first == second
+        assert stream.passes_used == 2
+
+    def test_order_is_roughly_uniform(self):
+        # The first element should be (close to) uniform over edges.
+        graph = gen.cycle_graph(8)
+        first_edges = {
+            next(iter(random_order_stream(graph, rng=seed).updates())).edge
+            for seed in range(200)
+        }
+        assert len(first_edges) == graph.m
+
+
+class TestAdjacencyListStream:
+    def test_each_edge_appears_twice(self):
+        graph = gen.karate_club()
+        stream = adjacency_list_stream(graph, rng=4)
+        assert stream.length == 2 * graph.m
+        assert stream.m == graph.m
+        assert set(stream.final_graph().edges()) == set(graph.edges())
+
+    def test_lists_are_contiguous(self):
+        stream = adjacency_list_stream(gen.gnp(20, 0.3, rng=5), rng=6)
+        seen = []
+        for item in stream.items():
+            if not seen or seen[-1] != item.owner:
+                assert item.owner not in seen
+                seen.append(item.owner)
+
+    def test_deterministic_layout(self):
+        graph = gen.path_graph(5)
+        stream = adjacency_list_stream(
+            graph, shuffle_vertices=False, shuffle_neighbors=False
+        )
+        items = [(i.owner, i.neighbor) for i in stream.items()]
+        assert items == [(0, 1), (1, 0), (1, 2), (2, 1), (2, 3), (3, 2), (3, 4), (4, 3)]
+
+    def test_rejects_non_contiguous_lists(self):
+        items = [ListItem(0, 1), ListItem(1, 0), ListItem(0, 2), ListItem(2, 0)]
+        with pytest.raises(StreamError):
+            AdjacencyListStream(3, items)
+
+    def test_rejects_single_appearance(self):
+        with pytest.raises(StreamError):
+            AdjacencyListStream(2, [ListItem(0, 1)])
+
+    def test_rejects_self_loop_item(self):
+        with pytest.raises(StreamError):
+            ListItem(3, 3)
+
+    def test_as_edge_stream_projection(self):
+        graph = gen.gnp(15, 0.4, rng=7)
+        stream = adjacency_list_stream(graph, rng=8)
+        projected = stream.as_edge_stream()
+        assert projected.net_edge_count == graph.m
+        assert set(projected.final_graph().edges()) == set(graph.edges())
+
+    def test_pass_counting(self):
+        stream = adjacency_list_stream(gen.path_graph(4))
+        list(stream.items())
+        list(stream.items())
+        assert stream.passes_used == 2
+        stream.reset_pass_count()
+        assert stream.passes_used == 0
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_property_projection_preserves_graph(self, seed):
+        graph = gen.gnp(12, 0.35, rng=seed)
+        stream = adjacency_list_stream(graph, rng=seed + 1)
+        assert set(stream.as_edge_stream().final_graph().edges()) == set(graph.edges())
+
+
+class TestMvvTwoPass:
+    def test_exhaustive_sampling_is_exact(self):
+        # p = 1 keeps every edge: the estimate equals #T exactly.
+        graph = gen.gnp(25, 0.4, rng=9)
+        truth = count_triangles(graph)
+        stream = insertion_stream(graph, rng=10)
+        result = mvv_two_pass_triangle_count(stream, sample_probability=1.0, rng=11)
+        assert result.estimate == pytest.approx(truth)
+        assert result.passes == 2
+
+    def test_unbiased_at_half_probability(self):
+        graph = gen.gnp(30, 0.35, rng=12)
+        truth = count_triangles(graph)
+        estimates = [
+            mvv_two_pass_triangle_count(
+                insertion_stream(graph, rng=100 + seed), 0.5, rng=seed
+            ).estimate
+            for seed in range(60)
+        ]
+        assert statistics.mean(estimates) == pytest.approx(truth, rel=0.15)
+
+    def test_triangle_free_graph_estimates_zero(self):
+        stream = insertion_stream(gen.grid_graph(6, 6), rng=13)
+        result = mvv_two_pass_triangle_count(stream, 1.0, rng=14)
+        assert result.estimate == 0.0
+
+    def test_rejects_bad_probability(self):
+        stream = insertion_stream(gen.karate_club(), rng=15)
+        with pytest.raises(EstimationError):
+            mvv_two_pass_triangle_count(stream, 0.0)
+        with pytest.raises(EstimationError):
+            mvv_two_pass_triangle_count(stream, 1.5)
+
+    def test_space_tracks_sample(self):
+        graph = gen.gnp(40, 0.3, rng=16)
+        stream = insertion_stream(graph, rng=17)
+        result = mvv_two_pass_triangle_count(stream, 0.2, rng=18)
+        # Sampled edges ~ p*m; the space accounting must reflect that
+        # rather than the full stream.
+        assert result.space_words < 2 * graph.m
+
+
+class TestRandomOrderCounter:
+    def test_full_retention_unbiased(self):
+        graph = gen.gnp(30, 0.35, rng=19)
+        truth = count_triangles(graph)
+        estimates = [
+            random_order_triangle_count(
+                random_order_stream(graph, rng=300 + seed),
+                prefix_fraction=0.5,
+                sample_probability=1.0,
+                rng=seed,
+            ).estimate
+            for seed in range(80)
+        ]
+        assert statistics.mean(estimates) == pytest.approx(truth, rel=0.15)
+
+    def test_single_pass(self):
+        stream = random_order_stream(gen.karate_club(), rng=20)
+        result = random_order_triangle_count(stream, rng=21)
+        assert result.passes == 1
+
+    def test_subsampling_stays_unbiased(self):
+        graph = gen.gnp(40, 0.35, rng=22)
+        truth = count_triangles(graph)
+        estimates = [
+            random_order_triangle_count(
+                random_order_stream(graph, rng=500 + seed),
+                prefix_fraction=0.5,
+                sample_probability=0.6,
+                rng=seed,
+            ).estimate
+            for seed in range(120)
+        ]
+        assert statistics.mean(estimates) == pytest.approx(truth, rel=0.2)
+
+    def test_parameter_validation(self):
+        stream = random_order_stream(gen.karate_club(), rng=23)
+        with pytest.raises(EstimationError):
+            random_order_triangle_count(stream, prefix_fraction=0.0)
+        with pytest.raises(EstimationError):
+            random_order_triangle_count(stream, prefix_fraction=1.0)
+        with pytest.raises(EstimationError):
+            random_order_triangle_count(stream, sample_probability=0.0)
+
+    def test_needs_three_edges(self):
+        with pytest.raises(EstimationError):
+            random_order_triangle_count(insertion_stream(gen.path_graph(3), rng=24))
+
+
+class TestAdjacencyListCounter:
+    def test_unbiased(self):
+        graph = gen.gnp(30, 0.35, rng=25)
+        truth = count_triangles(graph)
+        estimates = [
+            adjacency_list_triangle_count(
+                adjacency_list_stream(graph, rng=700 + seed),
+                wedge_samples=40,
+                rng=seed,
+            ).estimate
+            for seed in range(60)
+        ]
+        assert statistics.mean(estimates) == pytest.approx(truth, rel=0.15)
+
+    def test_two_passes(self):
+        stream = adjacency_list_stream(gen.karate_club(), rng=26)
+        result = adjacency_list_triangle_count(stream, wedge_samples=10, rng=27)
+        assert result.passes == 2
+
+    def test_wedge_count_is_exact(self):
+        graph = gen.karate_club()
+        stream = adjacency_list_stream(graph, rng=28)
+        result = adjacency_list_triangle_count(stream, wedge_samples=5, rng=29)
+        expected = sum(
+            graph.degree(v) * (graph.degree(v) - 1) // 2 for v in range(graph.n)
+        )
+        assert result.details["total_wedges"] == expected
+
+    def test_triangle_free(self):
+        stream = adjacency_list_stream(gen.grid_graph(5, 5), rng=30)
+        result = adjacency_list_triangle_count(stream, wedge_samples=25, rng=31)
+        assert result.estimate == 0.0
+
+    def test_wedgeless_graph(self):
+        # A perfect matching has no wedges at all.
+        graph = Graph(4, [(0, 1), (2, 3)])
+        stream = adjacency_list_stream(graph, rng=32)
+        result = adjacency_list_triangle_count(stream, wedge_samples=5, rng=33)
+        assert result.estimate == 0.0
+
+    def test_validation(self):
+        stream = adjacency_list_stream(gen.karate_club(), rng=34)
+        with pytest.raises(EstimationError):
+            adjacency_list_triangle_count(stream, wedge_samples=0)
+
+
+class TestAdjacencyListStarCount:
+    def test_exact_on_karate(self):
+        graph = gen.karate_club()
+        for petals in (1, 2, 3, 4):
+            stream = adjacency_list_stream(graph, rng=40 + petals)
+            result = adjacency_list_star_count(stream, petals)
+            truth = count_subgraphs(graph, zoo_star(petals))
+            assert result.estimate == truth
+            assert result.passes == 1
+            assert result.space_words <= 3
+
+    def test_star_free_when_degrees_small(self):
+        # A perfect matching has no S_2.
+        graph = Graph(6, [(0, 1), (2, 3), (4, 5)])
+        result = adjacency_list_star_count(adjacency_list_stream(graph, rng=45), 2)
+        assert result.estimate == 0.0
+
+    def test_validation(self):
+        stream = adjacency_list_stream(gen.karate_club(), rng=46)
+        with pytest.raises(EstimationError):
+            adjacency_list_star_count(stream, 0)
+
+    @given(st.integers(min_value=0, max_value=10_000), st.integers(min_value=1, max_value=3))
+    @settings(max_examples=25, deadline=None)
+    def test_property_matches_degree_formula(self, seed, petals):
+        import math as _math
+
+        graph = gen.gnp(14, 0.4, rng=seed)
+        if graph.m == 0:
+            return
+        stream = adjacency_list_stream(graph, rng=seed + 1)
+        result = adjacency_list_star_count(stream, petals)
+        expected = sum(_math.comb(graph.degree(v), petals) for v in range(graph.n))
+        if petals == 1:
+            expected //= 2
+        assert result.estimate == expected

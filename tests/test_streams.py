@@ -1,0 +1,168 @@
+"""Tests for the stream substrate."""
+
+import pytest
+
+from repro.errors import StreamError
+from repro.graph import generators as gen
+from repro.streams.generators import (
+    adversarial_order_stream,
+    concatenate_streams,
+    split_substreams,
+    stream_from_graph,
+    turnstile_churn_stream,
+)
+from repro.streams.space import SpaceMeter
+from repro.streams.stream import EdgeStream, Update, insertion_stream, turnstile_stream
+
+
+class TestUpdate:
+    def test_normalized_edge(self):
+        assert Update(5, 2).edge == (2, 5)
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(StreamError):
+            Update(1, 1)
+
+    def test_bad_delta_rejected(self):
+        with pytest.raises(StreamError):
+            Update(0, 1, 2)
+
+    def test_is_insertion(self):
+        assert Update(0, 1, 1).is_insertion
+        assert not Update(0, 1, -1).is_insertion
+
+
+class TestEdgeStreamValidation:
+    def test_deletion_in_insertion_only_rejected(self):
+        with pytest.raises(StreamError):
+            EdgeStream(3, [Update(0, 1, 1), Update(0, 1, -1)])
+
+    def test_delete_absent_edge_rejected(self):
+        with pytest.raises(StreamError):
+            EdgeStream(3, [Update(0, 1, -1)], allow_deletions=True)
+
+    def test_duplicate_insertion_rejected(self):
+        with pytest.raises(StreamError):
+            EdgeStream(3, [Update(0, 1), Update(1, 0)])
+
+    def test_out_of_range_vertex_rejected(self):
+        with pytest.raises(StreamError):
+            EdgeStream(2, [Update(0, 5)])
+
+    def test_insert_delete_insert_is_valid(self):
+        stream = EdgeStream(
+            3,
+            [Update(0, 1, 1), Update(0, 1, -1), Update(0, 1, 1)],
+            allow_deletions=True,
+        )
+        assert stream.net_edge_count == 1
+
+
+class TestEdgeStreamBehavior:
+    def test_pass_counting(self):
+        stream = insertion_stream(gen.path_graph(5), rng=1)
+        assert stream.passes_used == 0
+        list(stream.updates())
+        list(stream.updates())
+        assert stream.passes_used == 2
+        stream.reset_pass_count()
+        assert stream.passes_used == 0
+
+    def test_final_graph_roundtrip(self):
+        graph = gen.gnp(20, 0.3, rng=7)
+        stream = insertion_stream(graph, rng=9)
+        assert stream.final_graph() == graph
+
+    def test_turnstile_final_graph(self):
+        stream = turnstile_stream(
+            4, [(0, 1, 1), (1, 2, 1), (0, 1, -1), (2, 3, 1)]
+        )
+        final = stream.final_graph()
+        assert final.m == 2
+        assert final.has_edge(1, 2)
+        assert final.has_edge(2, 3)
+        assert not final.has_edge(0, 1)
+
+    def test_length_counts_all_updates(self):
+        stream = turnstile_stream(3, [(0, 1, 1), (0, 1, -1)])
+        assert stream.length == 2
+        assert stream.net_edge_count == 0
+
+
+class TestStreamBuilders:
+    def test_shuffle_is_permutation(self):
+        graph = gen.gnp(15, 0.4, rng=3)
+        stream = stream_from_graph(graph, rng=5, order="shuffled")
+        assert stream.final_graph() == graph
+        assert stream.length == graph.m
+
+    def test_sorted_order(self):
+        graph = gen.gnp(10, 0.5, rng=3)
+        stream = stream_from_graph(graph, order="sorted")
+        edges = [u.edge for u in stream.updates()]
+        assert edges == sorted(edges)
+
+    def test_unknown_order_rejected(self):
+        with pytest.raises(StreamError):
+            stream_from_graph(gen.path_graph(3), order="bogus")
+
+    def test_adversarial_order_final_graph(self):
+        graph = gen.barabasi_albert(50, 3, rng=2)
+        stream = adversarial_order_stream(graph)
+        assert stream.final_graph() == graph
+
+    def test_churn_stream_final_graph_equals_reference(self):
+        graph = gen.karate_club()
+        for interleave in (True, False):
+            stream = turnstile_churn_stream(graph, 25, rng=11, interleave=interleave)
+            assert stream.final_graph() == graph
+            assert stream.length == graph.m + 2 * 25
+
+    def test_churn_capacity_guard(self):
+        graph = gen.complete_graph(4)  # complement empty
+        with pytest.raises(StreamError):
+            turnstile_churn_stream(graph, 1, rng=1)
+
+    def test_split_substreams_partition(self):
+        graph = gen.gnp(25, 0.3, rng=13)
+        stream = insertion_stream(graph, rng=14)
+        parts = split_substreams(stream, 3, rng=15)
+        assert sum(p.length for p in parts) == graph.m
+        merged = concatenate_streams(parts)
+        assert merged.final_graph() == graph
+
+    def test_split_substreams_turnstile_safe(self):
+        """Deletions land in the same part as their insertions."""
+        graph = gen.gnp(20, 0.3, rng=21)
+        stream = turnstile_churn_stream(graph, 15, rng=22)
+        parts = split_substreams(stream, 4, rng=23)
+        for part in parts:
+            # Constructing the EdgeStream validates prefix-nonnegativity.
+            assert part.allows_deletions
+
+
+class TestSpaceMeter:
+    def test_peak_tracking(self):
+        meter = SpaceMeter()
+        meter.set_usage("a", 10)
+        meter.set_usage("b", 5)
+        assert meter.current_words == 15
+        meter.release("a")
+        assert meter.current_words == 5
+        assert meter.peak_words == 15
+
+    def test_add_usage(self):
+        meter = SpaceMeter()
+        meter.add_usage("x", 3)
+        meter.add_usage("x", 4)
+        assert meter.current_words == 7
+
+    def test_negative_rejected(self):
+        meter = SpaceMeter()
+        with pytest.raises(ValueError):
+            meter.set_usage("x", -1)
+
+    def test_breakdown(self):
+        meter = SpaceMeter()
+        meter.set_usage("a", 1)
+        assert meter.breakdown() == {"a": 1}

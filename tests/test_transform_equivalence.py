@@ -1,0 +1,96 @@
+"""Property test: stream emulation answers exact queries *exactly*.
+
+Theorem 9's proof is an exactness claim for f2/f3/f4/edge-count: the
+emulated answers coincide with the direct oracle's on any graph and
+any arrival order.  Hypothesis generates random graphs and random
+arrival orders; we compare the two substrates query-by-query.
+"""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.graph.graph import Graph
+from repro.oracle.base import (
+    AdjacencyQuery,
+    DegreeQuery,
+    EdgeCountQuery,
+    NeighborQuery,
+)
+from repro.oracle.direct import DirectAugmentedOracle
+from repro.streams.stream import EdgeStream, Update
+from repro.transform.insertion import InsertionStreamOracle
+from repro.transform.turnstile import TurnstileStreamOracle
+
+
+@st.composite
+def graph_and_order(draw):
+    n = draw(st.integers(min_value=2, max_value=10))
+    possible = [(u, v) for u in range(n) for v in range(u + 1, n)]
+    edges = draw(st.lists(st.sampled_from(possible), unique=True, max_size=20))
+    permutation = draw(st.permutations(edges)) if edges else []
+    return n, list(permutation)
+
+
+@st.composite
+def turnstile_history(draw):
+    """A random valid insert/delete history over a small vertex set."""
+    n = draw(st.integers(min_value=2, max_value=8))
+    possible = [(u, v) for u in range(n) for v in range(u + 1, n)]
+    updates = []
+    live = set()
+    for _ in range(draw(st.integers(min_value=0, max_value=24))):
+        edge = draw(st.sampled_from(possible))
+        if edge in live:
+            if draw(st.booleans()):
+                updates.append(Update(edge[0], edge[1], -1))
+                live.discard(edge)
+        else:
+            updates.append(Update(edge[0], edge[1], 1))
+            live.add(edge)
+    return n, updates
+
+
+class TestInsertionExactness:
+    @given(graph_and_order())
+    @settings(max_examples=40, deadline=None)
+    def test_deterministic_queries_match_direct_oracle(self, case):
+        n, arrival = case
+        stream = EdgeStream(n, [Update(u, v) for u, v in arrival])
+        # Build the reference graph in arrival order so f3's neighbor
+        # indexing coincides between the two substrates.
+        graph = Graph(n, arrival)
+        direct = DirectAugmentedOracle(graph, rng=1)
+        emulated = InsertionStreamOracle(stream, rng=2)
+
+        batch = [EdgeCountQuery()]
+        batch += [DegreeQuery(v) for v in range(n)]
+        batch += [AdjacencyQuery(u, v) for u in range(n) for v in range(u + 1, n)]
+        batch += [NeighborQuery(v, i) for v in range(n) for i in range(3)]
+
+        expected = direct.answer_batch(batch)
+        actual = emulated.answer_batch(batch)
+        assert actual == expected
+
+
+class TestTurnstileExactness:
+    @given(turnstile_history())
+    @settings(max_examples=40, deadline=None)
+    def test_counters_track_final_graph(self, case):
+        n, updates = case
+        stream = EdgeStream(n, updates, allow_deletions=True)
+        final = stream.final_graph()
+        oracle = TurnstileStreamOracle(stream, rng=3, sampler_repetitions=2)
+
+        batch = [EdgeCountQuery()]
+        batch += [DegreeQuery(v) for v in range(n)]
+        batch += [AdjacencyQuery(u, v) for u in range(n) for v in range(u + 1, n)]
+        answers = oracle.answer_batch(batch)
+
+        assert answers[0] == final.m
+        for v in range(n):
+            assert answers[1 + v] == final.degree(v)
+        offset = 1 + n
+        for index, (u, v) in enumerate(
+            (u, v) for u in range(n) for v in range(u + 1, n)
+        ):
+            assert answers[offset + index] == final.has_edge(u, v)

@@ -1,0 +1,98 @@
+"""Tests for the 2-pass star-decomposable counter
+(:mod:`repro.streaming.two_pass`) — the conclusion's open question,
+answered for the star subclass."""
+
+import pytest
+
+from repro.errors import EstimationError
+from repro.exact.subgraphs import count_subgraphs
+from repro.graph import generators as gen
+from repro.patterns import pattern as zoo
+from repro.streaming.three_pass import count_subgraphs_insertion_only
+from repro.streaming.two_pass import count_subgraphs_two_pass, is_star_decomposable
+from repro.streams.stream import insertion_stream
+
+
+class TestStarDecomposable:
+    def test_star_only_patterns(self):
+        for pattern in (
+            zoo.edge(),
+            zoo.star(2),
+            zoo.star(3),
+            zoo.path(3),
+            zoo.path(4),
+            zoo.matching(2),
+            zoo.cycle(4),
+            zoo.clique(4),
+            zoo.diamond(),
+            zoo.paw(),
+        ):
+            assert is_star_decomposable(pattern), pattern.name
+
+    def test_odd_cycle_patterns_rejected(self):
+        for pattern in (
+            zoo.triangle(),
+            zoo.cycle(5),
+            zoo.clique(5),
+            zoo.triangle_with_disjoint_edge(),
+        ):
+            assert not is_star_decomposable(pattern), pattern.name
+
+
+class TestTwoPassCounter:
+    def test_uses_exactly_two_passes(self):
+        graph = gen.gnp(40, 0.25, rng=1)
+        stream = insertion_stream(graph, rng=2)
+        result = count_subgraphs_two_pass(stream, zoo.path(3), trials=500, rng=3)
+        assert result.passes == 2
+        assert stream.passes_used == 2
+
+    def test_rejects_triangle(self):
+        stream = insertion_stream(gen.karate_club(), rng=4)
+        with pytest.raises(EstimationError):
+            count_subgraphs_two_pass(stream, zoo.triangle(), trials=10)
+
+    def test_accuracy_on_p3(self):
+        graph = gen.gnp(35, 0.3, rng=5)
+        truth = count_subgraphs(graph, zoo.path(3))
+        stream = insertion_stream(graph, rng=6)
+        result = count_subgraphs_two_pass(stream, zoo.path(3), trials=6000, rng=7)
+        assert result.estimate == pytest.approx(truth, rel=0.25)
+
+    def test_accuracy_on_c4(self):
+        graph = gen.gnp(25, 0.4, rng=8)
+        truth = count_subgraphs(graph, zoo.cycle(4))
+        stream = insertion_stream(graph, rng=9)
+        result = count_subgraphs_two_pass(stream, zoo.cycle(4), trials=25000, rng=10)
+        assert truth > 0
+        assert result.estimate == pytest.approx(truth, rel=0.35)
+
+    def test_matches_three_pass_at_same_budget(self):
+        # Same pattern, same trials: accuracy comparable, one pass fewer.
+        graph = gen.gnp(30, 0.3, rng=11)
+        truth = count_subgraphs(graph, zoo.star(2))
+        two = count_subgraphs_two_pass(
+            insertion_stream(graph, rng=12), zoo.star(2), trials=5000, rng=13
+        )
+        three = count_subgraphs_insertion_only(
+            insertion_stream(graph, rng=14), zoo.star(2), trials=5000, rng=15
+        )
+        assert two.passes == 2
+        assert three.passes == 3
+        assert two.estimate == pytest.approx(truth, rel=0.25)
+        assert three.estimate == pytest.approx(truth, rel=0.25)
+
+    def test_empty_graph(self):
+        stream = insertion_stream(gen.gnp(10, 0.0, rng=16), rng=16)
+        result = count_subgraphs_two_pass(stream, zoo.path(3), trials=50, rng=17)
+        assert result.estimate == 0.0
+
+    def test_chernoff_budget_path(self):
+        graph = gen.gnp(30, 0.3, rng=18)
+        truth = count_subgraphs(graph, zoo.path(3))
+        stream = insertion_stream(graph, rng=19)
+        result = count_subgraphs_two_pass(
+            stream, zoo.path(3), epsilon=0.3, lower_bound=truth, rng=20
+        )
+        assert result.trials >= 1
+        assert result.estimate == pytest.approx(truth, rel=0.35)

@@ -1,0 +1,188 @@
+"""Tests for the extended pattern zoo (gem, book, wheel, prism,
+complete bipartite) and the new generator families (Watts–Strogatz,
+random geometric, planted partition)."""
+
+import itertools
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.errors import GraphError, PatternError
+from repro.exact.subgraphs import count_subgraphs
+from repro.exact.triangles import count_triangles
+from repro.graph import generators as gen
+from repro.graph.degeneracy import degeneracy
+from repro.patterns import pattern as zoo
+from repro.patterns.decomposition import decomposition_cost
+
+
+class TestNewPatterns:
+    def test_gem_invariants(self):
+        pattern = zoo.gem()
+        assert pattern.num_vertices == 5
+        assert pattern.num_edges == 7
+        assert pattern.rho() == pytest.approx(2.5)
+
+    def test_book_series(self):
+        # B_1 is the triangle; B_2 the diamond; rho(B_k) = k for k >= 2.
+        assert zoo.book(1).rho() == pytest.approx(1.5)
+        assert zoo.book(2).rho() == pytest.approx(2.0)
+        assert zoo.book(3).rho() == pytest.approx(3.0)
+        assert zoo.book(4).rho() == pytest.approx(4.0)
+        assert zoo.book(3).num_edges == 1 + 2 * 3
+
+    def test_wheel_invariants(self):
+        w4 = zoo.wheel(4)
+        assert w4.num_vertices == 5
+        assert w4.num_edges == 8
+        assert w4.rho() == pytest.approx(2.5)
+        # W_3 is K_4.
+        assert zoo.wheel(3).num_edges == 6
+        assert zoo.wheel(3).rho() == pytest.approx(2.0)
+
+    def test_prism_invariants(self):
+        pattern = zoo.prism()
+        assert pattern.num_vertices == 6
+        assert pattern.num_edges == 9
+        assert pattern.rho() == pytest.approx(3.0)
+        # Optimal decomposition: two disjoint triangles.
+        assert pattern.decomposition().cycle_lengths == (3, 3)
+
+    def test_complete_bipartite(self):
+        k23 = zoo.complete_bipartite(2, 3)
+        assert k23.num_vertices == 5
+        assert k23.num_edges == 6
+        assert k23.rho() == pytest.approx(3.0)
+        # K_{1,k} is the star S_k.
+        assert zoo.complete_bipartite(1, 4).rho() == pytest.approx(zoo.star(4).rho())
+
+    def test_validation(self):
+        with pytest.raises(PatternError):
+            zoo.book(0)
+        with pytest.raises(PatternError):
+            zoo.wheel(2)
+        with pytest.raises(PatternError):
+            zoo.complete_bipartite(0, 3)
+
+    def test_decomposition_cost_equals_rho_on_new_zoo(self):
+        # Lemma 4 must hold on every added pattern.
+        for pattern in (
+            zoo.gem(),
+            zoo.book(3),
+            zoo.wheel(4),
+            zoo.wheel(5),
+            zoo.prism(),
+            zoo.complete_bipartite(2, 3),
+        ):
+            cost = decomposition_cost(pattern.decomposition())
+            assert cost == pytest.approx(pattern.rho()), pattern.name
+
+    def test_exact_counts_on_known_hosts(self):
+        # K_5 contains C(5,4)*... wheels: W_4 copies in K_5 equal
+        # choosing the hub (5) times C_4 count in K_4 (3): 15.
+        k5 = gen.complete_graph(5)
+        assert count_subgraphs(k5, zoo.wheel(4)) == 15
+        # Prism copies in K_6: choose the two triangles (10 ways to
+        # split 6 vertices into two unordered triples) times the 6
+        # perfect matchings between them.
+        k6 = gen.complete_graph(6)
+        assert count_subgraphs(k6, zoo.prism()) == 10 * 6
+        # Books in a book host: B_2 in the diamond graph is 1.
+        diamond_host = zoo.diamond().graph
+        assert count_subgraphs(diamond_host, zoo.book(2)) == 1
+
+    def test_extended_zoo_contains_new_patterns(self):
+        names = {p.name for p in zoo.extended_zoo()}
+        for expected in ("gem", "B3", "W4", "prism", "K2,3"):
+            assert expected in names
+
+
+class TestWattsStrogatz:
+    def test_ring_lattice_at_zero_rewiring(self):
+        graph = gen.watts_strogatz(12, 4, 0.0, rng=1)
+        assert graph.m == 12 * 2
+        assert all(graph.degree(v) == 4 for v in range(12))
+        assert graph.has_edge(0, 1) and graph.has_edge(0, 2)
+
+    def test_edge_count_preserved_by_rewiring(self):
+        graph = gen.watts_strogatz(40, 6, 0.5, rng=2)
+        assert graph.m == 40 * 3
+
+    def test_low_degeneracy(self):
+        graph = gen.watts_strogatz(200, 6, 0.1, rng=3)
+        assert degeneracy(graph) <= 6
+
+    def test_clustering_survives_mild_rewiring(self):
+        graph = gen.watts_strogatz(200, 6, 0.05, rng=4)
+        assert count_triangles(graph) > 100
+
+    def test_validation(self):
+        with pytest.raises(GraphError):
+            gen.watts_strogatz(10, 3, 0.1)  # odd k
+        with pytest.raises(GraphError):
+            gen.watts_strogatz(4, 4, 0.1)  # k >= n
+        with pytest.raises(GraphError):
+            gen.watts_strogatz(10, 4, 1.5)  # bad probability
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_property_simple_graph(self, seed):
+        graph = gen.watts_strogatz(30, 4, 0.3, rng=seed)
+        assert graph.m == 60
+        for v in range(graph.n):
+            assert v not in graph.neighbors(v)
+
+
+class TestRandomGeometric:
+    def test_radius_one_is_complete(self):
+        graph = gen.random_geometric(15, 1.5, rng=5)
+        assert graph.m == 15 * 14 // 2
+
+    def test_tiny_radius_is_sparse(self):
+        graph = gen.random_geometric(50, 0.01, rng=6)
+        assert graph.m < 25
+
+    def test_edges_respect_radius(self):
+        # Regenerate points with the same seed path used internally is
+        # not possible from outside, so verify structural monotonicity:
+        # shrinking the radius on the same seed loses edges only.
+        big = gen.random_geometric(80, 0.3, rng=7)
+        small = gen.random_geometric(80, 0.15, rng=7)
+        assert set(small.edges()) <= set(big.edges())
+
+    def test_validation(self):
+        with pytest.raises(GraphError):
+            gen.random_geometric(10, 0.0)
+
+    def test_triangle_rich(self):
+        graph = gen.random_geometric(200, 0.12, rng=8)
+        assert count_triangles(graph) > 200
+
+
+class TestPlantedPartition:
+    def test_block_structure(self):
+        graph = gen.planted_partition(4, 10, 1.0, 0.0, rng=9)
+        # p_in = 1, p_out = 0: four disjoint K_10s.
+        assert graph.m == 4 * 45
+        assert len(graph.connected_components()) == 4
+
+    def test_cross_edges_appear(self):
+        graph = gen.planted_partition(2, 15, 0.0, 1.0, rng=10)
+        assert graph.m == 15 * 15  # complete bipartite between blocks
+
+    def test_validation(self):
+        with pytest.raises(GraphError):
+            gen.planted_partition(0, 5, 0.5, 0.1)
+        with pytest.raises(GraphError):
+            gen.planted_partition(2, 5, 1.5, 0.1)
+
+    @given(
+        st.integers(min_value=1, max_value=4),
+        st.integers(min_value=1, max_value=8),
+        st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_property_vertex_count(self, communities, size, seed):
+        graph = gen.planted_partition(communities, size, 0.5, 0.1, rng=seed)
+        assert graph.n == communities * size
