@@ -1,12 +1,41 @@
-"""Pytest path bootstrap: make ``src/`` importable without installation.
+"""Pytest bootstrap: path setup and marker registration.
 
-Allows ``pytest`` to run in a fresh clone (or a fully offline
-environment where editable installs are unavailable).
+* makes ``src/`` importable without installation, so ``pytest`` runs in
+  a fresh clone (or a fully offline environment where editable installs
+  are unavailable);
+* registers the ``slow`` and ``statistical`` markers;
+* deselects ``statistical`` tests by default so the tier-1 suite stays
+  fast — run them explicitly with ``pytest -m statistical``.
 """
 
 import os
 import sys
 
+import pytest
+
 _SRC = os.path.join(os.path.dirname(os.path.abspath(__file__)), "src")
 if _SRC not in sys.path:
     sys.path.insert(0, _SRC)
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "slow: long-running test (kept in tier-1, but a candidate to filter)"
+    )
+    config.addinivalue_line(
+        "markers",
+        "statistical: multi-trial statistical-guarantee suite; skipped unless "
+        "selected with -m statistical",
+    )
+
+
+def pytest_collection_modifyitems(config, items):
+    markexpr = config.getoption("-m", default="") or ""
+    if "statistical" in markexpr:
+        return
+    skip_statistical = pytest.mark.skip(
+        reason="statistical suite is opt-in: run with -m statistical"
+    )
+    for item in items:
+        if "statistical" in item.keywords:
+            item.add_marker(skip_statistical)

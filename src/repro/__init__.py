@@ -28,6 +28,29 @@ The headline algorithms::
         count_cliques_stream,             # Theorem 2: 5r passes, degeneracy
     )
 
+The engine (fused multi-estimator execution)::
+
+    from repro import StreamEngine, count_subgraphs_insertion_only_fused
+    from repro.engine import fgp_insertion_estimator, TriestEstimator
+
+    # Median-of-32 amplification in 3 stream passes instead of 96:
+    fused = count_subgraphs_insertion_only_fused(
+        stream, patterns.triangle(), copies=32, trials=200, rng=7)
+    fused.estimate                     # median of 32 independent copies
+
+    # Heterogeneous fusion: one stream iteration feeds them all.
+    engine = StreamEngine(stream, batch_size=2048)
+    engine.register(fgp_insertion_estimator(stream, patterns.triangle(),
+                                            trials=500, rng=1, name="fgp"))
+    engine.register(TriestEstimator(capacity=400, rng=2))
+    report = engine.run()              # 3 passes total, not 3 + 1
+
+Every estimator also runs standalone through the one-shot functions
+above; fused mirror mode (``mode="mirror"``) is bit-identical to them
+for the same seeds, while the default shared mode merges all copies'
+query batches into one oracle for the highest throughput (see
+``repro.engine`` and ``benchmarks/bench_throughput.py``).
+
 Exact ground truth::
 
     from repro import count_subgraphs_exact
@@ -78,6 +101,14 @@ from repro.streaming.ers.counter import count_cliques_query_model, count_cliques
 from repro.streaming.ers.params import ErsParameters
 from repro.estimate.result import EstimateResult
 from repro.estimate.search import geometric_search
+from repro.engine.core import EngineReport, StreamEngine
+from repro.engine.fused import (
+    FusedCountResult,
+    FusionMode,
+    count_subgraphs_insertion_only_fused,
+    count_subgraphs_turnstile_fused,
+    count_subgraphs_two_pass_fused,
+)
 
 __version__ = "0.1.0"
 
@@ -124,5 +155,12 @@ __all__ = [
     "ErsParameters",
     "EstimateResult",
     "geometric_search",
+    "StreamEngine",
+    "EngineReport",
+    "FusionMode",
+    "FusedCountResult",
+    "count_subgraphs_insertion_only_fused",
+    "count_subgraphs_turnstile_fused",
+    "count_subgraphs_two_pass_fused",
     "__version__",
 ]

@@ -14,9 +14,9 @@ accuracy landscape the paper positions itself in:
   adjacency-list triangle estimation.
 """
 
-from repro.baselines.exact_stream import exact_stream_count
-from repro.baselines.triest import triest_count
-from repro.baselines.doulion import doulion_count
+from repro.baselines.exact_stream import ExactStreamEstimator, exact_stream_count
+from repro.baselines.triest import TriestEstimator, triest_count
+from repro.baselines.doulion import DoulionEstimator, doulion_count
 from repro.baselines.mvv import mvv_triangle_count
 from repro.baselines.mvv_two_pass import mvv_two_pass_triangle_count
 from repro.baselines.order_models import (
@@ -31,8 +31,11 @@ from repro.baselines.cycle_sketch import (
 )
 
 __all__ = [
+    "ExactStreamEstimator",
     "exact_stream_count",
+    "TriestEstimator",
     "triest_count",
+    "DoulionEstimator",
     "doulion_count",
     "mvv_triangle_count",
     "mvv_two_pass_triangle_count",

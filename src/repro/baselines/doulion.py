@@ -5,18 +5,95 @@ probability p, count triangles exactly in the sparsified graph, and
 rescale by 1/p^3.  One pass, expected p·m stored edges, unbiased; the
 classic accuracy-for-space dial.  Generalized here to any pattern H
 (rescale by p^{-|E(H)|}).
+
+:class:`DoulionEstimator` is the pass-driven core (engine-compatible);
+:func:`doulion_count` is the historical one-shot wrapper.
 """
 
 from __future__ import annotations
+
+from typing import List, Sequence, Tuple
 
 from repro.errors import EstimationError
 from repro.estimate.result import EstimateResult
 from repro.exact.subgraphs import count_subgraphs
 from repro.graph.graph import Graph
 from repro.patterns.pattern import Pattern, triangle
-from repro.streams.stream import EdgeStream
+from repro.streams.stream import EdgeStream, decoded_chunks
 from repro.utils.rng import RandomSource, ensure_rng
 from repro.utils.validation import check_fraction
+
+
+class DoulionEstimator:
+    """Pass-driven Doulion sparsify-and-count estimator (1 pass).
+
+    Registerable with :class:`repro.engine.StreamEngine`.  Coin flips
+    happen in stream order exactly as the historical loop, so a fused
+    run keeps each edge iff :func:`doulion_count` would for the same
+    seed.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        keep_probability: float,
+        pattern: Pattern = None,
+        rng: RandomSource = None,
+        name: str = "doulion",
+    ) -> None:
+        check_fraction(keep_probability, "keep_probability")
+        self.name = name
+        self._n = n
+        self._keep_probability = keep_probability
+        self._pattern = pattern if pattern is not None else triangle()
+        self._rng = ensure_rng(rng)
+        self._kept: List[Tuple[int, int]] = []
+        self._arrivals = 0
+        self._passes = 0
+        self._done = False
+
+    def wants_pass(self) -> bool:
+        return not self._done
+
+    def begin_pass(self, pass_index: int) -> None:
+        self._passes += 1
+
+    def ingest_batch(self, updates: Sequence[Tuple[int, int, int, Tuple[int, int]]]) -> None:
+        random_unit = self._rng.random
+        keep_probability = self._keep_probability
+        kept_append = self._kept.append
+        for _, _, delta, edge in updates:
+            if delta < 0:
+                raise EstimationError(
+                    "Doulion sparsification assumes an insertion-only stream"
+                )
+            if random_unit() < keep_probability:
+                kept_append(edge)
+        self._arrivals += len(updates)
+
+    def end_pass(self) -> None:
+        self._done = True
+
+    def result(self) -> EstimateResult:
+        pattern = self._pattern
+        sparse = Graph(self._n, self._kept)
+        raw = count_subgraphs(sparse, pattern)
+        keep_probability = self._keep_probability
+        scale = keep_probability ** (-pattern.num_edges)
+        return EstimateResult(
+            algorithm="doulion",
+            pattern=pattern.name,
+            estimate=raw * scale,
+            passes=self._passes,
+            space_words=len(self._kept),
+            trials=1,
+            successes=1,
+            m=self._arrivals,
+            details={
+                "keep_probability": keep_probability,
+                "kept_edges": float(len(self._kept)),
+            },
+        )
 
 
 def doulion_count(
@@ -27,31 +104,16 @@ def doulion_count(
 ) -> EstimateResult:
     """Sparsify-and-count estimate of #H (default H = triangle)."""
     check_fraction(keep_probability, "keep_probability")
-    if pattern is None:
-        pattern = triangle()
     if stream.allows_deletions:
         raise EstimationError(
             "Doulion sparsification assumes an insertion-only stream"
         )
-    random_state = ensure_rng(rng)
     stream.reset_pass_count()
-
-    kept = []
-    for update in stream.updates():
-        if random_state.random() < keep_probability:
-            kept.append(update.edge)
-
-    sparse = Graph(stream.n, kept)
-    raw = count_subgraphs(sparse, pattern)
-    scale = keep_probability ** (-pattern.num_edges)
-    return EstimateResult(
-        algorithm="doulion",
-        pattern=pattern.name,
-        estimate=raw * scale,
-        passes=stream.passes_used,
-        space_words=len(kept),
-        trials=1,
-        successes=1,
-        m=stream.net_edge_count,
-        details={"keep_probability": keep_probability, "kept_edges": float(len(kept))},
-    )
+    estimator = DoulionEstimator(stream.n, keep_probability, pattern, rng)
+    estimator.begin_pass(0)
+    for chunk in decoded_chunks(stream.updates()):
+        estimator.ingest_batch(chunk)
+    estimator.end_pass()
+    result = estimator.result()
+    result.m = stream.net_edge_count
+    return result

@@ -9,17 +9,107 @@ uniformity of the reservoir).  Weighting each detection by the inverse
 probability gives an unbiased running estimate — the "TRIEST-IMPR"
 idea of De Stefani et al. (KDD 2016), included here as the standard
 practical 1-pass baseline the paper's related work competes with.
+
+:class:`TriestEstimator` is the pass-driven core (engine-compatible:
+``wants_pass`` / ``begin_pass`` / ``ingest_batch`` / ``end_pass`` /
+``result``); :func:`triest_count` is the historical one-shot wrapper
+that drives it over a single stream pass.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Set
+from typing import Dict, Sequence, Set, Tuple
 
 from repro.errors import EstimationError
 from repro.estimate.result import EstimateResult
 from repro.sketch.reservoir import ReservoirSampler
-from repro.streams.stream import EdgeStream
+from repro.streams.stream import EdgeStream, decoded_chunks
 from repro.utils.rng import RandomSource, ensure_rng
+
+
+class TriestEstimator:
+    """Pass-driven TRIEST-IMPR triangle estimator (1 pass).
+
+    Registerable with :class:`repro.engine.StreamEngine`; consumes one
+    stream pass of decoded ``(u, v, delta, edge)`` updates.  Random
+    draws happen in stream order exactly as the historical loop, so a
+    fused run is bit-identical to :func:`triest_count` for the same
+    seed.
+    """
+
+    def __init__(
+        self, capacity: int, rng: RandomSource = None, name: str = "triest"
+    ) -> None:
+        if capacity < 2:
+            raise EstimationError(f"reservoir capacity must be >= 2, got {capacity}")
+        self.name = name
+        self._capacity = capacity
+        self._reservoir: ReservoirSampler = ReservoirSampler(capacity, ensure_rng(rng))
+        self._adjacency: Dict[int, Set[int]] = {}
+        self._estimate = 0.0
+        self._arrivals = 0
+        self._passes = 0
+        self._done = False
+
+    def wants_pass(self) -> bool:
+        return not self._done
+
+    def begin_pass(self, pass_index: int) -> None:
+        self._passes += 1
+
+    def ingest_batch(self, updates: Sequence[Tuple[int, int, int, Tuple[int, int]]]) -> None:
+        reservoir = self._reservoir
+        adjacency = self._adjacency
+        capacity = self._capacity
+        estimate = self._estimate
+        arrivals = self._arrivals
+        empty: Set[int] = set()
+
+        for u, v, delta, edge in updates:
+            if delta < 0:
+                raise EstimationError(
+                    "this TRIEST variant is insertion-only; use the turnstile "
+                    "counter for streams with deletions"
+                )
+            arrivals += 1
+            # Count triangles closed by this arrival using reservoir edges.
+            common = adjacency.get(u, empty) & adjacency.get(v, empty)
+            if common:
+                tau = arrivals
+                if tau <= capacity + 1 or reservoir.contains_all_offered():
+                    weight = 1.0
+                else:
+                    keep_two = (capacity / (tau - 1)) * ((capacity - 1) / (tau - 2))
+                    weight = 1.0 / keep_two
+                estimate += weight * len(common)
+            had_room = len(reservoir.items) < capacity
+            evicted = reservoir.offer(edge)
+            if had_room or evicted is not None:
+                adjacency.setdefault(u, set()).add(v)
+                adjacency.setdefault(v, set()).add(u)
+            if evicted is not None:
+                a, b = evicted
+                adjacency.get(a, empty).discard(b)
+                adjacency.get(b, empty).discard(a)
+
+        self._estimate = estimate
+        self._arrivals = arrivals
+
+    def end_pass(self) -> None:
+        self._done = True
+
+    def result(self) -> EstimateResult:
+        return EstimateResult(
+            algorithm="triest",
+            pattern="triangle",
+            estimate=self._estimate,
+            passes=self._passes,
+            space_words=2 * self._capacity,
+            trials=1,
+            successes=1,
+            m=self._arrivals,
+            details={"capacity": float(self._capacity)},
+        )
 
 
 def triest_count(
@@ -31,53 +121,12 @@ def triest_count(
             "this TRIEST variant is insertion-only; use the turnstile counter "
             "for streams with deletions"
         )
-    if capacity < 2:
-        raise EstimationError(f"reservoir capacity must be >= 2, got {capacity}")
-    random_state = ensure_rng(rng)
     stream.reset_pass_count()
-
-    reservoir: ReservoirSampler = ReservoirSampler(capacity, random_state)
-    adjacency: Dict[int, Set[int]] = {}
-    estimate = 0.0
-    arrivals = 0
-
-    def link(u: int, v: int) -> None:
-        adjacency.setdefault(u, set()).add(v)
-        adjacency.setdefault(v, set()).add(u)
-
-    def unlink(u: int, v: int) -> None:
-        adjacency.get(u, set()).discard(v)
-        adjacency.get(v, set()).discard(u)
-
-    for update in stream.updates():
-        arrivals += 1
-        u, v = update.u, update.v
-        # Count triangles closed by this arrival using reservoir edges.
-        common = adjacency.get(u, set()) & adjacency.get(v, set())
-        if common:
-            tau = arrivals
-            if tau <= capacity + 1 or reservoir.contains_all_offered():
-                weight = 1.0
-            else:
-                keep_two = (capacity / (tau - 1)) * ((capacity - 1) / (tau - 2))
-                weight = 1.0 / keep_two
-            estimate += weight * len(common)
-        had_room = len(reservoir.items) < capacity
-        evicted = reservoir.offer(update.edge)
-        admitted = had_room or evicted is not None
-        if admitted:
-            link(u, v)
-        if evicted is not None:
-            unlink(*evicted)
-
-    return EstimateResult(
-        algorithm="triest",
-        pattern="triangle",
-        estimate=estimate,
-        passes=stream.passes_used,
-        space_words=2 * capacity,
-        trials=1,
-        successes=1,
-        m=stream.net_edge_count,
-        details={"capacity": float(capacity)},
-    )
+    estimator = TriestEstimator(capacity, rng)
+    estimator.begin_pass(0)
+    for chunk in decoded_chunks(stream.updates()):
+        estimator.ingest_batch(chunk)
+    estimator.end_pass()
+    result = estimator.result()
+    result.m = stream.net_edge_count
+    return result

@@ -1,0 +1,75 @@
+"""repro.engine — the fused multi-estimator stream engine.
+
+Registers K independent estimators (FGP counter copies, ERS clique
+runs, TRIEST / Doulion / exact baselines) and drives them all from ONE
+iteration of each stream pass, dispatching decoded updates in
+configurable batches.  See :mod:`repro.engine.core` for the executor
+and pass-callback protocol, :mod:`repro.engine.estimators` for the
+adapters, and :mod:`repro.engine.fused` for the median-of-K fused
+counting entry points.
+
+Quick tour::
+
+    from repro.engine import StreamEngine, fgp_insertion_estimator
+    from repro.baselines import TriestEstimator
+
+    engine = StreamEngine(stream, batch_size=2048)
+    engine.register(fgp_insertion_estimator(stream, patterns.triangle(),
+                                            trials=500, rng=1, name="fgp"))
+    engine.register(TriestEstimator(capacity=400, rng=2))
+    report = engine.run()          # 3 stream passes total, not 3 + 1
+    report["fgp"].estimate, report["triest"].estimate
+
+Median amplification in 3 passes instead of 3K::
+
+    from repro.engine import count_subgraphs_insertion_only_fused
+    fused = count_subgraphs_insertion_only_fused(
+        stream, patterns.triangle(), copies=32, trials=200, rng=7)
+    fused.estimate                 # median of 32 independent copies
+"""
+
+from repro.engine.core import (
+    DEFAULT_BATCH_SIZE,
+    DecodedBatch,
+    DecodedUpdate,
+    EngineReport,
+    StreamEngine,
+)
+from repro.engine.estimators import (
+    DoulionEstimator,
+    ExactStreamEstimator,
+    RoundAdaptiveEstimator,
+    TriestEstimator,
+    ers_clique_estimator,
+    fgp_insertion_estimator,
+    fgp_turnstile_estimator,
+    fgp_two_pass_estimator,
+)
+from repro.engine.fused import (
+    FusedCountResult,
+    FusionMode,
+    count_subgraphs_insertion_only_fused,
+    count_subgraphs_turnstile_fused,
+    count_subgraphs_two_pass_fused,
+)
+
+__all__ = [
+    "DEFAULT_BATCH_SIZE",
+    "DecodedBatch",
+    "DecodedUpdate",
+    "EngineReport",
+    "StreamEngine",
+    "RoundAdaptiveEstimator",
+    "fgp_insertion_estimator",
+    "fgp_turnstile_estimator",
+    "fgp_two_pass_estimator",
+    "ers_clique_estimator",
+    "TriestEstimator",
+    "DoulionEstimator",
+    "ExactStreamEstimator",
+    "FusionMode",
+    "FusedCountResult",
+    "count_subgraphs_insertion_only_fused",
+    "count_subgraphs_turnstile_fused",
+    "count_subgraphs_two_pass_fused",
+]

@@ -1,0 +1,177 @@
+"""The fused multi-estimator stream engine.
+
+The paper amplifies success probability by running many independent
+estimator copies and aggregating (medians of Theorem 1/17 runs,
+Algorithm 2's outer repetitions).  Driving each copy separately costs
+O(copies × m) stream traffic; the engine restores the theorems'
+O(m)-per-pass cost model by iterating each stream pass **once** and
+dispatching the decoded updates, in configurable batches, to every
+registered estimator.
+
+An estimator is anything implementing the pass-callback protocol:
+
+* ``name``                — unique registration key;
+* ``wants_pass()``        — whether it needs another pass;
+* ``begin_pass(i)``       — a fused pass is starting;
+* ``ingest_batch(batch)`` — a chunk of decoded ``(u, v, delta, edge)``
+  stream elements, in stream order;
+* ``end_pass()``          — the pass is over;
+* ``result()``            — the finished estimate.
+
+Estimators with different pass counts co-exist: the engine keeps
+iterating while *any* estimator wants a pass, and finished estimators
+simply stop receiving batches.  ``EdgeStream.passes_used`` therefore
+ends at ``max_i passes(estimator_i)`` — K fused copies of a 3-pass
+counter consume exactly 3 passes, not 3K (asserted in
+``tests/test_engine_passes.py``).
+
+Decoding happens once per pass: each ``Update`` object is unpacked to
+a plain ``(u, v, delta, edge)`` tuple before dispatch, so no estimator
+pays the dataclass attribute/property cost — with K registrations the
+historical per-copy decode is amortized K ways.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Sequence
+
+from repro.errors import EngineError
+from repro.streams.stream import (
+    DEFAULT_CHUNK_SIZE,
+    DecodedUpdate,
+    EdgeStream,
+    decoded_chunks,
+)
+
+#: What the engine dispatches to estimators: a run of decoded elements.
+DecodedBatch = Sequence[DecodedUpdate]
+
+#: Default updates per dispatched batch — the same knob as the
+#: sequential paths' decode granularity (results are invariant to it;
+#: it only trades loop overhead against peak decoded-batch memory).
+DEFAULT_BATCH_SIZE = DEFAULT_CHUNK_SIZE
+
+
+@dataclass
+class EngineReport:
+    """Outcome of one :meth:`StreamEngine.run`."""
+
+    results: Dict[str, Any]
+    passes: int
+    elements: int
+    dispatches: int
+    batch_size: int
+
+    def __getitem__(self, name: str) -> Any:
+        return self.results[name]
+
+
+class StreamEngine:
+    """Fused single-iteration executor for K independent estimators.
+
+    Parameters
+    ----------
+    stream:
+        The :class:`~repro.streams.stream.EdgeStream` every estimator
+        reads.  The engine owns the iteration: one ``stream.updates()``
+        call per fused pass, however many estimators are registered.
+    batch_size:
+        Updates per dispatched chunk.  Results are invariant to the
+        batch size (asserted in the equivalence tests); it only trades
+        Python loop overhead against peak decoded-batch memory.
+    reset_pass_count:
+        Whether :meth:`run` zeroes the stream's pass counter first, so
+        ``stream.passes_used`` afterwards reads the fused pass count.
+    """
+
+    def __init__(
+        self,
+        stream: EdgeStream,
+        batch_size: int = DEFAULT_BATCH_SIZE,
+        reset_pass_count: bool = True,
+        max_passes: int = 0,
+    ) -> None:
+        if batch_size < 1:
+            raise EngineError(f"batch_size must be >= 1, got {batch_size}")
+        if max_passes < 0:
+            raise EngineError(f"max_passes must be >= 0, got {max_passes}")
+        self._stream = stream
+        self._batch_size = batch_size
+        self._reset_pass_count = reset_pass_count
+        self._max_passes = max_passes
+        self._estimators: List[Any] = []
+        self._names: Dict[str, Any] = {}
+        self._ran = False
+
+    @property
+    def stream(self) -> EdgeStream:
+        return self._stream
+
+    @property
+    def estimators(self) -> List[Any]:
+        """The registered estimators, in registration order."""
+        return list(self._estimators)
+
+    def register(self, estimator) -> Any:
+        """Add *estimator* to the fused run; returns it for chaining."""
+        name = getattr(estimator, "name", None)
+        if not name:
+            raise EngineError("estimators must expose a non-empty .name")
+        if name in self._names:
+            raise EngineError(f"estimator name {name!r} already registered")
+        if self._ran:
+            raise EngineError("cannot register estimators after run()")
+        self._names[name] = estimator
+        self._estimators.append(estimator)
+        return estimator
+
+    def register_all(self, estimators) -> List[Any]:
+        """Register every estimator of an iterable, in order."""
+        return [self.register(estimator) for estimator in estimators]
+
+    def run(self) -> EngineReport:
+        """Drive every registered estimator to completion.
+
+        Iterates the stream once per fused pass and feeds each decoded
+        batch to every estimator that is still consuming passes.
+        """
+        if not self._estimators:
+            raise EngineError("no estimators registered")
+        if self._ran:
+            raise EngineError("engine already ran; build a new one per run")
+        self._ran = True
+        if self._reset_pass_count:
+            self._stream.reset_pass_count()
+
+        passes = 0
+        elements = 0
+        dispatches = 0
+        while True:
+            active = [e for e in self._estimators if e.wants_pass()]
+            if not active:
+                break
+            if self._max_passes and passes >= self._max_passes:
+                names = ", ".join(e.name for e in active)
+                raise EngineError(
+                    f"estimators still want passes after max_passes="
+                    f"{self._max_passes}: {names}"
+                )
+            for estimator in active:
+                estimator.begin_pass(passes)
+            for batch in decoded_chunks(self._stream.updates(), self._batch_size):
+                elements += len(batch)
+                for estimator in active:
+                    estimator.ingest_batch(batch)
+                    dispatches += 1
+            for estimator in active:
+                estimator.end_pass()
+            passes += 1
+
+        return EngineReport(
+            results={e.name: e.result() for e in self._estimators},
+            passes=passes,
+            elements=elements,
+            dispatches=dispatches,
+            batch_size=self._batch_size,
+        )

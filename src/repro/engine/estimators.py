@@ -1,0 +1,229 @@
+"""Engine adapters for the library's estimators.
+
+:class:`RoundAdaptiveEstimator` spreads the lockstep loop of
+:func:`repro.transform.driver.run_round_adaptive` across engine passes:
+at ``begin_pass`` it merges the live generators' round-ℓ batches and
+opens an oracle pass-state (``oracle.begin_batch``), during the pass it
+forwards every decoded update chunk, and at ``end_pass`` it collects
+the answers and dispatches them back to the generators.  Merging and
+dispatching go through the same
+:class:`~repro.transform.driver.LockstepState` the sequential driver
+uses, so a fused run consumes randomness identically and returns
+**bit-identical** estimates (asserted in
+``tests/test_engine_equivalence.py``).
+
+The ``fgp_*_estimator`` / ``ers_clique_estimator`` factories mirror the
+corresponding one-shot entry points parameter for parameter — same
+trial resolution, same rng derivation tree — differing only in who
+iterates the stream.  Baseline estimators (:class:`TriestEstimator`,
+:class:`DoulionEstimator`, :class:`ExactStreamEstimator`) are
+re-exported from :mod:`repro.baselines` for one-stop registration.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional, Sequence
+
+from repro.baselines.doulion import DoulionEstimator
+from repro.baselines.exact_stream import ExactStreamEstimator
+from repro.baselines.triest import TriestEstimator
+from repro.engine.core import DecodedBatch
+from repro.errors import EngineError, EstimationError
+from repro.estimate.concentration import ParamMode
+from repro.oracle.base import QueryAccounting
+from repro.patterns.pattern import Pattern
+from repro.streaming.ers.counter import clique_counter_program
+from repro.streaming.ers.params import ErsParameters
+from repro.streaming.three_pass import insertion_counter_program, resolve_trials
+from repro.streaming.turnstile import turnstile_counter_program
+from repro.streaming.two_pass import require_star_decomposable, two_pass_counter_program
+from repro.streams.stream import EdgeStream
+from repro.transform.driver import LockstepState, RoundRunResult
+from repro.transform.insertion import InsertionStreamOracle
+from repro.utils.rng import RandomSource, derive_rng, ensure_rng
+
+__all__ = [
+    "RoundAdaptiveEstimator",
+    "fgp_insertion_estimator",
+    "fgp_turnstile_estimator",
+    "fgp_two_pass_estimator",
+    "ers_clique_estimator",
+    "TriestEstimator",
+    "DoulionEstimator",
+    "ExactStreamEstimator",
+]
+
+
+class RoundAdaptiveEstimator:
+    """A set of round-adaptive generators driven by engine passes.
+
+    Merge order and answer routing come from the same
+    :class:`~repro.transform.driver.LockstepState` that powers
+    :func:`~repro.transform.driver.run_round_adaptive`, which is what
+    makes fused runs bit-identical to sequential ones.
+
+    Parameters
+    ----------
+    name:
+        Registration key in the engine.
+    generators:
+        Round-adaptive algorithm instances (see
+        :mod:`repro.transform.driver`).
+    oracle:
+        A stream oracle exposing ``begin_batch(batch)`` returning a
+        pass-state with ``ingest_batch(decoded)`` / ``finish()``.
+    finalize:
+        Maps the finished :class:`RoundRunResult` to the estimator's
+        result (typically an :class:`~repro.estimate.result.EstimateResult`).
+    """
+
+    def __init__(self, name: str, generators: Sequence, oracle, finalize: Callable) -> None:
+        self.name = name
+        self._oracle = oracle
+        self._finalize = finalize
+        self._lockstep = LockstepState(generators)
+        self._rounds = 0
+        self._accounting = QueryAccounting()
+        self._state = None
+        self._result: Any = None
+
+    @property
+    def rounds(self) -> int:
+        """Oracle rounds (= stream passes) consumed so far."""
+        return self._rounds
+
+    def wants_pass(self) -> bool:
+        return self._lockstep.live
+
+    def begin_pass(self, pass_index: int) -> None:
+        if self._state is not None:
+            raise EngineError(f"estimator {self.name!r}: begin_pass while a pass is open")
+        if not self._lockstep.live:
+            raise EngineError(f"estimator {self.name!r}: begin_pass after completion")
+        merged = self._lockstep.merge()
+        self._accounting.record_batch(merged)
+        self._state = self._oracle.begin_batch(merged)
+
+    def ingest_batch(self, batch: DecodedBatch) -> None:
+        state = self._state
+        if state is None:
+            raise EngineError(f"estimator {self.name!r}: ingest_batch outside an open pass")
+        state.ingest_batch(batch)
+
+    def end_pass(self) -> None:
+        if self._state is None:
+            raise EngineError(f"estimator {self.name!r}: end_pass outside an open pass")
+        answers = self._state.finish()
+        self._state = None
+        self._rounds += 1
+        self._lockstep.dispatch(answers)
+
+    def result(self) -> Any:
+        if self._lockstep.live:
+            raise EngineError(f"estimator {self.name!r} has not finished its passes")
+        if self._result is None:
+            self._result = self._finalize(
+                RoundRunResult(
+                    outputs=self._lockstep.outputs,
+                    rounds=self._rounds,
+                    accounting=self._accounting,
+                )
+            )
+        return self._result
+
+
+def fgp_insertion_estimator(
+    stream: EdgeStream,
+    pattern: Pattern,
+    epsilon: float = 0.1,
+    lower_bound: Optional[float] = None,
+    trials: Optional[int] = None,
+    rng: RandomSource = None,
+    param_mode: str = ParamMode.PRACTICAL,
+    name: str = "fgp-insertion",
+) -> RoundAdaptiveEstimator:
+    """Theorem 17's counter as an engine estimator.
+
+    Same parameters and randomness tree as
+    :func:`~repro.streaming.three_pass.count_subgraphs_insertion_only`;
+    a fused run with rng R equals the one-shot call with rng R bit for
+    bit.
+    """
+    random_state = ensure_rng(rng)
+    k = resolve_trials(stream, pattern, epsilon, lower_bound, trials, param_mode)
+    oracle, generators, finalize = insertion_counter_program(
+        stream, pattern, k, random_state
+    )
+    return RoundAdaptiveEstimator(name, generators, oracle, finalize)
+
+
+def fgp_turnstile_estimator(
+    stream: EdgeStream,
+    pattern: Pattern,
+    epsilon: float = 0.1,
+    lower_bound: Optional[float] = None,
+    trials: Optional[int] = None,
+    rng: RandomSource = None,
+    param_mode: str = ParamMode.PRACTICAL,
+    sampler_repetitions: int = 8,
+    name: str = "fgp-turnstile",
+) -> RoundAdaptiveEstimator:
+    """Theorem 1's turnstile counter as an engine estimator
+    (mirrors :func:`~repro.streaming.turnstile.count_subgraphs_turnstile`)."""
+    random_state = ensure_rng(rng)
+    k = resolve_trials(stream, pattern, epsilon, lower_bound, trials, param_mode)
+    oracle, generators, finalize = turnstile_counter_program(
+        stream, pattern, k, random_state, sampler_repetitions=sampler_repetitions
+    )
+    return RoundAdaptiveEstimator(name, generators, oracle, finalize)
+
+
+def fgp_two_pass_estimator(
+    stream: EdgeStream,
+    pattern: Pattern,
+    epsilon: float = 0.1,
+    lower_bound: Optional[float] = None,
+    trials: Optional[int] = None,
+    rng: RandomSource = None,
+    param_mode: str = ParamMode.PRACTICAL,
+    name: str = "fgp-two-pass",
+) -> RoundAdaptiveEstimator:
+    """The 2-pass star-decomposable counter as an engine estimator
+    (mirrors :func:`~repro.streaming.two_pass.count_subgraphs_two_pass`)."""
+    require_star_decomposable(pattern)
+    random_state = ensure_rng(rng)
+    k = resolve_trials(stream, pattern, epsilon, lower_bound, trials, param_mode)
+    oracle, generators, finalize = two_pass_counter_program(
+        stream, pattern, k, random_state
+    )
+    return RoundAdaptiveEstimator(name, generators, oracle, finalize)
+
+
+def ers_clique_estimator(
+    stream: EdgeStream,
+    r: int,
+    degeneracy_bound: int,
+    lower_bound: float,
+    epsilon: float = 0.2,
+    params: Optional[ErsParameters] = None,
+    rng: RandomSource = None,
+    name: str = "ers-clique",
+) -> RoundAdaptiveEstimator:
+    """Theorem 2's clique counter (<= 5r passes) as an engine estimator
+    (mirrors :func:`~repro.streaming.ers.counter.count_cliques_stream`)."""
+    if stream.allows_deletions:
+        raise EstimationError("the ERS counter is an insertion-only algorithm")
+    random_state = ensure_rng(rng)
+    if params is None:
+        params = ErsParameters(r=r, degeneracy_bound=degeneracy_bound, epsilon=epsilon)
+    oracle = InsertionStreamOracle(stream, derive_rng(random_state, "oracle"))
+    runs, finalize_run = clique_counter_program(
+        params, lower_bound, stream.n, oracle, random_state
+    )
+
+    def finalize(run_result):
+        result = finalize_run(run_result)
+        result.m = stream.net_edge_count
+        return result
+
+    return RoundAdaptiveEstimator(name, runs, oracle, finalize)

@@ -1,0 +1,441 @@
+"""Fused median-of-K counting — the paper's amplification at O(m) cost.
+
+Chernoff gives each Theorem 1/17 run a constant success probability;
+the standard amplification runs K independent copies and takes the
+median of their estimates, driving the failure probability to 2^-Θ(K).
+Run naively that costs K × 3 stream passes.  These entry points
+register all K copies with one :class:`~repro.engine.core.StreamEngine`
+so the whole ensemble consumes **exactly 3 passes** (2 for the 2-pass
+counter), in one of two fusion modes:
+
+``FusionMode.MIRROR``
+    Every copy keeps its own oracle (its own reservoir banks /
+    ℓ0-sketch banks), and only the stream iteration is shared.  A
+    mirror copy seeded with rng R is **bit-identical** to the one-shot
+    counter called with rng R — the mode the golden equivalence tests
+    pin down.
+
+``FusionMode.SHARED`` (default)
+    All copies' round-ℓ query batches merge into a *single* oracle
+    pass-state.  Each f1/f3 query still owns a private reservoir slot
+    or ℓ0-sampler — the joint distribution over slots is exactly that
+    of independent samplers (see ``repro.sketch.reservoir``) — while
+    deterministic aggregates (degree counters, adjacency flags,
+    arrival counters) are computed once instead of K times, and the
+    skip-ahead bank's amortization spreads over all K·k edge queries.
+    Copies remain independent in distribution, but the per-element
+    work barely grows with K: this is the ≥2× (in practice ~K×)
+    speedup mode benchmarked in ``benchmarks/bench_throughput.py``.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.engine.core import DEFAULT_BATCH_SIZE, StreamEngine
+from repro.engine.estimators import (
+    RoundAdaptiveEstimator,
+    fgp_insertion_estimator,
+    fgp_turnstile_estimator,
+    fgp_two_pass_estimator,
+)
+from repro.errors import EngineError, EstimationError
+from repro.estimate.concentration import ParamMode, relative_error
+from repro.estimate.result import EstimateResult
+from repro.fgp.rounds import SamplerMode, subgraph_sampler_rounds
+from repro.patterns.pattern import Pattern
+from repro.streaming.three_pass import fgp_success_estimate, resolve_trials
+from repro.streaming.two_pass import require_star_decomposable
+from repro.streams.stream import EdgeStream
+from repro.transform.insertion import InsertionStreamOracle
+from repro.transform.turnstile import TurnstileStreamOracle
+from repro.utils.rng import RandomSource, derive_rng, ensure_rng
+
+__all__ = [
+    "FusionMode",
+    "FusedCountResult",
+    "count_subgraphs_insertion_only_fused",
+    "count_subgraphs_turnstile_fused",
+    "count_subgraphs_two_pass_fused",
+]
+
+
+class FusionMode:
+    """How K fused copies share oracle state (see module docstring)."""
+
+    MIRROR = "mirror"
+    SHARED = "shared"
+
+    _ALL = (MIRROR, SHARED)
+
+
+@dataclass
+class FusedCountResult:
+    """Median-amplified estimate from K fused estimator copies."""
+
+    algorithm: str
+    pattern: str
+    estimate: float
+    copies: List[EstimateResult]
+    passes: int
+    mode: str
+    m: int = 0
+    details: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def num_copies(self) -> int:
+        return len(self.copies)
+
+    @property
+    def estimates(self) -> List[float]:
+        """The per-copy estimates the median is taken over."""
+        return [copy.estimate for copy in self.copies]
+
+    def error_vs(self, truth: float) -> float:
+        """Relative error of the median against an exact count."""
+        return relative_error(self.estimate, truth)
+
+    def within(self, truth: float, epsilon: float) -> bool:
+        """Whether the median is a (1±ε)-approximation of *truth*."""
+        return self.error_vs(truth) <= epsilon
+
+    def summary(self, truth: Optional[float] = None) -> str:
+        parts = [
+            f"{self.algorithm}[{self.pattern}]",
+            f"median={self.estimate:.1f}",
+            f"copies={self.num_copies}",
+            f"passes={self.passes}",
+            f"mode={self.mode}",
+        ]
+        if truth is not None:
+            parts.append(f"err={self.error_vs(truth):.3f}")
+        return " ".join(parts)
+
+
+def _check_fused_args(copies: int, mode: str, copy_rngs) -> None:
+    if copies < 1:
+        raise EstimationError(f"copies must be >= 1, got {copies}")
+    if mode not in FusionMode._ALL:
+        raise EngineError(f"unknown fusion mode {mode!r}; expected one of {FusionMode._ALL}")
+    if copy_rngs is not None and len(copy_rngs) != copies:
+        raise EstimationError(
+            f"copy_rngs carries {len(copy_rngs)} entries for {copies} copies"
+        )
+
+
+def _run_mirror(
+    stream: EdgeStream,
+    copies: int,
+    batch_size: int,
+    copy_rngs: Sequence,
+    factory: Callable[[RandomSource, str], RoundAdaptiveEstimator],
+) -> tuple:
+    """Register one fully independent estimator per copy and run fused."""
+    engine = StreamEngine(stream, batch_size=batch_size)
+    names = [f"copy-{index}" for index in range(copies)]
+    for index, name in enumerate(names):
+        engine.register(factory(copy_rngs[index], name))
+    report = engine.run()
+    return [report.results[name] for name in names], report
+
+
+def _run_shared(
+    stream: EdgeStream,
+    copies: int,
+    trials: int,
+    batch_size: int,
+    oracle,
+    make_generator: Callable[[int, int], object],
+    finalize_copies: Callable,
+) -> tuple:
+    """Merge all copies' generators into one oracle and run fused."""
+    generators = [
+        make_generator(copy, trial)
+        for copy in range(copies)
+        for trial in range(trials)
+    ]
+    estimator = RoundAdaptiveEstimator("fused", generators, oracle, finalize_copies)
+    engine = StreamEngine(stream, batch_size=batch_size)
+    engine.register(estimator)
+    report = engine.run()
+    return report.results["fused"], report
+
+
+def _shared_fgp_finalize(
+    stream: EdgeStream,
+    pattern: Pattern,
+    copies: int,
+    trials: int,
+    oracle,
+    algorithm: str,
+) -> Callable:
+    """Slice a merged run's outputs into per-copy EstimateResults.
+
+    The merged oracle meters the whole ensemble; each copy's
+    ``space_words`` is its share (ceil(peak/copies) — queries are
+    uniform across copies), so summing over copies matches the ensemble
+    instead of overcounting K-fold.  The fused result records the
+    ensemble total in ``details["ensemble_space_words"]``.
+    """
+
+    def finalize(run) -> List[EstimateResult]:
+        m = stream.net_edge_count
+        rho = pattern.rho()
+        ensemble_space = oracle.space.peak_words
+        per_copy_space = -(-ensemble_space // copies)
+        results = []
+        for copy in range(copies):
+            outputs = run.outputs[copy * trials : (copy + 1) * trials]
+            successes, estimate = fgp_success_estimate(outputs, trials, m, rho)
+            results.append(
+                EstimateResult(
+                    algorithm=algorithm,
+                    pattern=pattern.name,
+                    estimate=estimate,
+                    passes=run.rounds,
+                    space_words=per_copy_space,
+                    trials=trials,
+                    successes=successes,
+                    m=m,
+                    details={
+                        "rho": rho,
+                        "success_rate": successes / trials,
+                        "fused_copy": float(copy),
+                    },
+                )
+            )
+        return results
+
+    return finalize
+
+
+def _fused_fgp_count(
+    stream: EdgeStream,
+    pattern: Pattern,
+    copies: int,
+    epsilon: float,
+    lower_bound,
+    trials,
+    rng,
+    copy_rngs,
+    param_mode: str,
+    mode: str,
+    batch_size: int,
+    algorithm: str,
+    mirror_factory: Callable,
+    shared_oracle_factory: Callable,
+    sampler_mode: str,
+    sampler_kwargs: Dict,
+) -> FusedCountResult:
+    """Common driver behind the three fused entry points."""
+    _check_fused_args(copies, mode, copy_rngs)
+    master = ensure_rng(rng)
+    k = resolve_trials(stream, pattern, epsilon, lower_bound, trials, param_mode)
+
+    ensemble_space = None
+    if mode == FusionMode.MIRROR:
+        if copy_rngs is None:
+            copy_rngs = [derive_rng(master, f"copy-{index}") for index in range(copies)]
+        # Every copy gets the already-resolved budget k, so the
+        # reported trials_per_copy cannot drift from what the copies
+        # actually ran (and resolve_trials runs once, not K+1 times).
+        copy_results, report = _run_mirror(
+            stream,
+            copies,
+            batch_size,
+            copy_rngs,
+            lambda copy_rng, name: mirror_factory(copy_rng, name, k),
+        )
+    else:
+        if copy_rngs is not None:
+            raise EngineError("copy_rngs is a mirror-mode parameter; shared mode derives from rng")
+        oracle = shared_oracle_factory(derive_rng(master, "oracle"))
+
+        def make_generator(copy: int, trial: int):
+            return subgraph_sampler_rounds(
+                pattern,
+                rng=derive_rng(master, f"copy-{copy}-trial-{trial}"),
+                mode=sampler_mode,
+                **sampler_kwargs,
+            )
+
+        copy_results, report = _run_shared(
+            stream,
+            copies,
+            k,
+            batch_size,
+            oracle,
+            make_generator,
+            _shared_fgp_finalize(stream, pattern, copies, k, oracle, algorithm),
+        )
+        ensemble_space = oracle.space.peak_words
+
+    median = statistics.median(result.estimate for result in copy_results)
+    details = {
+        "trials_per_copy": float(k),
+        "elements": float(report.elements),
+        "batch_size": float(report.batch_size),
+    }
+    if ensemble_space is not None:
+        details["ensemble_space_words"] = float(ensemble_space)
+    return FusedCountResult(
+        algorithm=algorithm,
+        pattern=pattern.name,
+        estimate=median,
+        copies=copy_results,
+        passes=report.passes,
+        mode=mode,
+        m=stream.net_edge_count,
+        details=details,
+    )
+
+
+def count_subgraphs_insertion_only_fused(
+    stream: EdgeStream,
+    pattern: Pattern,
+    copies: int = 8,
+    epsilon: float = 0.1,
+    lower_bound: Optional[float] = None,
+    trials: Optional[int] = None,
+    rng: RandomSource = None,
+    copy_rngs: Optional[Sequence[RandomSource]] = None,
+    param_mode: str = ParamMode.PRACTICAL,
+    mode: str = FusionMode.SHARED,
+    batch_size: int = DEFAULT_BATCH_SIZE,
+) -> FusedCountResult:
+    """Median of K fused Theorem-17 runs in exactly 3 insertion passes.
+
+    ``trials``/``epsilon``/``lower_bound`` size each copy exactly as in
+    :func:`~repro.streaming.three_pass.count_subgraphs_insertion_only`.
+    In mirror mode, ``copy_rngs`` (one seed or generator per copy)
+    makes copy i bit-identical to the one-shot counter called with the
+    same rng.
+    """
+
+    def mirror_factory(copy_rng, name, resolved_trials):
+        return fgp_insertion_estimator(
+            stream,
+            pattern,
+            trials=resolved_trials,
+            rng=copy_rng,
+            name=name,
+        )
+
+    return _fused_fgp_count(
+        stream,
+        pattern,
+        copies,
+        epsilon,
+        lower_bound,
+        trials,
+        rng,
+        copy_rngs,
+        param_mode,
+        mode,
+        batch_size,
+        "fgp-3pass-insertion",
+        mirror_factory,
+        lambda oracle_rng: InsertionStreamOracle(stream, oracle_rng),
+        SamplerMode.AUGMENTED,
+        {},
+    )
+
+
+def count_subgraphs_turnstile_fused(
+    stream: EdgeStream,
+    pattern: Pattern,
+    copies: int = 8,
+    epsilon: float = 0.1,
+    lower_bound: Optional[float] = None,
+    trials: Optional[int] = None,
+    rng: RandomSource = None,
+    copy_rngs: Optional[Sequence[RandomSource]] = None,
+    param_mode: str = ParamMode.PRACTICAL,
+    sampler_repetitions: int = 8,
+    mode: str = FusionMode.SHARED,
+    batch_size: int = DEFAULT_BATCH_SIZE,
+) -> FusedCountResult:
+    """Median of K fused Theorem-1 runs in exactly 3 turnstile passes.
+
+    Works on streams with deletions; each copy's ℓ0-sketch bank is
+    private in both modes (sketches hang off individual queries), so
+    the copies stay independent.
+    """
+
+    def mirror_factory(copy_rng, name, resolved_trials):
+        return fgp_turnstile_estimator(
+            stream,
+            pattern,
+            trials=resolved_trials,
+            rng=copy_rng,
+            sampler_repetitions=sampler_repetitions,
+            name=name,
+        )
+
+    return _fused_fgp_count(
+        stream,
+        pattern,
+        copies,
+        epsilon,
+        lower_bound,
+        trials,
+        rng,
+        copy_rngs,
+        param_mode,
+        mode,
+        batch_size,
+        "fgp-3pass-turnstile",
+        mirror_factory,
+        lambda oracle_rng: TurnstileStreamOracle(
+            stream, oracle_rng, sampler_repetitions=sampler_repetitions
+        ),
+        SamplerMode.RELAXED,
+        {},
+    )
+
+
+def count_subgraphs_two_pass_fused(
+    stream: EdgeStream,
+    pattern: Pattern,
+    copies: int = 8,
+    epsilon: float = 0.1,
+    lower_bound: Optional[float] = None,
+    trials: Optional[int] = None,
+    rng: RandomSource = None,
+    copy_rngs: Optional[Sequence[RandomSource]] = None,
+    param_mode: str = ParamMode.PRACTICAL,
+    mode: str = FusionMode.SHARED,
+    batch_size: int = DEFAULT_BATCH_SIZE,
+) -> FusedCountResult:
+    """Median of K fused 2-pass runs (star-decomposable H) in 2 passes."""
+    require_star_decomposable(pattern)
+
+    def mirror_factory(copy_rng, name, resolved_trials):
+        return fgp_two_pass_estimator(
+            stream,
+            pattern,
+            trials=resolved_trials,
+            rng=copy_rng,
+            name=name,
+        )
+
+    return _fused_fgp_count(
+        stream,
+        pattern,
+        copies,
+        epsilon,
+        lower_bound,
+        trials,
+        rng,
+        copy_rngs,
+        param_mode,
+        mode,
+        batch_size,
+        "fgp-2pass-insertion",
+        mirror_factory,
+        lambda oracle_rng: InsertionStreamOracle(stream, oracle_rng),
+        SamplerMode.AUGMENTED,
+        {"skip_empty_wedge_round": True},
+    )

@@ -52,6 +52,15 @@ class SketchError(ReproError):
     """
 
 
+class EngineError(ReproError):
+    """Raised for invalid fused-engine usage.
+
+    Examples: registering two estimators under the same name, reading
+    a result before the engine finished, or feeding a pass batch to an
+    estimator that declined the pass.
+    """
+
+
 class EstimationError(ReproError):
     """Raised when an estimator cannot produce a value.
 

@@ -103,12 +103,14 @@ class QueryAccounting:
     counts: Dict[str, int] = field(default_factory=dict)
 
     def record(self, query: Query) -> None:
-        name = type(query).__name__
-        self.counts[name] = self.counts.get(name, 0) + 1
+        self.record_batch((query,))
 
     def record_batch(self, batch: QueryBatch) -> None:
+        counts = self.counts
+        get = counts.get
         for query in batch:
-            self.record(query)
+            name = type(query).__name__
+            counts[name] = get(name, 0) + 1
 
     @property
     def total(self) -> int:

@@ -21,7 +21,7 @@ neighbor).
 from __future__ import annotations
 
 import math
-from typing import List, Optional
+from typing import List, Optional, Sequence, Tuple
 
 from repro.errors import SketchError
 from repro.sketch.hashing import MERSENNE_PRIME as _PRIME
@@ -99,6 +99,28 @@ class L0Sampler:
             # The item participates in levels 0..item_level.
             for level in range(item_level + 1):
                 sketch_levels[level].update_with_power(item, delta, z_power)
+
+    def update_many(self, updates: Sequence[Tuple[int, int]]) -> None:
+        """Apply a batch of ``(item, delta)`` updates to every repetition.
+
+        Equivalent to calling :meth:`update` per pair (the sketches are
+        linear), but iterates repetition-major so per-repetition lookups
+        are paid once per batch instead of once per element.
+        """
+        universe = self._universe
+        levels = self._levels
+        for item, _ in updates:
+            if not 0 <= item < universe:
+                raise SketchError(f"item {item} outside universe [0, {universe})")
+        for hash_function, sketch_levels, base in zip(
+            self._hashes, self._sketches, self._bases
+        ):
+            level_of = hash_function.level
+            for item, delta in updates:
+                item_level = level_of(item, levels)
+                z_power = pow(base, item, _PRIME)
+                for level in range(item_level + 1):
+                    sketch_levels[level].update_with_power(item, delta, z_power)
 
     def sample(self) -> Optional[int]:
         """A (near-)uniform member of the support, or ``None`` on failure.

@@ -16,7 +16,7 @@ p = 2^61 - 1.  This is the building block of the Cormode–Firmani
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Iterable, Optional, Tuple
 
 from repro.sketch.hashing import MERSENNE_PRIME
 from repro.utils.rng import RandomSource, ensure_rng
@@ -63,6 +63,27 @@ class OneSparseRecovery:
         self._weight += delta
         self._weighted_sum += delta * item
         self._fingerprint = (self._fingerprint + delta * z_power) % MERSENNE_PRIME
+
+    def update_many(self, updates: Iterable[Tuple[int, int]]) -> None:
+        """Apply a batch of ``(item, delta)`` updates.
+
+        The aggregates are sums, so the batched result equals applying
+        :meth:`update` per pair; lookups are hoisted out of the loop.
+        """
+        universe = self._universe
+        z = self._z
+        weight = self._weight
+        weighted_sum = self._weighted_sum
+        fingerprint = self._fingerprint
+        for item, delta in updates:
+            if not 0 <= item < universe:
+                raise ValueError(f"item {item} outside universe [0, {universe})")
+            weight += delta
+            weighted_sum += delta * item
+            fingerprint = (fingerprint + delta * pow(z, item, MERSENNE_PRIME)) % MERSENNE_PRIME
+        self._weight = weight
+        self._weighted_sum = weighted_sum
+        self._fingerprint = fingerprint
 
     @property
     def is_empty(self) -> bool:

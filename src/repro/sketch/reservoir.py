@@ -22,7 +22,7 @@ from __future__ import annotations
 import heapq
 import math
 import random
-from typing import Generic, List, Optional, TypeVar
+from typing import Generic, Iterable, List, Optional, TypeVar
 
 from repro.utils.rng import RandomSource, ensure_rng
 
@@ -44,6 +44,21 @@ class SingleReservoir(Generic[T]):
         self._count += 1
         if self._rng.randrange(self._count) == 0:
             self._item = item
+
+    def offer_many(self, items: Iterable[T]) -> None:
+        """Present a batch of stream elements, in order.
+
+        Consumes exactly the random draws of calling :meth:`offer` per
+        element, so a batched run is bit-identical to an element-wise
+        one with the same seed.
+        """
+        randrange = self._rng.randrange
+        count = self._count
+        for item in items:
+            count += 1
+            if randrange(count) == 0:
+                self._item = item
+        self._count = count
 
     @property
     def count(self) -> int:
@@ -89,6 +104,37 @@ class SkipAheadReservoirBank(Generic[T]):
             u = 1.0 - self._rng.random()
             next_accept = max(t + 1, math.ceil(t / u))
             heapq.heappush(heap, (next_accept, slot))
+
+    def offer_many(self, items: Iterable[T]) -> None:
+        """Present a batch of stream elements, in order.
+
+        The hot-path entry point for the fused engine: the non-waking
+        case is a single integer comparison per element with every
+        attribute lookup hoisted out of the loop.  Random draws happen
+        in the same order as element-wise :meth:`offer`, so results
+        are bit-identical for the same seed.
+        """
+        heap = self._heap
+        if not heap:
+            self._seen += sum(1 for _ in items) if not hasattr(items, "__len__") else len(items)
+            return
+        items_store = self._items
+        rng_random = self._rng.random
+        heappop = heapq.heappop
+        heappush = heapq.heappush
+        ceil = math.ceil
+        t = self._seen
+        for item in items:
+            t += 1
+            while heap[0][0] == t:
+                _, slot = heappop(heap)
+                items_store[slot] = item
+                u = 1.0 - rng_random()
+                next_accept = ceil(t / u)
+                if next_accept <= t:
+                    next_accept = t + 1
+                heappush(heap, (next_accept, slot))
+        self._seen = t
 
     @property
     def count(self) -> int:

@@ -30,7 +30,15 @@ from repro.transform.insertion import InsertionStreamOracle
 from repro.utils.rng import RandomSource, derive_rng, ensure_rng
 
 
-def _run(params: ErsParameters, lower_bound: float, n: int, oracle, rng) -> EstimateResult:
+def clique_counter_program(
+    params: ErsParameters, lower_bound: float, n: int, oracle, rng
+):
+    """Algorithm 2 as a ``(generators, finalize)`` pair.
+
+    Shared by the one-shot entry points below and by :mod:`repro.engine`
+    (the fused executor drives the same generators against the same
+    oracle, so results are bit-identical for the same seeds).
+    """
     outer = params.outer_q(n)
     runs = [
         stream_approx_clique_rounds(
@@ -38,25 +46,33 @@ def _run(params: ErsParameters, lower_bound: float, n: int, oracle, rng) -> Esti
         )
         for j in range(outer)
     ]
-    result = run_round_adaptive(runs, oracle)
-    estimates = [value if value is not None else 0.0 for value in result.outputs]
-    median = statistics.median(estimates)
-    space = getattr(oracle, "space", None)
-    return EstimateResult(
-        algorithm=f"ers-{params.mode}",
-        pattern=f"K{params.r}",
-        estimate=median,
-        passes=result.rounds,
-        space_words=space.peak_words if space is not None else 0,
-        trials=outer,
-        successes=sum(1 for value in estimates if value > 0),
-        details={
-            "queries": float(result.total_queries),
-            "min_run": min(estimates),
-            "max_run": max(estimates),
-            "lower_bound": lower_bound,
-        },
-    )
+
+    def finalize(result) -> EstimateResult:
+        estimates = [value if value is not None else 0.0 for value in result.outputs]
+        median = statistics.median(estimates)
+        space = getattr(oracle, "space", None)
+        return EstimateResult(
+            algorithm=f"ers-{params.mode}",
+            pattern=f"K{params.r}",
+            estimate=median,
+            passes=result.rounds,
+            space_words=space.peak_words if space is not None else 0,
+            trials=outer,
+            successes=sum(1 for value in estimates if value > 0),
+            details={
+                "queries": float(result.total_queries),
+                "min_run": min(estimates),
+                "max_run": max(estimates),
+                "lower_bound": lower_bound,
+            },
+        )
+
+    return runs, finalize
+
+
+def _run(params: ErsParameters, lower_bound: float, n: int, oracle, rng) -> EstimateResult:
+    runs, finalize = clique_counter_program(params, lower_bound, n, oracle, rng)
+    return finalize(run_round_adaptive(runs, oracle))
 
 
 def count_cliques_stream(

@@ -82,6 +82,57 @@ def sample_copies_stream(
     return result.outputs
 
 
+def fgp_success_estimate(
+    outputs, trials: int, m: int, rho: float
+) -> tuple:
+    """(successes, estimate) from a run's sampler outputs."""
+    successes = sum(1 for output in outputs if output is not None)
+    estimate = (successes / trials) * (2.0 * m) ** rho if m else 0.0
+    return successes, estimate
+
+
+def insertion_counter_program(
+    stream: EdgeStream, pattern: Pattern, trials: int, random_state
+):
+    """Build the Theorem 17 run as an ``(oracle, generators, finalize)`` triple.
+
+    Shared by :func:`count_subgraphs_insertion_only` (which drives it
+    with :func:`~repro.transform.driver.run_round_adaptive`) and by
+    :mod:`repro.engine` (which fuses the same rounds into shared stream
+    passes), so both paths consume randomness identically and produce
+    bit-identical estimates for the same seeds.
+    """
+    oracle = InsertionStreamOracle(stream, derive_rng(random_state, "oracle"))
+    generators = [
+        subgraph_sampler_rounds(
+            pattern, rng=derive_rng(random_state, i), mode=SamplerMode.AUGMENTED
+        )
+        for i in range(trials)
+    ]
+
+    def finalize(run) -> EstimateResult:
+        m = stream.net_edge_count
+        rho = pattern.rho()
+        successes, estimate = fgp_success_estimate(run.outputs, trials, m, rho)
+        return EstimateResult(
+            algorithm="fgp-3pass-insertion",
+            pattern=pattern.name,
+            estimate=estimate,
+            passes=run.rounds,
+            space_words=oracle.space.peak_words,
+            trials=trials,
+            successes=successes,
+            m=m,
+            details={
+                "rho": rho,
+                "queries": float(run.total_queries),
+                "success_rate": successes / trials,
+            },
+        )
+
+    return oracle, generators, finalize
+
+
 def count_subgraphs_insertion_only(
     stream: EdgeStream,
     pattern: Pattern,
@@ -106,32 +157,7 @@ def count_subgraphs_insertion_only(
     k = resolve_trials(stream, pattern, epsilon, lower_bound, trials, param_mode)
 
     stream.reset_pass_count()
-    oracle = InsertionStreamOracle(stream, derive_rng(random_state, "oracle"))
-    generators = [
-        subgraph_sampler_rounds(
-            pattern, rng=derive_rng(random_state, i), mode=SamplerMode.AUGMENTED
-        )
-        for i in range(k)
-    ]
-    run = run_round_adaptive(generators, oracle)
-
-    successes = sum(1 for output in run.outputs if output is not None)
-    m = stream.net_edge_count
-    rho = pattern.rho()
-    estimate = (successes / k) * (2.0 * m) ** rho if m else 0.0
-
-    return EstimateResult(
-        algorithm="fgp-3pass-insertion",
-        pattern=pattern.name,
-        estimate=estimate,
-        passes=run.rounds,
-        space_words=oracle.space.peak_words,
-        trials=k,
-        successes=successes,
-        m=m,
-        details={
-            "rho": rho,
-            "queries": float(run.total_queries),
-            "success_rate": successes / k,
-        },
+    oracle, generators, finalize = insertion_counter_program(
+        stream, pattern, k, random_state
     )
+    return finalize(run_round_adaptive(generators, oracle))

@@ -33,7 +33,7 @@ from repro.estimate.concentration import ParamMode
 from repro.estimate.result import EstimateResult
 from repro.fgp.rounds import SamplerMode, subgraph_sampler_rounds
 from repro.patterns.pattern import Pattern
-from repro.streaming.three_pass import resolve_trials
+from repro.streaming.three_pass import fgp_success_estimate, resolve_trials
 from repro.streams.stream import EdgeStream
 from repro.transform.driver import run_round_adaptive
 from repro.transform.insertion import InsertionStreamOracle
@@ -43,6 +43,20 @@ from repro.utils.rng import RandomSource, derive_rng, ensure_rng
 def is_star_decomposable(pattern: Pattern) -> bool:
     """Whether H's optimal Lemma 4 decomposition uses only stars."""
     return not pattern.decomposition().cycle_lengths
+
+
+def require_star_decomposable(pattern: Pattern) -> None:
+    """Raise unless the 2-pass counter supports *pattern*.
+
+    The single home of the guard (and its message) shared by the
+    one-shot counter and the engine's 2-pass entry points.
+    """
+    if not is_star_decomposable(pattern):
+        cycles = pattern.decomposition().cycle_lengths
+        raise EstimationError(
+            f"pattern {pattern.name!r} decomposes with odd cycles {cycles}; "
+            "the 2-pass counter requires a star-only decomposition"
+        )
 
 
 def count_subgraphs_two_pass(
@@ -61,16 +75,26 @@ def count_subgraphs_two_pass(
     accuracy match :func:`~repro.streaming.three_pass.count_subgraphs_insertion_only`
     at the same trial budget — only the pass count differs.
     """
-    if not is_star_decomposable(pattern):
-        cycles = pattern.decomposition().cycle_lengths
-        raise EstimationError(
-            f"pattern {pattern.name!r} decomposes with odd cycles {cycles}; "
-            "the 2-pass counter requires a star-only decomposition"
-        )
+    require_star_decomposable(pattern)
     random_state = ensure_rng(rng)
     k = resolve_trials(stream, pattern, epsilon, lower_bound, trials, param_mode)
 
     stream.reset_pass_count()
+    oracle, generators, finalize = two_pass_counter_program(
+        stream, pattern, k, random_state
+    )
+    return finalize(run_round_adaptive(generators, oracle))
+
+
+def two_pass_counter_program(
+    stream: EdgeStream, pattern: Pattern, trials: int, random_state
+):
+    """The 2-pass run as an ``(oracle, generators, finalize)`` triple.
+
+    Shared by :func:`count_subgraphs_two_pass` and :mod:`repro.engine`
+    (see :func:`repro.streaming.three_pass.insertion_counter_program`).
+    The caller is responsible for the :func:`is_star_decomposable` check.
+    """
     oracle = InsertionStreamOracle(stream, derive_rng(random_state, "oracle"))
     generators = [
         subgraph_sampler_rounds(
@@ -79,27 +103,27 @@ def count_subgraphs_two_pass(
             mode=SamplerMode.AUGMENTED,
             skip_empty_wedge_round=True,
         )
-        for i in range(k)
+        for i in range(trials)
     ]
-    run = run_round_adaptive(generators, oracle)
 
-    successes = sum(1 for output in run.outputs if output is not None)
-    m = stream.net_edge_count
-    rho = pattern.rho()
-    estimate = (successes / k) * (2.0 * m) ** rho if m else 0.0
+    def finalize(run) -> EstimateResult:
+        m = stream.net_edge_count
+        rho = pattern.rho()
+        successes, estimate = fgp_success_estimate(run.outputs, trials, m, rho)
+        return EstimateResult(
+            algorithm="fgp-2pass-insertion",
+            pattern=pattern.name,
+            estimate=estimate,
+            passes=run.rounds,
+            space_words=oracle.space.peak_words,
+            trials=trials,
+            successes=successes,
+            m=m,
+            details={
+                "rho": rho,
+                "queries": float(run.total_queries),
+                "success_rate": successes / trials,
+            },
+        )
 
-    return EstimateResult(
-        algorithm="fgp-2pass-insertion",
-        pattern=pattern.name,
-        estimate=estimate,
-        passes=run.rounds,
-        space_words=oracle.space.peak_words,
-        trials=k,
-        successes=successes,
-        m=m,
-        details={
-            "rho": rho,
-            "queries": float(run.total_queries),
-            "success_rate": successes / k,
-        },
-    )
+    return oracle, generators, finalize

@@ -143,6 +143,38 @@ class EdgeStream:
         )
 
 
+#: A decoded stream element: ``(u, v, delta, normalized_edge)``.
+DecodedUpdate = Tuple[int, int, int, Edge]
+
+#: Default elements per decoded chunk.
+DEFAULT_CHUNK_SIZE = 4096
+
+
+def decoded_chunks(
+    updates: Iterable[Update], chunk_size: int = DEFAULT_CHUNK_SIZE
+) -> Iterator[List[DecodedUpdate]]:
+    """Decode :class:`Update` objects into bounded chunks of plain tuples.
+
+    The shared feeding loop of every pass consumer (the stream oracles'
+    ``answer_batch``, the baseline one-shot wrappers, and the fused
+    engine): each ``Update`` is unpacked once into ``(u, v, delta,
+    edge)`` so downstream loops avoid the dataclass attribute/property
+    cost, and peak memory stays O(chunk_size) however long the pass is.
+    """
+    if chunk_size < 1:
+        raise StreamError(f"chunk_size must be >= 1, got {chunk_size}")
+    batch: List[DecodedUpdate] = []
+    append = batch.append
+    for update in updates:
+        append((update.u, update.v, update.delta, update.edge))
+        if len(batch) >= chunk_size:
+            yield batch
+            batch = []
+            append = batch.append
+    if batch:
+        yield batch
+
+
 def insertion_stream(
     graph: Graph, rng: RandomSource = None, shuffle: bool = True
 ) -> EdgeStream:

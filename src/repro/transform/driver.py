@@ -36,6 +36,73 @@ class RoundRunResult:
         return self.accounting.total
 
 
+class LockstepState:
+    """The merge/dispatch bookkeeping of one set of lockstep instances.
+
+    The single home of the bit-identity-critical "parallel for" logic:
+    prime every generator, merge the live instances' round-ℓ batches in
+    index order, and slice one answer list back to them positionally.
+    :func:`run_round_adaptive`, :func:`parallel_rounds`, and the fused
+    engine's ``RoundAdaptiveEstimator`` all drive rounds through this
+    class, so merge order and answer routing cannot drift apart between
+    the sequential and fused paths.
+    """
+
+    __slots__ = ("outputs", "_pending", "_live", "_order", "_offsets", "merged_size")
+
+    def __init__(self, algorithms: Sequence[RoundAdaptive]) -> None:
+        self.outputs: List[Any] = [None] * len(algorithms)
+        self._pending: Dict[int, Sequence[Query]] = {}
+        self._live: Dict[int, RoundAdaptive] = {}
+        for index, generator in enumerate(algorithms):
+            try:
+                self._pending[index] = next(generator)
+                self._live[index] = generator
+            except StopIteration as stop:
+                self.outputs[index] = stop.value
+        self._order: List[int] = []
+        self._offsets: Dict[int, int] = {}
+        self.merged_size = 0
+
+    @property
+    def live(self) -> bool:
+        """Whether any instance still has rounds to run."""
+        return bool(self._live)
+
+    def merge(self) -> List[Query]:
+        """The union of the live instances' next batches, in index order."""
+        order = sorted(self._live)
+        merged: List[Query] = []
+        offsets: Dict[int, int] = {}
+        for index in order:
+            offsets[index] = len(merged)
+            merged.extend(self._pending[index])
+        self._order = order
+        self._offsets = offsets
+        self.merged_size = len(merged)
+        return merged
+
+    def dispatch(self, answers: List[Any]) -> None:
+        """Route one round's answers back; retire finished instances."""
+        if len(answers) != self.merged_size:
+            raise OracleError(
+                f"oracle answered {len(answers)} of {self.merged_size} queries"
+            )
+        pending = self._pending
+        live = self._live
+        offsets = self._offsets
+        for index in self._order:
+            begin = offsets[index]
+            end = begin + len(pending[index])
+            generator = live[index]
+            try:
+                pending[index] = generator.send(answers[begin:end])
+            except StopIteration as stop:
+                self.outputs[index] = stop.value
+                del live[index]
+                del pending[index]
+
+
 def parallel_rounds(algorithms: Sequence[RoundAdaptive]):
     """Compose round-adaptive sub-algorithms into one round-adaptive step.
 
@@ -50,38 +117,11 @@ def parallel_rounds(algorithms: Sequence[RoundAdaptive]):
     the paper's pseudo code (e.g. the per-ordering activity cascades
     of StrIsAssigned all share the same passes).
     """
-    outputs: List[Any] = [None] * len(algorithms)
-    pending: Dict[int, Sequence[Query]] = {}
-    live: Dict[int, RoundAdaptive] = {}
-    for index, generator in enumerate(algorithms):
-        try:
-            pending[index] = next(generator)
-            live[index] = generator
-        except StopIteration as stop:
-            outputs[index] = stop.value
-
-    while live:
-        order = sorted(live)
-        merged: List[Query] = []
-        offsets: Dict[int, int] = {}
-        for index in order:
-            offsets[index] = len(merged)
-            merged.extend(pending[index])
-
-        answers = yield merged
-
-        for index in order:
-            begin = offsets[index]
-            end = begin + len(pending[index])
-            generator = live[index]
-            try:
-                pending[index] = generator.send(list(answers[begin:end]))
-            except StopIteration as stop:
-                outputs[index] = stop.value
-                del live[index]
-                del pending[index]
-
-    return outputs
+    state = LockstepState(algorithms)
+    while state.live:
+        answers = yield state.merge()
+        state.dispatch(list(answers))
+    return state.outputs
 
 
 def run_round_adaptive(
@@ -94,45 +134,12 @@ def run_round_adaptive(
     ``rounds`` equals the number of passes used — the quantity
     Theorems 9 and 11 bound by the algorithms' round-adaptivity.
     """
-    outputs: List[Any] = [None] * len(algorithms)
     accounting = QueryAccounting()
-
-    pending: Dict[int, Sequence[Query]] = {}
-    live: Dict[int, RoundAdaptive] = {}
-    for index, generator in enumerate(algorithms):
-        try:
-            pending[index] = next(generator)
-            live[index] = generator
-        except StopIteration as stop:
-            outputs[index] = stop.value
-
+    state = LockstepState(algorithms)
     rounds = 0
-    while live:
+    while state.live:
         rounds += 1
-        order = sorted(live)
-        merged: List[Query] = []
-        offsets: Dict[int, int] = {}
-        for index in order:
-            offsets[index] = len(merged)
-            merged.extend(pending[index])
+        merged = state.merge()
         accounting.record_batch(merged)
-
-        answers = oracle.answer_batch(merged)
-        if len(answers) != len(merged):
-            raise OracleError(
-                f"oracle answered {len(answers)} of {len(merged)} queries"
-            )
-
-        for index in order:
-            begin = offsets[index]
-            end = begin + len(pending[index])
-            slice_answers = answers[begin:end]
-            generator = live[index]
-            try:
-                pending[index] = generator.send(slice_answers)
-            except StopIteration as stop:
-                outputs[index] = stop.value
-                del live[index]
-                del pending[index]
-
-    return RoundRunResult(outputs=outputs, rounds=rounds, accounting=accounting)
+        state.dispatch(oracle.answer_batch(merged))
+    return RoundRunResult(outputs=state.outputs, rounds=rounds, accounting=accounting)

@@ -22,7 +22,7 @@ state — the bound of Theorem 9.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional, Set, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.errors import OracleError
 from repro.graph.graph import normalize_edge
@@ -39,8 +39,207 @@ from repro.oracle.base import (
 )
 from repro.sketch.reservoir import SkipAheadReservoirBank
 from repro.streams.space import SpaceMeter
-from repro.streams.stream import EdgeStream
+from repro.streams.stream import EdgeStream, decoded_chunks
 from repro.utils.rng import RandomSource, derive_rng, ensure_rng
+
+
+class InsertionPassState:
+    """One in-flight oracle pass: built from a batch, fed updates, finished.
+
+    Created by :meth:`InsertionStreamOracle.begin_batch`.  The caller —
+    either :meth:`InsertionStreamOracle.answer_batch` (which iterates
+    the stream itself) or the fused engine (which shares one stream
+    iteration among many estimators) — feeds decoded updates through
+    :meth:`ingest_batch` and then collects the answers with
+    :meth:`finish`.  Randomness is drawn only at construction (the
+    skip-ahead banks) and during ingestion (bank offers), in the same
+    order as the historical monolithic pass loop, so both drivers
+    produce bit-identical answers for the same oracle seed.
+    """
+
+    __slots__ = (
+        "_oracle",
+        "_size",
+        "_component",
+        "_edge_positions",
+        "_neighbor_positions",
+        "_degree_positions",
+        "_neighbor_query_positions",
+        "_adjacency_positions",
+        "_edge_count_positions",
+        "_degree_counts",
+        "_arrival_counts",
+        "_neighbor_watch",
+        "_captured",
+        "_adjacency_pairs",
+        "_present_pairs",
+        "_edge_count",
+        "_edge_bank",
+        "_neighbor_banks",
+    )
+
+    def __init__(self, oracle: "InsertionStreamOracle", batch: QueryBatch, pass_index: int) -> None:
+        self._oracle = oracle
+        self._size = len(batch)
+
+        edge_positions: List[int] = []
+        neighbor_positions: Dict[int, List[int]] = {}
+        degree_positions: List[Tuple[int, int]] = []
+        neighbor_query_positions: List[int] = []
+        adjacency_positions: List[Tuple[int, Tuple[int, int]]] = []
+        edge_count_positions: List[int] = []
+        degree_vertices: Set[int] = set()
+        neighbor_watch: Dict[int, Dict[int, List[int]]] = {}
+        adjacency_pairs: Set[Tuple[int, int]] = set()
+
+        for position, query in enumerate(batch):
+            kind = type(query)
+            if kind is RandomEdgeQuery:
+                edge_positions.append(position)
+            elif kind is RandomNeighborQuery:
+                neighbor_positions.setdefault(query.vertex, []).append(position)
+            elif kind is DegreeQuery:
+                degree_vertices.add(query.vertex)
+                degree_positions.append((position, query.vertex))
+            elif kind is NeighborQuery:
+                if query.index < 0:
+                    raise OracleError(f"neighbor index must be >= 0, got {query.index}")
+                neighbor_watch.setdefault(query.vertex, {}).setdefault(
+                    query.index, []
+                ).append(position)
+                neighbor_query_positions.append(position)
+            elif kind is AdjacencyQuery:
+                edge = normalize_edge(query.u, query.v)
+                adjacency_pairs.add(edge)
+                adjacency_positions.append((position, edge))
+            elif kind is EdgeCountQuery:
+                edge_count_positions.append(position)
+            else:
+                raise OracleError(f"unsupported query type {kind.__name__}")
+
+        self._edge_positions = edge_positions
+        self._neighbor_positions = neighbor_positions
+        self._degree_positions = degree_positions
+        self._neighbor_query_positions = neighbor_query_positions
+        self._adjacency_positions = adjacency_positions
+        self._edge_count_positions = edge_count_positions
+        self._degree_counts: Dict[int, int] = {v: 0 for v in degree_vertices}
+        self._arrival_counts: Dict[int, int] = {v: 0 for v in neighbor_watch}
+        self._neighbor_watch = neighbor_watch
+        self._captured: Dict[int, Optional[int]] = {}
+        self._adjacency_pairs = adjacency_pairs
+        self._present_pairs: Set[Tuple[int, int]] = set()
+        self._edge_count = 0
+
+        # Skip-ahead banks: O(1) amortized per stream element however
+        # many f1/f3 queries the batch carries (see repro.sketch.reservoir).
+        self._edge_bank: SkipAheadReservoirBank = SkipAheadReservoirBank(
+            len(edge_positions),
+            derive_rng(oracle._rng, f"edges-{pass_index}"),
+        )
+        self._neighbor_banks: Dict[int, SkipAheadReservoirBank] = {
+            vertex: SkipAheadReservoirBank(
+                len(positions),
+                derive_rng(oracle._rng, f"nbrs-{pass_index}-{vertex}"),
+            )
+            for vertex, positions in neighbor_positions.items()
+        }
+
+        # Charge the space meter: O(1) words per query of this batch.
+        self._component = f"insertion-pass-{pass_index}"
+        words = (
+            2 * len(edge_positions)
+            + 2 * sum(len(p) for p in neighbor_positions.values())
+            + len(degree_vertices)
+            + sum(len(ix) for ix in neighbor_watch.values())
+            + len(neighbor_watch)
+            + len(adjacency_pairs)
+            + (1 if edge_count_positions else 0)
+        )
+        oracle.space.set_usage(self._component, words)
+
+    def ingest_batch(self, updates: Sequence[Tuple[int, int, int, Tuple[int, int]]]) -> None:
+        """Consume decoded ``(u, v, delta, edge)`` stream elements, in order.
+
+        Structures are independent consumers of the same ordered
+        element sequence (each bank draws from its own rng), so the
+        edge bank is fed through the batched
+        :meth:`~repro.sketch.reservoir.SkipAheadReservoirBank.offer_many`
+        and the remaining trackers share one loop that is skipped
+        entirely when no query of the pass needs it — the common
+        FGP-pass shapes (f1-only, wedge-only, adjacency-only) each hit
+        their cheap path.
+        """
+        self._edge_count += len(updates)
+        if self._edge_bank.size:
+            self._edge_bank.offer_many([edge for _, _, _, edge in updates])
+
+        neighbor_banks = self._neighbor_banks
+        degree_counts = self._degree_counts
+        arrival_counts = self._arrival_counts
+        adjacency_pairs = self._adjacency_pairs
+
+        if adjacency_pairs and not (neighbor_banks or degree_counts or arrival_counts):
+            self._present_pairs.update(
+                edge for _, _, _, edge in updates if edge in adjacency_pairs
+            )
+            return
+        if not (neighbor_banks or degree_counts or arrival_counts):
+            return
+
+        neighbor_watch = self._neighbor_watch
+        captured = self._captured
+        present_pairs = self._present_pairs
+        for u, v, _, edge in updates:
+            if neighbor_banks:
+                bank = neighbor_banks.get(u)
+                if bank is not None:
+                    bank.offer(v)
+                bank = neighbor_banks.get(v)
+                if bank is not None:
+                    bank.offer(u)
+            if degree_counts:
+                if u in degree_counts:
+                    degree_counts[u] += 1
+                if v in degree_counts:
+                    degree_counts[v] += 1
+            if arrival_counts:
+                for endpoint, other in ((u, v), (v, u)):
+                    if endpoint in arrival_counts:
+                        seen = arrival_counts[endpoint]
+                        watchers = neighbor_watch[endpoint]
+                        if seen in watchers:
+                            for position in watchers[seen]:
+                                captured[position] = other
+                        arrival_counts[endpoint] = seen + 1
+            if adjacency_pairs and edge in adjacency_pairs:
+                present_pairs.add(edge)
+
+    def finish(self) -> List[Any]:
+        """Collect the batch's answers and release the pass's space."""
+        answers: List[Any] = [None] * self._size
+        edge_bank = self._edge_bank
+        for slot, position in enumerate(self._edge_positions):
+            answers[position] = edge_bank.item(slot)
+        for vertex, positions in self._neighbor_positions.items():
+            bank = self._neighbor_banks[vertex]
+            for slot, position in enumerate(positions):
+                answers[position] = bank.item(slot)
+        degree_counts = self._degree_counts
+        for position, vertex in self._degree_positions:
+            answers[position] = degree_counts[vertex]
+        captured_get = self._captured.get
+        for position in self._neighbor_query_positions:
+            answers[position] = captured_get(position)
+        present_pairs = self._present_pairs
+        for position, edge in self._adjacency_positions:
+            answers[position] = edge in present_pairs
+        edge_count = self._edge_count
+        for position in self._edge_count_positions:
+            answers[position] = edge_count
+
+        self._oracle.space.release(self._component)
+        return answers
 
 
 class InsertionStreamOracle:
@@ -68,118 +267,21 @@ class InsertionStreamOracle:
         """Stream passes consumed so far."""
         return self._stream.passes_used
 
-    def answer_batch(self, batch: QueryBatch) -> List[Any]:
-        """Answer one round's batch in a single pass over the stream."""
+    def begin_batch(self, batch: QueryBatch) -> InsertionPassState:
+        """Open a pass for *batch* without touching the stream.
+
+        The returned :class:`InsertionPassState` must be fed exactly one
+        full pass worth of decoded updates and then finished.  Used by
+        the fused engine, which iterates the stream once on behalf of
+        every registered estimator.
+        """
         self.accounting.record_batch(batch)
         self._pass_index += 1
+        return InsertionPassState(self, batch, self._pass_index)
 
-        # --- set up per-query state -----------------------------------
-        edge_positions: List[int] = []
-        neighbor_positions: Dict[int, List[int]] = {}
-        degree_vertices: Set[int] = set()
-        neighbor_watch: Dict[int, Dict[int, List[int]]] = {}
-        adjacency_pairs: Set[Tuple[int, int]] = set()
-        wants_edge_count = False
-
-        for position, query in enumerate(batch):
-            if isinstance(query, RandomEdgeQuery):
-                edge_positions.append(position)
-            elif isinstance(query, RandomNeighborQuery):
-                neighbor_positions.setdefault(query.vertex, []).append(position)
-            elif isinstance(query, DegreeQuery):
-                degree_vertices.add(query.vertex)
-            elif isinstance(query, NeighborQuery):
-                if query.index < 0:
-                    raise OracleError(f"neighbor index must be >= 0, got {query.index}")
-                neighbor_watch.setdefault(query.vertex, {}).setdefault(
-                    query.index, []
-                ).append(position)
-            elif isinstance(query, AdjacencyQuery):
-                adjacency_pairs.add(normalize_edge(query.u, query.v))
-            elif isinstance(query, EdgeCountQuery):
-                wants_edge_count = True
-            else:
-                raise OracleError(f"unsupported query type {type(query).__name__}")
-
-        degree_counts: Dict[int, int] = {v: 0 for v in degree_vertices}
-        arrival_counts: Dict[int, int] = {v: 0 for v in neighbor_watch}
-        captured: Dict[int, Optional[int]] = {}
-        present_pairs: Set[Tuple[int, int]] = set()
-        edge_count = 0
-
-        # Skip-ahead banks: O(1) amortized per stream element however
-        # many f1/f3 queries the batch carries (see repro.sketch.reservoir).
-        edge_bank: SkipAheadReservoirBank = SkipAheadReservoirBank(
-            len(edge_positions),
-            derive_rng(self._rng, f"edges-{self._pass_index}"),
-        )
-        neighbor_banks: Dict[int, SkipAheadReservoirBank] = {
-            vertex: SkipAheadReservoirBank(
-                len(positions),
-                derive_rng(self._rng, f"nbrs-{self._pass_index}-{vertex}"),
-            )
-            for vertex, positions in neighbor_positions.items()
-        }
-
-        # Charge the space meter: O(1) words per query of this batch.
-        component = f"insertion-pass-{self._pass_index}"
-        words = (
-            2 * len(edge_positions)
-            + 2 * sum(len(p) for p in neighbor_positions.values())
-            + len(degree_vertices)
-            + sum(len(ix) for ix in neighbor_watch.values())
-            + len(neighbor_watch)
-            + len(adjacency_pairs)
-            + (1 if wants_edge_count else 0)
-        )
-        self.space.set_usage(component, words)
-
-        # --- the pass ---------------------------------------------------
-        for update in self._stream.updates():
-            u, v = update.u, update.v
-            edge_count += 1
-            edge_bank.offer(update.edge)
-            if neighbor_banks:
-                bank = neighbor_banks.get(u)
-                if bank is not None:
-                    bank.offer(v)
-                bank = neighbor_banks.get(v)
-                if bank is not None:
-                    bank.offer(u)
-            if degree_counts:
-                if u in degree_counts:
-                    degree_counts[u] += 1
-                if v in degree_counts:
-                    degree_counts[v] += 1
-            if arrival_counts:
-                for endpoint, other in ((u, v), (v, u)):
-                    if endpoint in arrival_counts:
-                        seen = arrival_counts[endpoint]
-                        watchers = neighbor_watch[endpoint]
-                        if seen in watchers:
-                            for position in watchers[seen]:
-                                captured[position] = other
-                        arrival_counts[endpoint] = seen + 1
-            if adjacency_pairs and update.edge in adjacency_pairs:
-                present_pairs.add(update.edge)
-
-        # --- collect answers ---------------------------------------------
-        answers: List[Any] = [None] * len(batch)
-        for slot, position in enumerate(edge_positions):
-            answers[position] = edge_bank.item(slot)
-        for vertex, positions in neighbor_positions.items():
-            bank = neighbor_banks[vertex]
-            for slot, position in enumerate(positions):
-                answers[position] = bank.item(slot)
-        for position, query in enumerate(batch):
-            if isinstance(query, DegreeQuery):
-                answers[position] = degree_counts[query.vertex]
-            elif isinstance(query, NeighborQuery):
-                answers[position] = captured.get(position)
-            elif isinstance(query, AdjacencyQuery):
-                answers[position] = normalize_edge(query.u, query.v) in present_pairs
-            elif isinstance(query, EdgeCountQuery):
-                answers[position] = edge_count
-
-        self.space.release(component)
-        return answers
+    def answer_batch(self, batch: QueryBatch) -> List[Any]:
+        """Answer one round's batch in a single pass over the stream."""
+        state = self.begin_batch(batch)
+        for chunk in decoded_chunks(self._stream.updates()):
+            state.ingest_batch(chunk)
+        return state.finish()

@@ -20,7 +20,7 @@ introduces the relaxed model (Definition 10).
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional, Set, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.errors import OracleError
 from repro.graph.graph import normalize_edge
@@ -37,7 +37,7 @@ from repro.oracle.base import (
 )
 from repro.sketch.l0 import L0Sampler
 from repro.streams.space import SpaceMeter
-from repro.streams.stream import EdgeStream
+from repro.streams.stream import EdgeStream, decoded_chunks
 from repro.utils.rng import RandomSource, derive_rng, ensure_rng
 
 
@@ -58,6 +58,160 @@ def _edge_from_id(identifier: int, n: int) -> Tuple[int, int]:
         a += 1
         row -= 1
     return a, a + 1 + remaining
+
+
+class TurnstilePassState:
+    """One in-flight turnstile pass (see :class:`InsertionPassState`).
+
+    The ℓ0-sampler banks are linear sketches, so ingestion iterates
+    sampler-major over each decoded batch (one :meth:`L0Sampler.update_many`
+    call per sampler) — the per-element Python overhead of the historical
+    update-major loop is paid once per batch instead.  No randomness is
+    drawn during ingestion, so answers are bit-identical to the old loop.
+    """
+
+    __slots__ = (
+        "_oracle",
+        "_size",
+        "_component",
+        "_n",
+        "_edge_samplers",
+        "_neighbor_samplers",
+        "_samplers_by_vertex",
+        "_degree_positions",
+        "_adjacency_positions",
+        "_edge_count_positions",
+        "_degree_counts",
+        "_pair_counts",
+        "_edge_count",
+    )
+
+    def __init__(self, oracle: "TurnstileStreamOracle", batch: QueryBatch, pass_index: int) -> None:
+        self._oracle = oracle
+        self._size = len(batch)
+        n = oracle._stream.n
+        self._n = n
+        edge_universe = max(1, n * (n - 1) // 2)
+
+        edge_samplers: List[Tuple[int, L0Sampler]] = []
+        neighbor_samplers: List[Tuple[int, int, L0Sampler]] = []
+        degree_positions: List[Tuple[int, int]] = []
+        adjacency_positions: List[Tuple[int, Tuple[int, int]]] = []
+        edge_count_positions: List[int] = []
+        degree_vertices: Set[int] = set()
+        adjacency_pairs: Set[Tuple[int, int]] = set()
+
+        for position, query in enumerate(batch):
+            kind = type(query)
+            if kind is RandomEdgeQuery:
+                child = derive_rng(oracle._rng, f"l0edge-{pass_index}-{position}")
+                edge_samplers.append(
+                    (position, L0Sampler(edge_universe, child, oracle._sampler_repetitions))
+                )
+            elif kind is RandomNeighborQuery:
+                child = derive_rng(oracle._rng, f"l0nbr-{pass_index}-{position}")
+                neighbor_samplers.append(
+                    (position, query.vertex, L0Sampler(n, child, oracle._sampler_repetitions))
+                )
+            elif kind is DegreeQuery:
+                degree_vertices.add(query.vertex)
+                degree_positions.append((position, query.vertex))
+            elif kind is AdjacencyQuery:
+                edge = normalize_edge(query.u, query.v)
+                adjacency_pairs.add(edge)
+                adjacency_positions.append((position, edge))
+            elif kind is EdgeCountQuery:
+                edge_count_positions.append(position)
+            elif kind is NeighborQuery:
+                raise OracleError(
+                    "indexed neighbor queries (f3, Definition 6) cannot be emulated "
+                    "over turnstile streams; the relaxed model (Definition 10) uses "
+                    "RandomNeighborQuery instead"
+                )
+            else:
+                raise OracleError(f"unsupported query type {kind.__name__}")
+
+        self._edge_samplers = edge_samplers
+        self._neighbor_samplers = neighbor_samplers
+        self._samplers_by_vertex: Dict[int, List[L0Sampler]] = {}
+        for _, vertex, sampler in neighbor_samplers:
+            self._samplers_by_vertex.setdefault(vertex, []).append(sampler)
+        self._degree_positions = degree_positions
+        self._adjacency_positions = adjacency_positions
+        self._edge_count_positions = edge_count_positions
+        self._degree_counts: Dict[int, int] = {v: 0 for v in degree_vertices}
+        self._pair_counts: Dict[Tuple[int, int], int] = {pair: 0 for pair in adjacency_pairs}
+        self._edge_count = 0
+
+        self._component = f"turnstile-pass-{pass_index}"
+        words = (
+            sum(s.space_words for _, s in edge_samplers)
+            + sum(s.space_words for _, _, s in neighbor_samplers)
+            + len(degree_vertices)
+            + len(adjacency_pairs)
+            + (1 if edge_count_positions else 0)
+        )
+        oracle.space.set_usage(self._component, words)
+
+    def ingest_batch(self, updates: Sequence[Tuple[int, int, int, Tuple[int, int]]]) -> None:
+        """Consume decoded ``(u, v, delta, edge)`` stream elements, in order."""
+        degree_counts = self._degree_counts
+        pair_counts = self._pair_counts
+        edge_count = self._edge_count
+        for u, v, delta, edge in updates:
+            edge_count += delta
+            if degree_counts:
+                if u in degree_counts:
+                    degree_counts[u] += delta
+                if v in degree_counts:
+                    degree_counts[v] += delta
+            if pair_counts and edge in pair_counts:
+                pair_counts[edge] += delta
+        self._edge_count = edge_count
+
+        if self._edge_samplers:
+            n = self._n
+            pairs = [(_edge_id(u, v, n), delta) for u, v, delta, _ in updates]
+            for _, sampler in self._edge_samplers:
+                sampler.update_many(pairs)
+        samplers_by_vertex = self._samplers_by_vertex
+        if samplers_by_vertex:
+            # One scan groups the batch by watched endpoint, so S samplers
+            # over the same vertex share the incident list instead of each
+            # rescanning the whole batch.
+            incident: Dict[int, List[Tuple[int, int]]] = {}
+            for u, v, delta, _ in updates:
+                if u in samplers_by_vertex:
+                    incident.setdefault(u, []).append((v, delta))
+                if v in samplers_by_vertex:
+                    incident.setdefault(v, []).append((u, delta))
+            for vertex, pairs in incident.items():
+                for sampler in samplers_by_vertex[vertex]:
+                    sampler.update_many(pairs)
+
+    def finish(self) -> List[Any]:
+        """Collect the batch's answers and release the pass's space."""
+        n = self._n
+        answers: List[Any] = [None] * self._size
+        for position, sampler in self._edge_samplers:
+            identifier = sampler.sample()
+            answers[position] = (
+                None if identifier is None else _edge_from_id(identifier, n)
+            )
+        for position, _, sampler in self._neighbor_samplers:
+            answers[position] = sampler.sample()
+        degree_counts = self._degree_counts
+        for position, vertex in self._degree_positions:
+            answers[position] = degree_counts[vertex]
+        pair_counts = self._pair_counts
+        for position, edge in self._adjacency_positions:
+            answers[position] = pair_counts[edge] == 1
+        edge_count = self._edge_count
+        for position in self._edge_count_positions:
+            answers[position] = edge_count
+
+        self._oracle.space.release(self._component)
+        return answers
 
 
 class TurnstileStreamOracle:
@@ -81,99 +235,19 @@ class TurnstileStreamOracle:
     def passes_used(self) -> int:
         return self._stream.passes_used
 
-    def answer_batch(self, batch: QueryBatch) -> List[Any]:
-        """Answer one round's batch in a single pass over the stream."""
+    def begin_batch(self, batch: QueryBatch) -> TurnstilePassState:
+        """Open a pass for *batch* without touching the stream.
+
+        Counterpart of :meth:`InsertionStreamOracle.begin_batch` for the
+        fused engine; the caller owns the stream iteration.
+        """
         self.accounting.record_batch(batch)
         self._pass_index += 1
-        n = self._stream.n
-        edge_universe = max(1, n * (n - 1) // 2)
+        return TurnstilePassState(self, batch, self._pass_index)
 
-        edge_samplers: List[Tuple[int, L0Sampler]] = []
-        neighbor_samplers: List[Tuple[int, int, L0Sampler]] = []
-        degree_vertices: Set[int] = set()
-        adjacency_pairs: Set[Tuple[int, int]] = set()
-        wants_edge_count = False
-
-        for position, query in enumerate(batch):
-            if isinstance(query, RandomEdgeQuery):
-                child = derive_rng(self._rng, f"l0edge-{self._pass_index}-{position}")
-                edge_samplers.append(
-                    (position, L0Sampler(edge_universe, child, self._sampler_repetitions))
-                )
-            elif isinstance(query, RandomNeighborQuery):
-                child = derive_rng(self._rng, f"l0nbr-{self._pass_index}-{position}")
-                neighbor_samplers.append(
-                    (position, query.vertex, L0Sampler(n, child, self._sampler_repetitions))
-                )
-            elif isinstance(query, DegreeQuery):
-                degree_vertices.add(query.vertex)
-            elif isinstance(query, AdjacencyQuery):
-                adjacency_pairs.add(normalize_edge(query.u, query.v))
-            elif isinstance(query, EdgeCountQuery):
-                wants_edge_count = True
-            elif isinstance(query, NeighborQuery):
-                raise OracleError(
-                    "indexed neighbor queries (f3, Definition 6) cannot be emulated "
-                    "over turnstile streams; the relaxed model (Definition 10) uses "
-                    "RandomNeighborQuery instead"
-                )
-            else:
-                raise OracleError(f"unsupported query type {type(query).__name__}")
-
-        degree_counts: Dict[int, int] = {v: 0 for v in degree_vertices}
-        pair_counts: Dict[Tuple[int, int], int] = {pair: 0 for pair in adjacency_pairs}
-        edge_count = 0
-
-        component = f"turnstile-pass-{self._pass_index}"
-        words = (
-            sum(s.space_words for _, s in edge_samplers)
-            + sum(s.space_words for _, _, s in neighbor_samplers)
-            + len(degree_vertices)
-            + len(adjacency_pairs)
-            + (1 if wants_edge_count else 0)
-        )
-        self.space.set_usage(component, words)
-
-        # --- the pass ---------------------------------------------------
-        for update in self._stream.updates():
-            u, v = update.u, update.v
-            delta = update.delta
-            edge_count += delta
-            if edge_samplers:
-                identifier = _edge_id(u, v, n)
-                for _, sampler in edge_samplers:
-                    sampler.update(identifier, delta)
-            for _, vertex, sampler in neighbor_samplers:
-                if u == vertex:
-                    sampler.update(v, delta)
-                elif v == vertex:
-                    sampler.update(u, delta)
-            if degree_counts:
-                if u in degree_counts:
-                    degree_counts[u] += delta
-                if v in degree_counts:
-                    degree_counts[v] += delta
-            if pair_counts:
-                edge = update.edge
-                if edge in pair_counts:
-                    pair_counts[edge] += delta
-
-        # --- collect answers ---------------------------------------------
-        answers: List[Any] = [None] * len(batch)
-        for position, sampler in edge_samplers:
-            identifier = sampler.sample()
-            answers[position] = (
-                None if identifier is None else _edge_from_id(identifier, n)
-            )
-        for position, _, sampler in neighbor_samplers:
-            answers[position] = sampler.sample()
-        for position, query in enumerate(batch):
-            if isinstance(query, DegreeQuery):
-                answers[position] = degree_counts[query.vertex]
-            elif isinstance(query, AdjacencyQuery):
-                answers[position] = pair_counts[normalize_edge(query.u, query.v)] == 1
-            elif isinstance(query, EdgeCountQuery):
-                answers[position] = edge_count
-
-        self.space.release(component)
-        return answers
+    def answer_batch(self, batch: QueryBatch) -> List[Any]:
+        """Answer one round's batch in a single pass over the stream."""
+        state = self.begin_batch(batch)
+        for chunk in decoded_chunks(self._stream.updates()):
+            state.ingest_batch(chunk)
+        return state.finish()

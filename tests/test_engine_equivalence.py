@@ -1,0 +1,370 @@
+"""Golden tests: the fused engine reproduces the sequential paths bit for bit.
+
+The engine's contract (mirror mode) is that sharing the stream
+iteration changes *nothing* about any individual estimator: same rng
+consumption, same queries, same answers, same estimate — for
+insertion-only, turnstile, 2-pass, ERS-clique, and the baseline
+estimators, across adversarial-order and churny (adaptive) stream
+scenarios, and for every batch size.
+"""
+
+import statistics
+
+import pytest
+
+from repro import (
+    count_subgraphs_insertion_only,
+    count_subgraphs_turnstile,
+    count_subgraphs_two_pass,
+    generators,
+    insertion_stream,
+    patterns,
+)
+from repro.baselines import (
+    DoulionEstimator,
+    ExactStreamEstimator,
+    TriestEstimator,
+    doulion_count,
+    exact_stream_count,
+    triest_count,
+)
+from repro.engine import (
+    FusionMode,
+    StreamEngine,
+    count_subgraphs_insertion_only_fused,
+    count_subgraphs_turnstile_fused,
+    count_subgraphs_two_pass_fused,
+    ers_clique_estimator,
+    fgp_insertion_estimator,
+    fgp_turnstile_estimator,
+)
+from repro.errors import EngineError
+from repro.sketch.l0 import L0Sampler
+from repro.sketch.reservoir import SingleReservoir, SkipAheadReservoirBank
+from repro.streaming.ers.counter import count_cliques_stream
+from repro.streams.generators import adversarial_order_stream, turnstile_churn_stream
+
+
+def _insertion_fixture():
+    graph = generators.barabasi_albert(220, 4, rng=11)
+    return graph, insertion_stream(graph, rng=12)
+
+
+def _assert_same_result(fused, sequential):
+    assert fused.algorithm == sequential.algorithm
+    assert fused.estimate == sequential.estimate
+    assert fused.passes == sequential.passes
+    assert fused.space_words == sequential.space_words
+    assert fused.trials == sequential.trials
+    assert fused.successes == sequential.successes
+    assert fused.m == sequential.m
+    assert fused.details == sequential.details
+
+
+class TestMirrorEquivalence:
+    def test_insertion_copies_match_sequential_runs(self):
+        _, stream = _insertion_fixture()
+        pattern = patterns.triangle()
+        copies = 4
+        sequential = [
+            count_subgraphs_insertion_only(stream, pattern, trials=60, rng=100 + i)
+            for i in range(copies)
+        ]
+        fused = count_subgraphs_insertion_only_fused(
+            stream,
+            pattern,
+            copies=copies,
+            trials=60,
+            mode=FusionMode.MIRROR,
+            copy_rngs=[100 + i for i in range(copies)],
+        )
+        for fused_copy, sequential_copy in zip(fused.copies, sequential):
+            _assert_same_result(fused_copy, sequential_copy)
+        assert fused.estimate == statistics.median(r.estimate for r in sequential)
+
+    def test_insertion_four_cycle_copies_match(self):
+        _, stream = _insertion_fixture()
+        pattern = patterns.cycle(4)
+        sequential = [
+            count_subgraphs_insertion_only(stream, pattern, trials=40, rng=7 + i)
+            for i in range(3)
+        ]
+        fused = count_subgraphs_insertion_only_fused(
+            stream,
+            pattern,
+            copies=3,
+            trials=40,
+            mode=FusionMode.MIRROR,
+            copy_rngs=[7, 8, 9],
+        )
+        for fused_copy, sequential_copy in zip(fused.copies, sequential):
+            _assert_same_result(fused_copy, sequential_copy)
+
+    def test_turnstile_copies_match_sequential_runs(self):
+        graph = generators.gnp(40, 0.25, rng=3)
+        stream = turnstile_churn_stream(graph, churn_edges=30, rng=4)
+        assert stream.allows_deletions
+        pattern = patterns.triangle()
+        sequential = [
+            count_subgraphs_turnstile(stream, pattern, trials=12, rng=50 + i)
+            for i in range(3)
+        ]
+        fused = count_subgraphs_turnstile_fused(
+            stream,
+            pattern,
+            copies=3,
+            trials=12,
+            mode=FusionMode.MIRROR,
+            copy_rngs=[50, 51, 52],
+        )
+        for fused_copy, sequential_copy in zip(fused.copies, sequential):
+            _assert_same_result(fused_copy, sequential_copy)
+
+    def test_two_pass_copies_match_sequential_runs(self):
+        _, stream = _insertion_fixture()
+        pattern = patterns.cycle(4)
+        sequential = [
+            count_subgraphs_two_pass(stream, pattern, trials=40, rng=20 + i)
+            for i in range(3)
+        ]
+        fused = count_subgraphs_two_pass_fused(
+            stream,
+            pattern,
+            copies=3,
+            trials=40,
+            mode=FusionMode.MIRROR,
+            copy_rngs=[20, 21, 22],
+        )
+        assert fused.passes == 2
+        for fused_copy, sequential_copy in zip(fused.copies, sequential):
+            _assert_same_result(fused_copy, sequential_copy)
+
+    def test_adversarial_order_scenario_matches(self):
+        graph = generators.power_law_cluster(150, 4, 0.5, rng=9)
+        stream = adversarial_order_stream(graph)
+        pattern = patterns.triangle()
+        sequential = [
+            count_subgraphs_insertion_only(stream, pattern, trials=30, rng=200 + i)
+            for i in range(3)
+        ]
+        fused = count_subgraphs_insertion_only_fused(
+            stream,
+            pattern,
+            copies=3,
+            trials=30,
+            mode=FusionMode.MIRROR,
+            copy_rngs=[200, 201, 202],
+        )
+        for fused_copy, sequential_copy in zip(fused.copies, sequential):
+            _assert_same_result(fused_copy, sequential_copy)
+
+    def test_ers_clique_estimator_matches_one_shot(self):
+        graph = generators.planted_cliques(60, 4, 5, noise_edges=40, rng=5)
+        stream = insertion_stream(graph, rng=6)
+        sequential = count_cliques_stream(
+            stream, r=3, degeneracy_bound=10, lower_bound=5.0, rng=77
+        )
+        engine = StreamEngine(stream)
+        engine.register(
+            ers_clique_estimator(
+                stream, r=3, degeneracy_bound=10, lower_bound=5.0, rng=77, name="ers"
+            )
+        )
+        report = engine.run()
+        _assert_same_result(report["ers"], sequential)
+
+    def test_derived_copy_rngs_default_is_deterministic(self):
+        _, stream = _insertion_fixture()
+        pattern = patterns.triangle()
+        first = count_subgraphs_insertion_only_fused(
+            stream, pattern, copies=3, trials=25, rng=5, mode=FusionMode.MIRROR
+        )
+        second = count_subgraphs_insertion_only_fused(
+            stream, pattern, copies=3, trials=25, rng=5, mode=FusionMode.MIRROR
+        )
+        assert first.estimates == second.estimates
+
+
+class TestBaselineAndHeterogeneousEquivalence:
+    def test_baselines_fused_match_one_shot(self):
+        graph, stream = _insertion_fixture()
+        pattern = patterns.triangle()
+        sequential_triest = triest_count(stream, capacity=150, rng=31)
+        sequential_doulion = doulion_count(stream, 0.5, pattern, rng=32)
+        sequential_exact = exact_stream_count(stream, pattern)
+
+        engine = StreamEngine(stream)
+        engine.register(TriestEstimator(capacity=150, rng=31))
+        engine.register(DoulionEstimator(stream.n, 0.5, pattern, rng=32))
+        engine.register(ExactStreamEstimator(stream.n, pattern))
+        report = engine.run()
+
+        assert report.passes == 1
+        assert report["triest"].estimate == sequential_triest.estimate
+        assert report["doulion"].estimate == sequential_doulion.estimate
+        assert report["doulion"].space_words == sequential_doulion.space_words
+        assert report["exact"].estimate == sequential_exact.estimate
+
+    def test_heterogeneous_registration_matches_each_sequential_path(self):
+        graph, stream = _insertion_fixture()
+        pattern = patterns.triangle()
+        sequential_fgp = count_subgraphs_insertion_only(stream, pattern, trials=40, rng=41)
+        sequential_triest = triest_count(stream, capacity=120, rng=42)
+
+        engine = StreamEngine(stream)
+        engine.register(fgp_insertion_estimator(stream, pattern, trials=40, rng=41, name="fgp"))
+        engine.register(TriestEstimator(capacity=120, rng=42))
+        report = engine.run()
+
+        # The 3-pass FGP counter dictates the fused pass count; TRIEST
+        # consumed only the first pass.
+        assert report.passes == 3
+        _assert_same_result(report["fgp"], sequential_fgp)
+        assert report["triest"].estimate == sequential_triest.estimate
+        assert report["triest"].passes == 1
+
+
+class TestBatchSizeInvariance:
+    @pytest.mark.parametrize("batch_size", [1, 7, 64, 100_000])
+    def test_insertion_results_do_not_depend_on_batch_size(self, batch_size):
+        _, stream = _insertion_fixture()
+        pattern = patterns.triangle()
+        sequential = count_subgraphs_insertion_only(stream, pattern, trials=30, rng=61)
+        engine = StreamEngine(stream, batch_size=batch_size)
+        engine.register(fgp_insertion_estimator(stream, pattern, trials=30, rng=61, name="fgp"))
+        report = engine.run()
+        _assert_same_result(report["fgp"], sequential)
+
+    @pytest.mark.parametrize("batch_size", [1, 13, 4096])
+    def test_turnstile_results_do_not_depend_on_batch_size(self, batch_size):
+        graph = generators.gnp(30, 0.3, rng=13)
+        stream = turnstile_churn_stream(graph, churn_edges=20, rng=14)
+        pattern = patterns.triangle()
+        sequential = count_subgraphs_turnstile(stream, pattern, trials=8, rng=71)
+        engine = StreamEngine(stream, batch_size=batch_size)
+        engine.register(fgp_turnstile_estimator(stream, pattern, trials=8, rng=71, name="fgp"))
+        report = engine.run()
+        _assert_same_result(report["fgp"], sequential)
+
+
+class TestSharedMode:
+    def test_shared_mode_produces_independent_copy_records(self):
+        _, stream = _insertion_fixture()
+        pattern = patterns.triangle()
+        fused = count_subgraphs_insertion_only_fused(
+            stream, pattern, copies=6, trials=30, rng=91, mode=FusionMode.SHARED
+        )
+        assert fused.num_copies == 6
+        assert fused.passes == 3
+        assert stream.passes_used == 3
+        assert len(set(id(copy) for copy in fused.copies)) == 6
+        for index, copy in enumerate(fused.copies):
+            assert copy.trials == 30
+            assert copy.details["fused_copy"] == float(index)
+        assert fused.estimate == statistics.median(fused.estimates)
+
+    def test_shared_mode_is_deterministic_in_rng(self):
+        _, stream = _insertion_fixture()
+        pattern = patterns.triangle()
+        first = count_subgraphs_insertion_only_fused(
+            stream, pattern, copies=4, trials=25, rng=17
+        )
+        second = count_subgraphs_insertion_only_fused(
+            stream, pattern, copies=4, trials=25, rng=17
+        )
+        assert first.estimates == second.estimates
+
+    def test_shared_mode_rejects_copy_rngs(self):
+        _, stream = _insertion_fixture()
+        with pytest.raises(EngineError):
+            count_subgraphs_insertion_only_fused(
+                stream,
+                patterns.triangle(),
+                copies=2,
+                trials=5,
+                mode=FusionMode.SHARED,
+                copy_rngs=[1, 2],
+            )
+
+
+class TestBatchedSketchEquivalence:
+    def test_single_reservoir_offer_many_matches_offer(self):
+        one = SingleReservoir(rng=5)
+        other = SingleReservoir(rng=5)
+        items = list(range(500))
+        for item in items:
+            one.offer(item)
+        other.offer_many(items)
+        assert one.item == other.item
+        assert one.count == other.count
+
+    def test_skip_ahead_bank_offer_many_matches_offer(self):
+        one = SkipAheadReservoirBank(37, rng=6)
+        other = SkipAheadReservoirBank(37, rng=6)
+        items = list(range(2000))
+        for item in items:
+            one.offer(item)
+        # Mixed chunk sizes, including a tail chunk.
+        other.offer_many(items[:512])
+        other.offer_many(items[512:513])
+        other.offer_many(items[513:])
+        assert one.items() == other.items()
+        assert one.count == other.count
+
+    def test_one_sparse_update_many_matches_update(self):
+        from repro.sketch.onesparse import OneSparseRecovery
+
+        one = OneSparseRecovery(200, rng=11)
+        other = OneSparseRecovery(200, z=one.z)
+        updates = [(7, 1), (7, 1), (9, 1), (7, -1), (9, -1), (7, -1), (13, 1)]
+        for item, delta in updates:
+            one.update(item, delta)
+        other.update_many(updates)
+        assert one.recover() == other.recover() == (13, 1)
+        assert one.is_empty == other.is_empty
+
+    def test_l0_update_many_matches_update(self):
+        one = L0Sampler(500, rng=7, repetitions=4)
+        other = L0Sampler(500, rng=7, repetitions=4)
+        updates = [(i, 1) for i in range(0, 400, 2)] + [(i, -1) for i in range(0, 100, 2)]
+        for item, delta in updates:
+            one.update(item, delta)
+        other.update_many(updates)
+        assert one.sample() == other.sample()
+        assert one.is_empty() == other.is_empty()
+
+
+class TestEngineApi:
+    def test_duplicate_names_rejected(self):
+        _, stream = _insertion_fixture()
+        engine = StreamEngine(stream)
+        engine.register(TriestEstimator(capacity=10, rng=1, name="a"))
+        with pytest.raises(EngineError):
+            engine.register(TriestEstimator(capacity=10, rng=2, name="a"))
+
+    def test_run_without_estimators_rejected(self):
+        _, stream = _insertion_fixture()
+        with pytest.raises(EngineError):
+            StreamEngine(stream).run()
+
+    def test_engine_is_single_use(self):
+        _, stream = _insertion_fixture()
+        engine = StreamEngine(stream)
+        engine.register(TriestEstimator(capacity=10, rng=1))
+        engine.run()
+        with pytest.raises(EngineError):
+            engine.run()
+
+    def test_result_before_finish_rejected(self):
+        _, stream = _insertion_fixture()
+        estimator = fgp_insertion_estimator(stream, patterns.triangle(), trials=5, rng=1)
+        with pytest.raises(EngineError):
+            estimator.result()
+
+    def test_report_getitem(self):
+        _, stream = _insertion_fixture()
+        engine = StreamEngine(stream)
+        engine.register(TriestEstimator(capacity=25, rng=9))
+        report = engine.run()
+        assert report["triest"].algorithm == "triest"
+        assert report.elements == stream.length

@@ -1,0 +1,174 @@
+"""Statistical-guarantee suite: the (1±ε) bound holds empirically.
+
+Seeded multi-trial runs of the fused counters at the paper's
+parameterization — trial budget k = Θ((2m)^ρ/(ε² L)) with L = #H
+(``chernoff_trials`` in PRACTICAL mode) and median amplification over
+K copies — asserting the advertised relative-error guarantee for
+triangle, 4-cycle, and 5-clique counting, over insertion-only and
+turnstile streams.
+
+Every run is seeded, so outcomes are deterministic; the failure-rate
+bounds are still left loose (a couple of misses allowed per scenario)
+so the suite survives refactors that legitimately permute random
+draws.  Opt-in via ``pytest -m statistical`` (deselected from tier-1
+by ``conftest.py``).
+"""
+
+import pytest
+
+from repro import (
+    count_cliques,
+    count_subgraphs_exact,
+    generators,
+    insertion_stream,
+    patterns,
+)
+from repro.engine import (
+    count_subgraphs_insertion_only_fused,
+    count_subgraphs_turnstile_fused,
+    count_subgraphs_two_pass_fused,
+)
+from repro.estimate.concentration import chernoff_trials
+from repro.streams.generators import turnstile_churn_stream
+
+pytestmark = pytest.mark.statistical
+
+
+def _budget(stream, pattern, epsilon, truth):
+    """The paper's PRACTICAL trial budget with L = #H."""
+    return chernoff_trials(
+        m=stream.net_edge_count,
+        rho=pattern.rho(),
+        epsilon=epsilon,
+        n=stream.n,
+        lower_bound=truth,
+    )
+
+
+def _within_rate(counter, trials_seeds, truth, epsilon):
+    hits = sum(1 for seed in trials_seeds if counter(seed).within(truth, epsilon))
+    return hits, len(trials_seeds)
+
+
+class TestTriangleGuarantee:
+    EPSILON = 0.25
+    TRIALS = 10
+
+    def _fixture(self):
+        graph = generators.planted_cliques(60, 5, 8, noise_edges=60, rng=1)
+        stream = insertion_stream(graph, rng=2)
+        truth = float(count_subgraphs_exact(graph, patterns.triangle()))
+        return stream, truth
+
+    def test_fused_median_meets_epsilon(self):
+        stream, truth = self._fixture()
+        pattern = patterns.triangle()
+        k = _budget(stream, pattern, self.EPSILON, truth)
+
+        def run(seed):
+            return count_subgraphs_insertion_only_fused(
+                stream, pattern, copies=9, trials=k, rng=seed
+            )
+
+        hits, total = _within_rate(run, range(1000, 1000 + self.TRIALS), truth, self.EPSILON)
+        assert hits >= total - 1, f"triangle: only {hits}/{total} within (1±{self.EPSILON})"
+
+    def test_per_copy_success_rate_is_calibrated(self):
+        """E[successes]/trials ≈ #H/(2m)^ρ — the estimator's core identity."""
+        stream, truth = self._fixture()
+        pattern = patterns.triangle()
+        k = _budget(stream, pattern, self.EPSILON, truth)
+        expected_rate = truth / (2.0 * stream.net_edge_count) ** pattern.rho()
+
+        fused = count_subgraphs_insertion_only_fused(
+            stream, pattern, copies=9, trials=k, rng=4242
+        )
+        mean_rate = sum(c.details["success_rate"] for c in fused.copies) / fused.num_copies
+        assert mean_rate == pytest.approx(expected_rate, rel=0.35)
+
+
+class TestFourCycleGuarantee:
+    EPSILON = 0.3
+    TRIALS = 8
+
+    def _fixture(self):
+        graph = generators.complete_bipartite_graph(8, 8)
+        stream = insertion_stream(graph, rng=3)
+        truth = float(count_subgraphs_exact(graph, patterns.cycle(4)))
+        return stream, truth
+
+    def test_fused_median_meets_epsilon_three_pass(self):
+        stream, truth = self._fixture()
+        pattern = patterns.cycle(4)
+        k = _budget(stream, pattern, self.EPSILON, truth)
+
+        def run(seed):
+            return count_subgraphs_insertion_only_fused(
+                stream, pattern, copies=7, trials=k, rng=seed
+            )
+
+        hits, total = _within_rate(run, range(2000, 2000 + self.TRIALS), truth, self.EPSILON)
+        assert hits >= total - 1, f"C4/3pass: only {hits}/{total} within (1±{self.EPSILON})"
+
+    def test_fused_median_meets_epsilon_two_pass(self):
+        """C4 is star-decomposable: the 2-pass counter owes the same bound."""
+        stream, truth = self._fixture()
+        pattern = patterns.cycle(4)
+        k = _budget(stream, pattern, self.EPSILON, truth)
+
+        def run(seed):
+            return count_subgraphs_two_pass_fused(
+                stream, pattern, copies=7, trials=k, rng=seed
+            )
+
+        hits, total = _within_rate(run, range(3000, 3000 + self.TRIALS), truth, self.EPSILON)
+        assert hits >= total - 1, f"C4/2pass: only {hits}/{total} within (1±{self.EPSILON})"
+
+
+class TestFiveCliqueGuarantee:
+    EPSILON = 0.5
+    TRIALS = 6
+
+    def _fixture(self):
+        graph = generators.planted_cliques(40, 12, 1, noise_edges=10, rng=5)
+        stream = insertion_stream(graph, rng=6)
+        truth = float(count_cliques(graph, 5))
+        return stream, truth
+
+    def test_fused_median_meets_epsilon(self):
+        stream, truth = self._fixture()
+        pattern = patterns.clique(5)
+        k = _budget(stream, pattern, self.EPSILON, truth)
+
+        def run(seed):
+            return count_subgraphs_insertion_only_fused(
+                stream, pattern, copies=5, trials=k, rng=seed
+            )
+
+        hits, total = _within_rate(run, range(4000, 4000 + self.TRIALS), truth, self.EPSILON)
+        assert hits >= total - 1, f"K5: only {hits}/{total} within (1±{self.EPSILON})"
+
+
+class TestTurnstileGuarantee:
+    EPSILON = 0.4
+    TRIALS = 6
+
+    def _fixture(self):
+        graph = generators.planted_cliques(30, 5, 4, noise_edges=10, rng=7)
+        stream = turnstile_churn_stream(graph, churn_edges=25, rng=8)
+        truth = float(count_subgraphs_exact(graph, patterns.triangle()))
+        return stream, truth
+
+    def test_fused_median_meets_epsilon_under_deletions(self):
+        stream, truth = self._fixture()
+        assert stream.allows_deletions
+        pattern = patterns.triangle()
+        k = _budget(stream, pattern, self.EPSILON, truth)
+
+        def run(seed):
+            return count_subgraphs_turnstile_fused(
+                stream, pattern, copies=5, trials=k, rng=seed
+            )
+
+        hits, total = _within_rate(run, range(5000, 5000 + self.TRIALS), truth, self.EPSILON)
+        assert hits >= total - 1, f"turnstile: only {hits}/{total} within (1±{self.EPSILON})"
