@@ -10,6 +10,7 @@ through the pass loop.  Two regimes matter:
 * the plain baselines (single reservoir, TRIEST) as a floor.
 """
 
+import os
 import time
 
 from conftest import emit_table
@@ -162,3 +163,68 @@ def test_throughput_fused_vs_sequential(benchmark, capsys):
 
     fused = benchmark.pedantic(run_fused_shared_32, rounds=1, iterations=1)
     assert fused.passes == 3
+
+
+def test_throughput_serial_vs_parallel_backend(benchmark, capsys):
+    """The process backend vs the serial backend at K=32 (mirror mode).
+
+    One fused mirror-mode run per row, identical seeds throughout, so
+    every row's estimate is the same number and the table isolates
+    *execution* cost: the serial row is the in-process dispatch loop,
+    the process rows add the worker protocol (batch pickling, queue
+    hops) and divide the estimator work by the pool size.  On a
+    single-CPU box the process rows mostly measure protocol overhead
+    (speedup < 1); with real cores the K copies' sampler work shards
+    across the pool.  ``elements/s`` counts ensemble-observed elements
+    (K × 3m) per wall-clock second, as in the fused-vs-sequential
+    table above.
+    """
+    graph = gen.barabasi_albert(8000, 5, rng=11)
+    trials_per_copy = 200
+    copies = 32
+    pattern = zoo.triangle()
+    ensemble_elements = copies * 3 * graph.m
+    cpus = os.cpu_count() or 1
+
+    table = Table(
+        f"Serial vs process backend, mirror mode (K={copies}, "
+        f"trials/copy={trials_per_copy}, m={graph.m}, cpus={cpus})",
+        ["backend", "workers", "seconds", "elements/s", "speedup vs serial",
+         "estimate"],
+    )
+
+    def run_fused(backend, workers=None):
+        stream = insertion_stream(graph, rng=12)
+        start = time.perf_counter()
+        result = count_subgraphs_insertion_only_fused(
+            stream,
+            pattern,
+            copies=copies,
+            trials=trials_per_copy,
+            rng=13,
+            mode=FusionMode.MIRROR,
+            backend=backend,
+            workers=workers,
+        )
+        seconds = time.perf_counter() - start
+        assert result.passes == 3
+        return result, seconds
+
+    serial, serial_seconds = run_fused("serial")
+    table.add_row("serial", 1, serial_seconds,
+                  ensemble_elements / serial_seconds, 1.0, serial.estimate)
+    for workers in dict.fromkeys([1, 2, cpus]):
+        result, seconds = run_fused("process", workers)
+        # Mirror mode: sharding may not be *fast* on this machine, but
+        # it must never change the answer.
+        assert result.estimates == serial.estimates
+        table.add_row("process", workers, seconds,
+                      ensemble_elements / seconds, serial_seconds / seconds,
+                      result.estimate)
+
+    emit_table(table, "throughput_parallel", capsys)
+
+    fused = benchmark.pedantic(
+        lambda: run_fused("process", cpus)[0], rounds=1, iterations=1
+    )
+    assert fused.estimates == serial.estimates

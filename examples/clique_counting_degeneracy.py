@@ -1,3 +1,4 @@
+# Demonstrates: the ERS 5r-pass clique counter (Theorem 2) and the geometric lower-bound search.
 """Clique counting in low-degeneracy graphs with the ERS 5r-pass
 algorithm (Theorem 2), including the unknown-#K_r geometric search.
 

@@ -1,3 +1,4 @@
+# Demonstrates: turnstile counting over privacy-split substreams via mergeable linear sketches.
 """Turnstile counting over substreams that cannot be consolidated.
 
 The paper motivates the turnstile model with streams "split into

@@ -1,3 +1,4 @@
+# Demonstrates: writing a custom round-adaptive algorithm and running it on three oracle substrates (Theorems 9/11).
 """The transformation, hands on: one algorithm, three substrates.
 
 Writes a tiny custom round-adaptive algorithm (estimate the average

@@ -1,3 +1,4 @@
+# Demonstrates: the 3-pass insertion-only counter (Theorem 17) end to end on one graph.
 """Quickstart: approximate triangle counting in 3 passes.
 
 Generates a preferential-attachment graph, streams its edges in random

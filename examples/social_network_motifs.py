@@ -1,3 +1,4 @@
+# Demonstrates: a multi-pattern motif census driven from shared stream passes.
 """Motif census of a social network from an edge stream.
 
 The paper's introduction motivates subgraph counting with transitivity

@@ -1,3 +1,4 @@
+# Demonstrates: the §1.3 stream models (arbitrary, random, degeneracy orders) and what each buys.
 """Tour of the §1.3 stream models: what extra structure buys.
 
 The paper's algorithms work in the *arbitrary-order* model — the

@@ -1,3 +1,4 @@
+# Demonstrates: the 2-pass star-decomposable counter answering the paper's open question for a subclass.
 """The conclusion's open question, answered for a subclass.
 
 The paper closes asking: "Can we obtain a 2-pass algorithm for #H with

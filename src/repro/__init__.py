@@ -51,6 +51,13 @@ for the same seeds, while the default shared mode merges all copies'
 query batches into one oracle for the highest throughput (see
 ``repro.engine`` and ``benchmarks/bench_throughput.py``).
 
+Parallel execution: pass ``backend="process"`` (plus ``workers=N``) to
+any fused entry point — or build a ``StreamEngine`` with that backend
+and register picklable specs — to shard the copies across a
+multiprocessing pool; see :mod:`repro.engine.parallel` and
+``docs/ARCHITECTURE.md``.  Mirror-mode results are identical across
+backends and worker counts for the same seeds.
+
 Exact ground truth::
 
     from repro import count_subgraphs_exact
@@ -101,7 +108,7 @@ from repro.streaming.ers.counter import count_cliques_query_model, count_cliques
 from repro.streaming.ers.params import ErsParameters
 from repro.estimate.result import EstimateResult
 from repro.estimate.search import geometric_search
-from repro.engine.core import EngineReport, StreamEngine
+from repro.engine.core import EngineBackend, EngineReport, StreamEngine
 from repro.engine.fused import (
     FusedCountResult,
     FusionMode,
@@ -157,6 +164,7 @@ __all__ = [
     "geometric_search",
     "StreamEngine",
     "EngineReport",
+    "EngineBackend",
     "FusionMode",
     "FusedCountResult",
     "count_subgraphs_insertion_only_fused",

@@ -7,7 +7,10 @@ classic accuracy-for-space dial.  Generalized here to any pattern H
 (rescale by p^{-|E(H)|}).
 
 :class:`DoulionEstimator` is the pass-driven core (engine-compatible);
-:func:`doulion_count` is the historical one-shot wrapper.
+:func:`doulion_count` is the historical one-shot wrapper.  Its state
+(kept edges, pattern, ``random.Random``) pickles, so it runs on the
+process backend via ``EstimatorSpec(...,
+factory=repro.engine.parallel.build_doulion)``.
 """
 
 from __future__ import annotations

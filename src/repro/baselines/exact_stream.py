@@ -4,7 +4,10 @@ One pass, O(m) words — the point every sublinear-space algorithm is
 measured against.  Works for any pattern and for turnstile streams.
 
 :class:`ExactStreamEstimator` is the pass-driven core (engine-
-compatible); :func:`exact_stream_count` is the one-shot wrapper.
+compatible); :func:`exact_stream_count` is the one-shot wrapper.  Its
+state is a plain edge set and pickles, so it runs on the process
+backend via ``EstimatorSpec(...,
+factory=repro.engine.parallel.build_exact_stream)``.
 """
 
 from __future__ import annotations

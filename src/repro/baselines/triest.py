@@ -13,7 +13,10 @@ practical 1-pass baseline the paper's related work competes with.
 :class:`TriestEstimator` is the pass-driven core (engine-compatible:
 ``wants_pass`` / ``begin_pass`` / ``ingest_batch`` / ``end_pass`` /
 ``result``); :func:`triest_count` is the historical one-shot wrapper
-that drives it over a single stream pass.
+that drives it over a single stream pass.  The estimator's state is
+plain data (reservoir, adjacency sets, ``random.Random``) and pickles,
+so it runs on the process backend via
+``EstimatorSpec(..., factory=repro.engine.parallel.build_triest)``.
 """
 
 from __future__ import annotations

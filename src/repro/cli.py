@@ -7,12 +7,20 @@ can be driven without writing Python:
 * ``exact``    — exact #H of an edge-list graph (ground truth);
 * ``count``    — the paper's streaming counters (3-pass insertion-only,
   3-pass turnstile, or the 2-pass star-decomposable variant) on an
-  edge-list graph streamed in random order;
+  edge-list graph streamed in random order.  ``--copies K`` runs
+  median-of-K amplification through the fused engine in the same 3
+  (resp. 2) passes, and ``--parallel [--workers N]`` shards those K
+  copies across a pool of worker processes
+  (:mod:`repro.engine.parallel`); ``--mode mirror`` (the default)
+  keeps the estimates identical across backends and worker counts for
+  a fixed ``--seed``, ``--mode shared`` trades that for speed;
 * ``ers``      — Theorem 2's clique counter for low-degeneracy graphs;
 * ``covers``   — ρ(H), β(H), the Lemma 4 decomposition and f_T(H) for
   a zoo pattern;
-* ``experiments`` — regenerate the E1–E13/A1 tables (delegates to
-  :mod:`repro.experiments.runner`).
+* ``experiments`` — regenerate the E1–E14/A1 tables (delegates to
+  :mod:`repro.experiments.runner`); ``--parallel [--workers N]``
+  passes a process-backend pool to the backend-aware experiments
+  (e14).
 
 Patterns are named as in the zoo: ``edge``, ``triangle``, ``P3``/
 ``P4``/..., ``C4``/``C5``/..., ``S2``/``S3``/..., ``K4``/``K5``/...,
@@ -111,10 +119,60 @@ def _count(args: argparse.Namespace) -> int:
 
     graph = read_edge_list(args.graph)
     pattern = parse_pattern(args.pattern)
+    # An explicit --copies (any value — bad ones get the library's
+    # validation error) or --parallel selects the fused path; otherwise
+    # the plain single-copy counters run.
+    fused = args.parallel or args.copies is not None
+    copies = args.copies if args.copies is not None else (8 if args.parallel else 1)
+    if not fused and args.mode is not None:
+        print("error: --mode requires a fused run (--copies K or --parallel)",
+              file=sys.stderr)
+        return 2
+    if args.workers is not None and not args.parallel:
+        print("error: --workers requires --parallel", file=sys.stderr)
+        return 2
+    if args.workers is not None and args.workers < 1:
+        print(f"error: --workers must be >= 1, got {args.workers}", file=sys.stderr)
+        return 2
     if args.adaptive:
+        if fused:
+            print("error: --adaptive cannot be combined with --parallel/--copies",
+                  file=sys.stderr)
+            return 2
         stream = insertion_stream(graph, rng=args.seed)
         result = count_subgraphs_unknown(
             stream, pattern, epsilon=args.epsilon, rng=args.seed + 1
+        )
+    elif fused:
+        # Median-of-K amplification through the fused engine; with
+        # --parallel the K copies shard across a worker-process pool.
+        # Mirror mode keeps the estimates identical across backends
+        # and worker counts for a fixed seed.
+        from repro.engine import (
+            count_subgraphs_insertion_only_fused,
+            count_subgraphs_turnstile_fused,
+            count_subgraphs_two_pass_fused,
+        )
+
+        backend = "process" if args.parallel else "serial"
+        if args.algorithm == "turnstile":
+            stream = turnstile_churn_stream(graph, args.churn, rng=args.seed)
+            counter = count_subgraphs_turnstile_fused
+        elif args.algorithm == "two-pass":
+            stream = insertion_stream(graph, rng=args.seed)
+            counter = count_subgraphs_two_pass_fused
+        else:
+            stream = insertion_stream(graph, rng=args.seed)
+            counter = count_subgraphs_insertion_only_fused
+        result = counter(
+            stream,
+            pattern,
+            copies=copies,
+            trials=args.trials,
+            rng=args.seed + 1,
+            mode=args.mode or "mirror",
+            backend=backend,
+            workers=args.workers,
         )
     elif args.algorithm == "turnstile":
         stream = turnstile_churn_stream(graph, args.churn, rng=args.seed)
@@ -183,10 +241,15 @@ def _covers(args: argparse.Namespace) -> int:
 
 
 def _experiments(args: argparse.Namespace) -> int:
-    from repro.experiments.runner import run_all
+    from repro.experiments.runner import resolve_pool, run_all
 
+    try:
+        workers = resolve_pool(args.parallel, args.workers)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
     run_all(fast=not args.full, seed=args.seed, only=args.only or None,
-            markdown=args.markdown)
+            markdown=args.markdown, workers=workers)
     return 0
 
 
@@ -229,6 +292,16 @@ def build_parser() -> argparse.ArgumentParser:
     p_count.add_argument("--churn", type=int, default=50, help="turnstile churn edges")
     p_count.add_argument("--seed", type=int, default=0)
     p_count.add_argument("--truth", action="store_true", help="also print exact #H")
+    p_count.add_argument("--copies", type=int, default=None,
+                         help="median-of-K fused copies (default: 1, or 8 with --parallel)")
+    p_count.add_argument("--parallel", action="store_true",
+                         help="shard the K copies across a worker-process pool")
+    p_count.add_argument("--workers", type=int, default=None,
+                         help="pool size for --parallel (default: one per CPU)")
+    p_count.add_argument("--mode", choices=["mirror", "shared"], default=None,
+                         help="fusion mode for --copies/--parallel runs: mirror "
+                         "(per-copy oracles, backend-independent estimates; the "
+                         "default) or shared (merged oracles, fastest)")
     p_count.set_defaults(handler=_count)
 
     p_ers = commands.add_parser("ers", help="Theorem 2 clique counter")
@@ -246,11 +319,16 @@ def build_parser() -> argparse.ArgumentParser:
     p_covers.add_argument("--list", action="store_true", help="list known patterns")
     p_covers.set_defaults(handler=_covers)
 
-    p_exp = commands.add_parser("experiments", help="regenerate E1-E12/A1 tables")
-    p_exp.add_argument("--only", nargs="*", help="experiment ids, e.g. e07 e11")
+    p_exp = commands.add_parser("experiments", help="regenerate E1-E14/A1 tables")
+    p_exp.add_argument("--only", nargs="*", help="experiment ids, e.g. e07 e14")
     p_exp.add_argument("--full", action="store_true", help="full (slow) configurations")
     p_exp.add_argument("--markdown", action="store_true")
     p_exp.add_argument("--seed", type=int, default=2022)
+    p_exp.add_argument("--parallel", action="store_true",
+                       help="run backend-aware experiments (e14) with the "
+                       "process backend")
+    p_exp.add_argument("--workers", type=int, default=None,
+                       help="pool size for --parallel (default: 2)")
     p_exp.set_defaults(handler=_experiments)
 
     return parser

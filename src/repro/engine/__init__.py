@@ -5,8 +5,10 @@ runs, TRIEST / Doulion / exact baselines) and drives them all from ONE
 iteration of each stream pass, dispatching decoded updates in
 configurable batches.  See :mod:`repro.engine.core` for the executor
 and pass-callback protocol, :mod:`repro.engine.estimators` for the
-adapters, and :mod:`repro.engine.fused` for the median-of-K fused
-counting entry points.
+adapters, :mod:`repro.engine.fused` for the median-of-K fused counting
+entry points, and :mod:`repro.engine.parallel` for the multiprocessing
+execution backend (the worker protocol, :class:`EstimatorSpec` and
+:class:`StreamHandle`).
 
 Quick tour::
 
@@ -26,12 +28,34 @@ Median amplification in 3 passes instead of 3K::
     fused = count_subgraphs_insertion_only_fused(
         stream, patterns.triangle(), copies=32, trials=200, rng=7)
     fused.estimate                 # median of 32 independent copies
+
+The same 3 passes, with the K copies sharded across worker processes
+(CLI equivalent: ``python -m repro count --parallel --workers 4``)::
+
+    fused = count_subgraphs_insertion_only_fused(
+        stream, patterns.triangle(), copies=32, trials=200, rng=7,
+        mode="mirror", backend="process", workers=4)
+    # mirror-mode estimates are bit-identical to backend="serial"
+    # for the same seeds, whatever the worker count.
+
+Parallel execution of hand-registered estimators goes through
+picklable specs (live estimators cannot cross a process boundary)::
+
+    from repro.engine import EstimatorSpec, StreamEngine
+    from repro.engine.parallel import build_triest
+
+    engine = StreamEngine(stream, backend="process", workers=2)
+    engine.register_spec(EstimatorSpec(
+        name="triest", factory=build_triest,
+        kwargs=dict(capacity=400, rng=2)))
+    report = engine.run()
 """
 
 from repro.engine.core import (
     DEFAULT_BATCH_SIZE,
     DecodedBatch,
     DecodedUpdate,
+    EngineBackend,
     EngineReport,
     StreamEngine,
 )
@@ -52,13 +76,22 @@ from repro.engine.fused import (
     count_subgraphs_turnstile_fused,
     count_subgraphs_two_pass_fused,
 )
+from repro.engine.parallel import (
+    EstimatorSpec,
+    StreamHandle,
+    run_process_engine,
+)
 
 __all__ = [
     "DEFAULT_BATCH_SIZE",
     "DecodedBatch",
     "DecodedUpdate",
+    "EngineBackend",
     "EngineReport",
     "StreamEngine",
+    "EstimatorSpec",
+    "StreamHandle",
+    "run_process_engine",
     "RoundAdaptiveEstimator",
     "fgp_insertion_estimator",
     "fgp_turnstile_estimator",

@@ -29,12 +29,19 @@ Decoding happens once per pass: each ``Update`` object is unpacked to
 a plain ``(u, v, delta, edge)`` tuple before dispatch, so no estimator
 pays the dataclass attribute/property cost — with K registrations the
 historical per-copy decode is amortized K ways.
+
+The engine runs on one of two execution backends
+(:class:`EngineBackend`): ``serial`` dispatches in-process, and
+``process`` shards the registered estimator *specs* across a
+multiprocessing worker pool while this process keeps the single stream
+iteration and broadcasts the decoded batches
+(:mod:`repro.engine.parallel`).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, List, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
 from repro.errors import EngineError
 from repro.streams.stream import (
@@ -55,16 +62,44 @@ DEFAULT_BATCH_SIZE = DEFAULT_CHUNK_SIZE
 
 @dataclass
 class EngineReport:
-    """Outcome of one :meth:`StreamEngine.run`."""
+    """Outcome of one :meth:`StreamEngine.run`.
+
+    ``workers`` is 1 for the serial backend; for the process backend it
+    records the pool size, and ``dispatches`` counts batch broadcasts
+    (batches × active workers) rather than batches × active estimators.
+    """
 
     results: Dict[str, Any]
     passes: int
     elements: int
     dispatches: int
     batch_size: int
+    workers: int = 1
 
     def __getitem__(self, name: str) -> Any:
         return self.results[name]
+
+
+class EngineBackend:
+    """Where the registered estimators execute.
+
+    ``SERIAL``
+        All estimators run in this process, inside the engine's own
+        dispatch loop — the default, and the only backend that accepts
+        live (pre-built) estimator objects.
+    ``PROCESS``
+        Estimators are sharded across a multiprocessing worker pool
+        (:mod:`repro.engine.parallel`).  Registration goes through
+        picklable :class:`~repro.engine.parallel.EstimatorSpec` recipes
+        (live estimators hold generator frames and cannot cross a
+        process boundary); the driver broadcasts each decoded batch to
+        every worker and merges the per-shard results.
+    """
+
+    SERIAL = "serial"
+    PROCESS = "process"
+
+    _ALL = (SERIAL, PROCESS)
 
 
 class StreamEngine:
@@ -83,6 +118,18 @@ class StreamEngine:
     reset_pass_count:
         Whether :meth:`run` zeroes the stream's pass counter first, so
         ``stream.passes_used`` afterwards reads the fused pass count.
+    backend:
+        :data:`EngineBackend.SERIAL` (default) runs everything in-process;
+        :data:`EngineBackend.PROCESS` shards the registered specs across
+        a worker pool (see :class:`EngineBackend` and
+        :mod:`repro.engine.parallel`).
+    workers:
+        Process-backend pool size; ``None`` means one worker per CPU,
+        capped at the number of registered specs.  Ignored by the
+        serial backend.
+    start_method:
+        Multiprocessing start method for the process backend (``None``:
+        ``fork`` where available, else ``spawn``).
     """
 
     def __init__(
@@ -91,16 +138,27 @@ class StreamEngine:
         batch_size: int = DEFAULT_BATCH_SIZE,
         reset_pass_count: bool = True,
         max_passes: int = 0,
+        backend: str = EngineBackend.SERIAL,
+        workers: Optional[int] = None,
+        start_method: Optional[str] = None,
     ) -> None:
         if batch_size < 1:
             raise EngineError(f"batch_size must be >= 1, got {batch_size}")
         if max_passes < 0:
             raise EngineError(f"max_passes must be >= 0, got {max_passes}")
+        if backend not in EngineBackend._ALL:
+            raise EngineError(
+                f"unknown backend {backend!r}; expected one of {EngineBackend._ALL}"
+            )
         self._stream = stream
         self._batch_size = batch_size
         self._reset_pass_count = reset_pass_count
         self._max_passes = max_passes
+        self._backend = backend
+        self._workers = workers
+        self._start_method = start_method
         self._estimators: List[Any] = []
+        self._specs: List[Any] = []
         self._names: Dict[str, Any] = {}
         self._ran = False
 
@@ -113,8 +171,23 @@ class StreamEngine:
         """The registered estimators, in registration order."""
         return list(self._estimators)
 
+    @property
+    def backend(self) -> str:
+        """The configured :class:`EngineBackend` value."""
+        return self._backend
+
     def register(self, estimator) -> Any:
-        """Add *estimator* to the fused run; returns it for chaining."""
+        """Add a live *estimator* to the fused run; returns it for chaining.
+
+        Serial backend only: a live estimator (generator frames, open
+        oracle state) cannot be shipped to a worker process — register
+        a picklable recipe with :meth:`register_spec` instead.
+        """
+        if self._backend != EngineBackend.SERIAL:
+            raise EngineError(
+                "live estimators cannot cross a process boundary; use "
+                "register_spec() with the process backend"
+            )
         name = getattr(estimator, "name", None)
         if not name:
             raise EngineError("estimators must expose a non-empty .name")
@@ -130,16 +203,55 @@ class StreamEngine:
         """Register every estimator of an iterable, in order."""
         return [self.register(estimator) for estimator in estimators]
 
+    def register_spec(self, spec) -> Any:
+        """Register an :class:`~repro.engine.parallel.EstimatorSpec`.
+
+        Works with both backends: the serial backend builds the
+        estimator immediately against the real stream, the process
+        backend defers construction to the worker that receives the
+        shard.  Returns the spec for chaining.
+        """
+        if self._backend == EngineBackend.SERIAL:
+            self.register(spec.build(self._stream))
+            return spec
+        if not spec.name:
+            raise EngineError("estimator specs must carry a non-empty .name")
+        if spec.name in self._names:
+            raise EngineError(f"estimator name {spec.name!r} already registered")
+        if self._ran:
+            raise EngineError("cannot register estimators after run()")
+        self._names[spec.name] = spec
+        self._specs.append(spec)
+        return spec
+
     def run(self) -> EngineReport:
         """Drive every registered estimator to completion.
 
-        Iterates the stream once per fused pass and feeds each decoded
-        batch to every estimator that is still consuming passes.
+        Serial backend: iterates the stream once per fused pass and
+        feeds each decoded batch to every estimator that is still
+        consuming passes.  Process backend: delegates the same loop to
+        :func:`repro.engine.parallel.run_process_engine`, broadcasting
+        each batch to the worker pool.
         """
-        if not self._estimators:
-            raise EngineError("no estimators registered")
         if self._ran:
             raise EngineError("engine already ran; build a new one per run")
+        if self._backend == EngineBackend.PROCESS:
+            if not self._specs:
+                raise EngineError("no estimator specs registered")
+            self._ran = True
+            from repro.engine.parallel import run_process_engine
+
+            return run_process_engine(
+                self._stream,
+                self._specs,
+                workers=self._workers,
+                batch_size=self._batch_size,
+                start_method=self._start_method,
+                reset_pass_count=self._reset_pass_count,
+                max_passes=self._max_passes,
+            )
+        if not self._estimators:
+            raise EngineError("no estimators registered")
         self._ran = True
         if self._reset_pass_count:
             self._stream.reset_pass_count()

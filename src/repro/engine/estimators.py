@@ -18,6 +18,14 @@ trial resolution, same rng derivation tree — differing only in who
 iterates the stream.  Baseline estimators (:class:`TriestEstimator`,
 :class:`DoulionEstimator`, :class:`ExactStreamEstimator`) are
 re-exported from :mod:`repro.baselines` for one-stop registration.
+
+Because the factories are module-level callables taking ``(stream,
+**picklable kwargs)``, they double as the ``factory`` of a
+process-backend :class:`~repro.engine.parallel.EstimatorSpec`: a
+worker rebuilds the estimator from ``(pattern, trials, rng)`` against
+a :class:`~repro.engine.parallel.StreamHandle`.  A built
+:class:`RoundAdaptiveEstimator` itself holds live generator frames and
+is deliberately *not* picklable — reconstruct from seeds, don't ship.
 """
 
 from __future__ import annotations

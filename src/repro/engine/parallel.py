@@ -1,0 +1,499 @@
+"""The sharded multiprocessing execution backend of the fused engine.
+
+The fused engine (:mod:`repro.engine.core`) removed the O(K·m) stream
+traffic of median-of-K amplification, but all K estimator copies still
+execute on one core.  The copies are embarrassingly parallel — in
+``mirror`` mode they share *nothing* but the stream bytes — so this
+module shards them across a pool of worker processes:
+
+* the **driver** (the parent process) owns the stream.  It iterates
+  each fused pass exactly once, decodes updates into batches, and
+  broadcasts every batch to each worker that still has estimators
+  wanting passes;
+* each **worker** rebuilds its shard of estimators locally from a
+  picklable :class:`EstimatorSpec` (live estimators hold generator
+  frames and cannot cross a process boundary — they are
+  *reconstructable from seeds* instead), feeds it the broadcast
+  batches, and ships the finished results back;
+* the driver **merges**: per-copy results are reassembled in
+  registration order, so median-of-K and per-copy diagnostics are
+  computed exactly as in the serial backend.
+
+Determinism
+-----------
+A spec carries explicit seed material (ints or pickled
+``random.Random`` states), never "whatever entropy the worker has", so
+a process-backend run is a pure function of the seeds.  In ``mirror``
+mode each copy's state is private, which makes the results independent
+of the worker count as well: ``--workers 1``, ``2`` and ``4`` return
+identical estimates, equal bit-for-bit to the serial backend
+(asserted in ``tests/test_parallel.py``).
+
+Worker protocol
+---------------
+Driver → worker, over a bounded per-worker command queue (the bound is
+the backpressure: a slow worker throttles the reader instead of
+buffering the whole stream):
+
+``("begin_pass", i)`` / ``("batch", updates)`` / ``("end_pass",)``
+    One fused pass: updates are lists of decoded ``(u, v, delta,
+    edge)`` tuples, in stream order.
+``("collect",)``
+    Ship back ``{name: result}`` for the worker's shard.
+``("stop",)``
+    Exit the worker loop.
+
+Worker → driver, over one shared reply queue, always tagged with the
+worker id: ``("ready", wid, wants_pass)`` after building its shard,
+``("pass_done", wid, wants_pass)`` after each pass, ``("results",
+wid, mapping)``, and ``("error", wid, traceback)`` from any failure —
+the driver then terminates the pool and re-raises as
+:class:`~repro.errors.EngineError` with the worker's traceback.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+import traceback
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.engine.core import DEFAULT_BATCH_SIZE, EngineReport
+from repro.errors import EngineError
+from repro.streams.stream import EdgeStream, decoded_chunks
+
+__all__ = [
+    "StreamHandle",
+    "EstimatorSpec",
+    "run_process_engine",
+    "resolve_workers",
+    "shard_indices",
+    "build_triest",
+    "build_doulion",
+    "build_exact_stream",
+]
+
+#: Seconds the driver waits for a worker reply before declaring it hung.
+DEFAULT_REPLY_TIMEOUT = 600.0
+
+#: Command-queue bound: how many decoded batches may be in flight per
+#: worker before the driver's broadcast blocks (the backpressure knob).
+COMMAND_QUEUE_DEPTH = 16
+
+
+@dataclass(frozen=True)
+class StreamHandle:
+    """Picklable metadata stub standing in for an :class:`EdgeStream`.
+
+    Workers never see the stream contents (batches arrive over the
+    command queue), but estimator factories consult the stream's
+    *metadata*: oracles check ``allows_deletions`` and ``n``, trial
+    resolution and finalizers read ``net_edge_count`` / ``length``.
+    A handle carries exactly that surface and refuses iteration, so a
+    mis-wired worker fails loudly instead of silently re-reading a
+    stream it does not have.
+    """
+
+    n: int
+    length: int
+    net_edge_count: int
+    allows_deletions: bool
+
+    @classmethod
+    def of(cls, stream) -> "StreamHandle":
+        """The handle describing *stream* (idempotent on handles)."""
+        if isinstance(stream, cls):
+            return stream
+        return cls(
+            n=stream.n,
+            length=stream.length,
+            net_edge_count=stream.net_edge_count,
+            allows_deletions=stream.allows_deletions,
+        )
+
+    @property
+    def passes_used(self) -> int:
+        """Always 0: the driver owns pass accounting in process mode."""
+        return 0
+
+    def reset_pass_count(self) -> None:
+        """No-op; the driver's real stream counts the fused passes."""
+
+    def updates(self):
+        raise EngineError(
+            "StreamHandle cannot be iterated: in the process backend the "
+            "driver owns the stream and broadcasts decoded batches to workers"
+        )
+
+    def __len__(self) -> int:
+        return self.length
+
+
+@dataclass(frozen=True)
+class EstimatorSpec:
+    """A picklable recipe for building one estimator inside a worker.
+
+    ``factory`` must be an importable module-level callable (pickled by
+    reference) invoked as ``factory(stream, **kwargs)``, where *stream*
+    is the driver's :class:`StreamHandle`; ``kwargs`` must be picklable
+    — plain ints/strings/patterns and seed material rather than live
+    generators.  The factories in :mod:`repro.engine.estimators`
+    (``fgp_insertion_estimator`` et al.) and the ``build_*`` wrappers
+    below all qualify.
+    """
+
+    name: str
+    factory: Callable[..., Any]
+    kwargs: Dict[str, Any] = field(default_factory=dict)
+
+    def build(self, stream) -> Any:
+        """Construct the estimator against *stream* (handle or stream)."""
+        estimator = self.factory(stream, **self.kwargs)
+        built_name = getattr(estimator, "name", None)
+        if built_name != self.name:
+            raise EngineError(
+                f"spec {self.name!r} built an estimator named {built_name!r}; "
+                "pass the spec's name through to the factory"
+            )
+        return estimator
+
+
+# -- spec factories for the baseline estimators -------------------------
+#
+# The baseline constructors do not take a stream (or take only ``n``),
+# so these module-level adapters give them the uniform
+# ``factory(stream, **kwargs)`` shape EstimatorSpec requires.
+
+
+def build_triest(stream, **kwargs):
+    """Spec factory: :class:`~repro.baselines.triest.TriestEstimator`."""
+    from repro.baselines.triest import TriestEstimator
+
+    return TriestEstimator(**kwargs)
+
+
+def build_doulion(stream, **kwargs):
+    """Spec factory: :class:`~repro.baselines.doulion.DoulionEstimator`
+    (``stream.n`` is filled in from the handle)."""
+    from repro.baselines.doulion import DoulionEstimator
+
+    return DoulionEstimator(stream.n, **kwargs)
+
+
+def build_exact_stream(stream, **kwargs):
+    """Spec factory: :class:`~repro.baselines.exact_stream.ExactStreamEstimator`."""
+    from repro.baselines.exact_stream import ExactStreamEstimator
+
+    return ExactStreamEstimator(stream.n, **kwargs)
+
+
+def resolve_workers(workers: Optional[int], jobs: int) -> int:
+    """The effective pool size: requested (or cpu count), capped by jobs."""
+    if workers is None:
+        workers = os.cpu_count() or 1
+    if workers < 1:
+        raise EngineError(f"workers must be >= 1, got {workers}")
+    return max(1, min(workers, jobs))
+
+
+def shard_indices(count: int, shards: int) -> List[List[int]]:
+    """Split ``range(count)`` into *shards* contiguous, nearly equal runs.
+
+    The first ``count % shards`` shards get the extra element; empty
+    shards are dropped (when ``shards > count``).
+    """
+    if shards < 1:
+        raise EngineError(f"shards must be >= 1, got {shards}")
+    base, extra = divmod(count, shards)
+    result: List[List[int]] = []
+    start = 0
+    for shard in range(shards):
+        size = base + (1 if shard < extra else 0)
+        if size:
+            result.append(list(range(start, start + size)))
+        start += size
+    return result
+
+
+def _worker_main(worker_id: int, specs, handle: StreamHandle, commands, replies) -> None:
+    """Worker loop: build the shard, consume commands, ship results."""
+    try:
+        estimators = [spec.build(handle) for spec in specs]
+        active: List[Any] = []
+        replies.put(("ready", worker_id, any(e.wants_pass() for e in estimators)))
+        while True:
+            message = commands.get()
+            command = message[0]
+            if command == "begin_pass":
+                active = [e for e in estimators if e.wants_pass()]
+                for estimator in active:
+                    estimator.begin_pass(message[1])
+            elif command == "batch":
+                batch = message[1]
+                for estimator in active:
+                    estimator.ingest_batch(batch)
+            elif command == "end_pass":
+                for estimator in active:
+                    estimator.end_pass()
+                active = []
+                replies.put(
+                    ("pass_done", worker_id, any(e.wants_pass() for e in estimators))
+                )
+            elif command == "collect":
+                results = {e.name: e.result() for e in estimators}
+                replies.put(("results", worker_id, results))
+            elif command == "stop":
+                return
+            else:  # pragma: no cover - driver never sends unknown commands
+                raise EngineError(f"unknown worker command {command!r}")
+    except BaseException:
+        try:
+            replies.put(("error", worker_id, traceback.format_exc()))
+        finally:
+            return
+
+
+class _WorkerPool:
+    """Driver-side handle on the spawned workers and their queues."""
+
+    def __init__(self, context, shards: Sequence[Sequence[EstimatorSpec]], handle, timeout):
+        self._timeout = timeout
+        # Legitimate replies pulled off the queue while probing for
+        # failures mid-broadcast (a fast worker may answer an
+        # ``end_pass``/``collect`` before the slowest worker received
+        # it); gather() consumes these first.
+        self._stashed: List[tuple] = []
+        self.replies = context.Queue()
+        self.commands = []
+        self.processes = []
+        for worker_id, shard in enumerate(shards):
+            queue = context.Queue(COMMAND_QUEUE_DEPTH)
+            process = context.Process(
+                target=_worker_main,
+                args=(worker_id, list(shard), handle, queue, self.replies),
+                daemon=True,
+            )
+            self.commands.append(queue)
+            self.processes.append(process)
+        try:
+            for process in self.processes:
+                process.start()
+        except BaseException:
+            # Partial startup (EAGAIN under process pressure, spawn
+            # pickling error): reap whatever already launched instead
+            # of leaking daemons blocked on commands.get().
+            for process in self.processes:
+                if process.is_alive():
+                    process.terminate()
+                    process.join(timeout=5.0)
+            raise
+
+    def send(self, worker_id: int, message) -> None:
+        """Put *message* on a worker's bounded queue without deadlocking.
+
+        A worker that died mid-pass stops draining its queue; once the
+        queue is full a plain ``put`` would block forever while the
+        worker's error reply sits unread.  So on backpressure we poll
+        the reply queue — errors raise immediately, legitimate replies
+        from faster workers are stashed for the next ``gather`` — and
+        check the process is still alive.
+        """
+        import queue as queue_module
+
+        queue = self.commands[worker_id]
+        deadline = time.monotonic() + self._timeout
+        while True:
+            try:
+                queue.put(message, timeout=1.0)
+                return
+            except queue_module.Full:
+                self._raise_on_failure(worker_id)
+                if time.monotonic() > deadline:
+                    raise EngineError(
+                        f"timed out after {self._timeout}s sending to worker "
+                        f"{worker_id} (command queue full)"
+                    )
+
+    def _raise_on_failure(self, worker_id: int) -> None:
+        import queue as queue_module
+
+        try:
+            reply = self.replies.get_nowait()
+        except queue_module.Empty:
+            if not self.processes[worker_id].is_alive():
+                raise EngineError(
+                    f"worker {worker_id} died without reporting an error "
+                    "(command queue stalled)"
+                )
+            return
+        if reply[0] == "error":
+            raise EngineError(f"worker {reply[1]} failed:\n{reply[2]}")
+        # A fast worker's legitimate reply to a message the slow worker
+        # has not received yet; hold it for the next gather().
+        self._stashed.append(reply)
+
+    def broadcast(self, worker_ids, message) -> None:
+        for worker_id in worker_ids:
+            self.send(worker_id, message)
+
+    def gather(self, kind: str, worker_ids) -> Dict[int, Any]:
+        """One *kind* reply from each of *worker_ids*; abort on errors.
+
+        Waits in short slices so a worker that dies *without* managing
+        to ship an error reply (OOM kill, segfault) is noticed within
+        ~a second instead of after the full reply timeout.
+        """
+        import queue as queue_module
+
+        outstanding = set(worker_ids)
+        payloads: Dict[int, Any] = {}
+        deadline = time.monotonic() + self._timeout
+        while outstanding:
+            if self._stashed:
+                reply = self._stashed.pop(0)
+            else:
+                try:
+                    reply = self.replies.get(timeout=1.0)
+                except queue_module.Empty:
+                    dead = [
+                        i for i in outstanding if not self.processes[i].is_alive()
+                    ]
+                    if dead:
+                        raise EngineError(
+                            f"workers {dead} died without reporting an error "
+                            f"while the driver awaited {kind!r}"
+                        )
+                    if time.monotonic() > deadline:
+                        raise EngineError(
+                            f"timed out after {self._timeout}s waiting for "
+                            f"worker reply {kind!r} from {sorted(outstanding)}"
+                        )
+                    continue
+            if reply[0] == "error":
+                raise EngineError(
+                    f"worker {reply[1]} failed:\n{reply[2]}"
+                )
+            if reply[0] != kind or reply[1] not in outstanding:
+                raise EngineError(
+                    f"protocol violation: expected {kind!r} from "
+                    f"{sorted(outstanding)}, got {reply[0]!r} from worker {reply[1]}"
+                )
+            outstanding.discard(reply[1])
+            payloads[reply[1]] = reply[2]
+        return payloads
+
+    def shutdown(self, graceful: bool) -> None:
+        if graceful:
+            for queue in self.commands:
+                queue.put(("stop",))
+            for process in self.processes:
+                process.join(timeout=30.0)
+        else:
+            # Failure path: the error is already known and the workers
+            # are stateless daemons (likely blocked on commands.get()),
+            # so don't wait politely — kill first, reap after.
+            for process in self.processes:
+                if process.is_alive():
+                    process.terminate()
+        for process in self.processes:
+            if process.is_alive():
+                process.terminate()
+            process.join(timeout=5.0)
+        for queue in self.commands + [self.replies]:
+            queue.close()
+
+
+def _make_context(start_method: Optional[str]):
+    import multiprocessing
+    import sys
+
+    if start_method is None:
+        # Prefer fork only where it is the safe platform default
+        # (Linux): macOS lists fork but made spawn the default in 3.8
+        # because forking there can crash in system frameworks.
+        if sys.platform == "linux" and "fork" in multiprocessing.get_all_start_methods():
+            start_method = "fork"
+    return multiprocessing.get_context(start_method)
+
+
+def run_process_engine(
+    stream: EdgeStream,
+    specs: Sequence[EstimatorSpec],
+    workers: Optional[int] = None,
+    batch_size: int = DEFAULT_BATCH_SIZE,
+    start_method: Optional[str] = None,
+    reset_pass_count: bool = True,
+    max_passes: int = 0,
+    reply_timeout: float = DEFAULT_REPLY_TIMEOUT,
+) -> EngineReport:
+    """Drive *specs* to completion across a process pool.
+
+    The multiprocessing counterpart of :meth:`StreamEngine.run` —
+    normally reached through ``StreamEngine(..., backend="process")``
+    rather than called directly.  Specs are sharded contiguously
+    across ``resolve_workers(workers, len(specs))`` processes; the
+    returned report's ``dispatches`` counts batch *broadcasts* (batches
+    × active workers) and ``workers`` records the pool size.
+    """
+    if not specs:
+        raise EngineError("no estimator specs registered")
+    if batch_size < 1:
+        raise EngineError(f"batch_size must be >= 1, got {batch_size}")
+    names = [spec.name for spec in specs]
+    if len(set(names)) != len(names):
+        raise EngineError(f"duplicate estimator names in specs: {names}")
+
+    pool_size = resolve_workers(workers, len(specs))
+    shards = [
+        [specs[i] for i in indices] for indices in shard_indices(len(specs), pool_size)
+    ]
+    handle = StreamHandle.of(stream)
+    if reset_pass_count:
+        stream.reset_pass_count()
+
+    pool = _WorkerPool(_make_context(start_method), shards, handle, reply_timeout)
+    graceful = False
+    try:
+        wants = pool.gather("ready", range(pool_size))
+        passes = 0
+        elements = 0
+        dispatches = 0
+        while True:
+            active = [worker_id for worker_id in range(pool_size) if wants[worker_id]]
+            if not active:
+                break
+            if max_passes and passes >= max_passes:
+                raise EngineError(
+                    f"workers {active} still want passes after "
+                    f"max_passes={max_passes}"
+                )
+            pool.broadcast(active, ("begin_pass", passes))
+            for batch in decoded_chunks(stream.updates(), batch_size):
+                elements += len(batch)
+                pool.broadcast(active, ("batch", batch))
+                dispatches += len(active)
+            pool.broadcast(active, ("end_pass",))
+            wants.update(pool.gather("pass_done", active))
+            passes += 1
+
+        pool.broadcast(range(pool_size), ("collect",))
+        shard_results = pool.gather("results", range(pool_size))
+        graceful = True
+    finally:
+        pool.shutdown(graceful)
+
+    results: Dict[str, Any] = {}
+    for payload in shard_results.values():
+        results.update(payload)
+    missing = [name for name in names if name not in results]
+    if missing:
+        raise EngineError(f"workers returned no result for {missing}")
+    return EngineReport(
+        results={name: results[name] for name in names},
+        passes=passes,
+        elements=elements,
+        dispatches=dispatches,
+        batch_size=batch_size,
+        workers=pool_size,
+    )

@@ -1,13 +1,17 @@
 """Run every experiment and emit a combined report.
 
-``python -m repro.experiments`` regenerates all E1–E12 + A1 tables in
+``python -m repro.experiments`` regenerates all E1–E14 + A1 tables in
 one go (fast mode by default) and can write them as markdown — the
-same tables EXPERIMENTS.md records.
+same tables EXPERIMENTS.md records.  ``--parallel``/``--workers``
+(also reachable as ``python -m repro experiments --parallel``) hand a
+process-backend pool size to the experiments whose ``run`` accepts a
+``workers`` keyword (currently e14, the backend comparison).
 """
 
 from __future__ import annotations
 
 import argparse
+import inspect
 import sys
 import time
 from typing import Callable, List, Optional, Tuple
@@ -27,8 +31,31 @@ from repro.experiments import (
     e11_stream_models,
     e12_two_pass,
     e13_bounds,
+    e14_parallel,
 )
+from repro.errors import ReproError
 from repro.experiments.tables import Table
+
+
+def resolve_pool(parallel: bool, workers: Optional[int]) -> Optional[int]:
+    """Validated ``--parallel``/``--workers`` → :func:`run_all` pool size.
+
+    The single home of the flag semantics, shared by ``repro
+    experiments`` and ``python -m repro.experiments`` so they cannot
+    drift: ``--workers`` without ``--parallel`` is an error (it would
+    otherwise be silently ignored), ``--parallel`` alone defaults to a
+    pool of 2, and non-positive pool sizes are rejected here instead of
+    deep inside the backend.
+    """
+    if workers is not None and not parallel:
+        raise ReproError("--workers requires --parallel")
+    if not parallel:
+        return None
+    if workers is None:
+        return 2
+    if workers < 1:
+        raise ReproError(f"--workers must be >= 1, got {workers}")
+    return workers
 
 #: Registry of (identifier, module.run) in execution order.
 EXPERIMENTS: List[Tuple[str, Callable[..., Table]]] = [
@@ -45,6 +72,7 @@ EXPERIMENTS: List[Tuple[str, Callable[..., Table]]] = [
     ("e11", e11_stream_models.run),
     ("e12", e12_two_pass.run),
     ("e13", e13_bounds.run),
+    ("e14", e14_parallel.run),
     ("a01", a01_wedge_ablation.run),
 ]
 
@@ -53,17 +81,31 @@ def run_all(
     fast: bool = True,
     seed: int = 2022,
     only: Optional[List[str]] = None,
-    stream=sys.stdout,
+    stream=None,
     markdown: bool = False,
+    workers: Optional[int] = None,
 ) -> List[Table]:
-    """Run (a subset of) the experiments, printing each table."""
+    """Run (a subset of) the experiments, printing each table.
+
+    *stream* defaults to the *current* ``sys.stdout``, resolved per
+    call rather than at import time (a definition-time default would
+    pin whatever stdout redirection happened to be active when this
+    module was first imported).  *workers* (a process-backend pool
+    size) is forwarded to every experiment whose ``run`` signature
+    accepts it; the others are backend-agnostic and run unchanged.
+    """
+    if stream is None:
+        stream = sys.stdout
     selected = EXPERIMENTS if not only else [
         (name, runner) for name, runner in EXPERIMENTS if name in set(only)
     ]
     tables: List[Table] = []
     for name, runner in selected:
+        kwargs = {}
+        if workers is not None and "workers" in inspect.signature(runner).parameters:
+            kwargs["workers"] = workers
         start = time.perf_counter()
-        table = runner(fast=fast, seed=seed)
+        table = runner(fast=fast, seed=seed, **kwargs)
         elapsed = time.perf_counter() - start
         tables.append(table)
         print(file=stream)
@@ -88,10 +130,18 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--only",
         nargs="*",
         metavar="ID",
-        help="subset of experiment ids (e01..e10, a01)",
+        help="subset of experiment ids (e01..e14, a01)",
     )
     parser.add_argument(
         "--markdown", action="store_true", help="emit GitHub pipe tables"
+    )
+    parser.add_argument(
+        "--parallel",
+        action="store_true",
+        help="hand a process-backend pool to backend-aware experiments (e14)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=None, help="pool size for --parallel (default: 2)"
     )
     arguments = parser.parse_args(argv)
     known = {name for name, _ in EXPERIMENTS}
@@ -99,11 +149,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         unknown = set(arguments.only) - known
         if unknown:
             parser.error(f"unknown experiment ids: {sorted(unknown)}")
+    try:
+        workers = resolve_pool(arguments.parallel, arguments.workers)
+    except ReproError as error:
+        parser.error(str(error))
     run_all(
         fast=not arguments.full,
         seed=arguments.seed,
         only=arguments.only,
         markdown=arguments.markdown,
+        workers=workers,
     )
     return 0
 

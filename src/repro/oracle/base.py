@@ -17,6 +17,14 @@ batch per round and receives positionally matching answers.  Both the
 direct oracles (:mod:`repro.oracle.direct`) and the stream emulators
 (:mod:`repro.transform`) answer the same query objects — that shared
 vocabulary is the transformation of Theorems 9/11.
+
+All query types are frozen dataclasses of plain ints, so batches (and
+their answers: ints, bools, vertex/edge tuples, ``None``) are cheaply
+picklable.  The process backend (:mod:`repro.engine.parallel`) keeps
+query traffic worker-local today — only estimator *specs* and decoded
+stream batches cross the boundary — but this property is what a
+future distributed oracle (queries shipped to a remote answering
+service) would rely on.
 """
 
 from __future__ import annotations

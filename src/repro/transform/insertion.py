@@ -243,7 +243,19 @@ class InsertionPassState:
 
 
 class InsertionStreamOracle:
-    """Answers query batches with one stream pass per batch."""
+    """Answers query batches with one stream pass per batch.
+
+    *stream* may also be a :class:`~repro.engine.parallel.StreamHandle`
+    — the oracle reads only stream *metadata* (``allows_deletions``,
+    ``passes_used``); iteration happens in :meth:`answer_batch`, which
+    a handle-backed oracle must never reach (the fused engine and the
+    parallel driver own the iteration and feed pass-states directly).
+    That is what lets worker processes rebuild oracles from picklable
+    specs without shipping the stream contents (serialization audit:
+    the oracle's own state — rng, accounting, space meter — pickles;
+    in-flight :class:`InsertionPassState` objects are transient and
+    never cross a process boundary).
+    """
 
     def __init__(
         self,

@@ -215,7 +215,16 @@ class TurnstilePassState:
 
 
 class TurnstileStreamOracle:
-    """Answers relaxed-model query batches over a turnstile stream."""
+    """Answers relaxed-model query batches over a turnstile stream.
+
+    Like :class:`~repro.transform.insertion.InsertionStreamOracle`,
+    *stream* may be a :class:`~repro.engine.parallel.StreamHandle`:
+    construction and :meth:`begin_batch` touch only metadata (``n``,
+    ``passes_used``), so worker processes rebuild turnstile oracles
+    from picklable specs and feed the pass-states from broadcast
+    batches.  :class:`TurnstilePassState` instances are transient and
+    never cross a process boundary.
+    """
 
     def __init__(
         self,

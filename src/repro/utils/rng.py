@@ -54,6 +54,25 @@ def ensure_rng(source: RandomSource = None) -> random.Random:
     return random.Random(source)
 
 
+def derive_seed(parent: random.Random, label: Union[int, str]) -> int:
+    """Derive the 64-bit seed :func:`derive_rng` would build a child from.
+
+    Separated from :func:`derive_rng` so a *seed* (a plain int) can be
+    shipped across a process boundary instead of a full generator:
+    ``random.Random(derive_seed(parent, label))`` in a worker process
+    equals ``derive_rng(parent, label)`` in the parent, bit for bit.
+    Note both draw 64 fresh bits from *parent*, so calls advance the
+    parent identically.
+    """
+    if isinstance(label, str):
+        digest = hashlib.blake2b(label.encode("utf-8"), digest_size=8).digest()
+        label_bits = int.from_bytes(digest, "big")
+    else:
+        label_bits = label & _MASK64
+    base = parent.getrandbits(64)
+    return _splitmix64(base ^ label_bits)
+
+
 def derive_rng(parent: random.Random, label: Union[int, str]) -> random.Random:
     """Derive an independent child generator from *parent*.
 
@@ -63,13 +82,7 @@ def derive_rng(parent: random.Random, label: Union[int, str]) -> random.Random:
     with blake2b (never the built-in ``hash``, which is randomized per
     process and would silently break run-to-run reproducibility).
     """
-    if isinstance(label, str):
-        digest = hashlib.blake2b(label.encode("utf-8"), digest_size=8).digest()
-        label_bits = int.from_bytes(digest, "big")
-    else:
-        label_bits = label & _MASK64
-    base = parent.getrandbits(64)
-    return random.Random(_splitmix64(base ^ label_bits))
+    return random.Random(derive_seed(parent, label))
 
 
 def spawn_rngs(source: RandomSource, count: int) -> Iterator[random.Random]:

@@ -81,6 +81,50 @@ class TestCliCommands:
         assert "fgp-3pass-geometric" in output
         assert "exact=#45" in output
 
+    def test_count_parallel(self, karate_path, capsys):
+        code = main(
+            ["count", karate_path, "triangle", "--parallel", "--workers", "2",
+             "--copies", "3", "--trials", "400", "--seed", "3", "--truth"]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "backend=process" in output
+        assert "mode=mirror" in output
+        assert "copies=3" in output
+        assert "passes=3" in output
+        assert "exact=#45" in output
+
+    def test_count_parallel_matches_serial_copies(self, karate_path, capsys):
+        # Mirror mode: --parallel must not change the estimate.
+        assert main(["count", karate_path, "triangle", "--copies", "3",
+                     "--trials", "400", "--seed", "3"]) == 0
+        serial = capsys.readouterr().out
+        assert main(["count", karate_path, "triangle", "--copies", "3",
+                     "--trials", "400", "--seed", "3", "--parallel",
+                     "--workers", "2"]) == 0
+        parallel = capsys.readouterr().out
+        assert serial.split("median=")[1].split()[0] == \
+            parallel.split("median=")[1].split()[0]
+
+    def test_count_parallel_rejects_adaptive(self, karate_path, capsys):
+        code = main(["count", karate_path, "triangle", "--adaptive", "--parallel"])
+        assert code == 2
+        assert "--adaptive" in capsys.readouterr().err
+
+    def test_count_rejects_dangling_fused_flags(self, karate_path, capsys):
+        # Flags that would otherwise be silently ignored must error.
+        assert main(["count", karate_path, "triangle", "--mode", "shared"]) == 2
+        assert "--mode" in capsys.readouterr().err
+        assert main(["count", karate_path, "triangle", "--workers", "2"]) == 2
+        assert "--workers" in capsys.readouterr().err
+        assert main(["count", karate_path, "triangle", "--parallel",
+                     "--workers", "0"]) == 2
+        assert "--workers must be >= 1" in capsys.readouterr().err
+
+    def test_experiments_rejects_workers_without_parallel(self, capsys):
+        assert main(["experiments", "--only", "e10", "--workers", "2"]) == 2
+        assert "--workers" in capsys.readouterr().err
+
     def test_count_turnstile(self, karate_path, capsys):
         code = main(["count", karate_path, "triangle", "--algorithm", "turnstile",
                      "--trials", "500", "--churn", "20", "--seed", "6"])

@@ -1,0 +1,438 @@
+"""Tests for the sharded multiprocessing backend (:mod:`repro.engine.parallel`).
+
+The backend's contract has three legs:
+
+* **equality** — mirror-mode fused counts on ``backend="process"``
+  return the same estimates as ``backend="serial"`` for the same
+  seeds, for every worker count (the copies are fully independent, so
+  sharding cannot change them);
+* **determinism** — every process-backend run is a pure function of
+  the seeds (and, in shared mode, the worker count): no worker-side
+  entropy, no scheduling sensitivity;
+* **serializability** — everything that crosses the process boundary
+  (estimator specs, seed material, baseline estimators, results)
+  pickles; live generator-based estimators are *reconstructed from
+  seeds* via :class:`EstimatorSpec` instead of being shipped.
+"""
+
+import pickle
+import random
+
+import pytest
+
+from repro import generators, insertion_stream, patterns
+from repro.baselines import (
+    DoulionEstimator,
+    ExactStreamEstimator,
+    TriestEstimator,
+    doulion_count,
+    exact_stream_count,
+    triest_count,
+)
+from repro.engine import (
+    EngineBackend,
+    EstimatorSpec,
+    FusionMode,
+    StreamEngine,
+    StreamHandle,
+    count_subgraphs_insertion_only_fused,
+    count_subgraphs_turnstile_fused,
+    count_subgraphs_two_pass_fused,
+    fgp_insertion_estimator,
+)
+from repro.engine.parallel import (
+    build_doulion,
+    build_exact_stream,
+    build_triest,
+    resolve_workers,
+    shard_indices,
+)
+from repro.errors import EngineError
+from repro.streams.generators import turnstile_churn_stream
+from repro.utils.rng import derive_rng, derive_seed
+
+
+def _insertion_fixture():
+    graph = generators.barabasi_albert(150, 4, rng=11)
+    return graph, insertion_stream(graph, rng=12)
+
+
+def _assert_same_result(left, right):
+    assert left.algorithm == right.algorithm
+    assert left.estimate == right.estimate
+    assert left.passes == right.passes
+    assert left.space_words == right.space_words
+    assert left.trials == right.trials
+    assert left.successes == right.successes
+    assert left.m == right.m
+    assert left.details == right.details
+
+
+class TestMirrorProcessEquality:
+    """process/mirror == serial/mirror, independent of the worker count."""
+
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_insertion_matches_serial_for_every_worker_count(self, workers):
+        _, stream = _insertion_fixture()
+        pattern = patterns.triangle()
+        serial = count_subgraphs_insertion_only_fused(
+            stream, pattern, copies=4, trials=30, rng=5, mode=FusionMode.MIRROR
+        )
+        parallel = count_subgraphs_insertion_only_fused(
+            stream,
+            pattern,
+            copies=4,
+            trials=30,
+            rng=5,
+            mode=FusionMode.MIRROR,
+            backend=EngineBackend.PROCESS,
+            workers=workers,
+        )
+        assert parallel.estimate == serial.estimate
+        assert parallel.estimates == serial.estimates
+        assert parallel.passes == serial.passes == 3
+        assert parallel.backend == "process"
+        assert parallel.details["workers"] == float(min(workers, 4))
+        for parallel_copy, serial_copy in zip(parallel.copies, serial.copies):
+            _assert_same_result(parallel_copy, serial_copy)
+
+    def test_turnstile_matches_serial(self):
+        graph = generators.gnp(36, 0.25, rng=3)
+        stream = turnstile_churn_stream(graph, churn_edges=25, rng=4)
+        pattern = patterns.triangle()
+        serial = count_subgraphs_turnstile_fused(
+            stream, pattern, copies=3, trials=8, rng=9, mode=FusionMode.MIRROR
+        )
+        parallel = count_subgraphs_turnstile_fused(
+            stream,
+            pattern,
+            copies=3,
+            trials=8,
+            rng=9,
+            mode=FusionMode.MIRROR,
+            backend=EngineBackend.PROCESS,
+            workers=2,
+        )
+        assert parallel.estimates == serial.estimates
+        for parallel_copy, serial_copy in zip(parallel.copies, serial.copies):
+            _assert_same_result(parallel_copy, serial_copy)
+
+    def test_two_pass_matches_serial(self):
+        _, stream = _insertion_fixture()
+        pattern = patterns.cycle(4)
+        serial = count_subgraphs_two_pass_fused(
+            stream, pattern, copies=3, trials=25, rng=7, mode=FusionMode.MIRROR
+        )
+        parallel = count_subgraphs_two_pass_fused(
+            stream,
+            pattern,
+            copies=3,
+            trials=25,
+            rng=7,
+            mode=FusionMode.MIRROR,
+            backend=EngineBackend.PROCESS,
+            workers=2,
+        )
+        assert parallel.passes == 2
+        assert parallel.estimates == serial.estimates
+
+    def test_explicit_copy_rngs_match_one_shot_runs(self):
+        from repro import count_subgraphs_insertion_only
+
+        _, stream = _insertion_fixture()
+        pattern = patterns.triangle()
+        sequential = [
+            count_subgraphs_insertion_only(stream, pattern, trials=25, rng=100 + i)
+            for i in range(3)
+        ]
+        parallel = count_subgraphs_insertion_only_fused(
+            stream,
+            pattern,
+            copies=3,
+            trials=25,
+            mode=FusionMode.MIRROR,
+            copy_rngs=[100, 101, 102],
+            backend=EngineBackend.PROCESS,
+            workers=3,
+        )
+        for parallel_copy, sequential_copy in zip(parallel.copies, sequential):
+            _assert_same_result(parallel_copy, sequential_copy)
+
+
+class TestProcessDeterminism:
+    def test_mirror_runs_are_reproducible(self):
+        _, stream = _insertion_fixture()
+        pattern = patterns.triangle()
+        runs = [
+            count_subgraphs_insertion_only_fused(
+                stream,
+                pattern,
+                copies=3,
+                trials=20,
+                rng=17,
+                mode=FusionMode.MIRROR,
+                backend=EngineBackend.PROCESS,
+                workers=2,
+            )
+            for _ in range(2)
+        ]
+        assert runs[0].estimates == runs[1].estimates
+
+    def test_shared_runs_are_reproducible_for_fixed_workers(self):
+        _, stream = _insertion_fixture()
+        pattern = patterns.triangle()
+        runs = [
+            count_subgraphs_insertion_only_fused(
+                stream,
+                pattern,
+                copies=4,
+                trials=20,
+                rng=23,
+                mode=FusionMode.SHARED,
+                backend=EngineBackend.PROCESS,
+                workers=2,
+            )
+            for _ in range(2)
+        ]
+        assert runs[0].estimates == runs[1].estimates
+        assert runs[0].passes == 3
+        # Global copy indices survive sharding.
+        assert [c.details["fused_copy"] for c in runs[0].copies] == [0.0, 1.0, 2.0, 3.0]
+
+    def test_shared_rejects_copy_rngs(self):
+        _, stream = _insertion_fixture()
+        with pytest.raises(EngineError):
+            count_subgraphs_insertion_only_fused(
+                stream,
+                patterns.triangle(),
+                copies=2,
+                trials=5,
+                mode=FusionMode.SHARED,
+                backend=EngineBackend.PROCESS,
+                copy_rngs=[1, 2],
+            )
+
+    def test_derive_seed_matches_derive_rng(self):
+        # The bridge that lets plain ints cross the process boundary in
+        # place of generators.
+        for label in ("copy-0", "oracle-shard-1", 7):
+            a, b = random.Random(99), random.Random(99)
+            assert random.Random(derive_seed(a, label)).random() == derive_rng(b, label).random()
+            assert a.getstate() == b.getstate()
+
+
+class TestEstimatorSerialization:
+    """The first serialization audit: what crosses the boundary, pickles."""
+
+    def test_baseline_estimators_pickle_round_trip(self):
+        graph, stream = _insertion_fixture()
+        pattern = patterns.triangle()
+        estimators = [
+            TriestEstimator(capacity=60, rng=31),
+            DoulionEstimator(stream.n, 0.5, pattern, rng=32),
+            ExactStreamEstimator(stream.n, pattern),
+        ]
+        batch = [(u, v, 1, (u, v)) for u, v in graph.edges()]
+        for estimator in estimators:
+            clone = pickle.loads(pickle.dumps(estimator))
+            for consumer in (estimator, clone):
+                consumer.begin_pass(0)
+                consumer.ingest_batch(batch)
+                consumer.end_pass()
+            assert clone.result().estimate == estimator.result().estimate
+
+    def test_spec_pickle_round_trip_builds_equivalent_estimator(self):
+        # Generator-based estimators are reconstructable from seeds:
+        # the spec (not the estimator) is what pickles.
+        _, stream = _insertion_fixture()
+        pattern = patterns.triangle()
+        spec = EstimatorSpec(
+            name="fgp",
+            factory=fgp_insertion_estimator,
+            kwargs=dict(pattern=pattern, trials=20, rng=41, name="fgp"),
+        )
+        clone = pickle.loads(pickle.dumps(spec))
+        results = []
+        for recipe in (spec, clone):
+            engine = StreamEngine(stream)
+            engine.register_spec(recipe)
+            results.append(engine.run()["fgp"])
+        _assert_same_result(results[0], results[1])
+
+    def test_spec_pickles_with_random_instance_seed_material(self):
+        pattern = patterns.triangle()
+        rng = random.Random(7)
+        rng.random()  # advance: the *state*, not the seed, must survive
+        spec = EstimatorSpec(
+            name="fgp",
+            factory=fgp_insertion_estimator,
+            kwargs=dict(pattern=pattern, trials=5, rng=rng, name="fgp"),
+        )
+        clone = pickle.loads(pickle.dumps(spec))
+        assert clone.kwargs["rng"].getstate() == rng.getstate()
+
+    def test_stream_handle_is_picklable_and_refuses_iteration(self):
+        _, stream = _insertion_fixture()
+        handle = StreamHandle.of(stream)
+        clone = pickle.loads(pickle.dumps(handle))
+        assert clone.n == stream.n
+        assert clone.net_edge_count == stream.net_edge_count
+        assert clone.allows_deletions == stream.allows_deletions
+        assert len(clone) == stream.length
+        assert StreamHandle.of(clone) is clone
+        with pytest.raises(EngineError):
+            clone.updates()
+
+    def test_fused_results_pickle(self):
+        _, stream = _insertion_fixture()
+        result = count_subgraphs_insertion_only_fused(
+            stream, patterns.triangle(), copies=2, trials=10, rng=3
+        )
+        clone = pickle.loads(pickle.dumps(result))
+        assert clone.estimate == result.estimate
+        assert clone.estimates == result.estimates
+
+
+class TestProcessEngineApi:
+    def test_heterogeneous_baseline_specs_match_one_shot(self):
+        graph, stream = _insertion_fixture()
+        pattern = patterns.triangle()
+        sequential_triest = triest_count(stream, capacity=80, rng=31)
+        sequential_doulion = doulion_count(stream, 0.5, pattern, rng=32)
+        sequential_exact = exact_stream_count(stream, pattern)
+
+        engine = StreamEngine(stream, backend=EngineBackend.PROCESS, workers=3)
+        engine.register_spec(
+            EstimatorSpec("triest", build_triest, dict(capacity=80, rng=31))
+        )
+        engine.register_spec(
+            EstimatorSpec(
+                "doulion",
+                build_doulion,
+                dict(keep_probability=0.5, pattern=pattern, rng=32),
+            )
+        )
+        engine.register_spec(
+            EstimatorSpec("exact", build_exact_stream, dict(pattern=pattern))
+        )
+        report = engine.run()
+
+        assert report.passes == 1
+        assert report.workers == 3
+        assert report["triest"].estimate == sequential_triest.estimate
+        assert report["doulion"].estimate == sequential_doulion.estimate
+        assert report["exact"].estimate == sequential_exact.estimate
+
+    def test_register_live_estimator_rejected_on_process_backend(self):
+        _, stream = _insertion_fixture()
+        engine = StreamEngine(stream, backend=EngineBackend.PROCESS)
+        with pytest.raises(EngineError, match="process boundary"):
+            engine.register(TriestEstimator(capacity=10, rng=1))
+
+    def test_register_spec_on_serial_backend_builds_immediately(self):
+        _, stream = _insertion_fixture()
+        engine = StreamEngine(stream)
+        engine.register_spec(
+            EstimatorSpec("triest", build_triest, dict(capacity=30, rng=9))
+        )
+        assert [e.name for e in engine.estimators] == ["triest"]
+        report = engine.run()
+        assert report.workers == 1
+        assert report["triest"].algorithm == "triest"
+
+    def test_duplicate_spec_names_rejected(self):
+        _, stream = _insertion_fixture()
+        engine = StreamEngine(stream, backend=EngineBackend.PROCESS)
+        engine.register_spec(EstimatorSpec("a", build_triest, dict(capacity=10, name="a")))
+        with pytest.raises(EngineError):
+            engine.register_spec(
+                EstimatorSpec("a", build_triest, dict(capacity=10, name="a"))
+            )
+
+    def test_unknown_backend_rejected(self):
+        _, stream = _insertion_fixture()
+        with pytest.raises(EngineError):
+            StreamEngine(stream, backend="threads")
+
+    def test_run_without_specs_rejected(self):
+        _, stream = _insertion_fixture()
+        with pytest.raises(EngineError):
+            StreamEngine(stream, backend=EngineBackend.PROCESS).run()
+
+    def test_worker_failure_propagates_with_traceback(self):
+        _, stream = _insertion_fixture()
+        engine = StreamEngine(stream, backend=EngineBackend.PROCESS, workers=1)
+        engine.register_spec(EstimatorSpec("boom", _exploding_factory, {}))
+        with pytest.raises(EngineError, match="worker 0 failed"):
+            engine.run()
+
+    def test_mid_pass_worker_failure_does_not_deadlock(self):
+        # The estimator dies on the first batch while the driver still
+        # has a whole pass of batch_size=1 messages to broadcast; the
+        # guarded send must surface the worker's error instead of
+        # blocking forever on the full command queue.
+        _, stream = _insertion_fixture()
+        engine = StreamEngine(
+            stream, batch_size=1, backend=EngineBackend.PROCESS, workers=1
+        )
+        engine.register_spec(EstimatorSpec("mine", _ingest_bomb_factory, {}))
+        with pytest.raises(EngineError, match="worker 0 failed"):
+            engine.run()
+
+    def test_misnamed_spec_fails_in_worker(self):
+        _, stream = _insertion_fixture()
+        engine = StreamEngine(stream, backend=EngineBackend.PROCESS, workers=1)
+        engine.register_spec(
+            EstimatorSpec("expected", build_triest, dict(capacity=10, name="actual"))
+        )
+        with pytest.raises(EngineError, match="worker 0 failed"):
+            engine.run()
+
+
+class TestShardingHelpers:
+    def test_shard_indices_partition(self):
+        assert shard_indices(5, 2) == [[0, 1, 2], [3, 4]]
+        assert shard_indices(4, 4) == [[0], [1], [2], [3]]
+        assert shard_indices(2, 5) == [[0], [1]]
+        assert shard_indices(0, 3) == []
+        with pytest.raises(EngineError):
+            shard_indices(3, 0)
+
+    def test_resolve_workers(self):
+        assert resolve_workers(4, 2) == 2
+        assert resolve_workers(1, 10) == 1
+        assert resolve_workers(None, 3) >= 1
+        with pytest.raises(EngineError):
+            resolve_workers(0, 3)
+
+
+def _exploding_factory(stream, **kwargs):
+    raise RuntimeError("intentional failure for the error-path test")
+
+
+class _IngestBomb:
+    """Accepts the pass, then detonates on the first ingested batch."""
+
+    name = "mine"
+
+    def __init__(self):
+        self._done = False
+
+    def wants_pass(self):
+        return not self._done
+
+    def begin_pass(self, pass_index):
+        pass
+
+    def ingest_batch(self, batch):
+        raise RuntimeError("intentional mid-pass failure")
+
+    def end_pass(self):
+        self._done = True
+
+    def result(self):
+        return None
+
+
+def _ingest_bomb_factory(stream, **kwargs):
+    return _IngestBomb()

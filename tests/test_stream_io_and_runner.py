@@ -66,8 +66,19 @@ class TestExperimentRunner:
         names = [name for name, _ in EXPERIMENTS]
         assert names == [
             "e01", "e02", "e03", "e04", "e05", "e06", "e07",
-            "e08", "e09", "e10", "e11", "e12", "e13", "a01",
+            "e08", "e09", "e10", "e11", "e12", "e13", "e14", "a01",
         ]
+
+    def test_workers_forwarded_to_backend_aware_experiments(self):
+        from repro.experiments.runner import run_all
+
+        buffer = io.StringIO()
+        tables = run_all(fast=True, seed=3, only=["e14"], stream=buffer, workers=2)
+        assert len(tables) == 1
+        text = buffer.getvalue()
+        assert "E14" in text and "process" in text
+        # Every row of the mirror-mode comparison reports serial equality.
+        assert "False" not in text
 
     def test_run_single_experiment_to_buffer(self):
         from repro.experiments.runner import run_all
