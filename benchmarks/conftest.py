@@ -5,10 +5,20 @@ with pytest-benchmark and (b) regenerates its experiment table, prints
 it to the live terminal, and archives it under ``benchmarks/results/``
 so ``pytest benchmarks/ --benchmark-only`` reproduces every table of
 EXPERIMENTS.md in one command.
+
+Every archived table now has a machine-readable twin:
+``emit_table`` writes ``<name>.txt`` (the rendered table) *and*
+``<name>.json`` (git SHA, title, columns, rows), and benchmarks with
+richer payloads (parameters, edges/sec measurements) call
+``emit_json`` directly — that is what makes the perf trajectory
+diffable across PRs instead of locked up in monospace art.
 """
 
+import json
 import os
+import subprocess
 import sys
+import time
 
 _SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
 if _SRC not in sys.path:
@@ -16,13 +26,94 @@ if _SRC not in sys.path:
 
 RESULTS_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "results")
 
+#: Keys every archived benchmark JSON document must carry.
+JSON_SCHEMA_KEYS = ("benchmark", "git_sha", "created_unix", "params", "rows")
 
-def emit_table(table, name, capsys) -> None:
-    """Print *table* to the real terminal and archive it."""
+
+def git_sha() -> str:
+    """The repository's HEAD SHA, or "unknown" outside a git checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=os.path.dirname(os.path.abspath(__file__)),
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+    return out.stdout.strip() if out.returncode == 0 else "unknown"
+
+
+def emit_json(name, params, rows, extra=None) -> str:
+    """Archive a machine-readable benchmark result; returns the path.
+
+    *params* describes the workload (sizes, seeds, flags), *rows* is a
+    list of flat dicts (one measurement each), *extra* merges into the
+    top level.  The document always carries the keys of
+    :data:`JSON_SCHEMA_KEYS` so the CI perf-smoke job can validate any
+    archived result uniformly.
+    """
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    document = {
+        "benchmark": name,
+        "git_sha": git_sha(),
+        "created_unix": time.time(),
+        "params": dict(params),
+        "rows": list(rows),
+    }
+    if extra:
+        document.update(extra)
+    validate_benchmark_json(document)
+    path = os.path.join(RESULTS_DIR, f"{name}.json")
+    with open(path, "w", encoding="utf-8") as handle:
+        # default=str keeps the archive robust to stray non-JSON cell
+        # types (numpy scalars, patterns) without crashing a benchmark.
+        json.dump(document, handle, indent=2, default=str)
+        handle.write("\n")
+    return path
+
+
+def validate_benchmark_json(document) -> None:
+    """Schema check for archived benchmark JSON (raises ValueError)."""
+    if not isinstance(document, dict):
+        raise ValueError("benchmark JSON must be an object")
+    for key in JSON_SCHEMA_KEYS:
+        if key not in document:
+            raise ValueError(f"benchmark JSON missing required key {key!r}")
+    if not isinstance(document["benchmark"], str) or not document["benchmark"]:
+        raise ValueError("'benchmark' must be a non-empty string")
+    if not isinstance(document["git_sha"], str) or not document["git_sha"]:
+        raise ValueError("'git_sha' must be a non-empty string")
+    if not isinstance(document["created_unix"], (int, float)):
+        raise ValueError("'created_unix' must be a number")
+    if not isinstance(document["params"], dict):
+        raise ValueError("'params' must be an object")
+    if not isinstance(document["rows"], list) or not all(
+        isinstance(row, dict) for row in document["rows"]
+    ):
+        raise ValueError("'rows' must be a list of objects")
+
+
+def emit_table(table, name, capsys, json_twin: bool = True) -> None:
+    """Print *table* to the real terminal and archive it.
+
+    Writes ``<name>.txt`` and, with *json_twin* (the default), a
+    generic ``<name>.json`` built from the table cells.  Benchmarks
+    that archive a richer document of their own under the same name
+    (numeric rows, workload params) must pass ``json_twin=False`` so
+    the two writers cannot race on call order.
+    """
     os.makedirs(RESULTS_DIR, exist_ok=True)
     path = os.path.join(RESULTS_DIR, f"{name}.txt")
     with open(path, "w", encoding="utf-8") as handle:
         handle.write(table.render() + "\n")
+    if json_twin:
+        emit_json(
+            name,
+            params={"title": table.title},
+            rows=[dict(zip(table.columns, row)) for row in table.raw_rows],
+        )
     with capsys.disabled():
         print()
         print(table.render())

@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""CI perf-smoke: a tiny throughput run that validates the JSON contract.
+
+Runs a miniature version of the K-copy insertion-only throughput
+benchmark on both pipelines (scalar and columnar), checks the
+mirror-mode bit-equality invariant, archives the result through the
+same ``emit_json`` path the real benchmarks use, and re-reads the file
+to validate the schema (``benchmarks/conftest.JSON_SCHEMA_KEYS``).
+
+It fails on *errors* — a broken pipeline, a bit-equality violation, a
+malformed document — never on timings, so it stays flake-free on
+shared CI runners.
+
+Run: ``PYTHONPATH=src python benchmarks/perf_smoke.py``
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+
+_HERE = os.path.dirname(os.path.abspath(__file__))
+if _HERE not in sys.path:
+    sys.path.insert(0, _HERE)
+_SRC = os.path.join(os.path.dirname(_HERE), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+from conftest import emit_json, validate_benchmark_json  # noqa: E402
+
+from repro.engine import FusionMode, count_subgraphs_insertion_only_fused  # noqa: E402
+from repro.graph import generators as gen  # noqa: E402
+from repro.patterns import pattern as zoo  # noqa: E402
+from repro.streams.stream import insertion_stream  # noqa: E402
+
+
+def main() -> int:
+    graph = gen.barabasi_albert(1500, 4, rng=11)
+    copies, trials = 4, 20
+    pattern = zoo.triangle()
+    ensemble_elements = copies * 3 * graph.m
+
+    rows = []
+    estimates = {}
+    for columnar in (False, True):
+        stream = insertion_stream(graph, rng=12)
+        start = time.perf_counter()
+        fused = count_subgraphs_insertion_only_fused(
+            stream,
+            pattern,
+            copies=copies,
+            trials=trials,
+            rng=13,
+            mode=FusionMode.MIRROR,
+            columnar=columnar,
+        )
+        elapsed = time.perf_counter() - start
+        if fused.passes != 3:
+            print(f"perf-smoke: expected 3 fused passes, got {fused.passes}")
+            return 1
+        estimates[columnar] = fused.estimates
+        rows.append(
+            {
+                "pipeline": "columnar" if columnar else "scalar",
+                "seconds": elapsed,
+                "edges_per_sec": ensemble_elements / elapsed,
+                "estimate": fused.estimate,
+            }
+        )
+
+    if estimates[False] != estimates[True]:
+        print("perf-smoke: mirror-mode bit-equality violated between pipelines")
+        return 1
+
+    path = emit_json(
+        "perf_smoke",
+        params={
+            "n": graph.n,
+            "m": graph.m,
+            "copies": copies,
+            "trials_per_copy": trials,
+            "pattern": pattern.name,
+            "mode": "mirror",
+        },
+        rows=rows,
+    )
+    # Round-trip: the archived document must satisfy the shared schema.
+    with open(path, "r", encoding="utf-8") as handle:
+        document = json.load(handle)
+    try:
+        validate_benchmark_json(document)
+    except ValueError as error:
+        print(f"perf-smoke: emitted JSON failed schema validation: {error}")
+        return 1
+    print(
+        f"perf-smoke: ok (m={graph.m}, scalar {rows[0]['edges_per_sec']:,.0f} e/s, "
+        f"columnar {rows[1]['edges_per_sec']:,.0f} e/s) -> {path}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -18,7 +18,7 @@ from repro.estimate.result import EstimateResult
 from repro.exact.subgraphs import count_subgraphs
 from repro.graph.graph import Graph
 from repro.patterns.pattern import Pattern
-from repro.streams.stream import EdgeStream, decoded_chunks
+from repro.streams.stream import EdgeStream, pass_batches
 
 
 class ExactStreamEstimator:
@@ -70,7 +70,7 @@ def exact_stream_count(stream: EdgeStream, pattern: Pattern) -> EstimateResult:
     stream.reset_pass_count()
     estimator = ExactStreamEstimator(stream.n, pattern)
     estimator.begin_pass(0)
-    for chunk in decoded_chunks(stream.updates()):
+    for chunk in pass_batches(stream, columnar=False):
         estimator.ingest_batch(chunk)
     estimator.end_pass()
     return estimator.result()

@@ -26,7 +26,7 @@ from typing import Dict, Sequence, Set, Tuple
 from repro.errors import EstimationError
 from repro.estimate.result import EstimateResult
 from repro.sketch.reservoir import ReservoirSampler
-from repro.streams.stream import EdgeStream, decoded_chunks
+from repro.streams.stream import EdgeStream, pass_batches
 from repro.utils.rng import RandomSource, ensure_rng
 
 
@@ -127,7 +127,7 @@ def triest_count(
     stream.reset_pass_count()
     estimator = TriestEstimator(capacity, rng)
     estimator.begin_pass(0)
-    for chunk in decoded_chunks(stream.updates()):
+    for chunk in pass_batches(stream, columnar=False):
         estimator.ingest_batch(chunk)
     estimator.end_pass()
     result = estimator.result()

@@ -14,6 +14,9 @@ can be driven without writing Python:
   (:mod:`repro.engine.parallel`); ``--mode mirror`` (the default)
   keeps the estimates identical across backends and worker counts for
   a fixed ``--seed``, ``--mode shared`` trades that for speed;
+  ``--batch-size`` sets the columnar dispatch granularity (results
+  are invariant to it — it only trades loop overhead against peak
+  batch memory);
 * ``ers``      — Theorem 2's clique counter for low-degeneracy graphs;
 * ``covers``   — ρ(H), β(H), the Lemma 4 decomposition and f_T(H) for
   a zoo pattern;
@@ -131,6 +134,14 @@ def _count(args: argparse.Namespace) -> int:
     if args.workers is not None and not args.parallel:
         print("error: --workers requires --parallel", file=sys.stderr)
         return 2
+    if args.batch_size is not None and not fused:
+        print("error: --batch-size requires a fused run (--copies K or --parallel)",
+              file=sys.stderr)
+        return 2
+    if args.batch_size is not None and args.batch_size < 1:
+        print(f"error: --batch-size must be >= 1, got {args.batch_size}",
+              file=sys.stderr)
+        return 2
     if args.workers is not None and args.workers < 1:
         print(f"error: --workers must be >= 1, got {args.workers}", file=sys.stderr)
         return 2
@@ -164,6 +175,8 @@ def _count(args: argparse.Namespace) -> int:
         else:
             stream = insertion_stream(graph, rng=args.seed)
             counter = count_subgraphs_insertion_only_fused
+        from repro.engine.core import DEFAULT_BATCH_SIZE
+
         result = counter(
             stream,
             pattern,
@@ -173,6 +186,7 @@ def _count(args: argparse.Namespace) -> int:
             mode=args.mode or "mirror",
             backend=backend,
             workers=args.workers,
+            batch_size=args.batch_size or DEFAULT_BATCH_SIZE,
         )
     elif args.algorithm == "turnstile":
         stream = turnstile_churn_stream(graph, args.churn, rng=args.seed)
@@ -298,6 +312,9 @@ def build_parser() -> argparse.ArgumentParser:
                          help="shard the K copies across a worker-process pool")
     p_count.add_argument("--workers", type=int, default=None,
                          help="pool size for --parallel (default: one per CPU)")
+    p_count.add_argument("--batch-size", type=int, default=None,
+                         help="updates per dispatched engine batch (fused runs; "
+                              "results are invariant to it)")
     p_count.add_argument("--mode", choices=["mirror", "shared"], default=None,
                          help="fusion mode for --copies/--parallel runs: mirror "
                          "(per-copy oracles, backend-independent estimates; the "

@@ -25,10 +25,12 @@ ends at ``max_i passes(estimator_i)`` — K fused copies of a 3-pass
 counter consume exactly 3 passes, not 3K (asserted in
 ``tests/test_engine_passes.py``).
 
-Decoding happens once per pass: each ``Update`` object is unpacked to
-a plain ``(u, v, delta, edge)`` tuple before dispatch, so no estimator
-pays the dataclass attribute/property cost — with K registrations the
-historical per-copy decode is amortized K ways.
+Decoding happens once per *stream*: by default each pass is read as
+cached columnar :class:`~repro.streams.batch.EdgeBatch` objects
+(numpy ``u``/``v``/``delta`` columns plus lazily shared decoded
+views), so no estimator — and no later pass — pays the per-element
+decode again.  ``columnar=False`` restores the historical per-pass
+tuple decode as a reference path; results are identical either way.
 
 The engine runs on one of two execution backends
 (:class:`EngineBackend`): ``serial`` dispatches in-process, and
@@ -48,10 +50,12 @@ from repro.streams.stream import (
     DEFAULT_CHUNK_SIZE,
     DecodedUpdate,
     EdgeStream,
-    decoded_chunks,
+    pass_batches,
 )
 
-#: What the engine dispatches to estimators: a run of decoded elements.
+#: What the engine dispatches to estimators: a run of decoded elements —
+#: a columnar :class:`~repro.streams.batch.EdgeBatch` on the default
+#: pipeline, or a plain list of tuples on the scalar reference path.
 DecodedBatch = Sequence[DecodedUpdate]
 
 #: Default updates per dispatched batch — the same knob as the
@@ -130,6 +134,13 @@ class StreamEngine:
     start_method:
         Multiprocessing start method for the process backend (``None``:
         ``fork`` where available, else ``spawn``).
+    columnar:
+        Whether passes are dispatched as columnar
+        :class:`~repro.streams.batch.EdgeBatch` objects (the default)
+        or as the scalar tuple lists of the historical pipeline.
+        Results are identical either way — the flag exists so the
+        benchmarks and equivalence tests can pin the scalar reference
+        path.
     """
 
     def __init__(
@@ -141,6 +152,7 @@ class StreamEngine:
         backend: str = EngineBackend.SERIAL,
         workers: Optional[int] = None,
         start_method: Optional[str] = None,
+        columnar: bool = True,
     ) -> None:
         if batch_size < 1:
             raise EngineError(f"batch_size must be >= 1, got {batch_size}")
@@ -157,6 +169,7 @@ class StreamEngine:
         self._backend = backend
         self._workers = workers
         self._start_method = start_method
+        self._columnar = columnar
         self._estimators: List[Any] = []
         self._specs: List[Any] = []
         self._names: Dict[str, Any] = {}
@@ -249,6 +262,7 @@ class StreamEngine:
                 start_method=self._start_method,
                 reset_pass_count=self._reset_pass_count,
                 max_passes=self._max_passes,
+                columnar=self._columnar,
             )
         if not self._estimators:
             raise EngineError("no estimators registered")
@@ -271,7 +285,7 @@ class StreamEngine:
                 )
             for estimator in active:
                 estimator.begin_pass(passes)
-            for batch in decoded_chunks(self._stream.updates(), self._batch_size):
+            for batch in pass_batches(self._stream, self._batch_size, self._columnar):
                 elements += len(batch)
                 for estimator in active:
                     estimator.ingest_batch(batch)

@@ -157,6 +157,7 @@ def _run_mirror(
     backend: str,
     workers,
     start_method,
+    columnar: bool,
 ) -> tuple:
     """Register one fully independent estimator per copy and run fused.
 
@@ -172,6 +173,7 @@ def _run_mirror(
         backend=backend,
         workers=workers,
         start_method=start_method,
+        columnar=columnar,
     )
     names = [f"copy-{index}" for index in range(copies)]
     for index, name in enumerate(names):
@@ -191,6 +193,7 @@ def _run_shared(
     oracle,
     make_generator: Callable[[int, int], object],
     finalize_copies: Callable,
+    columnar: bool,
 ) -> tuple:
     """Merge all copies' generators into one oracle and run fused."""
     generators = [
@@ -199,7 +202,7 @@ def _run_shared(
         for trial in range(trials)
     ]
     estimator = RoundAdaptiveEstimator("fused", generators, oracle, finalize_copies)
-    engine = StreamEngine(stream, batch_size=batch_size)
+    engine = StreamEngine(stream, batch_size=batch_size, columnar=columnar)
     engine.register(estimator)
     report = engine.run()
     return report.results["fused"], report
@@ -321,6 +324,7 @@ def _run_shared_process(
     sampler_mode: str,
     sampler_kwargs: Dict,
     sampler_repetitions: int,
+    columnar: bool,
 ) -> tuple:
     """Shard a shared-mode run across a worker pool.
 
@@ -351,6 +355,7 @@ def _run_shared_process(
         backend=EngineBackend.PROCESS,
         workers=pool,
         start_method=start_method,
+        columnar=columnar,
     )
     for shard, indices in enumerate(shards):
         engine.register_spec(
@@ -408,6 +413,7 @@ def _fused_fgp_count(
     sampler_mode: str,
     sampler_kwargs: Dict,
     sampler_repetitions: int = 8,
+    columnar: bool = True,
 ) -> FusedCountResult:
     """Common driver behind the three fused entry points."""
     _check_fused_args(copies, mode, copy_rngs, backend)
@@ -435,6 +441,7 @@ def _fused_fgp_count(
             backend,
             workers,
             start_method,
+            columnar,
         )
     elif backend == EngineBackend.PROCESS:
         if copy_rngs is not None:
@@ -453,6 +460,7 @@ def _fused_fgp_count(
             sampler_mode,
             sampler_kwargs,
             sampler_repetitions,
+            columnar,
         )
     else:
         if copy_rngs is not None:
@@ -475,6 +483,7 @@ def _fused_fgp_count(
             oracle,
             make_generator,
             _shared_fgp_finalize(stream, pattern, range(copies), k, oracle, algorithm),
+            columnar,
         )
         ensemble_space = oracle.space.peak_words
 
@@ -515,6 +524,7 @@ def count_subgraphs_insertion_only_fused(
     backend: str = EngineBackend.SERIAL,
     workers: Optional[int] = None,
     start_method: Optional[str] = None,
+    columnar: bool = True,
 ) -> FusedCountResult:
     """Median of K fused Theorem-17 runs in exactly 3 insertion passes.
 
@@ -571,6 +581,7 @@ def count_subgraphs_insertion_only_fused(
         lambda oracle_rng: InsertionStreamOracle(stream, oracle_rng),
         SamplerMode.AUGMENTED,
         {},
+        columnar=columnar,
     )
 
 
@@ -590,6 +601,7 @@ def count_subgraphs_turnstile_fused(
     backend: str = EngineBackend.SERIAL,
     workers: Optional[int] = None,
     start_method: Optional[str] = None,
+    columnar: bool = True,
 ) -> FusedCountResult:
     """Median of K fused Theorem-1 runs in exactly 3 turnstile passes.
 
@@ -647,6 +659,7 @@ def count_subgraphs_turnstile_fused(
         SamplerMode.RELAXED,
         {},
         sampler_repetitions=sampler_repetitions,
+        columnar=columnar,
     )
 
 
@@ -665,6 +678,7 @@ def count_subgraphs_two_pass_fused(
     backend: str = EngineBackend.SERIAL,
     workers: Optional[int] = None,
     start_method: Optional[str] = None,
+    columnar: bool = True,
 ) -> FusedCountResult:
     """Median of K fused 2-pass runs (star-decomposable H) in 2 passes.
 
@@ -710,4 +724,5 @@ def count_subgraphs_two_pass_fused(
         lambda oracle_rng: InsertionStreamOracle(stream, oracle_rng),
         SamplerMode.AUGMENTED,
         {"skip_empty_wedge_round": True},
+        columnar=columnar,
     )

@@ -61,7 +61,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from repro.engine.core import DEFAULT_BATCH_SIZE, EngineReport
 from repro.errors import EngineError
-from repro.streams.stream import EdgeStream, decoded_chunks
+from repro.streams.stream import EdgeStream, pass_batches
 
 __all__ = [
     "StreamHandle",
@@ -426,6 +426,7 @@ def run_process_engine(
     reset_pass_count: bool = True,
     max_passes: int = 0,
     reply_timeout: float = DEFAULT_REPLY_TIMEOUT,
+    columnar: bool = True,
 ) -> EngineReport:
     """Drive *specs* to completion across a process pool.
 
@@ -435,6 +436,12 @@ def run_process_engine(
     across ``resolve_workers(workers, len(specs))`` processes; the
     returned report's ``dispatches`` counts batch *broadcasts* (batches
     × active workers) and ``workers`` records the pool size.
+
+    With *columnar* (the default) each broadcast ships an
+    :class:`~repro.streams.batch.EdgeBatch`, which pickles as three
+    flat ``int64`` buffers — a fraction of the bytes (and none of the
+    per-tuple pickle opcodes) of the historical tuple lists; workers
+    rebuild the decoded views lazily on their side of the boundary.
     """
     if not specs:
         raise EngineError("no estimator specs registered")
@@ -469,7 +476,7 @@ def run_process_engine(
                     f"max_passes={max_passes}"
                 )
             pool.broadcast(active, ("begin_pass", passes))
-            for batch in decoded_chunks(stream.updates(), batch_size):
+            for batch in pass_batches(stream, batch_size, columnar):
                 elements += len(batch)
                 pool.broadcast(active, ("batch", batch))
                 dispatches += len(active)

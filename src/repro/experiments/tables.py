@@ -29,13 +29,17 @@ class Table:
         self.title = title
         self.columns = list(columns)
         self.rows: List[List[str]] = []
+        #: The unformatted row values, for machine-readable archiving.
+        self.raw_rows: List[List[Any]] = []
 
     def add_row(self, *values: Any) -> None:
-        """Append one row; values are formatted immediately."""
+        """Append one row; values are formatted immediately (the raw
+        values are kept in :attr:`raw_rows`)."""
         if len(values) != len(self.columns):
             raise ValueError(
                 f"row has {len(values)} cells for {len(self.columns)} columns"
             )
+        self.raw_rows.append(list(values))
         self.rows.append([_format_cell(value) for value in values])
 
     def column(self, name: str) -> List[str]:

@@ -4,16 +4,100 @@ Evaluation of a random degree-(k-1) polynomial over the Mersenne
 prime field GF(2^61 - 1) gives a k-wise independent family; the ℓ0-
 sampler's level assignment and fingerprint verification both build on
 it.  Python integers make the modular arithmetic exact and simple.
+
+Two evaluation paths share the same coefficients:
+
+* the scalar path (:meth:`PolynomialHash.value`) — exact Python-int
+  Horner, kept as the bit-equality reference;
+* the columnar path (:meth:`PolynomialHash.values_many`) — numpy
+  Horner over ``uint64`` arrays, where each modular product is
+  computed exactly via 32-bit limb splitting (:func:`mulmod_vec`).
+  ``2^61 ≡ 1 (mod p)`` makes the limb recombination a few shifts.
+
+Both paths return identical field elements for identical inputs; the
+fuzz tests in ``tests/test_vectorized_equivalence.py`` pin this down.
 """
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Sequence
+
+import numpy as np
 
 from repro.utils.rng import RandomSource, ensure_rng
 
 #: The Mersenne prime 2^61 - 1.
 MERSENNE_PRIME = (1 << 61) - 1
+
+_P = np.uint64(MERSENNE_PRIME)
+_MASK32 = np.uint64(0xFFFFFFFF)
+_MASK29 = np.uint64((1 << 29) - 1)
+_U3 = np.uint64(3)
+_U29 = np.uint64(29)
+_U32 = np.uint64(32)
+_U61 = np.uint64(61)
+
+
+def mulmod_vec(a: np.ndarray, b) -> np.ndarray:
+    """Elementwise ``(a * b) mod (2^61 - 1)`` on ``uint64`` operands < p.
+
+    A 61-bit product does not fit in 64 bits, so each factor is split
+    into 32-bit limbs; ``2^64 ≡ 8`` and ``2^61 ≡ 1 (mod p)`` fold the
+    partial products back without ever exceeding ``uint64``:
+
+    ``a·b = hh·2^64 + mid·2^32 + ll`` with ``hh = a_hi·b_hi`` (< 2^58),
+    ``mid = a_hi·b_lo + a_lo·b_hi`` (< 2^62), ``ll = a_lo·b_lo``.
+    ``mid·2^32 = (mid >> 29)·2^61 + (mid mod 2^29)·2^32 ≡
+    (mid >> 29) + (mid mod 2^29)·2^32``.
+    """
+    a_hi = a >> _U32
+    a_lo = a & _MASK32
+    b_hi = b >> _U32
+    b_lo = b & _MASK32
+    hh = a_hi * b_hi
+    mid = a_hi * b_lo + a_lo * b_hi
+    ll = a_lo * b_lo
+    out = (
+        (hh << _U3)
+        + (mid >> _U29)
+        + ((mid & _MASK29) << _U32)
+        + (ll >> _U61)
+        + (ll & _P)
+    )
+    out = (out >> _U61) + (out & _P)
+    return np.where(out >= _P, out - _P, out)
+
+
+def addmod_vec(a: np.ndarray, b) -> np.ndarray:
+    """Elementwise ``(a + b) mod (2^61 - 1)`` on ``uint64`` operands < p."""
+    out = a + b
+    return np.where(out >= _P, out - _P, out)
+
+
+def powmod_vec(base: int, exponents: np.ndarray) -> np.ndarray:
+    """``base ** exponents mod (2^61 - 1)`` for a scalar base < p.
+
+    Square-and-multiply with the squarings precomputed as Python ints
+    (the base is shared), so the per-bit work is one masked
+    :func:`mulmod_vec` over the batch.
+    """
+    exponents = np.ascontiguousarray(exponents, dtype=np.uint64)
+    result = np.ones_like(exponents)
+    if not exponents.size:
+        return result
+    max_exponent = int(exponents.max())
+    square = base % MERSENNE_PRIME
+    bit = 0
+    one = np.uint64(1)
+    while (max_exponent >> bit) and square != 1:
+        mask = (exponents >> np.uint64(bit)) & one
+        if mask.any():
+            result = np.where(
+                mask.astype(bool), mulmod_vec(result, np.uint64(square)), result
+            )
+        square = (square * square) % MERSENNE_PRIME
+        bit += 1
+    return result
 
 
 class PolynomialHash:
@@ -30,9 +114,11 @@ class PolynomialHash:
     -----
     ``value`` returns the raw field element; convenience mappers
     reduce it to a range, a unit float, or a geometric level.
+    Coefficients are stored highest-degree first, so Horner evaluation
+    walks them in storage order (no per-call ``reversed()``).
     """
 
-    __slots__ = ("_coefficients",)
+    __slots__ = ("_coefficients", "_coefficients_vec")
 
     def __init__(self, independence: int, rng: RandomSource = None) -> None:
         if independence < 1:
@@ -43,7 +129,9 @@ class PolynomialHash:
             random_state.randrange(MERSENNE_PRIME) for _ in range(independence - 1)
         ]
         coefficients.append(1 + random_state.randrange(MERSENNE_PRIME - 1))
-        self._coefficients = tuple(coefficients)
+        # Highest-degree first: exactly the order Horner consumes.
+        self._coefficients = tuple(reversed(coefficients))
+        self._coefficients_vec = np.array(self._coefficients, dtype=np.uint64)
 
     @property
     def independence(self) -> int:
@@ -53,8 +141,22 @@ class PolynomialHash:
         """Raw hash value in ``[0, MERSENNE_PRIME)`` (Horner evaluation)."""
         accumulator = 0
         x = item % MERSENNE_PRIME
-        for coefficient in reversed(self._coefficients):
+        for coefficient in self._coefficients:
             accumulator = (accumulator * x + coefficient) % MERSENNE_PRIME
+        return accumulator
+
+    def values_many(self, items) -> np.ndarray:
+        """Raw hash values for a batch of items, as a ``uint64`` array.
+
+        Bit-identical to calling :meth:`value` per item: the batched
+        Horner runs the same exact field arithmetic via
+        :func:`mulmod_vec`.
+        """
+        x = np.ascontiguousarray(items, dtype=np.uint64) % _P
+        coefficients = self._coefficients_vec
+        accumulator = np.full_like(x, coefficients[0])
+        for coefficient in coefficients[1:]:
+            accumulator = addmod_vec(mulmod_vec(accumulator, x), coefficient)
         return accumulator
 
     def to_range(self, item: int, size: int) -> int:
@@ -82,3 +184,36 @@ class PolynomialHash:
                 break
             level += 1
         return level
+
+    def levels_many(self, items, max_level: int) -> np.ndarray:
+        """Geometric levels for a batch of items (matches :meth:`level`).
+
+        The scalar loop halves ``MERSENNE_PRIME`` down and stops at the
+        first threshold the hash reaches, so ``level = #{k in [1,
+        max_level] : raw < p >> k}`` (the thresholds are decreasing, so
+        the satisfied set is a prefix).  A ``searchsorted`` against the
+        ascending threshold array counts that prefix per item.
+        """
+        raw = self.values_many(items)
+        if max_level < 1:
+            return np.zeros_like(raw, dtype=np.int64)
+        thresholds = np.array(
+            [MERSENNE_PRIME >> k for k in range(max_level, 0, -1)], dtype=np.uint64
+        )
+        below = np.searchsorted(thresholds, raw, side="right")
+        return (max_level - below).astype(np.int64)
+
+
+def split_sum(values: np.ndarray) -> int:
+    """Exact Python-int sum of a ``uint64`` array of values < 2^61.
+
+    ``np.sum`` on ``uint64`` silently wraps once the total passes
+    2^64 (nine 61-bit terms suffice); summing the 32-bit limbs
+    separately keeps every partial sum far below the wrap for any
+    realistic batch, and the recombination is exact Python-int math.
+    """
+    if not values.size:
+        return 0
+    high = int((values >> _U32).sum(dtype=np.uint64))
+    low = int((values & _MASK32).sum(dtype=np.uint64))
+    return (high << 32) + low

@@ -23,13 +23,17 @@ from __future__ import annotations
 import math
 from typing import List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from repro.errors import SketchError
 from repro.sketch.hashing import MERSENNE_PRIME as _PRIME
-from repro.sketch.hashing import PolynomialHash
+from repro.sketch.hashing import PolynomialHash, mulmod_vec, powmod_vec
 from repro.sketch.onesparse import OneSparseRecovery
 from repro.utils.rng import RandomSource, derive_rng, ensure_rng
 
 _HASH_INDEPENDENCE = 8
+
+_MASK32 = np.uint64(0xFFFFFFFF)
 
 
 class L0Sampler:
@@ -121,6 +125,75 @@ class L0Sampler:
                 z_power = pow(base, item, _PRIME)
                 for level in range(item_level + 1):
                     sketch_levels[level].update_with_power(item, delta, z_power)
+
+    def update_many_arrays(self, items: np.ndarray, deltas: np.ndarray) -> None:
+        """Vectorized :meth:`update_many` over parallel numpy arrays.
+
+        Per repetition: one batched Horner assigns every item its level
+        (:meth:`~repro.sketch.hashing.PolynomialHash.levels_many`), one
+        shared-base :func:`~repro.sketch.hashing.powmod_vec` computes
+        the fingerprint powers, and a grouped scatter-add folds the
+        batch into the one-sparse counters.  An item at level L updates
+        counters 0..L, so per-level aggregates are suffix sums of the
+        per-level-value aggregates — O(batch + levels) adds instead of
+        O(batch × level) Python calls.  Aggregates are recombined from
+        32-bit limbs as exact Python ints, so the result is
+        bit-identical to the scalar path.
+        """
+        if not len(items):
+            return
+        items = np.ascontiguousarray(items, dtype=np.int64)
+        deltas = np.ascontiguousarray(deltas, dtype=np.int64)
+        # Limb sums stay exact iff max|delta| × batch <= 2^31 (see
+        # OneSparseRecovery.update_many_arrays); stream deltas are ±1,
+        # so the exact scalar fallback is for API callers only.
+        largest = max(-int(deltas.min()), int(deltas.max()))
+        if largest * len(deltas) > (1 << 31):
+            self.update_many(list(zip(items.tolist(), deltas.tolist())))
+            return
+        universe = self._universe
+        if items.min() < 0 or items.max() >= universe:
+            bad = items[(items < 0) | (items >= universe)][0]
+            raise SketchError(f"item {int(bad)} outside universe [0, {universe})")
+        levels = self._levels
+        items_u64 = items.astype(np.uint64)
+        # Exact weighted-sum limbs (shared by every repetition).
+        item_high = items >> 32
+        item_low = items & 0xFFFFFFFF
+        for hash_function, sketch_levels, base in zip(
+            self._hashes, self._sketches, self._bases
+        ):
+            item_levels = hash_function.levels_many(items_u64, levels)
+            top = int(item_levels.max())
+            z_powers = powmod_vec(base, items_u64)
+            # Signed fingerprint contribution per update, in [0, p).
+            signed = mulmod_vec(
+                (deltas % _PRIME).astype(np.uint64), z_powers
+            )
+            buckets = top + 1
+            weight_by = np.zeros(buckets, dtype=np.int64)
+            np.add.at(weight_by, item_levels, deltas)
+            ws_high_by = np.zeros(buckets, dtype=np.int64)
+            np.add.at(ws_high_by, item_levels, deltas * item_high)
+            ws_low_by = np.zeros(buckets, dtype=np.int64)
+            np.add.at(ws_low_by, item_levels, deltas * item_low)
+            fp_high_by = np.zeros(buckets, dtype=np.int64)
+            np.add.at(fp_high_by, item_levels, (signed >> np.uint64(32)).astype(np.int64))
+            fp_low_by = np.zeros(buckets, dtype=np.int64)
+            np.add.at(fp_low_by, item_levels, (signed & _MASK32).astype(np.int64))
+            # Suffix sums: level l aggregates every item with level >= l.
+            weight_suffix = np.cumsum(weight_by[::-1])[::-1]
+            ws_high_suffix = np.cumsum(ws_high_by[::-1])[::-1]
+            ws_low_suffix = np.cumsum(ws_low_by[::-1])[::-1]
+            fp_high_suffix = np.cumsum(fp_high_by[::-1])[::-1]
+            fp_low_suffix = np.cumsum(fp_low_by[::-1])[::-1]
+            for level in range(buckets):
+                sketch_levels[level].apply_aggregates(
+                    int(weight_suffix[level]),
+                    (int(ws_high_suffix[level]) << 32) + int(ws_low_suffix[level]),
+                    ((int(fp_high_suffix[level]) << 32) + int(fp_low_suffix[level]))
+                    % _PRIME,
+                )
 
     def sample(self) -> Optional[int]:
         """A (near-)uniform member of the support, or ``None`` on failure.

@@ -105,27 +105,37 @@ class SkipAheadReservoirBank(Generic[T]):
             next_accept = max(t + 1, math.ceil(t / u))
             heapq.heappush(heap, (next_accept, slot))
 
-    def offer_many(self, items: Iterable[T]) -> None:
+    def offer_many(self, items) -> None:
         """Present a batch of stream elements, in order.
 
-        The hot-path entry point for the fused engine: the non-waking
-        case is a single integer comparison per element with every
-        attribute lookup hoisted out of the loop.  Random draws happen
-        in the same order as element-wise :meth:`offer`, so results
-        are bit-identical for the same seed.
+        The hot-path entry point for the fused engine, with full
+        skip-ahead: the heap already knows every reservoir's next
+        acceptance position, so the batch is consumed by jumping from
+        acceptance to acceptance — elements in between are *never
+        touched* (a batch that wakes no reservoir costs one comparison
+        total, not one per element).  *items* therefore should be
+        indexable (lists, numpy-backed edge views); a plain iterable is
+        materialized first.  Random draws happen in acceptance order,
+        exactly as element-wise :meth:`offer`, so results are
+        bit-identical for the same seed.
         """
+        if not hasattr(items, "__getitem__"):
+            items = list(items)
+        length = len(items)
         heap = self._heap
-        if not heap:
-            self._seen += sum(1 for _ in items) if not hasattr(items, "__len__") else len(items)
+        start = self._seen
+        end = start + length
+        self._seen = end
+        if not heap or heap[0][0] > end:
             return
         items_store = self._items
         rng_random = self._rng.random
         heappop = heapq.heappop
         heappush = heapq.heappush
         ceil = math.ceil
-        t = self._seen
-        for item in items:
-            t += 1
+        while heap[0][0] <= end:
+            t = heap[0][0]
+            item = items[t - start - 1]
             while heap[0][0] == t:
                 _, slot = heappop(heap)
                 items_store[slot] = item
@@ -134,7 +144,6 @@ class SkipAheadReservoirBank(Generic[T]):
                 if next_accept <= t:
                     next_accept = t + 1
                 heappush(heap, (next_accept, slot))
-        self._seen = t
 
     @property
     def count(self) -> int:

@@ -1,6 +1,13 @@
 """Edge-stream substrate: update model, multi-pass streams, space meter."""
 
-from repro.streams.stream import EdgeStream, Update, insertion_stream, turnstile_stream
+from repro.streams.batch import EdgeBatch
+from repro.streams.stream import (
+    EdgeStream,
+    Update,
+    insertion_stream,
+    pass_batches,
+    turnstile_stream,
+)
 from repro.streams.space import SpaceMeter
 from repro.streams.generators import (
     adversarial_order_stream,
@@ -16,8 +23,10 @@ from repro.streams.models import (
 )
 
 __all__ = [
+    "EdgeBatch",
     "EdgeStream",
     "Update",
+    "pass_batches",
     "insertion_stream",
     "turnstile_stream",
     "SpaceMeter",

@@ -18,9 +18,16 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from repro.errors import StreamError
 from repro.graph.graph import Edge, Graph, normalize_edge
+from repro.streams.batch import EdgeBatch
 from repro.utils.rng import RandomSource, ensure_rng
+
+
+#: Default elements per decoded chunk / columnar batch.
+DEFAULT_CHUNK_SIZE = 4096
 
 
 @dataclass(frozen=True)
@@ -73,6 +80,8 @@ class EdgeStream:
         self._updates: Tuple[Update, ...] = tuple(updates)
         self._allow_deletions = allow_deletions
         self._passes = 0
+        self._batch_cache: Dict[int, List["EdgeBatch"]] = {}
+        self._columns = None
         self._validate()
 
     def _validate(self) -> None:
@@ -128,6 +137,46 @@ class EdgeStream:
         self._passes += 1
         return iter(self._updates)
 
+    def batches(self, batch_size: int = DEFAULT_CHUNK_SIZE) -> Iterator["EdgeBatch"]:
+        """Read one pass as columnar :class:`~repro.streams.batch.EdgeBatch`\\ es.
+
+        Counts a pass, like :meth:`updates`.  The batches (and their
+        lazily materialized decoded views) are cached per batch size,
+        so the second and later passes — and every estimator sharing a
+        fused pass — reuse the same objects: the per-element decode
+        cost of the columnar pipeline is paid once per stream, not
+        once per pass per estimator.  Batches are immutable by
+        convention; consumers must not mutate the arrays.
+        """
+        if batch_size < 1:
+            raise StreamError(f"batch_size must be >= 1, got {batch_size}")
+        self._passes += 1
+        cached = self._batch_cache.get(batch_size)
+        if cached is None:
+            if self._columns is None:
+                # Decode the Update objects into whole-stream columns
+                # exactly once; per-size batch lists below are views.
+                length = len(self._updates)
+                self._columns = tuple(
+                    np.fromiter(
+                        (getattr(update, field) for update in self._updates),
+                        dtype=np.int64,
+                        count=length,
+                    )
+                    for field in ("u", "v", "delta")
+                )
+            u, v, delta = self._columns
+            cached = [
+                EdgeBatch(
+                    u[start : start + batch_size],
+                    v[start : start + batch_size],
+                    delta[start : start + batch_size],
+                )
+                for start in range(0, len(self._updates), batch_size)
+            ]
+            self._batch_cache[batch_size] = cached
+        return iter(cached)
+
     def final_graph(self) -> Graph:
         """The graph the stream describes (updates applied in order)."""
         return Graph(self._n, self._final_edges)
@@ -145,9 +194,6 @@ class EdgeStream:
 
 #: A decoded stream element: ``(u, v, delta, normalized_edge)``.
 DecodedUpdate = Tuple[int, int, int, Edge]
-
-#: Default elements per decoded chunk.
-DEFAULT_CHUNK_SIZE = 4096
 
 
 def decoded_chunks(
@@ -173,6 +219,24 @@ def decoded_chunks(
             append = batch.append
     if batch:
         yield batch
+
+
+def pass_batches(
+    stream, batch_size: int = DEFAULT_CHUNK_SIZE, columnar: bool = True
+):
+    """One stream pass as dispatchable batches (counting the pass).
+
+    The single entry point behind every pass consumer — the engine's
+    dispatch loop, the parallel driver's broadcast loop, and the
+    oracles' one-shot ``answer_batch``.  With *columnar* (the default)
+    and a stream exposing :meth:`EdgeStream.batches`, the pass yields
+    cached :class:`~repro.streams.batch.EdgeBatch` columns; otherwise
+    it falls back to the scalar tuple decode of :func:`decoded_chunks`
+    — the reference path the bit-equality tests compare against.
+    """
+    if columnar and hasattr(stream, "batches"):
+        return stream.batches(batch_size)
+    return decoded_chunks(stream.updates(), batch_size)
 
 
 def insertion_stream(

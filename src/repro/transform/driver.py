@@ -130,8 +130,10 @@ def run_round_adaptive(
     """Drive *algorithms* against *oracle*, one oracle call per round.
 
     The oracle must expose ``answer_batch(batch) -> list``.  For the
-    stream-backed oracles each call consumes one pass, so the returned
-    ``rounds`` equals the number of passes used — the quantity
+    stream-backed oracles each call consumes one pass — read through
+    the stream's cached columnar batches
+    (:func:`repro.streams.stream.pass_batches`) — so the returned
+    ``rounds`` equals the number of passes used, the quantity
     Theorems 9 and 11 bound by the algorithms' round-adaptivity.
     """
     accounting = QueryAccounting()

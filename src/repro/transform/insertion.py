@@ -24,6 +24,8 @@ from __future__ import annotations
 
 from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
 
+import numpy as np
+
 from repro.errors import OracleError
 from repro.graph.graph import normalize_edge
 from repro.oracle.base import (
@@ -38,8 +40,9 @@ from repro.oracle.base import (
     RandomNeighborQuery,
 )
 from repro.sketch.reservoir import SkipAheadReservoirBank
+from repro.streams.batch import EdgeBatch, edge_id, sorted_member_mask
 from repro.streams.space import SpaceMeter
-from repro.streams.stream import EdgeStream, decoded_chunks
+from repro.streams.stream import EdgeStream, pass_batches
 from repro.utils.rng import RandomSource, derive_rng, ensure_rng
 
 
@@ -61,6 +64,7 @@ class InsertionPassState:
         "_oracle",
         "_size",
         "_component",
+        "_n",
         "_edge_positions",
         "_neighbor_positions",
         "_degree_positions",
@@ -76,6 +80,13 @@ class InsertionPassState:
         "_edge_count",
         "_edge_bank",
         "_neighbor_banks",
+        "_columnar_ready",
+        "_degree_table",
+        "_degree_accumulator",
+        "_arrival_table",
+        "_neighbor_table",
+        "_adjacency_ids",
+        "_adjacency_seen",
     )
 
     def __init__(self, oracle: "InsertionStreamOracle", batch: QueryBatch, pass_index: int) -> None:
@@ -131,6 +142,19 @@ class InsertionPassState:
         self._present_pairs: Set[Tuple[int, int]] = set()
         self._edge_count = 0
 
+        self._n = oracle._stream.n
+        # Columnar-path lookup structures (boolean vertex-membership
+        # tables, sorted pair ids, flat accumulators) are built lazily
+        # by the first columnar batch — a scalar-fed pass never pays
+        # for them.  See _build_columnar_structures.
+        self._columnar_ready = False
+        self._degree_table = None
+        self._degree_accumulator = None
+        self._arrival_table = None
+        self._neighbor_table = None
+        self._adjacency_ids = None
+        self._adjacency_seen = None
+
         # Skip-ahead banks: O(1) amortized per stream element however
         # many f1/f3 queries the batch carries (see repro.sketch.reservoir).
         self._edge_bank: SkipAheadReservoirBank = SkipAheadReservoirBank(
@@ -169,7 +193,16 @@ class InsertionPassState:
         entirely when no query of the pass needs it — the common
         FGP-pass shapes (f1-only, wedge-only, adjacency-only) each hit
         their cheap path.
+
+        Columnar :class:`~repro.streams.batch.EdgeBatch` input takes
+        the vectorized route (:meth:`_ingest_columnar`); plain decoded
+        tuple lists take the scalar reference loop below.  Both routes
+        draw randomness per reservoir bank in identical order, so they
+        produce bit-identical answers.
         """
+        if isinstance(updates, EdgeBatch):
+            self._ingest_columnar(updates)
+            return
         self._edge_count += len(updates)
         if self._edge_bank.size:
             self._edge_bank.offer_many([edge for _, _, _, edge in updates])
@@ -215,6 +248,121 @@ class InsertionPassState:
             if adjacency_pairs and edge in adjacency_pairs:
                 present_pairs.add(edge)
 
+    def _ingest_columnar(self, batch: EdgeBatch) -> None:
+        """Vectorized ingestion of one columnar batch.
+
+        Every tracker becomes array work over the batch columns:
+
+        * the f1 edge bank skips ahead over a lazy edge view, touching
+          only accepted elements;
+        * degree counters are a membership filter plus a grouped count
+          into a flat accumulator (folded into the dicts at finish);
+        * f3 arrival watchers and random-neighbor reservoirs filter the
+          interleaved endpoint events down to watched-incident ones and
+          walk only those, grouped by vertex with stream order
+          preserved (stable sort) — the reservoir draws therefore
+          happen in exactly the scalar order per bank;
+        * adjacency flags are one membership test on the batch's dense
+          edge ids.
+        """
+        self._edge_count += len(batch)
+        if self._edge_bank.size:
+            self._edge_bank.offer_many(batch.edges_view())
+        if not self._columnar_ready:
+            self._build_columnar_structures()
+
+        degree_table = self._degree_table
+        arrival_table = self._arrival_table
+        neighbor_table = self._neighbor_table
+        if (
+            degree_table is not None
+            or arrival_table is not None
+            or neighbor_table is not None
+        ):
+            endpoint, other, _ = batch.events()
+
+            if degree_table is not None:
+                hits = endpoint[degree_table[endpoint]]
+                if len(hits):
+                    np.add.at(self._degree_accumulator, hits, 1)
+
+            if neighbor_table is not None:
+                mask = neighbor_table[endpoint]
+                if mask.any():
+                    self._offer_grouped(endpoint[mask], other[mask], self._offer_bank)
+
+            if arrival_table is not None:
+                mask = arrival_table[endpoint]
+                if mask.any():
+                    self._offer_grouped(endpoint[mask], other[mask], self._watch_arrivals)
+
+        adjacency_ids = self._adjacency_ids
+        if adjacency_ids is not None:
+            ids = batch.edge_ids(self._n)
+            mask = sorted_member_mask(adjacency_ids, ids)
+            if mask.any():
+                self._adjacency_seen[np.searchsorted(adjacency_ids, ids[mask])] = True
+
+    def _build_columnar_structures(self) -> None:
+        """Lazily build the vectorized-path lookup structures.
+
+        Per-vertex boolean membership tables (an O(1) gather per event
+        beats any sorted search), the sorted adjacency-pair ids, and a
+        full-vertex-range degree accumulator that finish() folds back
+        into the scalar dicts.  These are transient engineering scratch
+        of the columnar executor — Θ(n) bits outside the paper's space
+        accounting, which meters the *algorithmic* state only — and are
+        allocated exactly once, by the first columnar batch.
+        """
+        n = self._n
+        if self._degree_counts:
+            self._degree_table = np.zeros(n, dtype=bool)
+            self._degree_table[list(self._degree_counts)] = True
+            self._degree_accumulator = np.zeros(n, dtype=np.int64)
+        if self._neighbor_watch:
+            self._arrival_table = np.zeros(n, dtype=bool)
+            self._arrival_table[list(self._neighbor_watch)] = True
+        if self._neighbor_banks:
+            self._neighbor_table = np.zeros(n, dtype=bool)
+            self._neighbor_table[list(self._neighbor_banks)] = True
+        if self._adjacency_pairs:
+            ids = sorted(edge_id(a, b, n) for a, b in self._adjacency_pairs)
+            self._adjacency_ids = np.array(ids, dtype=np.int64)
+            self._adjacency_seen = np.zeros(len(ids), dtype=bool)
+        self._columnar_ready = True
+
+    @staticmethod
+    def _offer_grouped(endpoints: np.ndarray, others: np.ndarray, consume) -> None:
+        """Group watched-incident events by endpoint, preserving order.
+
+        The stable sort keeps each vertex's incident arrivals in stream
+        order; *consume(vertex, arrivals)* receives them as a plain int
+        list, exactly the sequence the scalar loop would have fed it.
+        """
+        order = np.argsort(endpoints, kind="stable")
+        endpoints = endpoints[order]
+        others = others[order]
+        boundaries = np.flatnonzero(
+            np.concatenate(([True], endpoints[1:] != endpoints[:-1]))
+        )
+        stops = np.concatenate((boundaries[1:], [len(endpoints)]))
+        for start, stop in zip(boundaries.tolist(), stops.tolist()):
+            consume(int(endpoints[start]), others[start:stop].tolist())
+
+    def _offer_bank(self, vertex: int, arrivals: List[int]) -> None:
+        self._neighbor_banks[vertex].offer_many(arrivals)
+
+    def _watch_arrivals(self, vertex: int, arrivals: List[int]) -> None:
+        seen = self._arrival_counts[vertex]
+        watchers = self._neighbor_watch[vertex]
+        stop = seen + len(arrivals)
+        for index, positions in watchers.items():
+            if seen <= index < stop:
+                captured = arrivals[index - seen]
+                for position in positions:
+                    self._captured[position] = captured
+        self._arrival_counts[vertex] = stop
+
     def finish(self) -> List[Any]:
         """Collect the batch's answers and release the pass's space."""
         answers: List[Any] = [None] * self._size
@@ -226,12 +374,28 @@ class InsertionPassState:
             for slot, position in enumerate(positions):
                 answers[position] = bank.item(slot)
         degree_counts = self._degree_counts
+        if self._degree_accumulator is not None:
+            # Fold the columnar accumulator into the scalar counters.
+            accumulator = self._degree_accumulator
+            for vertex in degree_counts:
+                count = int(accumulator[vertex])
+                if count:
+                    degree_counts[vertex] += count
+                    accumulator[vertex] = 0
         for position, vertex in self._degree_positions:
             answers[position] = degree_counts[vertex]
         captured_get = self._captured.get
         for position in self._neighbor_query_positions:
             answers[position] = captured_get(position)
         present_pairs = self._present_pairs
+        if self._adjacency_seen is not None and self._adjacency_seen.any():
+            n = self._n
+            adjacency_by_id = {
+                edge_id(a, b, n): (a, b) for a, b in self._adjacency_pairs
+            }
+            for identifier in self._adjacency_ids[self._adjacency_seen].tolist():
+                present_pairs.add(adjacency_by_id[identifier])
+            self._adjacency_seen[:] = False
         for position, edge in self._adjacency_positions:
             answers[position] = edge in present_pairs
         edge_count = self._edge_count
@@ -292,8 +456,13 @@ class InsertionStreamOracle:
         return InsertionPassState(self, batch, self._pass_index)
 
     def answer_batch(self, batch: QueryBatch) -> List[Any]:
-        """Answer one round's batch in a single pass over the stream."""
+        """Answer one round's batch in a single pass over the stream.
+
+        The pass runs over the stream's cached columnar batches
+        (:func:`~repro.streams.stream.pass_batches`), which is
+        bit-identical to the scalar decode it replaces.
+        """
         state = self.begin_batch(batch)
-        for chunk in decoded_chunks(self._stream.updates()):
+        for chunk in pass_batches(self._stream):
             state.ingest_batch(chunk)
         return state.finish()

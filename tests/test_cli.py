@@ -106,6 +106,25 @@ class TestCliCommands:
         assert serial.split("median=")[1].split()[0] == \
             parallel.split("median=")[1].split()[0]
 
+    def test_count_batch_size_is_result_invariant(self, karate_path, capsys):
+        assert main(["count", karate_path, "triangle", "--copies", "3",
+                     "--trials", "400", "--seed", "3"]) == 0
+        default = capsys.readouterr().out
+        assert main(["count", karate_path, "triangle", "--copies", "3",
+                     "--trials", "400", "--seed", "3",
+                     "--batch-size", "7"]) == 0
+        tiny_batches = capsys.readouterr().out
+        assert default.split("median=")[1].split()[0] == \
+            tiny_batches.split("median=")[1].split()[0]
+
+    def test_count_batch_size_requires_fused_and_positive(self, karate_path, capsys):
+        assert main(["count", karate_path, "triangle",
+                     "--batch-size", "64"]) == 2
+        assert "--batch-size" in capsys.readouterr().err
+        assert main(["count", karate_path, "triangle", "--copies", "2",
+                     "--batch-size", "0"]) == 2
+        assert "--batch-size must be >= 1" in capsys.readouterr().err
+
     def test_count_parallel_rejects_adaptive(self, karate_path, capsys):
         code = main(["count", karate_path, "triangle", "--adaptive", "--parallel"])
         assert code == 2
