@@ -1,0 +1,158 @@
+"""Ingestion benches: disk-backed streams and batch-cache policies.
+
+What the out-of-core layer costs and buys: decode throughput of a
+binary memmap stream under each cache policy, the text→binary
+conversion rate, and a fused multi-pass run comparing in-memory
+against disk-backed input.  The archived ``ingest_policies`` JSON is
+the machine-readable ingestion table the CI perf-smoke job validates.
+"""
+
+import os
+import tempfile
+import time
+
+import numpy as np
+
+from conftest import emit_json, emit_table
+
+from repro.engine import FusionMode, count_subgraphs_insertion_only_fused
+from repro.experiments.tables import Table
+from repro.graph import generators as gen
+from repro.patterns import pattern as zoo
+from repro.streams.datasets import (
+    DiskEdgeStream,
+    convert_edge_list,
+    write_binary_updates,
+)
+from repro.streams.stream import insertion_stream
+
+
+def _disk_stream(tmp, graph, seed=3, cache="none"):
+    u, v, _ = insertion_stream(graph, rng=seed).columns()
+    path = write_binary_updates(os.path.join(tmp, "bench.reb"), graph.n, u, v)
+    return DiskEdgeStream(path, cache=cache)
+
+
+def test_ingest_decode_throughput_by_policy(benchmark, capsys):
+    graph = gen.barabasi_albert(20_000, 6, rng=7)
+    passes = 4
+
+    with tempfile.TemporaryDirectory() as tmp:
+        stream = _disk_stream(tmp, graph)
+
+        def run_passes():
+            total = 0
+            for _ in range(passes):
+                total += sum(len(batch) for batch in stream.batches(4096))
+            return total
+
+        total = benchmark(run_passes)
+        assert total == passes * stream.length
+
+        rows = []
+        for cache in ("none", "lru:1M", "all"):
+            stream.set_cache_policy(cache)
+            start = time.perf_counter()
+            for _ in range(passes):
+                consumed = sum(len(batch) for batch in stream.batches(4096))
+            elapsed = time.perf_counter() - start
+            policy = stream.cache_policy
+            rows.append(
+                {
+                    "cache": cache,
+                    "elements_per_sec": passes * consumed / elapsed,
+                    "peak_resident_bytes": policy.peak_resident_bytes,
+                    "hits": policy.hits,
+                    "misses": policy.misses,
+                }
+            )
+
+    table = Table(
+        title=f"Disk decode throughput by cache policy (m={graph.m}, {passes} passes)",
+        columns=["cache", "elements/s", "peak bytes", "hits", "misses"],
+    )
+    for row in rows:
+        table.add_row(
+            row["cache"],
+            f"{row['elements_per_sec']:,.0f}",
+            f"{row['peak_resident_bytes']:,}",
+            row["hits"],
+            row["misses"],
+        )
+    emit_table(table, "ingest_policies", capsys, json_twin=False)
+    emit_json(
+        "ingest_policies",
+        params={"n": graph.n, "m": graph.m, "passes": passes, "batch_size": 4096},
+        rows=rows,
+    )
+
+
+def test_ingest_conversion_rate(benchmark, capsys):
+    graph = gen.gnm(5_000, 40_000, rng=9)
+    lines = [f"{u} {v}\n" for u, v in graph.edges()]
+    text = "# bench edge list\n" + "".join(lines)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        source = os.path.join(tmp, "edges.txt")
+        with open(source, "w", encoding="utf-8") as handle:
+            handle.write(text)
+
+        def convert():
+            return convert_edge_list(source, os.path.join(tmp, "edges.reb"))
+
+        stream = benchmark(convert)
+        assert stream.net_edge_count == graph.m
+
+
+def test_ingest_fused_disk_vs_memory(benchmark, capsys):
+    graph = gen.barabasi_albert(3_000, 5, rng=11)
+    copies, trials = 8, 400
+    pattern = zoo.triangle()
+
+    def run(stream):
+        return count_subgraphs_insertion_only_fused(
+            stream, pattern, copies=copies, trials=trials, rng=13,
+            mode=FusionMode.MIRROR,
+        )
+
+    with tempfile.TemporaryDirectory() as tmp:
+        rows = []
+        memory = insertion_stream(graph, rng=12)
+        start = time.perf_counter()
+        reference = run(memory)
+        rows.append(
+            {"source": "memory", "seconds": time.perf_counter() - start,
+             "estimate": reference.estimate}
+        )
+        for cache in ("none", "lru:256k"):
+            u, v, _ = insertion_stream(graph, rng=12).columns()
+            path = write_binary_updates(
+                os.path.join(tmp, f"{cache.split(':')[0]}.reb"), graph.n, u, v
+            )
+            disk = DiskEdgeStream(path, cache=cache)
+            start = time.perf_counter()
+            result = run(disk)
+            rows.append(
+                {"source": f"disk[{cache}]", "seconds": time.perf_counter() - start,
+                 "estimate": result.estimate}
+            )
+            assert result.estimates == reference.estimates
+
+        def rerun_disk():
+            return run(DiskEdgeStream(path, cache="none"))
+
+        benchmark(rerun_disk)
+
+    table = Table(
+        title=f"Fused 3-pass K={copies}: memory vs disk (m={graph.m}, mirror)",
+        columns=["source", "seconds", "estimate"],
+    )
+    for row in rows:
+        table.add_row(row["source"], f"{row['seconds']:.3f}", f"{row['estimate']:.1f}")
+    emit_table(table, "ingest_fused", capsys, json_twin=False)
+    emit_json(
+        "ingest_fused",
+        params={"n": graph.n, "m": graph.m, "copies": copies,
+                "trials_per_copy": trials, "pattern": pattern.name},
+        rows=rows,
+    )

@@ -3,13 +3,18 @@
 
 Runs a miniature version of the K-copy insertion-only throughput
 benchmark on both pipelines (scalar and columnar), checks the
-mirror-mode bit-equality invariant, archives the result through the
-same ``emit_json`` path the real benchmarks use, and re-reads the file
-to validate the schema (``benchmarks/conftest.JSON_SCHEMA_KEYS``).
+mirror-mode bit-equality invariant, then replays the same stream from
+a disk-backed (tmpfile) binary through the fused engine under an LRU
+batch cache — asserting the out-of-core estimates equal the in-memory
+ones bit for bit and the cache stayed under its byte budget.  Both
+legs archive through the same ``emit_json`` path the real benchmarks
+use, and the emitted documents (including the new ``ingest_smoke``
+ingestion table) are re-read and validated against the shared schema
+(``benchmarks/conftest.JSON_SCHEMA_KEYS``).
 
 It fails on *errors* — a broken pipeline, a bit-equality violation, a
-malformed document — never on timings, so it stays flake-free on
-shared CI runners.
+budget overrun, a malformed document — never on timings, so it stays
+flake-free on shared CI runners.
 
 Run: ``PYTHONPATH=src python benchmarks/perf_smoke.py``
 """
@@ -19,6 +24,7 @@ from __future__ import annotations
 import json
 import os
 import sys
+import tempfile
 import time
 
 _HERE = os.path.dirname(os.path.abspath(__file__))
@@ -30,10 +36,86 @@ if _SRC not in sys.path:
 
 from conftest import emit_json, validate_benchmark_json  # noqa: E402
 
+import numpy as np  # noqa: E402
+
 from repro.engine import FusionMode, count_subgraphs_insertion_only_fused  # noqa: E402
 from repro.graph import generators as gen  # noqa: E402
 from repro.patterns import pattern as zoo  # noqa: E402
+from repro.streams.datasets import DiskEdgeStream, write_binary_updates  # noqa: E402
 from repro.streams.stream import insertion_stream  # noqa: E402
+
+
+def disk_ingestion_smoke(graph, pattern, copies, trials, reference) -> int:
+    """Disk-backed leg: a tmpfile stream through the fused engine.
+
+    Writes the same shuffled update sequence the in-memory run used to
+    a binary tmpfile, streams it back through a bounded LRU cache, and
+    checks (a) bit-equality of the mirror estimates with *reference*,
+    (b) the LRU byte budget was respected, and (c) the archived
+    ``ingest_smoke`` JSON validates against the shared schema.
+    """
+    u, v, _ = insertion_stream(graph, rng=12).columns()
+    budget = 64 << 10
+    with tempfile.TemporaryDirectory() as tmp:
+        path = write_binary_updates(os.path.join(tmp, "smoke.reb"), graph.n, u, v)
+        stream = DiskEdgeStream(path, cache=f"lru:{budget}")
+        start = time.perf_counter()
+        fused = count_subgraphs_insertion_only_fused(
+            stream,
+            pattern,
+            copies=copies,
+            trials=trials,
+            rng=13,
+            mode=FusionMode.MIRROR,
+            batch_size=512,
+        )
+        elapsed = time.perf_counter() - start
+        policy = stream.cache_policy
+        if fused.estimates != reference:
+            print("perf-smoke: disk-backed estimates diverged from in-memory run")
+            return 1
+        if policy.peak_resident_bytes > budget:
+            print(
+                f"perf-smoke: LRU cache exceeded its budget "
+                f"({policy.peak_resident_bytes} > {budget})"
+            )
+            return 1
+        path = emit_json(
+            "ingest_smoke",
+            params={
+                "n": graph.n,
+                "m": graph.m,
+                "copies": copies,
+                "trials_per_copy": trials,
+                "pattern": pattern.name,
+                "mode": "mirror",
+                "cache": "lru",
+                "cache_budget_bytes": budget,
+            },
+            rows=[
+                {
+                    "source": "disk",
+                    "seconds": elapsed,
+                    "edges_per_sec": copies * 3 * graph.m / elapsed,
+                    "estimate": fused.estimate,
+                    "cache_peak_bytes": policy.peak_resident_bytes,
+                    "cache_hits": policy.hits,
+                    "cache_misses": policy.misses,
+                }
+            ],
+        )
+    with open(path, "r", encoding="utf-8") as handle:
+        document = json.load(handle)
+    try:
+        validate_benchmark_json(document)
+    except ValueError as error:
+        print(f"perf-smoke: ingest_smoke JSON failed schema validation: {error}")
+        return 1
+    print(
+        f"perf-smoke: disk leg ok (lru peak {policy.peak_resident_bytes:,} B "
+        f"<= {budget:,} B, hits {policy.hits}, misses {policy.misses}) -> {path}"
+    )
+    return 0
 
 
 def main() -> int:
@@ -98,7 +180,7 @@ def main() -> int:
         f"perf-smoke: ok (m={graph.m}, scalar {rows[0]['edges_per_sec']:,.0f} e/s, "
         f"columnar {rows[1]['edges_per_sec']:,.0f} e/s) -> {path}"
     )
-    return 0
+    return disk_ingestion_smoke(graph, pattern, copies, trials, estimates[True])
 
 
 if __name__ == "__main__":

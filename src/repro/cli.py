@@ -4,6 +4,11 @@ Subcommands mirror the library's main entry points so the algorithms
 can be driven without writing Python:
 
 * ``generate`` — write a synthetic graph as an edge list;
+* ``convert``  — ingest a SNAP-style text edge list into the compact
+  binary update format (``.reb`` memmap or ``.npz``), compacting raw
+  vertex ids to ``[0, n)`` and deduplicating reversed/self-loop rows
+  (:mod:`repro.streams.datasets`).  The converted file can be passed
+  straight to ``count`` as an out-of-core stream;
 * ``exact``    — exact #H of an edge-list graph (ground truth);
 * ``count``    — the paper's streaming counters (3-pass insertion-only,
   3-pass turnstile, or the 2-pass star-decomposable variant) on an
@@ -16,11 +21,14 @@ can be driven without writing Python:
   a fixed ``--seed``, ``--mode shared`` trades that for speed;
   ``--batch-size`` sets the columnar dispatch granularity (results
   are invariant to it — it only trades loop overhead against peak
-  batch memory);
+  batch memory).  The graph argument may also be a converted
+  ``.reb``/``.npz`` stream file: it is then streamed out of core in
+  its stored order, with batch retention governed by ``--cache
+  {all,lru,none}`` and ``--cache-budget BYTES`` (e.g. ``64M``);
 * ``ers``      — Theorem 2's clique counter for low-degeneracy graphs;
 * ``covers``   — ρ(H), β(H), the Lemma 4 decomposition and f_T(H) for
   a zoo pattern;
-* ``experiments`` — regenerate the E1–E14/A1 tables (delegates to
+* ``experiments`` — regenerate the E1–E15/A1 tables (delegates to
   :mod:`repro.experiments.runner`); ``--parallel [--workers N]``
   passes a process-backend pool to the backend-aware experiments
   (e14).
@@ -105,6 +113,24 @@ def _generate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _convert(args: argparse.Namespace) -> int:
+    from repro.streams.datasets import convert_edge_list
+
+    stream = convert_edge_list(
+        args.input,
+        args.output,
+        relabel=not args.no_relabel,
+        dedupe=not args.keep_duplicates,
+        chunk_lines=args.chunk_lines,
+    )
+    kind = "turnstile" if stream.allows_deletions else "insertion-only"
+    print(
+        f"wrote {kind} stream: n={stream.n} length={stream.length} "
+        f"m={stream.net_edge_count} -> {stream.path}"
+    )
+    return 0
+
+
 def _exact(args: argparse.Namespace) -> int:
     graph = read_edge_list(args.graph)
     pattern = parse_pattern(args.pattern)
@@ -112,15 +138,26 @@ def _exact(args: argparse.Namespace) -> int:
     return 0
 
 
+def _resolve_cache_spec(args: argparse.Namespace) -> Optional[str]:
+    """The cache-policy spec string from ``--cache``/``--cache-budget``
+    (already validated by ``_count``'s usage checks)."""
+    if args.cache is None:
+        return None
+    if args.cache == "lru" and args.cache_budget is not None:
+        return f"lru:{args.cache_budget}"
+    return args.cache
+
+
 def _count(args: argparse.Namespace) -> int:
     from repro.streaming.adaptive import count_subgraphs_unknown
     from repro.streaming.three_pass import count_subgraphs_insertion_only
     from repro.streaming.turnstile import count_subgraphs_turnstile
     from repro.streaming.two_pass import count_subgraphs_two_pass
+    from repro.streams.datasets import is_stream_path, open_disk_stream
     from repro.streams.generators import turnstile_churn_stream
     from repro.streams.stream import insertion_stream
 
-    graph = read_edge_list(args.graph)
+    disk_input = is_stream_path(args.graph)
     pattern = parse_pattern(args.pattern)
     # An explicit --copies (any value — bad ones get the library's
     # validation error) or --parallel selects the fused path; otherwise
@@ -145,12 +182,48 @@ def _count(args: argparse.Namespace) -> int:
     if args.workers is not None and args.workers < 1:
         print(f"error: --workers must be >= 1, got {args.workers}", file=sys.stderr)
         return 2
+    if args.cache_budget is not None and args.cache != "lru":
+        print("error: --cache-budget requires --cache lru", file=sys.stderr)
+        return 2
+    cache = _resolve_cache_spec(args)
+
+    # Build the stream: a converted file IS the stream (stored order;
+    # --seed shuffling does not apply), an edge-list graph is streamed
+    # per --algorithm.  Everything after this block — the fused /
+    # one-shot counter dispatch and the summary — is shared, so disk
+    # and in-memory inputs can never drift apart.
+    if disk_input:
+        if args.adaptive:
+            print("error: --adaptive is not supported on converted stream files",
+                  file=sys.stderr)
+            return 2
+        if args.churn is not None:
+            print("error: --churn shapes the synthetic turnstile workload and has "
+                  "no effect on a converted stream file (its deletions are "
+                  "already stored)", file=sys.stderr)
+            return 2
+        graph = None
+        stream = open_disk_stream(args.graph, cache=cache or "none")
+        # The engine's cache= knob would re-apply the same policy; the
+        # disk stream already carries it, so the dispatch passes None.
+        cache = None
+        if stream.allows_deletions and args.algorithm != "turnstile":
+            print("error: stream file contains deletions; use --algorithm turnstile",
+                  file=sys.stderr)
+            return 2
+    else:
+        graph = read_edge_list(args.graph)
+        churn = args.churn if args.churn is not None else 50
+        if args.algorithm == "turnstile":
+            stream = turnstile_churn_stream(graph, churn, rng=args.seed)
+        else:
+            stream = insertion_stream(graph, rng=args.seed)
+
     if args.adaptive:
         if fused:
             print("error: --adaptive cannot be combined with --parallel/--copies",
                   file=sys.stderr)
             return 2
-        stream = insertion_stream(graph, rng=args.seed)
         result = count_subgraphs_unknown(
             stream, pattern, epsilon=args.epsilon, rng=args.seed + 1
         )
@@ -164,19 +237,13 @@ def _count(args: argparse.Namespace) -> int:
             count_subgraphs_turnstile_fused,
             count_subgraphs_two_pass_fused,
         )
-
-        backend = "process" if args.parallel else "serial"
-        if args.algorithm == "turnstile":
-            stream = turnstile_churn_stream(graph, args.churn, rng=args.seed)
-            counter = count_subgraphs_turnstile_fused
-        elif args.algorithm == "two-pass":
-            stream = insertion_stream(graph, rng=args.seed)
-            counter = count_subgraphs_two_pass_fused
-        else:
-            stream = insertion_stream(graph, rng=args.seed)
-            counter = count_subgraphs_insertion_only_fused
         from repro.engine.core import DEFAULT_BATCH_SIZE
 
+        counter = {
+            "turnstile": count_subgraphs_turnstile_fused,
+            "two-pass": count_subgraphs_two_pass_fused,
+            "insertion": count_subgraphs_insertion_only_fused,
+        }[args.algorithm]
         result = counter(
             stream,
             pattern,
@@ -184,28 +251,24 @@ def _count(args: argparse.Namespace) -> int:
             trials=args.trials,
             rng=args.seed + 1,
             mode=args.mode or "mirror",
-            backend=backend,
+            backend="process" if args.parallel else "serial",
             workers=args.workers,
             batch_size=args.batch_size or DEFAULT_BATCH_SIZE,
-        )
-    elif args.algorithm == "turnstile":
-        stream = turnstile_churn_stream(graph, args.churn, rng=args.seed)
-        result = count_subgraphs_turnstile(
-            stream, pattern, trials=args.trials, rng=args.seed + 1
-        )
-    elif args.algorithm == "two-pass":
-        stream = insertion_stream(graph, rng=args.seed)
-        result = count_subgraphs_two_pass(
-            stream, pattern, trials=args.trials, rng=args.seed + 1
+            cache=cache,
         )
     else:
-        stream = insertion_stream(graph, rng=args.seed)
-        result = count_subgraphs_insertion_only(
-            stream, pattern, trials=args.trials, rng=args.seed + 1
-        )
+        if cache is not None:
+            stream.set_cache_policy(cache)
+        counter = {
+            "turnstile": count_subgraphs_turnstile,
+            "two-pass": count_subgraphs_two_pass,
+            "insertion": count_subgraphs_insertion_only,
+        }[args.algorithm]
+        result = counter(stream, pattern, trials=args.trials, rng=args.seed + 1)
     print(result.summary())
     if args.truth:
-        truth = count_subgraphs(graph, pattern)
+        truth = count_subgraphs(graph if graph is not None else stream.final_graph(),
+                                pattern)
         print(f"exact=#{truth} rel_err={result.error_vs(truth):.4f}")
     return 0
 
@@ -285,6 +348,20 @@ def build_parser() -> argparse.ArgumentParser:
     p_gen.add_argument("--seed", type=int, default=0)
     p_gen.set_defaults(handler=_generate)
 
+    p_convert = commands.add_parser(
+        "convert", help="SNAP-style edge list -> binary stream (.reb/.npz)"
+    )
+    p_convert.add_argument("input", help="text edge-list path (SNAP conventions)")
+    p_convert.add_argument("output", help=".reb (memmap) or .npz path to write")
+    p_convert.add_argument("--no-relabel", action="store_true",
+                           help="keep raw vertex ids (default: compact to [0, n))")
+    p_convert.add_argument("--keep-duplicates", action="store_true",
+                           help="skip first-occurrence dedupe of reversed/repeated "
+                                "edges (the stream model requires a simple graph)")
+    p_convert.add_argument("--chunk-lines", type=int, default=1 << 16,
+                           help="text lines parsed per chunk")
+    p_convert.set_defaults(handler=_convert)
+
     p_exact = commands.add_parser("exact", help="exact #H (ground truth)")
     p_exact.add_argument("graph", help="edge-list path")
     p_exact.add_argument("pattern", help="zoo pattern name")
@@ -303,7 +380,9 @@ def build_parser() -> argparse.ArgumentParser:
                          help="no lower bound: AGM start + geometric search (Lemma 21)")
     p_count.add_argument("--epsilon", type=float, default=0.25,
                          help="accuracy target for --adaptive probes")
-    p_count.add_argument("--churn", type=int, default=50, help="turnstile churn edges")
+    p_count.add_argument("--churn", type=int, default=None,
+                         help="turnstile churn edges (in-memory graphs only; "
+                              "default 50)")
     p_count.add_argument("--seed", type=int, default=0)
     p_count.add_argument("--truth", action="store_true", help="also print exact #H")
     p_count.add_argument("--copies", type=int, default=None,
@@ -315,6 +394,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_count.add_argument("--batch-size", type=int, default=None,
                          help="updates per dispatched engine batch (fused runs; "
                               "results are invariant to it)")
+    p_count.add_argument("--cache", choices=["all", "lru", "none"], default=None,
+                         help="batch-cache policy for the stream (default: the "
+                              "stream's own — 'all' in memory, 'none' on disk); "
+                              "estimates are identical across policies")
+    p_count.add_argument("--cache-budget", default=None, metavar="BYTES",
+                         help="LRU byte budget with --cache lru (e.g. 64M, 1gb)")
     p_count.add_argument("--mode", choices=["mirror", "shared"], default=None,
                          help="fusion mode for --copies/--parallel runs: mirror "
                          "(per-copy oracles, backend-independent estimates; the "
@@ -336,7 +421,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_covers.add_argument("--list", action="store_true", help="list known patterns")
     p_covers.set_defaults(handler=_covers)
 
-    p_exp = commands.add_parser("experiments", help="regenerate E1-E14/A1 tables")
+    p_exp = commands.add_parser("experiments", help="regenerate E1-E15/A1 tables")
     p_exp.add_argument("--only", nargs="*", help="experiment ids, e.g. e07 e14")
     p_exp.add_argument("--full", action="store_true", help="full (slow) configurations")
     p_exp.add_argument("--markdown", action="store_true")

@@ -25,12 +25,17 @@ ends at ``max_i passes(estimator_i)`` — K fused copies of a 3-pass
 counter consume exactly 3 passes, not 3K (asserted in
 ``tests/test_engine_passes.py``).
 
-Decoding happens once per *stream*: by default each pass is read as
-cached columnar :class:`~repro.streams.batch.EdgeBatch` objects
-(numpy ``u``/``v``/``delta`` columns plus lazily shared decoded
-views), so no estimator — and no later pass — pays the per-element
-decode again.  ``columnar=False`` restores the historical per-pass
-tuple decode as a reference path; results are identical either way.
+Decoding is shared across estimators: each pass is read as columnar
+:class:`~repro.streams.batch.EdgeBatch` objects (numpy
+``u``/``v``/``delta`` columns plus lazily shared decoded views), so
+however many estimators consume a fused pass, the per-element decode
+runs once.  Whether *later passes* also reuse the decoded batches is
+the stream's batch-cache policy's call (:mod:`repro.streams.cache`,
+engine knob ``cache=``): ``"all"`` retains everything (the in-memory
+default), ``"lru:<bytes>"`` a bounded working set (disk streams
+bigger than RAM), ``"none"`` nothing.  ``columnar=False`` restores
+the historical per-pass tuple decode as a reference path; results
+are identical across all of these.
 
 The engine runs on one of two execution backends
 (:class:`EngineBackend`): ``serial`` dispatches in-process, and
@@ -45,11 +50,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence
 
-from repro.errors import EngineError
+from repro.errors import EngineError, StreamError
 from repro.streams.stream import (
     DEFAULT_CHUNK_SIZE,
     DecodedUpdate,
     EdgeStream,
+    check_batch_size,
     pass_batches,
 )
 
@@ -62,6 +68,23 @@ DecodedBatch = Sequence[DecodedUpdate]
 #: sequential paths' decode granularity (results are invariant to it;
 #: it only trades loop overhead against peak decoded-batch memory).
 DEFAULT_BATCH_SIZE = DEFAULT_CHUNK_SIZE
+
+
+def apply_cache_policy(stream, cache) -> None:
+    """Apply a batch-cache spec to *stream* if one was requested.
+
+    ``None`` leaves the stream's own policy in place.  Streams without
+    a policy surface (:class:`~repro.engine.parallel.StreamHandle`,
+    bare iterables on the scalar path) only reject a non-``None``
+    request.
+    """
+    if cache is None:
+        return
+    if not hasattr(stream, "set_cache_policy"):
+        raise EngineError(
+            f"stream {type(stream).__name__} does not support cache policies"
+        )
+    stream.set_cache_policy(cache)
 
 
 @dataclass
@@ -141,6 +164,13 @@ class StreamEngine:
         Results are identical either way — the flag exists so the
         benchmarks and equivalence tests can pin the scalar reference
         path.
+    cache:
+        Batch-cache policy applied to the stream before the run — any
+        spec of :func:`~repro.streams.cache.resolve_cache_policy`
+        (``"all"``, ``"lru"``/``"lru:<bytes>"``, ``"none"``, or a
+        policy instance).  ``None`` (default) leaves the stream's own
+        policy untouched.  Results are bit-identical across policies;
+        only decode work and resident memory change.
     """
 
     def __init__(
@@ -153,9 +183,12 @@ class StreamEngine:
         workers: Optional[int] = None,
         start_method: Optional[str] = None,
         columnar: bool = True,
+        cache=None,
     ) -> None:
-        if batch_size < 1:
-            raise EngineError(f"batch_size must be >= 1, got {batch_size}")
+        try:
+            batch_size = check_batch_size(batch_size)
+        except StreamError as error:
+            raise EngineError(str(error)) from error
         if max_passes < 0:
             raise EngineError(f"max_passes must be >= 0, got {max_passes}")
         if backend not in EngineBackend._ALL:
@@ -170,6 +203,7 @@ class StreamEngine:
         self._workers = workers
         self._start_method = start_method
         self._columnar = columnar
+        self._cache = cache
         self._estimators: List[Any] = []
         self._specs: List[Any] = []
         self._names: Dict[str, Any] = {}
@@ -263,10 +297,12 @@ class StreamEngine:
                 reset_pass_count=self._reset_pass_count,
                 max_passes=self._max_passes,
                 columnar=self._columnar,
+                cache=self._cache,
             )
         if not self._estimators:
             raise EngineError("no estimators registered")
         self._ran = True
+        apply_cache_policy(self._stream, self._cache)
         if self._reset_pass_count:
             self._stream.reset_pass_count()
 

@@ -158,6 +158,7 @@ def _run_mirror(
     workers,
     start_method,
     columnar: bool,
+    cache,
 ) -> tuple:
     """Register one fully independent estimator per copy and run fused.
 
@@ -174,6 +175,7 @@ def _run_mirror(
         workers=workers,
         start_method=start_method,
         columnar=columnar,
+        cache=cache,
     )
     names = [f"copy-{index}" for index in range(copies)]
     for index, name in enumerate(names):
@@ -194,6 +196,7 @@ def _run_shared(
     make_generator: Callable[[int, int], object],
     finalize_copies: Callable,
     columnar: bool,
+    cache,
 ) -> tuple:
     """Merge all copies' generators into one oracle and run fused."""
     generators = [
@@ -202,7 +205,7 @@ def _run_shared(
         for trial in range(trials)
     ]
     estimator = RoundAdaptiveEstimator("fused", generators, oracle, finalize_copies)
-    engine = StreamEngine(stream, batch_size=batch_size, columnar=columnar)
+    engine = StreamEngine(stream, batch_size=batch_size, columnar=columnar, cache=cache)
     engine.register(estimator)
     report = engine.run()
     return report.results["fused"], report
@@ -325,6 +328,7 @@ def _run_shared_process(
     sampler_kwargs: Dict,
     sampler_repetitions: int,
     columnar: bool,
+    cache,
 ) -> tuple:
     """Shard a shared-mode run across a worker pool.
 
@@ -356,6 +360,7 @@ def _run_shared_process(
         workers=pool,
         start_method=start_method,
         columnar=columnar,
+        cache=cache,
     )
     for shard, indices in enumerate(shards):
         engine.register_spec(
@@ -414,6 +419,7 @@ def _fused_fgp_count(
     sampler_kwargs: Dict,
     sampler_repetitions: int = 8,
     columnar: bool = True,
+    cache=None,
 ) -> FusedCountResult:
     """Common driver behind the three fused entry points."""
     _check_fused_args(copies, mode, copy_rngs, backend)
@@ -442,6 +448,7 @@ def _fused_fgp_count(
             workers,
             start_method,
             columnar,
+            cache,
         )
     elif backend == EngineBackend.PROCESS:
         if copy_rngs is not None:
@@ -461,6 +468,7 @@ def _fused_fgp_count(
             sampler_kwargs,
             sampler_repetitions,
             columnar,
+            cache,
         )
     else:
         if copy_rngs is not None:
@@ -484,6 +492,7 @@ def _fused_fgp_count(
             make_generator,
             _shared_fgp_finalize(stream, pattern, range(copies), k, oracle, algorithm),
             columnar,
+            cache,
         )
         ensemble_space = oracle.space.peak_words
 
@@ -525,6 +534,7 @@ def count_subgraphs_insertion_only_fused(
     workers: Optional[int] = None,
     start_method: Optional[str] = None,
     columnar: bool = True,
+    cache=None,
 ) -> FusedCountResult:
     """Median of K fused Theorem-17 runs in exactly 3 insertion passes.
 
@@ -582,6 +592,7 @@ def count_subgraphs_insertion_only_fused(
         SamplerMode.AUGMENTED,
         {},
         columnar=columnar,
+        cache=cache,
     )
 
 
@@ -602,6 +613,7 @@ def count_subgraphs_turnstile_fused(
     workers: Optional[int] = None,
     start_method: Optional[str] = None,
     columnar: bool = True,
+    cache=None,
 ) -> FusedCountResult:
     """Median of K fused Theorem-1 runs in exactly 3 turnstile passes.
 
@@ -660,6 +672,7 @@ def count_subgraphs_turnstile_fused(
         {},
         sampler_repetitions=sampler_repetitions,
         columnar=columnar,
+        cache=cache,
     )
 
 
@@ -679,6 +692,7 @@ def count_subgraphs_two_pass_fused(
     workers: Optional[int] = None,
     start_method: Optional[str] = None,
     columnar: bool = True,
+    cache=None,
 ) -> FusedCountResult:
     """Median of K fused 2-pass runs (star-decomposable H) in 2 passes.
 
@@ -725,4 +739,5 @@ def count_subgraphs_two_pass_fused(
         SamplerMode.AUGMENTED,
         {"skip_empty_wedge_round": True},
         columnar=columnar,
+        cache=cache,
     )

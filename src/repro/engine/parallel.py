@@ -59,9 +59,9 @@ import traceback
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
-from repro.engine.core import DEFAULT_BATCH_SIZE, EngineReport
-from repro.errors import EngineError
-from repro.streams.stream import EdgeStream, pass_batches
+from repro.engine.core import DEFAULT_BATCH_SIZE, EngineReport, apply_cache_policy
+from repro.errors import EngineError, StreamError
+from repro.streams.stream import EdgeStream, check_batch_size, pass_batches
 
 __all__ = [
     "StreamHandle",
@@ -427,6 +427,7 @@ def run_process_engine(
     max_passes: int = 0,
     reply_timeout: float = DEFAULT_REPLY_TIMEOUT,
     columnar: bool = True,
+    cache=None,
 ) -> EngineReport:
     """Drive *specs* to completion across a process pool.
 
@@ -442,11 +443,20 @@ def run_process_engine(
     flat ``int64`` buffers — a fraction of the bytes (and none of the
     per-tuple pickle opcodes) of the historical tuple lists; workers
     rebuild the decoded views lazily on their side of the boundary.
+
+    *cache* applies a batch-cache policy to the **driver's** stream
+    (see :mod:`repro.streams.cache`): the driver is the only process
+    that decodes, so its policy decides whether a later fused pass
+    re-reads from memory or from disk.  Workers always re-decode the
+    broadcast buffers they receive — they never assume a cached batch
+    exists on their side of the boundary.
     """
     if not specs:
         raise EngineError("no estimator specs registered")
-    if batch_size < 1:
-        raise EngineError(f"batch_size must be >= 1, got {batch_size}")
+    try:
+        batch_size = check_batch_size(batch_size)
+    except StreamError as error:
+        raise EngineError(str(error)) from error
     names = [spec.name for spec in specs]
     if len(set(names)) != len(names):
         raise EngineError(f"duplicate estimator names in specs: {names}")
@@ -456,6 +466,7 @@ def run_process_engine(
         [specs[i] for i in indices] for indices in shard_indices(len(specs), pool_size)
     ]
     handle = StreamHandle.of(stream)
+    apply_cache_policy(stream, cache)
     if reset_pass_count:
         stream.reset_pass_count()
 

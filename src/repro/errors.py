@@ -27,11 +27,15 @@ class PatternError(ReproError):
     """
 
 
-class StreamError(ReproError):
+class StreamError(ReproError, ValueError):
     """Raised for invalid stream operations.
 
-    Examples: a turnstile stream that deletes a non-existent edge, or
-    reading more passes than a single-pass stream allows.
+    Examples: a turnstile stream that deletes a non-existent edge,
+    reading more passes than a single-pass stream allows, or an invalid
+    ``batch_size``/cache-policy argument.  Also a :class:`ValueError`,
+    so argument-validation failures (non-positive or non-integer batch
+    sizes, malformed byte budgets) satisfy callers that catch the
+    standard exception.
     """
 
 

@@ -1,6 +1,6 @@
 """Run every experiment and emit a combined report.
 
-``python -m repro.experiments`` regenerates all E1–E14 + A1 tables in
+``python -m repro.experiments`` regenerates all E1–E15 + A1 tables in
 one go (fast mode by default) and can write them as markdown — the
 same tables EXPERIMENTS.md records.  ``--parallel``/``--workers``
 (also reachable as ``python -m repro experiments --parallel``) hand a
@@ -32,6 +32,7 @@ from repro.experiments import (
     e12_two_pass,
     e13_bounds,
     e14_parallel,
+    e15_ingestion,
 )
 from repro.errors import ReproError
 from repro.experiments.tables import Table
@@ -73,6 +74,7 @@ EXPERIMENTS: List[Tuple[str, Callable[..., Table]]] = [
     ("e12", e12_two_pass.run),
     ("e13", e13_bounds.run),
     ("e14", e14_parallel.run),
+    ("e15", e15_ingestion.run),
     ("a01", a01_wedge_ablation.run),
 ]
 
@@ -130,7 +132,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--only",
         nargs="*",
         metavar="ID",
-        help="subset of experiment ids (e01..e14, a01)",
+        help="subset of experiment ids (e01..e15, a01)",
     )
     parser.add_argument(
         "--markdown", action="store_true", help="emit GitHub pipe tables"

@@ -28,10 +28,24 @@ from typing import Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.errors import StreamError
 from repro.graph.graph import Edge
 
 #: A decoded stream element: ``(u, v, delta, normalized_edge)``.
 DecodedTuple = Tuple[int, int, int, Edge]
+
+#: Largest vertex count whose dense edge ids stay exact: for
+#: ``n <= 2^32`` the id universe ``n(n-1)/2 < 2^63`` fits ``int64``
+#: and the uint64 intermediate ``a(2n-a-1) <= n(n-1) < 2^64`` cannot
+#: wrap.  Beyond that the encoding itself overflows — callers must
+#: compact/relabel vertex ids first (the dataset readers do).
+EDGE_ID_MAX_N = 1 << 32
+
+#: Above this vertex count the pass states switch their vertex filters
+#: from Θ(n) boolean gather tables to sorted binary search — a few
+#: dozen watched vertices never justify gigabyte tables on big-id
+#: disk graphs.
+DENSE_MEMBERSHIP_MAX_N = 1 << 22
 
 
 def edge_id(u: int, v: int, n: int) -> int:
@@ -58,6 +72,45 @@ def sorted_member_mask(sorted_values: np.ndarray, values: np.ndarray) -> np.ndar
     mask = positions < len(sorted_values)
     mask[mask] = sorted_values[positions[mask]] == values[mask]
     return mask
+
+
+class VertexMembership:
+    """Vertex filter over a small watched set, scale-aware in ``n``.
+
+    The columnar pass states test every batch event against a handful
+    of watched vertices (degree counters, arrival watchers, sampler
+    owners).  For ordinary ``n`` a dense boolean table makes that an
+    O(1) gather per event; on huge-universe disk graphs
+    (``n > DENSE_MEMBERSHIP_MAX_N``) allocating Θ(n) scratch per pass
+    state would dwarf the algorithm's own space, so membership falls
+    back to binary search against the sorted watched set — same mask,
+    bounded memory.  :meth:`slots` gives each member a compact index
+    so accumulators are sized by the watched set, never by ``n``.
+    """
+
+    __slots__ = ("vertices", "_table")
+
+    def __init__(self, vertices, n: int) -> None:
+        self.vertices = np.asarray(sorted(vertices), dtype=np.int64)
+        if n <= DENSE_MEMBERSHIP_MAX_N:
+            table = np.zeros(n, dtype=bool)
+            table[self.vertices] = True
+            self._table = table
+        else:
+            self._table = None
+
+    def __len__(self) -> int:
+        return len(self.vertices)
+
+    def mask(self, values: np.ndarray) -> np.ndarray:
+        """Boolean membership of *values* in the watched set."""
+        if self._table is not None:
+            return self._table[values]
+        return sorted_member_mask(self.vertices, values)
+
+    def slots(self, members: np.ndarray) -> np.ndarray:
+        """Compact ``[0, len)`` indices of *members* (all must belong)."""
+        return np.searchsorted(self.vertices, members)
 
 
 class _EdgeView(Sequence):
@@ -193,17 +246,40 @@ class EdgeBatch(Sequence):
         """Lazy indexable view over :meth:`edge_list` (no materialization)."""
         return _EdgeView(self)
 
+    @property
+    def nbytes(self) -> int:
+        """Bytes of the defining columns (what the cache budgets meter).
+
+        Lazily materialized views (tuples, edge lists, events) are
+        extra and are released together with the batch object — the
+        cache policies evict whole batches, so bounding the column
+        bytes bounds the views too.
+        """
+        return self.u.nbytes + self.v.nbytes + self.delta.nbytes
+
     def edge_ids(self, n: int) -> np.ndarray:
         """Dense triangular edge ids in ``[0, n(n-1)/2)``, cached per *n*.
 
         The vectorized form of :func:`edge_id`:
         ``a(2n - a - 1)/2 + (b - a - 1)`` for the normalized pair
-        ``a < b``.
+        ``a < b``, computed in ``uint64`` so the intermediate product
+        stays exact up to ``n = 2^32`` (an ``int64`` product silently
+        wraps past ``n ≈ 3.0e9``); the ids themselves fit ``int64``
+        for every such ``n``.  Larger universes have no exact dense
+        encoding and raise — compact the vertex ids first.
         """
         if self._edge_ids is None or self._edge_ids_n != n:
-            a = self.lo
-            b = self.hi
-            self._edge_ids = a * (2 * n - a - 1) // 2 + (b - a - 1)
+            if n > EDGE_ID_MAX_N:
+                raise StreamError(
+                    f"dense edge ids overflow for n={n} (> 2^32); "
+                    "compact/relabel vertex ids first (see repro.streams.datasets)"
+                )
+            a = self.lo.astype(np.uint64)
+            b = self.hi.astype(np.uint64)
+            two_n = np.uint64(2 * n)
+            one = np.uint64(1)
+            ids = a * (two_n - a - one) // np.uint64(2) + (b - a - one)
+            self._edge_ids = ids.astype(np.int64)
             self._edge_ids_n = n
         return self._edge_ids
 

@@ -1,0 +1,258 @@
+"""Batch-cache policies: bounding what a stream keeps resident.
+
+The columnar pipeline decodes each stream pass into
+:class:`~repro.streams.batch.EdgeBatch` objects.  Re-decoding every
+pass is wasted work for multi-pass estimators, but the original
+implementation cached **every batch of every batch size forever** —
+O(m × #batch-sizes) growth, plus the batches' lazily materialized
+tuple views (an order of magnitude larger than the columns), which
+made real, disk-resident graphs impossible to stream.
+
+A :class:`BatchCachePolicy` makes the retention decision explicit.
+Streams consult their policy per ``(batch_size, batch_index)`` key:
+
+``"all"`` (:class:`AllBatchCache`)
+    The historical behavior — unbounded retention, one decode per
+    stream per batch size.  Right for small synthetic streams that are
+    re-read many times (the default for in-memory
+    :class:`~repro.streams.stream.EdgeStream`).
+
+``"lru"`` (:class:`LRUBatchCache`)
+    Bounded by a byte budget over the batches' column bytes
+    (:attr:`~repro.streams.batch.EdgeBatch.nbytes`).  Least-recently
+    used batches — and their materialized decoded views — are dropped
+    once the budget is exceeded, so a multi-pass run over a graph
+    larger than the budget keeps only a bounded working set resident.
+    The policy meters itself: ``peak_resident_bytes`` is asserted
+    against the budget in the regression tests.
+
+``"none"`` (:class:`NoBatchCache`)
+    Nothing is retained; every pass re-decodes (for a
+    :class:`~repro.streams.datasets.DiskEdgeStream`, straight from
+    disk — the default there).
+
+Estimates are **bit-identical across policies**: a policy only decides
+whether a batch object is rebuilt or reused, never what it contains
+(pinned by ``tests/test_cache_policies.py`` across both execution
+backends).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Optional, Tuple, Union
+
+from repro.errors import StreamError
+
+__all__ = [
+    "BatchCachePolicy",
+    "AllBatchCache",
+    "LRUBatchCache",
+    "NoBatchCache",
+    "DEFAULT_LRU_BUDGET_BYTES",
+    "parse_byte_size",
+    "resolve_cache_policy",
+]
+
+#: Cache key: ``(batch_size, batch_index)`` within a stream.
+CacheKey = Tuple[int, int]
+
+#: Default LRU byte budget (column bytes): 256 MiB ≈ 11M edges of
+#: int64 ``u``/``v``/``delta`` columns resident at once.
+DEFAULT_LRU_BUDGET_BYTES = 256 << 20
+
+_SIZE_SUFFIXES = {
+    "": 1,
+    "b": 1,
+    "k": 1 << 10,
+    "kb": 1 << 10,
+    "m": 1 << 20,
+    "mb": 1 << 20,
+    "g": 1 << 30,
+    "gb": 1 << 30,
+}
+
+
+def parse_byte_size(text: Union[int, str]) -> int:
+    """A byte count from ``4096``, ``"64M"``, ``"1gb"``, ``"512kb"``, ...
+
+    Case-insensitive suffixes ``b``/``k``/``kb``/``m``/``mb``/``g``/
+    ``gb`` (powers of 1024).  Raises :class:`~repro.errors.StreamError`
+    on anything else.
+    """
+    if isinstance(text, bool) or not isinstance(text, (int, str)):
+        raise StreamError(f"byte size must be an int or string, got {text!r}")
+    if isinstance(text, int):
+        if text < 1:
+            raise StreamError(f"byte size must be >= 1, got {text}")
+        return text
+    raw = text.strip().lower()
+    digits = raw.rstrip("kmgb")
+    suffix = raw[len(digits):]
+    if not digits.isdigit() or suffix not in _SIZE_SUFFIXES:
+        raise StreamError(
+            f"unparseable byte size {text!r}; expected e.g. 4096, '64M', '1gb'"
+        )
+    value = int(digits) * _SIZE_SUFFIXES[suffix]
+    if value < 1:
+        raise StreamError(f"byte size must be >= 1, got {text!r}")
+    return value
+
+
+class BatchCachePolicy:
+    """Decides which decoded :class:`EdgeBatch` objects stay resident.
+
+    Subclasses implement :meth:`get` / :meth:`put`; the bookkeeping
+    properties (``resident_bytes``, ``peak_resident_bytes``,
+    ``hits``/``misses``) are shared so tests and benchmarks can meter
+    any policy uniformly.
+    """
+
+    #: Short name used in CLI flags and reprs.
+    name = "?"
+
+    def __init__(self) -> None:
+        self.resident_bytes = 0
+        self.peak_resident_bytes = 0
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key: CacheKey):
+        """The cached batch for *key*, or ``None`` (counts hit/miss)."""
+        raise NotImplementedError
+
+    def put(self, key: CacheKey, batch) -> None:
+        """Offer a freshly decoded *batch* for retention under *key*."""
+        raise NotImplementedError
+
+    def clear(self) -> None:
+        """Drop every retained batch (peak and hit counters survive)."""
+        raise NotImplementedError
+
+    def _track_insert(self, nbytes: int) -> None:
+        self.resident_bytes += nbytes
+        if self.resident_bytes > self.peak_resident_bytes:
+            self.peak_resident_bytes = self.resident_bytes
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(resident={self.resident_bytes}, "
+            f"peak={self.peak_resident_bytes}, hits={self.hits}, "
+            f"misses={self.misses})"
+        )
+
+
+class AllBatchCache(BatchCachePolicy):
+    """Unbounded retention — the historical ``EdgeStream`` behavior."""
+
+    name = "all"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._batches: Dict[CacheKey, object] = {}
+
+    def get(self, key: CacheKey):
+        batch = self._batches.get(key)
+        if batch is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return batch
+
+    def put(self, key: CacheKey, batch) -> None:
+        if key not in self._batches:
+            self._batches[key] = batch
+            self._track_insert(batch.nbytes)
+
+    def clear(self) -> None:
+        self._batches.clear()
+        self.resident_bytes = 0
+
+
+class NoBatchCache(BatchCachePolicy):
+    """Retain nothing: every pass re-decodes (or re-reads from disk)."""
+
+    name = "none"
+
+    def get(self, key: CacheKey):
+        self.misses += 1
+        return None
+
+    def put(self, key: CacheKey, batch) -> None:
+        pass
+
+    def clear(self) -> None:
+        pass
+
+
+class LRUBatchCache(BatchCachePolicy):
+    """Least-recently-used retention bounded by a column-byte budget.
+
+    The budget meters the batches' defining columns
+    (:attr:`~repro.streams.batch.EdgeBatch.nbytes`); evicting a batch
+    also releases its lazily materialized decoded views, which is
+    where the bulk of the memory of the old unbounded cache went.  A
+    single batch larger than the whole budget is served uncached, so
+    ``peak_resident_bytes <= budget_bytes`` always holds.
+    """
+
+    name = "lru"
+
+    def __init__(self, budget_bytes: Union[int, str] = DEFAULT_LRU_BUDGET_BYTES) -> None:
+        super().__init__()
+        self.budget_bytes = parse_byte_size(budget_bytes)
+        self._batches: "OrderedDict[CacheKey, object]" = OrderedDict()
+
+    def get(self, key: CacheKey):
+        batch = self._batches.get(key)
+        if batch is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        self._batches.move_to_end(key)
+        return batch
+
+    def put(self, key: CacheKey, batch) -> None:
+        if key in self._batches:
+            self._batches.move_to_end(key)
+            return
+        nbytes = batch.nbytes
+        if nbytes > self.budget_bytes:
+            return  # larger than the whole budget: serve uncached
+        while self._batches and self.resident_bytes + nbytes > self.budget_bytes:
+            _, evicted = self._batches.popitem(last=False)
+            self.resident_bytes -= evicted.nbytes
+        self._batches[key] = batch
+        self._track_insert(nbytes)
+
+    def clear(self) -> None:
+        self._batches.clear()
+        self.resident_bytes = 0
+
+
+def resolve_cache_policy(spec) -> BatchCachePolicy:
+    """A :class:`BatchCachePolicy` from a user-facing spec.
+
+    Accepts a policy instance (returned as-is), ``"all"``, ``"none"``,
+    ``"lru"`` (default budget), or ``"lru:<bytes>"`` with the sizes of
+    :func:`parse_byte_size` (e.g. ``"lru:64M"``).  ``None`` means
+    ``"all"`` — the historical default for in-memory streams.
+    """
+    if spec is None:
+        return AllBatchCache()
+    if isinstance(spec, BatchCachePolicy):
+        return spec
+    if isinstance(spec, str):
+        lowered = spec.strip().lower()
+        if lowered == "all":
+            return AllBatchCache()
+        if lowered == "none":
+            return NoBatchCache()
+        if lowered == "lru":
+            return LRUBatchCache()
+        if lowered.startswith("lru:"):
+            return LRUBatchCache(parse_byte_size(lowered[4:]))
+    raise StreamError(
+        f"unknown cache policy {spec!r}; expected 'all', 'none', 'lru', "
+        "'lru:<bytes>', or a BatchCachePolicy instance"
+    )

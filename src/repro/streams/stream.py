@@ -23,11 +23,99 @@ import numpy as np
 from repro.errors import StreamError
 from repro.graph.graph import Edge, Graph, normalize_edge
 from repro.streams.batch import EdgeBatch
+from repro.streams.cache import BatchCachePolicy, resolve_cache_policy
 from repro.utils.rng import RandomSource, ensure_rng
 
 
 #: Default elements per decoded chunk / columnar batch.
 DEFAULT_CHUNK_SIZE = 4096
+
+
+def check_batch_size(batch_size) -> int:
+    """Validate a batch size: an integer >= 1 (``bool`` rejected).
+
+    The single home of the check — :meth:`EdgeStream.batches`, the
+    disk streams, and the engine all route through it, so a bad
+    ``--batch-size`` fails with one clear :class:`ValueError` instead
+    of a silent ``range`` misbehavior deep in the decode loop.
+    """
+    if isinstance(batch_size, bool) or not isinstance(batch_size, (int, np.integer)):
+        raise StreamError(
+            f"batch_size must be an int, got {type(batch_size).__name__} "
+            f"({batch_size!r})"
+        )
+    if batch_size < 1:
+        raise StreamError(f"batch_size must be >= 1, got {batch_size}")
+    return int(batch_size)
+
+
+class CachedBatchStream:
+    """Shared pass-counting + batch-cache surface of the stream classes.
+
+    Subclasses initialize ``self._passes = 0`` and ``self._cache``
+    (via :func:`~repro.streams.cache.resolve_cache_policy`), implement
+    ``__len__`` and :meth:`_decode_batch`, and inherit the whole
+    consulting loop: one cache key per ``(batch_size, batch_index)``,
+    decode on miss, retention at the policy's discretion.  Keeping the
+    loop in one place is what guarantees the in-memory and disk
+    streams can never drift apart on cache semantics.
+    """
+
+    @property
+    def passes_used(self) -> int:
+        """How many passes have been read so far."""
+        return self._passes
+
+    def reset_pass_count(self) -> None:
+        """Zero the pass counter (e.g. between estimator runs)."""
+        self._passes = 0
+
+    @property
+    def cache_policy(self) -> BatchCachePolicy:
+        """The active batch-cache policy (inspect for hit/byte meters)."""
+        return self._cache
+
+    def set_cache_policy(self, cache) -> BatchCachePolicy:
+        """Replace the batch-cache policy (dropping retained batches).
+
+        *cache* is any spec accepted by
+        :func:`~repro.streams.cache.resolve_cache_policy`; the resolved
+        policy is returned so callers can meter it.
+        """
+        self._cache.clear()
+        self._cache = resolve_cache_policy(cache)
+        return self._cache
+
+    def batches(self, batch_size: int = DEFAULT_CHUNK_SIZE) -> Iterator["EdgeBatch"]:
+        """Read one pass as columnar :class:`~repro.streams.batch.EdgeBatch`\\ es.
+
+        Counts a pass, like ``updates()``.  Which batches (and their
+        lazily materialized decoded views) survive between passes is
+        the cache policy's call (see :mod:`repro.streams.cache`):
+        under ``"all"`` every batch is decoded once per stream and
+        reused by every later pass and every estimator sharing a fused
+        pass; under ``"lru"`` a bounded working set is; under
+        ``"none"`` nothing is.  Batches are immutable by convention;
+        consumers must not mutate the arrays.
+        """
+        batch_size = check_batch_size(batch_size)
+        self._passes += 1
+        return self._iter_batches(batch_size)
+
+    def _iter_batches(self, batch_size: int) -> Iterator["EdgeBatch"]:
+        cache = self._cache
+        length = len(self)
+        for index, start in enumerate(range(0, length, batch_size)):
+            key = (batch_size, index)
+            batch = cache.get(key)
+            if batch is None:
+                batch = self._decode_batch(start, min(start + batch_size, length))
+                cache.put(key, batch)
+            yield batch
+
+    def _decode_batch(self, start: int, stop: int) -> "EdgeBatch":
+        """Decode updates ``[start, stop)`` into a fresh batch."""
+        raise NotImplementedError
 
 
 @dataclass(frozen=True)
@@ -54,7 +142,7 @@ class Update:
         return self.delta == 1
 
 
-class EdgeStream:
+class EdgeStream(CachedBatchStream):
     """A replayable, pass-counting edge stream.
 
     Parameters
@@ -66,6 +154,13 @@ class EdgeStream:
     allow_deletions:
         ``False`` models the insertion-only setting and rejects any
         negative update at construction time.
+    cache:
+        Batch-cache policy for :meth:`batches` — ``"all"`` (default:
+        unbounded, right for small replayed streams), ``"lru"`` /
+        ``"lru:<bytes>"`` (bounded by a byte budget), ``"none"``, or a
+        :class:`~repro.streams.cache.BatchCachePolicy` instance.
+        Estimates are bit-identical across policies; the policy only
+        trades decode work against resident memory.
 
     Notes
     -----
@@ -75,12 +170,18 @@ class EdgeStream:
     model requires.
     """
 
-    def __init__(self, n: int, updates: Sequence[Update], allow_deletions: bool = False) -> None:
+    def __init__(
+        self,
+        n: int,
+        updates: Sequence[Update],
+        allow_deletions: bool = False,
+        cache=None,
+    ) -> None:
         self._n = n
         self._updates: Tuple[Update, ...] = tuple(updates)
         self._allow_deletions = allow_deletions
         self._passes = 0
-        self._batch_cache: Dict[int, List["EdgeBatch"]] = {}
+        self._cache: BatchCachePolicy = resolve_cache_policy(cache)
         self._columns = None
         self._validate()
 
@@ -123,59 +224,34 @@ class EdgeStream:
     def allows_deletions(self) -> bool:
         return self._allow_deletions
 
-    @property
-    def passes_used(self) -> int:
-        """How many passes have been read so far."""
-        return self._passes
-
-    def reset_pass_count(self) -> None:
-        """Zero the pass counter (e.g. between estimator runs)."""
-        self._passes = 0
-
     def updates(self) -> Iterator[Update]:
         """Read one pass over the stream, counting it."""
         self._passes += 1
         return iter(self._updates)
 
-    def batches(self, batch_size: int = DEFAULT_CHUNK_SIZE) -> Iterator["EdgeBatch"]:
-        """Read one pass as columnar :class:`~repro.streams.batch.EdgeBatch`\\ es.
+    def columns(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """The whole stream as ``(u, v, delta)`` ``int64`` columns.
 
-        Counts a pass, like :meth:`updates`.  The batches (and their
-        lazily materialized decoded views) are cached per batch size,
-        so the second and later passes — and every estimator sharing a
-        fused pass — reuse the same objects: the per-element decode
-        cost of the columnar pipeline is paid once per stream, not
-        once per pass per estimator.  Batches are immutable by
-        convention; consumers must not mutate the arrays.
+        Decoded once and shared with the batch pipeline; does **not**
+        count a pass.  The public bridge to the array-based ingestion
+        layer (:func:`repro.streams.datasets.write_binary_updates`, the
+        scenario generators) — callers must not mutate the arrays.
         """
-        if batch_size < 1:
-            raise StreamError(f"batch_size must be >= 1, got {batch_size}")
-        self._passes += 1
-        cached = self._batch_cache.get(batch_size)
-        if cached is None:
-            if self._columns is None:
-                # Decode the Update objects into whole-stream columns
-                # exactly once; per-size batch lists below are views.
-                length = len(self._updates)
-                self._columns = tuple(
-                    np.fromiter(
-                        (getattr(update, field) for update in self._updates),
-                        dtype=np.int64,
-                        count=length,
-                    )
-                    for field in ("u", "v", "delta")
+        if self._columns is None:
+            length = len(self._updates)
+            self._columns = tuple(
+                np.fromiter(
+                    (getattr(update, field) for update in self._updates),
+                    dtype=np.int64,
+                    count=length,
                 )
-            u, v, delta = self._columns
-            cached = [
-                EdgeBatch(
-                    u[start : start + batch_size],
-                    v[start : start + batch_size],
-                    delta[start : start + batch_size],
-                )
-                for start in range(0, len(self._updates), batch_size)
-            ]
-            self._batch_cache[batch_size] = cached
-        return iter(cached)
+                for field in ("u", "v", "delta")
+            )
+        return self._columns
+
+    def _decode_batch(self, start: int, stop: int) -> "EdgeBatch":
+        u, v, delta = self.columns()
+        return EdgeBatch(u[start:stop], v[start:stop], delta[start:stop])
 
     def final_graph(self) -> Graph:
         """The graph the stream describes (updates applied in order)."""
@@ -207,8 +283,7 @@ def decoded_chunks(
     edge)`` so downstream loops avoid the dataclass attribute/property
     cost, and peak memory stays O(chunk_size) however long the pass is.
     """
-    if chunk_size < 1:
-        raise StreamError(f"chunk_size must be >= 1, got {chunk_size}")
+    chunk_size = check_batch_size(chunk_size)
     batch: List[DecodedUpdate] = []
     append = batch.append
     for update in updates:

@@ -40,7 +40,12 @@ from repro.oracle.base import (
     RandomNeighborQuery,
 )
 from repro.sketch.reservoir import SkipAheadReservoirBank
-from repro.streams.batch import EdgeBatch, edge_id, sorted_member_mask
+from repro.streams.batch import (
+    EdgeBatch,
+    VertexMembership,
+    edge_id,
+    sorted_member_mask,
+)
 from repro.streams.space import SpaceMeter
 from repro.streams.stream import EdgeStream, pass_batches
 from repro.utils.rng import RandomSource, derive_rng, ensure_rng
@@ -81,10 +86,10 @@ class InsertionPassState:
         "_edge_bank",
         "_neighbor_banks",
         "_columnar_ready",
-        "_degree_table",
+        "_degree_members",
         "_degree_accumulator",
-        "_arrival_table",
-        "_neighbor_table",
+        "_arrival_members",
+        "_neighbor_members",
         "_adjacency_ids",
         "_adjacency_seen",
     )
@@ -143,15 +148,15 @@ class InsertionPassState:
         self._edge_count = 0
 
         self._n = oracle._stream.n
-        # Columnar-path lookup structures (boolean vertex-membership
-        # tables, sorted pair ids, flat accumulators) are built lazily
-        # by the first columnar batch — a scalar-fed pass never pays
-        # for them.  See _build_columnar_structures.
+        # Columnar-path lookup structures (vertex-membership filters,
+        # sorted pair ids, flat accumulators) are built lazily by the
+        # first columnar batch — a scalar-fed pass never pays for
+        # them.  See _build_columnar_structures.
         self._columnar_ready = False
-        self._degree_table = None
+        self._degree_members = None
         self._degree_accumulator = None
-        self._arrival_table = None
-        self._neighbor_table = None
+        self._arrival_members = None
+        self._neighbor_members = None
         self._adjacency_ids = None
         self._adjacency_seen = None
 
@@ -271,28 +276,30 @@ class InsertionPassState:
         if not self._columnar_ready:
             self._build_columnar_structures()
 
-        degree_table = self._degree_table
-        arrival_table = self._arrival_table
-        neighbor_table = self._neighbor_table
+        degree_members = self._degree_members
+        arrival_members = self._arrival_members
+        neighbor_members = self._neighbor_members
         if (
-            degree_table is not None
-            or arrival_table is not None
-            or neighbor_table is not None
+            degree_members is not None
+            or arrival_members is not None
+            or neighbor_members is not None
         ):
             endpoint, other, _ = batch.events()
 
-            if degree_table is not None:
-                hits = endpoint[degree_table[endpoint]]
+            if degree_members is not None:
+                hits = endpoint[degree_members.mask(endpoint)]
                 if len(hits):
-                    np.add.at(self._degree_accumulator, hits, 1)
+                    np.add.at(
+                        self._degree_accumulator, degree_members.slots(hits), 1
+                    )
 
-            if neighbor_table is not None:
-                mask = neighbor_table[endpoint]
+            if neighbor_members is not None:
+                mask = neighbor_members.mask(endpoint)
                 if mask.any():
                     self._offer_grouped(endpoint[mask], other[mask], self._offer_bank)
 
-            if arrival_table is not None:
-                mask = arrival_table[endpoint]
+            if arrival_members is not None:
+                mask = arrival_members.mask(endpoint)
                 if mask.any():
                     self._offer_grouped(endpoint[mask], other[mask], self._watch_arrivals)
 
@@ -306,25 +313,27 @@ class InsertionPassState:
     def _build_columnar_structures(self) -> None:
         """Lazily build the vectorized-path lookup structures.
 
-        Per-vertex boolean membership tables (an O(1) gather per event
-        beats any sorted search), the sorted adjacency-pair ids, and a
-        full-vertex-range degree accumulator that finish() folds back
-        into the scalar dicts.  These are transient engineering scratch
-        of the columnar executor — Θ(n) bits outside the paper's space
-        accounting, which meters the *algorithmic* state only — and are
-        allocated exactly once, by the first columnar batch.
+        Per-vertex membership filters
+        (:class:`~repro.streams.batch.VertexMembership`: dense boolean
+        gather tables for ordinary ``n``, sorted binary search on
+        huge-universe disk graphs), the sorted adjacency-pair ids, and
+        a compact per-watched-vertex degree accumulator that finish()
+        folds back into the scalar dicts.  Transient engineering
+        scratch of the columnar executor, outside the paper's space
+        accounting (which meters the *algorithmic* state only),
+        allocated exactly once by the first columnar batch — and never
+        proportional to ``n`` beyond the dense-table regime.
         """
         n = self._n
         if self._degree_counts:
-            self._degree_table = np.zeros(n, dtype=bool)
-            self._degree_table[list(self._degree_counts)] = True
-            self._degree_accumulator = np.zeros(n, dtype=np.int64)
+            self._degree_members = VertexMembership(self._degree_counts, n)
+            self._degree_accumulator = np.zeros(
+                len(self._degree_members), dtype=np.int64
+            )
         if self._neighbor_watch:
-            self._arrival_table = np.zeros(n, dtype=bool)
-            self._arrival_table[list(self._neighbor_watch)] = True
+            self._arrival_members = VertexMembership(self._neighbor_watch, n)
         if self._neighbor_banks:
-            self._neighbor_table = np.zeros(n, dtype=bool)
-            self._neighbor_table[list(self._neighbor_banks)] = True
+            self._neighbor_members = VertexMembership(self._neighbor_banks, n)
         if self._adjacency_pairs:
             ids = sorted(edge_id(a, b, n) for a, b in self._adjacency_pairs)
             self._adjacency_ids = np.array(ids, dtype=np.int64)
@@ -377,11 +386,11 @@ class InsertionPassState:
         if self._degree_accumulator is not None:
             # Fold the columnar accumulator into the scalar counters.
             accumulator = self._degree_accumulator
-            for vertex in degree_counts:
-                count = int(accumulator[vertex])
+            for slot, vertex in enumerate(self._degree_members.vertices.tolist()):
+                count = int(accumulator[slot])
                 if count:
                     degree_counts[vertex] += count
-                    accumulator[vertex] = 0
+                    accumulator[slot] = 0
         for position, vertex in self._degree_positions:
             answers[position] = degree_counts[vertex]
         captured_get = self._captured.get

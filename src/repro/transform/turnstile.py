@@ -38,7 +38,12 @@ from repro.oracle.base import (
     RandomNeighborQuery,
 )
 from repro.sketch.l0 import L0Sampler
-from repro.streams.batch import EdgeBatch, edge_id, sorted_member_mask
+from repro.streams.batch import (
+    EdgeBatch,
+    VertexMembership,
+    edge_id,
+    sorted_member_mask,
+)
 from repro.streams.space import SpaceMeter
 from repro.streams.stream import EdgeStream, pass_batches
 from repro.utils.rng import RandomSource, derive_rng, ensure_rng
@@ -86,9 +91,9 @@ class TurnstilePassState:
         "_pair_counts",
         "_edge_count",
         "_columnar_ready",
-        "_degree_table",
+        "_degree_members",
         "_degree_accumulator",
-        "_sampler_table",
+        "_sampler_members",
         "_pair_ids",
         "_pair_accumulator",
     )
@@ -155,9 +160,9 @@ class TurnstilePassState:
         # loop below never touches them, and finish() folds the flat
         # accumulators back into the dicts.
         self._columnar_ready = False
-        self._degree_table = None
+        self._degree_members = None
         self._degree_accumulator = None
-        self._sampler_table = None
+        self._sampler_members = None
         self._pair_ids = None
         self._pair_accumulator = None
 
@@ -230,22 +235,22 @@ class TurnstilePassState:
         if not self._columnar_ready:
             self._build_columnar_structures()
 
-        degree_table = self._degree_table
-        sampler_table = self._sampler_table
-        if degree_table is not None or sampler_table is not None:
+        degree_members = self._degree_members
+        sampler_members = self._sampler_members
+        if degree_members is not None or sampler_members is not None:
             endpoint, other, index = batch.events()
 
-            if degree_table is not None:
-                mask = degree_table[endpoint]
+            if degree_members is not None:
+                mask = degree_members.mask(endpoint)
                 if mask.any():
                     np.add.at(
                         self._degree_accumulator,
-                        endpoint[mask],
+                        degree_members.slots(endpoint[mask]),
                         batch.delta[index[mask]],
                     )
 
-            if sampler_table is not None:
-                mask = sampler_table[endpoint]
+            if sampler_members is not None:
+                mask = sampler_members.mask(endpoint)
                 if mask.any():
                     hits = np.flatnonzero(mask)
                     order = hits[np.argsort(endpoint[hits], kind="stable")]
@@ -281,20 +286,20 @@ class TurnstilePassState:
     def _build_columnar_structures(self) -> None:
         """Lazily build the vectorized-path lookup structures.
 
-        Transient engineering scratch of the columnar executor (Θ(n)
-        bits outside the paper's space accounting, which meters the
+        Transient engineering scratch of the columnar executor,
+        outside the paper's space accounting (which meters the
         algorithmic state only), allocated exactly once by the first
-        columnar batch — see
-        :meth:`InsertionPassState._build_columnar_structures`.
+        columnar batch — membership filters are scale-aware in ``n``,
+        see :meth:`InsertionPassState._build_columnar_structures`.
         """
         n = self._n
         if self._degree_counts:
-            self._degree_table = np.zeros(n, dtype=bool)
-            self._degree_table[list(self._degree_counts)] = True
-            self._degree_accumulator = np.zeros(n, dtype=np.int64)
+            self._degree_members = VertexMembership(self._degree_counts, n)
+            self._degree_accumulator = np.zeros(
+                len(self._degree_members), dtype=np.int64
+            )
         if self._samplers_by_vertex:
-            self._sampler_table = np.zeros(n, dtype=bool)
-            self._sampler_table[list(self._samplers_by_vertex)] = True
+            self._sampler_members = VertexMembership(self._samplers_by_vertex, n)
         if self._pair_counts:
             ids = sorted(_edge_id(a, b, n) for a, b in self._pair_counts)
             self._pair_ids = np.array(ids, dtype=np.int64)
@@ -316,11 +321,11 @@ class TurnstilePassState:
         if self._degree_accumulator is not None:
             # Fold the columnar accumulator into the scalar counters.
             accumulator = self._degree_accumulator
-            for vertex in degree_counts:
-                count = int(accumulator[vertex])
+            for slot, vertex in enumerate(self._degree_members.vertices.tolist()):
+                count = int(accumulator[slot])
                 if count:
                     degree_counts[vertex] += count
-                    accumulator[vertex] = 0
+                    accumulator[slot] = 0
         for position, vertex in self._degree_positions:
             answers[position] = degree_counts[vertex]
         pair_counts = self._pair_counts

@@ -196,3 +196,73 @@ class TestCliCommands:
         )
         assert completed.returncode == 0
         assert "rho (LP)       1.5" in completed.stdout
+
+class TestConvertAndDiskStreams:
+    @pytest.fixture()
+    def snap_path(self, tmp_path):
+        path = tmp_path / "snap.txt"
+        path.write_text(
+            "# comment\n5 9\n9 5\n3 3\n% other comment\n4294967299 5 123\n5 9\n",
+            encoding="utf-8",
+        )
+        return str(path)
+
+    def test_convert_snap_to_binary(self, snap_path, tmp_path, capsys):
+        out = str(tmp_path / "snap.reb")
+        assert main(["convert", snap_path, out]) == 0
+        captured = capsys.readouterr().out
+        assert "wrote insertion-only stream" in captured
+        assert "n=4 length=2 m=2" in captured
+
+    def test_convert_to_npz(self, snap_path, tmp_path, capsys):
+        out = str(tmp_path / "snap.npz")
+        assert main(["convert", snap_path, out]) == 0
+        assert "n=4 length=2 m=2" in capsys.readouterr().out
+
+    def test_count_on_converted_stream_matches_across_caches(
+        self, karate_path, tmp_path, capsys
+    ):
+        out = str(tmp_path / "karate.reb")
+        assert main(["convert", karate_path, out]) == 0
+        capsys.readouterr()
+        medians = {}
+        for flags in (["--cache", "all"],
+                      ["--cache", "lru", "--cache-budget", "8k"],
+                      ["--cache", "none"]):
+            code = main(["count", out, "triangle", "--copies", "3",
+                         "--trials", "200", "--seed", "4", "--truth"] + flags)
+            assert code == 0
+            output = capsys.readouterr().out
+            assert "fgp-3pass-insertion" in output
+            medians[tuple(flags)] = output.split("median=")[1].split()[0]
+        assert len(set(medians.values())) == 1
+
+    def test_count_disk_rejects_adaptive(self, karate_path, tmp_path, capsys):
+        out = str(tmp_path / "karate.reb")
+        assert main(["convert", karate_path, out]) == 0
+        capsys.readouterr()
+        assert main(["count", out, "triangle", "--adaptive"]) == 2
+        assert "--adaptive" in capsys.readouterr().err
+
+    def test_cache_budget_requires_lru(self, karate_path, capsys):
+        code = main(["count", karate_path, "triangle", "--copies", "2",
+                     "--trials", "50", "--cache", "all",
+                     "--cache-budget", "1M"])
+        assert code == 2
+        assert "--cache-budget requires --cache lru" in capsys.readouterr().err
+
+    def test_count_disk_rejects_churn(self, karate_path, tmp_path, capsys):
+        out = str(tmp_path / "karate.reb")
+        assert main(["convert", karate_path, out]) == 0
+        capsys.readouterr()
+        code = main(["count", out, "triangle", "--algorithm", "turnstile",
+                     "--churn", "10"])
+        assert code == 2
+        assert "--churn" in capsys.readouterr().err
+
+    def test_cache_flag_on_in_memory_fused_run(self, karate_path, capsys):
+        code = main(["count", karate_path, "triangle", "--copies", "2",
+                     "--trials", "100", "--seed", "2", "--cache", "lru",
+                     "--cache-budget", "4k"])
+        assert code == 0
+        assert "fgp-3pass-insertion" in capsys.readouterr().out

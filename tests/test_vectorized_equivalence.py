@@ -291,8 +291,7 @@ class TestOraclePassStates:
             (u.u, u.v, u.delta, u.edge) for u in stream._updates
         ]
         half = len(tuples) // 2
-        stream.batches()  # prime the cache; counts one pass
-        batch_objects = list(stream._batch_cache[4096])
+        batch_objects = list(stream.batches())  # counts one pass
         state_a.ingest_batch(tuples[:half])
         state_a.ingest_batch(EdgeBatch.from_tuples(tuples[half:]))
         answers_mixed = state_a.finish()
