@@ -1,0 +1,99 @@
+"""Checkpoint micro-benchmark: snapshot/restore latency and size vs K.
+
+Feeds a fixed stream into a :class:`~repro.engine.live.LiveEngine`
+carrying K mirror FGP copies, then measures (a) ``snapshot()`` wall
+time, (b) checkpoint size on disk, (c) ``LiveEngine.restore()`` wall
+time — and asserts the restored engine answers bit-identically, so the
+numbers can never come from a checkpoint that silently dropped state.
+Archived as ``benchmarks/results/live_checkpoint.{txt,json}`` (the
+JSON validated by the shared schema checker in ``conftest.py``).
+"""
+
+import os
+import tempfile
+import time
+
+from conftest import emit_json, emit_table
+
+from repro.engine import EstimatorSpec, LiveEngine, fgp_insertion_estimator
+from repro.experiments.tables import Table
+from repro.graph import generators as gen
+from repro.patterns import pattern as zoo
+from repro.streams.stream import insertion_stream
+
+SEED = 7
+TRIALS = 100
+COPY_COUNTS = (1, 4, 16)
+
+
+def _build_live(stream, pattern, copies: int) -> LiveEngine:
+    engine = LiveEngine(n=stream.n)
+    for index in range(copies):
+        name = f"copy-{index}"
+        engine.register_spec(EstimatorSpec(
+            name=name,
+            factory=fgp_insertion_estimator,
+            kwargs=dict(pattern=pattern, trials=TRIALS, rng=SEED + 10 + index,
+                        name=name),
+        ))
+    engine.feed(stream.columns())
+    return engine
+
+
+def test_live_checkpoint_scaling(benchmark, capsys):
+    graph = gen.power_law_cluster(300, 5, 0.6, SEED)
+    stream = insertion_stream(graph, rng=SEED + 1)
+    pattern = zoo.triangle()
+    tmp = tempfile.mkdtemp(prefix="repro-bench-live-")
+
+    table = Table(
+        f"Live-engine checkpoints vs K (m={graph.m}, trials/copy={TRIALS}, "
+        "FGP 3-pass insertion mirror copies)",
+        ["copies", "snapshot ms", "restore ms", "bytes", "bytes/copy",
+         "restored =="],
+    )
+    rows = []
+    largest_engine = None
+    largest_path = None
+    for copies in COPY_COUNTS:
+        engine = _build_live(stream, pattern, copies)
+        path = os.path.join(tmp, f"live-{copies}.ckpt")
+        start = time.perf_counter()
+        engine.snapshot(path)
+        snapshot_seconds = time.perf_counter() - start
+        size = os.path.getsize(path)
+        start = time.perf_counter()
+        restored = LiveEngine.restore(path)
+        restore_seconds = time.perf_counter() - start
+        agree = (
+            restored.estimate(["copy-0"])["copy-0"].estimate
+            == engine.estimate(["copy-0"])["copy-0"].estimate
+        )
+        assert agree, "restored engine diverged from the live one"
+        table.add_row(
+            copies,
+            f"{snapshot_seconds * 1e3:.1f}",
+            f"{restore_seconds * 1e3:.1f}",
+            size,
+            size // copies,
+            "yes" if agree else "NO",
+        )
+        rows.append(dict(
+            copies=copies,
+            snapshot_seconds=snapshot_seconds,
+            restore_seconds=restore_seconds,
+            checkpoint_bytes=size,
+            bytes_per_copy=size // copies,
+            elements=engine.elements,
+        ))
+        largest_engine, largest_path = engine, path
+
+    emit_json(
+        "live_checkpoint",
+        params=dict(n=graph.n, m=graph.m, trials=TRIALS, seed=SEED,
+                    copy_counts=list(COPY_COUNTS)),
+        rows=rows,
+    )
+    emit_table(table, "live_checkpoint", capsys, json_twin=False)
+
+    benchmark(lambda: largest_engine.snapshot(largest_path))

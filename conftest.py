@@ -27,6 +27,12 @@ def pytest_configure(config):
         "statistical: multi-trial statistical-guarantee suite; skipped unless "
         "selected with -m statistical",
     )
+    config.addinivalue_line(
+        "markers",
+        "fuzz: randomized differential equivalence suite "
+        "(tests/test_differential_fuzz.py); runs in tier-1 with the fixed "
+        "default seed, and in the CI fuzz job with a rotating REPRO_FUZZ_SEED",
+    )
 
 
 def pytest_collection_modifyitems(config, items):

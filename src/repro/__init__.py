@@ -64,6 +64,7 @@ Exact ground truth::
 """
 
 from repro.errors import (
+    CheckpointError,
     EstimationError,
     GraphError,
     OracleError,
@@ -109,6 +110,7 @@ from repro.streaming.ers.params import ErsParameters
 from repro.estimate.result import EstimateResult
 from repro.estimate.search import geometric_search
 from repro.engine.core import EngineBackend, EngineReport, StreamEngine
+from repro.engine.live import LiveEngine
 from repro.engine.fused import (
     FusedCountResult,
     FusionMode,
@@ -127,6 +129,7 @@ __all__ = [
     "OracleError",
     "SketchError",
     "EstimationError",
+    "CheckpointError",
     "Graph",
     "generators",
     "degeneracy",
@@ -163,6 +166,7 @@ __all__ = [
     "EstimateResult",
     "geometric_search",
     "StreamEngine",
+    "LiveEngine",
     "EngineReport",
     "EngineBackend",
     "FusionMode",

@@ -23,6 +23,12 @@ from repro.exact.subgraphs import count_subgraphs
 from repro.graph.graph import Graph
 from repro.patterns.pattern import Pattern, triangle
 from repro.streams.stream import EdgeStream, pass_batches
+from repro.utils.checkpoint import (
+    check_state_config,
+    rng_state,
+    set_rng_state,
+    state_field,
+)
 from repro.utils.rng import RandomSource, ensure_rng
 from repro.utils.validation import check_fraction
 
@@ -58,8 +64,40 @@ class DoulionEstimator:
     def wants_pass(self) -> bool:
         return not self._done
 
+    @property
+    def passes_consumed(self) -> int:
+        """Stream passes already driven (engine freshness check)."""
+        return self._passes
+
     def begin_pass(self, pass_index: int) -> None:
         self._passes += 1
+
+    def state_dict(self) -> dict:
+        """Full estimator state (kept edges, rng position, counters)."""
+        return {
+            "kind": "doulion",
+            "n": self._n,
+            "keep_probability": self._keep_probability,
+            "rng": rng_state(self._rng),
+            "kept": list(self._kept),
+            "arrivals": self._arrivals,
+            "passes": self._passes,
+            "done": self._done,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a capture into an identically configured estimator."""
+        check_state_config(
+            "DoulionEstimator",
+            state,
+            n=self._n,
+            keep_probability=self._keep_probability,
+        )
+        set_rng_state(self._rng, state_field("DoulionEstimator", state, "rng"))
+        self._kept = [tuple(edge) for edge in state_field("DoulionEstimator", state, "kept")]
+        self._arrivals = int(state_field("DoulionEstimator", state, "arrivals"))
+        self._passes = int(state_field("DoulionEstimator", state, "passes"))
+        self._done = bool(state_field("DoulionEstimator", state, "done"))
 
     def ingest_batch(self, updates: Sequence[Tuple[int, int, int, Tuple[int, int]]]) -> None:
         random_unit = self._rng.random

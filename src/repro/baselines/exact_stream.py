@@ -19,6 +19,7 @@ from repro.exact.subgraphs import count_subgraphs
 from repro.graph.graph import Graph
 from repro.patterns.pattern import Pattern
 from repro.streams.stream import EdgeStream, pass_batches
+from repro.utils.checkpoint import check_state_config, state_field
 
 
 class ExactStreamEstimator:
@@ -35,8 +36,32 @@ class ExactStreamEstimator:
     def wants_pass(self) -> bool:
         return not self._done
 
+    @property
+    def passes_consumed(self) -> int:
+        """Stream passes already driven (engine freshness check)."""
+        return self._passes
+
     def begin_pass(self, pass_index: int) -> None:
         self._passes += 1
+
+    def state_dict(self) -> dict:
+        """Full estimator state (present edge set, counters)."""
+        return {
+            "kind": "exact-stream",
+            "n": self._n,
+            "present": sorted(self._present),
+            "passes": self._passes,
+            "done": self._done,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a capture into an identically configured estimator."""
+        check_state_config("ExactStreamEstimator", state, n=self._n)
+        self._present = {
+            tuple(edge) for edge in state_field("ExactStreamEstimator", state, "present")
+        }
+        self._passes = int(state_field("ExactStreamEstimator", state, "passes"))
+        self._done = bool(state_field("ExactStreamEstimator", state, "done"))
 
     def ingest_batch(self, updates: Sequence[Tuple[int, int, int, Tuple[int, int]]]) -> None:
         present = self._present

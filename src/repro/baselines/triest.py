@@ -27,6 +27,7 @@ from repro.errors import EstimationError
 from repro.estimate.result import EstimateResult
 from repro.sketch.reservoir import ReservoirSampler
 from repro.streams.stream import EdgeStream, pass_batches
+from repro.utils.checkpoint import check_state_config, state_field
 from repro.utils.rng import RandomSource, ensure_rng
 
 
@@ -57,8 +58,44 @@ class TriestEstimator:
     def wants_pass(self) -> bool:
         return not self._done
 
+    @property
+    def passes_consumed(self) -> int:
+        """Stream passes already driven (engine freshness check)."""
+        return self._passes
+
     def begin_pass(self, pass_index: int) -> None:
         self._passes += 1
+
+    def state_dict(self) -> dict:
+        """Full estimator state (reservoir, adjacency, running estimate)."""
+        return {
+            "kind": "triest",
+            "capacity": self._capacity,
+            "reservoir": self._reservoir.state_dict(),
+            "adjacency": {
+                vertex: sorted(neighbors)
+                for vertex, neighbors in self._adjacency.items()
+            },
+            "estimate": self._estimate,
+            "arrivals": self._arrivals,
+            "passes": self._passes,
+            "done": self._done,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a capture into an estimator of the same capacity."""
+        check_state_config("TriestEstimator", state, capacity=self._capacity)
+        self._reservoir.load_state_dict(state_field("TriestEstimator", state, "reservoir"))
+        self._adjacency = {
+            vertex: set(neighbors)
+            for vertex, neighbors in state_field(
+                "TriestEstimator", state, "adjacency"
+            ).items()
+        }
+        self._estimate = float(state_field("TriestEstimator", state, "estimate"))
+        self._arrivals = int(state_field("TriestEstimator", state, "arrivals"))
+        self._passes = int(state_field("TriestEstimator", state, "passes"))
+        self._done = bool(state_field("TriestEstimator", state, "done"))
 
     def ingest_batch(self, updates: Sequence[Tuple[int, int, int, Tuple[int, int]]]) -> None:
         reservoir = self._reservoir

@@ -25,6 +25,14 @@ can be driven without writing Python:
   ``.reb``/``.npz`` stream file: it is then streamed out of core in
   its stored order, with batch retention governed by ``--cache
   {all,lru,none}`` and ``--cache-budget BYTES`` (e.g. ``64M``);
+* ``live``     — open-ended **live estimation** over an update feed
+  (:mod:`repro.engine.live`): K mirror copies of a streaming counter
+  ingest updates incrementally from a converted ``.reb``/``.npz``
+  stream, an edge-list graph, or stdin (``u v [delta]`` lines,
+  ``-``); ``--query-every N`` prints a running median estimate
+  mid-stream, ``--checkpoint PATH --checkpoint-every N`` writes
+  versioned snapshots, and ``--resume`` restores the checkpoint and
+  continues bit-identically to a run that never stopped;
 * ``ers``      — Theorem 2's clique counter for low-degeneracy graphs;
 * ``covers``   — ρ(H), β(H), the Lemma 4 decomposition and f_T(H) for
   a zoo pattern;
@@ -43,6 +51,7 @@ Patterns are named as in the zoo: ``edge``, ``triangle``, ``P3``/
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -273,6 +282,157 @@ def _count(args: argparse.Namespace) -> int:
     return 0
 
 
+def _live_feed_chunks(args, allow_deletions: bool):
+    """Yield ``(u, v, delta)`` column chunks of the requested feed.
+
+    Returns ``(n, allow_deletions, iterator)``; the iterator never
+    holds more than ``--feed-chunk`` updates at a time.
+    """
+    import numpy as np
+
+    from repro.graph.io import read_edge_list
+    from repro.streams.datasets import is_stream_path, open_disk_stream
+    from repro.streams.stream import insertion_stream
+
+    chunk = args.feed_chunk
+
+    if args.input == "-":
+        if args.n is None:
+            raise ReproError("feeding from stdin requires --n (vertex universe)")
+
+        def stdin_chunks():
+            us, vs, ds = [], [], []
+            for line in sys.stdin:
+                line = line.strip()
+                if not line or line[0] in "#%":
+                    continue
+                fields = line.split()
+                if len(fields) < 2:
+                    raise ReproError(f"stdin line needs 'u v [delta]': {line!r}")
+                us.append(int(fields[0]))
+                vs.append(int(fields[1]))
+                ds.append(int(fields[2]) if len(fields) > 2 else 1)
+                if len(us) >= chunk:
+                    yield (
+                        np.array(us, dtype=np.int64),
+                        np.array(vs, dtype=np.int64),
+                        np.array(ds, dtype=np.int64),
+                    )
+                    us, vs, ds = [], [], []
+            if us:
+                yield (
+                    np.array(us, dtype=np.int64),
+                    np.array(vs, dtype=np.int64),
+                    np.array(ds, dtype=np.int64),
+                )
+
+        return args.n, allow_deletions, stdin_chunks()
+
+    if is_stream_path(args.input):
+        stream = open_disk_stream(args.input, cache="none")
+    else:
+        stream = insertion_stream(read_edge_list(args.input), rng=args.seed)
+
+    def stream_chunks():
+        for batch in stream.batches(chunk):
+            yield (batch.u, batch.v, batch.delta)
+
+    return stream.n, stream.allows_deletions, stream_chunks()
+
+
+def _live(args: argparse.Namespace) -> int:
+    import statistics
+
+    from repro.engine import EstimatorSpec, LiveEngine
+    from repro.engine.estimators import (
+        fgp_insertion_estimator,
+        fgp_turnstile_estimator,
+        fgp_two_pass_estimator,
+    )
+
+    if args.checkpoint_every and not args.checkpoint:
+        print("error: --checkpoint-every requires --checkpoint", file=sys.stderr)
+        return 2
+    if args.resume and not args.checkpoint:
+        print("error: --resume requires --checkpoint", file=sys.stderr)
+        return 2
+    if args.copies < 1:
+        print(f"error: --copies must be >= 1, got {args.copies}", file=sys.stderr)
+        return 2
+
+    pattern = parse_pattern(args.pattern)
+    factory = {
+        "insertion": fgp_insertion_estimator,
+        "turnstile": fgp_turnstile_estimator,
+        "two-pass": fgp_two_pass_estimator,
+    }[args.algorithm]
+    n, deletions, chunks = _live_feed_chunks(
+        args, allow_deletions=args.algorithm == "turnstile"
+    )
+    if deletions and args.algorithm != "turnstile":
+        print("error: the feed contains deletions; use --algorithm turnstile",
+              file=sys.stderr)
+        return 2
+
+    names = [f"copy-{index}" for index in range(args.copies)]
+    resumed = False
+    if args.resume and args.checkpoint and os.path.exists(args.checkpoint):
+        engine = LiveEngine.restore(args.checkpoint)
+        resumed = True
+        # The checkpoint's own specs win over --copies: resuming must
+        # reproduce the interrupted run, not a differently sized one.
+        names = engine.estimator_names
+        print(f"resumed from {args.checkpoint}: elements={engine.elements} "
+              f"m={engine.net_edge_count} copies={len(names)}")
+    else:
+        engine = LiveEngine(
+            n=n,
+            allow_deletions=deletions or args.algorithm == "turnstile",
+            batch_size=args.batch_size or 4096,
+        )
+        for index, name in enumerate(names):
+            engine.register_spec(EstimatorSpec(
+                name=name,
+                factory=factory,
+                kwargs=dict(pattern=pattern, trials=args.trials,
+                            rng=args.seed + 1 + index, name=name),
+            ))
+
+    def report(label: str) -> float:
+        results = engine.estimate(names)
+        median = statistics.median(results[name].estimate for name in names)
+        print(f"{label} elements={engine.elements} m={engine.net_edge_count} "
+              f"median={median:.1f}")
+        return median
+
+    skip = engine.elements if resumed else 0
+    since_checkpoint = 0
+    since_query = 0
+    for u, v, delta in chunks:
+        if skip:
+            take = min(skip, len(u))
+            u, v, delta = u[take:], v[take:], delta[take:]
+            skip -= take
+            if not len(u):
+                continue
+        engine.feed((u, v, delta))
+        since_checkpoint += len(u)
+        since_query += len(u)
+        if args.checkpoint_every and since_checkpoint >= args.checkpoint_every:
+            engine.snapshot(args.checkpoint)
+            print(f"checkpoint elements={engine.elements} -> {args.checkpoint}")
+            since_checkpoint = 0
+        if args.query_every and since_query >= args.query_every:
+            report("query")
+            since_query = 0
+
+    if args.checkpoint:
+        engine.snapshot(args.checkpoint)
+        print(f"checkpoint elements={engine.elements} -> {args.checkpoint}")
+    report("final")
+    return 0
+
+
 def _ers(args: argparse.Namespace) -> int:
     from repro.exact.cliques import count_cliques
     from repro.streaming.ers.counter import count_cliques_stream
@@ -405,6 +565,38 @@ def build_parser() -> argparse.ArgumentParser:
                          "(per-copy oracles, backend-independent estimates; the "
                          "default) or shared (merged oracles, fastest)")
     p_count.set_defaults(handler=_count)
+
+    p_live = commands.add_parser(
+        "live", help="open-ended live estimation with checkpoints"
+    )
+    p_live.add_argument("input", help="converted .reb/.npz stream, edge-list path, "
+                                      "or - for stdin 'u v [delta]' lines")
+    p_live.add_argument("pattern", help="zoo pattern name")
+    p_live.add_argument("--algorithm",
+                        choices=["insertion", "turnstile", "two-pass"],
+                        default="insertion")
+    p_live.add_argument("--copies", type=int, default=4,
+                        help="mirror estimator copies (median reported)")
+    p_live.add_argument("--trials", type=int, default=200,
+                        help="FGP trials per copy (pinned explicitly: live "
+                             "engines cannot resolve stream-dependent budgets)")
+    p_live.add_argument("--seed", type=int, default=0)
+    p_live.add_argument("--n", type=int, default=None,
+                        help="vertex universe (required for stdin feeds)")
+    p_live.add_argument("--batch-size", type=int, default=None,
+                        help="engine dispatch granularity (results invariant)")
+    p_live.add_argument("--feed-chunk", type=int, default=4096,
+                        help="updates read and fed per chunk")
+    p_live.add_argument("--checkpoint", default=None, metavar="PATH",
+                        help="checkpoint file (written at least once at the end)")
+    p_live.add_argument("--checkpoint-every", type=int, default=0, metavar="N",
+                        help="snapshot every N fed updates (requires --checkpoint)")
+    p_live.add_argument("--resume", action="store_true",
+                        help="restore --checkpoint if present and continue, "
+                             "skipping already-journaled updates")
+    p_live.add_argument("--query-every", type=int, default=0, metavar="N",
+                        help="print a running median estimate every N updates")
+    p_live.set_defaults(handler=_live)
 
     p_ers = commands.add_parser("ers", help="Theorem 2 clique counter")
     p_ers.add_argument("graph", help="edge-list path")

@@ -6,9 +6,11 @@ iteration of each stream pass, dispatching decoded updates in
 configurable batches.  See :mod:`repro.engine.core` for the executor
 and pass-callback protocol, :mod:`repro.engine.estimators` for the
 adapters, :mod:`repro.engine.fused` for the median-of-K fused counting
-entry points, and :mod:`repro.engine.parallel` for the multiprocessing
+entry points, :mod:`repro.engine.parallel` for the multiprocessing
 execution backend (the worker protocol, :class:`EstimatorSpec` and
-:class:`StreamHandle`).
+:class:`StreamHandle`), and :mod:`repro.engine.live` for the
+checkpointable live layer (:class:`LiveEngine`: open-ended ``feed``,
+mid-stream ``estimate``, versioned ``snapshot``/``restore``).
 
 Quick tour::
 
@@ -69,6 +71,11 @@ from repro.engine.estimators import (
     fgp_turnstile_estimator,
     fgp_two_pass_estimator,
 )
+from repro.engine.live import (
+    CHECKPOINT_VERSION,
+    LiveEngine,
+    UpdateJournal,
+)
 from repro.engine.fused import (
     FusedCountResult,
     FusionMode,
@@ -89,6 +96,9 @@ __all__ = [
     "EngineBackend",
     "EngineReport",
     "StreamEngine",
+    "CHECKPOINT_VERSION",
+    "LiveEngine",
+    "UpdateJournal",
     "EstimatorSpec",
     "StreamHandle",
     "run_process_engine",

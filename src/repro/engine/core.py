@@ -18,6 +18,14 @@ An estimator is anything implementing the pass-callback protocol:
 * ``end_pass()``          — the pass is over;
 * ``result()``            — the finished estimate.
 
+The library's estimators additionally implement ``passes_consumed``
+(how many passes they have already been driven through — registration
+rejects non-fresh estimators, whose pass accounting would silently go
+stale) and the checkpoint protocol ``state_dict()`` /
+``load_state_dict()`` (see :mod:`repro.engine.live` and
+:mod:`repro.utils.checkpoint`); custom estimators need them only to
+run under the live engine.
+
 Estimators with different pass counts co-exist: the engine keeps
 iterating while *any* estimator wants a pass, and finished estimators
 simply stop receiving batches.  ``EdgeStream.passes_used`` therefore
@@ -208,6 +216,7 @@ class StreamEngine:
         self._specs: List[Any] = []
         self._names: Dict[str, Any] = {}
         self._ran = False
+        self._started = False
 
     @property
     def stream(self) -> EdgeStream:
@@ -240,11 +249,28 @@ class StreamEngine:
             raise EngineError("estimators must expose a non-empty .name")
         if name in self._names:
             raise EngineError(f"estimator name {name!r} already registered")
-        if self._ran:
-            raise EngineError("cannot register estimators after run()")
+        self._check_registration_open()
+        consumed = getattr(estimator, "passes_consumed", 0)
+        if consumed:
+            raise EngineError(
+                f"estimator {name!r} has already consumed {consumed} stream "
+                "pass(es); registering it would silently corrupt the fused "
+                "run's pass accounting — build a fresh estimator instead"
+            )
         self._names[name] = estimator
         self._estimators.append(estimator)
         return estimator
+
+    def _check_registration_open(self) -> None:
+        """Registration closes the moment a run starts (or finished)."""
+        if self._started and not self._ran:
+            raise EngineError(
+                "cannot register estimators while a run is in progress: the "
+                "current pass has already been partially dispatched, so a "
+                "late estimator's pass accounting would be silently stale"
+            )
+        if self._ran:
+            raise EngineError("cannot register estimators after run()")
 
     def register_all(self, estimators) -> List[Any]:
         """Register every estimator of an iterable, in order."""
@@ -265,8 +291,7 @@ class StreamEngine:
             raise EngineError("estimator specs must carry a non-empty .name")
         if spec.name in self._names:
             raise EngineError(f"estimator name {spec.name!r} already registered")
-        if self._ran:
-            raise EngineError("cannot register estimators after run()")
+        self._check_registration_open()
         self._names[spec.name] = spec
         self._specs.append(spec)
         return spec
@@ -280,11 +305,12 @@ class StreamEngine:
         :func:`repro.engine.parallel.run_process_engine`, broadcasting
         each batch to the worker pool.
         """
-        if self._ran:
+        if self._started or self._ran:
             raise EngineError("engine already ran; build a new one per run")
         if self._backend == EngineBackend.PROCESS:
             if not self._specs:
                 raise EngineError("no estimator specs registered")
+            self._started = True
             self._ran = True
             from repro.engine.parallel import run_process_engine
 
@@ -301,7 +327,7 @@ class StreamEngine:
             )
         if not self._estimators:
             raise EngineError("no estimators registered")
-        self._ran = True
+        self._started = True
         apply_cache_policy(self._stream, self._cache)
         if self._reset_pass_count:
             self._stream.reset_pass_count()
@@ -330,6 +356,7 @@ class StreamEngine:
                 estimator.end_pass()
             passes += 1
 
+        self._ran = True
         return EngineReport(
             results={e.name: e.result() for e in self._estimators},
             passes=passes,

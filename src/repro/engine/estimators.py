@@ -36,7 +36,7 @@ from repro.baselines.doulion import DoulionEstimator
 from repro.baselines.exact_stream import ExactStreamEstimator
 from repro.baselines.triest import TriestEstimator
 from repro.engine.core import DecodedBatch
-from repro.errors import EngineError, EstimationError
+from repro.errors import CheckpointError, EngineError, EstimationError, OracleError
 from repro.estimate.concentration import ParamMode
 from repro.oracle.base import QueryAccounting
 from repro.patterns.pattern import Pattern
@@ -48,6 +48,7 @@ from repro.streaming.two_pass import require_star_decomposable, two_pass_counter
 from repro.streams.stream import EdgeStream
 from repro.transform.driver import LockstepState, RoundRunResult
 from repro.transform.insertion import InsertionStreamOracle
+from repro.utils.checkpoint import state_field
 from repro.utils.rng import RandomSource, derive_rng, ensure_rng
 
 __all__ = [
@@ -94,10 +95,25 @@ class RoundAdaptiveEstimator:
         self._accounting = QueryAccounting()
         self._state = None
         self._result: Any = None
+        # Per-round answer record: what checkpointing replays.  Live
+        # generator frames cannot be serialized, but they are a pure
+        # function of (construction seeds, dispatched answers), so the
+        # answer history IS the portable form of their state.
+        self._history: list = []
 
     @property
     def rounds(self) -> int:
         """Oracle rounds (= stream passes) consumed so far."""
+        return self._rounds
+
+    @property
+    def passes_consumed(self) -> int:
+        """Stream passes this estimator has already been driven through.
+
+        Part of the engine's registration freshness check: an estimator
+        that consumed passes elsewhere cannot join a new run without
+        silently corrupting its pass accounting.
+        """
         return self._rounds
 
     def wants_pass(self) -> bool:
@@ -127,6 +143,7 @@ class RoundAdaptiveEstimator:
         answers = self._state.finish()
         self._state = None
         self._rounds += 1
+        self._history.append(answers)
         self._lockstep.dispatch(answers)
 
     def result(self) -> Any:
@@ -141,6 +158,90 @@ class RoundAdaptiveEstimator:
                 )
             )
         return self._result
+
+    def state_dict(self) -> dict:
+        """Portable state: answer history + oracle state + open pass.
+
+        Generator frames are not serializable, so the capture records
+        the per-round answers instead — :meth:`load_state_dict` replays
+        them through a freshly built (same seeds) estimator, which
+        reconstructs the exact generator states.  The open pass (if
+        any) is captured directly via its own ``state_dict``; oracle
+        randomness rides along so the continuation is bit-identical.
+        """
+        return {
+            "kind": "round-adaptive",
+            "name": self.name,
+            "rounds": self._rounds,
+            "history": [list(answers) for answers in self._history],
+            "accounting": self._accounting.state_dict(),
+            "oracle": self._oracle.state_dict(),
+            "pass_state": None if self._state is None else self._state.state_dict(),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Replay a capture into this *freshly built* estimator.
+
+        The estimator must have been rebuilt from the same recipe
+        (factory + kwargs + seeds) that produced the captured one —
+        stream-dependent parameters (e.g. a trial budget resolved from
+        ``stream.net_edge_count``) must be pinned explicitly in the
+        recipe, otherwise the rebuilt structure drifts and the replay
+        fails with a :class:`~repro.errors.CheckpointError`.
+        """
+        if self._rounds or self._state is not None or self._history:
+            raise CheckpointError(
+                f"estimator {self.name!r}: load_state_dict requires a freshly "
+                "built estimator (rebuild from the spec, then load)"
+            )
+        captured_name = state_field("RoundAdaptiveEstimator", state, "name")
+        if captured_name != self.name:
+            raise CheckpointError(
+                f"state of estimator {captured_name!r} cannot be loaded into "
+                f"estimator {self.name!r}"
+            )
+        history = state_field("RoundAdaptiveEstimator", state, "history")
+        if int(state_field("RoundAdaptiveEstimator", state, "rounds")) != len(history):
+            raise CheckpointError(
+                f"estimator {self.name!r}: state records "
+                f"{state['rounds']} rounds but carries {len(history)} answer lists"
+            )
+        try:
+            for answers in history:
+                if not self._lockstep.live:
+                    raise CheckpointError(
+                        f"estimator {self.name!r}: generators finished before the "
+                        "recorded history was replayed; the rebuilt estimator "
+                        "does not match the captured structure"
+                    )
+                self._lockstep.merge()
+                self._lockstep.dispatch(list(answers))
+            pass_state = state_field("RoundAdaptiveEstimator", state, "pass_state")
+            if pass_state is not None:
+                if not self._lockstep.live:
+                    raise CheckpointError(
+                        f"estimator {self.name!r}: state carries an open pass but "
+                        "the replayed generators have finished"
+                    )
+                # Rebuild the pass structure from the replayed merged
+                # batch, then overlay the captured runtime state.  The
+                # oracle rng position is restored below, so whatever
+                # begin_batch consumed here is irrelevant.
+                merged = self._lockstep.merge()
+                self._state = self._oracle.begin_batch(merged)
+                self._state.load_state_dict(pass_state)
+        except OracleError as error:
+            raise CheckpointError(
+                f"estimator {self.name!r}: replaying the recorded history failed "
+                f"({error}); the estimator was rebuilt with a different structure "
+                "— pin stream-dependent parameters (e.g. trials) in the recipe"
+            ) from error
+        self._oracle.load_state_dict(state_field("RoundAdaptiveEstimator", state, "oracle"))
+        self._accounting.load_state_dict(
+            state_field("RoundAdaptiveEstimator", state, "accounting")
+        )
+        self._rounds = len(history)
+        self._history = [list(answers) for answers in history]
 
 
 def fgp_insertion_estimator(

@@ -1,0 +1,770 @@
+"""The checkpointable live estimation engine.
+
+Everything before this module is *pass-based*: a stream exists in
+full, an engine iterates it, results come out.  Production traffic is
+the opposite shape — an unbounded feed of updates that must be
+ingested as it arrives, queried mid-stream, and survive process
+restarts.  :class:`LiveEngine` is that layer:
+
+* :meth:`LiveEngine.feed` applies a batch of updates incrementally to
+  every registered estimator's open pass state (and journals it);
+* :meth:`LiveEngine.estimate` answers **at any point** without
+  consuming the live state: each estimator is *forked* — rebuilt from
+  its spec, restored from its ``state_dict`` — and the fork finishes
+  its remaining passes over the journaled prefix while the live
+  estimators keep streaming;
+* :meth:`LiveEngine.snapshot` serializes the full engine state
+  (journal columns, estimator specs, sketch internals, reservoir
+  banks, pass-state accumulators, rng positions) to a versioned
+  on-disk checkpoint, and :meth:`LiveEngine.restore` rebuilds an
+  engine that is **bit-identical** to one that never stopped —
+  asserted across every estimator family in
+  ``tests/test_live_checkpoint.py``.
+
+Multi-pass estimators on an unbounded feed
+------------------------------------------
+A 3-pass counter cannot finish on data it has not seen twice more, so
+the live engine keeps pass 0 open forever: the feed *is* pass 0.  A
+query at time t forks the pass-0 state (cheap: the serialized sketch
+state, not the data), closes the fork's pass, and replays the
+journaled prefix for the remaining passes — exactly the passes the
+one-shot engine would have run on the same prefix, so a fed-live
+estimate equals the one-shot estimate on the prefix bit for bit (the
+differential fuzz suite pins this).  Single-pass estimators (TRIEST,
+Doulion, exact) need no replay beyond closing the fork's pass.
+
+The journal is the price of multi-pass semantics on a live feed: the
+engine retains the fed updates as compact numpy columns (O(m) ints,
+the same asymptotics as the exact baseline).  Checkpoints embed the
+journal, so a restored engine can still answer multi-pass queries.
+
+Execution backends
+------------------
+``backend="serial"`` runs the estimators in-process.
+``backend="process"`` shards the registered specs across a persistent
+worker pool (the same worker protocol as :mod:`repro.engine.parallel`,
+extended with ``state_dict`` / ``load_state`` commands): ``feed``
+broadcasts each batch, ``snapshot`` gathers every shard's states
+driver-side, and a checkpoint taken under one backend restores under
+the other — the state dicts are backend-agnostic.
+
+Registration goes through picklable
+:class:`~repro.engine.parallel.EstimatorSpec` recipes only (a snapshot
+must be able to *rebuild* every estimator before loading its state).
+Stream-dependent constructor parameters must be pinned — pass an
+explicit ``trials=`` budget to the FGP factories; a spec whose
+structure depends on the evolving stream metadata fails the restore
+replay with a :class:`~repro.errors.CheckpointError`.
+
+Checkpoint format
+-----------------
+``REPROLIVE1\\n`` magic followed by a pickled document with a
+``version`` field (currently 1).  Pickle is what lets estimator specs
+(factory references, pattern objects) and rng states round-trip
+exactly; load checkpoints only from sources you trust, as with any
+pickle.  Writes are atomic (tmp file + rename), so a crash mid-
+snapshot never corrupts the previous checkpoint.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.engine.core import DEFAULT_BATCH_SIZE, EngineBackend
+from repro.engine.parallel import (
+    DEFAULT_REPLY_TIMEOUT,
+    EstimatorSpec,
+    StreamHandle,
+    _make_context,
+    _WorkerPool,
+    resolve_workers,
+    shard_indices,
+)
+from repro.errors import CheckpointError, EngineError, StreamError
+from repro.graph.graph import normalize_edge
+from repro.streams.batch import EdgeBatch
+from repro.streams.stream import (
+    ColumnEdgeStream,
+    Update,
+    check_batch_size,
+    pass_batches,
+)
+
+__all__ = [
+    "CHECKPOINT_MAGIC",
+    "CHECKPOINT_VERSION",
+    "LiveEngine",
+    "UpdateJournal",
+]
+
+#: Magic prefix of the on-disk live-engine checkpoint format.
+CHECKPOINT_MAGIC = b"REPROLIVE1\n"
+
+#: Current checkpoint document version (bumped on layout changes).
+CHECKPOINT_VERSION = 1
+
+
+def _as_update_columns(updates) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Normalize any accepted feed payload to ``(u, v, delta)`` columns.
+
+    Accepted: an :class:`~repro.streams.batch.EdgeBatch`, a
+    ``(u, v)`` / ``(u, v, delta)`` tuple of arrays, or an iterable of
+    :class:`~repro.streams.stream.Update` objects / ``(u, v[, delta])``
+    tuples.
+    """
+    if isinstance(updates, EdgeBatch):
+        return updates.u, updates.v, updates.delta
+    if (
+        isinstance(updates, tuple)
+        and len(updates) in (2, 3)
+        and all(isinstance(value, (int, np.integer)) for value in updates)
+    ):
+        updates = [updates]
+    if (
+        isinstance(updates, tuple)
+        and len(updates) in (2, 3)
+        and all(isinstance(col, np.ndarray) for col in updates)
+    ):
+        u, v = updates[0], updates[1]
+        delta = updates[2] if len(updates) == 3 else np.ones(len(u), dtype=np.int64)
+        return (
+            np.ascontiguousarray(u, dtype=np.int64),
+            np.ascontiguousarray(v, dtype=np.int64),
+            np.ascontiguousarray(delta, dtype=np.int64),
+        )
+    us: List[int] = []
+    vs: List[int] = []
+    deltas: List[int] = []
+    for element in updates:
+        if isinstance(element, Update):
+            us.append(element.u)
+            vs.append(element.v)
+            deltas.append(element.delta)
+            continue
+        if len(element) == 2:
+            u, v = element
+            delta = 1
+        elif len(element) >= 3:
+            u, v, delta = element[0], element[1], element[2]
+        else:
+            raise StreamError(f"cannot interpret update element {element!r}")
+        us.append(int(u))
+        vs.append(int(v))
+        deltas.append(int(delta))
+    return (
+        np.array(us, dtype=np.int64),
+        np.array(vs, dtype=np.int64),
+        np.array(deltas, dtype=np.int64),
+    )
+
+
+class UpdateJournal:
+    """The validated, append-only record of everything fed so far.
+
+    Doubles as the *live stream-metadata handle* the estimator
+    factories are built against: it exposes the
+    :class:`~repro.streams.stream.EdgeStream` metadata surface
+    (``n`` / ``length`` / ``net_edge_count`` / ``allows_deletions`` /
+    ``passes_used``) with values that track the feed — an estimator's
+    finalizer built against the journal always reads the *current*
+    edge count.  Iteration is refused (the live engine owns dispatch);
+    :meth:`freeze_stream` materializes the journaled prefix as a
+    replayable :class:`~repro.streams.stream.ColumnEdgeStream` for the
+    estimate/restore forks.
+
+    Validation is incremental and atomic per append: the simple-graph
+    stream model (no self-loops, deltas in {+1, -1}, multiplicities
+    never leaving {0, 1}) is enforced exactly as
+    :class:`~repro.streams.stream.EdgeStream` enforces it at
+    construction, and a rejected batch leaves the journal untouched.
+    """
+
+    def __init__(self, n: int, allow_deletions: bool = False) -> None:
+        if n < 1:
+            raise StreamError(f"journal needs n >= 1, got {n}")
+        self._n = int(n)
+        self._allow_deletions = bool(allow_deletions)
+        self._chunks: List[Tuple[np.ndarray, np.ndarray, np.ndarray]] = []
+        self._length = 0
+        self._net = 0
+        self._multiplicity: Dict[Tuple[int, int], int] = {}
+        self._columns: Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]] = None
+
+    # -- stream-metadata surface (what estimator factories consult) ------
+
+    @property
+    def n(self) -> int:
+        return self._n
+
+    @property
+    def length(self) -> int:
+        return self._length
+
+    @property
+    def net_edge_count(self) -> int:
+        return self._net
+
+    @property
+    def allows_deletions(self) -> bool:
+        return self._allow_deletions
+
+    @property
+    def passes_used(self) -> int:
+        """Always 0: the live engine owns dispatch, not pass iteration."""
+        return 0
+
+    def reset_pass_count(self) -> None:
+        """No-op, for stream-protocol compatibility."""
+
+    def updates(self):
+        raise EngineError(
+            "the live journal cannot be iterated directly; the LiveEngine "
+            "dispatches fed batches itself — use freeze_stream() for a "
+            "replayable prefix"
+        )
+
+    def __len__(self) -> int:
+        return self._length
+
+    # -- appending --------------------------------------------------------
+
+    def append(self, u: np.ndarray, v: np.ndarray, delta: np.ndarray) -> EdgeBatch:
+        """Validate and record one fed chunk; returns it as an EdgeBatch.
+
+        All-or-nothing: any invalid element rejects the whole chunk
+        with a :class:`~repro.errors.StreamError` naming the offending
+        global update index, and no state changes.
+        """
+        u = np.ascontiguousarray(u, dtype=np.int64)
+        v = np.ascontiguousarray(v, dtype=np.int64)
+        delta = np.ascontiguousarray(delta, dtype=np.int64)
+        if not (len(u) == len(v) == len(delta)):
+            raise StreamError("u/v/delta chunk lengths differ")
+        if len(u) == 0:
+            return EdgeBatch(u, v, delta)
+        base = self._length
+        bad = np.flatnonzero(u == v)
+        if len(bad):
+            raise StreamError(
+                f"update #{base + int(bad[0])} is a self-loop "
+                f"({int(u[bad[0]])}, {int(v[bad[0]])})"
+            )
+        bad = np.flatnonzero((u < 0) | (u >= self._n) | (v < 0) | (v >= self._n))
+        if len(bad):
+            raise StreamError(
+                f"update #{base + int(bad[0])} touches a vertex outside "
+                f"[0, {self._n})"
+            )
+        bad = np.flatnonzero((delta != 1) & (delta != -1))
+        if len(bad):
+            raise StreamError(
+                f"update #{base + int(bad[0])} delta must be +1 or -1, got "
+                f"{int(delta[bad[0]])}"
+            )
+        if not self._allow_deletions:
+            bad = np.flatnonzero(delta < 0)
+            if len(bad):
+                raise StreamError(
+                    f"update #{base + int(bad[0])} is a deletion in an "
+                    "insertion-only live engine"
+                )
+        # Multiplicity transitions are checked against an overlay so a
+        # failure mid-chunk leaves the committed journal untouched.
+        overlay: Dict[Tuple[int, int], int] = {}
+        multiplicity = self._multiplicity
+        for index, (u_i, v_i, d_i) in enumerate(
+            zip(u.tolist(), v.tolist(), delta.tolist())
+        ):
+            edge = normalize_edge(u_i, v_i)
+            count = overlay.get(edge, multiplicity.get(edge, 0)) + d_i
+            if count < 0:
+                raise StreamError(f"update #{base + index} deletes absent edge {edge}")
+            if count > 1:
+                raise StreamError(f"update #{base + index} duplicates edge {edge}")
+            overlay[edge] = count
+        multiplicity.update(overlay)
+        self._chunks.append((u, v, delta))
+        self._length += len(u)
+        self._net += int(delta.sum())
+        self._columns = None
+        return EdgeBatch(u, v, delta)
+
+    def columns(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """The whole journal as contiguous ``(u, v, delta)`` columns."""
+        if self._columns is None:
+            if not self._chunks:
+                empty = np.empty(0, dtype=np.int64)
+                self._columns = (empty, empty.copy(), empty.copy())
+            elif len(self._chunks) == 1:
+                self._columns = self._chunks[0]
+            else:
+                self._columns = tuple(
+                    np.concatenate([chunk[i] for chunk in self._chunks])
+                    for i in range(3)
+                )
+        return self._columns
+
+    def freeze_stream(self, cache=None) -> ColumnEdgeStream:
+        """The journaled prefix as a replayable multi-pass stream.
+
+        Shares the column buffers (appends never mutate them, they only
+        add chunks), so freezing is O(1) after the first concatenation.
+        Validation is skipped — the journal already enforced it.
+        """
+        u, v, delta = self.columns()
+        return ColumnEdgeStream(
+            self._n,
+            u,
+            v,
+            delta,
+            allow_deletions=self._allow_deletions,
+            net_edge_count=self._net,
+            validate=False,
+            cache=cache,
+        )
+
+
+class LiveEngine:
+    """Open-ended, queryable, checkpointable estimation over a live feed.
+
+    Parameters
+    ----------
+    n:
+        Vertex universe of the feed (fixed for the engine's lifetime).
+    allow_deletions:
+        Whether the feed is turnstile (deletions allowed).  Estimator
+        specs incompatible with the feed kind fail at start, exactly as
+        they would against a materialized stream.
+    batch_size:
+        Dispatch granularity: a fed chunk is re-split into batches of
+        this size before reaching the estimators (results are invariant
+        to it, as everywhere in the engine).
+    columnar:
+        Dispatch :class:`~repro.streams.batch.EdgeBatch` columns (the
+        default) or scalar decoded tuples (the bit-equality reference
+        path).
+    backend:
+        ``"serial"`` (default) or ``"process"`` (persistent worker
+        pool; see module docstring).
+    workers, start_method:
+        Process-backend pool configuration, as in
+        :class:`~repro.engine.core.StreamEngine`.
+
+    Notes
+    -----
+    Estimators are registered as picklable specs
+    (:meth:`register_spec`) and built lazily at the first feed, so a
+    snapshot can always rebuild them.  ``estimate()`` never perturbs
+    the live state; ``snapshot()``/``restore()`` round-trip it
+    bit-exactly.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        allow_deletions: bool = False,
+        batch_size: int = DEFAULT_BATCH_SIZE,
+        columnar: bool = True,
+        backend: str = EngineBackend.SERIAL,
+        workers: Optional[int] = None,
+        start_method: Optional[str] = None,
+        reply_timeout: float = DEFAULT_REPLY_TIMEOUT,
+    ) -> None:
+        try:
+            batch_size = check_batch_size(batch_size)
+        except StreamError as error:
+            raise EngineError(str(error)) from error
+        if backend not in EngineBackend._ALL:
+            raise EngineError(
+                f"unknown backend {backend!r}; expected one of {EngineBackend._ALL}"
+            )
+        self._journal = UpdateJournal(n, allow_deletions)
+        self._batch_size = batch_size
+        self._columnar = bool(columnar)
+        self._backend = backend
+        self._workers = workers
+        self._start_method = start_method
+        self._reply_timeout = reply_timeout
+        self._specs: List[EstimatorSpec] = []
+        self._spec_names: Dict[str, EstimatorSpec] = {}
+        self._estimators: List[Any] = []
+        self._pool: Optional[_WorkerPool] = None
+        self._pool_size = 0
+        self._active_workers: List[int] = []
+        self._started = False
+        self._feeding = False
+        self._closed = False
+
+    # -- metadata ---------------------------------------------------------
+
+    @property
+    def n(self) -> int:
+        return self._journal.n
+
+    @property
+    def allows_deletions(self) -> bool:
+        return self._journal.allows_deletions
+
+    @property
+    def elements(self) -> int:
+        """Updates fed (and journaled) so far."""
+        return self._journal.length
+
+    @property
+    def net_edge_count(self) -> int:
+        """Edges currently present in the fed graph."""
+        return self._journal.net_edge_count
+
+    @property
+    def backend(self) -> str:
+        return self._backend
+
+    @property
+    def started(self) -> bool:
+        """Whether the first feed has opened the live pass."""
+        return self._started
+
+    @property
+    def journal(self) -> UpdateJournal:
+        return self._journal
+
+    @property
+    def estimator_names(self) -> List[str]:
+        return [spec.name for spec in self._specs]
+
+    # -- registration -----------------------------------------------------
+
+    def register_spec(self, spec: EstimatorSpec) -> EstimatorSpec:
+        """Register a picklable estimator recipe; returns it for chaining.
+
+        Only specs are accepted — a live estimator object could be fed,
+        but never checkpointed (a snapshot must rebuild it from the
+        recipe before loading its state).  Stream-dependent structure
+        must be pinned in the kwargs (explicit ``trials=`` for the FGP
+        factories); see the module docstring.
+        """
+        if self._closed:
+            raise EngineError("live engine is closed")
+        if self._started:
+            raise EngineError(
+                "cannot register estimators after feeding has started: the "
+                "live pass has already been partially dispatched, so a late "
+                "estimator's pass accounting would be silently stale"
+            )
+        if not isinstance(spec, EstimatorSpec):
+            raise EngineError(
+                "LiveEngine.register_spec takes an EstimatorSpec (live "
+                "estimator objects cannot be rebuilt by a checkpoint); wrap "
+                "the factory in a spec"
+            )
+        if not spec.name:
+            raise EngineError("estimator specs must carry a non-empty .name")
+        if spec.name in self._spec_names:
+            raise EngineError(f"estimator name {spec.name!r} already registered")
+        self._spec_names[spec.name] = spec
+        self._specs.append(spec)
+        return spec
+
+    def register_all(self, specs: Sequence[EstimatorSpec]) -> List[EstimatorSpec]:
+        """Register every spec of an iterable, in order."""
+        return [self.register_spec(spec) for spec in specs]
+
+    # -- lifecycle --------------------------------------------------------
+
+    def _start(self, states: Optional[Dict[str, Any]] = None) -> None:
+        """Build the estimators (or worker pool) and open the live pass.
+
+        With *states* (the restore path) each freshly built estimator
+        is loaded from its captured state instead of beginning pass 0.
+        """
+        if not self._specs:
+            raise EngineError("no estimator specs registered")
+        if self._backend == EngineBackend.SERIAL:
+            self._estimators = [spec.build(self._journal) for spec in self._specs]
+            if states is None:
+                for estimator in self._estimators:
+                    if estimator.wants_pass():
+                        estimator.begin_pass(0)
+            else:
+                for estimator in self._estimators:
+                    estimator.load_state_dict(states[estimator.name])
+            self._started = True
+            return
+        pool_size = resolve_workers(self._workers, len(self._specs))
+        shards = [
+            [self._specs[i] for i in indices]
+            for indices in shard_indices(len(self._specs), pool_size)
+        ]
+        handle = StreamHandle.of(self._journal)
+        self._pool = _WorkerPool(
+            _make_context(self._start_method), shards, handle, self._reply_timeout
+        )
+        self._pool_size = pool_size
+        wants = self._pool.gather("ready", range(pool_size))
+        if states is None:
+            self._active_workers = [w for w in range(pool_size) if wants[w]]
+            self._pool.broadcast(self._active_workers, ("begin_pass", 0))
+        else:
+            shard_states = [
+                {spec.name: states[spec.name] for spec in shard} for shard in shards
+            ]
+            for worker_id, payload in enumerate(shard_states):
+                self._pool.send(worker_id, ("load_state", payload, True))
+            loaded = self._pool.gather("loaded", range(pool_size))
+            self._active_workers = [w for w in range(pool_size) if loaded[w]]
+        self._started = True
+
+    def feed(self, updates) -> int:
+        """Apply a chunk of updates to every live estimator; returns its size.
+
+        *updates* may be an :class:`~repro.streams.batch.EdgeBatch`, a
+        ``(u, v[, delta])`` tuple of numpy columns, or an iterable of
+        :class:`~repro.streams.stream.Update` objects / plain tuples.
+        The chunk is journaled (with full stream-model validation),
+        then dispatched in engine-batch-size slices, in order —
+        element order is all that matters for bit-equality, so any
+        feed chunking yields the same estimates.
+        """
+        if self._closed:
+            raise EngineError("live engine is closed")
+        if self._feeding:
+            raise EngineError("re-entrant feed(): the engine is mid-batch")
+        self._feeding = True
+        try:
+            u, v, delta = _as_update_columns(updates)
+            batch = self._journal.append(u, v, delta)
+            if not self._started:
+                try:
+                    self._start()
+                except BaseException:
+                    # The journal is already ahead of the (unbuilt)
+                    # estimators; no consistent continuation exists, so
+                    # poison the engine instead of serving wrong answers.
+                    self._closed = True
+                    raise
+            try:
+                for start in range(0, len(batch), self._batch_size):
+                    stop = min(start + self._batch_size, len(batch))
+                    chunk = EdgeBatch(
+                        batch.u[start:stop], batch.v[start:stop], batch.delta[start:stop]
+                    )
+                    payload = chunk if self._columnar else list(chunk)
+                    if self._backend == EngineBackend.SERIAL:
+                        for estimator in self._estimators:
+                            if estimator.wants_pass():
+                                estimator.ingest_batch(payload)
+                    else:
+                        self._pool.broadcast(self._active_workers, ("batch", payload))
+            except BaseException:
+                # A dispatch failure tears the journal/estimator
+                # agreement (the journal committed updates some
+                # estimator never saw); no consistent continuation
+                # exists, so poison the engine rather than serve
+                # silently wrong estimates.
+                self._closed = True
+                raise
+            return len(batch)
+        finally:
+            self._feeding = False
+
+    # -- queries ----------------------------------------------------------
+
+    def _gather_states(self, names: Optional[Sequence[str]] = None) -> Dict[str, Any]:
+        """Current ``state_dict`` of the named estimators (all by default).
+
+        Serial backend: only the requested estimators serialize.  The
+        process backend gathers per shard (the worker command returns
+        its whole shard), so a subset query still touches every worker
+        but the driver keeps only what was asked for.
+        """
+        wanted = None if names is None else set(names)
+        if self._backend == EngineBackend.SERIAL:
+            return {
+                e.name: e.state_dict()
+                for e in self._estimators
+                if wanted is None or e.name in wanted
+            }
+        self._pool.broadcast(range(self._pool_size), ("state_dict",))
+        states: Dict[str, Any] = {}
+        for payload in self._pool.gather("state", range(self._pool_size)).values():
+            for name, state in payload.items():
+                if wanted is None or name in wanted:
+                    states[name] = state
+        return states
+
+    def estimate(self, names: Optional[Sequence[str]] = None) -> Dict[str, Any]:
+        """Finish a *fork* of each estimator on the journaled prefix.
+
+        Returns ``{name: result}`` for the requested estimators (all by
+        default).  The live state is untouched: each estimator is
+        rebuilt from its spec against the frozen prefix stream, loaded
+        from its current ``state_dict``, its open pass is closed, and
+        its remaining passes run over the journal.  A full-stream
+        estimate is therefore bit-identical to the one-shot fused run
+        with the same seeds; a mid-stream estimate equals the one-shot
+        run on the prefix.
+        """
+        if self._closed:
+            raise EngineError("live engine is closed")
+        if self._feeding:
+            raise EngineError("estimate() re-entered from a feed in flight")
+        if not self._specs:
+            raise EngineError("no estimator specs registered")
+        selected = self._select(names)
+        states = (
+            self._gather_states([spec.name for spec in selected])
+            if self._started
+            else {}
+        )
+        stream = self._journal.freeze_stream()
+        results: Dict[str, Any] = {}
+        for spec in selected:
+            fork = spec.build(stream)
+            if self._started:
+                fork.load_state_dict(states[spec.name])
+                if fork.wants_pass():
+                    fork.end_pass()
+            results[spec.name] = self._complete(fork, stream)
+        return results
+
+    def _select(self, names: Optional[Sequence[str]]) -> List[EstimatorSpec]:
+        if names is None:
+            return list(self._specs)
+        selected = []
+        for name in names:
+            if name not in self._spec_names:
+                raise EngineError(f"unknown estimator {name!r}")
+            selected.append(self._spec_names[name])
+        return selected
+
+    def _complete(self, estimator, stream) -> Any:
+        """Drive a fork through its remaining passes over *stream*."""
+        passes = 0
+        while estimator.wants_pass():
+            estimator.begin_pass(passes)
+            for batch in pass_batches(stream, self._batch_size, self._columnar):
+                estimator.ingest_batch(batch)
+            estimator.end_pass()
+            passes += 1
+        return estimator.result()
+
+    # -- checkpointing ----------------------------------------------------
+
+    def snapshot(self, path) -> str:
+        """Write a versioned checkpoint of the full engine state.
+
+        Rejected while a feed is in flight (a mid-batch capture would
+        tear the journal/estimator agreement); call between feeds.
+        The write is atomic — a crash mid-write leaves any previous
+        checkpoint at *path* intact.
+        """
+        if self._closed:
+            raise EngineError("live engine is closed")
+        if self._feeding:
+            raise CheckpointError(
+                "cannot snapshot mid-batch: a feed() is still in flight; "
+                "snapshot between feed calls"
+            )
+        states = self._gather_states() if self._started else {}
+        u, v, delta = self._journal.columns()
+        document = {
+            "format": "repro-live-checkpoint",
+            "version": CHECKPOINT_VERSION,
+            "engine": {
+                "n": self._journal.n,
+                "allow_deletions": self._journal.allows_deletions,
+                "batch_size": self._batch_size,
+                "columnar": self._columnar,
+                "backend": self._backend,
+                "workers": self._workers,
+                "started": self._started,
+            },
+            "journal": {"u": u, "v": v, "delta": delta},
+            "estimators": [
+                {"spec": spec, "state": states.get(spec.name)} for spec in self._specs
+            ],
+        }
+        path = os.fspath(path)
+        tmp = path + ".tmp"
+        with open(tmp, "wb") as handle:
+            handle.write(CHECKPOINT_MAGIC)
+            pickle.dump(document, handle, protocol=pickle.HIGHEST_PROTOCOL)
+        os.replace(tmp, path)
+        return path
+
+    @classmethod
+    def restore(
+        cls,
+        path,
+        backend: Optional[str] = None,
+        workers: Optional[int] = None,
+        start_method: Optional[str] = None,
+    ) -> "LiveEngine":
+        """Rebuild a live engine from a checkpoint written by :meth:`snapshot`.
+
+        The restored engine continues bit-identically to one that never
+        stopped.  *backend*/*workers* override the checkpointed
+        execution backend — the state dicts are backend-agnostic, so a
+        serial checkpoint restores onto the process backend and vice
+        versa.
+
+        Checkpoints are pickled documents: restore only files you
+        trust (same caveat as any pickle).
+        """
+        path = os.fspath(path)
+        with open(path, "rb") as handle:
+            magic = handle.read(len(CHECKPOINT_MAGIC))
+            if magic != CHECKPOINT_MAGIC:
+                raise CheckpointError(
+                    f"{path!r} is not a live-engine checkpoint (bad magic)"
+                )
+            document = pickle.load(handle)
+        if document.get("format") != "repro-live-checkpoint":
+            raise CheckpointError(f"{path!r}: unknown checkpoint format")
+        version = document.get("version")
+        if version != CHECKPOINT_VERSION:
+            raise CheckpointError(
+                f"{path!r}: checkpoint version {version!r} is not supported "
+                f"(this build reads version {CHECKPOINT_VERSION})"
+            )
+        config = document["engine"]
+        engine = cls(
+            n=config["n"],
+            allow_deletions=config["allow_deletions"],
+            batch_size=config["batch_size"],
+            columnar=config["columnar"],
+            backend=backend if backend is not None else config["backend"],
+            workers=workers if workers is not None else config["workers"],
+            start_method=start_method,
+        )
+        journal = document["journal"]
+        if len(journal["u"]):
+            engine._journal.append(journal["u"], journal["v"], journal["delta"])
+        states: Dict[str, Any] = {}
+        for entry in document["estimators"]:
+            engine.register_spec(entry["spec"])
+            states[entry["spec"].name] = entry["state"]
+        if config["started"]:
+            engine._start(states)
+        return engine
+
+    # -- teardown ---------------------------------------------------------
+
+    def close(self) -> None:
+        """Release the worker pool (no-op for the serial backend)."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._pool is not None:
+            self._pool.shutdown(graceful=True)
+            self._pool = None
+
+    def __enter__(self) -> "LiveEngine":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

@@ -40,6 +40,17 @@ buffering the whole stream):
     edge)`` tuples, in stream order.
 ``("collect",)``
     Ship back ``{name: result}`` for the worker's shard.
+``("state_dict",)``
+    Ship back ``{name: estimator.state_dict()}`` for the shard — the
+    driver-side checkpoint path of the live engine
+    (:mod:`repro.engine.live`): the driver persists every shard's
+    specs *plus* these states, so a restored pool resumes exactly
+    where the snapshot was taken.
+``("load_state", states, resume_active)``
+    Restore each shard estimator from ``states[name]`` (freshly built
+    estimators only).  With *resume_active* the worker re-derives its
+    active set from ``wants_pass()`` so mid-pass restores keep
+    receiving batches without a new ``begin_pass``.
 ``("stop",)``
     Exit the worker loop.
 
@@ -243,6 +254,23 @@ def _worker_main(worker_id: int, specs, handle: StreamHandle, commands, replies)
             elif command == "collect":
                 results = {e.name: e.result() for e in estimators}
                 replies.put(("results", worker_id, results))
+            elif command == "state_dict":
+                states = {e.name: e.state_dict() for e in estimators}
+                replies.put(("state", worker_id, states))
+            elif command == "load_state":
+                states = message[1]
+                for estimator in estimators:
+                    estimator.load_state_dict(states[estimator.name])
+                if message[2]:
+                    # Mid-pass restore: the loaded states carry open
+                    # passes, so batches must flow without a begin_pass.
+                    active = [e for e in estimators if e.wants_pass()]
+                else:
+                    # Fresh restore: a later begin_pass opens the pass.
+                    active = []
+                replies.put(
+                    ("loaded", worker_id, any(e.wants_pass() for e in estimators))
+                )
             elif command == "stop":
                 return
             else:  # pragma: no cover - driver never sends unknown commands

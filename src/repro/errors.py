@@ -56,6 +56,16 @@ class SketchError(ReproError):
     """
 
 
+class CheckpointError(ReproError):
+    """Raised when serialized state cannot be captured or restored.
+
+    Examples: loading a ``state_dict`` into an object built with a
+    different configuration (reservoir size, sketch universe, trial
+    budget), restoring a checkpoint file with an unknown format
+    version, or snapshotting an engine while a batch is mid-flight.
+    """
+
+
 class EngineError(ReproError):
     """Raised for invalid fused-engine usage.
 

@@ -127,3 +127,11 @@ class QueryAccounting:
 
     def by_type(self) -> Dict[str, int]:
         return dict(self.counts)
+
+    def state_dict(self) -> Dict[str, int]:
+        """The per-type counters (checkpoint protocol)."""
+        return dict(self.counts)
+
+    def load_state_dict(self, state: Dict[str, int]) -> None:
+        """Restore counters captured by :meth:`state_dict`."""
+        self.counts = {str(k): int(v) for k, v in dict(state).items()}

@@ -24,6 +24,7 @@ from typing import List, Sequence
 
 import numpy as np
 
+from repro.utils.checkpoint import check_state_config, state_field
 from repro.utils.rng import RandomSource, ensure_rng
 
 #: The Mersenne prime 2^61 - 1.
@@ -136,6 +137,22 @@ class PolynomialHash:
     @property
     def independence(self) -> int:
         return len(self._coefficients)
+
+    def state_dict(self) -> dict:
+        """The drawn coefficients (a hash function is frozen randomness)."""
+        return {
+            "independence": self.independence,
+            "coefficients": tuple(self._coefficients),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Adopt a captured coefficient vector of the same independence."""
+        check_state_config("PolynomialHash", state, independence=self.independence)
+        coefficients = tuple(
+            int(c) for c in state_field("PolynomialHash", state, "coefficients")
+        )
+        self._coefficients = coefficients
+        self._coefficients_vec = np.array(coefficients, dtype=np.uint64)
 
     def value(self, item: int) -> int:
         """Raw hash value in ``[0, MERSENNE_PRIME)`` (Horner evaluation)."""

@@ -29,6 +29,7 @@ from repro.errors import SketchError
 from repro.sketch.hashing import MERSENNE_PRIME as _PRIME
 from repro.sketch.hashing import PolynomialHash, mulmod_vec, powmod_vec
 from repro.sketch.onesparse import OneSparseRecovery
+from repro.utils.checkpoint import check_state_config, state_field
 from repro.utils.rng import RandomSource, derive_rng, ensure_rng
 
 _HASH_INDEPENDENCE = 8
@@ -214,3 +215,51 @@ class L0Sampler:
     def is_empty(self) -> bool:
         """Whether all repetitions certify an all-zero vector."""
         return all(sketch_levels[0].is_empty for sketch_levels in self._sketches)
+
+    def state_dict(self) -> dict:
+        """Full sampler state: hash coefficients, bases, recovery sketches."""
+        return {
+            "universe": self._universe,
+            "levels": self._levels,
+            "repetitions": self._repetitions,
+            "bases": list(self._bases),
+            "hashes": [h.state_dict() for h in self._hashes],
+            "sketches": [
+                [sketch.state_dict() for sketch in sketch_levels]
+                for sketch_levels in self._sketches
+            ],
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a capture into an identically configured sampler.
+
+        Restores the *frozen randomness* (hash coefficients, fingerprint
+        bases) as well as the linear aggregates, so future updates and
+        queries behave exactly as the captured sampler's would.
+        """
+        check_state_config(
+            "L0Sampler",
+            state,
+            universe=self._universe,
+            levels=self._levels,
+            repetitions=self._repetitions,
+        )
+        self._bases = [int(b) for b in state_field("L0Sampler", state, "bases")]
+        hash_states = state_field("L0Sampler", state, "hashes")
+        sketch_states = state_field("L0Sampler", state, "sketches")
+        if len(hash_states) != self._repetitions or len(sketch_states) != self._repetitions:
+            raise SketchError(
+                f"L0Sampler state carries {len(hash_states)} hash / "
+                f"{len(sketch_states)} sketch repetitions for a sampler with "
+                f"{self._repetitions}"
+            )
+        for hash_function, captured in zip(self._hashes, hash_states):
+            hash_function.load_state_dict(captured)
+        for sketch_levels, captured_levels in zip(self._sketches, sketch_states):
+            if len(captured_levels) != len(sketch_levels):
+                raise SketchError(
+                    f"L0Sampler state carries {len(captured_levels)} levels for "
+                    f"a sampler with {len(sketch_levels)}"
+                )
+            for sketch, captured in zip(sketch_levels, captured_levels):
+                sketch.load_state_dict(captured)

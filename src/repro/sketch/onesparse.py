@@ -27,6 +27,7 @@ from typing import Iterable, Optional, Tuple
 import numpy as np
 
 from repro.sketch.hashing import MERSENNE_PRIME, mulmod_vec, powmod_vec, split_sum
+from repro.utils.checkpoint import check_state_config, state_field
 from repro.utils.rng import RandomSource, ensure_rng
 
 
@@ -152,6 +153,33 @@ class OneSparseRecovery:
         self._weight += weight_delta
         self._weighted_sum += weighted_delta
         self._fingerprint = (self._fingerprint + fingerprint_delta) % MERSENNE_PRIME
+
+    def state_dict(self) -> dict:
+        """The three linear aggregates plus the fingerprint base."""
+        return {
+            "universe": self._universe,
+            "z": self._z,
+            "weight": self._weight,
+            "weighted_sum": self._weighted_sum,
+            "fingerprint": self._fingerprint,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a capture into a sketch over the same universe.
+
+        The fingerprint base ``z`` is part of the captured identity (a
+        fingerprint only verifies against the base it was accumulated
+        with), so it is restored rather than validated.
+        """
+        check_state_config("OneSparseRecovery", state, universe=self._universe)
+        self._z = int(state_field("OneSparseRecovery", state, "z"))
+        self._weight = int(state_field("OneSparseRecovery", state, "weight"))
+        self._weighted_sum = int(
+            state_field("OneSparseRecovery", state, "weighted_sum")
+        )
+        self._fingerprint = int(
+            state_field("OneSparseRecovery", state, "fingerprint")
+        )
 
     @property
     def is_empty(self) -> bool:

@@ -24,6 +24,12 @@ import math
 import random
 from typing import Generic, Iterable, List, Optional, TypeVar
 
+from repro.utils.checkpoint import (
+    check_state_config,
+    rng_state,
+    set_rng_state,
+    state_field,
+)
 from repro.utils.rng import RandomSource, ensure_rng
 
 T = TypeVar("T")
@@ -69,6 +75,16 @@ class SingleReservoir(Generic[T]):
     def item(self) -> Optional[T]:
         """The sampled element, or ``None`` if the stream was empty."""
         return self._item
+
+    def state_dict(self) -> dict:
+        """Mutable runtime state (count, sample, rng position)."""
+        return {"count": self._count, "item": self._item, "rng": rng_state(self._rng)}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` capture (continuation is bit-identical)."""
+        self._count = int(state_field("SingleReservoir", state, "count"))
+        self._item = state_field("SingleReservoir", state, "item")
+        set_rng_state(self._rng, state_field("SingleReservoir", state, "rng"))
 
 
 class SkipAheadReservoirBank(Generic[T]):
@@ -163,6 +179,27 @@ class SkipAheadReservoirBank(Generic[T]):
         """All current samples, indexed by slot (do not mutate)."""
         return self._items
 
+    def state_dict(self) -> dict:
+        """Mutable runtime state (samples, acceptance heap, rng position)."""
+        return {
+            "size": len(self._items),
+            "seen": self._seen,
+            "items": list(self._items),
+            "heap": [tuple(entry) for entry in self._heap],
+            "rng": rng_state(self._rng),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a capture into a bank of the same size."""
+        check_state_config("SkipAheadReservoirBank", state, size=len(self._items))
+        self._seen = int(state_field("SkipAheadReservoirBank", state, "seen"))
+        self._items = list(state_field("SkipAheadReservoirBank", state, "items"))
+        # The heap was saved in heap order, so no re-heapify is needed.
+        self._heap = [tuple(entry) for entry in state_field(
+            "SkipAheadReservoirBank", state, "heap"
+        )]
+        set_rng_state(self._rng, state_field("SkipAheadReservoirBank", state, "rng"))
+
 
 class ReservoirSampler(Generic[T]):
     """Uniform without-replacement sample of up to *capacity* elements."""
@@ -207,3 +244,19 @@ class ReservoirSampler(Generic[T]):
     def contains_all_offered(self) -> bool:
         """Whether nothing has ever been evicted (count <= capacity)."""
         return self._count <= self._capacity
+
+    def state_dict(self) -> dict:
+        """Mutable runtime state (sample, count, rng position)."""
+        return {
+            "capacity": self._capacity,
+            "count": self._count,
+            "items": list(self._items),
+            "rng": rng_state(self._rng),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a capture into a sampler of the same capacity."""
+        check_state_config("ReservoirSampler", state, capacity=self._capacity)
+        self._count = int(state_field("ReservoirSampler", state, "count"))
+        self._items = list(state_field("ReservoirSampler", state, "items"))
+        set_rng_state(self._rng, state_field("ReservoirSampler", state, "rng"))

@@ -53,5 +53,14 @@ class SpaceMeter:
         """Snapshot of the current per-component footprints."""
         return dict(self._current)
 
+    def state_dict(self) -> Dict[str, object]:
+        """Current footprints plus the observed peak."""
+        return {"current": dict(self._current), "peak": self._peak}
+
+    def load_state_dict(self, state) -> None:
+        """Restore a :meth:`state_dict` capture."""
+        self._current = {str(k): int(v) for k, v in dict(state["current"]).items()}
+        self._peak = int(state["peak"])
+
     def __repr__(self) -> str:
         return f"SpaceMeter(current={self.current_words}, peak={self.peak_words})"

@@ -268,6 +268,143 @@ class EdgeStream(CachedBatchStream):
         )
 
 
+class ColumnEdgeStream(CachedBatchStream):
+    """A replayable stream over pre-decoded ``(u, v, delta)`` columns.
+
+    The array-native sibling of :class:`EdgeStream`: same protocol
+    (metadata, ``updates()``, ``batches()``, pass counting, cache
+    policy), but the contents live as three numpy columns instead of
+    :class:`Update` objects — no per-element dataclass cost to build,
+    and ``_decode_batch`` is a pure slice.  Used by the live engine
+    (:mod:`repro.engine.live`) to replay its journaled prefix through
+    the multi-pass estimators, and handy anywhere updates already
+    exist as arrays (scenario generators, ``.npz`` round trips).
+
+    ``net_edge_count`` may be passed by callers that already validated
+    the stream (the live journal validates incrementally); with
+    ``validate=True`` the columns are checked against the simple-graph
+    stream model exactly as :class:`EdgeStream` checks updates.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        u,
+        v,
+        delta=None,
+        allow_deletions: Optional[bool] = None,
+        net_edge_count: Optional[int] = None,
+        validate: bool = True,
+        cache=None,
+    ) -> None:
+        if n < 1:
+            raise StreamError(f"column stream needs n >= 1, got {n}")
+        self._n = int(n)
+        self._u = np.ascontiguousarray(u, dtype=np.int64)
+        self._v = np.ascontiguousarray(v, dtype=np.int64)
+        if delta is None:
+            delta = np.ones(len(self._u), dtype=np.int64)
+        self._delta = np.ascontiguousarray(delta, dtype=np.int64)
+        if not (len(self._u) == len(self._v) == len(self._delta)):
+            raise StreamError("u/v/delta column lengths differ")
+        if allow_deletions is None:
+            allow_deletions = bool(len(self._delta)) and bool((self._delta < 0).any())
+        self._allow_deletions = bool(allow_deletions)
+        self._passes = 0
+        self._cache: BatchCachePolicy = resolve_cache_policy(cache)
+        if validate:
+            self._final_edges: Optional[Tuple[Edge, ...]] = self._validate()
+            self._net = len(self._final_edges)
+        else:
+            self._final_edges = None
+            self._net = (
+                int(net_edge_count)
+                if net_edge_count is not None
+                else int(self._delta.sum())
+            )
+
+    def _validate(self) -> Tuple[Edge, ...]:
+        multiplicity: Dict[Edge, int] = {}
+        for index, (u, v, delta) in enumerate(
+            zip(self._u.tolist(), self._v.tolist(), self._delta.tolist())
+        ):
+            if u == v:
+                raise StreamError(f"update #{index} is a self-loop ({u}, {v})")
+            if not (0 <= u < self._n and 0 <= v < self._n):
+                raise StreamError(
+                    f"update #{index} touches vertex outside [0, {self._n})"
+                )
+            if delta not in (1, -1):
+                raise StreamError(
+                    f"update #{index} delta must be +1 or -1, got {delta}"
+                )
+            if delta < 0 and not self._allow_deletions:
+                raise StreamError(
+                    f"update #{index} is a deletion in an insertion-only stream"
+                )
+            edge = normalize_edge(u, v)
+            count = multiplicity.get(edge, 0) + delta
+            if count < 0:
+                raise StreamError(f"update #{index} deletes absent edge {edge}")
+            if count > 1:
+                raise StreamError(f"update #{index} duplicates edge {edge}")
+            multiplicity[edge] = count
+        return tuple(sorted(e for e, count in multiplicity.items() if count == 1))
+
+    @property
+    def n(self) -> int:
+        return self._n
+
+    @property
+    def length(self) -> int:
+        return len(self._u)
+
+    @property
+    def net_edge_count(self) -> int:
+        return self._net
+
+    @property
+    def allows_deletions(self) -> bool:
+        return self._allow_deletions
+
+    def columns(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """The backing ``(u, v, delta)`` columns (do not mutate)."""
+        return self._u, self._v, self._delta
+
+    def updates(self) -> Iterator[Update]:
+        """Read one pass as :class:`Update` objects (scalar reference path)."""
+        self._passes += 1
+
+        def generate() -> Iterator[Update]:
+            for u, v, delta in zip(
+                self._u.tolist(), self._v.tolist(), self._delta.tolist()
+            ):
+                yield Update(u, v, delta)
+
+        return generate()
+
+    def _decode_batch(self, start: int, stop: int) -> "EdgeBatch":
+        return EdgeBatch(
+            self._u[start:stop], self._v[start:stop], self._delta[start:stop]
+        )
+
+    def final_graph(self) -> Graph:
+        """The graph the columns describe (computed on demand)."""
+        if self._final_edges is None:
+            self._final_edges = self._validate()
+        return Graph(self._n, self._final_edges)
+
+    def __len__(self) -> int:
+        return len(self._u)
+
+    def __repr__(self) -> str:
+        kind = "turnstile" if self._allow_deletions else "insertion-only"
+        return (
+            f"ColumnEdgeStream({kind}, n={self._n}, length={self.length}, "
+            f"m={self._net}, passes_used={self._passes})"
+        )
+
+
 #: A decoded stream element: ``(u, v, delta, normalized_edge)``.
 DecodedUpdate = Tuple[int, int, int, Edge]
 

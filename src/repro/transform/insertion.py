@@ -26,7 +26,7 @@ from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
-from repro.errors import OracleError
+from repro.errors import CheckpointError, OracleError
 from repro.graph.graph import normalize_edge
 from repro.oracle.base import (
     AdjacencyQuery,
@@ -48,6 +48,12 @@ from repro.streams.batch import (
 )
 from repro.streams.space import SpaceMeter
 from repro.streams.stream import EdgeStream, pass_batches
+from repro.utils.checkpoint import (
+    check_state_config,
+    rng_state,
+    set_rng_state,
+    state_field,
+)
 from repro.utils.rng import RandomSource, derive_rng, ensure_rng
 
 
@@ -372,8 +378,89 @@ class InsertionPassState:
                     self._captured[position] = captured
         self._arrival_counts[vertex] = stop
 
+    def _fold_columnar_state(self) -> None:
+        """Fold columnar accumulators back into the scalar dicts (idempotent).
+
+        Called by :meth:`finish` before answering and by
+        :meth:`state_dict` before capturing, so the serialized state is
+        always the backend-agnostic scalar form however the pass was
+        fed.
+        """
+        if self._degree_accumulator is not None:
+            accumulator = self._degree_accumulator
+            degree_counts = self._degree_counts
+            for slot, vertex in enumerate(self._degree_members.vertices.tolist()):
+                count = int(accumulator[slot])
+                if count:
+                    degree_counts[vertex] += count
+                    accumulator[slot] = 0
+        if self._adjacency_seen is not None and self._adjacency_seen.any():
+            n = self._n
+            adjacency_by_id = {
+                edge_id(a, b, n): (a, b) for a, b in self._adjacency_pairs
+            }
+            for identifier in self._adjacency_ids[self._adjacency_seen].tolist():
+                self._present_pairs.add(adjacency_by_id[identifier])
+            self._adjacency_seen[:] = False
+
+    def state_dict(self) -> dict:
+        """Mutable runtime state of the in-flight pass.
+
+        Structure (query positions, watch maps, bank sizes) is *not*
+        captured: a restore rebuilds it deterministically via
+        ``oracle.begin_batch`` on the replayed merged batch and then
+        overlays this runtime state (see
+        :meth:`~repro.engine.estimators.RoundAdaptiveEstimator.load_state_dict`).
+        """
+        self._fold_columnar_state()
+        return {
+            "size": self._size,
+            "edge_count": self._edge_count,
+            "degree_counts": dict(self._degree_counts),
+            "arrival_counts": dict(self._arrival_counts),
+            "captured": dict(self._captured),
+            "present_pairs": sorted(self._present_pairs),
+            "edge_bank": self._edge_bank.state_dict(),
+            "neighbor_banks": {
+                vertex: bank.state_dict()
+                for vertex, bank in self._neighbor_banks.items()
+            },
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore runtime state into a structurally identical pass."""
+        check_state_config("InsertionPassState", state, size=self._size)
+        for field, current in (
+            ("degree_counts", self._degree_counts),
+            ("arrival_counts", self._arrival_counts),
+            ("neighbor_banks", self._neighbor_banks),
+        ):
+            captured = state_field("InsertionPassState", state, field)
+            if set(captured) != set(current):
+                raise CheckpointError(
+                    f"InsertionPassState state field {field!r} tracks vertices "
+                    f"{sorted(captured)} but this pass tracks {sorted(current)}; "
+                    "the pass was rebuilt from a different query batch"
+                )
+        self._fold_columnar_state()
+        self._edge_count = int(state_field("InsertionPassState", state, "edge_count"))
+        self._degree_counts = {
+            vertex: int(count) for vertex, count in state["degree_counts"].items()
+        }
+        self._arrival_counts = {
+            vertex: int(count) for vertex, count in state["arrival_counts"].items()
+        }
+        self._captured = dict(state_field("InsertionPassState", state, "captured"))
+        self._present_pairs = {
+            tuple(pair) for pair in state_field("InsertionPassState", state, "present_pairs")
+        }
+        self._edge_bank.load_state_dict(state["edge_bank"])
+        for vertex, bank in self._neighbor_banks.items():
+            bank.load_state_dict(state["neighbor_banks"][vertex])
+
     def finish(self) -> List[Any]:
         """Collect the batch's answers and release the pass's space."""
+        self._fold_columnar_state()
         answers: List[Any] = [None] * self._size
         edge_bank = self._edge_bank
         for slot, position in enumerate(self._edge_positions):
@@ -383,28 +470,12 @@ class InsertionPassState:
             for slot, position in enumerate(positions):
                 answers[position] = bank.item(slot)
         degree_counts = self._degree_counts
-        if self._degree_accumulator is not None:
-            # Fold the columnar accumulator into the scalar counters.
-            accumulator = self._degree_accumulator
-            for slot, vertex in enumerate(self._degree_members.vertices.tolist()):
-                count = int(accumulator[slot])
-                if count:
-                    degree_counts[vertex] += count
-                    accumulator[slot] = 0
         for position, vertex in self._degree_positions:
             answers[position] = degree_counts[vertex]
         captured_get = self._captured.get
         for position in self._neighbor_query_positions:
             answers[position] = captured_get(position)
         present_pairs = self._present_pairs
-        if self._adjacency_seen is not None and self._adjacency_seen.any():
-            n = self._n
-            adjacency_by_id = {
-                edge_id(a, b, n): (a, b) for a, b in self._adjacency_pairs
-            }
-            for identifier in self._adjacency_ids[self._adjacency_seen].tolist():
-                present_pairs.add(adjacency_by_id[identifier])
-            self._adjacency_seen[:] = False
         for position, edge in self._adjacency_positions:
             answers[position] = edge in present_pairs
         edge_count = self._edge_count
@@ -475,3 +546,23 @@ class InsertionStreamOracle:
         for chunk in pass_batches(self._stream):
             state.ingest_batch(chunk)
         return state.finish()
+
+    def state_dict(self) -> dict:
+        """Oracle-level runtime state (rng position, accounting, space)."""
+        return {
+            "rng": rng_state(self._rng),
+            "pass_index": self._pass_index,
+            "accounting": self.accounting.state_dict(),
+            "space": self.space.state_dict(),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a capture; future passes derive identical randomness."""
+        set_rng_state(self._rng, state_field("InsertionStreamOracle", state, "rng"))
+        self._pass_index = int(
+            state_field("InsertionStreamOracle", state, "pass_index")
+        )
+        self.accounting.load_state_dict(
+            state_field("InsertionStreamOracle", state, "accounting")
+        )
+        self.space.load_state_dict(state_field("InsertionStreamOracle", state, "space"))

@@ -24,7 +24,7 @@ from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
-from repro.errors import OracleError
+from repro.errors import CheckpointError, OracleError
 from repro.graph.graph import normalize_edge
 from repro.oracle.base import (
     AdjacencyQuery,
@@ -46,6 +46,12 @@ from repro.streams.batch import (
 )
 from repro.streams.space import SpaceMeter
 from repro.streams.stream import EdgeStream, pass_batches
+from repro.utils.checkpoint import (
+    check_state_config,
+    rng_state,
+    set_rng_state,
+    state_field,
+)
 from repro.utils.rng import RandomSource, derive_rng, ensure_rng
 
 
@@ -306,8 +312,88 @@ class TurnstilePassState:
             self._pair_accumulator = np.zeros(len(ids), dtype=np.int64)
         self._columnar_ready = True
 
+    def _fold_columnar_state(self) -> None:
+        """Fold columnar accumulators back into the scalar dicts (idempotent).
+
+        Shared by :meth:`finish` and :meth:`state_dict`, so captures are
+        backend-agnostic whichever ingestion route fed the pass.
+        """
+        if self._degree_accumulator is not None:
+            accumulator = self._degree_accumulator
+            degree_counts = self._degree_counts
+            for slot, vertex in enumerate(self._degree_members.vertices.tolist()):
+                count = int(accumulator[slot])
+                if count:
+                    degree_counts[vertex] += count
+                    accumulator[slot] = 0
+        if self._pair_accumulator is not None and self._pair_accumulator.any():
+            n = self._n
+            pair_counts = self._pair_counts
+            pair_by_id = {_edge_id(a, b, n): (a, b) for a, b in pair_counts}
+            for identifier, count in zip(
+                self._pair_ids.tolist(), self._pair_accumulator.tolist()
+            ):
+                if count:
+                    pair_counts[pair_by_id[identifier]] += count
+            self._pair_accumulator[:] = 0
+
+    def state_dict(self) -> dict:
+        """Mutable runtime state of the in-flight pass.
+
+        Sampler entries are stored in construction order; the sketch
+        internals (hash coefficients, fingerprint bases, aggregates)
+        ride along in each :meth:`~repro.sketch.l0.L0Sampler.state_dict`.
+        """
+        self._fold_columnar_state()
+        return {
+            "size": self._size,
+            "edge_count": self._edge_count,
+            "degree_counts": dict(self._degree_counts),
+            "pair_counts": sorted(
+                (pair, count) for pair, count in self._pair_counts.items()
+            ),
+            "edge_samplers": [s.state_dict() for _, s in self._edge_samplers],
+            "neighbor_samplers": [
+                s.state_dict() for _, _, s in self._neighbor_samplers
+            ],
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore runtime state into a structurally identical pass."""
+        check_state_config("TurnstilePassState", state, size=self._size)
+        captured_degrees = state_field("TurnstilePassState", state, "degree_counts")
+        if set(captured_degrees) != set(self._degree_counts):
+            raise CheckpointError(
+                "TurnstilePassState state tracks different degree vertices than "
+                "this pass; the pass was rebuilt from a different query batch"
+            )
+        edge_states = state_field("TurnstilePassState", state, "edge_samplers")
+        neighbor_states = state_field("TurnstilePassState", state, "neighbor_samplers")
+        if len(edge_states) != len(self._edge_samplers) or len(neighbor_states) != len(
+            self._neighbor_samplers
+        ):
+            raise CheckpointError(
+                f"TurnstilePassState state carries {len(edge_states)} edge / "
+                f"{len(neighbor_states)} neighbor samplers; this pass has "
+                f"{len(self._edge_samplers)} / {len(self._neighbor_samplers)}"
+            )
+        self._fold_columnar_state()
+        self._edge_count = int(state_field("TurnstilePassState", state, "edge_count"))
+        self._degree_counts = {
+            vertex: int(count) for vertex, count in captured_degrees.items()
+        }
+        self._pair_counts = {
+            tuple(pair): int(count)
+            for pair, count in state_field("TurnstilePassState", state, "pair_counts")
+        }
+        for (_, sampler), captured in zip(self._edge_samplers, edge_states):
+            sampler.load_state_dict(captured)
+        for (_, _, sampler), captured in zip(self._neighbor_samplers, neighbor_states):
+            sampler.load_state_dict(captured)
+
     def finish(self) -> List[Any]:
         """Collect the batch's answers and release the pass's space."""
+        self._fold_columnar_state()
         n = self._n
         answers: List[Any] = [None] * self._size
         for position, sampler in self._edge_samplers:
@@ -318,25 +404,9 @@ class TurnstilePassState:
         for position, _, sampler in self._neighbor_samplers:
             answers[position] = sampler.sample()
         degree_counts = self._degree_counts
-        if self._degree_accumulator is not None:
-            # Fold the columnar accumulator into the scalar counters.
-            accumulator = self._degree_accumulator
-            for slot, vertex in enumerate(self._degree_members.vertices.tolist()):
-                count = int(accumulator[slot])
-                if count:
-                    degree_counts[vertex] += count
-                    accumulator[slot] = 0
         for position, vertex in self._degree_positions:
             answers[position] = degree_counts[vertex]
         pair_counts = self._pair_counts
-        if self._pair_accumulator is not None and self._pair_accumulator.any():
-            pair_by_id = {_edge_id(a, b, n): (a, b) for a, b in pair_counts}
-            for identifier, count in zip(
-                self._pair_ids.tolist(), self._pair_accumulator.tolist()
-            ):
-                if count:
-                    pair_counts[pair_by_id[identifier]] += count
-            self._pair_accumulator[:] = 0
         for position, edge in self._adjacency_positions:
             answers[position] = pair_counts[edge] == 1
         edge_count = self._edge_count
@@ -398,3 +468,31 @@ class TurnstileStreamOracle:
         for chunk in pass_batches(self._stream):
             state.ingest_batch(chunk)
         return state.finish()
+
+    def state_dict(self) -> dict:
+        """Oracle-level runtime state (rng position, accounting, space)."""
+        return {
+            "rng": rng_state(self._rng),
+            "pass_index": self._pass_index,
+            "sampler_repetitions": self._sampler_repetitions,
+            "accounting": self.accounting.state_dict(),
+            "space": self.space.state_dict(),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a capture; future passes derive identical randomness."""
+        check_state_config(
+            "TurnstileStreamOracle",
+            state,
+            sampler_repetitions=self._sampler_repetitions,
+        )
+        set_rng_state(self._rng, state_field("TurnstileStreamOracle", state, "rng"))
+        self._pass_index = int(
+            state_field("TurnstileStreamOracle", state, "pass_index")
+        )
+        self.accounting.load_state_dict(
+            state_field("TurnstileStreamOracle", state, "accounting")
+        )
+        self.space.load_state_dict(
+            state_field("TurnstileStreamOracle", state, "space")
+        )

@@ -1,0 +1,73 @@
+"""Shared plumbing of the ``state_dict`` / ``load_state_dict`` protocol.
+
+Every stateful streaming object (sketches, reservoir banks, pass
+states, oracles, estimators) exposes the same two methods:
+
+* ``state_dict()`` — the object's mutable runtime state as a plain
+  dict of picklable values (ints, tuples, lists, dicts, rng state
+  tuples).  Configuration that determines *structure* (sizes,
+  universes, trial budgets) is echoed into the dict so a restore into
+  a mismatched object fails loudly instead of corrupting silently.
+* ``load_state_dict(state)`` — overwrite the runtime state from a
+  previously captured dict.  The receiving object must have been
+  built with the same configuration (same constructor arguments /
+  spec); violations raise :class:`~repro.errors.CheckpointError`.
+
+The helpers here keep validation and ``random.Random`` state packing
+in one place so the per-class implementations stay small and cannot
+drift on error wording.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Dict
+
+from repro.errors import CheckpointError
+
+
+def state_field(kind: str, state: Dict[str, Any], field: str) -> Any:
+    """Read a required *field* of a state dict, with a clear error."""
+    if not isinstance(state, dict):
+        raise CheckpointError(
+            f"{kind} state must be a dict, got {type(state).__name__}"
+        )
+    if field not in state:
+        raise CheckpointError(f"{kind} state is missing field {field!r}")
+    return state[field]
+
+
+def check_state_config(kind: str, state: Dict[str, Any], **expected: Any) -> None:
+    """Validate the configuration echo of a state dict.
+
+    Each keyword is a configuration field the captured state must
+    agree on with the receiving object (e.g. ``universe=...``,
+    ``capacity=...``); a mismatch means the state was captured from a
+    differently built object and loading it would corrupt silently.
+    """
+    for field, value in expected.items():
+        captured = state_field(kind, state, field)
+        if captured != value:
+            raise CheckpointError(
+                f"{kind} state was captured with {field}={captured!r} but is "
+                f"being loaded into an object with {field}={value!r}; rebuild "
+                "from the same configuration (spec/seeds) before loading"
+            )
+
+
+def rng_state(rng: random.Random) -> tuple:
+    """A picklable snapshot of a generator's position."""
+    return rng.getstate()
+
+
+def set_rng_state(rng: random.Random, state) -> None:
+    """Restore a generator position captured by :func:`rng_state`.
+
+    Tolerates the inner state arriving as a list (e.g. after a round
+    trip through a format without tuples).
+    """
+    try:
+        version, internal, gauss_next = state
+        rng.setstate((version, tuple(internal), gauss_next))
+    except (TypeError, ValueError) as error:
+        raise CheckpointError(f"invalid random.Random state: {error}") from error

@@ -266,3 +266,90 @@ class TestConvertAndDiskStreams:
                      "--cache-budget", "4k"])
         assert code == 0
         assert "fgp-3pass-insertion" in capsys.readouterr().out
+
+
+class TestCliLive:
+    def test_live_feed_query_checkpoint_resume(self, karate_path, tmp_path, capsys):
+        checkpoint = str(tmp_path / "live.ckpt")
+        code = main(["live", karate_path, "triangle", "--copies", "2",
+                     "--trials", "120", "--seed", "3", "--feed-chunk", "20",
+                     "--query-every", "30",
+                     "--checkpoint", checkpoint, "--checkpoint-every", "40"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "query elements=" in output
+        assert "checkpoint elements=" in output
+        final = [line for line in output.splitlines() if line.startswith("final")]
+        assert len(final) == 1
+
+        # Resume from the (complete) checkpoint: every update is skipped
+        # and the final median is reproduced bit for bit.
+        code = main(["live", karate_path, "triangle", "--copies", "2",
+                     "--trials", "120", "--seed", "3", "--feed-chunk", "20",
+                     "--checkpoint", checkpoint, "--resume"])
+        assert code == 0
+        resumed = capsys.readouterr().out
+        assert "resumed from" in resumed
+        resumed_final = [line for line in resumed.splitlines()
+                         if line.startswith("final")]
+        assert resumed_final == final
+
+    def test_live_resume_mid_stream_matches_uninterrupted(self, karate_path,
+                                                          tmp_path, capsys):
+        checkpoint = str(tmp_path / "live.ckpt")
+        # Uninterrupted CLI run.
+        assert main(["live", karate_path, "triangle", "--copies", "2",
+                     "--trials", "80", "--seed", "5"]) == 0
+        uninterrupted = capsys.readouterr().out.splitlines()[-1]
+
+        # Simulate a crash after 30 updates: build the same engine the
+        # CLI builds (same spec names/seeds/stream order), feed a
+        # prefix, snapshot, and let the CLI resume the remainder.
+        from repro.engine import EstimatorSpec, LiveEngine
+        from repro.engine.estimators import fgp_insertion_estimator
+        from repro.graph.io import read_edge_list
+        from repro.streams.stream import insertion_stream
+
+        stream = insertion_stream(read_edge_list(karate_path), rng=5)
+        engine = LiveEngine(n=stream.n, batch_size=4096)
+        for index in range(2):
+            name = f"copy-{index}"
+            engine.register_spec(EstimatorSpec(
+                name=name, factory=fgp_insertion_estimator,
+                kwargs=dict(pattern=parse_pattern("triangle"), trials=80,
+                            rng=5 + 1 + index, name=name),
+            ))
+        u, v, d = stream.columns()
+        engine.feed((u[:30], v[:30], d[:30]))
+        engine.snapshot(checkpoint)
+
+        assert main(["live", karate_path, "triangle", "--copies", "2",
+                     "--trials", "80", "--seed", "5",
+                     "--checkpoint", checkpoint, "--resume"]) == 0
+        resumed = capsys.readouterr().out
+        assert "resumed from" in resumed
+        assert resumed.splitlines()[-1] == uninterrupted
+
+    def test_live_stdin_requires_n(self, capsys, monkeypatch):
+        import io
+
+        monkeypatch.setattr("sys.stdin", io.StringIO("0 1\n"))
+        assert main(["live", "-", "triangle", "--trials", "10"]) == 1
+        assert "--n" in capsys.readouterr().err
+
+    def test_live_checkpoint_every_requires_checkpoint(self, karate_path, capsys):
+        assert main(["live", karate_path, "triangle",
+                     "--checkpoint-every", "10"]) == 2
+        assert "--checkpoint" in capsys.readouterr().err
+
+    def test_live_stdin_turnstile(self, capsys, monkeypatch):
+        import io
+
+        monkeypatch.setattr(
+            "sys.stdin", io.StringIO("0 1\n1 2\n0 2\n# comment\n0 1 -1\n")
+        )
+        code = main(["live", "-", "triangle", "--algorithm", "turnstile",
+                     "--n", "6", "--copies", "2", "--trials", "20"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "final elements=4 m=2" in out

@@ -1,0 +1,304 @@
+"""Property-based differential fuzz suite.
+
+Randomized streams (insertion-only and turnstile, with deletions,
+re-inserted edges, adversarial chunkings) are driven through pairs of
+execution paths that the engine guarantees are **bit-identical**:
+
+* scalar vs columnar dispatch,
+* arbitrary batch-size splits and cache policies,
+* fed-live (:class:`repro.engine.live.LiveEngine`) vs one-shot fused,
+* snapshot → restore → continue vs uninterrupted,
+* serial vs process backend.
+
+Seeds policy
+------------
+Every case derives its seed deterministically from ``BASE_SEED``
+(default 20220704, the suite is fully reproducible), and every
+assertion message carries the failing case's seed so a CI failure is
+one command away from a local repro:
+
+    REPRO_FUZZ_SEED=<printed seed> pytest tests/test_differential_fuzz.py
+
+The CI fuzz job rotates ``REPRO_FUZZ_SEED`` per run (logged in the job
+output and uploaded as an artifact on failure); tier-1 runs the fixed
+default.
+"""
+
+import os
+import random
+
+import pytest
+
+from repro.engine import (
+    EstimatorSpec,
+    FusionMode,
+    LiveEngine,
+    count_subgraphs_insertion_only_fused,
+    count_subgraphs_turnstile_fused,
+    fgp_insertion_estimator,
+    fgp_turnstile_estimator,
+)
+from repro.engine.parallel import build_exact_stream, build_triest
+from repro.errors import StreamError
+from repro.patterns import pattern as zoo
+from repro.streams.stream import EdgeStream, Update
+
+pytestmark = pytest.mark.fuzz
+
+#: Root seed of the whole suite; rotate via REPRO_FUZZ_SEED.
+BASE_SEED = int(os.environ.get("REPRO_FUZZ_SEED", "20220704"))
+
+
+def case_rng(case: int, salt: str) -> random.Random:
+    """The deterministic generator of one fuzz case."""
+    return random.Random((BASE_SEED, salt, case).__repr__())
+
+
+def random_stream(rng: random.Random, turnstile: bool) -> EdgeStream:
+    """A random valid stream: dup re-insertions, deletions, skewed sizes.
+
+    Turnstile streams interleave deletions of live edges (~35% of
+    steps) with insertions, and deleted edges may be re-inserted later
+    — the "dup edges over time" shape that exercises multiplicity
+    bookkeeping.  Final multiplicities stay in {0, 1} by construction.
+    """
+    n = rng.randrange(10, 30)
+    steps = rng.randrange(30, 110)
+    present = []
+    present_set = set()
+    updates = []
+    for _ in range(steps):
+        if turnstile and present and rng.random() < 0.35:
+            index = rng.randrange(len(present))
+            edge = present.pop(index)
+            present_set.discard(edge)
+            u, v = edge if rng.random() < 0.5 else (edge[1], edge[0])
+            updates.append(Update(u, v, -1))
+            continue
+        for _ in range(8):  # rejection-sample a non-present pair
+            u = rng.randrange(n)
+            v = rng.randrange(n)
+            if u == v:
+                continue
+            edge = (min(u, v), max(u, v))
+            if edge in present_set:
+                continue
+            present.append(edge)
+            present_set.add(edge)
+            updates.append(Update(u, v, 1))
+            break
+    return EdgeStream(n, updates, allow_deletions=turnstile)
+
+
+def random_cuts(rng: random.Random, length: int) -> list:
+    """Random ragged chunk boundaries covering [0, length]."""
+    cuts = sorted(rng.sample(range(1, max(2, length)), k=min(rng.randrange(1, 6), max(1, length - 1))))
+    return [0] + [c for c in cuts if c < length] + [length]
+
+
+def _fused(stream, pattern, rng, turnstile, **kwargs):
+    entry = count_subgraphs_turnstile_fused if turnstile else count_subgraphs_insertion_only_fused
+    return entry(stream, pattern, **kwargs)
+
+
+CASES_SCALAR = 40
+CASES_CACHE = 40
+CASES_LIVE = 60
+CASES_SNAPSHOT = 40
+CASES_PROCESS = 5
+CASES_VALIDATION = 16
+
+
+@pytest.mark.parametrize("case", range(CASES_SCALAR))
+def test_scalar_vs_columnar(case):
+    rng = case_rng(case, "scalar")
+    turnstile = case % 2 == 1
+    stream = random_stream(rng, turnstile)
+    pattern = zoo.triangle() if rng.random() < 0.7 else zoo.path(3)
+    seeds = [rng.randrange(1 << 30) for _ in range(2)]
+    batch_a = rng.randrange(1, 64)
+    batch_b = rng.randrange(1, 64)
+    columnar = _fused(
+        stream, pattern, rng, turnstile,
+        copies=2, trials=6, mode=FusionMode.MIRROR, copy_rngs=list(seeds),
+        batch_size=batch_a, columnar=True,
+    )
+    scalar = _fused(
+        stream, pattern, rng, turnstile,
+        copies=2, trials=6, mode=FusionMode.MIRROR, copy_rngs=list(seeds),
+        batch_size=batch_b, columnar=False,
+    )
+    assert columnar.estimates == scalar.estimates, (
+        f"scalar/columnar divergence (case={case}, base_seed={BASE_SEED}, "
+        f"batch_sizes=({batch_a}, {batch_b}))"
+    )
+
+
+@pytest.mark.parametrize("case", range(CASES_CACHE))
+def test_cache_policy_and_batch_split_invariance(case):
+    rng = case_rng(case, "cache")
+    turnstile = case % 2 == 0
+    stream = random_stream(rng, turnstile)
+    pattern = zoo.triangle()
+    seeds = [rng.randrange(1 << 30)]
+    reference = None
+    for cache in ("all", f"lru:{rng.randrange(1, 8) << 10}", "none"):
+        result = _fused(
+            stream, pattern, rng, turnstile,
+            copies=1, trials=8, mode=FusionMode.MIRROR, copy_rngs=list(seeds),
+            batch_size=rng.randrange(1, 96), cache=cache,
+        )
+        if reference is None:
+            reference = result
+        assert result.estimates == reference.estimates, (
+            f"cache-policy divergence under {cache!r} (case={case}, "
+            f"base_seed={BASE_SEED})"
+        )
+
+
+@pytest.mark.parametrize("case", range(CASES_LIVE))
+def test_fed_live_vs_one_shot(case):
+    rng = case_rng(case, "live")
+    turnstile = case % 4 == 0
+    stream = random_stream(rng, turnstile)
+    pattern = zoo.triangle()
+    trials = rng.randrange(3, 8)
+    seed = rng.randrange(1 << 30)
+    factory = fgp_turnstile_estimator if turnstile else fgp_insertion_estimator
+
+    one_shot = _fused(
+        stream, pattern, rng, turnstile,
+        copies=1, trials=trials, mode=FusionMode.MIRROR, copy_rngs=[seed],
+    )
+
+    engine = LiveEngine(
+        n=stream.n,
+        allow_deletions=turnstile,
+        batch_size=rng.randrange(1, 64),
+        columnar=rng.random() < 0.75,
+    )
+    engine.register_spec(EstimatorSpec(
+        name="copy-0", factory=factory,
+        kwargs=dict(pattern=pattern, trials=trials, rng=seed, name="copy-0"),
+    ))
+    if not turnstile and rng.random() < 0.4:
+        engine.register_spec(EstimatorSpec(
+            name="triest", factory=build_triest,
+            kwargs=dict(capacity=max(2, rng.randrange(2, 40)), rng=seed + 1),
+        ))
+    u, v, d = stream.columns()
+    cuts = random_cuts(rng, len(u))
+    for a, b in zip(cuts, cuts[1:]):
+        engine.feed((u[a:b], v[a:b], d[a:b]))
+    live = engine.estimate()["copy-0"]
+    assert (live.estimate, live.successes) == (
+        one_shot.copies[0].estimate,
+        one_shot.copies[0].successes,
+    ), (
+        f"fed-live/one-shot divergence (case={case}, base_seed={BASE_SEED}, "
+        f"cuts={cuts})"
+    )
+
+
+@pytest.mark.parametrize("case", range(CASES_SNAPSHOT))
+def test_snapshot_restore_vs_uninterrupted(case, tmp_path):
+    rng = case_rng(case, "snapshot")
+    turnstile = case % 3 == 1
+    stream = random_stream(rng, turnstile)
+    pattern = zoo.triangle()
+    trials = rng.randrange(3, 7)
+    seed = rng.randrange(1 << 30)
+    factory = fgp_turnstile_estimator if turnstile else fgp_insertion_estimator
+
+    def build():
+        engine = LiveEngine(n=stream.n, allow_deletions=turnstile,
+                            batch_size=rng.randrange(1, 48))
+        engine.register_spec(EstimatorSpec(
+            name="copy-0", factory=factory,
+            kwargs=dict(pattern=pattern, trials=trials, rng=seed, name="copy-0"),
+        ))
+        engine.register_spec(EstimatorSpec(
+            name="exact", factory=build_exact_stream, kwargs=dict(pattern=pattern),
+        ))
+        return engine
+
+    u, v, d = stream.columns()
+    quiet = build()
+    quiet.feed((u, v, d))
+    expected = quiet.estimate()
+
+    cut = rng.randrange(0, len(u) + 1)
+    interrupted = build()
+    if cut:
+        interrupted.feed((u[:cut], v[:cut], d[:cut]))
+    path = tmp_path / f"fuzz-{case}.ckpt"
+    interrupted.snapshot(path)
+    restored = LiveEngine.restore(path)
+    if cut < len(u):
+        restored.feed((u[cut:], v[cut:], d[cut:]))
+    resumed = restored.estimate()
+    for name in expected:
+        assert resumed[name].estimate == expected[name].estimate, (
+            f"snapshot/restore divergence for {name!r} (case={case}, "
+            f"base_seed={BASE_SEED}, cut={cut})"
+        )
+
+
+@pytest.mark.parametrize("case", range(CASES_PROCESS))
+def test_serial_vs_process_backend(case):
+    rng = case_rng(case, "process")
+    stream = random_stream(rng, turnstile=False)
+    pattern = zoo.triangle()
+    seeds = [rng.randrange(1 << 30) for _ in range(3)]
+    serial = count_subgraphs_insertion_only_fused(
+        stream, pattern, copies=3, trials=6,
+        mode=FusionMode.MIRROR, copy_rngs=list(seeds),
+    )
+    process = count_subgraphs_insertion_only_fused(
+        stream, pattern, copies=3, trials=6,
+        mode=FusionMode.MIRROR, copy_rngs=list(seeds),
+        backend="process", workers=1 + case % 3,
+    )
+    assert process.estimates == serial.estimates, (
+        f"serial/process divergence (case={case}, base_seed={BASE_SEED}, "
+        f"workers={1 + case % 3})"
+    )
+
+
+@pytest.mark.parametrize("case", range(CASES_VALIDATION))
+def test_journal_rejects_invalid_feeds_atomically(case):
+    rng = case_rng(case, "validation")
+    stream = random_stream(rng, turnstile=True)
+    engine = LiveEngine(n=stream.n, allow_deletions=True)
+    engine.register_spec(EstimatorSpec(
+        name="exact", factory=build_exact_stream, kwargs=dict(pattern=zoo.edge()),
+    ))
+    u, v, d = stream.columns()
+    engine.feed((u, v, d))
+    before = engine.elements
+    kind = case % 4
+    if kind == 0:
+        bad = [(0, 0, 1)]  # self-loop
+    elif kind == 1:
+        bad = [(0, engine.n + 3, 1)]  # out of range
+    elif kind == 2:
+        bad = [(0, 1, 2)]  # bad delta
+    else:
+        # deleting an edge that is definitely absent: the stream model
+        # forbids multiplicity below zero.
+        seen = {(min(x, y), max(x, y)) for x, y in zip(u.tolist(), v.tolist())}
+        absent = next(
+            (a, b)
+            for a in range(engine.n)
+            for b in range(a + 1, engine.n)
+            if (a, b) not in seen
+        )
+        engine.feed([absent])  # insert once...
+        engine.feed([(absent[0], absent[1], -1)])  # ...delete it...
+        before = engine.elements
+        bad = [(absent[0], absent[1], -1)]  # ...delete again: absent
+    with pytest.raises(StreamError):
+        engine.feed(bad)
+    assert engine.elements == before, (
+        f"rejected feed mutated the journal (case={case}, base_seed={BASE_SEED})"
+    )

@@ -26,6 +26,7 @@ class TestExamples:
         # If a new example lands, give it a smoke test too.
         assert ALL_EXAMPLES == [
             "clique_counting_degeneracy.py",
+            "live_service.py",
             "privacy_split_turnstile.py",
             "query_model_playground.py",
             "quickstart.py",
@@ -39,6 +40,12 @@ class TestExamples:
         output = run_example("quickstart.py", capsys)
         assert "exact triangle count" in output
         assert "3-pass estimate" in output
+
+    @pytest.mark.slow
+    def test_live_service(self, capsys):
+        output = run_example("live_service.py", capsys)
+        assert "live query" in output
+        assert "bit-identical to the never-interrupted service: yes" in output
 
     @pytest.mark.slow
     def test_stream_models_tour(self, capsys):

@@ -161,3 +161,24 @@ class TestExperimentShapes:
         sizes = [float(v) for v in table.column("|E(H)|")]
         for rho, beta, size in zip(rhos, betas, sizes):
             assert rho <= beta + 1e-9 <= size + 1e-9
+
+
+class TestSlidingWindowExperiment:
+    def test_e16_probes_track_exact_and_restore_agrees(self):
+        from repro.experiments import e16_sliding_window
+
+        table = e16_sliding_window.run(fast=True, seed=7)
+        assert len(table.raw_rows) >= 3
+        # The snapshot/restore drill halfway through must be invisible:
+        # every probed estimate of the restored engine equals the
+        # uninterrupted engine's, bit for bit.
+        assert all(flag == "yes" for flag in table.column("restored =="))
+        # The exact fork reports the true count of the current window
+        # graph, which shrinks and grows as blocks expire.
+        window_sizes = [int(value) for value in table.column("window m")]
+        assert max(window_sizes) > min(window_sizes)
+
+    def test_e16_registered_with_runner(self):
+        from repro.experiments.runner import EXPERIMENTS
+
+        assert "e16" in {name for name, _ in EXPERIMENTS}
