@@ -275,18 +275,25 @@ def test_throughput_columnar_pipeline(benchmark, capsys):
 
 
 def test_throughput_serial_vs_parallel_backend(benchmark, capsys):
-    """The process backend vs the serial backend at K=32 (mirror mode).
+    """The thread and process backends vs serial at K=32 (mirror mode).
 
     One fused mirror-mode run per row, identical seeds throughout, so
     every row's estimate is the same number and the table isolates
     *execution* cost: the serial row is the in-process dispatch loop,
-    the process rows add the worker protocol (batch pickling, queue
-    hops) and divide the estimator work by the pool size.  On a
-    single-CPU box the process rows mostly measure protocol overhead
-    (speedup < 1); with real cores the K copies' sampler work shards
-    across the pool.  ``elements/s`` counts ensemble-observed elements
-    (K × 3m) per wall-clock second, as in the fused-vs-sequential
-    table above.
+    the thread rows add queue hops (by-reference handoff, no copies),
+    the process rows add the shared-memory ring transport — each batch
+    packed once, every worker handed a slot reference — and divide the
+    estimator work by the pool size.
+
+    A parallel row only *measures parallelism* when the machine has a
+    core for the driver plus one per worker; rows that oversubscribe
+    (``cpus < workers + 1``) mostly measure protocol overhead and are
+    flagged ``valid_parallelism: false`` in the archived JSON — and
+    the >= 2x speedup gate is asserted only on machines with at least
+    4 CPUs, where a 2-worker pool has honest cores to win on.
+    ``elements/s`` counts ensemble-observed elements (K × 3m) per
+    wall-clock second, as in the fused-vs-sequential table above.
+    Results land in ``benchmarks/results/throughput_parallel.json``.
     """
     graph = gen.barabasi_albert(8000, 5, rng=11)
     trials_per_copy = 200
@@ -296,10 +303,10 @@ def test_throughput_serial_vs_parallel_backend(benchmark, capsys):
     cpus = os.cpu_count() or 1
 
     table = Table(
-        f"Serial vs process backend, mirror mode (K={copies}, "
+        f"Serial vs thread vs process backends, mirror mode (K={copies}, "
         f"trials/copy={trials_per_copy}, m={graph.m}, cpus={cpus})",
         ["backend", "workers", "seconds", "elements/s", "speedup vs serial",
-         "estimate"],
+         "valid", "estimate"],
     )
 
     def run_fused(backend, workers=None):
@@ -321,19 +328,75 @@ def test_throughput_serial_vs_parallel_backend(benchmark, capsys):
 
     serial, serial_seconds = run_fused("serial")
     table.add_row("serial", 1, serial_seconds,
-                  ensemble_elements / serial_seconds, 1.0, serial.estimate)
-    for workers in dict.fromkeys([1, 2, cpus]):
-        result, seconds = run_fused("process", workers)
-        # Mirror mode: sharding may not be *fast* on this machine, but
-        # it must never change the answer.
-        assert result.estimates == serial.estimates
-        table.add_row("process", workers, seconds,
-                      ensemble_elements / seconds, serial_seconds / seconds,
-                      result.estimate)
+                  ensemble_elements / serial_seconds, 1.0, True,
+                  serial.estimate)
+    rows = [
+        {
+            "backend": "serial",
+            "workers": 1,
+            "seconds": serial_seconds,
+            "edges_per_sec": ensemble_elements / serial_seconds,
+            "speedup_vs_serial": 1.0,
+            "valid_parallelism": True,
+            "estimate": serial.estimate,
+        }
+    ]
+    speedups = {}
+    for backend in ("thread", "process"):
+        for workers in dict.fromkeys([1, 2, max(2, cpus)]):
+            result, seconds = run_fused(backend, workers)
+            # Mirror mode: sharding may not be *fast* on this machine,
+            # but it must never change the answer.
+            assert result.estimates == serial.estimates
+            valid = cpus >= workers + 1
+            speedup = serial_seconds / seconds
+            speedups[(backend, workers)] = speedup
+            table.add_row(backend, workers, seconds,
+                          ensemble_elements / seconds, speedup, valid,
+                          result.estimate)
+            rows.append(
+                {
+                    "backend": backend,
+                    "workers": workers,
+                    "seconds": seconds,
+                    "edges_per_sec": ensemble_elements / seconds,
+                    "speedup_vs_serial": speedup,
+                    "valid_parallelism": valid,
+                    "estimate": result.estimate,
+                }
+            )
 
-    emit_table(table, "throughput_parallel", capsys)
+    emit_table(table, "throughput_parallel", capsys, json_twin=False)
+    emit_json(
+        "throughput_parallel",
+        params={
+            "n": graph.n,
+            "m": graph.m,
+            "copies": copies,
+            "trials_per_copy": trials_per_copy,
+            "pattern": pattern.name,
+            "mode": "mirror",
+            "cpus": cpus,
+            "ensemble_elements": ensemble_elements,
+        },
+        rows=rows,
+        extra={
+            "best_process_speedup": max(
+                speedups[k] for k in speedups if k[0] == "process"
+            ),
+        },
+    )
+
+    # The ISSUE's >= 2x acceptance gate — only meaningful where the
+    # pool has real cores to shard onto.
+    if cpus >= 4:
+        best = max(speedups[("process", w)] for w in (2, max(2, cpus)))
+        assert best >= 2.0, (
+            f"process backend must be >= 2x serial on a {cpus}-CPU box, "
+            f"got {best:.2f}x"
+        )
 
     fused = benchmark.pedantic(
-        lambda: run_fused("process", cpus)[0], rounds=1, iterations=1
+        lambda: run_fused("process", min(2, cpus))[0], rounds=1, iterations=1
     )
     assert fused.estimates == serial.estimates

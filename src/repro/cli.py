@@ -14,9 +14,11 @@ can be driven without writing Python:
   3-pass turnstile, or the 2-pass star-decomposable variant) on an
   edge-list graph streamed in random order.  ``--copies K`` runs
   median-of-K amplification through the fused engine in the same 3
-  (resp. 2) passes, and ``--parallel [--workers N]`` shards those K
-  copies across a pool of worker processes
-  (:mod:`repro.engine.parallel`); ``--mode mirror`` (the default)
+  (resp. 2) passes, and ``--backend thread|process [--workers N]``
+  shards those K copies across a pool of daemon threads or of worker
+  processes fed through a shared-memory batch ring
+  (:mod:`repro.engine.parallel`; ``--parallel`` is the historical
+  alias for ``--backend process``); ``--mode mirror`` (the default)
   keeps the estimates identical across backends and worker counts for
   a fixed ``--seed``, ``--mode shared`` trades that for speed;
   ``--batch-size`` sets the columnar dispatch granularity (results
@@ -168,21 +170,29 @@ def _count(args: argparse.Namespace) -> int:
 
     disk_input = is_stream_path(args.graph)
     pattern = parse_pattern(args.pattern)
-    # An explicit --copies (any value — bad ones get the library's
-    # validation error) or --parallel selects the fused path; otherwise
-    # the plain single-copy counters run.
-    fused = args.parallel or args.copies is not None
-    copies = args.copies if args.copies is not None else (8 if args.parallel else 1)
-    if not fused and args.mode is not None:
-        print("error: --mode requires a fused run (--copies K or --parallel)",
-              file=sys.stderr)
+    # --parallel is the historical alias for --backend process; an
+    # explicit --backend serial alongside it is a contradiction.
+    if args.parallel and args.backend == "serial":
+        print("error: --parallel requests a worker pool; drop it or pick "
+              "--backend thread|process", file=sys.stderr)
         return 2
-    if args.workers is not None and not args.parallel:
-        print("error: --workers requires --parallel", file=sys.stderr)
+    backend = args.backend or ("process" if args.parallel else "serial")
+    # An explicit --copies (any value — bad ones get the library's
+    # validation error) or a parallel backend selects the fused path;
+    # otherwise the plain single-copy counters run.
+    fused = args.copies is not None or backend != "serial"
+    copies = args.copies if args.copies is not None else (8 if backend != "serial" else 1)
+    if not fused and args.mode is not None:
+        print("error: --mode requires a fused run (--copies K or a parallel "
+              "--backend)", file=sys.stderr)
+        return 2
+    if args.workers is not None and backend == "serial":
+        print("error: --workers requires --backend thread|process (or --parallel)",
+              file=sys.stderr)
         return 2
     if args.batch_size is not None and not fused:
-        print("error: --batch-size requires a fused run (--copies K or --parallel)",
-              file=sys.stderr)
+        print("error: --batch-size requires a fused run (--copies K or a "
+              "parallel --backend)", file=sys.stderr)
         return 2
     if args.batch_size is not None and args.batch_size < 1:
         print(f"error: --batch-size must be >= 1, got {args.batch_size}",
@@ -230,17 +240,17 @@ def _count(args: argparse.Namespace) -> int:
 
     if args.adaptive:
         if fused:
-            print("error: --adaptive cannot be combined with --parallel/--copies",
-                  file=sys.stderr)
+            print("error: --adaptive cannot be combined with --copies or a "
+                  "parallel --backend", file=sys.stderr)
             return 2
         result = count_subgraphs_unknown(
             stream, pattern, epsilon=args.epsilon, rng=args.seed + 1
         )
     elif fused:
-        # Median-of-K amplification through the fused engine; with
-        # --parallel the K copies shard across a worker-process pool.
-        # Mirror mode keeps the estimates identical across backends
-        # and worker counts for a fixed seed.
+        # Median-of-K amplification through the fused engine; on the
+        # thread/process backends the K copies shard across a worker
+        # pool.  Mirror mode keeps the estimates identical across
+        # backends and worker counts for a fixed seed.
         from repro.engine import (
             count_subgraphs_insertion_only_fused,
             count_subgraphs_turnstile_fused,
@@ -260,7 +270,7 @@ def _count(args: argparse.Namespace) -> int:
             trials=args.trials,
             rng=args.seed + 1,
             mode=args.mode or "mirror",
-            backend="process" if args.parallel else "serial",
+            backend=backend,
             workers=args.workers,
             batch_size=args.batch_size or DEFAULT_BATCH_SIZE,
             cache=cache,
@@ -546,11 +556,20 @@ def build_parser() -> argparse.ArgumentParser:
     p_count.add_argument("--seed", type=int, default=0)
     p_count.add_argument("--truth", action="store_true", help="also print exact #H")
     p_count.add_argument("--copies", type=int, default=None,
-                         help="median-of-K fused copies (default: 1, or 8 with --parallel)")
+                         help="median-of-K fused copies (default: 1, or 8 on a "
+                              "parallel backend)")
+    p_count.add_argument("--backend", choices=["serial", "thread", "process"],
+                         default=None,
+                         help="execution backend for the fused copies: serial "
+                              "(default), thread (daemon threads, zero-copy "
+                              "handoff), or process (worker processes fed "
+                              "through a shared-memory batch ring); mirror-mode "
+                              "estimates are identical across all three")
     p_count.add_argument("--parallel", action="store_true",
-                         help="shard the K copies across a worker-process pool")
+                         help="alias for --backend process")
     p_count.add_argument("--workers", type=int, default=None,
-                         help="pool size for --parallel (default: one per CPU)")
+                         help="pool size for the thread/process backends "
+                              "(default: one per CPU)")
     p_count.add_argument("--batch-size", type=int, default=None,
                          help="updates per dispatched engine batch (fused runs; "
                               "results are invariant to it)")

@@ -45,12 +45,12 @@ bigger than RAM), ``"none"`` nothing.  ``columnar=False`` restores
 the historical per-pass tuple decode as a reference path; results
 are identical across all of these.
 
-The engine runs on one of two execution backends
-(:class:`EngineBackend`): ``serial`` dispatches in-process, and
-``process`` shards the registered estimator *specs* across a
-multiprocessing worker pool while this process keeps the single stream
-iteration and broadcasts the decoded batches
-(:mod:`repro.engine.parallel`).
+The engine runs on one of three execution backends
+(:class:`EngineBackend`): ``serial`` dispatches in-process; ``thread``
+and ``process`` shard the registered estimator *specs* across a worker
+pool while this process keeps the single stream iteration and
+publishes the decoded batches — by reference to threads, through a
+shared-memory batch ring to processes (:mod:`repro.engine.parallel`).
 """
 
 from __future__ import annotations
@@ -122,19 +122,29 @@ class EngineBackend:
         All estimators run in this process, inside the engine's own
         dispatch loop — the default, and the only backend that accepts
         live (pre-built) estimator objects.
+    ``THREAD``
+        Estimators are sharded across a pool of daemon threads running
+        the same worker loop as the process backend
+        (:mod:`repro.engine.parallel`).  Batches are handed over by
+        reference — zero serialization — and the columnar numpy
+        kernels release the GIL, so thread workers overlap on real
+        work.  Registration goes through specs (uniform with the
+        process backend, and what the live engine's checkpoints
+        require).
     ``PROCESS``
-        Estimators are sharded across a multiprocessing worker pool
-        (:mod:`repro.engine.parallel`).  Registration goes through
-        picklable :class:`~repro.engine.parallel.EstimatorSpec` recipes
-        (live estimators hold generator frames and cannot cross a
-        process boundary); the driver broadcasts each decoded batch to
-        every worker and merges the per-shard results.
+        Estimators are sharded across a multiprocessing worker pool.
+        Registration goes through picklable
+        :class:`~repro.engine.parallel.EstimatorSpec` recipes (live
+        estimators hold generator frames and cannot cross a process
+        boundary); the driver publishes each decoded batch **once**
+        through a shared-memory ring and merges the per-shard results.
     """
 
     SERIAL = "serial"
+    THREAD = "thread"
     PROCESS = "process"
 
-    _ALL = (SERIAL, PROCESS)
+    _ALL = (SERIAL, THREAD, PROCESS)
 
 
 class StreamEngine:
@@ -155,11 +165,11 @@ class StreamEngine:
         ``stream.passes_used`` afterwards reads the fused pass count.
     backend:
         :data:`EngineBackend.SERIAL` (default) runs everything in-process;
-        :data:`EngineBackend.PROCESS` shards the registered specs across
-        a worker pool (see :class:`EngineBackend` and
-        :mod:`repro.engine.parallel`).
+        :data:`EngineBackend.THREAD` / :data:`EngineBackend.PROCESS`
+        shard the registered specs across a worker pool (see
+        :class:`EngineBackend` and :mod:`repro.engine.parallel`).
     workers:
-        Process-backend pool size; ``None`` means one worker per CPU,
+        Parallel-backend pool size; ``None`` means one worker per CPU,
         capped at the number of registered specs.  Ignored by the
         serial backend.
     start_method:
@@ -241,8 +251,8 @@ class StreamEngine:
         """
         if self._backend != EngineBackend.SERIAL:
             raise EngineError(
-                "live estimators cannot cross a process boundary; use "
-                "register_spec() with the process backend"
+                "live estimators cannot be shipped to a worker pool; use "
+                "register_spec() with the thread/process backends"
             )
         name = getattr(estimator, "name", None)
         if not name:
@@ -279,9 +289,9 @@ class StreamEngine:
     def register_spec(self, spec) -> Any:
         """Register an :class:`~repro.engine.parallel.EstimatorSpec`.
 
-        Works with both backends: the serial backend builds the
-        estimator immediately against the real stream, the process
-        backend defers construction to the worker that receives the
+        Works with every backend: the serial backend builds the
+        estimator immediately against the real stream, the parallel
+        backends defer construction to the worker that receives the
         shard.  Returns the spec for chaining.
         """
         if self._backend == EngineBackend.SERIAL:
@@ -301,22 +311,23 @@ class StreamEngine:
 
         Serial backend: iterates the stream once per fused pass and
         feeds each decoded batch to every estimator that is still
-        consuming passes.  Process backend: delegates the same loop to
-        :func:`repro.engine.parallel.run_process_engine`, broadcasting
-        each batch to the worker pool.
+        consuming passes.  Thread/process backends: delegate the same
+        loop to :func:`repro.engine.parallel.run_parallel_engine`,
+        publishing each batch to the worker pool.
         """
         if self._started or self._ran:
             raise EngineError("engine already ran; build a new one per run")
-        if self._backend == EngineBackend.PROCESS:
+        if self._backend != EngineBackend.SERIAL:
             if not self._specs:
                 raise EngineError("no estimator specs registered")
             self._started = True
             self._ran = True
-            from repro.engine.parallel import run_process_engine
+            from repro.engine.parallel import run_parallel_engine
 
-            return run_process_engine(
+            return run_parallel_engine(
                 self._stream,
                 self._specs,
+                backend=self._backend,
                 workers=self._workers,
                 batch_size=self._batch_size,
                 start_method=self._start_method,

@@ -33,14 +33,17 @@ Orthogonally to the fusion mode, every entry point takes a
 ``backend="serial"`` (default)
     All copies execute in this process.
 
-``backend="process"``
-    The copies are sharded across a multiprocessing pool of
-    ``workers`` processes (:mod:`repro.engine.parallel`); the driver
-    reads the stream once per pass and broadcasts decoded batches.
+``backend="thread"`` / ``backend="process"``
+    The copies are sharded across a pool of ``workers`` daemon threads
+    or processes (:mod:`repro.engine.parallel`); the driver reads the
+    stream once per pass and publishes decoded batches — by reference
+    to threads, through a shared-memory ring to processes.
     Mirror-mode estimates are bit-identical to the serial backend for
-    the same seeds and independent of the worker count; shared-mode
-    runs merge each *shard* into one oracle (deterministic given
-    ``(rng, workers)``).  CLI: ``repro count --parallel --workers N``.
+    the same seeds, independent of the worker count *and* of which
+    parallel backend ran them; shared-mode runs merge each *shard*
+    into one oracle (deterministic given ``(rng, workers)``, identical
+    between the two parallel backends for the same pool size).  CLI:
+    ``repro count --backend thread|process --workers N``.
 """
 
 from __future__ import annotations
@@ -162,11 +165,11 @@ def _run_mirror(
 ) -> tuple:
     """Register one fully independent estimator per copy and run fused.
 
-    With the process backend, registration goes through picklable
+    With the parallel backends, registration goes through picklable
     specs: each worker rebuilds its shard of copies from ``(pattern,
     trials, rng)`` and the copies' full independence makes the result
     identical to the serial backend for the same ``copy_rngs`` —
-    whatever the worker count.
+    whatever the worker count or pool flavour.
     """
     engine = StreamEngine(
         stream,
@@ -179,7 +182,7 @@ def _run_mirror(
     )
     names = [f"copy-{index}" for index in range(copies)]
     for index, name in enumerate(names):
-        if backend == EngineBackend.PROCESS:
+        if backend != EngineBackend.SERIAL:
             engine.register_spec(spec_factory(copy_rngs[index], name))
         else:
             engine.register(factory(copy_rngs[index], name))
@@ -290,7 +293,7 @@ def build_shared_fgp_shard(
     randomness however the copies are sharded (only the per-shard
     oracle randomness depends on the worker count).
     ``sampler_mode``/``sampler_kwargs`` are forwarded verbatim from the
-    fused entry point, so the serial and process shared paths cannot
+    fused entry point, so the serial and sharded shared paths cannot
     drift apart; ``kind`` only selects the oracle class
     (``"turnstile"`` vs the insertion oracle).
     """
@@ -313,11 +316,12 @@ def build_shared_fgp_shard(
     return RoundAdaptiveEstimator(name, generators, oracle, finalize)
 
 
-def _run_shared_process(
+def _run_shared_sharded(
     stream: EdgeStream,
     copies: int,
     trials: int,
     batch_size: int,
+    backend: str,
     workers,
     start_method,
     master,
@@ -330,15 +334,17 @@ def _run_shared_process(
     columnar: bool,
     cache,
 ) -> tuple:
-    """Shard a shared-mode run across a worker pool.
+    """Shard a shared-mode run across a worker pool (thread or process).
 
     Each worker owns one merged oracle for its contiguous shard of
     copies, so deterministic aggregates are computed once per *shard*
     instead of once per copy — W oracles total instead of K.  Copies
     stay independent in distribution; the estimates are a deterministic
-    function of ``(rng, copies, trials, workers)`` but — unlike mirror
-    mode — not bit-identical to the serial shared run, whose single
-    oracle spans all K copies.
+    function of ``(rng, copies, trials, workers)`` — identical between
+    the thread and process backends, since all randomness is derived
+    driver-side before sharding — but, unlike mirror mode, not
+    bit-identical to the serial shared run, whose single oracle spans
+    all K copies.
     """
     pool = resolve_workers(workers, copies)
     shards = shard_indices(copies, pool)
@@ -356,7 +362,7 @@ def _run_shared_process(
     engine = StreamEngine(
         stream,
         batch_size=batch_size,
-        backend=EngineBackend.PROCESS,
+        backend=backend,
         workers=pool,
         start_method=start_method,
         columnar=columnar,
@@ -450,14 +456,15 @@ def _fused_fgp_count(
             columnar,
             cache,
         )
-    elif backend == EngineBackend.PROCESS:
+    elif backend != EngineBackend.SERIAL:
         if copy_rngs is not None:
             raise EngineError("copy_rngs is a mirror-mode parameter; shared mode derives from rng")
-        copy_results, report, ensemble_space = _run_shared_process(
+        copy_results, report, ensemble_space = _run_shared_sharded(
             stream,
             copies,
             k,
             batch_size,
+            backend,
             workers,
             start_method,
             master,
@@ -544,13 +551,15 @@ def count_subgraphs_insertion_only_fused(
     makes copy i bit-identical to the one-shot counter called with the
     same rng.
 
-    ``backend="process"`` shards the K copies across *workers*
-    processes (CLI: ``repro count --parallel --workers N``).  With
-    ``mode="mirror"`` the estimates equal the serial backend's for the
-    same seeds, independently of the worker count; with
+    ``backend="thread"`` / ``backend="process"`` shard the K copies
+    across *workers* threads or processes (CLI: ``repro count
+    --backend thread --workers N``).  With ``mode="mirror"`` the
+    estimates equal the serial backend's for the same seeds,
+    independently of the worker count and pool flavour; with
     ``mode="shared"`` each worker merges its shard of copies into one
-    oracle (fast, deterministic given ``(rng, workers)``, but a
-    different bit-stream than the serial shared run).
+    oracle (fast, deterministic given ``(rng, workers)`` and identical
+    across the two parallel backends, but a different bit-stream than
+    the serial shared run).
     """
 
     def mirror_factory(copy_rng, name, resolved_trials):

@@ -41,12 +41,16 @@ journal, so a restored engine can still answer multi-pass queries.
 Execution backends
 ------------------
 ``backend="serial"`` runs the estimators in-process.
-``backend="process"`` shards the registered specs across a persistent
-worker pool (the same worker protocol as :mod:`repro.engine.parallel`,
-extended with ``state_dict`` / ``load_state`` commands): ``feed``
-broadcasts each batch, ``snapshot`` gathers every shard's states
-driver-side, and a checkpoint taken under one backend restores under
-the other — the state dicts are backend-agnostic.
+``backend="thread"`` / ``backend="process"`` shard the registered
+specs across a persistent worker pool (the same worker protocol as
+:mod:`repro.engine.parallel`, extended with ``state_dict`` /
+``load_state`` commands): ``feed`` publishes each batch — by
+reference to threads, through the shared-memory batch ring to
+processes — ``snapshot`` gathers every shard's states driver-side,
+and a checkpoint taken under one backend restores under any other —
+the state dicts are backend-agnostic.  The checkpoint commands ride
+the same command queues as the batch references, so a snapshot always
+captures a consistent point of the feed whatever the transport.
 
 Registration goes through picklable
 :class:`~repro.engine.parallel.EstimatorSpec` recipes only (a snapshot
@@ -79,8 +83,7 @@ from repro.engine.parallel import (
     DEFAULT_REPLY_TIMEOUT,
     EstimatorSpec,
     StreamHandle,
-    _make_context,
-    _WorkerPool,
+    make_worker_pool,
     resolve_workers,
     shard_indices,
 )
@@ -348,10 +351,10 @@ class LiveEngine:
         default) or scalar decoded tuples (the bit-equality reference
         path).
     backend:
-        ``"serial"`` (default) or ``"process"`` (persistent worker
-        pool; see module docstring).
+        ``"serial"`` (default), ``"thread"`` or ``"process"``
+        (persistent worker pool; see module docstring).
     workers, start_method:
-        Process-backend pool configuration, as in
+        Parallel-backend pool configuration, as in
         :class:`~repro.engine.core.StreamEngine`.
 
     Notes
@@ -392,7 +395,7 @@ class LiveEngine:
         self._specs: List[EstimatorSpec] = []
         self._spec_names: Dict[str, EstimatorSpec] = {}
         self._estimators: List[Any] = []
-        self._pool: Optional[_WorkerPool] = None
+        self._pool: Optional[Any] = None
         self._pool_size = 0
         self._active_workers: List[int] = []
         self._started = False
@@ -500,8 +503,13 @@ class LiveEngine:
             for indices in shard_indices(len(self._specs), pool_size)
         ]
         handle = StreamHandle.of(self._journal)
-        self._pool = _WorkerPool(
-            _make_context(self._start_method), shards, handle, self._reply_timeout
+        self._pool = make_worker_pool(
+            self._backend,
+            shards,
+            handle,
+            self._reply_timeout,
+            start_method=self._start_method,
+            batch_capacity=self._batch_size,
         )
         self._pool_size = pool_size
         wants = self._pool.gather("ready", range(pool_size))
@@ -558,7 +566,7 @@ class LiveEngine:
                             if estimator.wants_pass():
                                 estimator.ingest_batch(payload)
                     else:
-                        self._pool.broadcast(self._active_workers, ("batch", payload))
+                        self._pool.publish_batch(self._active_workers, payload)
             except BaseException:
                 # A dispatch failure tears the journal/estimator
                 # agreement (the journal committed updates some

@@ -1,33 +1,63 @@
-"""The sharded multiprocessing execution backend of the fused engine.
+"""The sharded parallel execution backends of the fused engine.
 
 The fused engine (:mod:`repro.engine.core`) removed the O(K·m) stream
 traffic of median-of-K amplification, but all K estimator copies still
 execute on one core.  The copies are embarrassingly parallel — in
 ``mirror`` mode they share *nothing* but the stream bytes — so this
-module shards them across a pool of worker processes:
+module shards them across a pool of workers:
 
 * the **driver** (the parent process) owns the stream.  It iterates
   each fused pass exactly once, decodes updates into batches, and
-  broadcasts every batch to each worker that still has estimators
+  publishes every batch to each worker that still has estimators
   wanting passes;
 * each **worker** rebuilds its shard of estimators locally from a
   picklable :class:`EstimatorSpec` (live estimators hold generator
   frames and cannot cross a process boundary — they are
-  *reconstructable from seeds* instead), feeds it the broadcast
+  *reconstructable from seeds* instead), feeds it the published
   batches, and ships the finished results back;
 * the driver **merges**: per-copy results are reassembled in
   registration order, so median-of-K and per-copy diagnostics are
   computed exactly as in the serial backend.
 
+Two pool flavours share one driver loop and one worker loop
+(:func:`_worker_main`):
+
+``backend="process"`` (:class:`_ProcessPool`)
+    Workers are daemon processes.  Columnar batches travel through a
+    **shared-memory batch ring**: the driver packs each batch's
+    columns into one of a fixed ring of
+    :mod:`multiprocessing.shared_memory` segments exactly once and
+    broadcasts only a tiny ``(segment, capacity, length, seq)``
+    reference, instead of pickling the columns onto every worker's
+    command queue.  Per-worker acknowledgment counters release ring
+    slots — a slot is rewritten only after every worker it was
+    published to has consumed it — and double as the transport's
+    refcount: segments are unlinked exactly once, in
+    :meth:`~_PoolBase.shutdown`, which runs on the graceful path and
+    on every error/terminate path alike (no leaked ``/dev/shm``
+    segments; ``tests/test_parallel.py`` scans).  Because publishing
+    only blocks when the ring wraps onto an unconsumed slot, the
+    driver decodes batch N+1 while workers chew on batch N — the ring
+    depth (bounded by the command-queue depth and a memory budget) is
+    the decode-ahead window.
+``backend="thread"`` (:class:`_ThreadPool`)
+    Workers are daemon threads running the *same* worker loop over
+    plain in-process queues.  Batches are handed over by reference —
+    zero serialization, zero copies — and the numpy kernels release
+    the GIL, so thread workers overlap on the columnar pipeline
+    without any of the process transport's machinery.
+
 Determinism
 -----------
 A spec carries explicit seed material (ints or pickled
 ``random.Random`` states), never "whatever entropy the worker has", so
-a process-backend run is a pure function of the seeds.  In ``mirror``
-mode each copy's state is private, which makes the results independent
-of the worker count as well: ``--workers 1``, ``2`` and ``4`` return
-identical estimates, equal bit-for-bit to the serial backend
-(asserted in ``tests/test_parallel.py``).
+a parallel run is a pure function of the seeds.  In ``mirror`` mode
+each copy's state is private, which makes the results independent of
+the worker count *and of the backend*: ``--workers 1``, ``2`` and
+``4``, threads or processes, return identical estimates, equal
+bit-for-bit to the serial backend (asserted in
+``tests/test_parallel.py`` and fuzzed three ways in
+``tests/test_differential_fuzz.py``).
 
 Worker protocol
 ---------------
@@ -36,8 +66,16 @@ the backpressure: a slow worker throttles the reader instead of
 buffering the whole stream):
 
 ``("begin_pass", i)`` / ``("batch", updates)`` / ``("end_pass",)``
-    One fused pass: updates are lists of decoded ``(u, v, delta,
-    edge)`` tuples, in stream order.
+    One fused pass: updates are columnar
+    :class:`~repro.streams.batch.EdgeBatch` objects or lists of
+    decoded ``(u, v, delta, edge)`` tuples, in stream order.
+``("shm_batch", name, capacity, length, seq)``
+    Process backend only: the batch's columns live in shared-memory
+    segment *name* (packed by
+    :func:`~repro.streams.batch.pack_columns`); the worker attaches,
+    copies the columns out, and acknowledges *seq* so the driver may
+    reuse the slot.  Rides the same queue as the control messages, so
+    ordering against ``begin_pass``/``end_pass`` is preserved.
 ``("collect",)``
     Ship back ``{name: result}`` for the worker's shard.
 ``("state_dict",)``
@@ -60,6 +98,11 @@ worker id: ``("ready", wid, wants_pass)`` after building its shard,
 wid, mapping)``, and ``("error", wid, traceback)`` from any failure —
 the driver then terminates the pool and re-raises as
 :class:`~repro.errors.EngineError` with the worker's traceback.
+While blocked (full command queue, occupied ring slot, pending
+gather), the driver probes the liveness of **every** worker, not just
+the one it is waiting on, so a silent death anywhere in the pool (OOM
+kill, segfault) aborts the run within about a second instead of after
+the full reply timeout.
 """
 
 from __future__ import annotations
@@ -70,16 +113,22 @@ import traceback
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
+import numpy as np
+
 from repro.engine.core import DEFAULT_BATCH_SIZE, EngineReport, apply_cache_policy
 from repro.errors import EngineError, StreamError
+from repro.streams.batch import EdgeBatch, PACKED_ELEMENT_BYTES, pack_columns, unpack_columns
 from repro.streams.stream import EdgeStream, check_batch_size, pass_batches
 
 __all__ = [
     "StreamHandle",
     "EstimatorSpec",
+    "run_parallel_engine",
     "run_process_engine",
+    "make_worker_pool",
     "resolve_workers",
     "shard_indices",
+    "leaked_shm_segments",
     "build_triest",
     "build_doulion",
     "build_exact_stream",
@@ -90,7 +139,26 @@ DEFAULT_REPLY_TIMEOUT = 600.0
 
 #: Command-queue bound: how many decoded batches may be in flight per
 #: worker before the driver's broadcast blocks (the backpressure knob).
+#: Also the upper bound on the shared-memory ring depth — the ring
+#: never needs more decode-ahead than the queues can reference.
 COMMAND_QUEUE_DEPTH = 16
+
+#: Seconds the graceful shutdown spends trying to enqueue ``("stop",)``
+#: on one worker's bounded command queue before falling back to
+#: terminate.  A healthy worker drains its queue far faster; a wedged
+#: worker must never hang the driver's happy path.
+STOP_SEND_TIMEOUT = 5.0
+
+#: Prefix of every shared-memory segment this module creates; the leak
+#: checks (tests, CI smoke) scan ``/dev/shm`` for it.
+SHM_NAME_PREFIX = "repro_shm_"
+
+#: Cap on the total bytes of one pool's shared-memory ring.  At the
+#: default batch size the ring comfortably reaches the full
+#: COMMAND_QUEUE_DEPTH; for huge batches the depth shrinks (min 2, so
+#: publishing still overlaps with consumption) instead of reserving
+#: gigabytes of /dev/shm.
+RING_MEMORY_BUDGET = 64 << 20
 
 
 @dataclass(frozen=True)
@@ -98,12 +166,12 @@ class StreamHandle:
     """Picklable metadata stub standing in for an :class:`EdgeStream`.
 
     Workers never see the stream contents (batches arrive over the
-    command queue), but estimator factories consult the stream's
-    *metadata*: oracles check ``allows_deletions`` and ``n``, trial
-    resolution and finalizers read ``net_edge_count`` / ``length``.
-    A handle carries exactly that surface and refuses iteration, so a
-    mis-wired worker fails loudly instead of silently re-reading a
-    stream it does not have.
+    command queue or the shared-memory ring), but estimator factories
+    consult the stream's *metadata*: oracles check ``allows_deletions``
+    and ``n``, trial resolution and finalizers read ``net_edge_count``
+    / ``length``.  A handle carries exactly that surface and refuses
+    iteration, so a mis-wired worker fails loudly instead of silently
+    re-reading a stream it does not have.
     """
 
     n: int
@@ -125,7 +193,7 @@ class StreamHandle:
 
     @property
     def passes_used(self) -> int:
-        """Always 0: the driver owns pass accounting in process mode."""
+        """Always 0: the driver owns pass accounting in parallel mode."""
         return 0
 
     def reset_pass_count(self) -> None:
@@ -133,8 +201,8 @@ class StreamHandle:
 
     def updates(self):
         raise EngineError(
-            "StreamHandle cannot be iterated: in the process backend the "
-            "driver owns the stream and broadcasts decoded batches to workers"
+            "StreamHandle cannot be iterated: in the parallel backends the "
+            "driver owns the stream and publishes decoded batches to workers"
         )
 
     def __len__(self) -> int:
@@ -227,8 +295,147 @@ def shard_indices(count: int, shards: int) -> List[List[int]]:
     return result
 
 
-def _worker_main(worker_id: int, specs, handle: StreamHandle, commands, replies) -> None:
-    """Worker loop: build the shard, consume commands, ship results."""
+# -- shared-memory batch transport ---------------------------------------
+
+
+def leaked_shm_segments() -> List[str]:
+    """Names of this module's shared-memory segments present right now.
+
+    Scans ``/dev/shm`` for the :data:`SHM_NAME_PREFIX`; empty on
+    platforms without that mount.  A non-empty result *after* every
+    pool has shut down means a segment leaked — the invariant the leak
+    tests and the CI parallel smoke job assert.
+    """
+    try:
+        entries = os.listdir("/dev/shm")
+    except OSError:
+        return []
+    return sorted(entry for entry in entries if entry.startswith(SHM_NAME_PREFIX))
+
+
+def _attach_segment(name: str):
+    """Attach a worker to an existing ring segment.
+
+    On 3.13+ the attach opts out of resource tracking (``track=False``)
+    — the driver, which created the segment, owns its lifetime.  Before
+    3.13 attaching re-registers the name with the resource tracker;
+    that is harmless here because worker processes inherit the
+    *driver's* tracker (fork and spawn both hand the tracker fd down),
+    whose registry is a set — the duplicate registration collapses and
+    the driver's ``unlink()`` deregisters it exactly once.
+    """
+    from multiprocessing import shared_memory
+
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:  # Python < 3.13: no track parameter
+        return shared_memory.SharedMemory(name=name)
+
+
+class _SegmentAttachments:
+    """Worker-side cache of attached ring segments.
+
+    The ring reuses a fixed set of segment names, so each worker
+    attaches (and maps a column view of) every segment at most once and
+    copies batch columns out per message.  The copy is deliberate: an
+    estimator may retain the batch beyond the message (reservoirs keep
+    edge tuples), and a zero-copy view would be silently corrupted when
+    the driver rewrites the slot.
+    """
+
+    def __init__(self) -> None:
+        self._segments: Dict[str, Any] = {}
+        self._views: Dict[str, np.ndarray] = {}
+
+    def batch(self, name: str, capacity: int, length: int) -> EdgeBatch:
+        view = self._views.get(name)
+        if view is None:
+            segment = _attach_segment(name)
+            view = np.frombuffer(segment.buf, dtype=np.int64, count=3 * capacity)
+            self._segments[name] = segment
+            self._views[name] = view
+        return unpack_columns(view, capacity, length, copy=True)
+
+    def close(self) -> None:
+        segments = list(self._segments.values())
+        # Drop the views first: a mapped buffer with live exports
+        # cannot be closed.
+        self._segments = {}
+        self._views = {}
+        for segment in segments:
+            try:
+                segment.close()
+            except BufferError:  # pragma: no cover - view still referenced
+                pass
+
+
+class _SharedBatchRing:
+    """Driver-side ring of persistent shared-memory batch slots.
+
+    Created once per pool (first columnar publish), sized
+    ``depth × capacity × PACKED_ELEMENT_BYTES`` bytes, unlinked exactly
+    once in the pool's shutdown — which runs on success and on every
+    failure path, so no path leaks ``/dev/shm`` segments.  Each slot
+    records its current occupant ``(seq, worker_ids)``; the pool waits
+    for those workers' acks before rewriting the slot.
+    """
+
+    def __init__(self, capacity: int, depth: int) -> None:
+        from multiprocessing import shared_memory
+
+        self.capacity = capacity
+        self.depth = depth
+        token = f"{os.getpid():x}_{os.urandom(4).hex()}"
+        self.names: List[str] = []
+        self._segments: List[Any] = []
+        self._views: List[np.ndarray] = []
+        #: per-slot ``(seq, worker_ids)`` of the batch currently in it.
+        self.occupants: List[Optional[tuple]] = [None] * depth
+        try:
+            for slot in range(depth):
+                name = f"{SHM_NAME_PREFIX}{token}_{slot}"
+                segment = shared_memory.SharedMemory(
+                    name=name, create=True, size=capacity * PACKED_ELEMENT_BYTES
+                )
+                self._segments.append(segment)
+                self.names.append(name)
+                self._views.append(
+                    np.frombuffer(segment.buf, dtype=np.int64, count=3 * capacity)
+                )
+        except BaseException:
+            self.release()
+            raise
+
+    def pack(self, slot: int, batch: EdgeBatch) -> None:
+        pack_columns(batch, self._views[slot], self.capacity)
+
+    def release(self) -> None:
+        """Close and unlink every segment (idempotent, never raises)."""
+        self._views = []
+        segments = self._segments
+        self._segments = []
+        for segment in segments:
+            try:
+                segment.close()
+            except BufferError:  # pragma: no cover - view still referenced
+                pass
+            try:
+                segment.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+
+
+def _worker_main(
+    worker_id: int, specs, handle: StreamHandle, commands, replies, ack=None
+) -> None:
+    """Worker loop: build the shard, consume commands, ship results.
+
+    Runs unchanged as a process target and as a thread target; *ack*
+    is the process backend's shared acknowledgment counter for the
+    shared-memory ring (``None`` on the thread backend, which hands
+    batches over by reference).
+    """
+    attachments = _SegmentAttachments()
     try:
         estimators = [spec.build(handle) for spec in specs]
         active: List[Any] = []
@@ -236,14 +443,23 @@ def _worker_main(worker_id: int, specs, handle: StreamHandle, commands, replies)
         while True:
             message = commands.get()
             command = message[0]
-            if command == "begin_pass":
-                active = [e for e in estimators if e.wants_pass()]
-                for estimator in active:
-                    estimator.begin_pass(message[1])
-            elif command == "batch":
+            if command == "batch":
                 batch = message[1]
                 for estimator in active:
                     estimator.ingest_batch(batch)
+            elif command == "shm_batch":
+                _, name, capacity, length, seq = message
+                batch = attachments.batch(name, capacity, length)
+                for estimator in active:
+                    estimator.ingest_batch(batch)
+                # The columns are copied out; the ack releases the slot
+                # for reuse (monotone per worker: seqs arrive in order).
+                with ack.get_lock():
+                    ack.value = seq
+            elif command == "begin_pass":
+                active = [e for e in estimators if e.wants_pass()]
+                for estimator in active:
+                    estimator.begin_pass(message[1])
             elif command == "end_pass":
                 for estimator in active:
                     estimator.end_pass()
@@ -280,52 +496,60 @@ def _worker_main(worker_id: int, specs, handle: StreamHandle, commands, replies)
             replies.put(("error", worker_id, traceback.format_exc()))
         finally:
             return
+    finally:
+        attachments.close()
 
 
-class _WorkerPool:
-    """Driver-side handle on the spawned workers and their queues."""
+class _PoolBase:
+    """Driver-side logic shared by the process and thread pools.
 
-    def __init__(self, context, shards: Sequence[Sequence[EstimatorSpec]], handle, timeout):
+    Subclasses fill in the transport (queues, worker objects,
+    terminability) and may override :meth:`publish_batch` — the base
+    implementation sends the batch object itself, which is the whole
+    story for threads.
+    """
+
+    #: What a member of the pool is called in error messages.
+    kind = "worker"
+
+    def __init__(self, timeout: float) -> None:
         self._timeout = timeout
         # Legitimate replies pulled off the queue while probing for
         # failures mid-broadcast (a fast worker may answer an
         # ``end_pass``/``collect`` before the slowest worker received
         # it); gather() consumes these first.
         self._stashed: List[tuple] = []
-        self.replies = context.Queue()
-        self.commands = []
-        self.processes = []
-        for worker_id, shard in enumerate(shards):
-            queue = context.Queue(COMMAND_QUEUE_DEPTH)
-            process = context.Process(
-                target=_worker_main,
-                args=(worker_id, list(shard), handle, queue, self.replies),
-                daemon=True,
-            )
-            self.commands.append(queue)
-            self.processes.append(process)
-        try:
-            for process in self.processes:
-                process.start()
-        except BaseException:
-            # Partial startup (EAGAIN under process pressure, spawn
-            # pickling error): reap whatever already launched instead
-            # of leaking daemons blocked on commands.get().
-            for process in self.processes:
-                if process.is_alive():
-                    process.terminate()
-                    process.join(timeout=5.0)
-            raise
+        self.replies: Any = None
+        self.commands: List[Any] = []
+        self.processes: List[Any] = []
+
+    # -- transport hooks --------------------------------------------------
+
+    def _alive(self, worker_id: int) -> bool:
+        return self.processes[worker_id].is_alive()
+
+    def _terminate(self, worker_id: int) -> None:
+        raise NotImplementedError
+
+    def _join(self, worker_id: int, timeout: float) -> None:
+        self.processes[worker_id].join(timeout=timeout)
+
+    def _close_transport(self) -> None:
+        """Release transport resources (queues, shared memory)."""
+
+    # -- sending ----------------------------------------------------------
 
     def send(self, worker_id: int, message) -> None:
         """Put *message* on a worker's bounded queue without deadlocking.
 
         A worker that died mid-pass stops draining its queue; once the
         queue is full a plain ``put`` would block forever while the
-        worker's error reply sits unread.  So on backpressure we poll
-        the reply queue — errors raise immediately, legitimate replies
-        from faster workers are stashed for the next ``gather`` — and
-        check the process is still alive.
+        worker's error reply sits unread.  So on backpressure we probe
+        the whole pool — errors raise immediately, legitimate replies
+        from faster workers are stashed for the next ``gather``, and a
+        silent death *anywhere* (not just the send target: the driver
+        may be blocked on worker A precisely because it will never get
+        to publish the batch worker B died on) aborts the run.
         """
         import queue as queue_module
 
@@ -336,41 +560,75 @@ class _WorkerPool:
                 queue.put(message, timeout=1.0)
                 return
             except queue_module.Full:
-                self._raise_on_failure(worker_id)
+                self.probe_failures()
                 if time.monotonic() > deadline:
                     raise EngineError(
-                        f"timed out after {self._timeout}s sending to worker "
-                        f"{worker_id} (command queue full)"
+                        f"timed out after {self._timeout}s sending to "
+                        f"{self.kind} {worker_id} (command queue full)"
                     )
 
-    def _raise_on_failure(self, worker_id: int) -> None:
+    def probe_failures(self) -> None:
+        """Raise if any worker reported an error or died silently.
+
+        Drains the reply queue (stashing legitimate replies), then
+        checks liveness of **every** worker.  When a dead worker is
+        found with no error reply yet, waits a short grace period for
+        an in-flight error message before declaring a silent death —
+        an erroring process may be reaped before its traceback clears
+        the reply pipe.
+        """
         import queue as queue_module
 
-        try:
-            reply = self.replies.get_nowait()
-        except queue_module.Empty:
-            if not self.processes[worker_id].is_alive():
-                raise EngineError(
-                    f"worker {worker_id} died without reporting an error "
-                    "(command queue stalled)"
-                )
-            return
-        if reply[0] == "error":
-            raise EngineError(f"worker {reply[1]} failed:\n{reply[2]}")
-        # A fast worker's legitimate reply to a message the slow worker
-        # has not received yet; hold it for the next gather().
-        self._stashed.append(reply)
+        while True:
+            try:
+                reply = self.replies.get_nowait()
+            except queue_module.Empty:
+                break
+            if reply[0] == "error":
+                raise EngineError(f"{self.kind} {reply[1]} failed:\n{reply[2]}")
+            self._stashed.append(reply)
+        dead = [i for i in range(len(self.processes)) if not self._alive(i)]
+        if dead:
+            grace = time.monotonic() + 1.0
+            while time.monotonic() < grace:
+                try:
+                    reply = self.replies.get(timeout=0.1)
+                except queue_module.Empty:
+                    continue
+                if reply[0] == "error":
+                    raise EngineError(
+                        f"{self.kind} {reply[1]} failed:\n{reply[2]}"
+                    )
+                self._stashed.append(reply)
+            raise EngineError(
+                f"{self.kind}(s) {dead} died without reporting an error "
+                "(command queue stalled)"
+            )
 
     def broadcast(self, worker_ids, message) -> None:
         for worker_id in worker_ids:
             self.send(worker_id, message)
+
+    def publish_batch(self, worker_ids, batch) -> None:
+        """Deliver one decoded batch to every listed worker.
+
+        The base implementation enqueues the batch object itself: for
+        threads that is a by-reference handoff (workers share the
+        driver's arrays and lazily-built views — reads only, per the
+        batch contract), with zero serialization.  The process pool
+        overrides this with the shared-memory ring.
+        """
+        self.broadcast(worker_ids, ("batch", batch))
+
+    # -- gathering --------------------------------------------------------
 
     def gather(self, kind: str, worker_ids) -> Dict[int, Any]:
         """One *kind* reply from each of *worker_ids*; abort on errors.
 
         Waits in short slices so a worker that dies *without* managing
         to ship an error reply (OOM kill, segfault) is noticed within
-        ~a second instead of after the full reply timeout.
+        ~a second instead of after the full reply timeout — and checks
+        the whole pool, not just the workers gathered from.
         """
         import queue as queue_module
 
@@ -385,51 +643,285 @@ class _WorkerPool:
                     reply = self.replies.get(timeout=1.0)
                 except queue_module.Empty:
                     dead = [
-                        i for i in outstanding if not self.processes[i].is_alive()
+                        i for i in range(len(self.processes)) if not self._alive(i)
                     ]
                     if dead:
                         raise EngineError(
-                            f"workers {dead} died without reporting an error "
-                            f"while the driver awaited {kind!r}"
+                            f"{self.kind}(s) {dead} died without reporting an "
+                            f"error while the driver awaited {kind!r}"
                         )
                     if time.monotonic() > deadline:
                         raise EngineError(
                             f"timed out after {self._timeout}s waiting for "
-                            f"worker reply {kind!r} from {sorted(outstanding)}"
+                            f"{self.kind} reply {kind!r} from {sorted(outstanding)}"
                         )
                     continue
             if reply[0] == "error":
                 raise EngineError(
-                    f"worker {reply[1]} failed:\n{reply[2]}"
+                    f"{self.kind} {reply[1]} failed:\n{reply[2]}"
                 )
             if reply[0] != kind or reply[1] not in outstanding:
                 raise EngineError(
                     f"protocol violation: expected {kind!r} from "
-                    f"{sorted(outstanding)}, got {reply[0]!r} from worker {reply[1]}"
+                    f"{sorted(outstanding)}, got {reply[0]!r} from "
+                    f"{self.kind} {reply[1]}"
                 )
             outstanding.discard(reply[1])
             payloads[reply[1]] = reply[2]
         return payloads
 
+    # -- teardown ---------------------------------------------------------
+
+    def _send_stop(self, worker_id: int) -> bool:
+        """Try to enqueue ``("stop",)`` within a short bound; never block.
+
+        The graceful path used to do a plain blocking ``put`` here — a
+        worker wedged with a full command queue hung the driver
+        forever.  Now a worker that cannot accept the stop within
+        :data:`STOP_SEND_TIMEOUT` is terminated instead.
+        """
+        import queue as queue_module
+
+        deadline = time.monotonic() + STOP_SEND_TIMEOUT
+        while True:
+            if not self._alive(worker_id):
+                return True  # already exited; nothing to stop
+            try:
+                self.commands[worker_id].put(("stop",), timeout=0.25)
+                return True
+            except queue_module.Full:
+                if time.monotonic() > deadline:
+                    return False
+
     def shutdown(self, graceful: bool) -> None:
-        if graceful:
-            for queue in self.commands:
-                queue.put(("stop",))
+        """Stop every worker and release the transport; never hangs.
+
+        Graceful: offer each worker a bounded ``stop``, terminating any
+        worker that cannot take it (wedged queue).  Failure path: the
+        error is already known and the workers are stateless daemons
+        (likely blocked on ``commands.get()``), so kill first, reap
+        after.  Both paths release the transport — including the
+        shared-memory ring — in a ``finally``.
+        """
+        try:
+            count = len(self.processes)
+            if graceful:
+                stopped = [self._send_stop(worker_id) for worker_id in range(count)]
+                for worker_id in range(count):
+                    if not stopped[worker_id]:
+                        self._terminate(worker_id)
+                for worker_id in range(count):
+                    self._join(worker_id, 30.0 if stopped[worker_id] else 5.0)
+            else:
+                for worker_id in range(count):
+                    if self._alive(worker_id):
+                        self._terminate(worker_id)
+            for worker_id in range(count):
+                if self._alive(worker_id):
+                    self._terminate(worker_id)
+                self._join(worker_id, 5.0)
+        finally:
+            self._close_transport()
+
+
+class _ProcessPool(_PoolBase):
+    """Worker pool over daemon processes plus the shared-memory ring."""
+
+    def __init__(
+        self,
+        context,
+        shards: Sequence[Sequence[EstimatorSpec]],
+        handle,
+        timeout: float,
+        batch_capacity: int = DEFAULT_BATCH_SIZE,
+    ) -> None:
+        super().__init__(timeout)
+        # Start the driver's resource tracker before any worker exists:
+        # workers inherit its fd (fork and spawn both), so their
+        # attach-side registrations land in the driver's tracker —
+        # collapsing with the driver's own — instead of each worker
+        # spinning up a private tracker that emits spurious
+        # leaked-segment warnings when the worker exits.
+        try:
+            from multiprocessing import resource_tracker
+
+            resource_tracker.ensure_running()
+        except Exception:  # pragma: no cover - platforms without a tracker
+            pass
+        self._batch_capacity = int(batch_capacity)
+        self._ring: Optional[_SharedBatchRing] = None
+        self._next_seq = 0
+        #: Batches shipped through the ring (vs pickled fallbacks) —
+        #: a white-box diagnostic for tests and benchmarks.
+        self.shm_batches = 0
+        self.acks: List[Any] = []
+        self.replies = context.Queue()
+        for worker_id, shard in enumerate(shards):
+            queue = context.Queue(COMMAND_QUEUE_DEPTH)
+            # One shared int64 per worker: the highest ring seq the
+            # worker has consumed.  Locked access on purpose — a torn
+            # read could release a slot early and corrupt a batch.
+            ack = context.Value("q", -1)
+            process = context.Process(
+                target=_worker_main,
+                args=(worker_id, list(shard), handle, queue, self.replies, ack),
+                daemon=True,
+            )
+            self.commands.append(queue)
+            self.acks.append(ack)
+            self.processes.append(process)
+        try:
             for process in self.processes:
-                process.join(timeout=30.0)
-        else:
-            # Failure path: the error is already known and the workers
-            # are stateless daemons (likely blocked on commands.get()),
-            # so don't wait politely — kill first, reap after.
+                process.start()
+        except BaseException:
+            # Partial startup (EAGAIN under process pressure, spawn
+            # pickling error): reap whatever already launched instead
+            # of leaking daemons blocked on commands.get().
             for process in self.processes:
                 if process.is_alive():
                     process.terminate()
-        for process in self.processes:
-            if process.is_alive():
-                process.terminate()
-            process.join(timeout=5.0)
+                    process.join(timeout=5.0)
+            raise
+
+    # -- transport hooks --------------------------------------------------
+
+    def _terminate(self, worker_id: int) -> None:
+        process = self.processes[worker_id]
+        if process.is_alive():
+            process.terminate()
+
+    def _close_transport(self) -> None:
+        if self._ring is not None:
+            self._ring.release()
+            self._ring = None
         for queue in self.commands + [self.replies]:
             queue.close()
+
+    # -- shared-memory publication ----------------------------------------
+
+    def _ack_value(self, worker_id: int) -> int:
+        ack = self.acks[worker_id]
+        with ack.get_lock():
+            return ack.value
+
+    def _ensure_ring(self) -> _SharedBatchRing:
+        if self._ring is None:
+            capacity = max(1, self._batch_capacity)
+            depth = max(
+                2,
+                min(
+                    COMMAND_QUEUE_DEPTH,
+                    RING_MEMORY_BUDGET // (capacity * PACKED_ELEMENT_BYTES),
+                ),
+            )
+            self._ring = _SharedBatchRing(capacity, depth)
+        return self._ring
+
+    def _wait_for_slot(self, slot: int) -> None:
+        """Block until the slot's previous occupant is fully consumed.
+
+        This is where the ring's refcount lives: the occupant records
+        which workers the batch was published to, and their ack
+        counters say how far each has consumed.  Probes the whole pool
+        while waiting, so a dead worker aborts instead of stalling
+        until the reply timeout.
+        """
+        occupant = self._ring.occupants[slot]
+        if occupant is None:
+            return
+        seq, worker_ids = occupant
+        deadline = time.monotonic() + self._timeout
+        while True:
+            pending = [w for w in worker_ids if self._ack_value(w) < seq]
+            if not pending:
+                self._ring.occupants[slot] = None
+                return
+            self.probe_failures()
+            if time.monotonic() > deadline:
+                raise EngineError(
+                    f"timed out after {self._timeout}s waiting for workers "
+                    f"{pending} to release shared batch #{seq}"
+                )
+            time.sleep(0.001)
+
+    def publish_batch(self, worker_ids, batch) -> None:
+        """Publish one batch to all *worker_ids* via the ring.
+
+        The columns are packed into shared memory **once** and every
+        worker receives only a slot reference — O(1) queue bytes per
+        worker instead of a full pickled copy each.  Scalar payloads
+        (``columnar=False`` tuple lists) and batches larger than the
+        ring capacity fall back to the pickled queue path.
+        """
+        if not isinstance(batch, EdgeBatch) or not (
+            0 < len(batch) <= self._batch_capacity
+        ):
+            self.broadcast(worker_ids, ("batch", batch))
+            return
+        ring = self._ensure_ring()
+        seq = self._next_seq
+        slot = seq % ring.depth
+        self._wait_for_slot(slot)
+        ring.pack(slot, batch)
+        ring.occupants[slot] = (seq, tuple(worker_ids))
+        self._next_seq += 1
+        self.shm_batches += 1
+        self.broadcast(
+            worker_ids, ("shm_batch", ring.names[slot], ring.capacity, len(batch), seq)
+        )
+
+
+class _ThreadPool(_PoolBase):
+    """Worker pool over daemon threads — same loop, in-process queues.
+
+    Batches are handed to workers by reference (see
+    :meth:`_PoolBase.publish_batch`); the columnar kernels release the
+    GIL, so the threads overlap on real work.  Threads cannot be
+    terminated: a wedged worker is abandoned as a daemon (it dies with
+    the process), which keeps shutdown bounded without the process
+    pool's kill escalation.
+    """
+
+    kind = "thread worker"
+
+    def __init__(
+        self,
+        shards: Sequence[Sequence[EstimatorSpec]],
+        handle,
+        timeout: float,
+    ) -> None:
+        super().__init__(timeout)
+        import queue as queue_module
+        import threading
+
+        self.replies = queue_module.Queue()
+        for worker_id, shard in enumerate(shards):
+            queue = queue_module.Queue(COMMAND_QUEUE_DEPTH)
+            thread = threading.Thread(
+                target=_worker_main,
+                args=(worker_id, list(shard), handle, queue, self.replies, None),
+                daemon=True,
+                name=f"repro-worker-{worker_id}",
+            )
+            self.commands.append(queue)
+            self.processes.append(thread)
+        for thread in self.processes:
+            thread.start()
+
+    def _terminate(self, worker_id: int) -> None:
+        """Threads cannot be killed; daemon threads die with the process."""
+
+    def shutdown(self, graceful: bool) -> None:
+        if graceful:
+            for worker_id in range(len(self.processes)):
+                self._send_stop(worker_id)
+        for thread in self.processes:
+            thread.join(timeout=5.0)
+
+
+#: Backwards-compatible name for the process pool (the historical
+#: single-backend pool class).
+_WorkerPool = _ProcessPool
 
 
 def _make_context(start_method: Optional[str]):
@@ -445,9 +937,35 @@ def _make_context(start_method: Optional[str]):
     return multiprocessing.get_context(start_method)
 
 
-def run_process_engine(
+def make_worker_pool(
+    backend: str,
+    shards: Sequence[Sequence[EstimatorSpec]],
+    handle,
+    timeout: float,
+    start_method: Optional[str] = None,
+    batch_capacity: int = DEFAULT_BATCH_SIZE,
+):
+    """Build the worker pool for a parallel backend (thread or process).
+
+    *batch_capacity* sizes the process pool's shared-memory ring slots;
+    pass the driver's batch size so every columnar batch fits (larger
+    batches still work — they fall back to the pickled queue path).
+    """
+    from repro.engine.core import EngineBackend
+
+    if backend == EngineBackend.THREAD:
+        return _ThreadPool(shards, handle, timeout)
+    if backend == EngineBackend.PROCESS:
+        return _ProcessPool(
+            _make_context(start_method), shards, handle, timeout, batch_capacity
+        )
+    raise EngineError(f"no worker pool for backend {backend!r}")
+
+
+def run_parallel_engine(
     stream: EdgeStream,
     specs: Sequence[EstimatorSpec],
+    backend: str = "process",
     workers: Optional[int] = None,
     batch_size: int = DEFAULT_BATCH_SIZE,
     start_method: Optional[str] = None,
@@ -457,28 +975,36 @@ def run_process_engine(
     columnar: bool = True,
     cache=None,
 ) -> EngineReport:
-    """Drive *specs* to completion across a process pool.
+    """Drive *specs* to completion across a worker pool.
 
-    The multiprocessing counterpart of :meth:`StreamEngine.run` —
-    normally reached through ``StreamEngine(..., backend="process")``
-    rather than called directly.  Specs are sharded contiguously
-    across ``resolve_workers(workers, len(specs))`` processes; the
-    returned report's ``dispatches`` counts batch *broadcasts* (batches
-    × active workers) and ``workers`` records the pool size.
+    The parallel counterpart of :meth:`StreamEngine.run` — normally
+    reached through ``StreamEngine(..., backend="process")`` or
+    ``backend="thread"`` rather than called directly.  Specs are
+    sharded contiguously across ``resolve_workers(workers, len(specs))``
+    workers; the returned report's ``dispatches`` counts batch
+    *publications* (batches × active workers) and ``workers`` records
+    the pool size.
 
-    With *columnar* (the default) each broadcast ships an
-    :class:`~repro.streams.batch.EdgeBatch`, which pickles as three
-    flat ``int64`` buffers — a fraction of the bytes (and none of the
-    per-tuple pickle opcodes) of the historical tuple lists; workers
-    rebuild the decoded views lazily on their side of the boundary.
+    With *columnar* (the default) the process backend publishes each
+    :class:`~repro.streams.batch.EdgeBatch` through the shared-memory
+    ring — the columns are written once, each worker gets a slot
+    reference — and the thread backend hands the batch object over
+    directly; workers rebuild the decoded views lazily on their side.
 
     *cache* applies a batch-cache policy to the **driver's** stream
-    (see :mod:`repro.streams.cache`): the driver is the only process
-    that decodes, so its policy decides whether a later fused pass
-    re-reads from memory or from disk.  Workers always re-decode the
-    broadcast buffers they receive — they never assume a cached batch
-    exists on their side of the boundary.
+    (see :mod:`repro.streams.cache`): the driver is the only
+    participant that decodes, so its policy decides whether a later
+    fused pass re-reads from memory or from disk.  Workers always
+    consume the published buffers they receive — they never assume a
+    cached batch exists on their side of the boundary.
     """
+    from repro.engine.core import EngineBackend
+
+    if backend not in (EngineBackend.PROCESS, EngineBackend.THREAD):
+        raise EngineError(
+            f"run_parallel_engine drives the parallel backends "
+            f"{(EngineBackend.THREAD, EngineBackend.PROCESS)}, got {backend!r}"
+        )
     if not specs:
         raise EngineError("no estimator specs registered")
     try:
@@ -498,7 +1024,14 @@ def run_process_engine(
     if reset_pass_count:
         stream.reset_pass_count()
 
-    pool = _WorkerPool(_make_context(start_method), shards, handle, reply_timeout)
+    pool = make_worker_pool(
+        backend,
+        shards,
+        handle,
+        reply_timeout,
+        start_method=start_method,
+        batch_capacity=batch_size,
+    )
     graceful = False
     try:
         wants = pool.gather("ready", range(pool_size))
@@ -517,7 +1050,7 @@ def run_process_engine(
             pool.broadcast(active, ("begin_pass", passes))
             for batch in pass_batches(stream, batch_size, columnar):
                 elements += len(batch)
-                pool.broadcast(active, ("batch", batch))
+                pool.publish_batch(active, batch)
                 dispatches += len(active)
             pool.broadcast(active, ("end_pass",))
             wants.update(pool.gather("pass_done", active))
@@ -542,4 +1075,36 @@ def run_process_engine(
         dispatches=dispatches,
         batch_size=batch_size,
         workers=pool_size,
+    )
+
+
+def run_process_engine(
+    stream: EdgeStream,
+    specs: Sequence[EstimatorSpec],
+    workers: Optional[int] = None,
+    batch_size: int = DEFAULT_BATCH_SIZE,
+    start_method: Optional[str] = None,
+    reset_pass_count: bool = True,
+    max_passes: int = 0,
+    reply_timeout: float = DEFAULT_REPLY_TIMEOUT,
+    columnar: bool = True,
+    cache=None,
+) -> EngineReport:
+    """Drive *specs* across a process pool (see :func:`run_parallel_engine`).
+
+    Kept as the historical entry point; equivalent to
+    ``run_parallel_engine(..., backend="process")``.
+    """
+    return run_parallel_engine(
+        stream,
+        specs,
+        backend="process",
+        workers=workers,
+        batch_size=batch_size,
+        start_method=start_method,
+        reset_pass_count=reset_pass_count,
+        max_passes=max_passes,
+        reply_timeout=reply_timeout,
+        columnar=columnar,
+        cache=cache,
     )

@@ -34,6 +34,11 @@ from repro.graph.graph import Edge
 #: A decoded stream element: ``(u, v, delta, normalized_edge)``.
 DecodedTuple = Tuple[int, int, int, Edge]
 
+#: Bytes one stream element occupies in a packed column triple: the
+#: three defining ``int64`` columns (``u``, ``v``, ``delta``) laid out
+#: back to back — the unit the shared-memory batch ring is sized in.
+PACKED_ELEMENT_BYTES = 24
+
 #: Largest vertex count whose dense edge ids stay exact: for
 #: ``n <= 2^32`` the id universe ``n(n-1)/2 < 2^63`` fits ``int64``
 #: and the uint64 intermediate ``a(2n-a-1) <= n(n-1) < 2^64`` cannot
@@ -309,3 +314,54 @@ class EdgeBatch(Sequence):
         # Ship only the defining columns (flat buffers); caches are
         # per-process and rebuilt on demand.
         return (EdgeBatch, (self.u, self.v, self.delta))
+
+
+# -- packed column transport (shared-memory broadcast) -------------------
+#
+# The parallel driver publishes a batch once by packing its columns
+# into a flat int64 buffer of a fixed per-slot capacity; workers
+# rebuild the batch from a view of the same buffer.  The layout is
+# plain column concatenation at capacity-sized strides:
+#
+#     [ u[0:cap] | v[0:cap] | delta[0:cap] ]
+#
+# so a slot holds exactly ``capacity * PACKED_ELEMENT_BYTES`` bytes and
+# a shorter batch simply leaves each column's tail unused.
+
+
+def pack_columns(batch: "EdgeBatch", view: np.ndarray, capacity: int) -> int:
+    """Write *batch*'s columns into the flat ``int64`` *view*; returns length.
+
+    *view* must hold at least ``3 * capacity`` int64 slots.  Only the
+    first ``len(batch)`` entries of each column stride are written —
+    the reader passes the length alongside the buffer reference.
+    """
+    length = len(batch)
+    if length > capacity:
+        raise StreamError(
+            f"batch of {length} elements exceeds the packed slot capacity "
+            f"{capacity}"
+        )
+    view[0:length] = batch.u
+    view[capacity:capacity + length] = batch.v
+    view[2 * capacity:2 * capacity + length] = batch.delta
+    return length
+
+
+def unpack_columns(
+    view: np.ndarray, capacity: int, length: int, copy: bool = True
+) -> "EdgeBatch":
+    """Rebuild an :class:`EdgeBatch` from a buffer written by :func:`pack_columns`.
+
+    With ``copy=True`` (the default, and what the shared-memory workers
+    use) the columns are copied out of *view*, so the batch stays valid
+    after the underlying slot is reused or unmapped.  ``copy=False``
+    constructs zero-copy column views — only safe while the buffer is
+    guaranteed to stay alive and unmodified.
+    """
+    u = view[0:length]
+    v = view[capacity:capacity + length]
+    delta = view[2 * capacity:2 * capacity + length]
+    if copy:
+        u, v, delta = u.copy(), v.copy(), delta.copy()
+    return EdgeBatch(u, v, delta)

@@ -94,17 +94,30 @@ class TestCliCommands:
         assert "passes=3" in output
         assert "exact=#45" in output
 
+    def test_count_backend_thread(self, karate_path, capsys):
+        code = main(
+            ["count", karate_path, "triangle", "--backend", "thread",
+             "--workers", "2", "--copies", "3", "--trials", "400",
+             "--seed", "3", "--truth"]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "backend=thread" in output
+        assert "exact=#45" in output
+
     def test_count_parallel_matches_serial_copies(self, karate_path, capsys):
-        # Mirror mode: --parallel must not change the estimate.
+        # Mirror mode: the backend must not change the estimate.
         assert main(["count", karate_path, "triangle", "--copies", "3",
                      "--trials", "400", "--seed", "3"]) == 0
         serial = capsys.readouterr().out
-        assert main(["count", karate_path, "triangle", "--copies", "3",
-                     "--trials", "400", "--seed", "3", "--parallel",
-                     "--workers", "2"]) == 0
-        parallel = capsys.readouterr().out
-        assert serial.split("median=")[1].split()[0] == \
-            parallel.split("median=")[1].split()[0]
+        for flags in (["--parallel", "--workers", "2"],
+                      ["--backend", "thread", "--workers", "2"],
+                      ["--backend", "process"]):
+            assert main(["count", karate_path, "triangle", "--copies", "3",
+                         "--trials", "400", "--seed", "3", *flags]) == 0
+            parallel = capsys.readouterr().out
+            assert serial.split("median=")[1].split()[0] == \
+                parallel.split("median=")[1].split()[0]
 
     def test_count_batch_size_is_result_invariant(self, karate_path, capsys):
         assert main(["count", karate_path, "triangle", "--copies", "3",
@@ -139,6 +152,14 @@ class TestCliCommands:
         assert main(["count", karate_path, "triangle", "--parallel",
                      "--workers", "0"]) == 2
         assert "--workers must be >= 1" in capsys.readouterr().err
+
+    def test_count_rejects_contradictory_backend_flags(self, karate_path, capsys):
+        assert main(["count", karate_path, "triangle", "--parallel",
+                     "--backend", "serial"]) == 2
+        assert "--parallel" in capsys.readouterr().err
+        assert main(["count", karate_path, "triangle", "--backend", "serial",
+                     "--workers", "2"]) == 2
+        assert "--workers" in capsys.readouterr().err
 
     def test_experiments_rejects_workers_without_parallel(self, capsys):
         assert main(["experiments", "--only", "e10", "--workers", "2"]) == 2

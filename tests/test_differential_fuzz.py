@@ -8,7 +8,7 @@ execution paths that the engine guarantees are **bit-identical**:
 * arbitrary batch-size splits and cache policies,
 * fed-live (:class:`repro.engine.live.LiveEngine`) vs one-shot fused,
 * snapshot → restore → continue vs uninterrupted,
-* serial vs process backend.
+* serial vs thread vs process backends.
 
 Seeds policy
 ------------
@@ -245,7 +245,9 @@ def test_snapshot_restore_vs_uninterrupted(case, tmp_path):
 
 
 @pytest.mark.parametrize("case", range(CASES_PROCESS))
-def test_serial_vs_process_backend(case):
+def test_serial_vs_thread_vs_process_backend(case):
+    # Three-way: mirror-mode estimates are a pure function of the
+    # seeds, whatever pool flavour (or worker count) ran the copies.
     rng = case_rng(case, "process")
     stream = random_stream(rng, turnstile=False)
     pattern = zoo.triangle()
@@ -254,15 +256,16 @@ def test_serial_vs_process_backend(case):
         stream, pattern, copies=3, trials=6,
         mode=FusionMode.MIRROR, copy_rngs=list(seeds),
     )
-    process = count_subgraphs_insertion_only_fused(
-        stream, pattern, copies=3, trials=6,
-        mode=FusionMode.MIRROR, copy_rngs=list(seeds),
-        backend="process", workers=1 + case % 3,
-    )
-    assert process.estimates == serial.estimates, (
-        f"serial/process divergence (case={case}, base_seed={BASE_SEED}, "
-        f"workers={1 + case % 3})"
-    )
+    for backend in ("thread", "process"):
+        parallel = count_subgraphs_insertion_only_fused(
+            stream, pattern, copies=3, trials=6,
+            mode=FusionMode.MIRROR, copy_rngs=list(seeds),
+            backend=backend, workers=1 + case % 3,
+        )
+        assert parallel.estimates == serial.estimates, (
+            f"serial/{backend} divergence (case={case}, base_seed={BASE_SEED}, "
+            f"workers={1 + case % 3})"
+        )
 
 
 @pytest.mark.parametrize("case", range(CASES_VALIDATION))

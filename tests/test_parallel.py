@@ -1,22 +1,28 @@
-"""Tests for the sharded multiprocessing backend (:mod:`repro.engine.parallel`).
+"""Tests for the sharded parallel backends (:mod:`repro.engine.parallel`).
 
-The backend's contract has three legs:
+The backends' contract has four legs:
 
 * **equality** — mirror-mode fused counts on ``backend="process"``
-  return the same estimates as ``backend="serial"`` for the same
-  seeds, for every worker count (the copies are fully independent, so
-  sharding cannot change them);
-* **determinism** — every process-backend run is a pure function of
-  the seeds (and, in shared mode, the worker count): no worker-side
-  entropy, no scheduling sensitivity;
+  and ``backend="thread"`` return the same estimates as
+  ``backend="serial"`` for the same seeds, for every worker count
+  (the copies are fully independent, so sharding cannot change them);
+* **determinism** — every parallel run is a pure function of the
+  seeds (and, in shared mode, the worker count): no worker-side
+  entropy, no scheduling sensitivity, no dependence on which pool
+  flavour ran the shards;
 * **serializability** — everything that crosses the process boundary
   (estimator specs, seed material, baseline estimators, results)
   pickles; live generator-based estimators are *reconstructed from
-  seeds* via :class:`EstimatorSpec` instead of being shipped.
+  seeds* via :class:`EstimatorSpec` instead of being shipped;
+* **teardown hygiene** — shutdown is bounded even with wedged
+  workers, a silent worker death anywhere in the pool aborts the run
+  promptly, and no shared-memory ring segment survives any teardown
+  path (graceful or error).
 """
 
 import pickle
 import random
+import time
 
 import pytest
 
@@ -41,14 +47,19 @@ from repro.engine import (
     fgp_insertion_estimator,
 )
 from repro.engine.parallel import (
+    STOP_SEND_TIMEOUT,
+    _make_context,
+    _ProcessPool,
     build_doulion,
     build_exact_stream,
     build_triest,
+    leaked_shm_segments,
     resolve_workers,
     shard_indices,
 )
 from repro.errors import EngineError
 from repro.streams.generators import turnstile_churn_stream
+from repro.streams.stream import pass_batches
 from repro.utils.rng import derive_rng, derive_seed
 
 
@@ -326,7 +337,7 @@ class TestProcessEngineApi:
     def test_register_live_estimator_rejected_on_process_backend(self):
         _, stream = _insertion_fixture()
         engine = StreamEngine(stream, backend=EngineBackend.PROCESS)
-        with pytest.raises(EngineError, match="process boundary"):
+        with pytest.raises(EngineError, match="worker pool"):
             engine.register(TriestEstimator(capacity=10, rng=1))
 
     def test_register_spec_on_serial_backend_builds_immediately(self):
@@ -389,6 +400,210 @@ class TestProcessEngineApi:
             engine.run()
 
 
+class TestThreadBackend:
+    """The thread tier: same worker loop, by-reference transport."""
+
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_insertion_mirror_matches_serial_for_every_worker_count(self, workers):
+        _, stream = _insertion_fixture()
+        pattern = patterns.triangle()
+        serial = count_subgraphs_insertion_only_fused(
+            stream, pattern, copies=4, trials=30, rng=5, mode=FusionMode.MIRROR
+        )
+        threaded = count_subgraphs_insertion_only_fused(
+            stream,
+            pattern,
+            copies=4,
+            trials=30,
+            rng=5,
+            mode=FusionMode.MIRROR,
+            backend=EngineBackend.THREAD,
+            workers=workers,
+        )
+        assert threaded.estimate == serial.estimate
+        assert threaded.estimates == serial.estimates
+        assert threaded.passes == serial.passes == 3
+        assert threaded.backend == "thread"
+        for threaded_copy, serial_copy in zip(threaded.copies, serial.copies):
+            _assert_same_result(threaded_copy, serial_copy)
+
+    def test_shared_mode_matches_process_backend(self):
+        # Shared mode shards the merged oracles per worker, so the
+        # estimates depend on the pool size — but not on the pool
+        # flavour: every seed is derived driver-side.
+        _, stream = _insertion_fixture()
+        pattern = patterns.triangle()
+        results = {
+            backend: count_subgraphs_insertion_only_fused(
+                stream,
+                pattern,
+                copies=4,
+                trials=20,
+                rng=23,
+                mode=FusionMode.SHARED,
+                backend=backend,
+                workers=2,
+            )
+            for backend in (EngineBackend.THREAD, EngineBackend.PROCESS)
+        }
+        assert (
+            results[EngineBackend.THREAD].estimates
+            == results[EngineBackend.PROCESS].estimates
+        )
+
+    def test_heterogeneous_baseline_specs_match_one_shot(self):
+        _, stream = _insertion_fixture()
+        pattern = patterns.triangle()
+        engine = StreamEngine(stream, backend=EngineBackend.THREAD, workers=2)
+        engine.register_spec(
+            EstimatorSpec("triest", build_triest, dict(capacity=80, rng=31))
+        )
+        engine.register_spec(
+            EstimatorSpec("exact", build_exact_stream, dict(pattern=pattern))
+        )
+        report = engine.run()
+        assert report.workers == 2
+        assert report["triest"].estimate == triest_count(stream, capacity=80, rng=31).estimate
+        assert report["exact"].estimate == exact_stream_count(stream, pattern).estimate
+
+    def test_register_live_estimator_rejected_on_thread_backend(self):
+        _, stream = _insertion_fixture()
+        engine = StreamEngine(stream, backend=EngineBackend.THREAD)
+        with pytest.raises(EngineError, match="worker pool"):
+            engine.register(TriestEstimator(capacity=10, rng=1))
+
+    def test_worker_failure_propagates_with_traceback(self):
+        _, stream = _insertion_fixture()
+        engine = StreamEngine(stream, backend=EngineBackend.THREAD, workers=1)
+        engine.register_spec(EstimatorSpec("boom", _exploding_factory, {}))
+        with pytest.raises(EngineError, match="thread worker 0 failed"):
+            engine.run()
+
+
+class TestTeardownHygiene:
+    """Bounded shutdown, pool-wide death probes, no leaked segments."""
+
+    def _pool(self, shards, batch_capacity=None):
+        _, stream = _insertion_fixture()
+        handle = StreamHandle.of(stream)
+        kwargs = {} if batch_capacity is None else dict(batch_capacity=batch_capacity)
+        return (
+            _ProcessPool(_make_context(None), shards, handle, 600.0, **kwargs),
+            stream,
+        )
+
+    @staticmethod
+    def _fill_command_queue(pool, worker_id, payload):
+        """Stuff a wedged worker's bounded queue until it backpressures."""
+        import queue as queue_module
+
+        deadline = time.monotonic() + 30.0
+        while time.monotonic() < deadline:
+            try:
+                pool.commands[worker_id].put_nowait(payload)
+            except queue_module.Full:
+                return
+            time.sleep(0.001)
+        pytest.fail("command queue never filled; the worker should be wedged")
+
+    def test_graceful_shutdown_with_wedged_worker_is_bounded(self):
+        # Regression: shutdown(graceful=True) used to do a blocking
+        # put(("stop",)) — a worker stalled mid-ingest with a full
+        # command queue hung the driver forever.
+        pool, _ = self._pool([[EstimatorSpec("stall", _stalling_factory, {})]])
+        try:
+            pool.gather("ready", [0])
+            pool.send(0, ("begin_pass", 0))
+            self._fill_command_queue(pool, 0, ("batch", [(0, 1, 1, (0, 1))]))
+        finally:
+            start = time.monotonic()
+            pool.shutdown(graceful=True)
+            elapsed = time.monotonic() - start
+        assert elapsed < STOP_SEND_TIMEOUT + 20.0
+        assert not pool.processes[0].is_alive()
+
+    def test_silent_sibling_death_aborts_blocked_send(self):
+        # Regression: the guarded send used to probe only its own
+        # target, so a sibling dying silently (kill -9, OOM) left the
+        # driver blocked on the wedged worker until the 600s reply
+        # timeout instead of aborting within about a second.
+        pool, _ = self._pool(
+            [
+                [EstimatorSpec("stall", _stalling_factory, {})],
+                [
+                    EstimatorSpec(
+                        "exact", build_exact_stream, dict(pattern=patterns.triangle())
+                    )
+                ],
+            ]
+        )
+        try:
+            pool.gather("ready", [0, 1])
+            pool.broadcast([0, 1], ("begin_pass", 0))
+            self._fill_command_queue(pool, 0, ("batch", [(0, 1, 1, (0, 1))]))
+            pool.processes[1].kill()
+            pool.processes[1].join(timeout=10.0)
+            start = time.monotonic()
+            with pytest.raises(EngineError, match="died without reporting an error"):
+                pool.send(0, ("batch", [(1, 2, 1, (1, 2))]))
+            assert time.monotonic() - start < 30.0
+        finally:
+            pool.shutdown(graceful=False)
+
+    def test_columnar_batches_travel_through_the_ring(self):
+        # White-box: drive the worker protocol by hand and check the
+        # batches actually took the shared-memory path (shm_batches
+        # counts ring publications, not pickled fallbacks) while the
+        # results still match the serial exact count.
+        pattern = patterns.triangle()
+        shards = [[EstimatorSpec("exact", build_exact_stream, dict(pattern=pattern))]]
+        before = set(leaked_shm_segments())
+        pool, stream = self._pool(shards, batch_capacity=64)
+        try:
+            pool.gather("ready", [0])
+            pool.send(0, ("begin_pass", 0))
+            for batch in pass_batches(stream, 64, True):
+                pool.publish_batch([0], batch)
+            pool.send(0, ("end_pass",))
+            pool.gather("pass_done", [0])
+            pool.send(0, ("collect",))
+            results = pool.gather("results", [0])
+        finally:
+            pool.shutdown(graceful=True)
+        assert pool.shm_batches > 0
+        assert results[0]["exact"].estimate == exact_stream_count(stream, pattern).estimate
+        assert set(leaked_shm_segments()) == before
+
+    def test_no_segments_leak_on_the_graceful_path(self):
+        _, stream = _insertion_fixture()
+        before = set(leaked_shm_segments())
+        count_subgraphs_insertion_only_fused(
+            stream,
+            patterns.triangle(),
+            copies=2,
+            trials=5,
+            rng=1,
+            mode=FusionMode.MIRROR,
+            backend=EngineBackend.PROCESS,
+            workers=2,
+            batch_size=32,
+        )
+        assert set(leaked_shm_segments()) == before
+
+    def test_no_segments_leak_on_the_error_path(self):
+        # The bomb detonates while ring slots are still in flight; the
+        # terminate path must unlink every segment regardless.
+        _, stream = _insertion_fixture()
+        before = set(leaked_shm_segments())
+        engine = StreamEngine(
+            stream, batch_size=1, backend=EngineBackend.PROCESS, workers=1
+        )
+        engine.register_spec(EstimatorSpec("mine", _ingest_bomb_factory, {}))
+        with pytest.raises(EngineError, match="worker 0 failed"):
+            engine.run()
+        assert set(leaked_shm_segments()) == before
+
+
 class TestShardingHelpers:
     def test_shard_indices_partition(self):
         assert shard_indices(5, 2) == [[0, 1, 2], [3, 4]]
@@ -436,3 +651,28 @@ class _IngestBomb:
 
 def _ingest_bomb_factory(stream, **kwargs):
     return _IngestBomb()
+
+
+class _StallingEstimator:
+    """Wedges its worker: never returns from the first ingested batch."""
+
+    name = "stall"
+
+    def wants_pass(self):
+        return True
+
+    def begin_pass(self, pass_index):
+        pass
+
+    def ingest_batch(self, batch):
+        time.sleep(600.0)
+
+    def end_pass(self):
+        pass
+
+    def result(self):
+        return None
+
+
+def _stalling_factory(stream, **kwargs):
+    return _StallingEstimator()
