@@ -1,0 +1,99 @@
+"""World-sweep benches: the scenario grid as a perf + accuracy artifact.
+
+Times one representative out-of-core cell (the unit of sweep cost),
+then runs a compact four-family grid through
+:func:`repro.worlds.run_sweep` and archives the sweep document itself
+under ``benchmarks/results/worlds_sweep.json`` — the sweep JSON *is*
+the benchmark artifact, validated here against both the shared
+benchmark schema and the stricter per-row sweep schema.
+"""
+
+import json
+import os
+import tempfile
+
+from conftest import RESULTS_DIR, emit_table, validate_benchmark_json
+
+from repro.experiments.tables import Table
+from repro.worlds import (
+    FamilySpec,
+    GridCell,
+    ScenarioSpec,
+    WorldGrid,
+    materialize_workload,
+    run_cell,
+    run_sweep,
+    validate_sweep_document,
+)
+
+
+def _bench_grid() -> WorldGrid:
+    return WorldGrid(
+        families=[
+            {"family": "gnp", "n": 48, "p": 0.18},
+            {"family": "ws", "n": 60, "k": 4, "rewire_p": 0.1},
+            {"family": "kronecker", "power": 6, "edges": 300},
+            {"family": "config", "n": 80, "exponent": 2.5, "min_degree": 2},
+        ],
+        scenarios=["insertion", {"kind": "deletion_heavy", "deletion_rate": 0.4}],
+        estimators=["insertion", "turnstile", "two-pass"],
+        patterns=["triangle", "S3"],
+        budgets=[100, 300],
+        copies=2,
+        epsilon=0.6,
+        seed=2022,
+        cache="lru:1M",
+    )
+
+
+def test_worlds_cell_cost(benchmark, capsys):
+    """Time one out-of-core cell: materialize once, estimate repeatedly."""
+    grid = _bench_grid()
+    cell = GridCell(
+        family=FamilySpec.create("kronecker", power=6, edges=300),
+        scenario=ScenarioSpec.create("insertion"),
+        estimator="insertion",
+        pattern="triangle",
+        budget=400,
+    )
+    with tempfile.TemporaryDirectory(prefix="repro-bench-worlds-") as tmp:
+        path = os.path.join(tmp, "cell.reb")
+        materialize_workload(cell.family, cell.scenario, 2022, path)
+
+        row = benchmark(lambda: run_cell(cell, grid, path, truth=1))
+    assert row["passes"] == 3
+    assert row["peak_resident_bytes"] > 0
+
+
+def test_worlds_sweep_archives_schema_valid_json(capsys):
+    """The full grid sweep, archived as the worlds_sweep benchmark JSON."""
+    grid = _bench_grid()
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    out_path = os.path.join(RESULTS_DIR, "worlds_sweep.json")
+    with tempfile.TemporaryDirectory(prefix="repro-bench-worlds-") as tmp:
+        document = run_sweep(grid, out_path=out_path, workdir=tmp)
+
+    # The archived document must satisfy both contracts: the shared
+    # benchmark schema (so results/ stays uniform) and the stricter
+    # sweep schema (typed per-cell columns).
+    with open(out_path, "r", encoding="utf-8") as handle:
+        archived = json.load(handle)
+    validate_benchmark_json(archived)
+    validate_sweep_document(archived)
+    assert len(archived["rows"]) == len(document["rows"]) >= 4 * 2 * 2
+
+    table = Table(
+        title=(f"World sweep: {len(archived['rows'])} cells "
+               f"(4 families x 2 scenarios x 3 estimators x 2 patterns x "
+               f"2 budgets, out-of-core)"),
+        columns=["cell", "rel err", "viol", "peak B", "upd/s"],
+    )
+    for row in archived["rows"]:
+        table.add_row(
+            row["cell"],
+            f"{row['rel_err']:.3f}",
+            "YES" if row["eps_violation"] else "no",
+            row["peak_resident_bytes"],
+            f"{row['updates_per_s']:.0f}",
+        )
+    emit_table(table, "worlds_sweep", capsys, json_twin=False)

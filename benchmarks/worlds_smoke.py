@@ -1,0 +1,116 @@
+#!/usr/bin/env python3
+"""CI worlds-smoke: a 2x2 mini-grid sweep with hard assertions.
+
+Runs a 2-family x 2-estimator world sweep (new streaming Kronecker +
+Erdős–Rényi families, insertion scenario, one generous space budget)
+end to end through the out-of-core driver, then asserts
+
+* the emitted JSON validates against the shared benchmark schema
+  (``benchmarks/conftest.validate_benchmark_json``) *and* the stricter
+  per-row sweep schema;
+* **no cell reports an ε-violation** at these smoke sizes (seeded
+  budgets are generous, so a violation means estimator drift, not
+  noise);
+* every cell really ran out of core: metered ``peak_resident_bytes``
+  is positive and within the grid's LRU byte budget;
+* ``resume`` reuses every completed cell without re-running.
+
+Fails on errors, never on timings.
+
+Run: ``PYTHONPATH=src python benchmarks/worlds_smoke.py``
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import tempfile
+
+_HERE = os.path.dirname(os.path.abspath(__file__))
+if _HERE not in sys.path:
+    sys.path.insert(0, _HERE)
+_SRC = os.path.join(os.path.dirname(_HERE), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+from conftest import validate_benchmark_json  # noqa: E402
+
+from repro.streams.cache import parse_byte_size  # noqa: E402
+from repro.worlds import WorldGrid, run_sweep, validate_sweep_document  # noqa: E402
+
+CACHE_BUDGET = "256K"
+
+
+def smoke_grid() -> WorldGrid:
+    return WorldGrid(
+        families=[
+            {"family": "gnp", "n": 40, "p": 0.25},
+            {"family": "kronecker", "power": 6, "edges": 320},
+        ],
+        scenarios=["insertion"],
+        estimators=["insertion", "turnstile"],
+        patterns=["triangle"],
+        budgets=[320],
+        copies=5,
+        epsilon=0.7,
+        seed=20220704,
+        cache=f"lru:{CACHE_BUDGET}",
+    )
+
+
+def main() -> int:
+    grid = smoke_grid()
+    expected_cells = len(grid.cells())
+    with tempfile.TemporaryDirectory(prefix="repro-worlds-smoke-") as tmp:
+        out_path = os.path.join(tmp, "worlds_smoke.json")
+        document = run_sweep(grid, out_path=out_path, progress=print)
+
+        with open(out_path, "r", encoding="utf-8") as handle:
+            archived = json.load(handle)
+        try:
+            validate_benchmark_json(archived)
+        except ValueError as error:
+            print(f"worlds-smoke: shared benchmark schema failed: {error}")
+            return 1
+        try:
+            validate_sweep_document(archived)
+        except ValueError as error:
+            print(f"worlds-smoke: sweep schema failed: {error}")
+            return 1
+
+        rows = archived["rows"]
+        if len(rows) != expected_cells:
+            print(f"worlds-smoke: expected {expected_cells} cells, "
+                  f"got {len(rows)}")
+            return 1
+
+        budget_bytes = parse_byte_size(CACHE_BUDGET)
+        failures = 0
+        for row in rows:
+            if row["eps_violation"]:
+                print(f"worlds-smoke: eps-violation in {row['cell']} "
+                      f"(rel_err={row['rel_err']:.3f} > "
+                      f"epsilon={row['epsilon']})")
+                failures += 1
+            if not 0 < row["peak_resident_bytes"] <= budget_bytes:
+                print(f"worlds-smoke: cache metering off in {row['cell']} "
+                      f"(peak={row['peak_resident_bytes']}, "
+                      f"budget={budget_bytes})")
+                failures += 1
+        if failures:
+            return 1
+
+        # Resume must reuse every completed cell, bit for bit.
+        reused = run_sweep(grid, out_path=out_path, resume=True)
+        if reused["rows"] != document["rows"]:
+            print("worlds-smoke: resumed sweep diverged from the original")
+            return 1
+
+    print(f"worlds-smoke: ok ({len(rows)} cells, 0 eps-violations, "
+          f"peak <= {budget_bytes:,} B, resume bit-identical)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -35,10 +35,23 @@ can be driven without writing Python:
   mid-stream, ``--checkpoint PATH --checkpoint-every N`` writes
   versioned snapshots, and ``--resume`` restores the checkpoint and
   continues bit-identically to a run that never stopped;
+* ``worlds``   — GraphWorld-style **scenario sweeps**
+  (:mod:`repro.worlds`): a validated grid of generator families
+  (Erdős–Rényi, preferential attachment, small-world,
+  power-law-cluster, stochastic Kronecker, configuration model) ×
+  stream scenarios (insertion, degree-adversarial, deletion-heavy,
+  sliding-window) × estimator × pattern × space budget, each cell
+  materialized to a ``.reb`` file and streamed out-of-core through
+  :class:`~repro.streams.datasets.DiskEdgeStream`, emitting one
+  schema-validated JSON table (accuracy, ε-violation, peak resident
+  bytes, updates/s per cell).  Shape the grid with flags or a
+  ``--grid`` JSON file; ``--cells`` filters cells by key substring,
+  ``--resume`` continues a partial sweep, ``--list-cells`` previews
+  the product without running it;
 * ``ers``      — Theorem 2's clique counter for low-degeneracy graphs;
 * ``covers``   — ρ(H), β(H), the Lemma 4 decomposition and f_T(H) for
   a zoo pattern;
-* ``experiments`` — regenerate the E1–E15/A1 tables (delegates to
+* ``experiments`` — regenerate the E1–E17/A1 tables (delegates to
   :mod:`repro.experiments.runner`); ``--parallel [--workers N]``
   passes a process-backend pool to the backend-aware experiments
   (e14).
@@ -443,6 +456,75 @@ def _live(args: argparse.Namespace) -> int:
     return 0
 
 
+def _worlds(args: argparse.Namespace) -> int:
+    from repro.worlds import ESTIMATORS, WorldGrid, run_sweep
+
+    shaping = {
+        "--families": args.families,
+        "--scenarios": args.scenarios,
+        "--estimators": args.estimators,
+        "--patterns": args.patterns,
+        "--budgets": args.budgets,
+        "--copies": args.copies,
+        "--epsilon": args.epsilon,
+        "--seed": args.seed,
+        "--deletion-rate": args.deletion_rate,
+        "--window-fraction": args.window_fraction,
+        "--backend": args.backend,
+    }
+    if args.grid is not None:
+        given = [flag for flag, value in shaping.items() if value is not None]
+        if given:
+            print(f"error: --grid carries the full spec; drop {', '.join(given)}",
+                  file=sys.stderr)
+            return 2
+        grid = WorldGrid.from_file(args.grid)
+    else:
+        scenarios = []
+        for kind in args.scenarios or ["insertion", "deletion_heavy"]:
+            if kind == "deletion_heavy" and args.deletion_rate is not None:
+                scenarios.append({"kind": kind,
+                                  "deletion_rate": args.deletion_rate})
+            elif kind == "sliding_window" and args.window_fraction is not None:
+                scenarios.append({"kind": kind,
+                                  "window_fraction": args.window_fraction})
+            else:
+                scenarios.append(kind)
+        grid = WorldGrid(
+            families=args.families or ["gnp", "ws", "kronecker", "config"],
+            scenarios=scenarios,
+            estimators=args.estimators or list(ESTIMATORS),
+            patterns=args.patterns or ["triangle"],
+            budgets=args.budgets or [200, 800],
+            copies=args.copies if args.copies is not None else 3,
+            epsilon=args.epsilon if args.epsilon is not None else 0.5,
+            seed=args.seed if args.seed is not None else 2022,
+            backend=args.backend or "serial",
+        )
+    cells = grid.cells()
+    if args.cells:
+        cells = [cell for cell in cells
+                 if any(selector in cell.key for selector in args.cells)]
+    if args.list_cells:
+        for cell in cells:
+            print(cell.key)
+        print(f"{len(cells)} cell(s)")
+        return 0
+    document = run_sweep(
+        grid,
+        out_path=args.out,
+        workdir=args.workdir,
+        cells=args.cells,
+        resume=args.resume,
+        progress=print,
+    )
+    rows = document["rows"]
+    violations = sum(1 for row in rows if row["eps_violation"])
+    print(f"wrote {len(rows)} cell(s), {violations} eps-violation(s) "
+          f"-> {args.out}")
+    return 0
+
+
 def _ers(args: argparse.Namespace) -> int:
     from repro.exact.cliques import count_cliques
     from repro.streaming.ers.counter import count_cliques_stream
@@ -617,6 +699,57 @@ def build_parser() -> argparse.ArgumentParser:
                         help="print a running median estimate every N updates")
     p_live.set_defaults(handler=_live)
 
+    p_worlds = commands.add_parser(
+        "worlds", help="scenario sweep: generator grid x estimators -> JSON"
+    )
+    p_worlds.add_argument("--grid", default=None, metavar="FILE",
+                          help="JSON grid spec (mutually exclusive with the "
+                               "grid-shaping flags below)")
+    p_worlds.add_argument("--out", default="worlds_sweep.json", metavar="PATH",
+                          help="sweep JSON destination (rewritten after every "
+                               "cell)")
+    p_worlds.add_argument("--families", nargs="*", default=None,
+                          help="generator families (gnp ba ws plc kronecker "
+                               "config); default: gnp ws kronecker config")
+    p_worlds.add_argument("--scenarios", nargs="*", default=None,
+                          choices=["insertion", "adversarial",
+                                   "deletion_heavy", "sliding_window"],
+                          help="stream scenarios; default: insertion "
+                               "deletion_heavy")
+    p_worlds.add_argument("--estimators", nargs="*", default=None,
+                          choices=["insertion", "turnstile", "two-pass"],
+                          help="estimators to sweep (default: all three)")
+    p_worlds.add_argument("--patterns", nargs="*", default=None,
+                          help="zoo pattern names (default: triangle)")
+    p_worlds.add_argument("--budgets", nargs="*", type=int, default=None,
+                          help="space budgets = FGP trials per copy "
+                               "(default: 200 800)")
+    p_worlds.add_argument("--copies", type=int, default=None,
+                          help="median-of-K copies per cell (default: 3)")
+    p_worlds.add_argument("--epsilon", type=float, default=None,
+                          help="accuracy target scored per cell (default: 0.5)")
+    p_worlds.add_argument("--seed", type=int, default=None,
+                          help="grid seed; every cell derives from it "
+                               "(default: 2022)")
+    p_worlds.add_argument("--deletion-rate", type=float, default=None,
+                          help="deletion_heavy churn fraction (default: 0.5)")
+    p_worlds.add_argument("--window-fraction", type=float, default=None,
+                          help="sliding_window size as a fraction of m "
+                               "(default: 0.5)")
+    p_worlds.add_argument("--backend", choices=["serial", "thread", "process"],
+                          default=None,
+                          help="engine backend cells run on (default: serial)")
+    p_worlds.add_argument("--cells", nargs="*", default=None, metavar="SUBSTR",
+                          help="run only cells whose key contains any SUBSTR")
+    p_worlds.add_argument("--resume", action="store_true",
+                          help="reuse completed cells already in --out")
+    p_worlds.add_argument("--list-cells", action="store_true",
+                          help="print the (filtered) cell keys and exit")
+    p_worlds.add_argument("--workdir", default=None, metavar="DIR",
+                          help="keep materialized .reb workloads here "
+                               "(default: a temporary directory)")
+    p_worlds.set_defaults(handler=_worlds)
+
     p_ers = commands.add_parser("ers", help="Theorem 2 clique counter")
     p_ers.add_argument("graph", help="edge-list path")
     p_ers.add_argument("--r", type=int, default=3, help="clique order")
@@ -632,7 +765,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_covers.add_argument("--list", action="store_true", help="list known patterns")
     p_covers.set_defaults(handler=_covers)
 
-    p_exp = commands.add_parser("experiments", help="regenerate E1-E15/A1 tables")
+    p_exp = commands.add_parser("experiments", help="regenerate E1-E17/A1 tables")
     p_exp.add_argument("--only", nargs="*", help="experiment ids, e.g. e07 e14")
     p_exp.add_argument("--full", action="store_true", help="full (slow) configurations")
     p_exp.add_argument("--markdown", action="store_true")

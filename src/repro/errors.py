@@ -39,6 +39,16 @@ class StreamError(ReproError, ValueError):
     """
 
 
+class WorldsError(ReproError, ValueError):
+    """Raised for invalid scenario-sweep grids and sweep documents.
+
+    Examples: a grid with no families, a negative deletion rate, a
+    degree exponent <= 1, or a sweep JSON document that fails schema
+    validation.  Also a :class:`ValueError` so parse-time validation of
+    grid specs satisfies callers that catch the standard exception.
+    """
+
+
 class OracleError(ReproError):
     """Raised when a query to a graph oracle is malformed.
 

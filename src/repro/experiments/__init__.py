@@ -1,4 +1,4 @@
-"""Experiment harness: one module per experiment E1-E13 + A1 of DESIGN.md.
+"""Experiment harness: one module per experiment E1-E17 + A1 of DESIGN.md.
 
 Every module exposes ``run(fast=True, seed=...) -> Table``; the
 benchmark suite regenerates each table, and EXPERIMENTS.md records a

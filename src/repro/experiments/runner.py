@@ -1,6 +1,6 @@
 """Run every experiment and emit a combined report.
 
-``python -m repro.experiments`` regenerates all E1–E16 + A1 tables in
+``python -m repro.experiments`` regenerates all E1–E17 + A1 tables in
 one go (fast mode by default) and can write them as markdown — the
 same tables EXPERIMENTS.md records.  ``--parallel``/``--workers``
 (also reachable as ``python -m repro experiments --parallel``) hand a
@@ -34,6 +34,7 @@ from repro.experiments import (
     e14_parallel,
     e15_ingestion,
     e16_sliding_window,
+    e17_worlds,
 )
 from repro.errors import ReproError
 from repro.experiments.tables import Table
@@ -77,6 +78,7 @@ EXPERIMENTS: List[Tuple[str, Callable[..., Table]]] = [
     ("e14", e14_parallel.run),
     ("e15", e15_ingestion.run),
     ("e16", e16_sliding_window.run),
+    ("e17", e17_worlds.run),
     ("a01", a01_wedge_ablation.run),
 ]
 
@@ -134,7 +136,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--only",
         nargs="*",
         metavar="ID",
-        help="subset of experiment ids (e01..e16, a01)",
+        help="subset of experiment ids (e01..e17, a01)",
     )
     parser.add_argument(
         "--markdown", action="store_true", help="emit GitHub pipe tables"

@@ -19,7 +19,9 @@ from __future__ import annotations
 
 import itertools
 import math
-from typing import List, Optional, Sequence, Tuple
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.errors import GraphError
 from repro.graph.graph import Graph
@@ -433,6 +435,266 @@ def erdos_renyi_with_planted_copies(
     parts = [pattern_graph.copy() for _ in range(copies)]
     parts.append(gnp(noise_n, noise_p, random_state))
     return disjoint_union(parts)
+
+
+# ---------------------------------------------------------------------------
+# Streaming generator families (worlds sweeps)
+# ---------------------------------------------------------------------------
+#
+# The two families below are the generator-zoo members the in-memory
+# section is missing (stochastic Kronecker / R-MAT and the erased
+# configuration model).  Unlike the ``Graph``-returning generators they
+# yield ``(u, v)`` int64 column chunks, so a sweep can write them
+# straight to a ``.reb`` file through ``BinaryUpdateWriter`` without
+# ever materializing the edge list — and, crucially for
+# ``DiskEdgeStream``, calling the generator twice with the same
+# arguments replays the identical chunk sequence bit for bit.  They
+# therefore take an integer ``seed`` (rebuilt into a fresh numpy
+# ``Generator`` per call) instead of a shared ``RandomSource``.
+
+#: Default R-MAT initiator matrix (a, b, c, d) — the classic skewed
+#: quadrant weights from the Kronecker-graphs literature.
+RMAT_INITIATOR: Tuple[float, float, float, float] = (0.57, 0.19, 0.19, 0.05)
+
+#: Largest supported Kronecker power: keeps n = 2^power small enough
+#: that the uint64 dedup key ``u * n + v`` cannot overflow.
+MAX_KRONECKER_POWER = 30
+
+EdgeChunk = Tuple[np.ndarray, np.ndarray]
+
+
+def _check_seed(seed: int) -> int:
+    if isinstance(seed, bool) or not isinstance(seed, int):
+        raise GraphError(
+            f"streaming generators need an integer seed for replay, got {seed!r}"
+        )
+    return seed
+
+
+def _check_chunk_size(chunk_size: int) -> int:
+    if isinstance(chunk_size, bool) or not isinstance(chunk_size, int) or chunk_size < 1:
+        raise GraphError(f"chunk_size must be a positive integer, got {chunk_size!r}")
+    return chunk_size
+
+
+def stochastic_kronecker_chunks(
+    power: int,
+    edges: int,
+    initiator: Sequence[float] = RMAT_INITIATOR,
+    seed: int = 0,
+    chunk_size: int = 8192,
+    max_attempt_factor: int = 64,
+) -> Iterator[EdgeChunk]:
+    """Stream a stochastic Kronecker (R-MAT) graph as edge chunks.
+
+    Samples *edges* distinct undirected edges on ``n = 2**power``
+    vertices by the recursive-quadrant descent: each edge picks one of
+    the four quadrants per bit level with probabilities proportional to
+    *initiator* ``(a, b, c, d)``.  Self-loops and duplicates are
+    rejected, so heavy-tailed initiators on tiny powers may saturate
+    before reaching *edges*; sampling stops after
+    ``max_attempt_factor * edges`` attempts and yields what was found.
+
+    Deterministic: two calls with identical arguments yield identical
+    chunk sequences (the requirement for multi-pass ``DiskEdgeStream``
+    materialization).
+    """
+    if isinstance(power, bool) or not isinstance(power, int) or power < 1:
+        raise GraphError(f"kronecker power must be a positive integer, got {power!r}")
+    if power > MAX_KRONECKER_POWER:
+        raise GraphError(
+            f"kronecker power must be <= {MAX_KRONECKER_POWER}, got {power}"
+        )
+    if isinstance(edges, bool) or not isinstance(edges, int) or edges < 1:
+        raise GraphError(f"edge target must be a positive integer, got {edges!r}")
+    probs = np.asarray(initiator, dtype=np.float64).ravel()
+    if probs.shape != (4,) or not np.isfinite(probs).all() or (probs <= 0.0).any():
+        raise GraphError(
+            f"initiator must be 4 positive finite weights, got {initiator!r}"
+        )
+    _check_seed(seed)
+    _check_chunk_size(chunk_size)
+    n = 1 << power
+    max_edges = n * (n - 1) // 2
+    if edges > max_edges:
+        raise GraphError(f"cannot place {edges} edges on {n} vertices (max {max_edges})")
+
+    probs = probs / probs.sum()
+    cum = np.cumsum(probs)
+    cum[-1] = 1.0
+    # Bit weight of each descent level, most significant first.
+    weights = np.left_shift(
+        np.int64(1), np.arange(power - 1, -1, -1, dtype=np.int64)
+    )
+    generator = np.random.default_rng(seed)
+    seen: set = set()
+    pending_u: List[int] = []
+    pending_v: List[int] = []
+    collected = 0
+    attempts = 0
+    attempt_cap = max_attempt_factor * edges + 1024
+    while collected < edges and attempts < attempt_cap:
+        block = min(max(1024, 2 * (edges - collected)), 1 << 16)
+        attempts += block
+        # Quadrant index (0..3) per edge per level; bit 1 selects the
+        # row half (u), bit 0 the column half (v).
+        quadrants = np.searchsorted(cum, generator.random((block, power)))
+        u = ((quadrants >> 1).astype(np.int64) * weights).sum(axis=1)
+        v = ((quadrants & 1).astype(np.int64) * weights).sum(axis=1)
+        lo = np.minimum(u, v)
+        hi = np.maximum(u, v)
+        proper = lo != hi
+        lo = lo[proper]
+        hi = hi[proper]
+        keys = lo * np.int64(n) + hi
+        # First occurrence of each key within the block, in arrival order.
+        _, first = np.unique(keys, return_index=True)
+        first.sort()
+        for index in first.tolist():
+            key = int(keys[index])
+            if key in seen:
+                continue
+            seen.add(key)
+            pending_u.append(int(lo[index]))
+            pending_v.append(int(hi[index]))
+            collected += 1
+            if len(pending_u) >= chunk_size:
+                yield (
+                    np.array(pending_u, dtype=np.int64),
+                    np.array(pending_v, dtype=np.int64),
+                )
+                pending_u, pending_v = [], []
+            if collected >= edges:
+                break
+    if pending_u:
+        yield np.array(pending_u, dtype=np.int64), np.array(pending_v, dtype=np.int64)
+
+
+def stochastic_kronecker(
+    power: int,
+    edges: int,
+    initiator: Sequence[float] = RMAT_INITIATOR,
+    seed: int = 0,
+) -> Graph:
+    """In-memory :func:`stochastic_kronecker_chunks` (small instances)."""
+    graph = Graph(1 << power)
+    for u, v in stochastic_kronecker_chunks(power, edges, initiator, seed):
+        for a, b in zip(u.tolist(), v.tolist()):
+            graph.add_edge(a, b)
+    return graph
+
+
+def powerlaw_degree_sequence(
+    n: int,
+    exponent: float,
+    min_degree: int = 1,
+    max_degree: Optional[int] = None,
+    seed: int = 0,
+) -> np.ndarray:
+    """Sample a graphical power-law degree sequence for the config model.
+
+    Degrees follow a discretized Pareto law with tail exponent
+    *exponent* (must be > 1), truncated to ``[min_degree, max_degree]``
+    (*max_degree* defaults to ``n - 1``).  The sum is forced even by
+    bumping the first degree if needed, so the result is always a valid
+    stub count for :func:`configuration_model_chunks`.
+    """
+    if isinstance(n, bool) or not isinstance(n, int) or n < 2:
+        raise GraphError(f"degree sequence needs n >= 2, got {n!r}")
+    if not isinstance(exponent, (int, float)) or isinstance(exponent, bool):
+        raise GraphError(f"degree exponent must be a number, got {exponent!r}")
+    if not math.isfinite(exponent) or exponent <= 1.0:
+        raise GraphError(f"degree exponent must be > 1, got {exponent}")
+    if isinstance(min_degree, bool) or not isinstance(min_degree, int) or min_degree < 1:
+        raise GraphError(f"min_degree must be a positive integer, got {min_degree!r}")
+    if max_degree is None:
+        max_degree = n - 1
+    if (
+        isinstance(max_degree, bool)
+        or not isinstance(max_degree, int)
+        or max_degree < min_degree
+        or max_degree > n - 1
+    ):
+        raise GraphError(
+            f"need min_degree <= max_degree <= n - 1, got "
+            f"min_degree={min_degree}, max_degree={max_degree}, n={n}"
+        )
+    _check_seed(seed)
+    generator = np.random.default_rng(seed)
+    # Inverse-CDF sample of a continuous Pareto with shape exponent - 1,
+    # floored to integers: P(D >= d) ~ (d / min_degree)^(1 - exponent).
+    uniform = generator.random(n)
+    degrees = np.floor(
+        min_degree * np.power(1.0 - uniform, -1.0 / (exponent - 1.0))
+    ).astype(np.int64)
+    degrees = np.clip(degrees, min_degree, max_degree)
+    if int(degrees.sum()) % 2 == 1:
+        # Force an even stub count without leaving the valid range.
+        degrees[0] += 1 if degrees[0] < max_degree else -1
+    return degrees
+
+
+def configuration_model_chunks(
+    degrees: Sequence[int],
+    seed: int = 0,
+    chunk_size: int = 8192,
+) -> Iterator[EdgeChunk]:
+    """Stream an erased configuration model as edge chunks.
+
+    Builds the classic stub-matching multigraph for *degrees* (sum must
+    be even), then erases self-loops and duplicate edges, yielding the
+    surviving simple edges in matching order as ``(u, v)`` int64
+    chunks.  Deterministic: identical arguments replay identical chunk
+    sequences, so multi-pass ``DiskEdgeStream`` sweeps can re-derive
+    the stream from the spec alone.
+    """
+    degree_array = np.ascontiguousarray(degrees, dtype=np.int64)
+    if degree_array.ndim != 1 or degree_array.shape[0] < 2:
+        raise GraphError("configuration model needs a 1-D sequence of >= 2 degrees")
+    n = int(degree_array.shape[0])
+    if n > 1 << 32:
+        raise GraphError(f"configuration model supports n <= 2^32, got n={n}")
+    if (degree_array < 0).any():
+        raise GraphError("degrees must be non-negative")
+    if (degree_array > n - 1).any():
+        raise GraphError(f"degrees must be <= n - 1 = {n - 1} for a simple graph")
+    total_stubs = int(degree_array.sum())
+    if total_stubs % 2 != 0:
+        raise GraphError(f"degree sum must be even, got {total_stubs}")
+    _check_seed(seed)
+    _check_chunk_size(chunk_size)
+    if total_stubs == 0:
+        return
+
+    generator = np.random.default_rng(seed)
+    stubs = np.repeat(np.arange(n, dtype=np.int64), degree_array)
+    stubs = stubs[generator.permutation(total_stubs)]
+    u = stubs[0::2]
+    v = stubs[1::2]
+    lo = np.minimum(u, v)
+    hi = np.maximum(u, v)
+    proper = lo != hi
+    lo = lo[proper]
+    hi = hi[proper]
+    keys = lo.astype(np.uint64) * np.uint64(n) + hi.astype(np.uint64)
+    # Keep the first occurrence of each edge, preserving matching order.
+    _, first = np.unique(keys, return_index=True)
+    first.sort()
+    lo = lo[first]
+    hi = hi[first]
+    for start in range(0, lo.shape[0], chunk_size):
+        stop = start + chunk_size
+        yield lo[start:stop].copy(), hi[start:stop].copy()
+
+
+def configuration_model(degrees: Sequence[int], seed: int = 0) -> Graph:
+    """In-memory :func:`configuration_model_chunks` (small instances)."""
+    degree_array = np.ascontiguousarray(degrees, dtype=np.int64)
+    graph = Graph(int(degree_array.shape[0]))
+    for u, v in configuration_model_chunks(degree_array, seed):
+        for a, b in zip(u.tolist(), v.tolist()):
+            graph.add_edge(a, b)
+    return graph
 
 
 def karate_club() -> Graph:

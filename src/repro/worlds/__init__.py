@@ -1,0 +1,59 @@
+"""``repro.worlds``: parameterized scenario sweeps over synthetic workloads.
+
+A *world* is a grid of generator families x stream scenarios x
+estimators x patterns x space budgets; sweeping it produces one tidy,
+schema-validated JSON table with accuracy, ε-violation rate, peak
+resident bytes, and updates/s per cell — the GraphWorld-style answer
+to "does this estimator generalize beyond the fixed benchmark graphs?"
+
+* :mod:`repro.worlds.grid` — the validated grid spec
+  (:class:`WorldGrid`, :class:`FamilySpec`, :class:`ScenarioSpec`);
+* :mod:`repro.worlds.sweep` — the out-of-core driver
+  (:func:`run_sweep`), materializing every workload through
+  :class:`~repro.streams.datasets.DiskEdgeStream`;
+* :mod:`repro.worlds.schema` — the JSON contract
+  (:func:`validate_sweep_document`).
+
+Surfaced as ``repro worlds`` in the CLI and benchmarked by
+``benchmarks/bench_worlds.py``.
+"""
+
+from repro.worlds.grid import (
+    BACKENDS,
+    ESTIMATORS,
+    FAMILIES,
+    SCENARIO_KINDS,
+    FamilySpec,
+    GridCell,
+    ScenarioSpec,
+    WorldGrid,
+)
+from repro.worlds.schema import (
+    DOCUMENT_KEYS,
+    ROW_KEYS,
+    validate_sweep_document,
+)
+from repro.worlds.sweep import (
+    SWEEP_BENCHMARK_NAME,
+    materialize_workload,
+    run_cell,
+    run_sweep,
+)
+
+__all__ = [
+    "BACKENDS",
+    "DOCUMENT_KEYS",
+    "ESTIMATORS",
+    "FAMILIES",
+    "FamilySpec",
+    "GridCell",
+    "ROW_KEYS",
+    "SCENARIO_KINDS",
+    "SWEEP_BENCHMARK_NAME",
+    "ScenarioSpec",
+    "WorldGrid",
+    "materialize_workload",
+    "run_cell",
+    "run_sweep",
+    "validate_sweep_document",
+]

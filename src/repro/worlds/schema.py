@@ -1,0 +1,127 @@
+"""The sweep JSON contract: one tidy, validated table per sweep.
+
+A sweep document is a superset of the benchmark JSON schema used by
+``benchmarks/results/*.json`` (``benchmark`` / ``git_sha`` /
+``created_unix`` / ``params`` / ``rows``), with every row carrying the
+fixed per-cell column set below — so the same tooling that reads
+benchmark artifacts reads world sweeps, and a sweep can be dropped
+into ``benchmarks/results/`` unchanged.
+
+:func:`validate_sweep_document` raises
+:class:`~repro.errors.WorldsError` (a ``ValueError``) on any drift:
+missing keys, wrong types, negative byte counts, a ``rel_err`` that
+disagrees with its ``eps_violation`` flag, and so on.  The CI
+``worlds-smoke`` job runs it next to the shared benchmark validator.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Tuple
+
+from repro.errors import WorldsError
+
+#: Top-level keys, identical to the benchmark JSON schema.
+DOCUMENT_KEYS: Tuple[str, ...] = (
+    "benchmark", "git_sha", "created_unix", "params", "rows",
+)
+
+#: Per-cell columns: identity, workload shape, accuracy, and cost.
+ROW_KEYS: Tuple[str, ...] = (
+    "cell",
+    "family",
+    "scenario",
+    "estimator",
+    "pattern",
+    "space_budget",
+    "copies",
+    "n",
+    "length",
+    "m",
+    "truth",
+    "estimate",
+    "rel_err",
+    "epsilon",
+    "eps_violation",
+    "copy_violation_rate",
+    "peak_resident_bytes",
+    "updates_per_s",
+    "seconds",
+    "passes",
+)
+
+_STRING_KEYS = ("cell", "family", "scenario", "estimator", "pattern")
+_COUNT_KEYS = ("space_budget", "copies", "n", "length", "passes")
+_NONNEG_INT_KEYS = ("m", "truth", "peak_resident_bytes")
+_NONNEG_FLOAT_KEYS = ("estimate", "rel_err", "copy_violation_rate", "seconds")
+
+
+def _fail(message: str) -> None:
+    raise WorldsError(f"sweep document invalid: {message}")
+
+
+def validate_sweep_document(document: Dict) -> Dict:
+    """Validate *document* against the sweep schema; returns it unchanged."""
+    if not isinstance(document, dict):
+        _fail(f"expected an object, got {type(document).__name__}")
+    missing = [key for key in DOCUMENT_KEYS if key not in document]
+    if missing:
+        _fail(f"missing top-level key(s) {missing}")
+    if not isinstance(document["benchmark"], str) or not document["benchmark"]:
+        _fail("'benchmark' must be a non-empty string")
+    if not isinstance(document["git_sha"], str):
+        _fail("'git_sha' must be a string")
+    if isinstance(document["created_unix"], bool) or not isinstance(
+        document["created_unix"], int
+    ):
+        _fail("'created_unix' must be an integer timestamp")
+    if not isinstance(document["params"], dict):
+        _fail("'params' must be an object (the grid spec)")
+    rows = document["rows"]
+    if not isinstance(rows, list):
+        _fail("'rows' must be a list")
+    for index, row in enumerate(rows):
+        _validate_row(index, row)
+    return document
+
+
+def _validate_row(index: int, row: Dict) -> None:
+    where = f"rows[{index}]"
+    if not isinstance(row, dict):
+        _fail(f"{where} is not an object")
+    missing = [key for key in ROW_KEYS if key not in row]
+    if missing:
+        _fail(f"{where} missing column(s) {missing}")
+    for key in _STRING_KEYS:
+        if not isinstance(row[key], str) or not row[key]:
+            _fail(f"{where}.{key} must be a non-empty string")
+    for key in _COUNT_KEYS:
+        value = row[key]
+        if isinstance(value, bool) or not isinstance(value, int) or value < 1:
+            _fail(f"{where}.{key} must be a positive integer, got {value!r}")
+    for key in _NONNEG_INT_KEYS:
+        value = row[key]
+        if isinstance(value, bool) or not isinstance(value, int) or value < 0:
+            _fail(f"{where}.{key} must be a non-negative integer, got {value!r}")
+    for key in _NONNEG_FLOAT_KEYS:
+        value = row[key]
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            _fail(f"{where}.{key} must be a number, got {value!r}")
+        if not math.isfinite(float(value)) or float(value) < 0.0:
+            _fail(f"{where}.{key} must be finite and >= 0, got {value}")
+    epsilon = row["epsilon"]
+    if isinstance(epsilon, bool) or not isinstance(epsilon, (int, float)):
+        _fail(f"{where}.epsilon must be a number, got {epsilon!r}")
+    if not 0.0 < float(epsilon) <= 1.0:
+        _fail(f"{where}.epsilon must be in (0, 1], got {epsilon}")
+    if not isinstance(row["eps_violation"], bool):
+        _fail(f"{where}.eps_violation must be a boolean")
+    if row["eps_violation"] != (float(row["rel_err"]) > float(epsilon)):
+        _fail(f"{where}.eps_violation disagrees with rel_err vs epsilon")
+    if not 0.0 <= float(row["copy_violation_rate"]) <= 1.0:
+        _fail(f"{where}.copy_violation_rate must be in [0, 1]")
+    updates = row["updates_per_s"]
+    if isinstance(updates, bool) or not isinstance(updates, (int, float)):
+        _fail(f"{where}.updates_per_s must be a number, got {updates!r}")
+    if not math.isfinite(float(updates)) or float(updates) <= 0.0:
+        _fail(f"{where}.updates_per_s must be finite and > 0, got {updates}")

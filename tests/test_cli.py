@@ -289,6 +289,63 @@ class TestConvertAndDiskStreams:
         assert "fgp-3pass-insertion" in capsys.readouterr().out
 
 
+class TestCliWorlds:
+    FAST = ["--families", "gnp", "--scenarios", "insertion",
+            "--estimators", "insertion", "--patterns", "triangle",
+            "--budgets", "30", "--copies", "2", "--seed", "5"]
+
+    def test_list_cells(self, capsys):
+        assert main(["worlds", "--list-cells", *self.FAST]) == 0
+        out = capsys.readouterr().out.splitlines()
+        assert out[-1] == "1 cell(s)"
+        assert out[0] == "gnp(n=64,p=0.15)|insertion|insertion|triangle|t30"
+
+    def test_tiny_sweep_writes_schema_valid_json(self, tmp_path, capsys):
+        import json
+
+        from repro.worlds import validate_sweep_document
+
+        out = str(tmp_path / "sweep.json")
+        assert main(["worlds", "--out", out, *self.FAST]) == 0
+        stdout = capsys.readouterr().out
+        assert "wrote 1 cell(s)" in stdout
+        with open(out, "r", encoding="utf-8") as handle:
+            document = json.load(handle)
+        validate_sweep_document(document)
+        assert document["rows"][0]["estimator"] == "insertion"
+
+    def test_resume_reuses_cells(self, tmp_path, capsys):
+        out = str(tmp_path / "sweep.json")
+        assert main(["worlds", "--out", out, *self.FAST]) == 0
+        capsys.readouterr()
+        assert main(["worlds", "--out", out, "--resume", *self.FAST]) == 0
+        assert "reused" in capsys.readouterr().out
+
+    def test_grid_file_contradicts_shaping_flags(self, tmp_path, capsys):
+        import json
+
+        grid = str(tmp_path / "grid.json")
+        with open(grid, "w", encoding="utf-8") as handle:
+            json.dump({"families": ["gnp"], "budgets": [10]}, handle)
+        assert main(["worlds", "--grid", grid, "--copies", "2"]) == 2
+        assert "--grid carries the full spec" in capsys.readouterr().err
+
+    def test_invalid_grid_values_exit_one(self, capsys):
+        # Parse-time validation: WorldsError is a ReproError, so main()
+        # reports it on stderr and exits 1 before any cell runs.
+        assert main(["worlds", "--list-cells", "--deletion-rate", "-0.5",
+                     "--scenarios", "deletion_heavy",
+                     "--families", "gnp"]) == 1
+        assert "deletion rate" in capsys.readouterr().err
+        assert main(["worlds", "--list-cells", "--epsilon", "0",
+                     "--families", "gnp"]) == 1
+        assert "epsilon" in capsys.readouterr().err
+
+    def test_cells_selector_matching_nothing_exits_one(self, capsys):
+        assert main(["worlds", "--cells", "no-such-cell", *self.FAST]) == 1
+        assert "match none" in capsys.readouterr().err
+
+
 class TestCliLive:
     def test_live_feed_query_checkpoint_resume(self, karate_path, tmp_path, capsys):
         checkpoint = str(tmp_path / "live.ckpt")

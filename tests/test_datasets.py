@@ -248,6 +248,95 @@ class TestScenarios:
             sliding_window_updates([0], [1], window=0)
 
 
+class TestScenarioInvariants:
+    """Structural invariants of the turnstile scenario generators.
+
+    The worlds sweeps trust these unconditionally: any prefix of the
+    update stream keeps every multiplicity in {0, 1} (the stream model
+    forbids negative multiplicities and the generators never duplicate
+    a live edge), and the final support is exactly what the scenario
+    advertises.  Checked by replaying the columns through a Counter —
+    no ``Graph(n)`` allocation, so the same check runs on vertex ids
+    above 2^32.
+    """
+
+    def _edges(self, seed=9, n=40, p=0.2):
+        graph = generators.gnp(n, p, rng=seed)
+        edges = np.array(sorted(graph.edges()), dtype=np.int64)
+        return edges[:, 0], edges[:, 1]
+
+    @staticmethod
+    def _replay(out_u, out_v, delta):
+        """Multiplicity map after replaying all updates, asserting every
+        prefix stays within {0, 1}."""
+        from collections import Counter
+
+        counts: Counter = Counter()
+        for a, b, d in zip(out_u.tolist(), out_v.tolist(), delta.tolist()):
+            key = (min(a, b), max(a, b))
+            counts[key] += int(d)
+            assert 0 <= counts[key] <= 1, (
+                f"multiplicity {counts[key]} for {key} mid-stream"
+            )
+        return {key for key, count in counts.items() if count == 1}
+
+    @pytest.mark.parametrize("churn_rounds,churn_fraction",
+                             [(1, 0.5), (3, 0.9), (2, 0.25)])
+    def test_deletion_heavy_prefixes_never_negative(self, churn_rounds,
+                                                    churn_fraction):
+        u, v = self._edges()
+        out_u, out_v, delta = deletion_heavy_updates(
+            u, v, churn_rounds=churn_rounds, churn_fraction=churn_fraction,
+            seed=3,
+        )
+        support = self._replay(out_u, out_v, delta)
+        assert support == set(zip(u.tolist(), v.tolist()))
+
+    @pytest.mark.parametrize("window", [1, 7, 25, 10 ** 6])
+    def test_sliding_window_final_support_is_the_window(self, window):
+        u, v = self._edges()
+        out_u, out_v, delta = sliding_window_updates(u, v, window)
+        support = self._replay(out_u, out_v, delta)
+        kept = min(window, len(u))
+        assert support == set(zip(u[-kept:].tolist(), v[-kept:].tolist()))
+
+    def test_big_ids_survive_the_columnar_path(self):
+        # Vertex ids above 2^32 through scenario generation AND the
+        # columnar EdgeBatch path: every batch tuple must carry the
+        # exact id (no float round-trip, no int32 truncation).
+        big = 2 ** 32 + 11
+        u = np.array([big, big + 1, 3, big + 4], dtype=np.int64)
+        v = np.array([3, big + 2, big + 4, big + 7], dtype=np.int64)
+        for out_u, out_v, delta in (
+            deletion_heavy_updates(u, v, churn_rounds=2, churn_fraction=0.8,
+                                   seed=5),
+            sliding_window_updates(u, v, window=2),
+        ):
+            support = self._replay(out_u, out_v, delta)
+            assert all(isinstance(a, int) for pair in support for a in pair)
+            stream = EdgeStream(
+                2 ** 33,
+                [Update(int(a), int(b), int(d))
+                 for a, b, d in zip(out_u, out_v, delta)],
+                allow_deletions=True,
+            )
+            seen = []
+            for batch in stream.batches(3):
+                assert batch.lo.dtype == np.int64
+                assert batch.hi.dtype == np.int64
+                seen.extend(batch.tuples())
+            assert len(seen) == len(out_u)
+            assert {(min(t[0], t[1]), max(t[0], t[1])) for t in seen} >= support
+        # The reorder scenario builds a dense degree table, so it is
+        # bound to compacted ids — it must reorder, not corrupt, right
+        # up to the table limit.
+        small_u, small_v = self._edges(n=25)
+        au, av = degree_adversarial_order(small_u, small_v)
+        assert sorted(zip(au.tolist(), av.tolist())) == sorted(
+            zip(small_u.tolist(), small_v.tolist())
+        )
+
+
 class TestBigVertexIds:
     """Satellite audit: exactness for vertex ids >= 2^31 (and > 2^32)."""
 

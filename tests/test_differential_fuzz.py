@@ -107,6 +107,8 @@ CASES_LIVE = 60
 CASES_SNAPSHOT = 40
 CASES_PROCESS = 5
 CASES_VALIDATION = 16
+CASES_WORLDS = 6
+CASES_GEN_REPLAY = 10
 
 
 @pytest.mark.parametrize("case", range(CASES_SCALAR))
@@ -305,3 +307,111 @@ def test_journal_rejects_invalid_feeds_atomically(case):
     assert engine.elements == before, (
         f"rejected feed mutated the journal (case={case}, base_seed={BASE_SEED})"
     )
+
+
+def random_world_cell(rng: random.Random):
+    """A random worlds grid point: family, scenario, compatible estimator."""
+    from repro.worlds import FamilySpec, ScenarioSpec
+
+    family = rng.choice([
+        lambda: FamilySpec.create("gnp", n=rng.randrange(16, 33), p=0.2),
+        lambda: FamilySpec.create("ws", n=rng.randrange(16, 33) | 1, k=4,
+                                  rewire_p=0.2),
+        lambda: FamilySpec.create("kronecker", power=5,
+                                  edges=rng.randrange(40, 100)),
+        lambda: FamilySpec.create("config", n=rng.randrange(24, 49),
+                                  exponent=2.2, min_degree=1),
+    ])()
+    scenario = rng.choice([
+        lambda: ScenarioSpec.create("insertion"),
+        lambda: ScenarioSpec.create("adversarial"),
+        lambda: ScenarioSpec.create("deletion_heavy",
+                                    deletion_rate=rng.choice([0.3, 0.7])),
+        lambda: ScenarioSpec.create("sliding_window",
+                                    window_fraction=rng.choice([0.4, 0.8])),
+    ])()
+    turnstile = scenario.needs_deletions or rng.random() < 0.3
+    return family, scenario, turnstile
+
+
+@pytest.mark.parametrize("case", range(CASES_WORLDS))
+def test_worlds_sampled_cell_is_backend_invariant(case, tmp_path):
+    # A random grid cell, materialized out-of-core twice (the .reb
+    # bytes must replay bit for bit), then driven through a random
+    # estimator on serial vs thread backends: mirror-mode estimates
+    # are a pure function of the seeds, whatever executed them.
+    from repro.streams.datasets import DiskEdgeStream
+    from repro.worlds import materialize_workload
+
+    rng = case_rng(case, "worlds")
+    family, scenario, turnstile = random_world_cell(rng)
+    seed = rng.randrange(1 << 30)
+    path_a = tmp_path / "a.reb"
+    path_b = tmp_path / "b.reb"
+    materialize_workload(family, scenario, seed, path_a)
+    materialize_workload(family, scenario, seed, path_b)
+    assert path_a.read_bytes() == path_b.read_bytes(), (
+        f"workload materialization not bit-stable (case={case}, "
+        f"base_seed={BASE_SEED}, family={family.label}, "
+        f"scenario={scenario.label})"
+    )
+
+    stream = DiskEdgeStream(path_a, cache=rng.choice(["all", "lru:8K", "none"]))
+    pattern = zoo.triangle() if rng.random() < 0.7 else zoo.path(3)
+    seeds = [rng.randrange(1 << 30) for _ in range(2)]
+    serial = _fused(
+        stream, pattern, rng, turnstile,
+        copies=2, trials=5, mode=FusionMode.MIRROR, copy_rngs=list(seeds),
+        batch_size=rng.randrange(1, 64),
+    )
+    threaded = _fused(
+        stream, pattern, rng, turnstile,
+        copies=2, trials=5, mode=FusionMode.MIRROR, copy_rngs=list(seeds),
+        batch_size=rng.randrange(1, 64), backend="thread", workers=2,
+    )
+    assert threaded.estimates == serial.estimates, (
+        f"serial/thread divergence on worlds cell (case={case}, "
+        f"base_seed={BASE_SEED}, family={family.label}, "
+        f"scenario={scenario.label}, turnstile={turnstile})"
+    )
+
+
+@pytest.mark.parametrize("case", range(CASES_GEN_REPLAY))
+def test_streaming_generators_replay_bit_stable(case):
+    # The out-of-core contract of the streaming generator families:
+    # identical arguments must yield identical chunk sequences, or
+    # multi-pass DiskEdgeStream materialization silently diverges.
+    import numpy as np
+
+    from repro.graph import generators as gen
+
+    rng = case_rng(case, "genreplay")
+    seed = rng.randrange(1 << 30)
+    chunk_size = rng.choice([7, 64, 8192])
+    if case % 2 == 0:
+        power = rng.randrange(4, 9)
+        capacity = (1 << power) * ((1 << power) - 1) // 2
+        edges = rng.randrange(20, min(200, capacity))
+
+        def make():
+            return list(gen.stochastic_kronecker_chunks(
+                power, edges, seed=seed, chunk_size=chunk_size))
+    else:
+        degrees = gen.powerlaw_degree_sequence(
+            rng.randrange(30, 120), rng.uniform(1.6, 3.5),
+            min_degree=rng.randrange(1, 3), seed=seed,
+        )
+
+        def make():
+            return list(gen.configuration_model_chunks(
+                degrees, seed=seed, chunk_size=chunk_size))
+
+    first = make()
+    second = make()
+    assert len(first) == len(second), (
+        f"replay chunk-count drift (case={case}, base_seed={BASE_SEED})"
+    )
+    for (u1, v1), (u2, v2) in zip(first, second):
+        assert np.array_equal(u1, u2) and np.array_equal(v1, v2), (
+            f"replay bit-drift (case={case}, base_seed={BASE_SEED})"
+        )

@@ -182,3 +182,33 @@ class TestSlidingWindowExperiment:
         from repro.experiments.runner import EXPERIMENTS
 
         assert "e16" in {name for name, _ in EXPERIMENTS}
+
+
+class TestWorldsExperiment:
+    @pytest.mark.slow
+    def test_e17_sweep_shape_and_cross_scenario_truth(self):
+        from repro.experiments import e17_worlds
+
+        table = e17_worlds.run(fast=True, seed=2022)
+        # 4 families x (insertion x 2 estimators + deletion x turnstile)
+        # x 2 budgets.
+        assert len(table.raw_rows) == 4 * 3 * 2
+        # Scenarios are seeded off the family alone, so both scenarios
+        # of a family report the identical base graph (m and truth).
+        by_family = {}
+        for row in table.raw_rows:
+            family = row[table.columns.index("family")]
+            m = row[table.columns.index("m")]
+            truth = row[table.columns.index("truth")]
+            by_family.setdefault(family, set()).add((m, truth))
+        assert len(by_family) == 4
+        for family, shapes in by_family.items():
+            assert len(shapes) == 1, (family, shapes)
+        # Every cell streamed through a metered cache.
+        peaks = [float(v) for v in table.column("peak KiB")]
+        assert all(peak > 0 for peak in peaks)
+
+    def test_e17_registered_with_runner(self):
+        from repro.experiments.runner import EXPERIMENTS
+
+        assert "e17" in {name for name, _ in EXPERIMENTS}

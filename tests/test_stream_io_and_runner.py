@@ -66,7 +66,8 @@ class TestExperimentRunner:
         names = [name for name, _ in EXPERIMENTS]
         assert names == [
             "e01", "e02", "e03", "e04", "e05", "e06", "e07",
-            "e08", "e09", "e10", "e11", "e12", "e13", "e14", "e15", "e16", "a01",
+            "e08", "e09", "e10", "e11", "e12", "e13", "e14", "e15", "e16",
+            "e17", "a01",
         ]
 
     def test_workers_forwarded_to_backend_aware_experiments(self):
