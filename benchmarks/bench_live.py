@@ -5,8 +5,14 @@ carrying K mirror FGP copies, then measures (a) ``snapshot()`` wall
 time, (b) checkpoint size on disk, (c) ``LiveEngine.restore()`` wall
 time — and asserts the restored engine answers bit-identically, so the
 numbers can never come from a checkpoint that silently dropped state.
-Archived as ``benchmarks/results/live_checkpoint.{txt,json}`` (the
-JSON validated by the shared schema checker in ``conftest.py``).
+
+A second sweep measures **delta** checkpoints (``mode="delta"``): a
+full base followed by journal-tail snapshots after D more updates,
+against a full snapshot taken at the same point.  Delta bytes must
+scale with D (updates since the base), not with the estimator state —
+that is the whole point of the tail format.  Archived as
+``benchmarks/results/live_checkpoint.{txt,json}`` (the JSON validated
+by the shared schema checker in ``conftest.py``).
 """
 
 import os
@@ -24,9 +30,11 @@ from repro.streams.stream import insertion_stream
 SEED = 7
 TRIALS = 100
 COPY_COUNTS = (1, 4, 16)
+DELTA_COPIES = 4
+DELTA_UPDATES = (128, 256, 512)
 
 
-def _build_live(stream, pattern, copies: int) -> LiveEngine:
+def _build_live(stream, pattern, copies: int, limit=None) -> LiveEngine:
     engine = LiveEngine(n=stream.n)
     for index in range(copies):
         name = f"copy-{index}"
@@ -36,7 +44,10 @@ def _build_live(stream, pattern, copies: int) -> LiveEngine:
             kwargs=dict(pattern=pattern, trials=TRIALS, rng=SEED + 10 + index,
                         name=name),
         ))
-    engine.feed(stream.columns())
+    u, v, delta = stream.columns()
+    if limit is not None:
+        u, v, delta = u[:limit], v[:limit], delta[:limit]
+    engine.feed((u, v, delta))
     return engine
 
 
@@ -47,10 +58,10 @@ def test_live_checkpoint_scaling(benchmark, capsys):
     tmp = tempfile.mkdtemp(prefix="repro-bench-live-")
 
     table = Table(
-        f"Live-engine checkpoints vs K (m={graph.m}, trials/copy={TRIALS}, "
-        "FGP 3-pass insertion mirror copies)",
-        ["copies", "snapshot ms", "restore ms", "bytes", "bytes/copy",
-         "restored =="],
+        f"Live-engine checkpoints (m={graph.m}, trials/copy={TRIALS}, "
+        "FGP 3-pass insertion mirror copies; delta = journal tail only)",
+        ["copies", "mode", "Δ updates", "snapshot ms", "restore ms",
+         "bytes", "bytes/copy", "restored =="],
     )
     rows = []
     largest_engine = None
@@ -72,6 +83,8 @@ def test_live_checkpoint_scaling(benchmark, capsys):
         assert agree, "restored engine diverged from the live one"
         table.add_row(
             copies,
+            "full",
+            "-",
             f"{snapshot_seconds * 1e3:.1f}",
             f"{restore_seconds * 1e3:.1f}",
             size,
@@ -80,6 +93,8 @@ def test_live_checkpoint_scaling(benchmark, capsys):
         )
         rows.append(dict(
             copies=copies,
+            mode="full",
+            updates_since_base=0,
             snapshot_seconds=snapshot_seconds,
             restore_seconds=restore_seconds,
             checkpoint_bytes=size,
@@ -88,10 +103,81 @@ def test_live_checkpoint_scaling(benchmark, capsys):
         ))
         largest_engine, largest_path = engine, path
 
+    # -- delta sweep: tail bytes scale with updates-since-base ------------
+    base_elements = stream.length - sum(DELTA_UPDATES)
+    assert base_elements > 0, "stream too short for the delta sweep"
+    engine = _build_live(stream, pattern, DELTA_COPIES, limit=base_elements)
+    delta_base = os.path.join(tmp, "live-delta.ckpt")
+    engine.snapshot(delta_base, mode="delta")  # the first write is the base
+    u, v, d = stream.columns()
+    cursor = base_elements
+    delta_sizes = []
+    for updates in DELTA_UPDATES:
+        engine.feed((u[cursor:cursor + updates], v[cursor:cursor + updates],
+                     d[cursor:cursor + updates]))
+        cursor += updates
+        start = time.perf_counter()
+        written = engine.snapshot(delta_base, mode="delta")
+        delta_seconds = time.perf_counter() - start
+        delta_bytes = os.path.getsize(written)
+        delta_sizes.append(delta_bytes)
+        # A full snapshot of the same moment, for the honest comparison.
+        full_twin = os.path.join(tmp, f"live-full-at-{cursor}.ckpt")
+        start = time.perf_counter()
+        engine.snapshot(full_twin)
+        full_seconds = time.perf_counter() - start
+        full_bytes = os.path.getsize(full_twin)
+        assert delta_bytes < full_bytes, (
+            f"delta ({delta_bytes} B) should undercut the full snapshot "
+            f"({full_bytes} B)"
+        )
+        table.add_row(DELTA_COPIES, "delta", updates,
+                      f"{delta_seconds * 1e3:.1f}", "-",
+                      delta_bytes, delta_bytes // DELTA_COPIES, "-")
+        table.add_row(DELTA_COPIES, "full", updates,
+                      f"{full_seconds * 1e3:.1f}", "-",
+                      full_bytes, full_bytes // DELTA_COPIES, "-")
+        rows.append(dict(
+            copies=DELTA_COPIES,
+            mode="delta",
+            updates_since_base=updates,
+            snapshot_seconds=delta_seconds,
+            checkpoint_bytes=delta_bytes,
+            full_bytes_at_same_point=full_bytes,
+            elements=cursor,
+        ))
+    assert delta_sizes == sorted(delta_sizes), (
+        "delta bytes must grow with updates-since-base"
+    )
+    start = time.perf_counter()
+    restored = LiveEngine.restore(delta_base)
+    chain_restore_seconds = time.perf_counter() - start
+    assert restored.restore_info["deltas_applied"] == len(DELTA_UPDATES)
+    assert not restored.restore_info["fell_back"]
+    agree = (
+        restored.estimate(["copy-0"])["copy-0"].estimate
+        == engine.estimate(["copy-0"])["copy-0"].estimate
+    )
+    assert agree, "delta-chain restore diverged from the live engine"
+    table.add_row(DELTA_COPIES, "chain", sum(DELTA_UPDATES), "-",
+                  f"{chain_restore_seconds * 1e3:.1f}",
+                  sum(delta_sizes), "-", "yes")
+    rows.append(dict(
+        copies=DELTA_COPIES,
+        mode="chain",
+        updates_since_base=sum(DELTA_UPDATES),
+        restore_seconds=chain_restore_seconds,
+        checkpoint_bytes=sum(delta_sizes),
+        deltas_applied=len(DELTA_UPDATES),
+        elements=cursor,
+    ))
+
     emit_json(
         "live_checkpoint",
         params=dict(n=graph.n, m=graph.m, trials=TRIALS, seed=SEED,
-                    copy_counts=list(COPY_COUNTS)),
+                    copy_counts=list(COPY_COUNTS),
+                    delta_copies=DELTA_COPIES,
+                    delta_updates=list(DELTA_UPDATES)),
         rows=rows,
     )
     emit_table(table, "live_checkpoint", capsys, json_twin=False)

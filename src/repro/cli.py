@@ -379,6 +379,10 @@ def _live(args: argparse.Namespace) -> int:
     if args.resume and not args.checkpoint:
         print("error: --resume requires --checkpoint", file=sys.stderr)
         return 2
+    if args.max_deltas < 1:
+        print(f"error: --max-deltas must be >= 1, got {args.max_deltas}",
+              file=sys.stderr)
+        return 2
     if args.copies < 1:
         print(f"error: --copies must be >= 1, got {args.copies}", file=sys.stderr)
         return 2
@@ -407,6 +411,15 @@ def _live(args: argparse.Namespace) -> int:
         names = engine.estimator_names
         print(f"resumed from {args.checkpoint}: elements={engine.elements} "
               f"m={engine.net_edge_count} copies={len(names)}")
+        info = engine.restore_info
+        if info and info.get("deltas_applied"):
+            print(f"resume applied {info['deltas_applied']} delta "
+                  f"checkpoint(s)")
+        if info and info.get("fell_back"):
+            dropped = ", ".join(info.get("dropped", ()))
+            print(f"warning: dropped corrupt delta tip ({dropped}); "
+                  f"resuming from the last valid state and re-feeding "
+                  f"the remainder", file=sys.stderr)
     else:
         engine = LiveEngine(
             n=n,
@@ -422,10 +435,16 @@ def _live(args: argparse.Namespace) -> int:
             ))
 
     def report(label: str) -> float:
-        results = engine.estimate(names)
-        median = statistics.median(results[name].estimate for name in names)
+        # Ask for every surviving estimator: naming a lost copy raises,
+        # and under degradation the median over survivors is the answer.
+        results = engine.estimate()
+        median = statistics.median(r.estimate for r in results.values())
+        suffix = ""
+        if engine.degraded:
+            suffix = (f" degraded=true surviving={engine.surviving_copies}"
+                      f" lost={','.join(engine.lost_estimators)}")
         print(f"{label} elements={engine.elements} m={engine.net_edge_count} "
-              f"median={median:.1f}")
+              f"median={median:.1f}{suffix}")
         return median
 
     skip = engine.elements if resumed else 0
@@ -442,16 +461,20 @@ def _live(args: argparse.Namespace) -> int:
         since_checkpoint += len(u)
         since_query += len(u)
         if args.checkpoint_every and since_checkpoint >= args.checkpoint_every:
-            engine.snapshot(args.checkpoint)
-            print(f"checkpoint elements={engine.elements} -> {args.checkpoint}")
+            written = engine.snapshot(args.checkpoint,
+                                      mode=args.checkpoint_mode,
+                                      max_deltas=args.max_deltas)
+            print(f"checkpoint elements={engine.elements} -> {written}")
             since_checkpoint = 0
         if args.query_every and since_query >= args.query_every:
             report("query")
             since_query = 0
 
     if args.checkpoint:
-        engine.snapshot(args.checkpoint)
-        print(f"checkpoint elements={engine.elements} -> {args.checkpoint}")
+        written = engine.snapshot(args.checkpoint,
+                                  mode=args.checkpoint_mode,
+                                  max_deltas=args.max_deltas)
+        print(f"checkpoint elements={engine.elements} -> {written}")
     report("final")
     return 0
 
@@ -692,9 +715,19 @@ def build_parser() -> argparse.ArgumentParser:
                         help="checkpoint file (written at least once at the end)")
     p_live.add_argument("--checkpoint-every", type=int, default=0, metavar="N",
                         help="snapshot every N fed updates (requires --checkpoint)")
+    p_live.add_argument("--checkpoint-mode", choices=["full", "delta"],
+                        default="full",
+                        help="periodic snapshot kind: full (everything, the "
+                             "default) or delta (journal tail only — "
+                             "O(updates-since-base) bytes, rotating to a fresh "
+                             "full base every --max-deltas tails)")
+    p_live.add_argument("--max-deltas", type=int, default=16, metavar="K",
+                        help="delta snapshots per full base before rotation")
     p_live.add_argument("--resume", action="store_true",
                         help="restore --checkpoint if present and continue, "
-                             "skipping already-journaled updates")
+                             "skipping already-journaled updates; a torn delta "
+                             "tip is dropped with a warning and the run "
+                             "re-feeds from the last valid point")
     p_live.add_argument("--query-every", type=int, default=0, metavar="N",
                         help="print a running median estimate every N updates")
     p_live.set_defaults(handler=_live)

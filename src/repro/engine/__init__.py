@@ -11,7 +11,10 @@ execution backends (the worker protocol, the shared-memory batch
 ring, :class:`EstimatorSpec` and :class:`StreamHandle`), and
 :mod:`repro.engine.live` for the
 checkpointable live layer (:class:`LiveEngine`: open-ended ``feed``,
-mid-stream ``estimate``, versioned ``snapshot``/``restore``).
+mid-stream ``estimate``, checksummed full/delta ``snapshot`` and
+corruption-tolerant ``restore``, graceful degradation under worker
+loss).  Deterministic fault injection for all of the above lives in
+:mod:`repro.faults`.
 
 Quick tour::
 
@@ -77,8 +80,10 @@ from repro.engine.estimators import (
 )
 from repro.engine.live import (
     CHECKPOINT_VERSION,
+    DEFAULT_MAX_DELTAS,
     LiveEngine,
     UpdateJournal,
+    checkpoint_manifest,
 )
 from repro.engine.fused import (
     FusedCountResult,
@@ -102,8 +107,10 @@ __all__ = [
     "EngineReport",
     "StreamEngine",
     "CHECKPOINT_VERSION",
+    "DEFAULT_MAX_DELTAS",
     "LiveEngine",
     "UpdateJournal",
+    "checkpoint_manifest",
     "EstimatorSpec",
     "StreamHandle",
     "run_parallel_engine",

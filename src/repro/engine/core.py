@@ -102,6 +102,13 @@ class EngineReport:
     ``workers`` is 1 for the serial backend; for the process backend it
     records the pool size, and ``dispatches`` counts batch broadcasts
     (batches × active workers) rather than batches × active estimators.
+
+    ``degraded`` records that the run lost workers under
+    ``on_worker_loss="degrade"`` and finished on the survivors:
+    ``results`` then holds only the surviving estimators and ``lost``
+    names the shards that died with their workers.  Each surviving
+    estimate is still bit-identical to a run configured without the
+    lost copies.
     """
 
     results: Dict[str, Any]
@@ -110,6 +117,8 @@ class EngineReport:
     dispatches: int
     batch_size: int
     workers: int = 1
+    degraded: bool = False
+    lost: tuple = ()
 
     def __getitem__(self, name: str) -> Any:
         return self.results[name]
@@ -189,6 +198,16 @@ class StreamEngine:
         policy instance).  ``None`` (default) leaves the stream's own
         policy untouched.  Results are bit-identical across policies;
         only decode work and resident memory change.
+    on_worker_loss:
+        Parallel backends only: ``"abort"`` (default) raises
+        :class:`~repro.errors.WorkerLossError` when a worker dies
+        silently or wedges; ``"degrade"`` finishes the run on the
+        surviving workers and reports ``degraded=True`` with the lost
+        estimator names (see :func:`~repro.engine.parallel.run_parallel_engine`).
+    fault_plan:
+        A :class:`~repro.faults.FaultPlan` shipped to every parallel
+        worker — the deterministic drill harness.  ``None`` (default)
+        disables injection.
     """
 
     def __init__(
@@ -202,6 +221,8 @@ class StreamEngine:
         start_method: Optional[str] = None,
         columnar: bool = True,
         cache=None,
+        on_worker_loss: str = "abort",
+        fault_plan=None,
     ) -> None:
         try:
             batch_size = check_batch_size(batch_size)
@@ -213,6 +234,11 @@ class StreamEngine:
             raise EngineError(
                 f"unknown backend {backend!r}; expected one of {EngineBackend._ALL}"
             )
+        if on_worker_loss not in ("abort", "degrade"):
+            raise EngineError(
+                f"on_worker_loss must be 'abort' or 'degrade', "
+                f"got {on_worker_loss!r}"
+            )
         self._stream = stream
         self._batch_size = batch_size
         self._reset_pass_count = reset_pass_count
@@ -222,6 +248,8 @@ class StreamEngine:
         self._start_method = start_method
         self._columnar = columnar
         self._cache = cache
+        self._on_worker_loss = on_worker_loss
+        self._fault_plan = fault_plan
         self._estimators: List[Any] = []
         self._specs: List[Any] = []
         self._names: Dict[str, Any] = {}
@@ -335,6 +363,8 @@ class StreamEngine:
                 max_passes=self._max_passes,
                 columnar=self._columnar,
                 cache=self._cache,
+                on_worker_loss=self._on_worker_loss,
+                fault_plan=self._fault_plan,
             )
         if not self._estimators:
             raise EngineError("no estimators registered")

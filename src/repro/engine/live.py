@@ -62,18 +62,60 @@ replay with a :class:`~repro.errors.CheckpointError`.
 
 Checkpoint format
 -----------------
-``REPROLIVE1\\n`` magic followed by a pickled document with a
-``version`` field (currently 1).  Pickle is what lets estimator specs
-(factory references, pattern objects) and rng states round-trip
-exactly; load checkpoints only from sources you trust, as with any
-pickle.  Writes are atomic (tmp file + rename), so a crash mid-
-snapshot never corrupts the previous checkpoint.
+``REPROLIVE1\\n`` magic, a little-endian u64 format version
+(currently 2), a u64 section count, then per section: a 1-byte name
+length, the ASCII section name, a u64 payload length, a u32 CRC32 of
+the payload, and the pickled payload itself.  Full checkpoints carry
+three sections — ``engine`` (config), ``journal`` (the fed columns),
+``estimators`` (specs + state dicts).  The per-section CRCs turn any
+torn write, truncation, or bit-flip into a typed
+:class:`~repro.errors.CheckpointError` naming the damaged section
+(swept exhaustively in ``tests/test_checkpoint_corruption.py``);
+:func:`checkpoint_manifest` exposes the byte layout those drills
+target.  Version-1 checkpoints (magic + one bare pickled document)
+are still read.  Pickle is what lets estimator specs (factory
+references, pattern objects) and rng states round-trip exactly; load
+checkpoints only from sources you trust, as with any pickle.  Writes
+are atomic and durable (same-directory tmp file + fsync + rename +
+directory fsync) and retried on transient I/O errors, so a crash or
+injected disk fault mid-snapshot never corrupts the previous
+checkpoint.
+
+Delta checkpoints
+-----------------
+``snapshot(path, mode="delta")`` skips the full state capture and
+writes only the journal tail since the last snapshot to
+``<path>.delta.NNNNN`` — O(updates-since-base) bytes instead of
+O(journal + sketches).  Each delta names its base by CRC and its
+exact journal interval; :meth:`LiveEngine.restore` replays the
+longest valid consecutive chain through :meth:`LiveEngine.feed`
+(element order is all that matters for bit-equality, so the replayed
+engine is bit-identical to one that never stopped) and **falls back
+past a torn or mismatched tip** with a logged warning instead of
+failing — the next delta overwrites the bad file.  After
+``max_deltas`` tails the engine rotates: a fresh full base replaces
+the chain.
+
+Fault model
+-----------
+Worker loss (SIGKILL, OOM, a wedge past the reply timeout) is part of
+the engine's contract, not an abort: with the default
+``on_worker_loss="degrade"`` the pool quarantines the lost shard,
+respawns a replacement up to ``respawn_budget`` times (replaying the
+journaled prefix restores it bit-exactly), and on exhaustion the
+engine keeps serving the median of the surviving copies with
+:attr:`LiveEngine.degraded` raised.  Drills are driven by a seeded
+:class:`~repro.faults.FaultPlan` passed as ``fault_plan=``.
 """
 
 from __future__ import annotations
 
+import io
+import logging
 import os
 import pickle
+import struct
+import zlib
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -88,6 +130,7 @@ from repro.engine.parallel import (
     shard_indices,
 )
 from repro.errors import CheckpointError, EngineError, StreamError
+from repro.faults.plan import FaultPlan, fire as fire_fault
 from repro.graph.graph import normalize_edge
 from repro.streams.batch import EdgeBatch
 from repro.streams.stream import (
@@ -96,19 +139,40 @@ from repro.streams.stream import (
     check_batch_size,
     pass_batches,
 )
+from repro.utils.retry import RetryPolicy, retry_call
 
 __all__ = [
     "CHECKPOINT_MAGIC",
     "CHECKPOINT_VERSION",
+    "DEFAULT_MAX_DELTAS",
     "LiveEngine",
     "UpdateJournal",
+    "checkpoint_manifest",
 ]
+
+logger = logging.getLogger("repro.engine.live")
 
 #: Magic prefix of the on-disk live-engine checkpoint format.
 CHECKPOINT_MAGIC = b"REPROLIVE1\n"
 
-#: Current checkpoint document version (bumped on layout changes).
-CHECKPOINT_VERSION = 1
+#: Current checkpoint container version (bumped on layout changes).
+#: Version 1 (magic + one bare pickled document) is still readable.
+CHECKPOINT_VERSION = 2
+
+#: Delta snapshots per full base before the chain rotates.
+DEFAULT_MAX_DELTAS = 16
+
+#: Retry schedule for transient checkpoint-write failures (NFS hiccup,
+#: injected EIO); non-transient errors surface after the last attempt.
+DISK_WRITE_RETRY = RetryPolicy(attempts=3, base_delay=0.02, max_delay=0.5)
+
+_U64 = struct.Struct("<Q")
+_U32 = struct.Struct("<I")
+
+#: ``format`` marker of the engine section / legacy document.
+_FORMAT_FULL = "repro-live-checkpoint"
+#: ``format`` marker of a delta file's header section.
+_FORMAT_DELTA = "repro-live-delta"
 
 
 def _as_update_columns(updates) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
@@ -163,6 +227,255 @@ def _as_update_columns(updates) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
         np.array(vs, dtype=np.int64),
         np.array(deltas, dtype=np.int64),
     )
+
+
+# -- checkpoint container codec ------------------------------------------
+
+
+def _encode_sections(sections: Sequence[Tuple[str, Any]]) -> bytes:
+    """Serialize named sections into the versioned, CRC-guarded container."""
+    out = io.BytesIO()
+    out.write(CHECKPOINT_MAGIC)
+    out.write(_U64.pack(CHECKPOINT_VERSION))
+    out.write(_U64.pack(len(sections)))
+    for name, payload_obj in sections:
+        payload = pickle.dumps(payload_obj, protocol=pickle.HIGHEST_PROTOCOL)
+        encoded = name.encode("ascii")
+        if not 0 < len(encoded) < 256:
+            raise CheckpointError(f"section name {name!r} must be 1..255 bytes")
+        out.write(struct.pack("<B", len(encoded)))
+        out.write(encoded)
+        out.write(_U64.pack(len(payload)))
+        out.write(_U32.pack(zlib.crc32(payload)))
+        out.write(payload)
+    return out.getvalue()
+
+
+def _take(buffer: io.BytesIO, nbytes: int, path: str, what: str) -> bytes:
+    data = buffer.read(nbytes)
+    if len(data) != nbytes:
+        raise CheckpointError(
+            f"{path!r}: truncated checkpoint while reading {what} "
+            f"(wanted {nbytes} bytes, got {len(data)})"
+        )
+    return data
+
+
+def _unpickle(data: bytes, path: str, what: str) -> Any:
+    """Deserialize one payload, converting every failure mode to a typed
+    :class:`~repro.errors.CheckpointError` — a corrupted or truncated
+    pickle must never escape as a raw ``EOFError``/``UnpicklingError``.
+    """
+    try:
+        return pickle.loads(data)
+    except Exception as error:
+        raise CheckpointError(
+            f"{path!r}: checkpoint {what} failed to deserialize "
+            f"({type(error).__name__}: {error})"
+        ) from error
+
+
+def _parse_container(blob: bytes, path: str) -> Tuple[int, Dict[str, Any]]:
+    """Parse a checkpoint file's bytes into ``(version, {name: payload})``.
+
+    Verifies the magic, the container version, every section CRC, and
+    that no trailing bytes follow the last section; any violation is a
+    :class:`~repro.errors.CheckpointError` naming what broke.  Legacy
+    version-1 files (a bare pickled document after the magic) come
+    back as ``(1, {"document": ...})``.
+    """
+    buffer = io.BytesIO(blob)
+    magic = buffer.read(len(CHECKPOINT_MAGIC))
+    if magic != CHECKPOINT_MAGIC:
+        raise CheckpointError(f"{path!r} is not a live-engine checkpoint (bad magic)")
+    head = buffer.read(1)
+    if head == b"\x80":  # a pickle opcode: the un-sectioned v1 layout
+        return 1, {"document": _unpickle(blob[len(CHECKPOINT_MAGIC):], path, "document")}
+    buffer.seek(len(CHECKPOINT_MAGIC))
+    version = _U64.unpack(_take(buffer, 8, path, "the container version"))[0]
+    if version != CHECKPOINT_VERSION:
+        raise CheckpointError(
+            f"{path!r}: checkpoint version {version!r} is not supported "
+            f"(this build reads versions 1 and {CHECKPOINT_VERSION})"
+        )
+    count = _U64.unpack(_take(buffer, 8, path, "the section count"))[0]
+    remaining = len(blob) - buffer.tell()
+    if count > remaining:  # each section needs >= 14 header bytes
+        raise CheckpointError(
+            f"{path!r}: section count {count} exceeds what {remaining} "
+            "remaining bytes could hold (corrupt header)"
+        )
+    sections: Dict[str, Any] = {}
+    for index in range(count):
+        name_len = _take(buffer, 1, path, f"section #{index}'s name length")[0]
+        raw_name = _take(buffer, name_len, path, f"section #{index}'s name")
+        try:
+            name = raw_name.decode("ascii")
+        except UnicodeDecodeError as error:
+            raise CheckpointError(
+                f"{path!r}: section #{index} has a non-ASCII name "
+                f"(corrupt header)"
+            ) from error
+        payload_len = _U64.unpack(
+            _take(buffer, 8, path, f"section {name!r}'s payload length")
+        )[0]
+        stored_crc = _U32.unpack(_take(buffer, 4, path, f"section {name!r}'s CRC"))[0]
+        if payload_len > len(blob) - buffer.tell():
+            raise CheckpointError(
+                f"{path!r}: truncated checkpoint while reading section "
+                f"{name!r}'s payload (wanted {payload_len} bytes, got "
+                f"{len(blob) - buffer.tell()})"
+            )
+        payload = buffer.read(payload_len)
+        actual_crc = zlib.crc32(payload)
+        if actual_crc != stored_crc:
+            raise CheckpointError(
+                f"{path!r}: checkpoint section {name!r} failed its CRC32 "
+                f"check (stored 0x{stored_crc:08x}, computed "
+                f"0x{actual_crc:08x}); the file is corrupt"
+            )
+        sections[name] = _unpickle(payload, path, f"section {name!r}")
+    if buffer.read(1):
+        raise CheckpointError(
+            f"{path!r}: trailing bytes after the last checkpoint section "
+            "(corrupt or doctored file)"
+        )
+    return version, sections
+
+
+def _read_container(path: str) -> Tuple[int, Dict[str, Any], int]:
+    """Read + parse a checkpoint; returns ``(version, sections, file CRC)``."""
+    try:
+        with open(path, "rb") as handle:
+            blob = handle.read()
+    except OSError as error:
+        raise CheckpointError(f"cannot read checkpoint {path!r}: {error}") from error
+    version, sections = _parse_container(blob, path)
+    return version, sections, zlib.crc32(blob)
+
+
+def checkpoint_manifest(path) -> Dict[str, Any]:
+    """The byte layout of a checkpoint file, without deserializing it.
+
+    Returns ``{"path", "version", "size", "sections": [{"name",
+    "offset", "payload_offset", "payload_length", "crc"}, ...]}``
+    where ``offset`` is where the section's header record starts.  The
+    corruption-matrix tests use this to aim truncations and bit-flips
+    at every structural boundary; operators can use it to audit what a
+    checkpoint contains without unpickling anything.
+    """
+    path = os.fspath(path)
+    with open(path, "rb") as handle:
+        blob = handle.read()
+    buffer = io.BytesIO(blob)
+    magic = buffer.read(len(CHECKPOINT_MAGIC))
+    if magic != CHECKPOINT_MAGIC:
+        raise CheckpointError(f"{path!r} is not a live-engine checkpoint (bad magic)")
+    if buffer.read(1) == b"\x80":
+        return {
+            "path": path,
+            "version": 1,
+            "size": len(blob),
+            "sections": [
+                {
+                    "name": "document",
+                    "offset": len(CHECKPOINT_MAGIC),
+                    "payload_offset": len(CHECKPOINT_MAGIC),
+                    "payload_length": len(blob) - len(CHECKPOINT_MAGIC),
+                    "crc": None,
+                }
+            ],
+        }
+    buffer.seek(len(CHECKPOINT_MAGIC))
+    version = _U64.unpack(_take(buffer, 8, path, "the container version"))[0]
+    count = _U64.unpack(_take(buffer, 8, path, "the section count"))[0]
+    sections: List[Dict[str, Any]] = []
+    for index in range(count):
+        offset = buffer.tell()
+        name_len = _take(buffer, 1, path, f"section #{index}'s name length")[0]
+        name = _take(buffer, name_len, path, f"section #{index}'s name").decode(
+            "ascii", errors="replace"
+        )
+        payload_len = _U64.unpack(
+            _take(buffer, 8, path, f"section {name!r}'s payload length")
+        )[0]
+        crc = _U32.unpack(_take(buffer, 4, path, f"section {name!r}'s CRC"))[0]
+        payload_offset = buffer.tell()
+        _take(buffer, payload_len, path, f"section {name!r}'s payload")
+        sections.append(
+            {
+                "name": name,
+                "offset": offset,
+                "payload_offset": payload_offset,
+                "payload_length": payload_len,
+                "crc": crc,
+            }
+        )
+    return {"path": path, "version": version, "size": len(blob), "sections": sections}
+
+
+def _atomic_write(path: str, blob: bytes, fault_plan: Optional[FaultPlan]) -> None:
+    """Durably replace *path* with *blob*; transient failures retry.
+
+    Same-directory temp file + flush + fsync + atomic rename + parent
+    directory fsync: a crash at any instant leaves either the old file
+    or the new one, never a tear.  The ``disk.write`` fault site fires
+    once per attempt, so an injected transient EIO exercises exactly
+    this retry loop.
+    """
+
+    def attempt() -> None:
+        fire_fault("disk.write", plan=fault_plan)
+        tmp = path + ".tmp"
+        try:
+            with open(tmp, "wb") as handle:
+                handle.write(blob)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp, path)
+        except BaseException:
+            if os.path.exists(tmp):
+                os.remove(tmp)
+            raise
+        directory = os.path.dirname(path) or "."
+        try:
+            dir_fd = os.open(directory, os.O_RDONLY)
+        except OSError:  # pragma: no cover - platforms without dir fds
+            return
+        try:
+            os.fsync(dir_fd)
+        finally:
+            os.close(dir_fd)
+
+    retry_call(
+        attempt,
+        policy=DISK_WRITE_RETRY,
+        retry_on=(OSError,),
+        seed=zlib.crc32(path.encode()),
+        label=f"checkpoint write {path}",
+    )
+
+
+def _delta_path(path: str, index: int) -> str:
+    return f"{path}.delta.{index:05d}"
+
+
+def _remove_deltas(path: str, start_index: int = 0) -> List[str]:
+    """Delete ``<path>.delta.*`` files with index >= *start_index*.
+
+    Returns the removed paths.  Scans consecutively from
+    *start_index* — the same order restore scans — so anything a
+    restore could see is covered.
+    """
+    removed: List[str] = []
+    index = start_index
+    while True:
+        candidate = _delta_path(path, index)
+        if not os.path.exists(candidate):
+            return removed
+        os.remove(candidate)
+        removed.append(candidate)
+        index += 1
 
 
 class UpdateJournal:
@@ -356,6 +669,22 @@ class LiveEngine:
     workers, start_method:
         Parallel-backend pool configuration, as in
         :class:`~repro.engine.core.StreamEngine`.
+    on_worker_loss:
+        Parallel backends only.  ``"degrade"`` (default): a silently
+        dead or wedged worker is respawned and replayed from the
+        journal (up to *respawn_budget* times); past the budget its
+        shard is quarantined and the engine keeps serving the
+        surviving estimators with :attr:`degraded` raised.
+        ``"abort"``: the loss raises
+        :class:`~repro.errors.WorkerLossError` and poisons the engine,
+        the historical behavior.
+    respawn_budget:
+        How many worker respawns the engine will attempt over its
+        lifetime before quarantining further losses.
+    fault_plan:
+        A :class:`~repro.faults.FaultPlan` threading the drill
+        schedule through the workers and the checkpoint writes.
+        ``None`` (default) disables injection.
 
     Notes
     -----
@@ -376,6 +705,9 @@ class LiveEngine:
         workers: Optional[int] = None,
         start_method: Optional[str] = None,
         reply_timeout: float = DEFAULT_REPLY_TIMEOUT,
+        on_worker_loss: str = "degrade",
+        respawn_budget: int = 2,
+        fault_plan: Optional[FaultPlan] = None,
     ) -> None:
         try:
             batch_size = check_batch_size(batch_size)
@@ -385,6 +717,15 @@ class LiveEngine:
             raise EngineError(
                 f"unknown backend {backend!r}; expected one of {EngineBackend._ALL}"
             )
+        if on_worker_loss not in ("abort", "degrade"):
+            raise EngineError(
+                f"on_worker_loss must be 'abort' or 'degrade', "
+                f"got {on_worker_loss!r}"
+            )
+        if respawn_budget < 0:
+            raise EngineError(
+                f"respawn_budget must be >= 0, got {respawn_budget}"
+            )
         self._journal = UpdateJournal(n, allow_deletions)
         self._batch_size = batch_size
         self._columnar = bool(columnar)
@@ -392,6 +733,9 @@ class LiveEngine:
         self._workers = workers
         self._start_method = start_method
         self._reply_timeout = reply_timeout
+        self._on_worker_loss = on_worker_loss
+        self._respawns_left = int(respawn_budget)
+        self._fault_plan = fault_plan
         self._specs: List[EstimatorSpec] = []
         self._spec_names: Dict[str, EstimatorSpec] = {}
         self._estimators: List[Any] = []
@@ -401,6 +745,22 @@ class LiveEngine:
         self._started = False
         self._feeding = False
         self._closed = False
+        #: Estimator names whose shard died past the respawn budget.
+        self._lost_names: set = set()
+        #: Journal prefix [0, _synced_elements) that every live worker
+        #: has seen (or is guaranteed to receive from an in-flight
+        #: publish) — the exact replay target for a respawned worker.
+        self._synced_elements = 0
+        #: True while _start() is mid-handshake: losses then are
+        #: quarantined, not respawned (there is no coherent state to
+        #: replay into a replacement yet).
+        self._starting = False
+        #: Per-target-path delta-chain bookkeeping for snapshot():
+        #: {"base_crc", "elements", "next_index"}.
+        self._delta_chains: Dict[str, Dict[str, Any]] = {}
+        #: Set by restore(): what the engine came back from
+        #: ({"path", "deltas_applied", "fell_back", "dropped"}).
+        self.restore_info: Optional[Dict[str, Any]] = None
 
     # -- metadata ---------------------------------------------------------
 
@@ -438,6 +798,39 @@ class LiveEngine:
     @property
     def estimator_names(self) -> List[str]:
         return [spec.name for spec in self._specs]
+
+    @property
+    def degraded(self) -> bool:
+        """Whether any estimator shard was lost past the respawn budget."""
+        return bool(self._lost_names)
+
+    @property
+    def lost_estimators(self) -> List[str]:
+        """Names of the estimators written off with their workers."""
+        return sorted(self._lost_names)
+
+    @property
+    def surviving_copies(self) -> int:
+        """How many registered estimators are still being served."""
+        return len(self._specs) - len(self._lost_names)
+
+    @property
+    def respawns_left(self) -> int:
+        """Remaining worker-respawn budget before losses quarantine."""
+        return self._respawns_left
+
+    def status(self) -> Dict[str, Any]:
+        """A queryable health summary (what ``repro live`` reports)."""
+        return {
+            "elements": self._journal.length,
+            "net_edge_count": self._journal.net_edge_count,
+            "backend": self._backend,
+            "started": self._started,
+            "degraded": self.degraded,
+            "lost": self.lost_estimators,
+            "surviving_copies": self.surviving_copies,
+            "respawns_left": self._respawns_left,
+        }
 
     # -- registration -----------------------------------------------------
 
@@ -478,16 +871,29 @@ class LiveEngine:
 
     # -- lifecycle --------------------------------------------------------
 
+    def _alive_specs(self) -> List[EstimatorSpec]:
+        """The registered specs whose shard has not been lost."""
+        return [spec for spec in self._specs if spec.name not in self._lost_names]
+
     def _start(self, states: Optional[Dict[str, Any]] = None) -> None:
         """Build the estimators (or worker pool) and open the live pass.
 
         With *states* (the restore path) each freshly built estimator
         is loaded from its captured state instead of beginning pass 0.
+        Estimators lost in a previous life (a degraded checkpoint)
+        are excluded — the survivors shard as if the lost copies had
+        never been configured.
         """
         if not self._specs:
             raise EngineError("no estimator specs registered")
+        specs = self._alive_specs()
+        if not specs:
+            raise EngineError(
+                "every registered estimator was lost with its worker; "
+                "nothing left to start"
+            )
         if self._backend == EngineBackend.SERIAL:
-            self._estimators = [spec.build(self._journal) for spec in self._specs]
+            self._estimators = [spec.build(self._journal) for spec in specs]
             if states is None:
                 for estimator in self._estimators:
                     if estimator.wants_pass():
@@ -495,12 +901,13 @@ class LiveEngine:
             else:
                 for estimator in self._estimators:
                     estimator.load_state_dict(states[estimator.name])
+                self._synced_elements = self._journal.length
             self._started = True
             return
-        pool_size = resolve_workers(self._workers, len(self._specs))
+        pool_size = resolve_workers(self._workers, len(specs))
         shards = [
-            [self._specs[i] for i in indices]
-            for indices in shard_indices(len(self._specs), pool_size)
+            [specs[i] for i in indices]
+            for indices in shard_indices(len(specs), pool_size)
         ]
         handle = StreamHandle.of(self._journal)
         self._pool = make_worker_pool(
@@ -510,21 +917,126 @@ class LiveEngine:
             self._reply_timeout,
             start_method=self._start_method,
             batch_capacity=self._batch_size,
+            fault_plan=self._fault_plan,
         )
         self._pool_size = pool_size
-        wants = self._pool.gather("ready", range(pool_size))
-        if states is None:
-            self._active_workers = [w for w in range(pool_size) if wants[w]]
-            self._pool.broadcast(self._active_workers, ("begin_pass", 0))
-        else:
-            shard_states = [
-                {spec.name: states[spec.name] for spec in shard} for shard in shards
-            ]
-            for worker_id, payload in enumerate(shard_states):
-                self._pool.send(worker_id, ("load_state", payload, True))
-            loaded = self._pool.gather("loaded", range(pool_size))
-            self._active_workers = [w for w in range(pool_size) if loaded[w]]
+        if self._on_worker_loss == "degrade":
+            self._pool.loss_handler = self._on_loss
+        self._starting = True
+        try:
+            wants = self._pool.gather("ready", range(pool_size))
+            if states is None:
+                self._active_workers = [
+                    w for w in self._pool.live_ids() if wants.get(w, False)
+                ]
+                self._pool.broadcast(self._active_workers, ("begin_pass", 0))
+            else:
+                shard_states = [
+                    {spec.name: states[spec.name] for spec in shard}
+                    for shard in shards
+                ]
+                for worker_id, payload in enumerate(shard_states):
+                    self._pool.send(worker_id, ("load_state", payload, True))
+                loaded = self._pool.gather("loaded", self._pool.live_ids())
+                self._active_workers = [
+                    w for w in self._pool.live_ids() if loaded.get(w, False)
+                ]
+                self._synced_elements = self._journal.length
+        finally:
+            self._starting = False
         self._started = True
+
+    # -- worker-loss recovery ---------------------------------------------
+
+    def _quarantine(self, worker_id: int) -> None:
+        """Write a worker's shard off permanently: the engine degrades."""
+        names = sorted(spec.name for spec in self._pool.shards[worker_id])
+        self._lost_names.update(names)
+        logger.warning(
+            "live engine degraded: worker %d lost with estimator(s) %s; "
+            "serving the %d surviving copies",
+            worker_id,
+            ", ".join(names),
+            len(self._alive_specs()),
+        )
+
+    def _on_loss(self, lost: List[int]) -> None:
+        """Pool loss handler: respawn within budget, else quarantine.
+
+        Runs inside whichever pool call detected the loss (a send, a
+        gather, a ring-slot wait).  Every reported worker is discarded
+        first — the pool contract — then each one is either replaced
+        by a fresh worker replayed bit-exactly from the journal, or
+        its shard is written off and the engine degrades.
+        """
+        self._pool.discard(lost)
+        for worker_id in lost:
+            was_active = worker_id in self._active_workers
+            if was_active:
+                self._active_workers.remove(worker_id)
+            if self._starting or not was_active:
+                # Mid-handshake (or a worker that never went live):
+                # there is no coherent pass state to replay into a
+                # replacement, so the shard is lost outright.
+                self._quarantine(worker_id)
+                continue
+            if self._respawns_left <= 0:
+                self._quarantine(worker_id)
+                continue
+            self._respawns_left -= 1
+            try:
+                self._respawn_and_replay(worker_id)
+            except Exception as error:
+                logger.warning(
+                    "respawn of worker %d failed (%s); quarantining its shard",
+                    worker_id,
+                    error,
+                )
+                self._quarantine(worker_id)
+
+    def _respawn_and_replay(self, worker_id: int) -> None:
+        """Replace a lost worker and replay the synced journal prefix.
+
+        The replacement rebuilds its estimators from the shard's specs
+        and re-ingests journal elements ``[0, _synced_elements)`` in
+        engine-batch-size slices — element order is all that matters
+        for bit-equality, so the replayed shard is indistinguishable
+        from one that never died.  Elements past the watermark are the
+        in-flight publish the survivors are receiving right now; the
+        replacement joins the active set and takes the *next* publish.
+        """
+        pool = self._pool
+        new_id = pool.respawn(worker_id)
+        ready = pool.gather("ready", [new_id])
+        if not ready.get(new_id, False):
+            raise EngineError(
+                f"respawned worker {new_id} (for lost worker {worker_id}) "
+                "did not come up ready"
+            )
+        pool.send(new_id, ("begin_pass", 0))
+        u, v, delta = self._journal.columns()
+        end = self._synced_elements
+        for start in range(0, end, self._batch_size):
+            stop = min(start + self._batch_size, end)
+            chunk = EdgeBatch(u[start:stop], v[start:stop], delta[start:stop])
+            payload = chunk if self._columnar else list(chunk)
+            # Plain pickled sends, not the shared ring: the ring's
+            # sequence numbers belong to the live feed and must not be
+            # consumed by a replay only one worker needs.
+            if not pool.send(new_id, ("batch", payload)):
+                raise EngineError(
+                    f"respawned worker {new_id} was lost again during "
+                    "journal replay"
+                )
+        self._active_workers.append(new_id)
+        logger.warning(
+            "worker %d lost; respawned as worker %d and replayed %d "
+            "journaled element(s) (%d respawn(s) left)",
+            worker_id,
+            new_id,
+            end,
+            self._respawns_left,
+        )
 
     def feed(self, updates) -> int:
         """Apply a chunk of updates to every live estimator; returns its size.
@@ -545,7 +1057,9 @@ class LiveEngine:
         try:
             u, v, delta = _as_update_columns(updates)
             batch = self._journal.append(u, v, delta)
+            offset = self._journal.length - len(batch)
             if not self._started:
+                self._synced_elements = offset
                 try:
                     self._start()
                 except BaseException:
@@ -566,6 +1080,12 @@ class LiveEngine:
                             if estimator.wants_pass():
                                 estimator.ingest_batch(payload)
                     else:
+                        # Advance the replay watermark *before* the
+                        # publish: every recipient either receives
+                        # this chunk from the in-flight broadcast or
+                        # is respawned with it replayed from the
+                        # journal — never both, never neither.
+                        self._synced_elements = offset + stop
                         self._pool.publish_batch(self._active_workers, payload)
             except BaseException:
                 # A dispatch failure tears the journal/estimator
@@ -588,6 +1108,13 @@ class LiveEngine:
         process backend gathers per shard (the worker command returns
         its whole shard), so a subset query still touches every worker
         but the driver keeps only what was asked for.
+
+        A worker lost mid-gather triggers recovery, which may leave
+        the round partial (a freshly respawned worker never saw this
+        round's ``state_dict`` broadcast) — so the gather re-asks the
+        surviving pool until every needed state is in hand, bounded to
+        a handful of rounds (each round can only be disrupted by
+        another loss, and losses are budgeted).
         """
         wanted = None if names is None else set(names)
         if self._backend == EngineBackend.SERIAL:
@@ -596,13 +1123,30 @@ class LiveEngine:
                 for e in self._estimators
                 if wanted is None or e.name in wanted
             }
-        self._pool.broadcast(range(self._pool_size), ("state_dict",))
+        needed = {
+            spec.name
+            for spec in self._alive_specs()
+            if wanted is None or spec.name in wanted
+        }
         states: Dict[str, Any] = {}
-        for payload in self._pool.gather("state", range(self._pool_size)).values():
-            for name, state in payload.items():
-                if wanted is None or name in wanted:
+        for _ in range(4):
+            live = self._pool.live_ids()
+            self._pool.broadcast(live, ("state_dict",))
+            for payload in self._pool.gather("state", live).values():
+                for name, state in payload.items():
                     states[name] = state
-        return states
+            # Recovery during the round may have shrunk the ask.
+            needed = {name for name in needed if name not in self._lost_names}
+            if needed <= set(states):
+                return {
+                    name: state
+                    for name, state in states.items()
+                    if wanted is None or name in wanted
+                }
+        raise EngineError(
+            f"could not gather estimator state for {sorted(needed - set(states))} "
+            "after repeated worker losses"
+        )
 
     def estimate(self, names: Optional[Sequence[str]] = None) -> Dict[str, Any]:
         """Finish a *fork* of each estimator on the journaled prefix.
@@ -628,6 +1172,16 @@ class LiveEngine:
             if self._started
             else {}
         )
+        # The gather itself can lose workers; drop anything that was
+        # quarantined while we were asking.
+        selected = [
+            spec for spec in selected if spec.name not in self._lost_names
+        ]
+        if not selected:
+            raise EngineError(
+                "every requested estimator was lost with its worker; "
+                "no estimates survive"
+            )
         stream = self._journal.freeze_stream()
         results: Dict[str, Any] = {}
         for spec in selected:
@@ -641,11 +1195,17 @@ class LiveEngine:
 
     def _select(self, names: Optional[Sequence[str]]) -> List[EstimatorSpec]:
         if names is None:
-            return list(self._specs)
+            return self._alive_specs()
         selected = []
         for name in names:
             if name not in self._spec_names:
                 raise EngineError(f"unknown estimator {name!r}")
+            if name in self._lost_names:
+                raise EngineError(
+                    f"estimator {name!r} was lost with its worker (the "
+                    "engine is degraded); query the survivors or restore "
+                    "a checkpoint taken before the loss"
+                )
             selected.append(self._spec_names[name])
         return selected
 
@@ -662,14 +1222,7 @@ class LiveEngine:
 
     # -- checkpointing ----------------------------------------------------
 
-    def snapshot(self, path) -> str:
-        """Write a versioned checkpoint of the full engine state.
-
-        Rejected while a feed is in flight (a mid-batch capture would
-        tear the journal/estimator agreement); call between feeds.
-        The write is atomic — a crash mid-write leaves any previous
-        checkpoint at *path* intact.
-        """
+    def _check_snapshot_allowed(self) -> None:
         if self._closed:
             raise EngineError("live engine is closed")
         if self._feeding:
@@ -677,32 +1230,127 @@ class LiveEngine:
                 "cannot snapshot mid-batch: a feed() is still in flight; "
                 "snapshot between feed calls"
             )
+
+    def snapshot(
+        self,
+        path,
+        mode: str = "full",
+        max_deltas: int = DEFAULT_MAX_DELTAS,
+    ) -> str:
+        """Write a checkpoint of the engine; returns the path written.
+
+        ``mode="full"`` (default) captures everything — journal,
+        specs, estimator states — into *path*.  ``mode="delta"``
+        writes only the journal tail since the last snapshot of *path*
+        to ``<path>.delta.NNNNN`` (O(updates-since-base) bytes, no
+        state gather), falling back to a full snapshot when there is
+        no base yet or the chain has reached *max_deltas* tails
+        (rotation).  A delta with nothing new to record is a no-op
+        returning *path*.
+
+        Rejected while a feed is in flight (a mid-batch capture would
+        tear the journal/estimator agreement); call between feeds.
+        Writes are atomic and fsynced — a crash mid-write leaves any
+        previous checkpoint intact.
+        """
+        if mode not in ("full", "delta"):
+            raise CheckpointError(
+                f"snapshot mode must be 'full' or 'delta', got {mode!r}"
+            )
+        if max_deltas < 1:
+            raise CheckpointError(f"max_deltas must be >= 1, got {max_deltas}")
+        self._check_snapshot_allowed()
+        path = os.fspath(path)
+        if mode == "delta":
+            chain = self._delta_chains.get(path)
+            if chain is None or not os.path.exists(path):
+                # No base to diff against: this snapshot becomes one.
+                return self._snapshot_full(path)
+            if chain["next_index"] >= max_deltas:
+                logger.info(
+                    "delta chain for %r reached %d tails; rotating to a "
+                    "fresh full base",
+                    path,
+                    chain["next_index"],
+                )
+                return self._snapshot_full(path)
+            return self._snapshot_delta(path, chain)
+        return self._snapshot_full(path)
+
+    def _snapshot_full(self, path: str) -> str:
         states = self._gather_states() if self._started else {}
         u, v, delta = self._journal.columns()
-        document = {
-            "format": "repro-live-checkpoint",
-            "version": CHECKPOINT_VERSION,
-            "engine": {
-                "n": self._journal.n,
-                "allow_deletions": self._journal.allows_deletions,
-                "batch_size": self._batch_size,
-                "columnar": self._columnar,
-                "backend": self._backend,
-                "workers": self._workers,
-                "started": self._started,
-            },
-            "journal": {"u": u, "v": v, "delta": delta},
-            "estimators": [
-                {"spec": spec, "state": states.get(spec.name)} for spec in self._specs
-            ],
+        sections = [
+            (
+                "engine",
+                {
+                    "format": _FORMAT_FULL,
+                    "n": self._journal.n,
+                    "allow_deletions": self._journal.allows_deletions,
+                    "batch_size": self._batch_size,
+                    "columnar": self._columnar,
+                    "backend": self._backend,
+                    "workers": self._workers,
+                    "started": self._started,
+                    "lost": sorted(self._lost_names),
+                },
+            ),
+            ("journal", {"u": u, "v": v, "delta": delta}),
+            (
+                "estimators",
+                [
+                    {"spec": spec, "state": states.get(spec.name)}
+                    for spec in self._specs
+                ],
+            ),
+        ]
+        blob = _encode_sections(sections)
+        _atomic_write(path, blob, self._fault_plan)
+        # A fresh base obsoletes every delta of the previous chain.
+        _remove_deltas(path)
+        self._delta_chains[path] = {
+            "base_crc": zlib.crc32(blob),
+            "elements": self._journal.length,
+            "next_index": 0,
         }
-        path = os.fspath(path)
-        tmp = path + ".tmp"
-        with open(tmp, "wb") as handle:
-            handle.write(CHECKPOINT_MAGIC)
-            pickle.dump(document, handle, protocol=pickle.HIGHEST_PROTOCOL)
-        os.replace(tmp, path)
         return path
+
+    def _snapshot_delta(self, path: str, chain: Dict[str, Any]) -> str:
+        start = chain["elements"]
+        stop = self._journal.length
+        if stop == start:
+            return path  # nothing fed since the last snapshot
+        index = chain["next_index"]
+        u, v, delta = self._journal.columns()
+        sections = [
+            (
+                "delta",
+                {
+                    "format": _FORMAT_DELTA,
+                    "base_crc": chain["base_crc"],
+                    "start": start,
+                    "stop": stop,
+                    "index": index,
+                },
+            ),
+            (
+                "tail",
+                {
+                    "u": np.ascontiguousarray(u[start:stop]),
+                    "v": np.ascontiguousarray(v[start:stop]),
+                    "delta": np.ascontiguousarray(delta[start:stop]),
+                },
+            ),
+        ]
+        target = _delta_path(path, index)
+        _atomic_write(target, _encode_sections(sections), self._fault_plan)
+        # Anything past this index is debris from a longer pre-restore
+        # chain; restore would refuse it (interval mismatch), but
+        # removing it keeps the directory honest.
+        _remove_deltas(path, index + 1)
+        chain["elements"] = stop
+        chain["next_index"] = index + 1
+        return target
 
     @classmethod
     def restore(
@@ -720,45 +1368,160 @@ class LiveEngine:
         serial checkpoint restores onto the process backend and vice
         versa.
 
+        If delta files accompany the base (``<path>.delta.NNNNN``),
+        the longest valid consecutive chain is replayed through
+        :meth:`feed`; a torn, corrupt, or mismatched delta stops the
+        replay there with a logged warning — the engine comes back at
+        the last trustworthy point instead of failing, and the next
+        delta snapshot overwrites the bad tip.  ``restore_info`` on
+        the returned engine records what happened.
+
         Checkpoints are pickled documents: restore only files you
         trust (same caveat as any pickle).
         """
         path = os.fspath(path)
-        with open(path, "rb") as handle:
-            magic = handle.read(len(CHECKPOINT_MAGIC))
-            if magic != CHECKPOINT_MAGIC:
+        version, sections, base_crc = _read_container(path)
+        if version == 1:
+            document = sections["document"]
+            if not isinstance(document, dict):
                 raise CheckpointError(
-                    f"{path!r} is not a live-engine checkpoint (bad magic)"
+                    f"{path!r}: checkpoint document is not a mapping"
                 )
-            document = pickle.load(handle)
-        if document.get("format") != "repro-live-checkpoint":
-            raise CheckpointError(f"{path!r}: unknown checkpoint format")
-        version = document.get("version")
-        if version != CHECKPOINT_VERSION:
-            raise CheckpointError(
-                f"{path!r}: checkpoint version {version!r} is not supported "
-                f"(this build reads version {CHECKPOINT_VERSION})"
+            if document.get("format") != _FORMAT_FULL:
+                raise CheckpointError(f"{path!r}: unknown checkpoint format")
+            doc_version = document.get("version")
+            if doc_version != 1:
+                raise CheckpointError(
+                    f"{path!r}: checkpoint version {doc_version!r} is not "
+                    f"supported (this build reads versions 1 and "
+                    f"{CHECKPOINT_VERSION})"
+                )
+        else:
+            document = dict(sections)
+            engine_section = document.get("engine")
+            if not isinstance(engine_section, dict) or (
+                engine_section.get("format") != _FORMAT_FULL
+            ):
+                raise CheckpointError(
+                    f"{path!r}: unknown checkpoint format (the engine "
+                    "section is missing or mislabeled — is this a delta "
+                    "file restored as a base?)"
+                )
+        try:
+            config = document["engine"]
+            journal = document["journal"]
+            estimators = document["estimators"]
+            engine = cls(
+                n=config["n"],
+                allow_deletions=config["allow_deletions"],
+                batch_size=config["batch_size"],
+                columnar=config["columnar"],
+                backend=backend if backend is not None else config["backend"],
+                workers=workers if workers is not None else config["workers"],
+                start_method=start_method,
             )
-        config = document["engine"]
-        engine = cls(
-            n=config["n"],
-            allow_deletions=config["allow_deletions"],
-            batch_size=config["batch_size"],
-            columnar=config["columnar"],
-            backend=backend if backend is not None else config["backend"],
-            workers=workers if workers is not None else config["workers"],
-            start_method=start_method,
-        )
-        journal = document["journal"]
-        if len(journal["u"]):
-            engine._journal.append(journal["u"], journal["v"], journal["delta"])
-        states: Dict[str, Any] = {}
-        for entry in document["estimators"]:
-            engine.register_spec(entry["spec"])
-            states[entry["spec"].name] = entry["state"]
-        if config["started"]:
+            engine._lost_names = set(config.get("lost", ()))
+            if len(journal["u"]):
+                engine._journal.append(journal["u"], journal["v"], journal["delta"])
+            states: Dict[str, Any] = {}
+            for entry in estimators:
+                engine.register_spec(entry["spec"])
+                states[entry["spec"].name] = entry["state"]
+            started = config["started"]
+        except (KeyError, TypeError, IndexError) as error:
+            raise CheckpointError(
+                f"{path!r}: checkpoint is structurally incomplete "
+                f"({type(error).__name__}: {error})"
+            ) from error
+        if started:
             engine._start(states)
+        info = engine._apply_delta_chain(path, base_crc)
+        engine.restore_info = info
         return engine
+
+    def _apply_delta_chain(self, path: str, base_crc: int) -> Dict[str, Any]:
+        """Replay the valid consecutive delta chain of *path*, if any.
+
+        Stops — with a logged warning, not an error — at the first
+        delta that is unreadable, corrupt, bound to a different base,
+        or discontiguous with the journal; everything before it is
+        applied and everything from it on is dropped (the chain
+        bookkeeping points the next delta snapshot at the bad index,
+        so it gets overwritten).
+        """
+        applied = 0
+        dropped: List[str] = []
+        index = 0
+        while True:
+            target = _delta_path(path, index)
+            if not os.path.exists(target):
+                break
+            try:
+                _, sections, _ = _read_container(target)
+                header = sections.get("delta")
+                tail = sections.get("tail")
+                if not isinstance(header, dict) or tail is None:
+                    raise CheckpointError(
+                        f"{target!r}: not a delta checkpoint (missing "
+                        "delta/tail sections)"
+                    )
+                if header.get("format") != _FORMAT_DELTA:
+                    raise CheckpointError(
+                        f"{target!r}: unknown delta checkpoint format"
+                    )
+                if header.get("base_crc") != base_crc:
+                    raise CheckpointError(
+                        f"{target!r}: delta belongs to a different base "
+                        f"checkpoint (base CRC 0x{header.get('base_crc', 0):08x}"
+                        f" != 0x{base_crc:08x})"
+                    )
+                if header.get("index") != index:
+                    raise CheckpointError(
+                        f"{target!r}: delta header index "
+                        f"{header.get('index')!r} does not match its "
+                        f"filename index {index}"
+                    )
+                if header.get("start") != self._journal.length:
+                    raise CheckpointError(
+                        f"{target!r}: delta covers journal elements "
+                        f"[{header.get('start')!r}, {header.get('stop')!r}) "
+                        f"but the journal holds {self._journal.length}"
+                    )
+                expected = header.get("stop", 0) - header.get("start", 0)
+                if len(tail["u"]) != expected:
+                    raise CheckpointError(
+                        f"{target!r}: delta tail holds {len(tail['u'])} "
+                        f"update(s) but its header promises {expected}"
+                    )
+                self.feed((tail["u"], tail["v"], tail["delta"]))
+            except (CheckpointError, StreamError, KeyError, TypeError) as error:
+                logger.warning(
+                    "dropping delta checkpoint tip %r (and any later "
+                    "deltas): %s; restored through %d applied delta(s) "
+                    "at %d element(s)",
+                    target,
+                    error,
+                    applied,
+                    self._journal.length,
+                )
+                probe = index
+                while os.path.exists(_delta_path(path, probe)):
+                    dropped.append(_delta_path(path, probe))
+                    probe += 1
+                break
+            applied += 1
+            index += 1
+        self._delta_chains[path] = {
+            "base_crc": base_crc,
+            "elements": self._journal.length,
+            "next_index": index,
+        }
+        return {
+            "path": path,
+            "deltas_applied": applied,
+            "fell_back": bool(dropped),
+            "dropped": dropped,
+        }
 
     # -- teardown ---------------------------------------------------------
 

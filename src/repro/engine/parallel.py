@@ -116,7 +116,9 @@ from typing import Any, Callable, Dict, List, Optional, Sequence
 import numpy as np
 
 from repro.engine.core import DEFAULT_BATCH_SIZE, EngineReport, apply_cache_policy
-from repro.errors import EngineError, StreamError
+from repro.errors import EngineError, StreamError, WorkerLossError
+from repro.faults.plan import FaultPlan, WorkerKilled
+from repro.utils.retry import RetryPolicy, retry_call
 from repro.streams.batch import EdgeBatch, PACKED_ELEMENT_BYTES, pack_columns, unpack_columns
 from repro.streams.stream import EdgeStream, check_batch_size, pass_batches
 
@@ -159,6 +161,16 @@ SHM_NAME_PREFIX = "repro_shm_"
 #: publishing still overlaps with consumption) instead of reserving
 #: gigabytes of /dev/shm.
 RING_MEMORY_BUDGET = 64 << 20
+
+#: Retry schedule for a worker-side shared-memory attach: the attach
+#: can transiently race segment creation (and the fault drills inject
+#: exactly that), so it gets a couple of cheap retries before the
+#: error surfaces as a worker failure.
+SHM_ATTACH_RETRY = RetryPolicy(attempts=3, base_delay=0.01, max_delay=0.1)
+
+#: Retry schedule for launching a replacement worker process/thread —
+#: a fork can lose a transient EAGAIN race under process pressure.
+RESPAWN_RETRY = RetryPolicy(attempts=3, base_delay=0.05, max_delay=1.0)
 
 
 @dataclass(frozen=True)
@@ -343,14 +355,32 @@ class _SegmentAttachments:
     the driver rewrites the slot.
     """
 
-    def __init__(self) -> None:
+    def __init__(
+        self, worker_id: int = 0, fault_plan: Optional[FaultPlan] = None
+    ) -> None:
+        self._worker_id = worker_id
+        self._fault_plan = fault_plan
         self._segments: Dict[str, Any] = {}
         self._views: Dict[str, np.ndarray] = {}
+
+    def _attach(self, name: str):
+        if self._fault_plan is not None:
+            self._fault_plan.fire("shm.attach", worker=self._worker_id)
+        return _attach_segment(name)
 
     def batch(self, name: str, capacity: int, length: int) -> EdgeBatch:
         view = self._views.get(name)
         if view is None:
-            segment = _attach_segment(name)
+            # The attach is the transient-failure site of the worker
+            # side (a segment can briefly not be visible yet); retried
+            # with a deterministic jitter schedule before the failure
+            # surfaces as a worker error.
+            segment = retry_call(
+                lambda: self._attach(name),
+                policy=SHM_ATTACH_RETRY,
+                seed=self._worker_id,
+                label=f"shm attach {name}",
+            )
             view = np.frombuffer(segment.buf, dtype=np.int64, count=3 * capacity)
             self._segments[name] = segment
             self._views[name] = view
@@ -426,16 +456,32 @@ class _SharedBatchRing:
 
 
 def _worker_main(
-    worker_id: int, specs, handle: StreamHandle, commands, replies, ack=None
+    worker_id: int,
+    specs,
+    handle: StreamHandle,
+    commands,
+    replies,
+    ack=None,
+    fault_plan: Optional[FaultPlan] = None,
 ) -> None:
     """Worker loop: build the shard, consume commands, ship results.
 
     Runs unchanged as a process target and as a thread target; *ack*
     is the process backend's shared acknowledgment counter for the
     shared-memory ring (``None`` on the thread backend, which hands
-    batches over by reference).
+    batches over by reference).  *fault_plan* is the drill harness's
+    seeded fault schedule (see :mod:`repro.faults`): the
+    ``"worker.batch"`` site fires once per delivered batch, *before*
+    the estimators ingest it and before any shm ack — an injected
+    SIGKILL therefore tears the run at the nastiest point, with a
+    published-but-unacknowledged ring slot in flight.
     """
-    attachments = _SegmentAttachments()
+    attachments = _SegmentAttachments(worker_id, fault_plan)
+
+    def batch_fault() -> None:
+        if fault_plan is not None:
+            fault_plan.fire("worker.batch", worker=worker_id)
+
     try:
         estimators = [spec.build(handle) for spec in specs]
         active: List[Any] = []
@@ -445,11 +491,13 @@ def _worker_main(
             command = message[0]
             if command == "batch":
                 batch = message[1]
+                batch_fault()
                 for estimator in active:
                     estimator.ingest_batch(batch)
             elif command == "shm_batch":
                 _, name, capacity, length, seq = message
                 batch = attachments.batch(name, capacity, length)
+                batch_fault()
                 for estimator in active:
                     estimator.ingest_batch(batch)
                 # The columns are copied out; the ack releases the slot
@@ -491,6 +539,11 @@ def _worker_main(
                 return
             else:  # pragma: no cover - driver never sends unknown commands
                 raise EngineError(f"unknown worker command {command!r}")
+    except WorkerKilled:
+        # Injected silent death (thread workers, where a real SIGKILL
+        # is impossible): exit WITHOUT an error reply, so the driver's
+        # silent-death probes — not the error path — must catch it.
+        return
     except BaseException:
         try:
             replies.put(("error", worker_id, traceback.format_exc()))
@@ -507,6 +560,23 @@ class _PoolBase:
     terminability) and may override :meth:`publish_batch` — the base
     implementation sends the batch object itself, which is the whole
     story for threads.
+
+    Worker loss
+    -----------
+    A worker that dies *silently* (SIGKILL, OOM, segfault) or stops
+    making progress (wedged mid-batch past the reply timeout) raises
+    :class:`~repro.errors.WorkerLossError` from whichever pool call
+    noticed — unless a ``loss_handler`` is installed.  The handler is
+    the recovery policy (quarantine and/or respawn: see
+    :meth:`discard` / :meth:`respawn` and the live engine); it MUST
+    leave every reported worker id discarded (or the loss re-raises).
+    After recovery the interrupted send/gather continues against the
+    survivors: discarded ids are skipped by :meth:`send`, dropped from
+    a gather's outstanding set, and excluded from ring-slot waits, so
+    an in-flight broadcast completes its delivery to exactly the
+    workers that are still alive.  Worker ids are never reused —
+    respawned workers get fresh ids — so a stale reply from a lost
+    worker can always be recognized and dropped.
     """
 
     #: What a member of the pool is called in error messages.
@@ -522,6 +592,19 @@ class _PoolBase:
         self.replies: Any = None
         self.commands: List[Any] = []
         self.processes: List[Any] = []
+        self.shards: List[List[EstimatorSpec]] = []
+        #: Recovery policy: ``loss_handler(worker_ids)`` or None (raise).
+        self.loss_handler: Optional[Callable[[List[int]], None]] = None
+        self._discarded: set = set()
+
+    @property
+    def discarded(self) -> frozenset:
+        """Worker ids that were lost (dead or wedged) and written off."""
+        return frozenset(self._discarded)
+
+    def live_ids(self) -> List[int]:
+        """Every worker id that has not been discarded."""
+        return [w for w in range(len(self.processes)) if w not in self._discarded]
 
     # -- transport hooks --------------------------------------------------
 
@@ -534,12 +617,63 @@ class _PoolBase:
     def _join(self, worker_id: int, timeout: float) -> None:
         self.processes[worker_id].join(timeout=timeout)
 
+    def _reap(self, worker_id: int) -> None:
+        """Force a discarded worker down (kill + short join)."""
+        self._terminate(worker_id)
+        self._join(worker_id, 5.0)
+
     def _close_transport(self) -> None:
         """Release transport resources (queues, shared memory)."""
 
+    # -- loss recovery -----------------------------------------------------
+
+    def discard(self, worker_ids) -> None:
+        """Write the workers off: terminate, mark dead, never reuse the id.
+
+        Safe on already-discarded ids.  Discarded workers are skipped
+        by every later send/gather/ack-wait; their stale replies (a
+        wedged worker may wake up long after being written off) are
+        dropped on sight.
+        """
+        for worker_id in worker_ids:
+            if worker_id in self._discarded:
+                continue
+            self._discarded.add(worker_id)
+            self._reap(worker_id)
+
+    def respawn(self, worker_id: int) -> int:
+        """Launch a fresh worker over *worker_id*'s shard; returns its id.
+
+        The replacement is a brand-new worker (new id, new queue,
+        fresh estimators built from the shard's specs) — the caller
+        owns re-deriving its state, e.g. by replaying a journal.
+        Launching retries transient spawn failures on a jittered
+        exponential schedule (:data:`RESPAWN_RETRY`).
+        """
+        raise NotImplementedError
+
+    def _recover(self, loss: WorkerLossError) -> None:
+        """Run the loss handler for *loss*, or re-raise it.
+
+        No handler means the historical contract: the loss aborts the
+        run (as an :class:`~repro.errors.EngineError` subclass).  With
+        a handler, every newly lost worker must come back discarded —
+        a handler that silently ignores a loss would spin the caller
+        forever, so that is treated as a fatal bug.
+        """
+        lost = [w for w in loss.worker_ids if w not in self._discarded]
+        if not lost:
+            return
+        if self.loss_handler is None:
+            raise loss
+        self.loss_handler(list(lost))
+        still = [w for w in lost if w not in self._discarded]
+        if still:  # pragma: no cover - defensive: handler contract breach
+            raise loss
+
     # -- sending ----------------------------------------------------------
 
-    def send(self, worker_id: int, message) -> None:
+    def send(self, worker_id: int, message) -> bool:
         """Put *message* on a worker's bounded queue without deadlocking.
 
         A worker that died mid-pass stops draining its queue; once the
@@ -549,32 +683,49 @@ class _PoolBase:
         from faster workers are stashed for the next ``gather``, and a
         silent death *anywhere* (not just the send target: the driver
         may be blocked on worker A precisely because it will never get
-        to publish the batch worker B died on) aborts the run.
+        to publish the batch worker B died on) aborts the run or, with
+        a loss handler installed, triggers recovery and carries on.
+
+        Returns whether the message was delivered (False: the target
+        was, or became, discarded).
         """
         import queue as queue_module
 
-        queue = self.commands[worker_id]
         deadline = time.monotonic() + self._timeout
         while True:
+            if worker_id in self._discarded:
+                return False
             try:
-                queue.put(message, timeout=1.0)
-                return
+                self.commands[worker_id].put(message, timeout=1.0)
+                return True
             except queue_module.Full:
-                self.probe_failures()
+                try:
+                    self.probe_failures()
+                except WorkerLossError as loss:
+                    self._recover(loss)
+                    deadline = time.monotonic() + self._timeout
+                    continue
                 if time.monotonic() > deadline:
-                    raise EngineError(
-                        f"timed out after {self._timeout}s sending to "
-                        f"{self.kind} {worker_id} (command queue full)"
+                    # The target is alive but not draining: wedged.
+                    self._recover(
+                        WorkerLossError(
+                            f"timed out after {self._timeout}s sending to "
+                            f"{self.kind} {worker_id} (command queue full; "
+                            "worker wedged)",
+                            worker_ids=[worker_id],
+                        )
                     )
+                    deadline = time.monotonic() + self._timeout
 
     def probe_failures(self) -> None:
         """Raise if any worker reported an error or died silently.
 
         Drains the reply queue (stashing legitimate replies), then
-        checks liveness of **every** worker.  When a dead worker is
-        found with no error reply yet, waits a short grace period for
-        an in-flight error message before declaring a silent death —
-        an erroring process may be reaped before its traceback clears
+        checks liveness of every non-discarded worker.  When a dead
+        worker is found with no error reply yet, waits a short grace
+        period for an in-flight error message before declaring a
+        silent death (:class:`~repro.errors.WorkerLossError`) — an
+        erroring process may be reaped before its traceback clears
         the reply pipe.
         """
         import queue as queue_module
@@ -584,10 +735,12 @@ class _PoolBase:
                 reply = self.replies.get_nowait()
             except queue_module.Empty:
                 break
+            if reply[1] in self._discarded:
+                continue
             if reply[0] == "error":
                 raise EngineError(f"{self.kind} {reply[1]} failed:\n{reply[2]}")
             self._stashed.append(reply)
-        dead = [i for i in range(len(self.processes)) if not self._alive(i)]
+        dead = [w for w in self.live_ids() if not self._alive(w)]
         if dead:
             grace = time.monotonic() + 1.0
             while time.monotonic() < grace:
@@ -595,18 +748,28 @@ class _PoolBase:
                     reply = self.replies.get(timeout=0.1)
                 except queue_module.Empty:
                     continue
+                if reply[1] in self._discarded:
+                    continue
                 if reply[0] == "error":
                     raise EngineError(
                         f"{self.kind} {reply[1]} failed:\n{reply[2]}"
                     )
                 self._stashed.append(reply)
-            raise EngineError(
+            raise WorkerLossError(
                 f"{self.kind}(s) {dead} died without reporting an error "
-                "(command queue stalled)"
+                "(command queue stalled)",
+                worker_ids=dead,
             )
 
     def broadcast(self, worker_ids, message) -> None:
-        for worker_id in worker_ids:
+        """Send *message* to every listed worker, skipping discarded ids.
+
+        Iterates a snapshot of *worker_ids* so a loss handler mutating
+        the caller's active list mid-delivery cannot skip a survivor;
+        workers discarded while the broadcast is in flight are simply
+        not delivered to (their shard is gone either way).
+        """
+        for worker_id in list(worker_ids):
             self.send(worker_id, message)
 
     def publish_batch(self, worker_ids, batch) -> None:
@@ -629,46 +792,80 @@ class _PoolBase:
         to ship an error reply (OOM kill, segfault) is noticed within
         ~a second instead of after the full reply timeout — and checks
         the whole pool, not just the workers gathered from.
+
+        With a loss handler installed a detected loss (death or
+        stalled-past-timeout) triggers recovery and the gather carries
+        on with the survivors: discarded ids drop out of the
+        outstanding set, so the result may be **partial** — callers in
+        degrade mode own re-requesting anything a respawned worker now
+        hosts.  Replies that belong to a different in-flight exchange
+        (possible only across recovery boundaries) are stashed for the
+        gather they answer; without a handler any unexpected reply is
+        still the historical protocol-violation error.
         """
         import queue as queue_module
 
-        outstanding = set(worker_ids)
+        outstanding = set(worker_ids) - self._discarded
         payloads: Dict[int, Any] = {}
+        unmatched: List[tuple] = []
         deadline = time.monotonic() + self._timeout
-        while outstanding:
-            if self._stashed:
-                reply = self._stashed.pop(0)
-            else:
-                try:
-                    reply = self.replies.get(timeout=1.0)
-                except queue_module.Empty:
-                    dead = [
-                        i for i in range(len(self.processes)) if not self._alive(i)
-                    ]
-                    if dead:
+        try:
+            while outstanding:
+                if self._stashed:
+                    reply = self._stashed.pop(0)
+                else:
+                    try:
+                        reply = self.replies.get(timeout=1.0)
+                    except queue_module.Empty:
+                        dead = [w for w in self.live_ids() if not self._alive(w)]
+                        if dead:
+                            self._recover(
+                                WorkerLossError(
+                                    f"{self.kind}(s) {dead} died without "
+                                    "reporting an error while the driver "
+                                    f"awaited {kind!r}",
+                                    worker_ids=dead,
+                                )
+                            )
+                        elif time.monotonic() > deadline:
+                            self._recover(
+                                WorkerLossError(
+                                    f"timed out after {self._timeout}s waiting "
+                                    f"for {self.kind} reply {kind!r} from "
+                                    f"{sorted(outstanding)}",
+                                    worker_ids=sorted(outstanding),
+                                )
+                            )
+                        else:
+                            continue
+                        outstanding -= self._discarded
+                        deadline = time.monotonic() + self._timeout
+                        continue
+                if reply[1] in self._discarded:
+                    continue  # stale reply from a written-off worker
+                if reply[0] == "error":
+                    raise EngineError(
+                        f"{self.kind} {reply[1]} failed:\n{reply[2]}"
+                    )
+                if reply[0] != kind or reply[1] not in outstanding:
+                    if self.loss_handler is None:
                         raise EngineError(
-                            f"{self.kind}(s) {dead} died without reporting an "
-                            f"error while the driver awaited {kind!r}"
+                            f"protocol violation: expected {kind!r} from "
+                            f"{sorted(outstanding)}, got {reply[0]!r} from "
+                            f"{self.kind} {reply[1]}"
                         )
-                    if time.monotonic() > deadline:
-                        raise EngineError(
-                            f"timed out after {self._timeout}s waiting for "
-                            f"{self.kind} reply {kind!r} from {sorted(outstanding)}"
-                        )
+                    # Recovery can interleave exchanges (a respawn's
+                    # "ready" gather may pull a survivor's "state"
+                    # reply off the shared queue): park it for the
+                    # gather it answers.
+                    unmatched.append(reply)
                     continue
-            if reply[0] == "error":
-                raise EngineError(
-                    f"{self.kind} {reply[1]} failed:\n{reply[2]}"
-                )
-            if reply[0] != kind or reply[1] not in outstanding:
-                raise EngineError(
-                    f"protocol violation: expected {kind!r} from "
-                    f"{sorted(outstanding)}, got {reply[0]!r} from "
-                    f"{self.kind} {reply[1]}"
-                )
-            outstanding.discard(reply[1])
-            payloads[reply[1]] = reply[2]
-        return payloads
+                outstanding.discard(reply[1])
+                payloads[reply[1]] = reply[2]
+            return payloads
+        finally:
+            if unmatched:
+                self._stashed = unmatched + self._stashed
 
     # -- teardown ---------------------------------------------------------
 
@@ -704,19 +901,19 @@ class _PoolBase:
         shared-memory ring — in a ``finally``.
         """
         try:
-            count = len(self.processes)
+            live = self.live_ids()
             if graceful:
-                stopped = [self._send_stop(worker_id) for worker_id in range(count)]
-                for worker_id in range(count):
+                stopped = {w: self._send_stop(w) for w in live}
+                for worker_id in live:
                     if not stopped[worker_id]:
                         self._terminate(worker_id)
-                for worker_id in range(count):
+                for worker_id in live:
                     self._join(worker_id, 30.0 if stopped[worker_id] else 5.0)
             else:
-                for worker_id in range(count):
+                for worker_id in live:
                     if self._alive(worker_id):
                         self._terminate(worker_id)
-            for worker_id in range(count):
+            for worker_id in live:
                 if self._alive(worker_id):
                     self._terminate(worker_id)
                 self._join(worker_id, 5.0)
@@ -734,6 +931,7 @@ class _ProcessPool(_PoolBase):
         handle,
         timeout: float,
         batch_capacity: int = DEFAULT_BATCH_SIZE,
+        fault_plan: Optional[FaultPlan] = None,
     ) -> None:
         super().__init__(timeout)
         # Start the driver's resource tracker before any worker exists:
@@ -749,6 +947,9 @@ class _ProcessPool(_PoolBase):
         except Exception:  # pragma: no cover - platforms without a tracker
             pass
         self._batch_capacity = int(batch_capacity)
+        self._context = context
+        self._handle = handle
+        self._fault_plan = fault_plan
         self._ring: Optional[_SharedBatchRing] = None
         self._next_seq = 0
         #: Batches shipped through the ring (vs pickled fallbacks) —
@@ -764,12 +965,16 @@ class _ProcessPool(_PoolBase):
             ack = context.Value("q", -1)
             process = context.Process(
                 target=_worker_main,
-                args=(worker_id, list(shard), handle, queue, self.replies, ack),
+                args=(
+                    worker_id, list(shard), handle, queue, self.replies, ack,
+                    fault_plan,
+                ),
                 daemon=True,
             )
             self.commands.append(queue)
             self.acks.append(ack)
             self.processes.append(process)
+            self.shards.append(list(shard))
         try:
             for process in self.processes:
                 process.start()
@@ -789,6 +994,35 @@ class _ProcessPool(_PoolBase):
         process = self.processes[worker_id]
         if process.is_alive():
             process.terminate()
+
+    def respawn(self, worker_id: int) -> int:
+        """Launch a replacement process over *worker_id*'s shard."""
+        shard = list(self.shards[worker_id])
+        new_id = len(self.processes)
+
+        def launch():
+            queue = self._context.Queue(COMMAND_QUEUE_DEPTH)
+            ack = self._context.Value("q", -1)
+            process = self._context.Process(
+                target=_worker_main,
+                args=(
+                    new_id, list(shard), self._handle, queue, self.replies, ack,
+                    self._fault_plan,
+                ),
+                daemon=True,
+            )
+            process.start()
+            return queue, ack, process
+
+        queue, ack, process = retry_call(
+            launch, policy=RESPAWN_RETRY, seed=new_id,
+            label=f"respawn worker {new_id}",
+        )
+        self.commands.append(queue)
+        self.acks.append(ack)
+        self.processes.append(process)
+        self.shards.append(shard)
+        return new_id
 
     def _close_transport(self) -> None:
         if self._ring is not None:
@@ -832,16 +1066,32 @@ class _ProcessPool(_PoolBase):
         seq, worker_ids = occupant
         deadline = time.monotonic() + self._timeout
         while True:
-            pending = [w for w in worker_ids if self._ack_value(w) < seq]
+            # A discarded recipient never acks its slots; its refcount
+            # share is forfeited, otherwise one dead worker would
+            # wedge the whole ring forever.
+            pending = [
+                w
+                for w in worker_ids
+                if w not in self._discarded and self._ack_value(w) < seq
+            ]
             if not pending:
                 self._ring.occupants[slot] = None
                 return
-            self.probe_failures()
+            try:
+                self.probe_failures()
+            except WorkerLossError as loss:
+                self._recover(loss)
+                deadline = time.monotonic() + self._timeout
+                continue
             if time.monotonic() > deadline:
-                raise EngineError(
-                    f"timed out after {self._timeout}s waiting for workers "
-                    f"{pending} to release shared batch #{seq}"
+                self._recover(
+                    WorkerLossError(
+                        f"timed out after {self._timeout}s waiting for workers "
+                        f"{pending} to release shared batch #{seq}",
+                        worker_ids=pending,
+                    )
                 )
+                deadline = time.monotonic() + self._timeout
             time.sleep(0.001)
 
     def publish_batch(self, worker_ids, batch) -> None:
@@ -852,22 +1102,29 @@ class _ProcessPool(_PoolBase):
         worker instead of a full pickled copy each.  Scalar payloads
         (``columnar=False`` tuple lists) and batches larger than the
         ring capacity fall back to the pickled queue path.
+
+        The recipient list is snapshotted *before* the slot wait: loss
+        recovery inside the wait may respawn a worker into the
+        caller's active list, and that replacement already receives
+        this chunk via journal replay — delivering the in-flight
+        publish to it as well would double-ingest the chunk.
         """
+        targets = list(worker_ids)
         if not isinstance(batch, EdgeBatch) or not (
             0 < len(batch) <= self._batch_capacity
         ):
-            self.broadcast(worker_ids, ("batch", batch))
+            self.broadcast(targets, ("batch", batch))
             return
         ring = self._ensure_ring()
         seq = self._next_seq
         slot = seq % ring.depth
         self._wait_for_slot(slot)
         ring.pack(slot, batch)
-        ring.occupants[slot] = (seq, tuple(worker_ids))
+        ring.occupants[slot] = (seq, tuple(targets))
         self._next_seq += 1
         self.shm_batches += 1
         self.broadcast(
-            worker_ids, ("shm_batch", ring.names[slot], ring.capacity, len(batch), seq)
+            targets, ("shm_batch", ring.names[slot], ring.capacity, len(batch), seq)
         )
 
 
@@ -889,34 +1146,78 @@ class _ThreadPool(_PoolBase):
         shards: Sequence[Sequence[EstimatorSpec]],
         handle,
         timeout: float,
+        fault_plan: Optional[FaultPlan] = None,
     ) -> None:
         super().__init__(timeout)
         import queue as queue_module
         import threading
 
+        self._handle = handle
+        self._fault_plan = fault_plan
         self.replies = queue_module.Queue()
         for worker_id, shard in enumerate(shards):
             queue = queue_module.Queue(COMMAND_QUEUE_DEPTH)
             thread = threading.Thread(
                 target=_worker_main,
-                args=(worker_id, list(shard), handle, queue, self.replies, None),
+                args=(worker_id, list(shard), handle, queue, self.replies, None,
+                      fault_plan),
                 daemon=True,
                 name=f"repro-worker-{worker_id}",
             )
             self.commands.append(queue)
             self.processes.append(thread)
+            self.shards.append(list(shard))
         for thread in self.processes:
             thread.start()
 
     def _terminate(self, worker_id: int) -> None:
         """Threads cannot be killed; daemon threads die with the process."""
 
+    def _reap(self, worker_id: int) -> None:
+        """A wedged daemon thread is abandoned, not joined.
+
+        Joining would block the driver on the very thread it wrote off
+        — a wedged thread may sleep for hours.  Its command queue stays
+        allocated but unread; discarded ids never receive new sends.
+        """
+
+    def respawn(self, worker_id: int) -> int:
+        import queue as queue_module
+        import threading
+
+        shard = list(self.shards[worker_id])
+        new_id = len(self.processes)
+
+        def launch():
+            queue = queue_module.Queue(COMMAND_QUEUE_DEPTH)
+            thread = threading.Thread(
+                target=_worker_main,
+                args=(new_id, list(shard), self._handle, queue, self.replies,
+                      None, self._fault_plan),
+                daemon=True,
+                name=f"repro-worker-{new_id}",
+            )
+            thread.start()
+            return queue, thread
+
+        queue, thread = retry_call(
+            launch,
+            policy=RESPAWN_RETRY,
+            seed=new_id,
+            label=f"respawn thread worker {new_id}",
+        )
+        self.commands.append(queue)
+        self.processes.append(thread)
+        self.shards.append(shard)
+        return new_id
+
     def shutdown(self, graceful: bool) -> None:
+        live = self.live_ids()
         if graceful:
-            for worker_id in range(len(self.processes)):
+            for worker_id in live:
                 self._send_stop(worker_id)
-        for thread in self.processes:
-            thread.join(timeout=5.0)
+        for worker_id in live:
+            self.processes[worker_id].join(timeout=5.0)
 
 
 #: Backwards-compatible name for the process pool (the historical
@@ -944,20 +1245,28 @@ def make_worker_pool(
     timeout: float,
     start_method: Optional[str] = None,
     batch_capacity: int = DEFAULT_BATCH_SIZE,
+    fault_plan: Optional[FaultPlan] = None,
 ):
     """Build the worker pool for a parallel backend (thread or process).
 
     *batch_capacity* sizes the process pool's shared-memory ring slots;
     pass the driver's batch size so every columnar batch fits (larger
     batches still work — they fall back to the pickled queue path).
+    *fault_plan* ships a :class:`~repro.faults.FaultPlan` to every
+    worker so drills can kill/wedge them at chosen batches.
     """
     from repro.engine.core import EngineBackend
 
     if backend == EngineBackend.THREAD:
-        return _ThreadPool(shards, handle, timeout)
+        return _ThreadPool(shards, handle, timeout, fault_plan=fault_plan)
     if backend == EngineBackend.PROCESS:
         return _ProcessPool(
-            _make_context(start_method), shards, handle, timeout, batch_capacity
+            _make_context(start_method),
+            shards,
+            handle,
+            timeout,
+            batch_capacity,
+            fault_plan=fault_plan,
         )
     raise EngineError(f"no worker pool for backend {backend!r}")
 
@@ -974,6 +1283,8 @@ def run_parallel_engine(
     reply_timeout: float = DEFAULT_REPLY_TIMEOUT,
     columnar: bool = True,
     cache=None,
+    on_worker_loss: str = "abort",
+    fault_plan: Optional[FaultPlan] = None,
 ) -> EngineReport:
     """Drive *specs* to completion across a worker pool.
 
@@ -997,6 +1308,14 @@ def run_parallel_engine(
     fused pass re-reads from memory or from disk.  Workers always
     consume the published buffers they receive — they never assume a
     cached batch exists on their side of the boundary.
+
+    *on_worker_loss* selects the policy when a worker dies silently
+    (SIGKILL, OOM) or wedges past *reply_timeout*: ``"abort"`` (the
+    default) raises :class:`~repro.errors.WorkerLossError`;
+    ``"degrade"`` writes the worker's shard off and finishes the run on
+    the survivors — the report then carries ``degraded=True`` and the
+    lost estimator names in ``lost``, and each surviving estimate is
+    bit-identical to a run configured without the lost copies.
     """
     from repro.engine.core import EngineBackend
 
@@ -1004,6 +1323,10 @@ def run_parallel_engine(
         raise EngineError(
             f"run_parallel_engine drives the parallel backends "
             f"{(EngineBackend.THREAD, EngineBackend.PROCESS)}, got {backend!r}"
+        )
+    if on_worker_loss not in ("abort", "degrade"):
+        raise EngineError(
+            f"on_worker_loss must be 'abort' or 'degrade', got {on_worker_loss!r}"
         )
     if not specs:
         raise EngineError("no estimator specs registered")
@@ -1031,7 +1354,15 @@ def run_parallel_engine(
         reply_timeout,
         start_method=start_method,
         batch_capacity=batch_size,
+        fault_plan=fault_plan,
     )
+    lost_workers: set = set()
+    if on_worker_loss == "degrade":
+        def quarantine(lost: List[int]) -> None:
+            pool.discard(lost)
+            lost_workers.update(lost)
+
+        pool.loss_handler = quarantine
     graceful = False
     try:
         wants = pool.gather("ready", range(pool_size))
@@ -1039,7 +1370,11 @@ def run_parallel_engine(
         elements = 0
         dispatches = 0
         while True:
-            active = [worker_id for worker_id in range(pool_size) if wants[worker_id]]
+            active = [
+                worker_id
+                for worker_id in pool.live_ids()
+                if wants.get(worker_id, False)
+            ]
             if not active:
                 break
             if max_passes and passes >= max_passes:
@@ -1056,25 +1391,39 @@ def run_parallel_engine(
             wants.update(pool.gather("pass_done", active))
             passes += 1
 
-        pool.broadcast(range(pool_size), ("collect",))
-        shard_results = pool.gather("results", range(pool_size))
+        collectors = pool.live_ids()
+        if not collectors:
+            raise EngineError(
+                f"all {pool_size} workers were lost "
+                f"(worker ids {sorted(lost_workers)}); no estimates survive"
+            )
+        pool.broadcast(collectors, ("collect",))
+        shard_results = pool.gather("results", collectors)
         graceful = True
     finally:
         pool.shutdown(graceful)
 
+    lost_names = sorted(
+        {spec.name for worker_id in pool.discarded for spec in pool.shards[worker_id]}
+    )
     results: Dict[str, Any] = {}
     for payload in shard_results.values():
         results.update(payload)
-    missing = [name for name in names if name not in results]
+    surviving = [name for name in names if name not in lost_names]
+    missing = [name for name in surviving if name not in results]
     if missing:
         raise EngineError(f"workers returned no result for {missing}")
+    if not surviving:  # pragma: no cover - guarded by the collectors check
+        raise EngineError("all estimator shards were lost; no estimates survive")
     return EngineReport(
-        results={name: results[name] for name in names},
+        results={name: results[name] for name in surviving},
         passes=passes,
         elements=elements,
         dispatches=dispatches,
         batch_size=batch_size,
         workers=pool_size,
+        degraded=bool(lost_names),
+        lost=tuple(lost_names),
     )
 
 
@@ -1089,6 +1438,8 @@ def run_process_engine(
     reply_timeout: float = DEFAULT_REPLY_TIMEOUT,
     columnar: bool = True,
     cache=None,
+    on_worker_loss: str = "abort",
+    fault_plan: Optional[FaultPlan] = None,
 ) -> EngineReport:
     """Drive *specs* across a process pool (see :func:`run_parallel_engine`).
 
@@ -1107,4 +1458,6 @@ def run_process_engine(
         reply_timeout=reply_timeout,
         columnar=columnar,
         cache=cache,
+        on_worker_loss=on_worker_loss,
+        fault_plan=fault_plan,
     )

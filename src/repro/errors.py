@@ -85,6 +85,40 @@ class EngineError(ReproError):
     """
 
 
+class WorkerLossError(EngineError):
+    """Raised when pool workers die *silently* or stop making progress.
+
+    Distinct from a worker-reported failure (an estimator raised; the
+    traceback travels back as a plain :class:`EngineError` and always
+    aborts the run): a silent loss — SIGKILL, OOM, segfault, or a
+    wedged worker that stopped draining its command queue — is the
+    fault class the engines can recover from by respawning or
+    quarantining the shard (see ``on_worker_loss`` /
+    ``LiveEngine(respawn_budget=...)``).
+
+    ``worker_ids`` lists the lost workers; ``delivered`` (optional) is
+    the set of workers a mid-broadcast message had already reached
+    when the loss surfaced, which is what lets recovery finish the
+    delivery to the survivors instead of double-sending.
+    """
+
+    def __init__(self, message, worker_ids=(), delivered=None):
+        super().__init__(message)
+        self.worker_ids = tuple(worker_ids)
+        self.delivered = None if delivered is None else frozenset(delivered)
+
+
+class FaultInjected(ReproError):
+    """Raised by an exercised :class:`repro.faults.FaultPlan` rule.
+
+    Only fault-injection drills raise this — production code never
+    does.  Rules with transient actions raise standard ``OSError``
+    subclasses instead (so retry layers treat them like real I/O
+    failures); ``FaultInjected`` is the loud, typed variant for rules
+    that must abort a run visibly.
+    """
+
+
 class EstimationError(ReproError):
     """Raised when an estimator cannot produce a value.
 

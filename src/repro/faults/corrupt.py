@@ -1,0 +1,88 @@
+"""Deterministic on-disk corruption for checkpoint drills.
+
+Byte-level helpers that tear, truncate, and bit-flip files at chosen
+offsets — the write-side counterpart of :class:`~repro.faults.FaultPlan`
+(which injects *process* faults).  Every helper is a pure function of
+its arguments, so a corruption-matrix test case is reproducible from
+its parameters alone.
+
+The matrix in ``tests/test_checkpoint_corruption.py`` sweeps these
+helpers over every section boundary of a live-engine checkpoint
+(:func:`repro.engine.live.checkpoint_manifest` exposes the byte
+layout) and asserts the typed-error contract: a corrupted checkpoint
+either raises :class:`~repro.errors.CheckpointError` naming the bad
+section or — for a torn delta tip — restores the longest valid prefix
+with a logged warning.  Never a silently-wrong engine.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+from typing import Union
+
+__all__ = [
+    "truncate_file",
+    "flip_bit",
+    "overwrite_bytes",
+    "append_garbage",
+]
+
+PathLike = Union[str, "os.PathLike[str]"]
+
+
+def truncate_file(path: PathLike, size: int) -> int:
+    """Truncate *path* to *size* bytes (a torn write); returns new size.
+
+    Negative *size* counts back from the end, so ``truncate_file(p, -1)``
+    models losing the final byte.
+    """
+    path = os.fspath(path)
+    total = os.path.getsize(path)
+    if size < 0:
+        size = max(0, total + size)
+    size = min(size, total)
+    with open(path, "r+b") as handle:
+        handle.truncate(size)
+    return size
+
+
+def flip_bit(path: PathLike, offset: int, bit: int = 0) -> None:
+    """Flip one bit of the byte at *offset* (negative: from the end)."""
+    path = os.fspath(path)
+    total = os.path.getsize(path)
+    if offset < 0:
+        offset += total
+    if not 0 <= offset < total:
+        raise ValueError(f"offset {offset} outside file of {total} bytes")
+    if not 0 <= bit < 8:
+        raise ValueError(f"bit must be in [0, 8), got {bit}")
+    with open(path, "r+b") as handle:
+        handle.seek(offset)
+        value = handle.read(1)[0]
+        handle.seek(offset)
+        handle.write(bytes([value ^ (1 << bit)]))
+
+
+def overwrite_bytes(path: PathLike, offset: int, data: bytes) -> None:
+    """Overwrite bytes at *offset* in place (magic/version mutations)."""
+    path = os.fspath(path)
+    total = os.path.getsize(path)
+    if offset < 0:
+        offset += total
+    if not 0 <= offset <= total:
+        raise ValueError(f"offset {offset} outside file of {total} bytes")
+    with open(path, "r+b") as handle:
+        handle.seek(offset)
+        handle.write(data)
+
+
+def append_garbage(path: PathLike, nbytes: int, seed: int = 0) -> bytes:
+    """Append *nbytes* of seed-deterministic garbage; returns the bytes."""
+    if nbytes < 0:
+        raise ValueError(f"nbytes must be >= 0, got {nbytes}")
+    rng = random.Random(seed)
+    garbage = bytes(rng.getrandbits(8) for _ in range(nbytes))
+    with open(os.fspath(path), "ab") as handle:
+        handle.write(garbage)
+    return garbage

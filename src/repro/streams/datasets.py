@@ -37,11 +37,14 @@ from __future__ import annotations
 
 import os
 import struct
+import zlib
 from typing import IO, Iterator, List, Optional, Tuple, Union
 
 import numpy as np
 
 from repro.errors import StreamError
+from repro.faults.plan import fire as fire_fault
+from repro.utils.retry import RetryPolicy, retry_call
 from repro.graph.graph import Graph
 from repro.streams.batch import EdgeBatch
 from repro.streams.cache import BatchCachePolicy, resolve_cache_policy
@@ -75,6 +78,9 @@ BINARY_MAGIC = b"REPROEB1"
 _HEADER = struct.Struct("<4q")
 
 _FLAG_DELETIONS = 1
+
+#: Retry schedule for the atomic publish of a finished ``.reb`` file.
+DISK_WRITE_RETRY = RetryPolicy(attempts=3, base_delay=0.02, max_delay=0.5)
 
 #: Lines per text-parsing chunk of :func:`read_snap_chunks`.
 DEFAULT_TEXT_CHUNK_LINES = 1 << 16
@@ -196,6 +202,13 @@ class BinaryUpdateWriter:
     the header with the final counts.  Used by
     :func:`convert_edge_list` and directly by scenario pipelines that
     generate updates chunk by chunk.
+
+    The stream is assembled in a same-directory ``.part`` file and
+    only renamed over *path* — after an fsync — once the header is
+    sealed: a crash (or abort) at any point leaves either the
+    previous complete file or nothing, never a torn ``.reb``.  The
+    final publish fires the ``disk.write`` fault site and retries
+    transient I/O errors.
     """
 
     def __init__(
@@ -212,11 +225,12 @@ class BinaryUpdateWriter:
         self._length = 0
         self._net = 0
         self._closed = False
-        self._handle = open(self._path, "wb")
+        self._part = self._path + ".part"
+        self._handle = open(self._part, "wb")
         self._handle.write(BINARY_MAGIC)
         self._handle.write(_HEADER.pack(0, 0, 0, 0))  # sealed on close
-        self._tmp_v = os.fspath(path) + ".v.tmp"
-        self._tmp_d = os.fspath(path) + ".d.tmp"
+        self._tmp_v = self._path + ".v.tmp"
+        self._tmp_d = self._path + ".d.tmp"
         self._v_handle = open(self._tmp_v, "wb")
         self._d_handle = open(self._tmp_d, "wb")
 
@@ -259,36 +273,71 @@ class BinaryUpdateWriter:
         self._net += int(delta.sum(dtype=np.int64))
 
     def abort(self) -> None:
-        """Discard the partial file (failure path)."""
+        """Discard the in-flight ``.part`` and spill files (failure path).
+
+        A previous complete file at the target path is left untouched
+        — the writer never opened it.
+        """
         self._closed = True
         for handle in (self._handle, self._v_handle, self._d_handle):
             handle.close()
-        for path in (self._path, self._tmp_v, self._tmp_d):
+        for path in (self._part, self._tmp_v, self._tmp_d):
             if os.path.exists(path):
                 os.remove(path)
 
     def close(self) -> str:
-        """Seal the header and concatenate the columns; returns the path."""
+        """Seal the header and publish the file atomically; returns the path."""
         if self._closed:
             return self._path
         self._closed = True
-        self._v_handle.close()
-        self._d_handle.close()
-        # u went straight after the header; v and delta columns are
-        # appended from their spill files so each column is contiguous
-        # (memmap-sliceable) without buffering the stream in memory.
-        for tmp in (self._tmp_v, self._tmp_d):
-            with open(tmp, "rb") as spill:
-                while True:
-                    block = spill.read(1 << 22)
-                    if not block:
-                        break
-                    self._handle.write(block)
-            os.remove(tmp)
-        flags = _FLAG_DELETIONS if self._allow_deletions else 0
-        self._handle.seek(len(BINARY_MAGIC))
-        self._handle.write(_HEADER.pack(self._n, self._length, self._net, flags))
-        self._handle.close()
+        try:
+            self._v_handle.close()
+            self._d_handle.close()
+            # u went straight after the header; v and delta columns are
+            # appended from their spill files so each column is contiguous
+            # (memmap-sliceable) without buffering the stream in memory.
+            for tmp in (self._tmp_v, self._tmp_d):
+                with open(tmp, "rb") as spill:
+                    while True:
+                        block = spill.read(1 << 22)
+                        if not block:
+                            break
+                        self._handle.write(block)
+                os.remove(tmp)
+            flags = _FLAG_DELETIONS if self._allow_deletions else 0
+            self._handle.seek(len(BINARY_MAGIC))
+            self._handle.write(_HEADER.pack(self._n, self._length, self._net, flags))
+            self._handle.flush()
+            os.fsync(self._handle.fileno())
+            self._handle.close()
+
+            def publish() -> None:
+                fire_fault("disk.write")
+                os.replace(self._part, self._path)
+
+            retry_call(
+                publish,
+                policy=DISK_WRITE_RETRY,
+                retry_on=(OSError,),
+                seed=zlib.crc32(self._path.encode()),
+                label=f"publish {self._path}",
+            )
+        except BaseException:
+            for handle in (self._handle, self._v_handle, self._d_handle):
+                handle.close()
+            for path in (self._part, self._tmp_v, self._tmp_d):
+                if os.path.exists(path):
+                    os.remove(path)
+            raise
+        directory = os.path.dirname(self._path) or "."
+        try:
+            dir_fd = os.open(directory, os.O_RDONLY)
+        except OSError:  # pragma: no cover - platforms without dir fds
+            return self._path
+        try:
+            os.fsync(dir_fd)
+        finally:
+            os.close(dir_fd)
         return self._path
 
 

@@ -1,5 +1,6 @@
-"""Shared low-level utilities: seeded RNG helpers and validation."""
+"""Shared low-level utilities: seeded RNG helpers, validation, retry."""
 
+from repro.utils.retry import RetryPolicy, retry_call
 from repro.utils.rng import RandomSource, derive_rng, spawn_rngs
 from repro.utils.validation import (
     check_fraction,
@@ -11,6 +12,8 @@ from repro.utils.validation import (
 
 __all__ = [
     "RandomSource",
+    "RetryPolicy",
+    "retry_call",
     "derive_rng",
     "spawn_rngs",
     "check_fraction",

@@ -1,0 +1,112 @@
+"""Jittered-exponential-backoff retry for transient faults.
+
+The parallel and checkpoint layers treat a narrow class of failures as
+*transient*: a shared-memory attach racing a slow mount, a disk write
+hitting a momentary ``EIO``/``ENOSPC``, a worker respawn losing the
+fork race under process pressure.  Those sites wrap the flaky call in
+:func:`retry_call` with a :class:`RetryPolicy` — bounded attempts,
+exponential delays, and *deterministic* jitter (the jitter fraction is
+drawn from a seeded :class:`random.Random`, so a drill that injects a
+fault on the Nth call sees the same retry schedule every run; see
+:mod:`repro.faults`).
+
+Everything else — logic errors, checkpoint corruption, worker
+tracebacks — is deliberately **not** retried: retrying a deterministic
+failure only delays the diagnosis.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+from typing import Callable, Iterator, Optional, Tuple, Type
+
+from repro.errors import ReproError
+
+__all__ = ["RetryPolicy", "retry_call"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How often, and with what delays, a transient call is retried.
+
+    ``attempts`` counts *total* calls (1 = no retries).  Delay before
+    retry ``k`` (1-based) is ``base_delay * multiplier**(k-1)`` capped
+    at ``max_delay``, then jittered by a multiplicative factor drawn
+    uniformly from ``[1 - jitter, 1 + jitter]``.
+    """
+
+    attempts: int = 3
+    base_delay: float = 0.05
+    multiplier: float = 2.0
+    max_delay: float = 2.0
+    jitter: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.attempts < 1:
+            raise ValueError(f"retry attempts must be >= 1, got {self.attempts}")
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ValueError("retry delays must be >= 0")
+        if self.multiplier < 1.0:
+            raise ValueError(f"retry multiplier must be >= 1, got {self.multiplier}")
+        if not (0.0 <= self.jitter < 1.0):
+            raise ValueError(f"retry jitter must be in [0, 1), got {self.jitter}")
+
+    def delays(self, rng: Optional[random.Random] = None) -> Iterator[float]:
+        """The jittered delay schedule, one value per retry.
+
+        With a seeded *rng* the schedule is deterministic — the
+        property the fault drills assert (same seed, same drill
+        outcome, same retry timing decisions).
+        """
+        if rng is None:
+            rng = random.Random()
+        delay = self.base_delay
+        for _ in range(max(0, self.attempts - 1)):
+            capped = min(delay, self.max_delay)
+            if self.jitter:
+                capped *= 1.0 + self.jitter * (2.0 * rng.random() - 1.0)
+            yield max(0.0, capped)
+            delay *= self.multiplier
+
+
+def retry_call(
+    fn: Callable[[], object],
+    policy: RetryPolicy = RetryPolicy(),
+    retry_on: Tuple[Type[BaseException], ...] = (OSError,),
+    seed: Optional[int] = None,
+    label: str = "call",
+    sleep: Callable[[float], None] = time.sleep,
+    on_retry: Optional[Callable[[int, BaseException], None]] = None,
+):
+    """Call ``fn()`` with retries on *retry_on* per *policy*.
+
+    Returns the first successful result.  After the final attempt the
+    last exception propagates unchanged (so callers keep their typed
+    error surface).  *seed* pins the jitter schedule; *on_retry* is
+    invoked as ``on_retry(attempt_number, exception)`` before each
+    sleep — the engines use it to log what is being retried.
+
+    :class:`~repro.errors.ReproError` subclasses are never retried
+    even when they inherit from a *retry_on* class: library-raised
+    errors are deterministic diagnoses, not transient weather.
+    """
+    rng = random.Random(seed)
+    delays = policy.delays(rng)
+    attempt = 0
+    while True:
+        attempt += 1
+        try:
+            return fn()
+        except retry_on as error:
+            if isinstance(error, ReproError):
+                raise
+            try:
+                delay = next(delays)
+            except StopIteration:
+                raise error
+            if on_retry is not None:
+                on_retry(attempt, error)
+            if delay:
+                sleep(delay)

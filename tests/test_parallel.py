@@ -55,6 +55,7 @@ from repro.engine.parallel import (
     build_triest,
     leaked_shm_segments,
     resolve_workers,
+    run_process_engine,
     shard_indices,
 )
 from repro.errors import EngineError
@@ -601,6 +602,35 @@ class TestTeardownHygiene:
         engine.register_spec(EstimatorSpec("mine", _ingest_bomb_factory, {}))
         with pytest.raises(EngineError, match="worker 0 failed"):
             engine.run()
+        assert set(leaked_shm_segments()) == before
+
+    def test_no_segments_leak_after_sigkill_during_publish(self):
+        # Hardest teardown case: a worker takes a real SIGKILL while a
+        # shared-memory batch it was ingesting is still in its ring
+        # slot.  The degrade path must finish with survivors AND the
+        # ring teardown must still unlink every segment — a dead
+        # attach-side process cannot be allowed to pin one.
+        from repro.faults import FaultPlan
+
+        _, stream = _insertion_fixture()
+        before = set(leaked_shm_segments())
+        plan = FaultPlan(seed=77).kill_worker(0, nth_batch=2)
+        report = run_process_engine(
+            stream,
+            [
+                EstimatorSpec("t0", build_triest,
+                              dict(capacity=60, rng=31, name="t0")),
+                EstimatorSpec("t1", build_triest,
+                              dict(capacity=60, rng=32, name="t1")),
+            ],
+            workers=2,
+            batch_size=64,
+            on_worker_loss="degrade",
+            fault_plan=plan,
+        )
+        assert report.degraded
+        assert report.lost == ("t0",)
+        assert "t1" in report.results
         assert set(leaked_shm_segments()) == before
 
 
