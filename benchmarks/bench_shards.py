@@ -1,0 +1,157 @@
+"""Sharded-ingestion benches: scatter/merge scaling vs the shard count.
+
+What hash-partitioned ingestion (:mod:`repro.engine.sharded`) costs
+and buys on a disk-backed turnstile stream: updates/second through the
+scatter/merge driver, the metered peak decoded bytes per shard under a
+bounded LRU cache (the memory the driver actually holds resident), and
+the wall-clock share of the per-pass merge barrier — all as a function
+of the shard count.  Every sharded row is asserted **bit-identical**
+to the unsharded mirror-mode run first, so the table can never report
+a fast-but-wrong configuration.
+
+The archived ``sharded_ingest`` JSON is the machine-readable scaling
+table the CI merge-smoke job validates.
+"""
+
+import os
+import tempfile
+import time
+
+from conftest import emit_json, emit_table
+
+from repro.engine import count_subgraphs_turnstile_fused
+from repro.engine.sharded import count_subgraphs_turnstile_sharded
+from repro.experiments.tables import Table
+from repro.graph import generators as gen
+from repro.patterns import pattern as zoo
+from repro.streams.datasets import (
+    DiskEdgeStream,
+    open_stream_shards,
+    write_binary_updates,
+    write_stream_shards,
+)
+from repro.streams.generators import turnstile_churn_stream
+
+SHARD_COUNTS = (1, 2, 4, 8)
+CACHE = "lru:256k"
+
+
+def _workload(tmp):
+    """A disk-backed turnstile stream (inserts + churn deletions).
+
+    Power-law-cluster graphs are triangle-dense, so the trial budget
+    below yields a **nonzero** median estimate — the bit-equality
+    assertions compare real numbers, not a vacuous 0.0 == 0.0.
+    """
+    graph = gen.power_law_cluster(300, 5, 0.8, 11)
+    stream = turnstile_churn_stream(graph, churn_edges=200, rng=12)
+    u, v, delta = stream.columns()
+    path = write_binary_updates(
+        os.path.join(tmp, "shards-bench.reb"), stream.n, u, v, delta,
+        allow_deletions=True,
+    )
+    return graph, path
+
+
+def test_sharded_ingest_scaling(benchmark, capsys):
+    graph = None
+    copies, trials = 4, 48
+    pattern = zoo.triangle()
+
+    with tempfile.TemporaryDirectory() as tmp:
+        graph, path = _workload(tmp)
+        base = DiskEdgeStream(path, cache="none")
+        stream_length = base.length
+
+        # The correctness anchor: the unsharded mirror-mode run every
+        # sharded row must reproduce bit for bit.
+        start = time.perf_counter()
+        reference = count_subgraphs_turnstile_fused(
+            base, pattern, copies=copies, trials=trials, rng=7, mode="mirror",
+        )
+        reference_seconds = time.perf_counter() - start
+        assert reference.estimate > 0, "vacuous workload: tune graph/trials"
+        updates = reference.passes * stream_length
+
+        rows = [
+            {
+                "shards": 0,
+                "seconds": reference_seconds,
+                "updates_per_sec": updates / reference_seconds,
+                "peak_resident_bytes": 0,
+                "merge_seconds": 0.0,
+                "estimate": reference.estimate,
+            }
+        ]
+        for shards in SHARD_COUNTS:
+            paths = write_stream_shards(path, shards)
+            shard_streams = open_stream_shards(path, shards, cache=CACHE)
+            start = time.perf_counter()
+            result = count_subgraphs_turnstile_sharded(
+                shard_streams, pattern, copies=copies, trials=trials, rng=7,
+            )
+            seconds = time.perf_counter() - start
+            assert result.estimates == reference.estimates
+            assert result.passes == reference.passes
+            peak = max(
+                shard.cache_policy.peak_resident_bytes for shard in shard_streams
+            )
+            rows.append(
+                {
+                    "shards": shards,
+                    "seconds": seconds,
+                    "updates_per_sec": updates / seconds,
+                    "peak_resident_bytes": peak,
+                    "merge_seconds": result.details["merge_seconds"],
+                    "estimate": result.estimate,
+                }
+            )
+            for shard_path in paths:
+                os.unlink(shard_path)
+
+        def rerun_two_shards():
+            two = write_stream_shards(path, 2)
+            try:
+                return count_subgraphs_turnstile_sharded(
+                    open_stream_shards(path, 2, cache=CACHE),
+                    pattern, copies=copies, trials=trials, rng=7,
+                )
+            finally:
+                for shard_path in two:
+                    os.unlink(shard_path)
+
+        result = benchmark.pedantic(rerun_two_shards, rounds=1, iterations=1)
+        assert result.estimates == reference.estimates
+
+    table = Table(
+        f"Sharded turnstile ingestion (K={copies}, trials/copy={trials}, "
+        f"m={graph.m}, updates={stream_length}, cache={CACHE})",
+        ["shards", "seconds", "updates/s", "peak bytes/shard",
+         "merge seconds", "estimate"],
+    )
+    for row in rows:
+        table.add_row(
+            "unsharded" if row["shards"] == 0 else row["shards"],
+            f"{row['seconds']:.3f}",
+            f"{row['updates_per_sec']:,.0f}",
+            f"{row['peak_resident_bytes']:,}",
+            f"{row['merge_seconds']:.4f}",
+            f"{row['estimate']:.1f}",
+        )
+    emit_table(table, "sharded_ingest", capsys, json_twin=False)
+    emit_json(
+        "sharded_ingest",
+        params={
+            "n": graph.n,
+            "m": graph.m,
+            "stream_updates": stream_length,
+            "copies": copies,
+            "trials_per_copy": trials,
+            "pattern": pattern.name,
+            "backend": "serial",
+            "cache": CACHE,
+            "shard_counts": list(SHARD_COUNTS),
+        },
+        rows=rows,
+        extra={"bit_equal_to_unsharded": True},
+    )

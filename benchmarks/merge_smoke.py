@@ -1,0 +1,179 @@
+"""Scatter/merge smoke check for CI (no pytest, no benchmarks).
+
+Exercises the sharded ingestion layer (:mod:`repro.engine.sharded` +
+the hash-partitioned ``.reb`` shard files of
+:mod:`repro.streams.datasets`) end to end on a small turnstile
+workload and fails loudly (exit 1) if any leg of the merge contract
+breaks:
+
+* **bit-equality** — sharded estimates (in-memory shard views at two
+  shard counts, disk shard files, and the process backend) all equal
+  the unsharded mirror-mode run, per copy;
+* **typed refusal** — the insertion-only path raises
+  :class:`~repro.errors.MergeError` at the merge barrier instead of
+  returning a silently wrong estimate;
+* **shared-memory hygiene** — no ``repro_shm_*`` segment survives in
+  ``/dev/shm`` after the process-backend sharded run;
+* **schema** — the archived ``benchmarks/results/sharded_ingest.json``
+  scaling table validates against the shared benchmark schema and
+  carries the expected scaling columns.
+
+Run from the repository root::
+
+    PYTHONPATH=src python benchmarks/merge_smoke.py
+"""
+
+import json
+import os
+import sys
+import tempfile
+
+_HERE = os.path.dirname(os.path.abspath(__file__))
+sys.path.insert(0, os.path.join(os.path.dirname(_HERE), "src"))
+sys.path.insert(0, _HERE)
+
+from conftest import validate_benchmark_json  # noqa: E402
+
+from repro.engine import count_subgraphs_turnstile_fused  # noqa: E402
+from repro.engine.parallel import leaked_shm_segments  # noqa: E402
+from repro.engine.sharded import count_subgraphs_turnstile_sharded  # noqa: E402
+from repro.errors import MergeError  # noqa: E402
+from repro.graph import generators as gen  # noqa: E402
+from repro.patterns import pattern as zoo  # noqa: E402
+from repro.streaming.three_pass import count_subgraphs_insertion_only  # noqa: E402
+from repro.streams.datasets import (  # noqa: E402
+    DiskEdgeStream,
+    open_stream_shards,
+    stream_shard_views,
+    write_binary_updates,
+    write_stream_shards,
+)
+from repro.streams.generators import turnstile_churn_stream  # noqa: E402
+from repro.streams.stream import insertion_stream  # noqa: E402
+
+FAILURES = []
+
+
+def check(label, condition, detail=""):
+    status = "ok" if condition else "FAIL"
+    print(f"[merge-smoke] {label}: {status}{(' — ' + detail) if detail else ''}")
+    if not condition:
+        FAILURES.append(label)
+
+
+def main():
+    cpus = os.cpu_count() or 1
+    print(f"[merge-smoke] cpus={cpus}")
+    # Triangle-dense graph so the bit-equality checks compare nonzero
+    # estimates, not a vacuous 0.0 == 0.0.
+    graph = gen.power_law_cluster(300, 5, 0.8, 11)
+    pattern = zoo.triangle()
+    stream = turnstile_churn_stream(graph, churn_edges=200, rng=12)
+    baseline_segments = set(leaked_shm_segments())
+    check(
+        "clean /dev/shm before the run",
+        not baseline_segments,
+        ", ".join(sorted(baseline_segments)),
+    )
+
+    def sharded(shard_streams, backend="serial"):
+        return count_subgraphs_turnstile_sharded(
+            shard_streams, pattern, copies=4, trials=48, rng=7,
+            backend=backend, batch_size=128,
+        )
+
+    reference = count_subgraphs_turnstile_fused(
+        stream, pattern, copies=4, trials=48, rng=7, mode="mirror",
+    )
+    check("reference estimate is nonzero", reference.estimate > 0,
+          f"estimate={reference.estimate}")
+
+    for shards in (2, 3):
+        result = sharded(stream_shard_views(stream, shards))
+        check(
+            f"{shards} shard views match unsharded bit-for-bit",
+            result.estimates == reference.estimates,
+            f"{result.estimates} vs {reference.estimates}",
+        )
+
+    with tempfile.TemporaryDirectory() as tmp:
+        u, v, delta = stream.columns()
+        path = write_binary_updates(
+            os.path.join(tmp, "smoke.reb"), stream.n, u, v, delta,
+            allow_deletions=True,
+        )
+        write_stream_shards(path, 3)
+        disk_shards = open_stream_shards(path, 3, cache="lru:64k")
+        result = sharded(disk_shards)
+        check(
+            "3 disk shard files match unsharded bit-for-bit",
+            result.estimates == reference.estimates,
+            f"{result.estimates} vs {reference.estimates}",
+        )
+        peak = max(s.cache_policy.peak_resident_bytes for s in disk_shards)
+        check("shard LRU cache metered a bounded peak",
+              0 < peak <= 64 * 1024, f"peak={peak}")
+
+        result = sharded(open_stream_shards(path, 3), backend="process")
+        check(
+            "process-backend sharded run matches unsharded bit-for-bit",
+            result.estimates == reference.estimates,
+            f"{result.estimates} vs {reference.estimates}",
+        )
+    leaked = set(leaked_shm_segments()) - baseline_segments
+    check("no leaked shm segments after the sharded process run",
+          not leaked, ", ".join(sorted(leaked)))
+
+    # The insertion-only oracle answers from reservoir samplers whose
+    # draws depend on the global stream order — merging per-shard
+    # states must refuse with the typed error, never estimate.
+    insertion = insertion_stream(graph, rng=12)
+    views = stream_shard_views(insertion, 2)
+    try:
+        from repro.engine import EstimatorSpec, fgp_insertion_estimator
+        from repro.engine.sharded import ShardedRunner
+
+        runner = ShardedRunner(views)
+        runner.register(EstimatorSpec(
+            "fgp", fgp_insertion_estimator,
+            dict(pattern=pattern, trials=64, rng=5, name="fgp"),
+        ))
+        runner.run()
+    except MergeError as error:
+        check("insertion path refuses with MergeError", True, str(error)[:80])
+    else:
+        check("insertion path refuses with MergeError", False)
+    # ... and the serial insertion counter itself still works.
+    exact = count_subgraphs_insertion_only(
+        insertion_stream(graph, rng=12), pattern, trials=64, rng=5
+    )
+    check("insertion counter unaffected", exact.passes == 3)
+
+    # Schema-validate the archived scaling table.
+    results_path = os.path.join(_HERE, "results", "sharded_ingest.json")
+    try:
+        with open(results_path, "r", encoding="utf-8") as handle:
+            document = json.load(handle)
+        validate_benchmark_json(document)
+        rows = document["rows"]
+        columns = {"shards", "seconds", "updates_per_sec",
+                   "peak_resident_bytes", "merge_seconds", "estimate"}
+        check(
+            "sharded_ingest.json validates against the benchmark schema",
+            document["benchmark"] == "sharded_ingest"
+            and len(rows) >= 2
+            and all(columns <= set(row) for row in rows),
+        )
+    except (OSError, ValueError, KeyError) as error:
+        check("sharded_ingest.json validates against the benchmark schema",
+              False, repr(error))
+
+    if FAILURES:
+        print(f"[merge-smoke] FAILED: {', '.join(FAILURES)}")
+        return 1
+    print("[merge-smoke] all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

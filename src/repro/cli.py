@@ -8,7 +8,9 @@ can be driven without writing Python:
   binary update format (``.reb`` memmap or ``.npz``), compacting raw
   vertex ids to ``[0, n)`` and deduplicating reversed/self-loop rows
   (:mod:`repro.streams.datasets`).  The converted file can be passed
-  straight to ``count`` as an out-of-core stream;
+  straight to ``count`` as an out-of-core stream; ``--shards N``
+  additionally writes N hash-partitioned ``.shard-K-of-N.reb`` files
+  (updates routed by normalized edge) for partitioned ingestion;
 * ``exact``    — exact #H of an edge-list graph (ground truth);
 * ``count``    — the paper's streaming counters (3-pass insertion-only,
   3-pass turnstile, or the 2-pass star-decomposable variant) on an
@@ -26,7 +28,14 @@ can be driven without writing Python:
   batch memory).  The graph argument may also be a converted
   ``.reb``/``.npz`` stream file: it is then streamed out of core in
   its stored order, with batch retention governed by ``--cache
-  {all,lru,none}`` and ``--cache-budget BYTES`` (e.g. ``64M``);
+  {all,lru,none}`` and ``--cache-budget BYTES`` (e.g. ``64M``).
+  ``--shards N`` (turnstile only) switches to **partitioned
+  ingestion** (:mod:`repro.engine.sharded`): the stream is split into
+  N hash-partitioned shards — the files ``convert --shards`` wrote,
+  or on-the-fly views — each fed to an independent replica of every
+  estimator copy, with the linear sketch states merged before each
+  pass closes; estimates stay bit-identical to the unsharded mirror
+  run at any shard count, while resident memory is bounded per shard;
 * ``live``     — open-ended **live estimation** over an update feed
   (:mod:`repro.engine.live`): K mirror copies of a streaming counter
   ingest updates incrementally from a converted ``.reb``/``.npz``
@@ -138,8 +147,11 @@ def _generate(args: argparse.Namespace) -> int:
 
 
 def _convert(args: argparse.Namespace) -> int:
-    from repro.streams.datasets import convert_edge_list
+    from repro.streams.datasets import convert_edge_list, write_stream_shards
 
+    if args.shards is not None and args.shards < 1:
+        print(f"error: --shards must be >= 1, got {args.shards}", file=sys.stderr)
+        return 2
     stream = convert_edge_list(
         args.input,
         args.output,
@@ -152,6 +164,9 @@ def _convert(args: argparse.Namespace) -> int:
         f"wrote {kind} stream: n={stream.n} length={stream.length} "
         f"m={stream.net_edge_count} -> {stream.path}"
     )
+    if args.shards is not None:
+        paths = write_stream_shards(stream, args.shards)
+        print(f"wrote {len(paths)} shard file(s): {paths[0]} .. {paths[-1]}")
     return 0
 
 
@@ -190,11 +205,33 @@ def _count(args: argparse.Namespace) -> int:
               "--backend thread|process", file=sys.stderr)
         return 2
     backend = args.backend or ("process" if args.parallel else "serial")
+    sharded = args.shards is not None
     # An explicit --copies (any value — bad ones get the library's
-    # validation error) or a parallel backend selects the fused path;
-    # otherwise the plain single-copy counters run.
-    fused = args.copies is not None or backend != "serial"
-    copies = args.copies if args.copies is not None else (8 if backend != "serial" else 1)
+    # validation error), a parallel backend, or partitioned ingestion
+    # selects the fused path; otherwise the plain single-copy counters
+    # run.
+    fused = args.copies is not None or backend != "serial" or sharded
+    copies = args.copies if args.copies is not None else (
+        8 if backend != "serial" or sharded else 1
+    )
+    if sharded and args.shards < 1:
+        print(f"error: --shards must be >= 1, got {args.shards}", file=sys.stderr)
+        return 2
+    if sharded and args.algorithm != "turnstile":
+        print("error: --shards requires --algorithm turnstile: the insertion "
+              "paths answer from reservoir samplers whose draws depend on the "
+              "global stream order, so per-shard states cannot be merged "
+              "(MergeError); the turnstile L0-sketch state is linear and "
+              "merges exactly", file=sys.stderr)
+        return 2
+    if sharded and args.adaptive:
+        print("error: --adaptive cannot be combined with --shards",
+              file=sys.stderr)
+        return 2
+    if sharded and args.mode == "shared":
+        print("error: --shards runs mirror-mode replicas (merging requires "
+              "identically seeded copies); drop --mode shared", file=sys.stderr)
+        return 2
     if not fused and args.mode is not None:
         print("error: --mode requires a fused run (--copies K or a parallel "
               "--backend)", file=sys.stderr)
@@ -235,7 +272,8 @@ def _count(args: argparse.Namespace) -> int:
                   "already stored)", file=sys.stderr)
             return 2
         graph = None
-        stream = open_disk_stream(args.graph, cache=cache or "none")
+        disk_cache_spec = cache or "none"
+        stream = open_disk_stream(args.graph, cache=disk_cache_spec)
         # The engine's cache= knob would re-apply the same policy; the
         # disk stream already carries it, so the dispatch passes None.
         cache = None
@@ -258,6 +296,38 @@ def _count(args: argparse.Namespace) -> int:
             return 2
         result = count_subgraphs_unknown(
             stream, pattern, epsilon=args.epsilon, rng=args.seed + 1
+        )
+    elif sharded:
+        # Partitioned ingestion: feed hash-partitioned shards to
+        # replica estimators and merge the linear sketch states before
+        # each pass closes (repro.engine.sharded).  Materialized shard
+        # files (convert --shards) are preferred; otherwise on-the-fly
+        # views partition the opened stream.  Estimates are
+        # bit-identical to the unsharded mirror run at any shard count.
+        from repro.engine import count_subgraphs_turnstile_sharded
+        from repro.engine.core import DEFAULT_BATCH_SIZE
+        from repro.streams.datasets import open_stream_shards, stream_shard_views
+
+        if disk_input:
+            try:
+                shard_streams = open_stream_shards(
+                    args.graph, args.shards, cache=disk_cache_spec
+                )
+            except ReproError:
+                shard_streams = stream_shard_views(
+                    stream, args.shards, cache=disk_cache_spec
+                )
+        else:
+            shard_streams = stream_shard_views(stream, args.shards)
+        result = count_subgraphs_turnstile_sharded(
+            shard_streams,
+            pattern,
+            copies=copies,
+            trials=args.trials,
+            rng=args.seed + 1,
+            backend=backend,
+            workers=args.workers,
+            batch_size=args.batch_size or DEFAULT_BATCH_SIZE,
         )
     elif fused:
         # Median-of-K amplification through the fused engine; on the
@@ -635,6 +705,11 @@ def build_parser() -> argparse.ArgumentParser:
                                 "edges (the stream model requires a simple graph)")
     p_convert.add_argument("--chunk-lines", type=int, default=1 << 16,
                            help="text lines parsed per chunk")
+    p_convert.add_argument("--shards", type=int, default=None, metavar="N",
+                           help="also write N hash-partitioned shard files "
+                                "(base.shard-K-of-N.reb, routed by normalized "
+                                "edge) for partitioned ingestion via "
+                                "`count --shards N`")
     p_convert.set_defaults(handler=_convert)
 
     p_exact = commands.add_parser("exact", help="exact #H (ground truth)")
@@ -688,6 +763,15 @@ def build_parser() -> argparse.ArgumentParser:
                          help="fusion mode for --copies/--parallel runs: mirror "
                          "(per-copy oracles, backend-independent estimates; the "
                          "default) or shared (merged oracles, fastest)")
+    p_count.add_argument("--shards", type=int, default=None, metavar="N",
+                         help="partitioned ingestion (turnstile only): split "
+                              "the stream into N hash-partitioned shards, feed "
+                              "each to replica estimators and merge the linear "
+                              "sketch states before each pass closes; uses "
+                              "materialized shard files (convert --shards) "
+                              "when present, on-the-fly views otherwise; "
+                              "estimates are bit-identical to the unsharded "
+                              "mirror run at any N")
     p_count.set_defaults(handler=_count)
 
     p_live = commands.add_parser(

@@ -47,6 +47,21 @@ ring).  CLI equivalent: ``python -m repro count --backend thread
     # mirror-mode estimates are bit-identical to backend="serial"
     # for the same seeds, whatever the worker count or backend.
 
+When the *stream* — not the copy count — is the bottleneck, the
+scatter/merge driver (:mod:`repro.engine.sharded`) splits it into
+hash-partitioned shards, feeds each shard an independent replica of
+every estimator, and merges the linear sketch states before each pass
+closes; for turnstile paths the result is bit-identical to the
+unsharded mirror run at any shard count.  CLI equivalent: ``python -m
+repro count --shards 4``::
+
+    from repro.engine import count_subgraphs_turnstile_sharded
+    from repro.streams.datasets import open_stream_shards
+
+    shards = open_stream_shards("graph.reb", 4)
+    fused = count_subgraphs_turnstile_sharded(
+        shards, patterns.triangle(), copies=8, trials=64, rng=7)
+
 Parallel execution of hand-registered estimators goes through
 picklable specs (live estimators cannot cross a process boundary)::
 
@@ -98,6 +113,11 @@ from repro.engine.parallel import (
     run_parallel_engine,
     run_process_engine,
 )
+from repro.engine.sharded import (
+    ShardedRunner,
+    count_subgraphs_turnstile_sharded,
+    sharded_stream_handle,
+)
 
 __all__ = [
     "DEFAULT_BATCH_SIZE",
@@ -128,4 +148,7 @@ __all__ = [
     "count_subgraphs_insertion_only_fused",
     "count_subgraphs_turnstile_fused",
     "count_subgraphs_two_pass_fused",
+    "ShardedRunner",
+    "count_subgraphs_turnstile_sharded",
+    "sharded_stream_handle",
 ]

@@ -119,6 +119,9 @@ class EngineReport:
     workers: int = 1
     degraded: bool = False
     lost: tuple = ()
+    #: Wall-clock seconds spent inside merge barriers (scatter/merge
+    #: runs only — see :mod:`repro.engine.sharded`; 0.0 elsewhere).
+    merge_seconds: float = 0.0
 
     def __getitem__(self, name: str) -> Any:
         return self.results[name]

@@ -36,7 +36,13 @@ from repro.baselines.doulion import DoulionEstimator
 from repro.baselines.exact_stream import ExactStreamEstimator
 from repro.baselines.triest import TriestEstimator
 from repro.engine.core import DecodedBatch
-from repro.errors import CheckpointError, EngineError, EstimationError, OracleError
+from repro.errors import (
+    CheckpointError,
+    EngineError,
+    EstimationError,
+    MergeError,
+    OracleError,
+)
 from repro.estimate.concentration import ParamMode
 from repro.oracle.base import QueryAccounting
 from repro.patterns.pattern import Pattern
@@ -137,12 +143,79 @@ class RoundAdaptiveEstimator:
             raise EngineError(f"estimator {self.name!r}: ingest_batch outside an open pass")
         state.ingest_batch(batch)
 
-    def end_pass(self) -> None:
+    def end_pass(self) -> list:
+        """Close the open pass and dispatch its answers; returns them.
+
+        The return value is what a scatter/merge driver broadcasts to
+        the other shard replicas (see :meth:`end_pass_adopting`);
+        ordinary engine loops ignore it.
+        """
         if self._state is None:
             raise EngineError(f"estimator {self.name!r}: end_pass outside an open pass")
         answers = self._state.finish()
         self._state = None
         self._rounds += 1
+        self._history.append(answers)
+        self._lockstep.dispatch(answers)
+        return answers
+
+    def merge(self, other: "RoundAdaptiveEstimator") -> None:
+        """Fold another shard replica's open pass into this one.
+
+        Both estimators must be replicas — built from the same spec
+        (same name, seeds and parameters), driven through the same
+        rounds (identical answer histories), each currently holding an
+        open pass for the same round — with *other* having ingested a
+        disjoint shard of the stream.  The oracle-level merge validates
+        the replica relation (seeds in lockstep, same pass index); the
+        pass-state merge then adds the linear sketch aggregates.  On
+        reservoir-backed paths either check raises a typed
+        :class:`~repro.errors.MergeError` before any state is touched,
+        so a sharded run over a non-mergeable estimator fails loudly
+        instead of returning silently wrong estimates.
+        """
+        if not isinstance(other, RoundAdaptiveEstimator):
+            raise MergeError(
+                f"cannot merge RoundAdaptiveEstimator with {type(other).__name__}"
+            )
+        if other.name != self.name:
+            raise MergeError(
+                f"cannot merge estimator {other.name!r} into {self.name!r}: "
+                "shard replicas must be built from the same spec"
+            )
+        if self._rounds != other._rounds or self._history != other._history:
+            raise MergeError(
+                f"cannot merge estimator {self.name!r}: the replicas' answer "
+                f"histories diverged (self at round {self._rounds}, other at "
+                f"round {other._rounds}); shards must adopt the merged answers "
+                "each pass (end_pass_adopting) to stay in lockstep"
+            )
+        if self._state is None or other._state is None:
+            raise MergeError(
+                f"cannot merge estimator {self.name!r}: both replicas must "
+                "hold an open pass (merge happens before end_pass)"
+            )
+        self._oracle.merge(other._oracle)
+        self._state.merge(other._state)
+
+    def end_pass_adopting(self, answers: Sequence) -> None:
+        """Close the open pass, adopting the merged replica's *answers*.
+
+        The scatter/merge driver merges all shards' pass states into one
+        primary replica and ends that pass normally; every *other*
+        replica then calls this — the local (shard-partial) answers are
+        discarded, the pass's space is released, and the broadcast
+        answers are recorded and dispatched instead, so all replicas
+        consume identical randomness next round and stay mergeable.
+        """
+        if self._state is None:
+            raise EngineError(
+                f"estimator {self.name!r}: end_pass_adopting outside an open pass"
+            )
+        self._state.finish()
+        self._state = None
+        self._rounds += 1
+        answers = list(answers)
         self._history.append(answers)
         self._lockstep.dispatch(answers)
 

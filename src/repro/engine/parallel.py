@@ -515,6 +515,19 @@ def _worker_main(
                 replies.put(
                     ("pass_done", worker_id, any(e.wants_pass() for e in estimators))
                 )
+            elif command == "adopt_answers":
+                # Scatter/merge close: the driver merged every shard's
+                # pass states and broadcasts the *global* answers; each
+                # replica discards its shard-partial answers and adopts
+                # these, keeping all replicas in randomness lockstep
+                # (see repro.engine.sharded.ShardedRunner).
+                payload = message[1]
+                for estimator in active:
+                    estimator.end_pass_adopting(payload[estimator.name])
+                active = []
+                replies.put(
+                    ("pass_done", worker_id, any(e.wants_pass() for e in estimators))
+                )
             elif command == "collect":
                 results = {e.name: e.result() for e in estimators}
                 replies.put(("results", worker_id, results))

@@ -76,6 +76,23 @@ class CheckpointError(ReproError):
     """
 
 
+class MergeError(ReproError):
+    """Raised when two stateful objects cannot be merged.
+
+    Two flavours, both loud by design:
+
+    * **Incompatible shards** — the objects were built from different
+      configurations (universe, levels, seeds, pass index, hash
+      coefficients...), so adding their aggregates would silently
+      corrupt; the message names the mismatched field.
+    * **Non-mergeable semantics** — the object's sampling distribution
+      depends on the global stream order or element count (reservoir
+      paths), so no merge of per-shard states equals a single-stream
+      run; the message documents why and points at the mergeable
+      (turnstile/L0) alternative.
+    """
+
+
 class EngineError(ReproError):
     """Raised for invalid fused-engine usage.
 

@@ -24,7 +24,8 @@ from typing import List, Sequence
 
 import numpy as np
 
-from repro.utils.checkpoint import check_state_config, state_field
+from repro.errors import MergeError
+from repro.utils.checkpoint import check_merge_config, check_state_config, state_field
 from repro.utils.rng import RandomSource, ensure_rng
 
 #: The Mersenne prime 2^61 - 1.
@@ -137,6 +138,26 @@ class PolynomialHash:
     @property
     def independence(self) -> int:
         return len(self._coefficients)
+
+    def merge(self, other: "PolynomialHash") -> None:
+        """Merge-compatibility check: hash functions carry no aggregates.
+
+        A hash function is frozen randomness, so "merging" two of them
+        is a no-op — but only when they are the *same* function.  Two
+        shards hashed with different coefficient vectors placed items
+        at different ℓ0 levels, and their level sketches must never be
+        added; a coefficient mismatch raises
+        :class:`~repro.errors.MergeError` naming the field.
+        """
+        if not isinstance(other, PolynomialHash):
+            raise MergeError(
+                f"cannot merge PolynomialHash with {type(other).__name__}"
+            )
+        check_merge_config(
+            "PolynomialHash",
+            independence=(self.independence, other.independence),
+            coefficients=(self._coefficients, other._coefficients),
+        )
 
     def state_dict(self) -> dict:
         """The drawn coefficients (a hash function is frozen randomness)."""

@@ -25,11 +25,11 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.errors import SketchError
+from repro.errors import MergeError, SketchError
 from repro.sketch.hashing import MERSENNE_PRIME as _PRIME
 from repro.sketch.hashing import PolynomialHash, mulmod_vec, powmod_vec
 from repro.sketch.onesparse import OneSparseRecovery
-from repro.utils.checkpoint import check_state_config, state_field
+from repro.utils.checkpoint import check_merge_config, check_state_config, state_field
 from repro.utils.rng import RandomSource, derive_rng, ensure_rng
 
 _HASH_INDEPENDENCE = 8
@@ -215,6 +215,34 @@ class L0Sampler:
     def is_empty(self) -> bool:
         """Whether all repetitions certify an all-zero vector."""
         return all(sketch_levels[0].is_empty for sketch_levels in self._sketches)
+
+    def merge(self, other: "L0Sampler") -> None:
+        """Fold another sampler's sketch state into this one.
+
+        Valid only for *replica* samplers: same universe, levels and
+        repetitions, **and** the same frozen randomness (per-repetition
+        hash coefficients and fingerprint bases), i.e. both were built
+        from the same construction seed.  Then every level's one-sparse
+        aggregates add exactly (the sketches are linear over the same
+        level assignment), and the merged sampler is bit-identical to
+        one that ingested both shards' updates itself.  Any config or
+        frozen-randomness mismatch raises
+        :class:`~repro.errors.MergeError` naming the field.
+        """
+        if not isinstance(other, L0Sampler):
+            raise MergeError(f"cannot merge L0Sampler with {type(other).__name__}")
+        check_merge_config(
+            "L0Sampler",
+            universe=(self._universe, other._universe),
+            levels=(self._levels, other._levels),
+            repetitions=(self._repetitions, other._repetitions),
+            bases=(self._bases, other._bases),
+        )
+        for mine, theirs in zip(self._hashes, other._hashes):
+            mine.merge(theirs)
+        for sketch_levels, other_levels in zip(self._sketches, other._sketches):
+            for sketch, other_sketch in zip(sketch_levels, other_levels):
+                sketch.merge(other_sketch)
 
     def state_dict(self) -> dict:
         """Full sampler state: hash coefficients, bases, recovery sketches."""

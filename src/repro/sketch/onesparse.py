@@ -26,8 +26,9 @@ from typing import Iterable, Optional, Tuple
 
 import numpy as np
 
+from repro.errors import MergeError
 from repro.sketch.hashing import MERSENNE_PRIME, mulmod_vec, powmod_vec, split_sum
-from repro.utils.checkpoint import check_state_config, state_field
+from repro.utils.checkpoint import check_merge_config, check_state_config, state_field
 from repro.utils.rng import RandomSource, ensure_rng
 
 
@@ -153,6 +154,29 @@ class OneSparseRecovery:
         self._weight += weight_delta
         self._weighted_sum += weighted_delta
         self._fingerprint = (self._fingerprint + fingerprint_delta) % MERSENNE_PRIME
+
+    def merge(self, other: "OneSparseRecovery") -> None:
+        """Fold another sketch of the same identity into this one.
+
+        By linearity the merged aggregates equal those of a single
+        sketch that ingested both update sequences, in any order —
+        the addition is exact Python-int / modular arithmetic, so the
+        result is bit-identical to single-stream ingestion.  Both
+        sketches must share the universe *and* the fingerprint base
+        ``z`` (a fingerprint only composes against the base it was
+        accumulated with); a mismatch raises
+        :class:`~repro.errors.MergeError`.
+        """
+        if not isinstance(other, OneSparseRecovery):
+            raise MergeError(
+                f"cannot merge OneSparseRecovery with {type(other).__name__}"
+            )
+        check_merge_config(
+            "OneSparseRecovery",
+            universe=(self._universe, other._universe),
+            z=(self._z, other._z),
+        )
+        self.apply_aggregates(other._weight, other._weighted_sum, other._fingerprint)
 
     def state_dict(self) -> dict:
         """The three linear aggregates plus the fingerprint base."""

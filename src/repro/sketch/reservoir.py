@@ -24,6 +24,7 @@ import math
 import random
 from typing import Generic, Iterable, List, Optional, TypeVar
 
+from repro.errors import MergeError
 from repro.utils.checkpoint import (
     check_state_config,
     rng_state,
@@ -33,6 +34,27 @@ from repro.utils.checkpoint import (
 from repro.utils.rng import RandomSource, ensure_rng
 
 T = TypeVar("T")
+
+
+def _reservoir_merge_error(kind: str) -> MergeError:
+    """The shared, documented reason reservoir state never merges.
+
+    A reservoir's acceptance probability at stream position t is 1/t —
+    a function of the *global* element count — so per-shard reservoirs
+    saw the wrong t for every element and no combination of their
+    states is distributed like one reservoir over the concatenated
+    stream (the naïve "keep one of the two samples" choice biases
+    toward the smaller shard).  This is semantic, not an implementation
+    gap: partitioned ingestion must use the linear turnstile/L0 sketch
+    paths, whose aggregates add exactly (see
+    ``repro.sketch.l0.L0Sampler.merge``).
+    """
+    return MergeError(
+        f"{kind} state cannot be merged: reservoir draws depend on the global "
+        "stream order and element count, so per-shard samples are not "
+        "distributed as one reservoir over the combined stream; use a "
+        "turnstile (L0-sketch) path for partitioned ingestion"
+    )
 
 
 class SingleReservoir(Generic[T]):
@@ -75,6 +97,10 @@ class SingleReservoir(Generic[T]):
     def item(self) -> Optional[T]:
         """The sampled element, or ``None`` if the stream was empty."""
         return self._item
+
+    def merge(self, other: "SingleReservoir") -> None:
+        """Always raises: see :func:`_reservoir_merge_error`."""
+        raise _reservoir_merge_error("SingleReservoir")
 
     def state_dict(self) -> dict:
         """Mutable runtime state (count, sample, rng position)."""
@@ -179,6 +205,10 @@ class SkipAheadReservoirBank(Generic[T]):
         """All current samples, indexed by slot (do not mutate)."""
         return self._items
 
+    def merge(self, other: "SkipAheadReservoirBank") -> None:
+        """Always raises: see :func:`_reservoir_merge_error`."""
+        raise _reservoir_merge_error("SkipAheadReservoirBank")
+
     def state_dict(self) -> dict:
         """Mutable runtime state (samples, acceptance heap, rng position)."""
         return {
@@ -244,6 +274,10 @@ class ReservoirSampler(Generic[T]):
     def contains_all_offered(self) -> bool:
         """Whether nothing has ever been evicted (count <= capacity)."""
         return self._count <= self._capacity
+
+    def merge(self, other: "ReservoirSampler") -> None:
+        """Always raises: see :func:`_reservoir_merge_error`."""
+        raise _reservoir_merge_error("ReservoirSampler")
 
     def state_dict(self) -> dict:
         """Mutable runtime state (sample, count, rng position)."""

@@ -26,7 +26,16 @@ opens the disk-resident workload end to end:
   bounded chunks from the memmap, with batch retention governed by a
   :class:`~repro.streams.cache.BatchCachePolicy` (default ``"none"``:
   stream straight from disk; ``"lru:<bytes>"`` keeps a bounded hot
-  set for multi-pass runs).
+  set for multi-pass runs);
+* **hash-partitioned shards** for scatter/merge ingestion
+  (:mod:`repro.engine.sharded`): :func:`shard_route` assigns every
+  update to a shard by its *normalized* edge — all updates touching an
+  edge land on the same shard, in stream order, so each shard is
+  itself a prefix-valid turnstile stream — and
+  :func:`write_stream_shards` / :func:`open_stream_shards` materialize
+  and reopen the partitions as ``base.shard-K-of-N.reb`` files whose
+  headers are cross-checked at open (:class:`ShardView` is the
+  zero-copy in-memory alternative).
 
 Everything downstream — the fused engine, both execution backends, the
 oracles — works unchanged on a :class:`DiskEdgeStream`, because they
@@ -36,9 +45,10 @@ only ever consume stream *metadata* plus the dispatched batches.
 from __future__ import annotations
 
 import os
+import re
 import struct
 import zlib
-from typing import IO, Iterator, List, Optional, Tuple, Union
+from typing import IO, Iterator, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -58,16 +68,22 @@ __all__ = [
     "BINARY_MAGIC",
     "BinaryUpdateWriter",
     "DiskEdgeStream",
+    "ShardView",
     "compact_ids",
     "convert_edge_list",
     "degree_adversarial_order",
     "deletion_heavy_updates",
     "is_stream_path",
     "open_disk_stream",
+    "open_stream_shards",
     "read_snap_chunks",
     "save_npz_updates",
+    "shard_path",
+    "shard_route",
     "sliding_window_updates",
+    "stream_shard_views",
     "write_binary_updates",
+    "write_stream_shards",
 ]
 
 #: Magic + version prefix of the ``.reb`` binary update format.
@@ -736,3 +752,270 @@ def degree_adversarial_order(
     if not hide_high_degree_last:
         order = order[::-1]
     return u[order], v[order]
+
+
+# -- hash-partitioned shards ---------------------------------------------
+
+# Routing mix constants (64-bit golden-ratio / murmur3 finalizer odd
+# multipliers).  The mix must be a pure function of the *normalized*
+# edge so insertions and deletions of the same edge always land on the
+# same shard — which is what keeps every shard a prefix-valid turnstile
+# stream (per-edge multiplicities stay in {0, 1} on every shard prefix).
+_SHARD_MIX_LO = np.uint64(0x9E3779B97F4A7C15)
+_SHARD_MIX_HI = np.uint64(0xC2B2AE3D27D4EB4F)
+_SHARD_MIX_FINAL = np.uint64(0xFF51AFD7ED558CCD)
+_SHARD_MIX_SHIFT = np.uint64(33)
+
+_SHARD_NAME = re.compile(r"\.shard-(\d+)-of-(\d+)\.reb$")
+
+
+def shard_route(u, v, shards: int) -> np.ndarray:
+    """Deterministic shard index of each update, from its normalized edge.
+
+    Vectorized 64-bit multiply-mix over ``(min(u,v), max(u,v))`` —
+    exact for any vertex id a stream can carry (the whole ``int64``
+    range, not just 2^32), independent of update order and sign, and
+    identical across platforms and runs.  Routing by edge (not by
+    position) is load-balanced by the hash and, crucially, keeps all
+    updates of one edge on one shard in their original order.
+    """
+    if shards < 1:
+        raise StreamError(f"shard count must be >= 1, got {shards}")
+    u = np.ascontiguousarray(u, dtype=np.int64)
+    v = np.ascontiguousarray(v, dtype=np.int64)
+    lo = np.minimum(u, v).astype(np.uint64)
+    hi = np.maximum(u, v).astype(np.uint64)
+    with np.errstate(over="ignore"):
+        mix = lo * _SHARD_MIX_LO + hi * _SHARD_MIX_HI
+        mix ^= mix >> _SHARD_MIX_SHIFT
+        mix *= _SHARD_MIX_FINAL
+        mix ^= mix >> _SHARD_MIX_SHIFT
+    return (mix % np.uint64(shards)).astype(np.int64)
+
+
+def shard_path(path: Union[str, "os.PathLike[str]"], index: int, shards: int) -> str:
+    """The canonical file name of shard *index*: ``base.shard-K-of-N.reb``.
+
+    The shard count is part of the name so a stale partition from an
+    earlier ``--shards`` value can never be silently mixed into a
+    newer one — :func:`open_stream_shards` requires the exact complete
+    set for one N.
+    """
+    if shards < 1:
+        raise StreamError(f"shard count must be >= 1, got {shards}")
+    if not 0 <= index < shards:
+        raise StreamError(f"shard index {index} outside [0, {shards})")
+    root, extension = os.path.splitext(os.fspath(path))
+    if extension.lower() != ".reb":
+        root = os.fspath(path)
+    return f"{root}.shard-{index}-of-{shards}.reb"
+
+
+def _raw_columns(stream) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """The ``(u, v, delta)`` columns backing any supported stream."""
+    if hasattr(stream, "columns"):
+        return stream.columns()
+    return stream._u, stream._v, stream._delta
+
+
+def write_stream_shards(
+    source,
+    shards: int,
+    paths: Optional[Sequence[str]] = None,
+    chunk_size: int = 1 << 20,
+) -> List[str]:
+    """Partition a converted stream into *shards* ``.reb`` shard files.
+
+    *source* is a stream path (opened via :func:`open_disk_stream`) or
+    any stream exposing raw columns.  Updates are routed by
+    :func:`shard_route` in bounded chunks — memory stays
+    O(*chunk_size*) however long the stream is — and each shard file
+    is a complete, self-describing ``.reb``: same ``n`` and deletions
+    flag as the source, its own length and net edge count (the
+    per-shard sums reassemble the source's exactly, which
+    :func:`open_stream_shards` re-verifies).  Publication inherits the
+    writer's crash safety: every shard appears atomically or not at
+    all.  Returns the shard paths in index order.
+    """
+    if shards < 1:
+        raise StreamError(f"shard count must be >= 1, got {shards}")
+    if isinstance(source, (str, os.PathLike)):
+        source = open_disk_stream(source)
+    if paths is None:
+        base = getattr(source, "path", None)
+        if base is None:
+            raise StreamError(
+                "source stream has no path; pass explicit shard paths"
+            )
+        paths = [shard_path(base, index, shards) for index in range(shards)]
+    else:
+        paths = [os.fspath(path) for path in paths]
+        if len(paths) != shards:
+            raise StreamError(f"{len(paths)} paths for {shards} shards")
+    u, v, delta = _raw_columns(source)
+    length = len(u)
+    writers = [
+        BinaryUpdateWriter(path, source.n, allow_deletions=source.allows_deletions)
+        for path in paths
+    ]
+    try:
+        for start in range(0, length, chunk_size):
+            stop = min(start + chunk_size, length)
+            chunk_u = np.asarray(u[start:stop])
+            chunk_v = np.asarray(v[start:stop])
+            chunk_delta = np.asarray(delta[start:stop])
+            route = shard_route(chunk_u, chunk_v, shards)
+            for index, writer in enumerate(writers):
+                hit = route == index
+                if hit.any():
+                    writer.append(chunk_u[hit], chunk_v[hit], chunk_delta[hit])
+    except BaseException:
+        for writer in writers:
+            writer.abort()
+        raise
+    for writer in writers:
+        writer.close()
+    return list(paths)
+
+
+def open_stream_shards(
+    path: Union[str, "os.PathLike[str]"],
+    shards: Optional[int] = None,
+    cache="none",
+) -> List[DiskEdgeStream]:
+    """Open the shard set written for *path*, cross-checking the headers.
+
+    With *shards* the exact partition ``base.shard-*-of-shards.reb`` is
+    opened; without it the count is discovered from the files next to
+    *path*.  Opening fails loudly on an incomplete index set, on
+    mixed shard counts, or on shards whose headers disagree on ``n``
+    (shards of different streams can otherwise silently merge into
+    garbage — the engine's config-echo checks would catch the seeds,
+    not the data).  Returns the shard streams in index order.
+    """
+    base = os.fspath(path)
+    if shards is None:
+        directory = os.path.dirname(base) or "."
+        prefix = os.path.basename(shard_path(base, 0, 1)).rsplit("0-of-1.reb", 1)[0]
+        counts = set()
+        for name in os.listdir(directory):
+            match = _SHARD_NAME.search(name)
+            if match and name.startswith(prefix):
+                counts.add(int(match.group(2)))
+        if not counts:
+            raise StreamError(f"no shard files found next to {base!r}")
+        if len(counts) > 1:
+            raise StreamError(
+                f"mixed shard counts {sorted(counts)} next to {base!r}; "
+                "pass shards= explicitly or remove the stale partition"
+            )
+        shards = counts.pop()
+    missing = [
+        shard_path(base, index, shards)
+        for index in range(shards)
+        if not os.path.exists(shard_path(base, index, shards))
+    ]
+    if missing:
+        raise StreamError(
+            f"shard set for {base!r} is incomplete: missing {missing}"
+        )
+    streams = [
+        DiskEdgeStream(shard_path(base, index, shards), cache=cache)
+        for index in range(shards)
+    ]
+    n = streams[0].n
+    for index, stream in enumerate(streams):
+        if stream.n != n:
+            raise StreamError(
+                f"shard {index} of {base!r} has n={stream.n} but shard 0 has "
+                f"n={n}; the files are not shards of one stream"
+            )
+    return streams
+
+
+class ShardView(CachedBatchStream):
+    """One shard of a stream as a filtered, pass-counting view.
+
+    The in-memory counterpart of a materialized shard file: rows whose
+    :func:`shard_route` equals *index* are located once (a chunked scan
+    storing row positions — O(length/shards) ``int64`` per view, so
+    prefer ``repro convert --shards`` for graphs that must stay out of
+    core) and decoded on demand from the base stream's columns.  A view
+    over shard ``k`` of ``N`` is bit-identical, update for update, to
+    the file :func:`write_stream_shards` writes for ``(k, N)``.
+    """
+
+    def __init__(self, base, index: int, shards: int, cache="none") -> None:
+        if shards < 1:
+            raise StreamError(f"shard count must be >= 1, got {shards}")
+        if not 0 <= index < shards:
+            raise StreamError(f"shard index {index} outside [0, {shards})")
+        self._base = base
+        self._index = int(index)
+        self._shards = int(shards)
+        self._passes = 0
+        self._cache: BatchCachePolicy = resolve_cache_policy(cache)
+        u, v, delta = _raw_columns(base)
+        rows: List[np.ndarray] = []
+        net = 0
+        chunk = 1 << 20
+        for start in range(0, len(u), chunk):
+            stop = min(start + chunk, len(u))
+            route = shard_route(u[start:stop], v[start:stop], shards)
+            hit = np.flatnonzero(route == index)
+            if len(hit):
+                rows.append((hit + start).astype(np.int64))
+                net += int(np.asarray(delta[start:stop])[hit].sum())
+        self._rows = (
+            np.concatenate(rows) if rows else np.empty(0, dtype=np.int64)
+        )
+        self._net = net
+
+    @property
+    def n(self) -> int:
+        return self._base.n
+
+    @property
+    def length(self) -> int:
+        return len(self._rows)
+
+    @property
+    def net_edge_count(self) -> int:
+        return self._net
+
+    @property
+    def allows_deletions(self) -> bool:
+        return self._base.allows_deletions
+
+    def updates(self) -> Iterator[Update]:
+        self._passes += 1
+        return self._iter_updates()
+
+    def _iter_updates(self) -> Iterator[Update]:
+        for start in range(0, len(self._rows), DEFAULT_CHUNK_SIZE):
+            batch = self._decode_batch(start, min(start + DEFAULT_CHUNK_SIZE, len(self._rows)))
+            for k in range(len(batch)):
+                yield Update(int(batch.u[k]), int(batch.v[k]), int(batch.delta[k]))
+
+    def _decode_batch(self, start: int, stop: int) -> EdgeBatch:
+        rows = self._rows[start:stop]
+        u, v, delta = _raw_columns(self._base)
+        return EdgeBatch(
+            np.asarray(u)[rows],
+            np.asarray(v)[rows],
+            np.asarray(delta)[rows],
+        )
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardView(shard {self._index} of {self._shards}, n={self.n}, "
+            f"length={self.length}, m={self._net})"
+        )
+
+
+def stream_shard_views(stream, shards: int, cache="none") -> List["ShardView"]:
+    """All *shards* views of one stream, in index order."""
+    return [ShardView(stream, index, shards, cache=cache) for index in range(shards)]

@@ -26,7 +26,7 @@ from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
-from repro.errors import CheckpointError, OracleError
+from repro.errors import CheckpointError, MergeError, OracleError
 from repro.graph.graph import normalize_edge
 from repro.oracle.base import (
     AdjacencyQuery,
@@ -403,6 +403,27 @@ class InsertionPassState:
                 self._present_pairs.add(adjacency_by_id[identifier])
             self._adjacency_seen[:] = False
 
+    def merge(self, other: "InsertionPassState") -> None:
+        """Always raises :class:`~repro.errors.MergeError`.
+
+        The insertion-path emulation samples f1/f3 with reservoirs
+        (:class:`~repro.sketch.reservoir.SkipAheadReservoirBank`), whose
+        acceptance probabilities depend on the global stream position —
+        per-shard reservoirs are not distributed like one reservoir
+        over the combined stream, so there is no correct merge (see
+        ``repro.sketch.reservoir._reservoir_merge_error``).  Even the
+        deterministic counters (f2/f4/edge count) are not folded:
+        returning a partially merged pass would silently bias the f1/f3
+        answers.  Partitioned ingestion must run the turnstile path,
+        whose sketches are linear.
+        """
+        raise MergeError(
+            "InsertionPassState cannot be merged: its f1/f3 answers come from "
+            "reservoir samplers whose draws depend on the global stream order "
+            "and element count, so per-shard passes do not compose; use the "
+            "turnstile (L0-sketch) path for partitioned ingestion"
+        )
+
     def state_dict(self) -> dict:
         """Mutable runtime state of the in-flight pass.
 
@@ -546,6 +567,22 @@ class InsertionStreamOracle:
         for chunk in pass_batches(self._stream):
             state.ingest_batch(chunk)
         return state.finish()
+
+    def merge(self, other: "InsertionStreamOracle") -> None:
+        """Always raises: insertion passes are reservoir-backed.
+
+        See :meth:`InsertionPassState.merge` for the documented reason;
+        raising here (before any pass state is touched) is what makes a
+        sharded run over an insertion-only estimator fail loudly at the
+        first merge barrier instead of returning silently wrong
+        estimates.
+        """
+        raise MergeError(
+            "InsertionStreamOracle cannot be merged: the insertion-only "
+            "emulation answers f1/f3 with reservoir samplers, whose draws "
+            "depend on the global stream order; use TurnstileStreamOracle "
+            "(linear L0 sketches) for partitioned ingestion"
+        )
 
     def state_dict(self) -> dict:
         """Oracle-level runtime state (rng position, accounting, space)."""

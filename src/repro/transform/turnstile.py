@@ -24,7 +24,7 @@ from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
-from repro.errors import CheckpointError, OracleError
+from repro.errors import CheckpointError, MergeError, OracleError
 from repro.graph.graph import normalize_edge
 from repro.oracle.base import (
     AdjacencyQuery,
@@ -47,12 +47,13 @@ from repro.streams.batch import (
 from repro.streams.space import SpaceMeter
 from repro.streams.stream import EdgeStream, pass_batches
 from repro.utils.checkpoint import (
+    check_merge_config,
     check_state_config,
     rng_state,
     set_rng_state,
     state_field,
 )
-from repro.utils.rng import RandomSource, derive_rng, ensure_rng
+from repro.utils.rng import RandomSource, derive_rng, ensure_rng, seed_fingerprint
 
 
 #: Single home of the dense pair encoding: repro.streams.batch.edge_id
@@ -337,6 +338,71 @@ class TurnstilePassState:
                     pair_counts[pair_by_id[identifier]] += count
             self._pair_accumulator[:] = 0
 
+    def merge(self, other: "TurnstilePassState") -> None:
+        """Fold another shard's pass state into this one, exactly.
+
+        Every structure of a turnstile pass is linear in the updates —
+        signed counters add, and the ℓ0-sampler banks merge sketch-wise
+        (:meth:`~repro.sketch.l0.L0Sampler.merge`) — and **no randomness
+        is drawn during ingestion**, so two replica pass states (built
+        by identically seeded oracles for the same round's query batch,
+        each fed a disjoint shard of the stream) merge into a state
+        bit-identical to one pass over the whole stream, whatever the
+        shard order.  Structural disagreement — different query batch,
+        different seeds, different pass index — raises
+        :class:`~repro.errors.MergeError`.
+        """
+        if not isinstance(other, TurnstilePassState):
+            raise MergeError(
+                f"cannot merge TurnstilePassState with {type(other).__name__}"
+            )
+        # The space-accounting component label is deliberately NOT
+        # compared: a replica rehydrated through state_dict/load keeps
+        # the label of the oracle it was rebuilt on (its own accounting
+        # releases against it), while the pass *identity* is enforced
+        # one level up by TurnstileStreamOracle.merge (pass_index and
+        # rng fingerprint) and by the sketch-level coefficient checks.
+        check_merge_config(
+            "TurnstilePassState",
+            size=(self._size, other._size),
+            n=(self._n, other._n),
+            edge_sampler_positions=(
+                [position for position, _ in self._edge_samplers],
+                [position for position, _ in other._edge_samplers],
+            ),
+            neighbor_sampler_positions=(
+                [(position, vertex) for position, vertex, _ in self._neighbor_samplers],
+                [(position, vertex) for position, vertex, _ in other._neighbor_samplers],
+            ),
+            degree_vertices=(
+                sorted(self._degree_counts),
+                sorted(other._degree_counts),
+            ),
+            adjacency_pairs=(
+                sorted(self._pair_counts),
+                sorted(other._pair_counts),
+            ),
+            edge_count_positions=(
+                self._edge_count_positions,
+                other._edge_count_positions,
+            ),
+        )
+        self._fold_columnar_state()
+        other._fold_columnar_state()
+        self._edge_count += other._edge_count
+        for vertex, count in other._degree_counts.items():
+            self._degree_counts[vertex] += count
+        for pair, count in other._pair_counts.items():
+            self._pair_counts[pair] += count
+        for (_, sampler), (_, other_sampler) in zip(
+            self._edge_samplers, other._edge_samplers
+        ):
+            sampler.merge(other_sampler)
+        for (_, _, sampler), (_, _, other_sampler) in zip(
+            self._neighbor_samplers, other._neighbor_samplers
+        ):
+            sampler.merge(other_sampler)
+
     def state_dict(self) -> dict:
         """Mutable runtime state of the in-flight pass.
 
@@ -468,6 +534,32 @@ class TurnstileStreamOracle:
         for chunk in pass_batches(self._stream):
             state.ingest_batch(chunk)
         return state.finish()
+
+    def merge(self, other: "TurnstileStreamOracle") -> None:
+        """Validate that *other* is a replica oracle in lockstep with self.
+
+        Oracles hold no stream aggregates — their state is the rng
+        position, the pass index and the accounting — so the merge is a
+        pure compatibility check: replicas built from the same seed that
+        opened the same passes agree on all three, and any disagreement
+        means the pass states they produced were built from different
+        frozen randomness and must not be added.  The rng positions are
+        compared by :func:`~repro.utils.rng.seed_fingerprint` so the
+        error stays readable.
+        """
+        if not isinstance(other, TurnstileStreamOracle):
+            raise MergeError(
+                f"cannot merge TurnstileStreamOracle with {type(other).__name__}"
+            )
+        check_merge_config(
+            "TurnstileStreamOracle",
+            sampler_repetitions=(self._sampler_repetitions, other._sampler_repetitions),
+            pass_index=(self._pass_index, other._pass_index),
+            rng_fingerprint=(
+                seed_fingerprint(self._rng),
+                seed_fingerprint(other._rng),
+            ),
+        )
 
     def state_dict(self) -> dict:
         """Oracle-level runtime state (rng position, accounting, space)."""

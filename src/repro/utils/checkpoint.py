@@ -23,7 +23,7 @@ from __future__ import annotations
 import random
 from typing import Any, Dict
 
-from repro.errors import CheckpointError
+from repro.errors import CheckpointError, MergeError
 
 
 def state_field(kind: str, state: Dict[str, Any], field: str) -> Any:
@@ -52,6 +52,25 @@ def check_state_config(kind: str, state: Dict[str, Any], **expected: Any) -> Non
                 f"{kind} state was captured with {field}={captured!r} but is "
                 f"being loaded into an object with {field}={value!r}; rebuild "
                 "from the same configuration (spec/seeds) before loading"
+            )
+
+
+def check_merge_config(kind: str, **fields: Any) -> None:
+    """Validate the config echo of a ``merge(other)`` call.
+
+    The merge counterpart of :func:`check_state_config`: each keyword
+    maps a configuration field to a ``(mine, theirs)`` pair that must
+    agree before per-shard aggregates may be added.  A mismatch means
+    the two objects were built from different configurations (seeds,
+    sizes, pass indices) and merging would corrupt silently; the raised
+    :class:`~repro.errors.MergeError` names the first mismatched field.
+    """
+    for field, (mine, theirs) in fields.items():
+        if mine != theirs:
+            raise MergeError(
+                f"cannot merge {kind}: {field} differs (self has {mine!r}, "
+                f"other has {theirs!r}); shards must be built from the same "
+                "configuration (spec/seeds/pass index) before merging"
             )
 
 

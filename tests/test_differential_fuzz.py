@@ -8,7 +8,10 @@ execution paths that the engine guarantees are **bit-identical**:
 * arbitrary batch-size splits and cache policies,
 * fed-live (:class:`repro.engine.live.LiveEngine`) vs one-shot fused,
 * snapshot → restore → continue vs uninterrupted,
-* serial vs thread vs process backends.
+* serial vs thread vs process backends,
+* sharded scatter/merge ingestion (random shard counts and random
+  by-edge partitions, shard files with vertex ids past 2^32) vs the
+  unsharded mirror run.
 
 Seeds policy
 ------------
@@ -109,6 +112,8 @@ CASES_PROCESS = 5
 CASES_VALIDATION = 16
 CASES_WORLDS = 6
 CASES_GEN_REPLAY = 10
+CASES_SHARDED = 12
+CASES_SHARD_FILES = 8
 
 
 @pytest.mark.parametrize("case", range(CASES_SCALAR))
@@ -415,3 +420,142 @@ def test_streaming_generators_replay_bit_stable(case):
         assert np.array_equal(u1, u2) and np.array_equal(v1, v2), (
             f"replay bit-drift (case={case}, base_seed={BASE_SEED})"
         )
+
+
+@pytest.mark.parametrize("case", range(CASES_SHARDED))
+def test_sharded_scatter_merge_vs_unsharded(case):
+    # Scatter/merge exactness: a turnstile run over ANY by-edge
+    # partition of the stream — the canonical hash routing on even
+    # cases, a completely random edge -> shard assignment (random "cut
+    # points") on odd ones — merges back bit-identical to the
+    # unsharded mirror run, whatever the shard count, batch sizes, or
+    # local backend.
+    import numpy as np
+
+    from repro.engine import count_subgraphs_turnstile_sharded
+    from repro.streams.datasets import stream_shard_views
+    from repro.streams.stream import ColumnEdgeStream
+
+    rng = case_rng(case, "sharded")
+    stream = random_stream(rng, turnstile=True)
+    pattern = zoo.triangle() if rng.random() < 0.7 else zoo.path(3)
+    seeds = [rng.randrange(1 << 30) for _ in range(2)]
+    unsharded = count_subgraphs_turnstile_fused(
+        stream, pattern, copies=2, trials=6,
+        mode=FusionMode.MIRROR, copy_rngs=list(seeds),
+        batch_size=rng.randrange(1, 64),
+    )
+    shards_n = rng.randrange(1, 9)
+    if case % 2 == 0:
+        shard_streams = stream_shard_views(stream, shards_n)
+    else:
+        # A mergeable partition only needs all updates of one edge on
+        # one shard, in stream order — sample the assignment freely.
+        u, v, d = stream.columns()
+        lo = np.minimum(u, v)
+        hi = np.maximum(u, v)
+        assignment = {}
+        routes = np.array([
+            assignment.setdefault((a, b), rng.randrange(shards_n))
+            for a, b in zip(lo.tolist(), hi.tolist())
+        ] or [], dtype=np.int64)
+        shard_streams = []
+        for shard in range(shards_n):
+            hit = routes == shard
+            shard_streams.append(ColumnEdgeStream(
+                stream.n, u[hit], v[hit], d[hit],
+                allow_deletions=True, validate=False,
+                net_edge_count=int(d[hit].sum()),
+            ))
+    sharded = count_subgraphs_turnstile_sharded(
+        shard_streams, pattern, copies=2, trials=6,
+        copy_rngs=list(seeds),
+        backend=rng.choice(["serial", "thread"]),
+        workers=rng.randrange(1, 4),
+        batch_size=rng.randrange(1, 64),
+    )
+    assert sharded.estimates == unsharded.estimates, (
+        f"sharded/unsharded divergence (case={case}, base_seed={BASE_SEED}, "
+        f"shards={shards_n})"
+    )
+
+
+@pytest.mark.parametrize("case", range(CASES_SHARD_FILES))
+def test_shard_files_big_ids_round_trip(case, tmp_path):
+    # Shard routing and the shard file format must stay exact for
+    # vertex ids past 2^32 (raw SNAP ids routinely are): routing is a
+    # pure symmetric function of the normalized edge, every written
+    # shard replays only rows routed to it, in stream order, and the
+    # union of the shard headers reassembles the source's exactly.
+    import numpy as np
+
+    from repro.streams.datasets import (
+        open_stream_shards,
+        shard_route,
+        write_binary_updates,
+        write_stream_shards,
+    )
+
+    rng = case_rng(case, "shardfiles")
+    shards_n = rng.randrange(1, 9)
+    n = 1 << 40
+    edges = set()
+    while len(edges) < rng.randrange(6, 30):
+        a = rng.randrange(n)
+        b = rng.randrange(1 << 33, n)  # at least one endpoint past 2^32
+        if a != b:
+            edges.add((min(a, b), max(a, b)))
+    rows = []
+    for a, b in edges:
+        if rng.random() < 0.4:  # churn: insert, delete, re-insert
+            rows += [(a, b, 1), (b, a, -1), (a, b, 1)]
+        else:
+            rows.append((a, b, 1))
+    rng.shuffle(rows)  # NOTE: may interleave edges, not their updates
+    # restore per-edge update order (insert before delete before
+    # re-insert) while keeping the shuffled global interleaving
+    order = {}
+    fixed = []
+    for a, b, _ in rows:
+        key = (min(a, b), max(a, b))
+        seen = order.get(key, 0)
+        fixed.append((a, b, 1 if seen % 2 == 0 else -1))
+        order[key] = seen + 1
+    u = np.array([r[0] for r in fixed], dtype=np.int64)
+    v = np.array([r[1] for r in fixed], dtype=np.int64)
+    d = np.array([r[2] for r in fixed], dtype=np.int8)
+
+    route = shard_route(u, v, shards_n)
+    assert np.array_equal(route, shard_route(v, u, shards_n)), (
+        f"routing not symmetric (case={case}, base_seed={BASE_SEED})"
+    )
+    assert ((route >= 0) & (route < shards_n)).all()
+
+    base = str(tmp_path / "big.reb")
+    write_binary_updates(base, n, u, v, d, allow_deletions=True)
+    write_stream_shards(base, shards_n)
+    shards = open_stream_shards(base, shards_n)
+    assert sum(s.length for s in shards) == len(u)
+    assert sum(s.net_edge_count for s in shards) == int(d.sum())
+    reassembled = []
+    for index, shard in enumerate(shards):
+        su = np.asarray(shard._u)
+        sv = np.asarray(shard._v)
+        sd = np.asarray(shard._delta, dtype=np.int64)
+        assert (shard_route(su, sv, shards_n) == index).all(), (
+            f"shard {index} holds foreign rows (case={case}, "
+            f"base_seed={BASE_SEED})"
+        )
+        # every shard is itself a prefix-valid turnstile stream
+        live = {}
+        for a, b, delta in zip(su.tolist(), sv.tolist(), sd.tolist()):
+            key = (min(a, b), max(a, b))
+            live[key] = live.get(key, 0) + delta
+            assert 0 <= live[key] <= 1, (
+                f"shard {index} prefix-invalid (case={case}, "
+                f"base_seed={BASE_SEED})"
+            )
+        reassembled += list(zip(su.tolist(), sv.tolist(), sd.tolist()))
+    assert sorted(reassembled) == sorted(zip(u.tolist(), v.tolist(), d.tolist())), (
+        f"shard union lost rows (case={case}, base_seed={BASE_SEED})"
+    )
