@@ -1,0 +1,201 @@
+"""Service load benchmark: streams x feed-rate x query-rate grid.
+
+Drives a real ``repro serve`` stack — :class:`~repro.service.server.
+ServerThread` on localhost, :class:`~repro.service.client.
+ServiceClient` over TCP — with a grid of tenant counts, feed chunk
+sizes (the feed *rate*: updates carried per request), and query mixes
+(a mid-stream ``estimate`` every Q feeds).  Every cell measures
+
+* **feed latency** p50/p99 (request send -> response parsed),
+* **query latency** p50/p99 (estimate requests, which fork and replay),
+* **checkpoint stall** — total seconds the writer spent inside
+  scheduled delta snapshots (from the per-stream status counters),
+* **peak RSS** of the serving process (``ru_maxrss``; monotone across
+  cells, so the grid runs smallest-first).
+
+One honesty assert per cell: a randomly chosen tenant's final median
+must equal a standalone :class:`~repro.engine.live.LiveEngine` fed the
+same columns directly — the latency numbers can never come from a
+service that silently dropped or reordered updates.
+
+Archived as ``benchmarks/results/service_load.json`` (schema-validated
+by ``conftest.validate_benchmark_json``).
+"""
+
+import json
+import os
+import resource
+import statistics
+import sys
+import tempfile
+import time
+
+from conftest import RESULTS_DIR, emit_json, validate_benchmark_json
+
+from repro.engine import EstimatorSpec, LiveEngine, median_estimate
+from repro.engine.parallel import build_triest
+from repro.graph import generators as gen
+from repro.service import ServerThread, ServiceClient
+from repro.streams.stream import insertion_stream
+
+SEED = 13
+N_VERTICES = 400
+UPDATES_PER_STREAM = 960
+COPIES = 3
+CAPACITY = 64
+CHECKPOINT_EVERY = 256
+
+#: The grid: tenant count x feed chunk (updates/request) x query mix.
+STREAM_COUNTS = (2, 8)
+FEED_CHUNKS = (32, 128)
+QUERY_EVERY = (2, 8)
+
+
+def _columns(seed):
+    graph = gen.barabasi_albert(N_VERTICES, 4, rng=seed)
+    stream = insertion_stream(graph, rng=seed + 1)
+    u, v, d = stream.columns()
+    return u[:UPDATES_PER_STREAM], v[:UPDATES_PER_STREAM], \
+        d[:UPDATES_PER_STREAM]
+
+
+def _reference_median(u, v, d, seed):
+    engine = LiveEngine(n=N_VERTICES)
+    for index in range(COPIES):
+        name = f"copy-{index}"
+        engine.register_spec(EstimatorSpec(
+            name=name, factory=build_triest,
+            kwargs=dict(capacity=CAPACITY, rng=seed + 1 + index, name=name),
+        ))
+    engine.feed((u, v, d))
+    median = median_estimate(engine.estimate())
+    engine.close()
+    return median
+
+
+def _percentiles(samples):
+    ordered = sorted(samples)
+    if not ordered:
+        return 0.0, 0.0
+    p50 = statistics.median(ordered)
+    p99 = ordered[min(len(ordered) - 1, int(round(0.99 * len(ordered))))]
+    return p50, p99
+
+
+def _run_cell(streams, feed_chunk, query_every):
+    """One grid cell; returns the measurement row."""
+    feed_lat, query_lat = [], []
+    root = tempfile.mkdtemp(prefix="repro-bench-service-")
+    columns = {f"s{i}": _columns(SEED + 10 * i) for i in range(streams)}
+    with ServerThread(root=root) as server:
+        with ServiceClient(server.host, server.port) as client:
+            for index, name in enumerate(columns):
+                client.open(name, config={
+                    "n": N_VERTICES, "estimator": "triest",
+                    "copies": COPIES, "capacity": CAPACITY,
+                    "seed": SEED + 10 * index,
+                    "checkpoint": {"every_elements": CHECKPOINT_EVERY},
+                })
+            offsets = {name: 0 for name in columns}
+            feeds_done = {name: 0 for name in columns}
+            live = set(columns)
+            while live:
+                for name in sorted(live):
+                    u, v, d = columns[name]
+                    start = offsets[name]
+                    if start >= len(u):
+                        live.discard(name)
+                        continue
+                    stop = min(start + feed_chunk, len(u))
+                    begin = time.perf_counter()
+                    client.feed(name, u[start:stop], v[start:stop],
+                                d[start:stop])
+                    feed_lat.append(time.perf_counter() - begin)
+                    offsets[name] = stop
+                    feeds_done[name] += 1
+                    if feeds_done[name] % query_every == 0:
+                        begin = time.perf_counter()
+                        client.estimate(name)
+                        query_lat.append(time.perf_counter() - begin)
+            # Honesty assert: the first tenant's median equals a
+            # standalone engine fed the same columns directly.
+            probe = next(iter(columns))
+            u, v, d = columns[probe]
+            wire_median = client.estimate(probe)["median"]
+            expected = _reference_median(u, v, d, SEED)
+            assert wire_median == expected, (
+                f"service median {wire_median} != direct {expected}"
+            )
+            status = client.status()
+            stall = sum(doc["checkpoint_stall_s"]
+                        for doc in status["streams"].values())
+            checkpoints = sum(doc["checkpoints_written"]
+                              for doc in status["streams"].values())
+            for name in columns:
+                client.close_stream(name, checkpoint=False)
+    feed_p50, feed_p99 = _percentiles(feed_lat)
+    query_p50, query_p99 = _percentiles(query_lat)
+    return {
+        "streams": streams,
+        "feed_chunk": feed_chunk,
+        "query_every": query_every,
+        "feeds": len(feed_lat),
+        "queries": len(query_lat),
+        "feed_p50_ms": round(feed_p50 * 1e3, 4),
+        "feed_p99_ms": round(feed_p99 * 1e3, 4),
+        "query_p50_ms": round(query_p50 * 1e3, 4),
+        "query_p99_ms": round(query_p99 * 1e3, 4),
+        "checkpoints_written": checkpoints,
+        "checkpoint_stall_s": round(stall, 4),
+        "peak_rss_bytes": resource.getrusage(
+            resource.RUSAGE_SELF).ru_maxrss * 1024,
+    }
+
+
+def run_grid():
+    rows = []
+    for streams in STREAM_COUNTS:
+        for feed_chunk in FEED_CHUNKS:
+            for query_every in QUERY_EVERY:
+                row = _run_cell(streams, feed_chunk, query_every)
+                rows.append(row)
+                print(f"streams={row['streams']} "
+                      f"chunk={row['feed_chunk']} "
+                      f"q_every={row['query_every']} "
+                      f"feed p50/p99={row['feed_p50_ms']}/"
+                      f"{row['feed_p99_ms']}ms "
+                      f"query p50/p99={row['query_p50_ms']}/"
+                      f"{row['query_p99_ms']}ms "
+                      f"stall={row['checkpoint_stall_s']}s", flush=True)
+    path = emit_json(
+        "service_load",
+        params={
+            "updates_per_stream": UPDATES_PER_STREAM,
+            "n": N_VERTICES,
+            "copies": COPIES,
+            "capacity": CAPACITY,
+            "checkpoint_every": CHECKPOINT_EVERY,
+            "stream_counts": list(STREAM_COUNTS),
+            "feed_chunks": list(FEED_CHUNKS),
+            "query_every": list(QUERY_EVERY),
+            "seed": SEED,
+        },
+        rows=rows,
+    )
+    with open(path, encoding="utf-8") as handle:
+        validate_benchmark_json(json.load(handle))
+    return path, rows
+
+
+def test_service_load_grid(capsys):
+    with capsys.disabled():
+        path, rows = run_grid()
+    assert len(rows) == len(STREAM_COUNTS) * len(FEED_CHUNKS) * \
+        len(QUERY_EVERY)
+    assert os.path.basename(path) == "service_load.json"
+    assert any(row["streams"] >= 8 for row in rows)
+    assert all(row["feed_p99_ms"] >= row["feed_p50_ms"] >= 0 for row in rows)
+
+
+if __name__ == "__main__":
+    sys.exit(0 if run_grid() else 1)

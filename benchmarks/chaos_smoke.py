@@ -16,6 +16,10 @@ any leg of the robustness contract breaks:
   reconverges bit-equal;
 * **disk-error retry** — two injected transient ``EIO`` failures are
   absorbed by the three-attempt retry policy; a third surfaces.
+* **tenant kill → restore-on-open** — a ``repro.service`` tenant
+  dropped mid-feed without its final checkpoint reopens from the last
+  scheduled snapshot; re-feeding from the reported element reconverges
+  bit-equal to an uninterrupted engine.
 
 The drill seed defaults to 0 and can be pinned for reproduction::
 
@@ -210,6 +214,58 @@ def drill_disk_error_retry(stream):
     engine.close()
 
 
+def drill_service_tenant_kill(stream):
+    """Kill a service tenant mid-feed; restore-on-open must reconverge."""
+    from repro.engine import median_estimate
+    from repro.service import ServerThread, ServiceClient
+
+    u, v, d = stream.columns()
+    copies, capacity, chunk, every = 3, 80, 64, 150
+    seed = SEED + 700
+    # Crash after 5 chunks: past the first scheduled checkpoint (fires
+    # at 192 elements with every=150 and 64-wide feeds) but strictly
+    # before the next, so the reopen has a real tail to re-feed.
+    crash = 5 * chunk
+    if len(u) <= crash + chunk:
+        check("stream is long enough for the service drill", False,
+              f"{len(u)} elements")
+        return
+
+    engine = LiveEngine(n=stream.n)
+    for index in range(copies):
+        name = f"copy-{index}"
+        engine.register_spec(EstimatorSpec(
+            name=name, factory=build_triest,
+            kwargs=dict(capacity=capacity, rng=seed + 1 + index, name=name)))
+    engine.feed((u, v, d))
+    expected = median_estimate(engine.estimate())
+    engine.close()
+
+    root = tempfile.mkdtemp(prefix="repro-chaos-service-")
+    with ServerThread(root=root) as server:
+        with ServiceClient(server.host, server.port) as client:
+            client.open("victim", config={
+                "n": stream.n, "estimator": "triest", "copies": copies,
+                "capacity": capacity, "seed": seed,
+                "checkpoint": {"every_elements": every}})
+            for start in range(0, crash, chunk):
+                client.feed("victim", u[start:start + chunk],
+                            v[start:start + chunk], d[start:start + chunk])
+            client.kill("victim")
+            reopened = client.open("victim")
+            resumed = reopened["elements"]
+            check("killed tenant reopens from a mid-stream checkpoint",
+                  reopened["restored"] is True and 0 < resumed < crash,
+                  f"resumed_at={resumed}, crash point {crash}")
+            for start in range(resumed, len(u), chunk):
+                client.feed("victim", u[start:start + chunk],
+                            v[start:start + chunk], d[start:start + chunk])
+            wire = client.estimate("victim")["median"]
+            check("re-fed tenant is bit-equal to the uninterrupted engine",
+                  wire == expected, f"wire={wire} direct={expected}")
+            client.close_stream("victim", checkpoint=False)
+
+
 def main():
     print(f"[chaos-smoke] seed={SEED} (rerun with REPRO_CHAOS_SEED={SEED})")
     stream = _stream()
@@ -219,6 +275,7 @@ def main():
     drill_sigkill_process_pool(stream)
     drill_torn_delta_checkpoint(stream)
     drill_disk_error_retry(stream)
+    drill_service_tenant_kill(stream)
     if FAILURES:
         print(f"[chaos-smoke] FAILED ({len(FAILURES)}): {', '.join(FAILURES)}")
         print(f"[chaos-smoke] reproduce with: PYTHONPATH=src "

@@ -1,0 +1,223 @@
+"""Service smoke check for CI (no pytest).
+
+Boots a **real** ``repro serve`` process on an ephemeral localhost
+port, drives three tenant streams over the wire with interleaved feeds
+and queries, then runs the kill/reopen drill — and fails loudly
+(exit 1) if any leg of the service contract breaks:
+
+* **tenant isolation** — each tenant's wire median equals a standalone
+  :class:`~repro.engine.live.LiveEngine` fed the same columns
+  directly, despite the interleaving;
+* **kill → restore-on-open** — a tenant dropped without its final
+  checkpoint reopens from the last scheduled snapshot, and re-feeding
+  the tail reconverges to the exact uninterrupted estimates;
+* **typed refusals** — feeding an unopened stream and opening past
+  ``max-streams`` answer with typed errors, and the connection (and
+  every other tenant) survives;
+* **schema** — the archived ``results/service_load.json`` (the
+  ``bench_service.py`` artifact) passes the shared benchmark schema
+  and carries the p50/p99 latency columns for the 8-stream grid.
+
+Run it from the repo root::
+
+    PYTHONPATH=src python benchmarks/service_smoke.py
+"""
+
+import json
+import os
+import re
+import subprocess
+import sys
+import tempfile
+import time
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+)
+
+from conftest import validate_benchmark_json  # noqa: E402
+
+from repro.engine import EstimatorSpec, LiveEngine, median_estimate  # noqa: E402
+from repro.engine.parallel import build_triest  # noqa: E402
+from repro.errors import ServiceError  # noqa: E402
+from repro.graph import generators as gen  # noqa: E402
+from repro.service import ServiceClient  # noqa: E402
+from repro.streams.stream import insertion_stream  # noqa: E402
+
+SEED = int(os.environ.get("REPRO_SERVICE_SEED", "0"))
+N_VERTICES = 300
+COPIES = 3
+CAPACITY = 64
+CHECKPOINT_EVERY = 150
+CHUNK = 48
+FAILURES = []
+
+
+def check(label, condition, detail=""):
+    status = "ok" if condition else "FAIL"
+    print(f"[service-smoke] {label}: {status}"
+          f"{(' — ' + detail) if detail else ''}", flush=True)
+    if not condition:
+        FAILURES.append(label)
+
+
+def _columns(seed):
+    graph = gen.barabasi_albert(N_VERTICES, 4, rng=seed)
+    u, v, d = insertion_stream(graph, rng=seed + 1).columns()
+    return u[:720], v[:720], d[:720]
+
+
+def _direct_median(u, v, d, seed):
+    engine = LiveEngine(n=N_VERTICES)
+    for index in range(COPIES):
+        name = f"copy-{index}"
+        engine.register_spec(EstimatorSpec(
+            name=name, factory=build_triest,
+            kwargs=dict(capacity=CAPACITY, rng=seed + 1 + index, name=name),
+        ))
+    engine.feed((u, v, d))
+    median = median_estimate(engine.estimate())
+    engine.close()
+    return median
+
+
+def _boot_server(root):
+    """Start ``repro serve`` as a subprocess; returns (proc, host, port)."""
+    env = dict(os.environ)
+    src = os.path.join(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"
+    )
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0",
+         "--root", root, "--max-streams", "4"],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True, env=env,
+    )
+    line = proc.stdout.readline()
+    match = re.search(r"serving on ([\d.]+):(\d+)", line)
+    if not match:
+        proc.terminate()
+        raise RuntimeError(f"repro serve did not announce a port: {line!r}")
+    return proc, match.group(1), int(match.group(2))
+
+
+def main():
+    print(f"[service-smoke] seed={SEED} "
+          f"(rerun with REPRO_SERVICE_SEED={SEED})", flush=True)
+    root = tempfile.mkdtemp(prefix="repro-service-smoke-")
+    tenants = {f"tenant-{i}": _columns(SEED + 50 * i) for i in range(3)}
+    proc, host, port = _boot_server(root)
+    try:
+        with ServiceClient(host, port) as client:
+            for index, name in enumerate(tenants):
+                client.open(name, config={
+                    "n": N_VERTICES, "estimator": "triest",
+                    "copies": COPIES, "capacity": CAPACITY,
+                    "seed": SEED + 50 * index,
+                    "checkpoint": {"every_elements": CHECKPOINT_EVERY},
+                })
+            # Interleaved feeds with periodic queries.
+            offsets = {name: 0 for name in tenants}
+            done = False
+            while not done:
+                done = True
+                for name, (u, v, d) in tenants.items():
+                    start = offsets[name]
+                    if start >= len(u):
+                        continue
+                    done = False
+                    stop = min(start + CHUNK, len(u))
+                    client.feed(name, u[start:stop], v[start:stop],
+                                d[start:stop])
+                    offsets[name] = stop
+                    if (stop // CHUNK) % 3 == 0:
+                        client.estimate(name)
+            for index, (name, (u, v, d)) in enumerate(tenants.items()):
+                wire = client.estimate(name)["median"]
+                direct = _direct_median(u, v, d, SEED + 50 * index)
+                check(f"{name} wire median equals direct engine",
+                      wire == direct, f"wire={wire} direct={direct}")
+
+            # Typed refusals, non-destructive.
+            try:
+                client.feed("ghost", [1], [2])
+                check("feeding an unopened stream refuses", False,
+                      "no error raised")
+            except ServiceError as error:
+                check("feeding an unopened stream refuses",
+                      "not open" in str(error))
+            try:
+                client.open("tenant-overflow", config={
+                    "n": 8, "estimator": "triest", "copies": 1})
+                client.open("tenant-overflow-2", config={
+                    "n": 8, "estimator": "triest", "copies": 1})
+                check("max-streams admission refuses", False,
+                      "no error raised")
+            except ServiceError as error:
+                check("max-streams admission refuses",
+                      "max_streams" in str(error))
+            check("refusals left every tenant standing",
+                  client.status()["open_streams"] == 4)
+            client.close_stream("tenant-overflow", checkpoint=False)
+
+            # Kill/reopen drill on tenant-0: drop without the final
+            # checkpoint, reopen from the last scheduled snapshot,
+            # re-feed the tail, reconverge exactly.
+            name = "tenant-0"
+            u, v, d = tenants[name]
+            client.kill(name)
+            reopened = client.open(name)
+            resumed_at = reopened["elements"]
+            # CHECKPOINT_EVERY is deliberately misaligned with CHUNK,
+            # so the last snapshot sits strictly before the crash point
+            # and the reopen has a real tail to re-feed.
+            check("kill -> reopen restores mid-stream",
+                  reopened["restored"] is True and 0 < resumed_at < len(u),
+                  f"resumed_at={resumed_at} of {len(u)}")
+            client.feed(name, u[resumed_at:], v[resumed_at:], d[resumed_at:])
+            wire = client.estimate(name)["median"]
+            direct = _direct_median(u, v, d, SEED)
+            check("post-restore median equals uninterrupted",
+                  wire == direct, f"wire={wire} direct={direct}")
+            for name in list(tenants):
+                client.close_stream(name, checkpoint=False)
+    finally:
+        proc.terminate()
+        try:
+            proc.wait(timeout=15)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+
+    # Schema-check the archived load-benchmark artifact.
+    results = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                           "results", "service_load.json")
+    if os.path.exists(results):
+        with open(results, encoding="utf-8") as handle:
+            document = json.load(handle)
+        try:
+            validate_benchmark_json(document)
+            ok = True
+        except ValueError as error:
+            ok = False
+            print(f"[service-smoke] schema error: {error}", flush=True)
+        required = {"streams", "feed_p50_ms", "feed_p99_ms", "query_p50_ms",
+                    "query_p99_ms", "checkpoint_stall_s", "peak_rss_bytes"}
+        rows_ok = all(required <= set(row) for row in document["rows"])
+        grid_ok = any(row["streams"] >= 8 for row in document["rows"])
+        check("service_load.json passes the benchmark schema",
+              ok and rows_ok and grid_ok)
+    else:
+        check("service_load.json exists", False, results)
+
+    if FAILURES:
+        print(f"[service-smoke] FAILED ({len(FAILURES)}): "
+              f"{', '.join(FAILURES)}")
+        print(f"[service-smoke] reproduce with: PYTHONPATH=src "
+              f"REPRO_SERVICE_SEED={SEED} python benchmarks/service_smoke.py")
+        return 1
+    print("[service-smoke] all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

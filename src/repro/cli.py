@@ -433,15 +433,18 @@ def _live_feed_chunks(args, allow_deletions: bool):
     return stream.n, stream.allows_deletions, stream_chunks()
 
 
-def _live(args: argparse.Namespace) -> int:
-    import statistics
+class _FullyDegraded(Exception):
+    """Internal: the live engine lost every estimator copy mid-run."""
 
-    from repro.engine import EstimatorSpec, LiveEngine
+
+def _live(args: argparse.Namespace) -> int:
+    from repro.engine import EstimatorSpec, LiveEngine, median_estimate
     from repro.engine.estimators import (
         fgp_insertion_estimator,
         fgp_turnstile_estimator,
         fgp_two_pass_estimator,
     )
+    from repro.errors import EngineError, EstimationError
 
     if args.checkpoint_every and not args.checkpoint:
         print("error: --checkpoint-every requires --checkpoint", file=sys.stderr)
@@ -507,8 +510,14 @@ def _live(args: argparse.Namespace) -> int:
     def report(label: str) -> float:
         # Ask for every surviving estimator: naming a lost copy raises,
         # and under degradation the median over survivors is the answer.
-        results = engine.estimate()
-        median = statistics.median(r.estimate for r in results.values())
+        # With *no* survivors the gather raises a typed error; turn it
+        # into the CLI's usage-error exit instead of a traceback.
+        try:
+            results = engine.estimate()
+            median = median_estimate(results)
+        except (EngineError, EstimationError) as exc:
+            print(f"error: cannot report an estimate: {exc}", file=sys.stderr)
+            raise _FullyDegraded() from exc
         suffix = ""
         if engine.degraded:
             suffix = (f" degraded=true surviving={engine.surviving_copies}"
@@ -520,6 +529,15 @@ def _live(args: argparse.Namespace) -> int:
     skip = engine.elements if resumed else 0
     since_checkpoint = 0
     since_query = 0
+    try:
+        return _live_loop(args, engine, chunks, skip,
+                          since_checkpoint, since_query, report)
+    except _FullyDegraded:
+        return 2
+
+
+def _live_loop(args, engine, chunks, skip, since_checkpoint, since_query,
+               report) -> int:
     for u, v, delta in chunks:
         if skip:
             take = min(skip, len(u))
@@ -547,6 +565,51 @@ def _live(args: argparse.Namespace) -> int:
         print(f"checkpoint elements={engine.elements} -> {written}")
     report("final")
     return 0
+
+
+def _serve(args: argparse.Namespace) -> int:
+    from repro.service import (
+        CheckpointPolicy,
+        ServiceLimits,
+        StreamRegistry,
+    )
+    from repro.service.server import run_server
+    from repro.streams.cache import parse_byte_size
+
+    if args.max_streams < 1:
+        print(f"error: --max-streams must be >= 1, got {args.max_streams}",
+              file=sys.stderr)
+        return 2
+    if args.max_deltas < 1:
+        print(f"error: --max-deltas must be >= 1, got {args.max_deltas}",
+              file=sys.stderr)
+        return 2
+    scheduled = args.checkpoint_every or args.checkpoint_seconds
+    if scheduled and not args.root:
+        print("error: --checkpoint-every/--checkpoint-seconds require "
+              "--root", file=sys.stderr)
+        return 2
+    try:
+        max_feed_bytes = parse_byte_size(args.max_feed_bytes)
+    except ReproError as error:
+        print(f"error: --max-feed-bytes: {error}", file=sys.stderr)
+        return 2
+    limits = ServiceLimits(
+        max_streams=args.max_streams,
+        max_feed_bytes=max_feed_bytes,
+        max_journal_elements=args.max_journal_elements,
+    )
+    policy = None
+    if scheduled:
+        policy = CheckpointPolicy(
+            every_elements=args.checkpoint_every or None,
+            every_seconds=args.checkpoint_seconds or None,
+            mode=args.checkpoint_mode,
+            max_deltas=args.max_deltas,
+        )
+    registry = StreamRegistry(root=args.root, limits=limits,
+                              default_policy=policy)
+    return run_server(registry, host=args.host, port=args.port)
 
 
 def _worlds(args: argparse.Namespace) -> int:
@@ -815,6 +878,42 @@ def build_parser() -> argparse.ArgumentParser:
     p_live.add_argument("--query-every", type=int, default=0, metavar="N",
                         help="print a running median estimate every N updates")
     p_live.set_defaults(handler=_live)
+
+    p_serve = commands.add_parser(
+        "serve", help="multi-tenant live service (JSON line protocol)"
+    )
+    p_serve.add_argument("--host", default="127.0.0.1",
+                         help="interface to bind (default 127.0.0.1)")
+    p_serve.add_argument("--port", type=int, default=0,
+                         help="TCP port; 0 (default) binds an ephemeral "
+                              "port, printed on startup")
+    p_serve.add_argument("--root", default=None, metavar="DIR",
+                         help="checkpoint directory (one subdirectory per "
+                              "stream); omitted = durability disabled")
+    p_serve.add_argument("--max-streams", type=int, default=64,
+                         help="admission limit on concurrently open streams")
+    p_serve.add_argument("--max-feed-bytes", default="64M", metavar="BYTES",
+                         help="in-flight feed payload budget (e.g. 64M, 1gb); "
+                              "feeds past it are refused, not buffered")
+    p_serve.add_argument("--max-journal-elements", type=int, default=None,
+                         metavar="N",
+                         help="per-stream journal high watermark; feeds that "
+                              "would cross it are refused whole")
+    p_serve.add_argument("--checkpoint-every", type=int, default=0,
+                         metavar="N",
+                         help="default policy: snapshot a stream every N fed "
+                              "updates (requires --root)")
+    p_serve.add_argument("--checkpoint-seconds", type=float, default=0,
+                         metavar="T",
+                         help="default policy: snapshot a stream every T "
+                              "seconds of feeds (requires --root)")
+    p_serve.add_argument("--checkpoint-mode", choices=["full", "delta"],
+                         default="delta",
+                         help="scheduled snapshot kind (delta = journal "
+                              "tails with base rotation, the default)")
+    p_serve.add_argument("--max-deltas", type=int, default=16, metavar="K",
+                         help="delta snapshots per full base before rotation")
+    p_serve.set_defaults(handler=_serve)
 
     p_worlds = commands.add_parser(
         "worlds", help="scenario sweep: generator grid x estimators -> JSON"

@@ -99,6 +99,7 @@ from repro.engine.live import (
     LiveEngine,
     UpdateJournal,
     checkpoint_manifest,
+    median_estimate,
 )
 from repro.engine.fused import (
     FusedCountResult,
@@ -131,6 +132,7 @@ __all__ = [
     "LiveEngine",
     "UpdateJournal",
     "checkpoint_manifest",
+    "median_estimate",
     "EstimatorSpec",
     "StreamHandle",
     "run_parallel_engine",

@@ -114,6 +114,7 @@ import io
 import logging
 import os
 import pickle
+import statistics
 import struct
 import zlib
 from typing import Any, Dict, List, Optional, Sequence, Tuple
@@ -129,7 +130,7 @@ from repro.engine.parallel import (
     resolve_workers,
     shard_indices,
 )
-from repro.errors import CheckpointError, EngineError, StreamError
+from repro.errors import CheckpointError, EngineError, EstimationError, StreamError
 from repro.faults.plan import FaultPlan, fire as fire_fault
 from repro.graph.graph import normalize_edge
 from repro.streams.batch import EdgeBatch
@@ -148,6 +149,7 @@ __all__ = [
     "LiveEngine",
     "UpdateJournal",
     "checkpoint_manifest",
+    "median_estimate",
 ]
 
 logger = logging.getLogger("repro.engine.live")
@@ -476,6 +478,27 @@ def _remove_deltas(path: str, start_index: int = 0) -> List[str]:
         os.remove(candidate)
         removed.append(candidate)
         index += 1
+
+
+def median_estimate(results) -> float:
+    """The median over the ``.estimate`` fields of an estimate dict.
+
+    The aggregation every consumer of :meth:`LiveEngine.estimate`
+    wants (``repro live`` reports it, the service layer serves it) —
+    with the empty case handled *once*: an empty result dict (every
+    copy lost to degradation) raises a typed
+    :class:`~repro.errors.EstimationError` instead of the bare
+    ``statistics.StatisticsError`` that ``statistics.median`` would
+    throw at zero data points.
+    """
+    values = [result.estimate for result in results.values()]
+    if not values:
+        raise EstimationError(
+            "no estimates to aggregate: every estimator copy has been "
+            "lost (the engine is fully degraded); restore a checkpoint "
+            "taken before the losses or open a fresh engine"
+        )
+    return statistics.median(values)
 
 
 class UpdateJournal:
@@ -1048,6 +1071,13 @@ class LiveEngine:
         then dispatched in engine-batch-size slices, in order —
         element order is all that matters for bit-equality, so any
         feed chunking yields the same estimates.
+
+        An **empty chunk is a no-op** returning 0: it is validated and
+        accepted, but it neither opens the live pass nor touches the
+        journal — in particular, an empty *first* feed does not start
+        the engine, so estimators may still be registered afterwards
+        (regression-pinned across all three backends in
+        ``tests/test_live_checkpoint.py``).
         """
         if self._closed:
             raise EngineError("live engine is closed")
@@ -1057,6 +1087,8 @@ class LiveEngine:
         try:
             u, v, delta = _as_update_columns(updates)
             batch = self._journal.append(u, v, delta)
+            if not len(batch):
+                return 0
             offset = self._journal.length - len(batch)
             if not self._started:
                 self._synced_elements = offset
@@ -1130,6 +1162,13 @@ class LiveEngine:
         }
         states: Dict[str, Any] = {}
         for _ in range(4):
+            # ``needed`` can drain to the empty set — every requested
+            # estimator already lost, or lost during a previous round.
+            # That is a *clean* exit here (the caller decides whether
+            # an empty/partial gather is a typed refusal; estimate()
+            # refuses), not an excuse for another broadcast round.
+            if needed <= set(states):
+                break
             live = self._pool.live_ids()
             self._pool.broadcast(live, ("state_dict",))
             for payload in self._pool.gather("state", live).values():
@@ -1137,16 +1176,17 @@ class LiveEngine:
                     states[name] = state
             # Recovery during the round may have shrunk the ask.
             needed = {name for name in needed if name not in self._lost_names}
-            if needed <= set(states):
-                return {
-                    name: state
-                    for name, state in states.items()
-                    if wanted is None or name in wanted
-                }
-        raise EngineError(
-            f"could not gather estimator state for {sorted(needed - set(states))} "
-            "after repeated worker losses"
-        )
+        else:
+            raise EngineError(
+                f"could not gather estimator state for "
+                f"{sorted(needed - set(states))} after repeated worker "
+                "losses"
+            )
+        return {
+            name: state
+            for name, state in states.items()
+            if wanted is None or name in wanted
+        }
 
     def estimate(self, names: Optional[Sequence[str]] = None) -> Dict[str, Any]:
         """Finish a *fork* of each estimator on the journaled prefix.
@@ -1172,22 +1212,48 @@ class LiveEngine:
             if self._started
             else {}
         )
-        # The gather itself can lose workers; drop anything that was
-        # quarantined while we were asking.
+        # The gather itself can lose workers; anything quarantined
+        # while we were asking drops out of the round.  With an
+        # explicit name list that is a *refusal*, never a silently
+        # partial answer: the caller asked for those copies by name.
+        dropped = sorted(
+            spec.name for spec in selected if spec.name in self._lost_names
+        )
         selected = [
             spec for spec in selected if spec.name not in self._lost_names
         ]
+        if dropped and names is not None:
+            raise EngineError(
+                f"estimator(s) {', '.join(dropped)} were lost with their "
+                f"worker(s) during the state gather (the engine is "
+                f"degraded; all lost: {', '.join(self.lost_estimators)}); "
+                "query the survivors or restore a checkpoint taken before "
+                "the loss"
+            )
         if not selected:
             raise EngineError(
-                "every requested estimator was lost with its worker; "
-                "no estimates survive"
+                "every requested estimator was lost with its worker "
+                f"(lost: {', '.join(self.lost_estimators)}); no estimates "
+                "survive — restore a checkpoint taken before the losses "
+                "or open a fresh engine"
             )
         stream = self._journal.freeze_stream()
         results: Dict[str, Any] = {}
         for spec in selected:
             fork = spec.build(stream)
             if self._started:
-                fork.load_state_dict(states[spec.name])
+                state = states.get(spec.name)
+                if state is None:
+                    # A gather hole that recovery did not explain: fail
+                    # loudly rather than serve a fork that silently
+                    # restarted from scratch.
+                    raise EngineError(
+                        f"no live state could be gathered for estimator "
+                        f"{spec.name!r} (its worker may have been lost "
+                        "mid-gather); retry the query or restore a "
+                        "checkpoint"
+                    )
+                fork.load_state_dict(state)
                 if fork.wants_pass():
                     fork.end_pass()
             results[spec.name] = self._complete(fork, stream)
@@ -1195,7 +1261,15 @@ class LiveEngine:
 
     def _select(self, names: Optional[Sequence[str]]) -> List[EstimatorSpec]:
         if names is None:
-            return self._alive_specs()
+            alive = self._alive_specs()
+            if not alive:
+                raise EngineError(
+                    "every registered estimator was lost with its worker "
+                    f"(lost: {', '.join(self.lost_estimators)}); no "
+                    "estimates survive — restore a checkpoint taken "
+                    "before the losses or open a fresh engine"
+                )
+            return alive
         selected = []
         for name in names:
             if name not in self._spec_names:
@@ -1203,8 +1277,10 @@ class LiveEngine:
             if name in self._lost_names:
                 raise EngineError(
                     f"estimator {name!r} was lost with its worker (the "
-                    "engine is degraded); query the survivors or restore "
-                    "a checkpoint taken before the loss"
+                    f"engine is degraded; all lost: "
+                    f"{', '.join(self.lost_estimators)}); query the "
+                    "survivors or restore a checkpoint taken before the "
+                    "loss"
                 )
             selected.append(self._spec_names[name])
         return selected

@@ -93,6 +93,19 @@ class MergeError(ReproError):
     """
 
 
+class ServiceError(ReproError):
+    """Raised when the multi-tenant service layer refuses a request.
+
+    Admission control and backpressure speak through this type: opening
+    a stream past ``max_streams``, a feed that would blow the in-flight
+    byte budget or push a journal past its high watermark, a command
+    naming a stream that is not open, or a malformed protocol line.
+    Refusals are **non-destructive** — the stream (and the registry)
+    are left exactly as they were, so the client can retry, drain, or
+    open elsewhere.  The message names the limit that was hit.
+    """
+
+
 class EngineError(ReproError):
     """Raised for invalid fused-engine usage.
 

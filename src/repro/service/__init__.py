@@ -1,0 +1,50 @@
+"""Multi-tenant live service: many named streams under one roof.
+
+:mod:`repro.service` multiplexes many named :class:`~repro.engine.live.
+LiveEngine` instances behind one registry and one wire protocol:
+
+* :class:`~repro.service.registry.StreamRegistry` — owns the engines.
+  ``open`` lazily **restores-on-open** from a per-stream checkpoint
+  directory (so a killed tenant comes back bit-identical to one that
+  never stopped), ``feed``/``estimate``/``checkpoint``/``close`` operate
+  per stream, and per-stream :class:`~repro.service.registry.
+  CheckpointPolicy` scheduling writes delta snapshots every N elements
+  or T seconds without the client asking.
+* :class:`~repro.service.registry.ServiceLimits` — admission control
+  and backpressure: ``max_streams``, ``max_feed_bytes`` in flight,
+  and a per-stream journal watermark.  Every refusal is a typed,
+  **non-destructive** :class:`~repro.errors.ServiceError`.
+* :mod:`~repro.service.protocol` — the newline-delimited JSON codec
+  (``open`` / ``feed`` / ``estimate`` / ``checkpoint`` / ``status`` /
+  ``close`` / ``kill``) shared by the server and the client.
+* :mod:`~repro.service.server` — the asyncio front end behind
+  ``repro serve``: one **writer task per stream** serializes engine
+  calls (the engine's feed re-entrancy guard is never tripped), while
+  distinct streams make progress independently.
+  :class:`~repro.service.server.ServerThread` runs the same server on
+  a background thread for tests and benchmarks.
+* :class:`~repro.service.client.ServiceClient` — a small blocking
+  client speaking the protocol, used by the tests, the CI smoke
+  drill, and ``benchmarks/bench_service.py``.
+"""
+
+from repro.service.client import ServiceClient
+from repro.service.registry import (
+    CheckpointPolicy,
+    ServiceLimits,
+    StreamConfig,
+    StreamRegistry,
+    feed_nbytes,
+)
+from repro.service.server import ServerThread, StreamServer
+
+__all__ = [
+    "CheckpointPolicy",
+    "ServiceClient",
+    "ServiceLimits",
+    "ServerThread",
+    "StreamConfig",
+    "StreamRegistry",
+    "StreamServer",
+    "feed_nbytes",
+]

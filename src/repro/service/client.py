@@ -1,0 +1,140 @@
+"""A small blocking client for the ``repro serve`` protocol.
+
+One TCP connection, one request/response per call, newline-delimited
+JSON both ways (:mod:`repro.service.protocol`).  Server refusals come
+back as raised :class:`~repro.errors.ServiceError` (the message names
+the server-side error type), so admission failures stay typed on the
+client side too::
+
+    with ServiceClient(host, port) as client:
+        client.open("tenant-a", config={"n": 512, "estimator": "triest",
+                                        "copies": 3, "seed": 7})
+        client.feed("tenant-a", u=[0, 1], v=[3, 4])
+        print(client.estimate("tenant-a")["median"])
+        client.close_stream("tenant-a")
+
+Used by the tests, the CI ``service-smoke`` drill, and
+``benchmarks/bench_service.py``.
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.errors import ServiceError
+from repro.service.protocol import MAX_LINE_BYTES, encode_message
+
+__all__ = ["ServiceClient"]
+
+
+def _as_int_list(column: Optional[Sequence[int]]) -> Optional[List[int]]:
+    if column is None:
+        return None
+    return [int(value) for value in column]
+
+
+class ServiceClient:
+    """Blocking line-protocol client; safe from one thread at a time."""
+
+    def __init__(self, host: str, port: int, timeout: float = 60.0) -> None:
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._file = self._sock.makefile("rwb")
+
+    # -- plumbing ---------------------------------------------------------
+
+    def request(self, doc: Dict[str, Any]) -> Dict[str, Any]:
+        """Send one raw request object; returns the ``ok`` response body.
+
+        Raises :class:`~repro.errors.ServiceError` on a refusal (the
+        message carries the server's error type and text) or when the
+        connection drops mid-exchange.
+        """
+        import json
+
+        self._file.write(encode_message(doc))
+        self._file.flush()
+        line = self._file.readline(MAX_LINE_BYTES + 1024)
+        if not line:
+            raise ServiceError(
+                "the service closed the connection mid-request"
+            )
+        try:
+            response = json.loads(line.decode("utf-8"))
+        except Exception as error:
+            raise ServiceError(
+                f"malformed response from the service: {error}"
+            ) from error
+        if not isinstance(response, dict) or "ok" not in response:
+            raise ServiceError(
+                f"malformed response from the service: {response!r}"
+            )
+        if not response["ok"]:
+            raise ServiceError(
+                f"{response.get('error', 'ServiceError')}: "
+                f"{response.get('message', 'refused')}"
+            )
+        return response
+
+    def close(self) -> None:
+        """Drop the connection (streams on the server stay open)."""
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    # -- commands ---------------------------------------------------------
+
+    def open(self, stream: str,
+             config: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+        doc: Dict[str, Any] = {"cmd": "open", "stream": stream}
+        if config is not None:
+            doc["config"] = config
+        return self.request(doc)
+
+    def feed(self, stream: str, u: Sequence[int], v: Sequence[int],
+             delta: Optional[Sequence[int]] = None) -> Dict[str, Any]:
+        updates: Dict[str, Any] = {"u": _as_int_list(u),
+                                   "v": _as_int_list(v)}
+        if delta is not None:
+            updates["delta"] = _as_int_list(delta)
+        return self.request({"cmd": "feed", "stream": stream,
+                             "updates": updates})
+
+    def estimate(self, stream: str,
+                 names: Optional[Sequence[str]] = None) -> Dict[str, Any]:
+        doc: Dict[str, Any] = {"cmd": "estimate", "stream": stream}
+        if names is not None:
+            doc["names"] = list(names)
+        return self.request(doc)
+
+    def checkpoint(self, stream: str,
+                   mode: Optional[str] = None) -> Dict[str, Any]:
+        doc: Dict[str, Any] = {"cmd": "checkpoint", "stream": stream}
+        if mode is not None:
+            doc["mode"] = mode
+        return self.request(doc)
+
+    def status(self, stream: Optional[str] = None,
+               estimate: bool = False) -> Dict[str, Any]:
+        doc: Dict[str, Any] = {"cmd": "status"}
+        if stream is not None:
+            doc["stream"] = stream
+        if estimate:
+            doc["estimate"] = True
+        return self.request(doc)
+
+    def close_stream(self, stream: str,
+                     checkpoint: bool = True) -> Dict[str, Any]:
+        return self.request({"cmd": "close", "stream": stream,
+                             "checkpoint": checkpoint})
+
+    def kill(self, stream: str) -> Dict[str, Any]:
+        """Chaos drill: drop the stream with no final checkpoint."""
+        return self.request({"cmd": "kill", "stream": stream})

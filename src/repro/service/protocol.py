@@ -1,0 +1,152 @@
+"""The wire protocol: newline-delimited JSON, one request per line.
+
+Every request is a single JSON object terminated by ``\\n``::
+
+    {"cmd": "open", "stream": "tenant-a", "config": {"n": 512,
+     "estimator": "triest", "copies": 3, "capacity": 128, "seed": 7}}
+    {"cmd": "feed", "stream": "tenant-a",
+     "updates": {"u": [0, 1], "v": [3, 4], "delta": [1, 1]}}
+    {"cmd": "estimate", "stream": "tenant-a"}
+    {"cmd": "checkpoint", "stream": "tenant-a"}
+    {"cmd": "status"}
+    {"cmd": "close", "stream": "tenant-a"}
+
+and every response is one JSON object per line: ``{"ok": true, ...}``
+on success, ``{"ok": false, "error": "<type>", "message": "..."}`` on
+a refusal or failure.  Malformed lines are answered (with a typed
+refusal), never crash the connection, and never touch any stream —
+protocol errors are non-destructive like every other refusal.
+
+``kill`` is the chaos-drill seventh command: drop a stream without its
+final checkpoint, so a subsequent ``open`` exercises restore-on-open.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.errors import ReproError, ServiceError
+
+__all__ = [
+    "COMMANDS",
+    "MAX_LINE_BYTES",
+    "decode_request",
+    "encode_message",
+    "error_response",
+    "ok_response",
+    "results_to_wire",
+    "updates_from_wire",
+]
+
+COMMANDS = ("open", "feed", "estimate", "checkpoint", "status", "close",
+            "kill")
+
+#: One line must fit a feed chunk; 8 MiB of JSON is ~250k updates.
+MAX_LINE_BYTES = 8 << 20
+
+#: Commands that name a stream; ``status`` may omit it (registry-wide).
+_NEEDS_STREAM = ("open", "feed", "estimate", "checkpoint", "close", "kill")
+
+
+def encode_message(doc: Dict[str, Any]) -> bytes:
+    """Serialize one protocol message to its wire line."""
+    return json.dumps(doc, separators=(",", ":")).encode("utf-8") + b"\n"
+
+
+def decode_request(line: bytes) -> Dict[str, Any]:
+    """Parse and validate one request line.
+
+    Raises :class:`~repro.errors.ServiceError` for anything malformed:
+    non-JSON, a non-object, a missing/unknown ``cmd``, or a stream
+    command without its ``stream`` field.
+    """
+    if len(line) > MAX_LINE_BYTES:
+        raise ServiceError(
+            f"request line of {len(line)} bytes exceeds the "
+            f"{MAX_LINE_BYTES}-byte protocol limit; split the feed"
+        )
+    try:
+        doc = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise ServiceError(f"malformed request line: {error}") from error
+    if not isinstance(doc, dict):
+        raise ServiceError(
+            f"a request must be a JSON object, got {type(doc).__name__}"
+        )
+    cmd = doc.get("cmd")
+    if cmd not in COMMANDS:
+        raise ServiceError(
+            f"unknown command {cmd!r}; expected one of {list(COMMANDS)}"
+        )
+    if cmd in _NEEDS_STREAM and not isinstance(doc.get("stream"), str):
+        raise ServiceError(f"command {cmd!r} requires a 'stream' name")
+    return doc
+
+
+def updates_from_wire(doc: Any) -> Tuple[List[int], List[int], List[int]]:
+    """Validate a feed payload into ``(u, v, delta)`` columns.
+
+    ``delta`` defaults to all-+1 (insertions).  Columns must be equal-
+    length lists of integers; deltas must be ±1.
+    """
+    if not isinstance(doc, dict):
+        raise ServiceError(
+            f"feed 'updates' must be an object with 'u'/'v' (and optional "
+            f"'delta') columns, got {type(doc).__name__}"
+        )
+    unknown = sorted(set(doc) - {"u", "v", "delta"})
+    if unknown:
+        raise ServiceError(
+            f"unknown feed column(s): {', '.join(unknown)}"
+        )
+    missing = sorted({"u", "v"} - set(doc))
+    if missing:
+        raise ServiceError(
+            f"feed updates are missing column(s): {', '.join(missing)}"
+        )
+    u, v = doc["u"], doc["v"]
+    delta = doc.get("delta")
+    if delta is None:
+        delta = [1] * len(u) if isinstance(u, list) else None
+    for label, column in (("u", u), ("v", v), ("delta", delta)):
+        if not isinstance(column, list):
+            raise ServiceError(
+                f"feed column {label!r} must be a list of integers"
+            )
+        for value in column:
+            if isinstance(value, bool) or not isinstance(value, int):
+                raise ServiceError(
+                    f"feed column {label!r} holds a non-integer "
+                    f"({value!r})"
+                )
+    if not (len(u) == len(v) == len(delta)):
+        raise ServiceError(
+            f"feed columns must be equal length, got "
+            f"u={len(u)} v={len(v)} delta={len(delta)}"
+        )
+    for value in delta:
+        if value not in (1, -1):
+            raise ServiceError(
+                f"feed deltas must be +1 or -1, got {value!r}"
+            )
+    return u, v, delta
+
+
+def results_to_wire(results) -> Dict[str, Dict[str, float]]:
+    """Flatten engine estimate results to plain JSON-able numbers."""
+    return {name: {"estimate": float(result.estimate)}
+            for name, result in results.items()}
+
+
+def ok_response(**fields: Any) -> Dict[str, Any]:
+    doc: Dict[str, Any] = {"ok": True}
+    doc.update(fields)
+    return doc
+
+
+def error_response(error: BaseException) -> Dict[str, Any]:
+    """The wire form of a refusal; ``error`` names the exception type."""
+    kind = type(error).__name__ if isinstance(error, ReproError) \
+        else "InternalError"
+    return {"ok": False, "error": kind, "message": str(error)}

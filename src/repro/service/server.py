@@ -1,0 +1,419 @@
+"""The asyncio front end behind ``repro serve``.
+
+One :class:`StreamServer` listens on a TCP port, speaks the newline-
+delimited JSON protocol of :mod:`repro.service.protocol`, and routes
+every per-stream command through that stream's single **writer task**:
+an :class:`asyncio.Queue` drained by one coroutine that executes engine
+calls on the default thread-pool executor.  This is what makes the
+service safe to drive from many concurrent connections —
+:meth:`~repro.engine.live.LiveEngine.feed` has a re-entrancy guard and
+its estimate/snapshot paths assume no feed is mid-flight, so all of a
+stream's operations are strictly ordered here, while *different*
+streams progress independently.
+
+Backpressure happens **at enqueue time**: a ``feed`` first reserves its
+payload bytes against the registry's in-flight budget and is refused
+with a typed :class:`~repro.errors.ServiceError` before anything is
+buffered; the reservation is released when the feed has been applied
+(or failed).
+
+:class:`ServerThread` runs the same server on a daemon thread with an
+ephemeral port — the harness used by the tests, the CI smoke drill,
+and ``benchmarks/bench_service.py``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from typing import Any, Dict, Optional, Tuple
+
+from repro.errors import ReproError, ServiceError
+from repro.service.protocol import (
+    MAX_LINE_BYTES,
+    decode_request,
+    encode_message,
+    error_response,
+    ok_response,
+    results_to_wire,
+    updates_from_wire,
+)
+from repro.service.registry import (
+    CheckpointPolicy,
+    StreamConfig,
+    StreamRegistry,
+    feed_nbytes,
+)
+
+__all__ = ["ServerThread", "StreamServer", "run_server"]
+
+
+class _Writer:
+    """One stream's command queue and the task draining it."""
+
+    def __init__(self, queue: "asyncio.Queue", task: "asyncio.Task") -> None:
+        self.queue = queue
+        self.task = task
+
+
+class StreamServer:
+    """The asyncio service; see the module docstring."""
+
+    def __init__(
+        self,
+        registry: StreamRegistry,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.registry = registry
+        self._host = host
+        self._port = port
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._writers: Dict[str, _Writer] = {}
+
+    @property
+    def host(self) -> str:
+        return self._host
+
+    @property
+    def port(self) -> int:
+        return self._port
+
+    async def start(self) -> Tuple[str, int]:
+        """Bind and start accepting; returns the bound ``(host, port)``."""
+        self._server = await asyncio.start_server(
+            self._handle, self._host, self._port,
+            limit=MAX_LINE_BYTES + 1024,
+        )
+        sock = self._server.sockets[0]
+        self._host, self._port = sock.getsockname()[:2]
+        return self._host, self._port
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None, "call start() first"
+        await self._server.serve_forever()
+
+    async def stop(self) -> None:
+        """Stop accepting and tear down writers and live connections."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        for name in list(self._writers):
+            await self._retire_writer(name)
+        current = asyncio.current_task()
+        leftovers = [task for task in asyncio.all_tasks()
+                     if task is not current and not task.done()]
+        for task in leftovers:
+            task.cancel()
+        if leftovers:
+            await asyncio.gather(*leftovers, return_exceptions=True)
+
+    # -- per-stream writer tasks ------------------------------------------
+
+    def _spawn_writer(self, name: str) -> None:
+        queue: "asyncio.Queue" = asyncio.Queue()
+        task = asyncio.get_running_loop().create_task(
+            self._writer_loop(name, queue)
+        )
+        self._writers[name] = _Writer(queue, task)
+
+    async def _retire_writer(self, name: str) -> None:
+        writer = self._writers.pop(name, None)
+        if writer is None:
+            return
+        writer.queue.put_nowait(None)
+        try:
+            await asyncio.wait_for(writer.task, timeout=30)
+        except asyncio.TimeoutError:
+            writer.task.cancel()
+
+    async def _writer_loop(self, name: str, queue: "asyncio.Queue") -> None:
+        loop = asyncio.get_running_loop()
+        while True:
+            item = await queue.get()
+            if item is None:
+                return
+            fn, future, nbytes = item
+            try:
+                result = await loop.run_in_executor(None, fn)
+            except BaseException as error:
+                if not future.cancelled():
+                    future.set_exception(error)
+            else:
+                if not future.cancelled():
+                    future.set_result(result)
+            finally:
+                if nbytes:
+                    self.registry.release_feed_bytes(nbytes)
+
+    async def _submit(self, name: str, fn, nbytes: int = 0):
+        """Run *fn* on the stream's writer task; awaits the result.
+
+        The caller must have reserved *nbytes* already; the writer
+        releases them when the operation finishes either way.
+        """
+        writer = self._writers.get(name)
+        if writer is None:
+            if nbytes:
+                self.registry.release_feed_bytes(nbytes)
+            raise ServiceError(
+                f"stream {name!r} is not open (open it first; open "
+                f"restores from its checkpoint if one exists)"
+            )
+        future = asyncio.get_running_loop().create_future()
+        writer.queue.put_nowait((fn, future, nbytes))
+        return await future
+
+    # -- connection handling ----------------------------------------------
+
+    async def _handle(self, reader: asyncio.StreamReader,
+                      writer: asyncio.StreamWriter) -> None:
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (ValueError, asyncio.LimitOverrunError):
+                    # An over-long line cannot be resynchronized: answer
+                    # once and drop the connection.
+                    writer.write(encode_message(error_response(ServiceError(
+                        f"request line exceeds the {MAX_LINE_BYTES}-byte "
+                        f"protocol limit; split the feed"
+                    ))))
+                    await writer.drain()
+                    break
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                try:
+                    request = decode_request(line)
+                    response = await self._dispatch(request)
+                except ReproError as error:
+                    response = error_response(error)
+                except Exception as error:  # pragma: no cover - safety net
+                    response = error_response(error)
+                writer.write(encode_message(response))
+                await writer.drain()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        except asyncio.CancelledError:
+            pass  # server shutdown tears live connections down
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError,
+                    asyncio.CancelledError):
+                pass
+
+    # -- command dispatch --------------------------------------------------
+
+    async def _dispatch(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        cmd = request["cmd"]
+        handler = getattr(self, f"_cmd_{cmd}")
+        return await handler(request)
+
+    async def _cmd_open(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        name = request["stream"]
+        config = None
+        if request.get("config") is not None:
+            config = StreamConfig.from_wire(request["config"])
+        loop = asyncio.get_running_loop()
+        status = await loop.run_in_executor(
+            None, lambda: self.registry.open(name, config)
+        )
+        # The registry's table lock makes open() first-wins; only the
+        # winner reaches this line, so the writer spawn cannot race.
+        self._spawn_writer(name)
+        return ok_response(**status)
+
+    async def _cmd_feed(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        import numpy as np
+
+        name = request["stream"]
+        u, v, delta = updates_from_wire(request.get("updates"))
+        columns = (np.asarray(u, dtype=np.int64),
+                   np.asarray(v, dtype=np.int64),
+                   np.asarray(delta, dtype=np.int64))
+        nbytes = feed_nbytes(columns)
+        self.registry.reserve_feed_bytes(nbytes)
+        result = await self._submit(
+            name, lambda: self.registry.feed(name, columns),
+            nbytes=nbytes,
+        )
+        return ok_response(**result)
+
+    async def _cmd_estimate(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        name = request["stream"]
+        names = request.get("names")
+        results = await self._submit(
+            name, lambda: self.registry.estimate(name, names)
+        )
+        from repro.engine.live import median_estimate
+
+        return ok_response(
+            stream=name,
+            estimates=results_to_wire(results),
+            median=median_estimate(results),
+        )
+
+    async def _cmd_checkpoint(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        name = request["stream"]
+        mode = request.get("mode")
+        path = await self._submit(
+            name, lambda: self.registry.checkpoint(name, mode=mode)
+        )
+        return ok_response(stream=name, path=path)
+
+    async def _cmd_status(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        name = request.get("stream")
+        estimate = bool(request.get("estimate"))
+        loop = asyncio.get_running_loop()
+        if name is not None:
+            status = await self._submit(
+                name, lambda: self.registry.status(name, estimate=estimate)
+            )
+            return ok_response(**status)
+        # Registry-wide: the summary is lock-protected, but per-stream
+        # estimate gathers must be ordered behind each stream's feeds —
+        # route them through the writers.
+        summary = await loop.run_in_executor(
+            None, lambda: self.registry.status(None)
+        )
+        if estimate:
+            for stream in list(summary["streams"]):
+                try:
+                    summary["streams"][stream] = await self._submit(
+                        stream,
+                        lambda s=stream: self.registry.status(
+                            s, estimate=True),
+                    )
+                except ReproError:
+                    pass  # closed between the summary and the gather
+        return ok_response(**summary)
+
+    async def _cmd_close(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        name = request["stream"]
+        checkpoint = bool(request.get("checkpoint", True))
+        result = await self._submit(
+            name, lambda: self.registry.close(name, checkpoint=checkpoint)
+        )
+        await self._retire_writer(name)
+        return ok_response(**result)
+
+    async def _cmd_kill(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        name = request["stream"]
+        result = await self._submit(name, lambda: self.registry.kill(name))
+        await self._retire_writer(name)
+        return ok_response(**result)
+
+
+class ServerThread:
+    """Run a :class:`StreamServer` on a daemon thread (tests/benchmarks).
+
+    Context-manager usage::
+
+        with ServerThread(root=tmpdir) as server:
+            client = ServiceClient(server.host, server.port)
+            ...
+
+    Extra keyword arguments build the :class:`~repro.service.registry.
+    StreamRegistry` (``root``, ``limits``, ``default_policy``) unless a
+    ready registry is passed.  Exit stops the loop and closes every
+    stream **with** a final checkpoint — the graceful-shutdown path;
+    use the ``kill`` command for crash drills.
+    """
+
+    def __init__(
+        self,
+        registry: Optional[StreamRegistry] = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        **registry_kwargs: Any,
+    ) -> None:
+        if registry is not None and registry_kwargs:
+            raise ServiceError(
+                "pass either a registry or registry kwargs, not both"
+            )
+        self.registry = registry if registry is not None \
+            else StreamRegistry(**registry_kwargs)
+        self.host = host
+        self.port = port
+        self.server: Optional[StreamServer] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+        self._started = threading.Event()
+        self._error: Optional[BaseException] = None
+
+    def start(self) -> "ServerThread":
+        self._loop = asyncio.new_event_loop()
+        self._thread = threading.Thread(
+            target=self._thread_main, name="repro-serve", daemon=True
+        )
+        self._thread.start()
+        if not self._started.wait(timeout=30):
+            raise ServiceError("service thread failed to start in time")
+        if self._error is not None:
+            raise ServiceError(
+                f"service thread failed to start: {self._error}"
+            ) from self._error
+        return self
+
+    def _thread_main(self) -> None:
+        assert self._loop is not None
+        asyncio.set_event_loop(self._loop)
+        self.server = StreamServer(self.registry, self.host, self.port)
+        try:
+            self.host, self.port = self._loop.run_until_complete(
+                self.server.start()
+            )
+        except BaseException as error:
+            self._error = error
+            self._started.set()
+            return
+        self._started.set()
+        try:
+            self._loop.run_forever()
+        finally:
+            self._loop.run_until_complete(self.server.stop())
+            self._loop.close()
+
+    def stop(self, checkpoint: bool = True) -> None:
+        if self._thread is not None and self._thread.is_alive():
+            assert self._loop is not None
+            self._loop.call_soon_threadsafe(self._loop.stop)
+            self._thread.join(timeout=30)
+        self.registry.close_all(checkpoint=checkpoint)
+
+    def __enter__(self) -> "ServerThread":
+        return self.start()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.stop()
+
+
+def run_server(
+    registry: StreamRegistry,
+    host: str = "127.0.0.1",
+    port: int = 0,
+) -> int:
+    """Blocking entry point for ``repro serve``; returns an exit code."""
+
+    async def _main() -> None:
+        server = StreamServer(registry, host, port)
+        bound_host, bound_port = await server.start()
+        print(f"serving on {bound_host}:{bound_port} "
+              f"(root={registry.root or 'none — durability disabled'}, "
+              f"max_streams={registry.limits.max_streams})", flush=True)
+        try:
+            await server.serve_forever()
+        finally:
+            await server.stop()
+
+    try:
+        asyncio.run(_main())
+    except KeyboardInterrupt:
+        pass
+    finally:
+        registry.close_all(checkpoint=True)
+    return 0

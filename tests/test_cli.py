@@ -431,3 +431,49 @@ class TestCliLive:
         assert code == 0
         out = capsys.readouterr().out
         assert "final elements=4 m=2" in out
+
+
+class TestLiveDegradedReport:
+    """``repro live`` under full degradation: exit 2, not a traceback.
+
+    Regression tier: the report path used to call ``statistics.median``
+    on an empty estimate dict and die with a bare ``StatisticsError``.
+    """
+
+    def test_fully_degraded_report_exits_two(self, karate_path, monkeypatch,
+                                             capsys):
+        from repro.engine.live import LiveEngine
+        from repro.errors import EngineError
+
+        def raise_all_lost(self, names=None):
+            raise EngineError(
+                "every registered estimator was lost with its worker "
+                "(lost: copy-0, copy-1); no estimates survive"
+            )
+
+        monkeypatch.setattr(LiveEngine, "estimate", raise_all_lost)
+        code = main(["live", karate_path, "triangle", "--copies", "2",
+                     "--trials", "50", "--seed", "3"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "cannot report an estimate" in err
+        assert "copy-0" in err
+
+
+class TestServeCommand:
+    """Flag validation for ``repro serve`` (the server itself is
+    exercised end-to-end in tests/test_service.py)."""
+
+    def test_scheduled_checkpoints_require_root(self, capsys):
+        assert main(["serve", "--checkpoint-every", "10"]) == 2
+        assert "--root" in capsys.readouterr().err
+
+    def test_bad_feed_byte_budget_exits_two(self, capsys):
+        assert main(["serve", "--max-feed-bytes", "lots"]) == 2
+        assert "--max-feed-bytes" in capsys.readouterr().err
+
+    def test_bad_limits_exit_two(self, capsys):
+        assert main(["serve", "--max-streams", "0"]) == 2
+        assert "--max-streams" in capsys.readouterr().err
+        assert main(["serve", "--max-deltas", "0"]) == 2
+        assert "--max-deltas" in capsys.readouterr().err

@@ -690,3 +690,92 @@ class TestDeltaCheckpoints:
         last = manifest["sections"][-1]
         assert last["payload_offset"] + last["payload_length"] == \
             manifest["size"]
+
+
+class TestDegradedQueries:
+    """Queries against lost estimators refuse loudly, never partially.
+
+    Regression tier for the degraded-path sweep: before it, an
+    ``estimate(names=...)`` whose loss was discovered *during* the
+    state gather silently returned a partial (or empty) result dict,
+    and a fully degraded engine produced estimate dicts that blew up
+    downstream median aggregation with a bare ``StatisticsError``.
+    """
+
+    def _feed_all(self, engine, stream, chunk=64):
+        u, v, d = stream.columns()
+        for start in range(0, len(u), chunk):
+            engine.feed((u[start:start + chunk], v[start:start + chunk],
+                         d[start:start + chunk]))
+
+    def _engine(self, stream, plan):
+        engine = LiveEngine(
+            n=stream.n, backend="thread", workers=4, batch_size=64,
+            respawn_budget=0, fault_plan=plan,
+        )
+        engine.register_all(_triest_specs())
+        return engine
+
+    def test_every_copy_lost_raises_naming_all(self):
+        _, stream = _insertion_fixture()
+        plan = FaultPlan(seed=61)
+        for worker in range(4):
+            plan = plan.kill_worker(worker, nth_batch=2)
+        engine = self._engine(stream, plan)
+        self._feed_all(engine, stream)
+        with pytest.raises(EngineError, match="t0, t1, t2, t3"):
+            engine.estimate()
+        assert engine.degraded
+        assert engine.lost_estimators == ["t0", "t1", "t2", "t3"]
+        assert engine.surviving_copies == 0
+        # The refusal is stable: asking again refuses the same way
+        # instead of tripping on drained internal state.
+        with pytest.raises(EngineError,
+                           match="every (requested|registered) estimator"):
+            engine.estimate()
+        engine.close()
+
+    def test_loss_discovered_mid_gather_refuses_partial_result(self):
+        _, stream = _insertion_fixture()
+        plan = FaultPlan(seed=62).kill_worker(2, nth_batch=3)
+        engine = self._engine(stream, plan)
+        self._feed_all(engine, stream)
+        # The thread died silently mid-feed; this estimate() is the
+        # FIRST gather, so the loss surfaces inside it — the old code
+        # handed back {"t1": ...} and dropped t2 on the floor.
+        with pytest.raises(EngineError, match="t2"):
+            engine.estimate(["t1", "t2"])
+        # Survivors stay queryable after the refusal (non-destructive).
+        result = engine.estimate(["t1"])
+        assert set(result) == {"t1"}
+        engine.close()
+
+    def test_explicit_request_for_known_lost_copy_names_it(self):
+        _, stream = _insertion_fixture()
+        plan = FaultPlan(seed=63).kill_worker(1, nth_batch=3)
+        engine = self._engine(stream, plan)
+        self._feed_all(engine, stream)
+        engine.estimate()  # detect the body; engine now degraded
+        assert engine.lost_estimators == ["t1"]
+        with pytest.raises(EngineError, match="'t1'"):
+            engine.estimate(["t1"])
+        engine.close()
+
+    def test_median_estimate_guard(self):
+        from repro.engine import median_estimate
+        from repro.errors import EstimationError
+
+        _, stream = _insertion_fixture()
+        engine = LiveEngine(n=stream.n)
+        engine.register_all(_triest_specs(copies=3))
+        u, v, d = stream.columns()
+        engine.feed((u, v, d))
+        import statistics
+
+        results = engine.estimate()
+        assert median_estimate(results) == statistics.median(
+            r.estimate for r in results.values()
+        )
+        with pytest.raises(EstimationError, match="fully degraded"):
+            median_estimate({})
+        engine.close()

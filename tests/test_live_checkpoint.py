@@ -537,3 +537,51 @@ class TestCheckpointFormat:
         used.begin_pass(0)
         with pytest.raises(CheckpointError, match="freshly built"):
             used.load_state_dict(state)
+
+
+class TestEmptyFeed:
+    """A zero-length chunk is a validated no-op on every backend.
+
+    Regression tier: an empty *first* feed used to trigger ``_start()``
+    anyway — locking estimator registration and building worker pools
+    for an engine that had journaled nothing.
+    """
+
+    @pytest.mark.parametrize("backend", ["serial", "thread", "process"])
+    def test_empty_first_feed_does_not_start_the_engine(self, backend):
+        import numpy as np
+
+        _, stream = _insertion_fixture()
+        pattern = patterns.triangle()
+        empty = np.array([], dtype=np.int64)
+
+        reference = LiveEngine(n=stream.n)
+        reference.register_all(
+            _mirror_specs(fgp_insertion_estimator, pattern, 25, [100, 101])
+        )
+        u, v, d = stream.columns()
+        reference.feed((u, v, d))
+        expected = reference.estimate()
+        reference.close()
+
+        engine = LiveEngine(n=stream.n, backend=backend, workers=2)
+        engine.register_all(
+            _mirror_specs(fgp_insertion_estimator, pattern, 25, [100])
+        )
+        assert engine.feed((empty, empty, empty)) == 0
+        assert engine.started is False
+        assert engine.elements == 0
+        # Registration stays open after the no-op...
+        engine.register_spec(EstimatorSpec(
+            name="copy-1",
+            factory=fgp_insertion_estimator,
+            kwargs=dict(pattern=pattern, trials=25, rng=101, name="copy-1"),
+        ))
+        # ...and later empty chunks mid-stream are equally invisible.
+        engine.feed((u, v, d))
+        assert engine.feed((empty, empty, empty)) == 0
+        assert engine.elements == len(u)
+        results = engine.estimate()
+        for name in expected:
+            _assert_same_result(results[name], expected[name])
+        engine.close()

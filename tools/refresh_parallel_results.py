@@ -1,0 +1,108 @@
+"""Install a multi-core ``throughput_parallel.json`` into results/.
+
+The committed ``benchmarks/results/throughput_parallel.json`` is
+whatever box last ran ``bench_throughput.py`` — often a 1-CPU build
+sandbox whose parallel rows are flagged ``valid_parallelism: false``
+(they measure protocol overhead, not scaling).  The CI
+``parallel-smoke`` job regenerates the table on a real multi-core
+runner and uploads it as the ``throughput-parallel`` artifact; this
+tool is the missing last step — it **validates** a downloaded copy and
+installs it as the committed result, refusing anything that would put
+dishonest numbers in the repository:
+
+* the document must pass the shared benchmark JSON schema;
+* ``params.cpus`` must be >= 4 (the K=32 scaling gate is only armed
+  there);
+* at least one parallel row must carry ``valid_parallelism: true``;
+* every row keeps the required columns (backend, workers, seconds,
+  edges_per_sec, speedup_vs_serial, valid_parallelism).
+
+Usage, from the repository root::
+
+    # after `gh run download -n throughput-parallel` (or a browser
+    # download of the artifact) produced ./throughput_parallel.json
+    python tools/refresh_parallel_results.py throughput_parallel.json
+
+    # dry-run: validate without installing
+    python tools/refresh_parallel_results.py --check-only candidate.json
+"""
+
+import argparse
+import json
+import os
+import shutil
+import sys
+
+_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(_ROOT, "benchmarks"))
+
+TARGET = os.path.join(_ROOT, "benchmarks", "results",
+                      "throughput_parallel.json")
+REQUIRED_COLUMNS = ("backend", "workers", "seconds", "edges_per_sec",
+                    "speedup_vs_serial", "valid_parallelism")
+
+
+def validate(path: str) -> dict:
+    """Schema + honesty checks; returns the parsed document or raises."""
+    from conftest import validate_benchmark_json
+
+    with open(path, encoding="utf-8") as handle:
+        document = json.load(handle)
+    validate_benchmark_json(document)
+    params = document["params"]
+    cpus = params.get("cpus")
+    if not isinstance(cpus, int) or cpus < 4:
+        raise ValueError(
+            f"params.cpus is {cpus!r}; honest scaling rows need a >= 4 core "
+            f"machine (the CI parallel-smoke runner qualifies) — this looks "
+            f"like another constrained-sandbox run"
+        )
+    rows = document["rows"]
+    for row in rows:
+        missing = [key for key in REQUIRED_COLUMNS if key not in row]
+        if missing:
+            raise ValueError(f"row {row!r} is missing {missing}")
+    parallel_rows = [row for row in rows if row["workers"] > 1]
+    if not parallel_rows:
+        raise ValueError("no multi-worker rows in the document")
+    if not any(row["valid_parallelism"] for row in parallel_rows):
+        raise ValueError(
+            "every parallel row is flagged valid_parallelism: false — "
+            "the run did not demonstrate real scaling; tune ring depth / "
+            "batch_size and re-run the bench before installing"
+        )
+    return document
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="validate + install a multi-core "
+                    "throughput_parallel.json (see module docstring)"
+    )
+    parser.add_argument("source", help="downloaded artifact JSON")
+    parser.add_argument("--check-only", action="store_true",
+                        help="validate without touching results/")
+    args = parser.parse_args(argv)
+    try:
+        document = validate(args.source)
+    except (OSError, ValueError, json.JSONDecodeError) as error:
+        print(f"error: {args.source}: {error}", file=sys.stderr)
+        return 1
+    best = max(
+        (row for row in document["rows"] if row["valid_parallelism"]
+         and row["workers"] > 1),
+        key=lambda row: row["speedup_vs_serial"],
+    )
+    print(f"{args.source}: ok — cpus={document['params']['cpus']}, "
+          f"best honest speedup {best['speedup_vs_serial']:.2f}x "
+          f"({best['backend']} x{best['workers']})")
+    if args.check_only:
+        return 0
+    shutil.copyfile(args.source, TARGET)
+    print(f"installed -> {os.path.relpath(TARGET, _ROOT)}")
+    print("commit it to retire the ROADMAP multi-core item")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
